@@ -1,0 +1,56 @@
+//! Criterion benchmark of the refinement procedure itself: building,
+//! validating and refining each protocol spec, and the Equation 1
+//! simulation check over a full (small) asynchronous state space. The
+//! refinement is the compile-time step of the paper's workflow, so its cost
+//! matters for spec-edit-verify loops.
+
+use ccr_core::refine::{refine, RefineOptions, ReqRepMode};
+use ccr_mc::search::Budget;
+use ccr_mc::simrel::check_simulation;
+use ccr_protocols::invalidate::{invalidate, InvalidateOptions};
+use ccr_protocols::migratory::{migratory, migratory_refined, MigratoryOptions};
+use ccr_runtime::asynch::{AsyncConfig, AsyncSystem};
+use ccr_runtime::rendezvous::RendezvousSystem;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_refinement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refinement");
+
+    group.bench_function("build/migratory", |b| {
+        b.iter(|| black_box(migratory(&MigratoryOptions::default())))
+    });
+    group.bench_function("build/invalidate", |b| {
+        b.iter(|| black_box(invalidate(&InvalidateOptions::default())))
+    });
+
+    let mig = migratory(&MigratoryOptions::default());
+    let inv = invalidate(&InvalidateOptions::default());
+    group.bench_function("refine/migratory/auto", |b| {
+        b.iter(|| black_box(refine(&mig, &RefineOptions::default()).unwrap()))
+    });
+    group.bench_function("refine/migratory/off", |b| {
+        b.iter(|| {
+            black_box(refine(&mig, &RefineOptions { reqrep: ReqRepMode::Off }).unwrap())
+        })
+    });
+    group.bench_function("refine/invalidate/auto", |b| {
+        b.iter(|| black_box(refine(&inv, &RefineOptions::default()).unwrap()))
+    });
+
+    // The soundness check (Equation 1) over migratory at n=2.
+    let refined = migratory_refined(&MigratoryOptions::checking());
+    group.bench_function("simrel/migratory/n2", |b| {
+        b.iter(|| {
+            let rv = RendezvousSystem::new(&refined.spec, 2);
+            let asys = AsyncSystem::new(&refined, 2, AsyncConfig::default());
+            let r = check_simulation(&asys, &rv, &Budget::default());
+            assert!(r.holds());
+            black_box(r.transitions_checked)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_refinement);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benchmark of the DSM machine: steps/second of the verified
+//! global executor under workloads, derived vs hand variants, and the
+//! deployment-style threaded engines.
+
+use ccr_bench::configs;
+use ccr_core::refine::{refine, RefineOptions, ReqRepMode};
+use ccr_dsm::machine::{Machine, MachineConfig};
+use ccr_dsm::threaded::{run_threaded, ThreadedConfig};
+use ccr_dsm::workload::Migrating;
+use ccr_protocols::hand::{hand_async_config, migratory_hand};
+use ccr_protocols::migratory::{migratory, MigratoryOptions};
+use ccr_runtime::sched::RandomSched;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const STEPS: u64 = 20_000;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    let _ = configs::MESSAGE_RUN_STEPS;
+
+    let opts = MigratoryOptions::default();
+    let spec = migratory(&opts);
+    let derived = refine(&spec, &RefineOptions::default()).unwrap();
+    let noopt = refine(&spec, &RefineOptions { reqrep: ReqRepMode::Off }).unwrap();
+    let hand = migratory_hand(&opts);
+
+    for (label, refined, hand_mode) in
+        [("derived", &derived, false), ("noopt", &noopt, false), ("hand", &hand, true)]
+    {
+        group.bench_function(format!("machine/migratory/{label}/n4"), |b| {
+            b.iter(|| {
+                let mut config = MachineConfig::standard(refined, 4, STEPS);
+                if hand_mode {
+                    config.asynch = hand_async_config(4);
+                }
+                let machine = Machine::new(refined, config);
+                let mut wl = Migrating::new(3, 0.7, 0.5);
+                let mut sched = RandomSched::new(4);
+                let report = machine.run(label, &mut wl, &mut sched).unwrap();
+                assert!(!report.deadlocked);
+                black_box(report.ops)
+            })
+        });
+    }
+
+    group.bench_function("threaded/migratory/n4/500ops", |b| {
+        b.iter(|| {
+            let config = ThreadedConfig { n: 4, target_ops: 500, ..Default::default() };
+            let report = run_threaded(&derived, &config);
+            assert!(report.error.is_none());
+            black_box(report.ops)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benchmark over the Table 3 reachability runs: wall time of
+//! exploring each protocol/semantics/N cell (bounded cells only, so the
+//! benchmark terminates quickly; the budget blow-ups are demonstrated by
+//! the `table3` report binary).
+
+use ccr_bench::configs;
+use ccr_mc::search::{explore_plain, Budget};
+use ccr_protocols::invalidate::{invalidate_refined, InvalidateOptions};
+use ccr_protocols::migratory::{migratory_refined, MigratoryOptions};
+use ccr_runtime::asynch::{AsyncConfig, AsyncSystem};
+use ccr_runtime::rendezvous::RendezvousSystem;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+
+    let mig = migratory_refined(&MigratoryOptions::checking_with_data(configs::DATA_DOMAIN));
+    for n in [2u32, 4] {
+        group.bench_function(format!("migratory/rendezvous/n{n}"), |b| {
+            let sys = RendezvousSystem::new(&mig.spec, n);
+            b.iter(|| black_box(explore_plain(&sys, &Budget::default()).states))
+        });
+        group.bench_function(format!("migratory/async/n{n}"), |b| {
+            let sys = AsyncSystem::new(&mig, n, AsyncConfig::default());
+            b.iter(|| black_box(explore_plain(&sys, &Budget::default()).states))
+        });
+    }
+
+    let inv = invalidate_refined(&InvalidateOptions { data_domain: Some(configs::DATA_DOMAIN) });
+    group.bench_function("invalidate/rendezvous/n2", |b| {
+        let sys = RendezvousSystem::new(&inv.spec, 2);
+        b.iter(|| black_box(explore_plain(&sys, &Budget::default()).states))
+    });
+    group.bench_function("invalidate/async/n2", |b| {
+        let sys = AsyncSystem::new(&inv, 2, AsyncConfig::default());
+        b.iter(|| black_box(explore_plain(&sys, &Budget::default()).states))
+    });
+
+    // The 64-node rendezvous scaling point of §5.
+    group.bench_function("migratory/rendezvous/n64", |b| {
+        let sys = RendezvousSystem::new(&mig.spec, 64);
+        b.iter(|| black_box(explore_plain(&sys, &Budget::default()).states))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+use ccr_core::text::to_text;
+use ccr_protocols::invalidate::{invalidate, InvalidateOptions};
+use ccr_protocols::migratory::{migratory, MigratoryOptions};
+use ccr_protocols::token::token;
+use ccr_protocols::update::{update, UpdateOptions};
+fn main() {
+    std::fs::write("specs/token.ccp", to_text(&token())).unwrap();
+    std::fs::write("specs/migratory.ccp", to_text(&migratory(&MigratoryOptions::checking()))).unwrap();
+    std::fs::write(
+        "specs/migratory_gated.ccp",
+        to_text(&migratory(&MigratoryOptions { data_domain: Some(2), cpu_gate: true })),
+    )
+    .unwrap();
+    std::fs::write(
+        "specs/invalidate.ccp",
+        to_text(&invalidate(&InvalidateOptions { data_domain: Some(2) })),
+    )
+    .unwrap();
+    std::fs::write(
+        "specs/update.ccp",
+        to_text(&update(&UpdateOptions { data_domain: Some(2) })),
+    )
+    .unwrap();
+    println!("specs written");
+}

@@ -1,0 +1,198 @@
+//! Strongly-typed identifiers used throughout the protocol IR.
+//!
+//! All identifiers are thin newtypes over small integers so that protocol
+//! states can be encoded compactly for the explicit-state model checker.
+
+use std::fmt;
+
+/// Identity of one remote (caching) node. Remote ids are dense: a system of
+/// `n` remotes uses ids `0..n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RemoteId(pub u32);
+
+impl RemoteId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RemoteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Identity of a process in the star topology: the home node or one remote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProcessId {
+    /// The home (directory) node — the hub of the star.
+    Home,
+    /// A remote node — a leaf of the star.
+    Remote(RemoteId),
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProcessId::Home => write!(f, "h"),
+            ProcessId::Remote(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+/// Index of a control state within a [`crate::process::Process`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(pub u32);
+
+impl StateId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// An interned message type ("enumerated constant" in the paper's CSP
+/// notation), e.g. `req`, `gr`, `inv`, `ID`, `LR`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MsgType(pub u32);
+
+impl MsgType {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MsgType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Index of a local variable within a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Identifies one branch (guard alternative) of one state: `(state, index)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BranchId {
+    /// The state the branch belongs to.
+    pub state: StateId,
+    /// The index of the branch within [`crate::process::State::branches`].
+    pub index: u32,
+}
+
+impl fmt::Display for BranchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.state, self.index)
+    }
+}
+
+/// A simple name interner shared by message types so diagnostics and DOT
+/// output can print human-readable names.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SymbolTable {
+    names: Vec<String>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning the existing id if already present.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(pos) = self.names.iter().position(|n| n == name) {
+            return pos as u32;
+        }
+        self.names.push(name.to_owned());
+        (self.names.len() - 1) as u32
+    }
+
+    /// Looks up the name for `id`, if any.
+    pub fn name(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Looks up an id by name.
+    pub fn lookup(&self, name: &str) -> Option<u32> {
+        self.names.iter().position(|n| n == name).map(|p| p as u32)
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.names.iter().enumerate().map(|(i, n)| (i as u32, n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_id_display_and_index() {
+        let r = RemoteId(3);
+        assert_eq!(r.to_string(), "r3");
+        assert_eq!(r.index(), 3);
+    }
+
+    #[test]
+    fn process_id_display() {
+        assert_eq!(ProcessId::Home.to_string(), "h");
+        assert_eq!(ProcessId::Remote(RemoteId(1)).to_string(), "r1");
+    }
+
+    #[test]
+    fn symbol_table_interning_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("req");
+        let b = t.intern("gr");
+        let a2 = t.intern("req");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.name(a), Some("req"));
+        assert_eq!(t.lookup("gr"), Some(b));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn branch_id_display() {
+        let b = BranchId { state: StateId(2), index: 1 };
+        assert_eq!(b.to_string(), "s2#1");
+    }
+}

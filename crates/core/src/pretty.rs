@@ -1,0 +1,168 @@
+//! CSP-like textual rendering of specifications.
+//!
+//! Produces a human-readable listing in the paper's notation: `P!m(e)` for
+//! outputs, `P?m(v)` for inputs, `tau` for autonomous steps.
+
+use crate::expr::Expr;
+use crate::ids::VarId;
+use crate::process::{CommAction, Peer, Process, ProtocolSpec, StateKind};
+use std::fmt::Write as _;
+
+fn vname(p: &Process, v: VarId) -> String {
+    p.vars.get(v.index()).map(|d| d.name.clone()).unwrap_or_else(|| format!("{v}"))
+}
+
+/// Renders an expression with variable names resolved against `p`.
+pub fn render_expr(p: &Process, e: &Expr) -> String {
+    match e {
+        Expr::Var(v) => vname(p, *v),
+        Expr::Const(c) => c.to_string(),
+        Expr::SelfId => "self".into(),
+        Expr::Not(a) => format!("!({})", render_expr(p, a)),
+        Expr::And(a, b) => format!("({} && {})", render_expr(p, a), render_expr(p, b)),
+        Expr::Or(a, b) => format!("({} || {})", render_expr(p, a), render_expr(p, b)),
+        Expr::Eq(a, b) => format!("({} == {})", render_expr(p, a), render_expr(p, b)),
+        Expr::Ne(a, b) => format!("({} != {})", render_expr(p, a), render_expr(p, b)),
+        Expr::Lt(a, b) => format!("({} < {})", render_expr(p, a), render_expr(p, b)),
+        Expr::Add(a, b) => format!("({} + {})", render_expr(p, a), render_expr(p, b)),
+        Expr::Sub(a, b) => format!("({} - {})", render_expr(p, a), render_expr(p, b)),
+        Expr::Mod(a, b) => format!("({} % {})", render_expr(p, a), render_expr(p, b)),
+        Expr::MaskHas(a, b) => format!("({} in {})", render_expr(p, b), render_expr(p, a)),
+        Expr::MaskAdd(a, b) => format!("({} + {{{}}})", render_expr(p, a), render_expr(p, b)),
+        Expr::MaskDel(a, b) => format!("({} - {{{}}})", render_expr(p, a), render_expr(p, b)),
+        Expr::MaskIsEmpty(a) => format!("empty({})", render_expr(p, a)),
+        Expr::MaskFirst(a) => format!("first({})", render_expr(p, a)),
+    }
+}
+
+/// Renders a full specification.
+pub fn render_spec(spec: &ProtocolSpec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "protocol {} {{", spec.name);
+    render_process(spec, &spec.home, "home", &mut out);
+    render_process(spec, &spec.remote, "remote", &mut out);
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn render_process(spec: &ProtocolSpec, p: &Process, label: &str, out: &mut String) {
+    let _ = writeln!(out, "  {label} {} {{", p.name);
+    if !p.vars.is_empty() {
+        let vars: Vec<String> =
+            p.vars.iter().map(|v| format!("{} := {}", v.name, v.init)).collect();
+        let _ = writeln!(out, "    var {};", vars.join(", "));
+    }
+    for (si, st) in p.states.iter().enumerate() {
+        let kind = match st.kind {
+            StateKind::Communication => "state",
+            StateKind::Internal => "internal",
+        };
+        let init = if si == p.initial.index() { " (initial)" } else { "" };
+        let _ = writeln!(out, "    {kind} {}{init}:", st.name);
+        for br in &st.branches {
+            let mut line = String::from("      ");
+            if let Some(g) = &br.guard {
+                let _ = write!(line, "[{}] ", render_expr(p, g));
+            }
+            let _ = write!(line, "{}", render_action_in(spec, p, &br.action));
+            if let Some(tag) = &br.tag {
+                let _ = write!(line, " #{tag}");
+            }
+            for (v, e) in &br.assigns {
+                let _ = write!(line, "; {} := {}", vname(p, *v), render_expr(p, e));
+            }
+            let tgt = p.state(br.target).map(|s| s.name.as_str()).unwrap_or("?");
+            let _ = writeln!(out, "{line} -> {tgt}");
+        }
+    }
+    let _ = writeln!(out, "  }}");
+}
+
+/// Renders a single action in CSP notation with names resolved against
+/// the owning process.
+pub fn render_action_in(spec: &ProtocolSpec, p: &Process, a: &CommAction) -> String {
+    match a {
+        CommAction::Tau => "tau".to_string(),
+        CommAction::Send { to, msg, payload } => {
+            let peer = render_peer(p, to);
+            let m = spec.msg_name(*msg);
+            match payload {
+                Some(e) => format!("{peer}!{m}({})", render_expr(p, e)),
+                None => format!("{peer}!{m}"),
+            }
+        }
+        CommAction::Recv { from, msg, bind } => {
+            let peer = render_peer(p, from);
+            let m = spec.msg_name(*msg);
+            match bind {
+                Some(v) => format!("{peer}?{m}({})", vname(p, *v)),
+                None => format!("{peer}?{m}"),
+            }
+        }
+    }
+}
+
+/// Renders a single action against the home process (kept for callers that
+/// lack process context, e.g. DOT edge labels).
+pub fn render_action(spec: &ProtocolSpec, a: &CommAction) -> String {
+    render_action_in(spec, &spec.home, a)
+}
+
+fn render_peer(p: &Process, peer: &Peer) -> String {
+    match peer {
+        Peer::Home => "h".to_string(),
+        Peer::Remote(e) => format!("r({})", render_expr(p, e)),
+        Peer::AnyRemote { bind: Some(v) } => format!("r({})", vname(p, *v)),
+        Peer::AnyRemote { bind: None } => "r(i)".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProtocolBuilder;
+    use crate::expr::Expr;
+    use crate::ids::RemoteId;
+    use crate::value::Value;
+
+    #[test]
+    fn renders_token_protocol() {
+        let mut b = ProtocolBuilder::new("token");
+        let req = b.msg("req");
+        let o = b.home_var("o", Value::Node(RemoteId(0)));
+        let f = b.home_state("F");
+        let g = b.home_state("G");
+        b.home(f).recv_any(req).bind_sender(o).goto(g);
+        b.home(g).send_to(Expr::Var(o), req).payload(Expr::int(1)).goto(f);
+        let i = b.remote_state("I");
+        let w = b.remote_state("W");
+        b.remote(i).send(req).goto(w);
+        b.remote(w).recv(req).goto(i);
+        let spec = b.finish_unchecked().unwrap();
+        let text = render_spec(&spec);
+        assert!(text.contains("protocol token"));
+        assert!(text.contains("r(o)?req"));
+        assert!(text.contains("r(o)!req(1)"));
+        assert!(text.contains("h!req"));
+        assert!(text.contains("(initial)"));
+        assert!(text.contains("var o := r0;"));
+    }
+
+    #[test]
+    fn renders_tau_and_assigns() {
+        let mut b = ProtocolBuilder::new("t");
+        let m = b.msg("m");
+        let h = b.home_state("H");
+        b.home(h).recv_any(m).goto(h);
+        let r = b.remote_state("R");
+        let x = b.remote_var("x", Value::Int(0));
+        let i = b.remote_internal("STEP");
+        b.remote(r).tau().goto(i);
+        b.remote(i).tau().assign(x, Expr::add_mod(Expr::Var(x), Expr::int(1), 4)).goto(r);
+        let spec = b.finish_unchecked().unwrap();
+        let text = render_spec(&spec);
+        assert!(text.contains("tau"));
+        assert!(text.contains("x := ((x + 1) % 4)"));
+        assert!(text.contains("internal STEP"));
+    }
+}

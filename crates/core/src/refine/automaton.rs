@@ -1,0 +1,184 @@
+//! Explicit asynchronous automata produced by the refinement.
+//!
+//! These automata make the transient states *visible* — rendering the home
+//! automaton of the refined migratory protocol reproduces Figure 4 of the
+//! paper and the remote automaton reproduces Figure 5. They are also used
+//! for static analysis (counting states and message legs).
+
+use crate::ids::StateId;
+use std::fmt;
+
+/// Which process an automaton describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// The home (directory) node.
+    Home,
+    /// The remote template.
+    Remote,
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Role::Home => write!(f, "home"),
+            Role::Remote => write!(f, "remote"),
+        }
+    }
+}
+
+/// Kind of an asynchronous control state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ANodeKind {
+    /// A communication state inherited from the rendezvous protocol.
+    Comm(StateId),
+    /// An internal state inherited from the rendezvous protocol.
+    Internal(StateId),
+    /// A transient state introduced by refinement: the process has sent a
+    /// request for the rendezvous `(origin state, branch)` and is awaiting
+    /// an ack/nack (or the optimized reply).
+    Transient {
+        /// The communication state the request was issued from.
+        origin: StateId,
+        /// The output branch requested.
+        branch: u32,
+    },
+}
+
+/// A node of the asynchronous automaton.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ANode {
+    /// Display name, e.g. `"E"` or `"E~inv"` for a transient state.
+    pub name: String,
+    /// Classification.
+    pub kind: ANodeKind,
+}
+
+/// Classification of an edge of the asynchronous automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AEdgeKind {
+    /// Send a request for rendezvous (`!!msg`).
+    SendReq,
+    /// Receive a request and ack it (`??msg / !!ack`) — a completed
+    /// rendezvous in which this process is passive.
+    RecvReqAck,
+    /// Receive a request without acking (request/reply-optimized input).
+    RecvReqNoAck,
+    /// Receive an ack completing our own request (`??ack`).
+    RecvAck,
+    /// Receive the optimized reply completing our own request.
+    RecvReply,
+    /// Receive a nack; return to the communication state (`??nack`).
+    RecvNack,
+    /// Home only: a request from the awaited peer acts as an implicit nack
+    /// (rule R3 / Table 2 row T3).
+    ImplicitNack,
+    /// Remote only: a request from home arriving in a transient state is
+    /// ignored (Table 1 row T3, the `h??*` self-loop of Figure 5).
+    Ignore,
+    /// Send a nack for an unserviceable or unbufferable request.
+    SendNack,
+    /// Autonomous step.
+    Tau,
+}
+
+/// An edge of the asynchronous automaton.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AEdge {
+    /// Source node index.
+    pub from: usize,
+    /// Destination node index.
+    pub to: usize,
+    /// Human-readable label (uses `!!`/`??` per the paper's Figures 4–5).
+    pub label: String,
+    /// Classification.
+    pub kind: AEdgeKind,
+}
+
+/// An explicit asynchronous automaton for one role.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsyncAutomaton {
+    /// Role described.
+    pub role: Role,
+    /// Nodes; indices are referenced by [`AEdge`].
+    pub states: Vec<ANode>,
+    /// Edges.
+    pub edges: Vec<AEdge>,
+    /// Index of the initial node.
+    pub initial: usize,
+}
+
+impl AsyncAutomaton {
+    /// Number of transient states introduced by refinement.
+    pub fn transient_count(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|s| matches!(s.kind, ANodeKind::Transient { .. }))
+            .count()
+    }
+
+    /// Finds the node index of the non-transient image of a spec state.
+    pub fn node_of_spec(&self, s: StateId) -> Option<usize> {
+        self.states.iter().position(|n| match n.kind {
+            ANodeKind::Comm(id) | ANodeKind::Internal(id) => id == s,
+            ANodeKind::Transient { .. } => false,
+        })
+    }
+
+    /// Finds the transient node for an output branch, if one was created
+    /// (fire-and-forget sends have none).
+    pub fn transient_of(&self, origin: StateId, branch: u32) -> Option<usize> {
+        self.states.iter().position(|n| {
+            matches!(n.kind, ANodeKind::Transient { origin: o, branch: b } if o == origin && b == branch)
+        })
+    }
+
+    /// Outgoing edges of a node.
+    pub fn edges_from(&self, node: usize) -> impl Iterator<Item = &AEdge> {
+        self.edges.iter().filter(move |e| e.from == node)
+    }
+
+    /// Counts edges of a given kind.
+    pub fn count_edges(&self, kind: AEdgeKind) -> usize {
+        self.edges.iter().filter(|e| e.kind == kind).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> AsyncAutomaton {
+        AsyncAutomaton {
+            role: Role::Remote,
+            states: vec![
+                ANode { name: "I".into(), kind: ANodeKind::Comm(StateId(0)) },
+                ANode {
+                    name: "I~req".into(),
+                    kind: ANodeKind::Transient { origin: StateId(0), branch: 0 },
+                },
+                ANode { name: "V".into(), kind: ANodeKind::Comm(StateId(1)) },
+            ],
+            edges: vec![
+                AEdge { from: 0, to: 1, label: "h!!req".into(), kind: AEdgeKind::SendReq },
+                AEdge { from: 1, to: 2, label: "h??ack".into(), kind: AEdgeKind::RecvAck },
+                AEdge { from: 1, to: 0, label: "h??nack".into(), kind: AEdgeKind::RecvNack },
+                AEdge { from: 1, to: 1, label: "h??*".into(), kind: AEdgeKind::Ignore },
+            ],
+            initial: 0,
+        }
+    }
+
+    #[test]
+    fn automaton_queries() {
+        let a = tiny();
+        assert_eq!(a.transient_count(), 1);
+        assert_eq!(a.node_of_spec(StateId(1)), Some(2));
+        assert_eq!(a.node_of_spec(StateId(9)), None);
+        assert_eq!(a.transient_of(StateId(0), 0), Some(1));
+        assert_eq!(a.transient_of(StateId(0), 1), None);
+        assert_eq!(a.edges_from(1).count(), 3);
+        assert_eq!(a.count_edges(AEdgeKind::RecvNack), 1);
+        assert_eq!(Role::Home.to_string(), "home");
+        assert_eq!(Role::Remote.to_string(), "remote");
+    }
+}

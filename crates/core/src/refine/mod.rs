@@ -1,0 +1,345 @@
+//! The refinement procedure (paper §3): from rendezvous to asynchronous.
+//!
+//! [`refine`] takes a validated [`ProtocolSpec`] and produces a
+//! [`RefinedProtocol`]:
+//!
+//! * every rendezvous is split into a **request** and an **ack**/**nack**;
+//! * a **transient state** is introduced after every output guard, where
+//!   unexpected messages are absorbed (remote rules of Table 1, home rules
+//!   of Table 2, and the *implicit nack* rule R3);
+//! * syntactically safe `req;repl` pairs are detected (or supplied
+//!   explicitly) and their acks elided — the **request/reply optimization**
+//!   of §3.3;
+//! * explicit per-role [`AsyncAutomaton`]s are built, suitable for DOT
+//!   rendering (they regenerate Figures 4 and 5 of the paper) and for
+//!   static message-cost accounting.
+//!
+//! The *configuration-dependent* parts of Tables 1 and 2 — the home's
+//! bounded buffer with its reserved *progress* and *ack* slots, nack
+//! generation under buffer pressure, and retransmission — are interpreted
+//! by the executable semantics in `ccr-runtime`, which consumes the
+//! annotation tables produced here.
+
+mod automaton;
+mod build;
+mod reqrep;
+
+pub use automaton::{AEdge, AEdgeKind, ANode, ANodeKind, AsyncAutomaton, Role};
+pub use reqrep::{PairDirection, ReqRepPair};
+
+use crate::error::Result;
+use crate::ids::{MsgType, StateId};
+use crate::process::ProtocolSpec;
+use std::collections::{HashMap, HashSet};
+
+/// How request/reply pairs are chosen.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum ReqRepMode {
+    /// Detect all syntactically safe pairs automatically.
+    #[default]
+    Auto,
+    /// Do not apply the optimization (every rendezvous costs req+ack).
+    Off,
+    /// Use exactly these `(request, reply)` pairs, failing refinement if any
+    /// pair does not pass the safety check.
+    Explicit(Vec<(MsgType, MsgType)>),
+}
+
+/// Options controlling refinement.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RefineOptions {
+    /// Request/reply optimization mode (§3.3).
+    pub reqrep: ReqRepMode,
+}
+
+/// A branch key: `(state, branch index)`.
+pub type BranchKey = (StateId, u32);
+
+/// The result of refinement: the original spec plus everything the
+/// asynchronous executor and the DOT renderer need.
+#[derive(Debug, Clone)]
+pub struct RefinedProtocol {
+    /// The underlying rendezvous specification.
+    pub spec: ProtocolSpec,
+    /// Accepted request/reply pairs.
+    pub pairs: Vec<ReqRepPair>,
+    /// Explicit asynchronous automaton of the home node.
+    pub home: AsyncAutomaton,
+    /// Explicit asynchronous automaton of the remote template.
+    pub remote: AsyncAutomaton,
+    /// Remote `Send` branches that complete without awaiting an ack
+    /// (replies of home-requested pairs, e.g. `ID` in migratory).
+    pub remote_fire_forget: HashSet<BranchKey>,
+    /// Home `Send` branches that complete without awaiting an ack
+    /// (replies of remote-requested pairs, e.g. `gr` in migratory).
+    pub home_fire_forget: HashSet<BranchKey>,
+    /// Remote `Send` branches whose completion arrives as a *reply message*
+    /// rather than an ack: branch → expected reply type (e.g. `req → gr`).
+    pub remote_reply: HashMap<BranchKey, MsgType>,
+    /// Home `Send` branches whose completion arrives as a reply message
+    /// (e.g. `inv → ID`).
+    pub home_reply: HashMap<BranchKey, MsgType>,
+    /// Message types the home consumes without generating an ack (requests
+    /// of remote-requested pairs, e.g. `req`).
+    pub home_noack: HashSet<MsgType>,
+    /// Message types a remote consumes without generating an ack (requests
+    /// of home-requested pairs, e.g. `inv`).
+    pub remote_noack: HashSet<MsgType>,
+    /// Message types sent by remotes *without any completion wait at all* —
+    /// the hand-designed Avalanche baseline sends `LR` this way (the paper's
+    /// "dotted line" discussion in §5). Empty for derived protocols; the
+    /// baseline in `ccr-protocols` populates it via
+    /// [`RefinedProtocol::make_unacked`]. The home must always sink these
+    /// messages: the executor buffers them with an elastic allowance instead
+    /// of nacking and reports the peak occupancy.
+    pub unacked: HashSet<MsgType>,
+}
+
+impl RefinedProtocol {
+    /// Number of wire messages a successfully completed rendezvous on `msg`
+    /// costs in the derived protocol (ignoring nacks/retries): `2` for an
+    /// ordinary request+ack rendezvous, `1` when the message participates in
+    /// a request/reply pair (its ack is elided).
+    pub fn message_cost(&self, msg: MsgType) -> u32 {
+        if self.unacked.contains(&msg) {
+            return 1;
+        }
+        for p in &self.pairs {
+            if p.req == msg || p.repl == msg {
+                return 1;
+            }
+        }
+        2
+    }
+
+    /// Looks up an accepted pair by its request message.
+    pub fn pair_for_req(&self, req: MsgType) -> Option<&ReqRepPair> {
+        self.pairs.iter().find(|p| p.req == req)
+    }
+
+    /// Converts remote→home rendezvous on `msg` into *unacknowledged*
+    /// messages: the remote sends and proceeds immediately; the home
+    /// consumes without acking and must always sink the message. This is how
+    /// the hand-designed Avalanche migratory baseline treats `LR` (§5).
+    /// Returns an error if `msg` is not a remote-sent message or already
+    /// participates in a request/reply pair.
+    pub fn make_unacked(&mut self, msg: MsgType) -> Result<()> {
+        if self.pairs.iter().any(|p| p.req == msg || p.repl == msg) {
+            return Err(crate::error::CoreError::ReqRepUnsafe {
+                req: msg,
+                repl: msg,
+                reason: "message already participates in a request/reply pair".into(),
+            });
+        }
+        let keys = send_branches(&self.spec.remote, msg);
+        if keys.is_empty() {
+            return Err(crate::error::CoreError::ReqRepUnsafe {
+                req: msg,
+                repl: msg,
+                reason: "message is never sent by a remote".into(),
+            });
+        }
+        for key in keys {
+            self.remote_fire_forget.insert(key);
+        }
+        self.home_noack.insert(msg);
+        self.unacked.insert(msg);
+        Ok(())
+    }
+
+    /// Total static message cost of one instance of every rendezvous in the
+    /// spec — the metric the paper's "quality" criterion (1) refers to.
+    pub fn total_static_cost(&self) -> u32 {
+        let mut seen = HashSet::new();
+        let mut total = 0;
+        for p in [&self.spec.home, &self.spec.remote] {
+            for st in &p.states {
+                for br in &st.branches {
+                    if let Some(m) = br.action.msg() {
+                        if br.action.is_send() && seen.insert(m) {
+                            total += self.message_cost(m);
+                        }
+                    }
+                }
+            }
+        }
+        total
+    }
+}
+
+/// Refines `spec` into an asynchronous protocol.
+///
+/// `spec` must already satisfy [`crate::validate::validate`]; this function
+/// re-validates defensively and then:
+///
+/// 1. resolves the request/reply pairs per `opts.reqrep`;
+/// 2. derives the annotation tables consumed by the executor;
+/// 3. constructs the explicit per-role automata.
+pub fn refine(spec: &ProtocolSpec, opts: &RefineOptions) -> Result<RefinedProtocol> {
+    crate::validate::validate(spec)?;
+    let pairs = reqrep::resolve_pairs(spec, &opts.reqrep)?;
+
+    let mut remote_fire_forget = HashSet::new();
+    let mut home_fire_forget = HashSet::new();
+    let mut remote_reply = HashMap::new();
+    let mut home_reply = HashMap::new();
+    let mut home_noack = HashSet::new();
+    let mut remote_noack = HashSet::new();
+
+    for pair in &pairs {
+        match pair.direction {
+            PairDirection::RemoteRequests => {
+                home_noack.insert(pair.req);
+                for key in send_branches(&spec.remote, pair.req) {
+                    remote_reply.insert(key, pair.repl);
+                }
+                for key in send_branches(&spec.home, pair.repl) {
+                    home_fire_forget.insert(key);
+                }
+            }
+            PairDirection::HomeRequests => {
+                remote_noack.insert(pair.req);
+                for key in send_branches(&spec.home, pair.req) {
+                    home_reply.insert(key, pair.repl);
+                }
+                for key in send_branches(&spec.remote, pair.repl) {
+                    remote_fire_forget.insert(key);
+                }
+            }
+        }
+    }
+
+    let annotations = build::Annotations {
+        remote_fire_forget: &remote_fire_forget,
+        home_fire_forget: &home_fire_forget,
+        remote_reply: &remote_reply,
+        home_reply: &home_reply,
+        home_noack: &home_noack,
+        remote_noack: &remote_noack,
+    };
+    let home = build::build_automaton(spec, Role::Home, &annotations);
+    let remote = build::build_automaton(spec, Role::Remote, &annotations);
+
+    Ok(RefinedProtocol {
+        spec: spec.clone(),
+        pairs,
+        home,
+        remote,
+        remote_fire_forget,
+        home_fire_forget,
+        remote_reply,
+        home_reply,
+        home_noack,
+        remote_noack,
+        unacked: HashSet::new(),
+    })
+}
+
+/// All `Send` branches of `p` carrying message `msg`.
+fn send_branches(p: &crate::process::Process, msg: MsgType) -> Vec<BranchKey> {
+    let mut out = Vec::new();
+    for (sidx, st) in p.states.iter().enumerate() {
+        for (bidx, br) in st.branches.iter().enumerate() {
+            if let crate::process::CommAction::Send { msg: m, .. } = &br.action {
+                if *m == msg {
+                    out.push((StateId(sidx as u32), bidx as u32));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProtocolBuilder;
+
+    /// Remote asks home for a token (`req`), home replies `gr`; remote
+    /// releases with `rel` (plain rendezvous). `req/gr` should be detected
+    /// as a request/reply pair; `rel` should not.
+    fn token_spec() -> ProtocolSpec {
+        let mut b = ProtocolBuilder::new("token");
+        let req = b.msg("req");
+        let gr = b.msg("gr");
+        let rel = b.msg("rel");
+        let o = b.home_var("o", crate::value::Value::Node(crate::ids::RemoteId(0)));
+
+        let f = b.home_state("F");
+        let g1 = b.home_state("G1");
+        let e = b.home_state("E");
+        b.home(f).recv_any(req).bind_sender(o).goto(g1);
+        b.home(g1).send_to(crate::expr::Expr::Var(o), gr).goto(e);
+        b.home(e).recv_exact(rel, crate::expr::Expr::Var(o)).goto(f);
+
+        let i = b.remote_state("I");
+        let w = b.remote_state("W");
+        let v = b.remote_state("V");
+        b.remote(i).send(req).goto(w);
+        b.remote(w).recv(gr).goto(v);
+        b.remote(v).send(rel).goto(i);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn detects_req_gr_pair_and_costs() {
+        let spec = token_spec();
+        let refined = refine(&spec, &RefineOptions::default()).unwrap();
+        assert_eq!(refined.pairs.len(), 1);
+        let p = &refined.pairs[0];
+        assert_eq!(spec.msg_name(p.req), "req");
+        assert_eq!(spec.msg_name(p.repl), "gr");
+        assert_eq!(p.direction, PairDirection::RemoteRequests);
+        assert_eq!(refined.message_cost(p.req), 1);
+        assert_eq!(refined.message_cost(p.repl), 1);
+        let rel = spec.msg_by_name("rel").unwrap();
+        assert_eq!(refined.message_cost(rel), 2);
+        // req(1) + gr(1) + rel(2)
+        assert_eq!(refined.total_static_cost(), 4);
+    }
+
+    #[test]
+    fn off_mode_disables_pairs() {
+        let spec = token_spec();
+        let refined = refine(&spec, &RefineOptions { reqrep: ReqRepMode::Off }).unwrap();
+        assert!(refined.pairs.is_empty());
+        assert_eq!(refined.total_static_cost(), 6);
+        assert!(refined.home_noack.is_empty());
+        assert!(refined.home_fire_forget.is_empty());
+    }
+
+    #[test]
+    fn annotation_tables_are_consistent() {
+        let spec = token_spec();
+        let refined = refine(&spec, &RefineOptions::default()).unwrap();
+        let req = spec.msg_by_name("req").unwrap();
+        let gr = spec.msg_by_name("gr").unwrap();
+        assert!(refined.home_noack.contains(&req));
+        // The remote's single req-send branch expects gr as its completion.
+        assert_eq!(refined.remote_reply.len(), 1);
+        assert!(refined.remote_reply.values().all(|&m| m == gr));
+        // The home's gr-send is fire-and-forget.
+        assert_eq!(refined.home_fire_forget.len(), 1);
+        assert!(refined.remote_noack.is_empty());
+        assert!(refined.home_reply.is_empty());
+    }
+
+    #[test]
+    fn explicit_mode_rejects_unsafe_pair() {
+        let spec = token_spec();
+        let req = spec.msg_by_name("req").unwrap();
+        let rel = spec.msg_by_name("rel").unwrap();
+        let opts = RefineOptions { reqrep: ReqRepMode::Explicit(vec![(rel, req)]) };
+        assert!(refine(&spec, &opts).is_err());
+    }
+
+    #[test]
+    fn pair_for_req_lookup() {
+        let spec = token_spec();
+        let refined = refine(&spec, &RefineOptions::default()).unwrap();
+        let req = spec.msg_by_name("req").unwrap();
+        let rel = spec.msg_by_name("rel").unwrap();
+        assert!(refined.pair_for_req(req).is_some());
+        assert!(refined.pair_for_req(rel).is_none());
+    }
+}

@@ -1,0 +1,214 @@
+//! Runtime values and variable environments.
+//!
+//! The value domain is deliberately small — the paper's protocols carry
+//! either no payload, a node identity (the requester recorded by the home
+//! node), or an abstract "data" token which we model as a small integer so
+//! the model checker can verify data integrity with a bounded state space.
+
+use crate::ids::RemoteId;
+use std::fmt;
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// The unit value (message with no payload).
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A small integer; used to model cache-line data abstractly.
+    Int(i64),
+    /// A node identity (e.g. the `o` owner variable of the migratory home).
+    Node(RemoteId),
+    /// A set of remote nodes as a bitmask (e.g. the sharer set of a
+    /// write-invalidate directory). Supports up to 64 remotes.
+    Mask(u64),
+}
+
+impl Value {
+    /// Interprets the value as a boolean, if it is one.
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as an integer, if it is one.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as a node id, if it is one.
+    pub fn as_node(self) -> Option<RemoteId> {
+        match self {
+            Value::Node(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as a node-set mask, if it is one.
+    pub fn as_mask(self) -> Option<u64> {
+        match self {
+            Value::Mask(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Compact byte encoding used by the model checker's state store.
+    pub fn encode(self, out: &mut Vec<u8>) {
+        match self {
+            Value::Unit => out.push(0),
+            Value::Bool(false) => out.push(1),
+            Value::Bool(true) => out.push(2),
+            Value::Int(i) => {
+                if let Ok(b) = i8::try_from(i) {
+                    // Small integers (data values, counters) dominate; a
+                    // one-byte form keeps model-checker state keys compact.
+                    out.push(6);
+                    out.push(b as u8);
+                } else {
+                    out.push(3);
+                    out.extend_from_slice(&i.to_le_bytes());
+                }
+            }
+            Value::Node(n) => {
+                out.push(4);
+                out.extend_from_slice(&(n.0 as u16).to_le_bytes());
+            }
+            Value::Mask(m) => {
+                out.push(5);
+                out.extend_from_slice(&m.to_le_bytes());
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Node(n) => write!(f, "{n}"),
+            Value::Mask(m) => write!(f, "{{0b{m:b}}}"),
+        }
+    }
+}
+
+/// A variable environment: one value slot per declared variable of a process.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Env {
+    slots: Vec<Value>,
+}
+
+impl Env {
+    /// Creates an environment from initial values.
+    pub fn new(initial: Vec<Value>) -> Self {
+        Self { slots: initial }
+    }
+
+    /// Reads variable `idx`.
+    #[inline]
+    pub fn get(&self, idx: usize) -> Option<Value> {
+        self.slots.get(idx).copied()
+    }
+
+    /// Writes variable `idx`. Returns `false` if out of range.
+    #[inline]
+    pub fn set(&mut self, idx: usize, v: Value) -> bool {
+        match self.slots.get_mut(idx) {
+            Some(slot) => {
+                *slot = v;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of variable slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the environment has no variables.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Iterates over the values.
+    pub fn values(&self) -> impl Iterator<Item = Value> + '_ {
+        self.slots.iter().copied()
+    }
+
+    /// Compact byte encoding used by the model checker's state store.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        for v in &self.slots {
+            v.encode(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_accessor_and_encoding() {
+        assert_eq!(Value::Mask(0b101).as_mask(), Some(0b101));
+        assert_eq!(Value::Int(1).as_mask(), None);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        Value::Mask(1).encode(&mut a);
+        Value::Mask(2).encode(&mut b);
+        assert_ne!(a, b);
+        assert_eq!(Value::Mask(0b101).to_string(), "{0b101}");
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Node(RemoteId(2)).as_node(), Some(RemoteId(2)));
+        assert_eq!(Value::Unit.as_bool(), None);
+        assert_eq!(Value::Bool(true).as_int(), None);
+        assert_eq!(Value::Int(1).as_node(), None);
+    }
+
+    #[test]
+    fn env_get_set() {
+        let mut e = Env::new(vec![Value::Int(0), Value::Unit]);
+        assert_eq!(e.get(0), Some(Value::Int(0)));
+        assert!(e.set(0, Value::Int(5)));
+        assert_eq!(e.get(0), Some(Value::Int(5)));
+        assert!(!e.set(9, Value::Unit));
+        assert_eq!(e.get(9), None);
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn value_encodings_are_distinct() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        Value::Bool(false).encode(&mut a);
+        Value::Bool(true).encode(&mut b);
+        assert_ne!(a, b);
+
+        a.clear();
+        b.clear();
+        Value::Int(1).encode(&mut a);
+        Value::Node(RemoteId(1)).encode(&mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn env_encoding_reflects_contents() {
+        let e1 = Env::new(vec![Value::Int(1)]);
+        let e2 = Env::new(vec![Value::Int(2)]);
+        let (mut b1, mut b2) = (Vec::new(), Vec::new());
+        e1.encode(&mut b1);
+        e2.encode(&mut b2);
+        assert_ne!(b1, b2);
+    }
+}

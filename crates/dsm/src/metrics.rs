@@ -1,0 +1,105 @@
+//! Machine-level result reporting.
+
+use ccr_runtime::stats::MsgStats;
+use serde::Serialize;
+
+/// Outcome of a machine run, serializable for the experiment harness.
+#[derive(Debug, Clone, Serialize)]
+pub struct MachineReport {
+    /// Protocol name.
+    pub protocol: String,
+    /// Variant label (e.g. `"derived"`, `"derived-noopt"`, `"hand"`).
+    pub variant: String,
+    /// Number of remote nodes.
+    pub n: u32,
+    /// Steps executed.
+    pub steps: u64,
+    /// True if the machine wedged (no enabled transition).
+    pub deadlocked: bool,
+    /// Completed line acquisitions (the operations of interest).
+    pub ops: u64,
+    /// Total wire messages.
+    pub messages: u64,
+    /// Acks sent.
+    pub acks: u64,
+    /// Nacks sent (each implies a retransmission).
+    pub nacks: u64,
+    /// Messages per completed acquisition.
+    pub msgs_per_op: Option<f64>,
+    /// Jain fairness index over per-remote acquisitions.
+    pub fairness: Option<f64>,
+    /// Remotes that completed nothing.
+    pub starved: usize,
+}
+
+impl MachineReport {
+    /// Builds a report from raw counters.
+    pub fn from_stats(
+        protocol: &str,
+        variant: &str,
+        n: u32,
+        steps: u64,
+        deadlocked: bool,
+        ops: u64,
+        stats: &MsgStats,
+    ) -> Self {
+        Self {
+            protocol: protocol.to_owned(),
+            variant: variant.to_owned(),
+            n,
+            steps,
+            deadlocked,
+            ops,
+            messages: stats.total_messages(),
+            acks: stats.acks,
+            nacks: stats.nacks,
+            msgs_per_op: if ops == 0 {
+                None
+            } else {
+                Some(stats.total_messages() as f64 / ops as f64)
+            },
+            fairness: stats.jain_fairness(n as usize),
+            starved: stats.starved(n as usize),
+        }
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<12} {:<14} n={:<3} ops={:<7} msgs={:<8} acks={:<6} nacks={:<6} msgs/op={} fair={} starved={}",
+            self.protocol,
+            self.variant,
+            self.n,
+            self.ops,
+            self.messages,
+            self.acks,
+            self.nacks,
+            self.msgs_per_op.map(|x| format!("{x:.2}")).unwrap_or_else(|| "-".into()),
+            self.fairness.map(|x| format!("{x:.3}")).unwrap_or_else(|| "-".into()),
+            self.starved,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_from_empty_stats() {
+        let r = MachineReport::from_stats("migratory", "derived", 4, 100, false, 0, &MsgStats::new());
+        assert_eq!(r.msgs_per_op, None);
+        assert_eq!(r.starved, 4);
+        assert!(r.summary().contains("migratory"));
+    }
+
+    #[test]
+    fn report_computes_ratios() {
+        let mut stats = MsgStats::new();
+        stats.acks = 10;
+        stats.nacks = 2;
+        let r = MachineReport::from_stats("token", "derived", 2, 50, false, 6, &stats);
+        assert_eq!(r.messages, 12);
+        assert_eq!(r.msgs_per_op, Some(2.0));
+    }
+}

@@ -1,0 +1,198 @@
+//! Synthetic workloads: when do CPUs access, write and evict?
+//!
+//! A workload answers, per remote and per autonomous decision (`tau` branch
+//! tag), whether the decision should be enabled *now*. The machine harness
+//! filters the enabled transition set through the workload before the
+//! scheduler picks, so coherence traffic follows the intended sharing
+//! pattern. All workloads are seeded and reproducible.
+
+use ccr_core::ids::RemoteId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A workload policy over autonomous decisions.
+pub trait Workload {
+    /// Whether remote `r` should take the autonomous decision `tag`
+    /// (`"access"`, `"read"`, `"write"`, `"evict"`, ...) right now.
+    fn enable(&mut self, r: RemoteId, tag: &str) -> bool;
+}
+
+/// Migratory sharing: every node keeps contending for the line and holds it
+/// briefly (the access pattern the migratory protocol is designed for).
+#[derive(Debug)]
+pub struct Migrating {
+    rng: StdRng,
+    /// Probability an idle CPU starts an access when given the chance.
+    pub access_prob: f64,
+    /// Probability a holder evicts when given the chance.
+    pub evict_prob: f64,
+}
+
+impl Migrating {
+    /// Creates the workload with the given probabilities.
+    pub fn new(seed: u64, access_prob: f64, evict_prob: f64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed), access_prob, evict_prob }
+    }
+}
+
+impl Workload for Migrating {
+    fn enable(&mut self, _r: RemoteId, tag: &str) -> bool {
+        match tag {
+            "access" | "read" | "write" => self.rng.random_bool(self.access_prob),
+            "evict" => self.rng.random_bool(self.evict_prob),
+            _ => true,
+        }
+    }
+}
+
+/// Producer/consumer: one producer writes, everyone else only reads.
+/// Meaningful for the invalidate protocol (readers share copies).
+#[derive(Debug)]
+pub struct ProducerConsumer {
+    rng: StdRng,
+    /// The writing node.
+    pub producer: RemoteId,
+    /// Probability of starting an access.
+    pub access_prob: f64,
+    /// Probability of evicting a held copy.
+    pub evict_prob: f64,
+}
+
+impl ProducerConsumer {
+    /// Creates the workload.
+    pub fn new(seed: u64, producer: RemoteId, access_prob: f64, evict_prob: f64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed), producer, access_prob, evict_prob }
+    }
+}
+
+impl Workload for ProducerConsumer {
+    fn enable(&mut self, r: RemoteId, tag: &str) -> bool {
+        match tag {
+            "write" if r != self.producer => false,
+            "read" if r == self.producer => false,
+            "access" | "read" | "write" => self.rng.random_bool(self.access_prob),
+            "evict" => self.rng.random_bool(self.evict_prob),
+            _ => true,
+        }
+    }
+}
+
+/// Read-mostly: everyone reads; a configurable fraction of accesses are
+/// writes. The regime where the invalidate protocol beats migratory.
+#[derive(Debug)]
+pub struct ReadMostly {
+    rng: StdRng,
+    /// Fraction of accesses that are writes (0.0–1.0).
+    pub write_ratio: f64,
+    /// Probability of starting an access.
+    pub access_prob: f64,
+    /// Probability of evicting.
+    pub evict_prob: f64,
+}
+
+impl ReadMostly {
+    /// Creates the workload.
+    pub fn new(seed: u64, write_ratio: f64, access_prob: f64, evict_prob: f64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed), write_ratio, access_prob, evict_prob }
+    }
+}
+
+impl Workload for ReadMostly {
+    fn enable(&mut self, _r: RemoteId, tag: &str) -> bool {
+        match tag {
+            "read" | "access" => self.rng.random_bool(self.access_prob * (1.0 - self.write_ratio)),
+            "write" => self.rng.random_bool(self.access_prob * self.write_ratio),
+            "evict" => self.rng.random_bool(self.evict_prob),
+            _ => true,
+        }
+    }
+}
+
+/// Hot-spot: one node hammers the line; the others touch it rarely. The
+/// §6 starvation scenario — under an adversarial scheduler the cold nodes
+/// can be nacked forever.
+#[derive(Debug)]
+pub struct HotSpot {
+    rng: StdRng,
+    /// The hot node.
+    pub hot: RemoteId,
+    /// Access probability of the hot node.
+    pub hot_prob: f64,
+    /// Access probability of every other node.
+    pub cold_prob: f64,
+}
+
+impl HotSpot {
+    /// Creates the workload.
+    pub fn new(seed: u64, hot: RemoteId, hot_prob: f64, cold_prob: f64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed), hot, hot_prob, cold_prob }
+    }
+}
+
+impl Workload for HotSpot {
+    fn enable(&mut self, r: RemoteId, tag: &str) -> bool {
+        let p = if r == self.hot { self.hot_prob } else { self.cold_prob };
+        match tag {
+            "access" | "read" | "write" => self.rng.random_bool(p),
+            "evict" => self.rng.random_bool(0.5),
+            _ => true,
+        }
+    }
+}
+
+/// Enables everything — the unconstrained workload used by stress tests.
+#[derive(Debug, Default)]
+pub struct Always;
+
+impl Workload for Always {
+    fn enable(&mut self, _r: RemoteId, _tag: &str) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn producer_consumer_roles_are_enforced() {
+        let mut w = ProducerConsumer::new(1, RemoteId(0), 1.0, 0.5);
+        assert!(w.enable(RemoteId(0), "write"));
+        assert!(!w.enable(RemoteId(1), "write"));
+        assert!(!w.enable(RemoteId(0), "read"));
+        assert!(w.enable(RemoteId(1), "read"));
+        assert!(w.enable(RemoteId(1), "untagged-internal"));
+    }
+
+    #[test]
+    fn migrating_is_reproducible() {
+        let mut a = Migrating::new(7, 0.5, 0.5);
+        let mut b = Migrating::new(7, 0.5, 0.5);
+        for i in 0..100 {
+            let r = RemoteId(i % 4);
+            assert_eq!(a.enable(r, "access"), b.enable(r, "access"));
+        }
+    }
+
+    #[test]
+    fn read_mostly_rarely_writes() {
+        let mut w = ReadMostly::new(3, 0.1, 1.0, 0.1);
+        let writes = (0..1000).filter(|_| w.enable(RemoteId(0), "write")).count();
+        let reads = (0..1000).filter(|_| w.enable(RemoteId(0), "read")).count();
+        assert!(writes < reads, "writes={writes} reads={reads}");
+    }
+
+    #[test]
+    fn hot_spot_biases_access() {
+        let mut w = HotSpot::new(9, RemoteId(0), 0.9, 0.01);
+        let hot = (0..1000).filter(|_| w.enable(RemoteId(0), "access")).count();
+        let cold = (0..1000).filter(|_| w.enable(RemoteId(1), "access")).count();
+        assert!(hot > 10 * cold.max(1), "hot={hot} cold={cold}");
+    }
+
+    #[test]
+    fn always_enables_everything() {
+        let mut w = Always;
+        assert!(w.enable(RemoteId(3), "anything"));
+    }
+}

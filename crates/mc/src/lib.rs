@@ -1,0 +1,34 @@
+//! # ccr-mc — explicit-state model checking for coherence protocols
+//!
+//! The paper evaluates its refinement by *reachability analysis* with SPIN
+//! (§5, Table 3): the rendezvous protocols verify orders of magnitude
+//! faster than their asynchronous refinements. This crate is our SPIN
+//! substitute: an explicit-state engine over any
+//! [`ccr_runtime::TransitionSystem`], providing
+//!
+//! * [`search::explore`] — breadth-first reachability with state and memory
+//!   budgets (runs that exceed the budget report `Unfinished`, mirroring
+//!   the paper's 64 MB limit);
+//! * [`props`] — invariant checking (coherence safety) and deadlock
+//!   detection;
+//! * [`simrel::check_simulation`] — the Equation 1 soundness check: every
+//!   asynchronous transition maps under the §4 abstraction function to a
+//!   stutter or to a rendezvous transition;
+//! * [`progress::check_progress`] — livelock detection: from every
+//!   reachable state some rendezvous completion must remain reachable (the
+//!   §2.5 forward-progress criterion for "at least one remote").
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod progress;
+pub mod props;
+pub mod report;
+pub mod search;
+pub mod simrel;
+pub mod store;
+pub mod trace;
+
+pub use report::{ExploreReport, Outcome, ProgressReport, SimRelReport};
+pub use search::{explore, explore_dfs, Budget};
+pub use trace::{explore_traced, TracedReport};

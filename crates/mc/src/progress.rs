@@ -1,0 +1,213 @@
+//! Forward-progress (livelock) checking — the §2.5 criterion.
+//!
+//! The refinement promises that *some* remote always makes progress
+//! (weak fairness): no reachable asynchronous configuration may be one from
+//! which rendezvous completions become unreachable. We check the CTL-style
+//! property `AG EF complete`: explore the state graph, mark every state
+//! with an outgoing *completing* transition, and propagate reachability
+//! backwards; any state left unmarked is a livelock witness, and any state
+//! with no successors at all is a deadlock.
+
+use crate::report::ProgressReport;
+use crate::search::Budget;
+use crate::store::StateStore;
+use ccr_runtime::{Label, TransitionSystem};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Explores `sys` and checks that from every reachable state a completing
+/// transition remains reachable.
+///
+/// `is_progress` classifies labels as progress events; the default notion
+/// is `label.completes.is_some()`.
+pub fn check_progress<T: TransitionSystem>(
+    sys: &T,
+    budget: &Budget,
+    is_progress: impl Fn(&Label) -> bool,
+) -> ProgressReport {
+    let started = Instant::now();
+    let mut store = StateStore::new();
+    let mut frontier: VecDeque<T::State> = VecDeque::new();
+    let mut succs = Vec::new();
+    let mut enc = Vec::new();
+
+    // Forward exploration building the reverse graph.
+    let mut rev_edges: Vec<Vec<u32>> = Vec::new();
+    let mut has_progress_edge: Vec<bool> = Vec::new();
+    let mut has_successor: Vec<bool> = Vec::new();
+    let mut complete = true;
+
+    let init = sys.initial();
+    sys.encode(&init, &mut enc);
+    store.insert(&enc);
+    rev_edges.push(Vec::new());
+    has_progress_edge.push(false);
+    has_successor.push(false);
+    frontier.push_back(init);
+    let next_index_of = |store: &mut StateStore,
+                             enc: &[u8],
+                             rev_edges: &mut Vec<Vec<u32>>,
+                             has_progress_edge: &mut Vec<bool>,
+                             has_successor: &mut Vec<bool>| {
+        let (idx, is_new) = store.insert(enc);
+        if is_new {
+            rev_edges.push(Vec::new());
+            has_progress_edge.push(false);
+            has_successor.push(false);
+        }
+        (idx, is_new)
+    };
+
+    let mut queue_index = 0u32;
+    while let Some(state) = frontier.pop_front() {
+        let this_idx = queue_index;
+        queue_index += 1;
+        if sys.successors(&state, &mut succs).is_err() {
+            complete = false;
+            break;
+        }
+        for (label, next) in succs.drain(..) {
+            sys.encode(&next, &mut enc);
+            let (idx, is_new) =
+                next_index_of(&mut store, &enc, &mut rev_edges, &mut has_progress_edge, &mut has_successor);
+            has_successor[this_idx as usize] = true;
+            rev_edges[idx as usize].push(this_idx);
+            if is_progress(&label) {
+                has_progress_edge[this_idx as usize] = true;
+            }
+            if is_new {
+                if store.len() >= budget.max_states
+                    || store.approx_bytes() >= budget.max_bytes
+                    || budget.max_time.map(|t| started.elapsed() >= t).unwrap_or(false)
+                {
+                    complete = false;
+                    frontier.clear();
+                    break;
+                }
+                frontier.push_back(next);
+            }
+        }
+        if !complete {
+            break;
+        }
+    }
+
+    // Backward propagation from progress states.
+    let n = store.len();
+    let mut good = vec![false; n];
+    let mut bfs: VecDeque<u32> = VecDeque::new();
+    for (i, &p) in has_progress_edge.iter().enumerate().take(n) {
+        if p {
+            good[i] = true;
+            bfs.push_back(i as u32);
+        }
+    }
+    while let Some(i) = bfs.pop_front() {
+        for &p in &rev_edges[i as usize] {
+            if !good[p as usize] {
+                good[p as usize] = true;
+                bfs.push_back(p);
+            }
+        }
+    }
+
+    // Only states that were actually *expanded* (index < queue_index) have
+    // complete successor information; unexpanded frontier states are not
+    // judged.
+    let expanded = queue_index as usize;
+    let deadlocked = (0..expanded).filter(|&i| !has_successor[i]).count();
+    let livelocked =
+        (0..expanded).filter(|&i| has_successor[i] && !good[i]).count();
+
+    ProgressReport {
+        states: store.len(),
+        livelocked_states: livelocked,
+        deadlocked_states: deadlocked,
+        complete,
+    }
+}
+
+/// Convenience: progress = any completed rendezvous.
+pub fn check_progress_default<T: TransitionSystem>(sys: &T, budget: &Budget) -> ProgressReport {
+    check_progress(sys, budget, |l| l.completes.is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_core::builder::ProtocolBuilder;
+    use ccr_core::expr::Expr;
+    use ccr_core::ids::RemoteId;
+    use ccr_core::refine::{refine, RefineOptions};
+    use ccr_core::value::Value;
+    use ccr_runtime::asynch::{AsyncConfig, AsyncSystem};
+    use ccr_runtime::rendezvous::RendezvousSystem;
+
+    fn token_spec() -> ccr_core::process::ProtocolSpec {
+        let mut b = ProtocolBuilder::new("token");
+        let req = b.msg("req");
+        let gr = b.msg("gr");
+        let rel = b.msg("rel");
+        let o = b.home_var("o", Value::Node(RemoteId(0)));
+        let f = b.home_state("F");
+        let g1 = b.home_state("G1");
+        let e = b.home_state("E");
+        b.home(f).recv_any(req).bind_sender(o).goto(g1);
+        b.home(g1).send_to(Expr::Var(o), gr).goto(e);
+        b.home(e).recv_exact(rel, Expr::Var(o)).goto(f);
+        let i = b.remote_state("I");
+        let w = b.remote_state("W");
+        let v = b.remote_state("V");
+        b.remote(i).send(req).goto(w);
+        b.remote(w).recv(gr).goto(v);
+        b.remote(v).send(rel).goto(i);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn rendezvous_token_has_progress_everywhere() {
+        let spec = token_spec();
+        let sys = RendezvousSystem::new(&spec, 2);
+        let r = check_progress_default(&sys, &Budget::default());
+        assert!(r.complete);
+        assert!(r.holds(), "{r:?}");
+    }
+
+    #[test]
+    fn async_token_has_progress_with_minimal_buffer() {
+        let spec = token_spec();
+        let refined = refine(&spec, &RefineOptions::default()).unwrap();
+        let sys = AsyncSystem::new(&refined, 2, AsyncConfig::default());
+        let r = check_progress_default(&sys, &Budget::default());
+        assert!(r.complete, "exploration should finish: {r:?}");
+        assert!(r.holds(), "k=2 must preserve global progress: {r:?}");
+    }
+
+    #[test]
+    fn deadlocked_spec_is_flagged() {
+        let mut b = ProtocolBuilder::new("dead");
+        let m = b.msg("m");
+        let never = b.msg("never");
+        let h = b.home_state("H");
+        b.home(h).recv_any(m).goto(h);
+        let r0 = b.remote_state("R0");
+        let r1 = b.remote_state("R1");
+        b.remote(r0).send(m).goto(r1);
+        b.remote(r1).recv(never).goto(r0);
+        let spec = b.finish().unwrap();
+        let sys = RendezvousSystem::new(&spec, 1);
+        let r = check_progress_default(&sys, &Budget::default());
+        assert!(r.complete);
+        assert!(!r.holds());
+        assert!(r.deadlocked_states > 0);
+    }
+
+    #[test]
+    fn budget_marks_incomplete() {
+        let spec = token_spec();
+        let sys = RendezvousSystem::new(&spec, 3);
+        let r = check_progress_default(&sys, &Budget::states(2));
+        assert!(!r.complete);
+        assert!(!r.holds());
+    }
+}

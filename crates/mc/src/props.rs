@@ -1,0 +1,106 @@
+//! Invariant combinators over rendezvous and asynchronous configurations.
+//!
+//! Protocol-specific safety properties (e.g. the migratory single-owner
+//! invariant) are built from these helpers in `ccr-protocols`; the checker
+//! itself only needs `FnMut(&State) -> Option<String>`.
+
+use ccr_core::ids::StateId;
+use ccr_runtime::asynch::{AsyncState, RemotePhase};
+use ccr_runtime::rendezvous::RvState;
+use std::collections::HashSet;
+
+/// Invariant: at most `max` remotes simultaneously occupy a control state
+/// in `states` (rendezvous level).
+pub fn rv_at_most(
+    states: HashSet<StateId>,
+    max: usize,
+    what: &'static str,
+) -> impl FnMut(&RvState) -> Option<String> {
+    move |s: &RvState| {
+        let count = s.remotes.iter().filter(|r| states.contains(&r.state)).count();
+        if count > max {
+            Some(format!("{count} remotes {what} (allowed {max})"))
+        } else {
+            None
+        }
+    }
+}
+
+/// Invariant: at most `max` remotes occupy a control state in `states`
+/// (asynchronous level; a remote in a transient state is counted at its
+/// *origin* communication state only if `count_transients` is set).
+pub fn async_at_most(
+    states: HashSet<StateId>,
+    max: usize,
+    count_transients: bool,
+    what: &'static str,
+) -> impl FnMut(&AsyncState) -> Option<String> {
+    move |s: &AsyncState| {
+        let count = s
+            .remotes
+            .iter()
+            .filter(|r| match r.phase {
+                RemotePhase::At(st) => states.contains(&st),
+                RemotePhase::Awaiting { state, .. } => count_transients && states.contains(&state),
+            })
+            .count();
+        if count > max {
+            Some(format!("{count} remotes {what} (allowed {max})"))
+        } else {
+            None
+        }
+    }
+}
+
+/// Conjunction of two invariants: reports the first violation.
+pub fn both<S>(
+    mut a: impl FnMut(&S) -> Option<String>,
+    mut b: impl FnMut(&S) -> Option<String>,
+) -> impl FnMut(&S) -> Option<String> {
+    move |s: &S| a(s).or_else(|| b(s))
+}
+
+/// The always-true invariant.
+pub fn trivially<S>() -> impl FnMut(&S) -> Option<String> {
+    |_: &S| None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_core::value::Env;
+    use ccr_runtime::rendezvous::Local;
+
+    fn rv(states: &[u32]) -> RvState {
+        RvState {
+            home: Local { state: StateId(0), env: Env::new(vec![]) },
+            remotes: states
+                .iter()
+                .map(|&s| Local { state: StateId(s), env: Env::new(vec![]) })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn rv_at_most_counts() {
+        let mut inv = rv_at_most([StateId(2)].into_iter().collect(), 1, "own the line");
+        assert!(inv(&rv(&[0, 2])).is_none());
+        assert!(inv(&rv(&[2, 2])).is_some());
+    }
+
+    #[test]
+    fn both_reports_first() {
+        let a = rv_at_most([StateId(1)].into_iter().collect(), 0, "in S1");
+        let b = rv_at_most([StateId(2)].into_iter().collect(), 0, "in S2");
+        let mut c = both(a, b);
+        assert!(c(&rv(&[0])).is_none());
+        let msg = c(&rv(&[1, 2])).unwrap();
+        assert!(msg.contains("S1"));
+    }
+
+    #[test]
+    fn trivially_accepts_everything() {
+        let mut t = trivially::<RvState>();
+        assert!(t(&rv(&[9, 9, 9])).is_none());
+    }
+}

@@ -1,0 +1,157 @@
+//! Result structures produced by the checking algorithms.
+
+use ccr_runtime::RuntimeError;
+use std::time::Duration;
+
+/// How a search ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The full reachable state space was explored.
+    Complete,
+    /// The state or byte budget was exhausted first — the paper's
+    /// "Unfinished" entries in Table 3.
+    Unfinished,
+    /// An invariant was violated; carries a human-readable description.
+    InvariantViolated(String),
+    /// A deadlock (state with no successors) was found.
+    Deadlock,
+    /// The executor reported an error (a refinement-assumption violation).
+    RuntimeFailure(RuntimeError),
+}
+
+impl Outcome {
+    /// True for [`Outcome::Complete`].
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Outcome::Complete)
+    }
+}
+
+/// Statistics of a reachability run — the columns of Table 3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreReport {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Transitions traversed.
+    pub transitions: usize,
+    /// Wall time of the search.
+    pub elapsed: Duration,
+    /// Approximate memory used by the visited set, in bytes.
+    pub store_bytes: usize,
+    /// Maximum BFS frontier size.
+    pub peak_frontier: usize,
+    /// How the run ended.
+    pub outcome: Outcome,
+}
+
+impl ExploreReport {
+    /// Formats a Table 3-style cell: `states/seconds` or `Unfinished`.
+    pub fn table_cell(&self) -> String {
+        match &self.outcome {
+            Outcome::Complete => {
+                format!("{}/{:.2}", self.states, self.elapsed.as_secs_f64())
+            }
+            Outcome::Unfinished => "Unfinished".to_string(),
+            Outcome::InvariantViolated(d) => format!("Violated({d})"),
+            Outcome::Deadlock => "Deadlock".to_string(),
+            Outcome::RuntimeFailure(e) => format!("Error({e})"),
+        }
+    }
+}
+
+/// Result of the Equation 1 stuttering-simulation check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRelReport {
+    /// Asynchronous states examined.
+    pub async_states: usize,
+    /// Asynchronous transitions checked against Equation 1.
+    pub transitions_checked: usize,
+    /// Transitions that mapped to a stutter (`abs(q) == abs(q')`).
+    pub stutters: usize,
+    /// Transitions that mapped to a rendezvous step.
+    pub mapped_steps: usize,
+    /// First violation found, if any: description of the failing edge.
+    pub violation: Option<String>,
+    /// True when the underlying exploration finished within budget.
+    pub complete: bool,
+}
+
+impl SimRelReport {
+    /// True when no violation was found and exploration completed.
+    pub fn holds(&self) -> bool {
+        self.violation.is_none() && self.complete
+    }
+}
+
+/// Result of the forward-progress (livelock) check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgressReport {
+    /// Reachable states examined.
+    pub states: usize,
+    /// States from which no completion is reachable (livelock witnesses).
+    pub livelocked_states: usize,
+    /// Deadlocked states (no successors at all).
+    pub deadlocked_states: usize,
+    /// True when the underlying exploration finished within budget.
+    pub complete: bool,
+}
+
+impl ProgressReport {
+    /// The §2.5 criterion: from every reachable state, some rendezvous
+    /// completion remains possible.
+    pub fn holds(&self) -> bool {
+        self.complete && self.livelocked_states == 0 && self.deadlocked_states == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_cell_formats() {
+        let mut r = ExploreReport {
+            states: 54,
+            transitions: 100,
+            elapsed: Duration::from_millis(100),
+            store_bytes: 1024,
+            peak_frontier: 10,
+            outcome: Outcome::Complete,
+        };
+        assert_eq!(r.table_cell(), "54/0.10");
+        r.outcome = Outcome::Unfinished;
+        assert_eq!(r.table_cell(), "Unfinished");
+        r.outcome = Outcome::Deadlock;
+        assert_eq!(r.table_cell(), "Deadlock");
+        r.outcome = Outcome::InvariantViolated("two owners".into());
+        assert!(r.table_cell().contains("two owners"));
+        assert!(!r.outcome.is_complete());
+    }
+
+    #[test]
+    fn simrel_holds_logic() {
+        let mut r = SimRelReport {
+            async_states: 10,
+            transitions_checked: 20,
+            stutters: 15,
+            mapped_steps: 5,
+            violation: None,
+            complete: true,
+        };
+        assert!(r.holds());
+        r.violation = Some("edge".into());
+        assert!(!r.holds());
+    }
+
+    #[test]
+    fn progress_holds_logic() {
+        let mut r = ProgressReport {
+            states: 5,
+            livelocked_states: 0,
+            deadlocked_states: 0,
+            complete: true,
+        };
+        assert!(r.holds());
+        r.livelocked_states = 1;
+        assert!(!r.holds());
+    }
+}

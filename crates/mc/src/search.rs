@@ -1,0 +1,330 @@
+//! Breadth-first reachability analysis with budgets.
+//!
+//! This regenerates the measurements of the paper's Table 3: number of
+//! states visited and wall time, with a budget standing in for SPIN's 64 MB
+//! memory limit — exceeding it yields [`Outcome::Unfinished`], matching the
+//! paper's "Unfinished" table entries.
+
+use crate::report::{ExploreReport, Outcome};
+use crate::store::StateStore;
+use ccr_runtime::{Label, TransitionSystem};
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Resource limits for a search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum number of distinct states to visit.
+    pub max_states: usize,
+    /// Maximum approximate bytes of visited-set memory (the paper's runs
+    /// were limited to 64 MB).
+    pub max_bytes: usize,
+    /// Optional wall-clock limit.
+    pub max_time: Option<Duration>,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Self { max_states: usize::MAX, max_bytes: usize::MAX, max_time: None }
+    }
+}
+
+impl Budget {
+    /// Budget bounded by state count only.
+    pub fn states(n: usize) -> Self {
+        Self { max_states: n, ..Self::default() }
+    }
+
+    /// Budget bounded by approximate memory only (e.g. `64 << 20`).
+    pub fn bytes(b: usize) -> Self {
+        Self { max_bytes: b, ..Self::default() }
+    }
+
+    fn exceeded(&self, store: &StateStore, started: Instant) -> bool {
+        store.len() >= self.max_states
+            || store.approx_bytes() >= self.max_bytes
+            || self.max_time.map(|t| started.elapsed() >= t).unwrap_or(false)
+    }
+}
+
+/// Explores the reachable state space of `sys` breadth-first.
+///
+/// `invariant` is evaluated on every newly discovered state; returning
+/// `Some(description)` aborts with [`Outcome::InvariantViolated`]. When
+/// `check_deadlock` is set, a state with no successors aborts with
+/// [`Outcome::Deadlock`] (protocols in the paper's model run forever).
+pub fn explore<T: TransitionSystem>(
+    sys: &T,
+    budget: &Budget,
+    mut invariant: impl FnMut(&T::State) -> Option<String>,
+    check_deadlock: bool,
+) -> ExploreReport {
+    let started = Instant::now();
+    let mut store = StateStore::new();
+    let mut frontier: VecDeque<T::State> = VecDeque::new();
+    let mut succs: Vec<(Label, T::State)> = Vec::new();
+    let mut enc = Vec::new();
+    let mut transitions = 0usize;
+    let mut peak_frontier = 0usize;
+
+    let report = |store: &StateStore, transitions, peak_frontier, outcome, started: Instant| {
+        ExploreReport {
+            states: store.len(),
+            transitions,
+            elapsed: started.elapsed(),
+            store_bytes: store.approx_bytes(),
+            peak_frontier,
+            outcome,
+        }
+    };
+
+    let init = sys.initial();
+    sys.encode(&init, &mut enc);
+    store.insert(&enc);
+    if let Some(d) = invariant(&init) {
+        return report(&store, 0, 0, Outcome::InvariantViolated(d), started);
+    }
+    frontier.push_back(init);
+
+    while let Some(state) = frontier.pop_front() {
+        peak_frontier = peak_frontier.max(frontier.len() + 1);
+        if let Err(e) = sys.successors(&state, &mut succs) {
+            return report(&store, transitions, peak_frontier, Outcome::RuntimeFailure(e), started);
+        }
+        if check_deadlock && succs.is_empty() {
+            return report(&store, transitions, peak_frontier, Outcome::Deadlock, started);
+        }
+        for (_, next) in succs.drain(..) {
+            transitions += 1;
+            sys.encode(&next, &mut enc);
+            let (_, is_new) = store.insert(&enc);
+            if is_new {
+                if let Some(d) = invariant(&next) {
+                    return report(
+                        &store,
+                        transitions,
+                        peak_frontier,
+                        Outcome::InvariantViolated(d),
+                        started,
+                    );
+                }
+                if budget.exceeded(&store, started) {
+                    return report(&store, transitions, peak_frontier, Outcome::Unfinished, started);
+                }
+                frontier.push_back(next);
+            }
+        }
+    }
+
+    report(&store, transitions, peak_frontier, Outcome::Complete, started)
+}
+
+/// Convenience: explore with no invariant and no deadlock check.
+pub fn explore_plain<T: TransitionSystem>(sys: &T, budget: &Budget) -> ExploreReport {
+    explore(sys, budget, |_| None, false)
+}
+
+/// Depth-first exploration. Visits the same reachable set as [`explore`]
+/// (useful to cross-check the search itself, and as the lower-memory-
+/// frontier mode SPIN defaults to); counterexamples found by the BFS
+/// variant are shorter, so prefer [`crate::trace::explore_traced`] for
+/// debugging.
+pub fn explore_dfs<T: TransitionSystem>(
+    sys: &T,
+    budget: &Budget,
+    mut invariant: impl FnMut(&T::State) -> Option<String>,
+    check_deadlock: bool,
+) -> ExploreReport {
+    let started = Instant::now();
+    let mut store = StateStore::new();
+    let mut stack: Vec<T::State> = Vec::new();
+    let mut succs: Vec<(Label, T::State)> = Vec::new();
+    let mut enc = Vec::new();
+    let mut transitions = 0usize;
+    let mut peak = 0usize;
+
+    let report = |store: &StateStore, transitions, peak, outcome, started: Instant| ExploreReport {
+        states: store.len(),
+        transitions,
+        elapsed: started.elapsed(),
+        store_bytes: store.approx_bytes(),
+        peak_frontier: peak,
+        outcome,
+    };
+
+    let init = sys.initial();
+    sys.encode(&init, &mut enc);
+    store.insert(&enc);
+    if let Some(d) = invariant(&init) {
+        return report(&store, 0, 0, Outcome::InvariantViolated(d), started);
+    }
+    stack.push(init);
+
+    while let Some(state) = stack.pop() {
+        peak = peak.max(stack.len() + 1);
+        if let Err(e) = sys.successors(&state, &mut succs) {
+            return report(&store, transitions, peak, Outcome::RuntimeFailure(e), started);
+        }
+        if check_deadlock && succs.is_empty() {
+            return report(&store, transitions, peak, Outcome::Deadlock, started);
+        }
+        for (_, next) in succs.drain(..) {
+            transitions += 1;
+            sys.encode(&next, &mut enc);
+            let (_, is_new) = store.insert(&enc);
+            if is_new {
+                if let Some(d) = invariant(&next) {
+                    return report(&store, transitions, peak, Outcome::InvariantViolated(d), started);
+                }
+                if budget.exceeded(&store, started) {
+                    return report(&store, transitions, peak, Outcome::Unfinished, started);
+                }
+                stack.push(next);
+            }
+        }
+    }
+    report(&store, transitions, peak, Outcome::Complete, started)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_runtime::rendezvous::RendezvousSystem;
+    use ccr_core::builder::ProtocolBuilder;
+    use ccr_core::expr::Expr;
+    use ccr_core::ids::RemoteId;
+    use ccr_core::value::Value;
+
+    fn token_spec() -> ccr_core::process::ProtocolSpec {
+        let mut b = ProtocolBuilder::new("token");
+        let req = b.msg("req");
+        let gr = b.msg("gr");
+        let rel = b.msg("rel");
+        let o = b.home_var("o", Value::Node(RemoteId(0)));
+        let f = b.home_state("F");
+        let g1 = b.home_state("G1");
+        let e = b.home_state("E");
+        b.home(f).recv_any(req).bind_sender(o).goto(g1);
+        b.home(g1).send_to(Expr::Var(o), gr).goto(e);
+        b.home(e).recv_exact(rel, Expr::Var(o)).goto(f);
+        let i = b.remote_state("I");
+        let w = b.remote_state("W");
+        let v = b.remote_state("V");
+        b.remote(i).send(req).goto(w);
+        b.remote(w).recv(gr).goto(v);
+        b.remote(v).send(rel).goto(i);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn rendezvous_token_space_is_small_and_complete() {
+        let spec = token_spec();
+        let sys = RendezvousSystem::new(&spec, 2);
+        let r = explore_plain(&sys, &Budget::default());
+        assert!(r.outcome.is_complete());
+        // Hand count: home F/G1/E x owner x remote states, reachable subset.
+        // The exact number matters less than stability; pin it as a golden
+        // value to catch semantic regressions.
+        // (F,o=0) (G1,o=0) (G1,o=1) (E,o=0) (E,o=1) (F,o=1)
+        assert_eq!(r.states, 6, "reachable rendezvous states for 2 remotes");
+        assert!(r.transitions >= r.states - 1);
+    }
+
+    #[test]
+    fn budget_truncates_search() {
+        let spec = token_spec();
+        let sys = RendezvousSystem::new(&spec, 4);
+        let full = explore_plain(&sys, &Budget::default());
+        assert!(full.outcome.is_complete());
+        let r = explore_plain(&sys, &Budget::states(3));
+        assert_eq!(r.outcome, Outcome::Unfinished);
+        assert!(r.states < full.states);
+
+        let tiny = explore_plain(&sys, &Budget::bytes(64));
+        assert_eq!(tiny.outcome, Outcome::Unfinished);
+    }
+
+    #[test]
+    fn invariant_violation_is_reported() {
+        let spec = token_spec();
+        let sys = RendezvousSystem::new(&spec, 2);
+        let v = spec.remote.state_by_name("V").unwrap();
+        let r = explore(
+            &sys,
+            &Budget::default(),
+            |s| {
+                // Claim (falsely) that nobody ever reaches V.
+                if s.remotes.iter().any(|r| r.state == v) {
+                    Some("a remote reached V".into())
+                } else {
+                    None
+                }
+            },
+            false,
+        );
+        assert!(matches!(r.outcome, Outcome::InvariantViolated(_)));
+    }
+
+    #[test]
+    fn deadlock_detection_on_halting_spec() {
+        // A spec whose remote halts after one message: home keeps waiting
+        // but remote has a terminal-ish self-loop... we instead build a true
+        // deadlock: remote waits for a message home never sends.
+        let mut b = ProtocolBuilder::new("dead");
+        let m = b.msg("m");
+        let never = b.msg("never");
+        let h = b.home_state("H");
+        b.home(h).recv_any(m).goto(h);
+        let r0 = b.remote_state("R0");
+        let r1 = b.remote_state("R1");
+        b.remote(r0).send(m).goto(r1);
+        b.remote(r1).recv(never).goto(r0);
+        let spec = b.finish().unwrap();
+        let sys = RendezvousSystem::new(&spec, 1);
+        let r = explore(&sys, &Budget::default(), |_| None, true);
+        assert_eq!(r.outcome, Outcome::Deadlock);
+    }
+
+    #[test]
+    fn dfs_and_bfs_agree_on_the_reachable_set() {
+        let spec = token_spec();
+        for n in [1u32, 2, 3] {
+            let sys = RendezvousSystem::new(&spec, n);
+            let bfs = explore_plain(&sys, &Budget::default());
+            let dfs = explore_dfs(&sys, &Budget::default(), |_| None, false);
+            assert!(bfs.outcome.is_complete() && dfs.outcome.is_complete());
+            assert_eq!(bfs.states, dfs.states, "n={n}");
+            assert_eq!(bfs.transitions, dfs.transitions, "n={n}");
+        }
+    }
+
+    #[test]
+    fn dfs_detects_deadlock_too() {
+        let mut b = ProtocolBuilder::new("dead");
+        let m = b.msg("m");
+        let never = b.msg("never");
+        let h = b.home_state("H");
+        b.home(h).recv_any(m).goto(h);
+        let r0 = b.remote_state("R0");
+        let r1 = b.remote_state("R1");
+        b.remote(r0).send(m).goto(r1);
+        b.remote(r1).recv(never).goto(r0);
+        let spec = b.finish().unwrap();
+        let sys = RendezvousSystem::new(&spec, 1);
+        let r = explore_dfs(&sys, &Budget::default(), |_| None, true);
+        assert_eq!(r.outcome, Outcome::Deadlock);
+    }
+
+    #[test]
+    fn state_counts_grow_with_n() {
+        let spec = token_spec();
+        let mut last = 0;
+        for n in [1u32, 2, 4] {
+            let sys = RendezvousSystem::new(&spec, n);
+            let r = explore_plain(&sys, &Budget::default());
+            assert!(r.outcome.is_complete());
+            assert!(r.states > last, "n={n}: {} not > {last}", r.states);
+            last = r.states;
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! The visited-state store: a hash set over encoded states.
+//!
+//! States are stored by their canonical byte encodings. Hashing uses a
+//! local FxHash-style multiply-xor hasher (fast on short byte strings, per
+//! the Rust perf-book guidance) so the store adds no external dependency.
+//! The store tracks its approximate memory footprint so searches can
+//! enforce a byte budget the way the paper's SPIN runs enforced 64 MB.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FxHash-style 64-bit hasher: multiply-rotate over 8-byte words.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut last = [0u8; 8];
+            last[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(last));
+        }
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuild = BuildHasherDefault<FxHasher>;
+
+/// A visited set mapping encoded states to dense indices (the index order
+/// is discovery order, used by the progress checker to address states).
+#[derive(Debug, Default)]
+pub struct StateStore {
+    map: HashMap<Vec<u8>, u32, FxBuild>,
+    bytes: usize,
+}
+
+impl StateStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts an encoded state. Returns `(index, true)` if newly inserted
+    /// or `(existing index, false)` if already present.
+    pub fn insert(&mut self, enc: &[u8]) -> (u32, bool) {
+        if let Some(&idx) = self.map.get(enc) {
+            return (idx, false);
+        }
+        let idx = self.map.len() as u32;
+        // Key bytes + map entry overhead (key header 3 words + value + hash
+        // bucket), a deliberate slight overestimate.
+        self.bytes += enc.len() + 48;
+        self.map.insert(enc.to_vec(), idx);
+        (idx, true)
+    }
+
+    /// Looks up an encoded state.
+    pub fn get(&self, enc: &[u8]) -> Option<u32> {
+        self.map.get(enc).copied()
+    }
+
+    /// Number of distinct states stored.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no states are stored.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fxhash_differs_on_small_changes() {
+        let mut a = FxHasher::default();
+        a.write(b"hello world 1234");
+        let mut b = FxHasher::default();
+        b.write(b"hello world 1235");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn fxhash_handles_remainders() {
+        let mut a = FxHasher::default();
+        a.write(b"abc");
+        let mut b = FxHasher::default();
+        b.write(b"abd");
+        assert_ne!(a.finish(), b.finish());
+        // Empty write is fine.
+        let mut c = FxHasher::default();
+        c.write(b"");
+        let _ = c.finish();
+    }
+
+    #[test]
+    fn store_assigns_dense_indices() {
+        let mut st = StateStore::new();
+        let (i0, new0) = st.insert(b"s0");
+        let (i1, new1) = st.insert(b"s1");
+        let (i0b, new0b) = st.insert(b"s0");
+        assert!(new0 && new1 && !new0b);
+        assert_eq!(i0, 0);
+        assert_eq!(i1, 1);
+        assert_eq!(i0b, 0);
+        assert_eq!(st.len(), 2);
+        assert_eq!(st.get(b"s1"), Some(1));
+        assert_eq!(st.get(b"s2"), None);
+        assert!(st.approx_bytes() > 0);
+    }
+}

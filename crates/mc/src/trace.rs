@@ -1,0 +1,193 @@
+//! Counterexample extraction: reachability with parent tracking.
+//!
+//! When an invariant fails or a deadlock is found, a bare verdict is far
+//! less useful than the *path* that leads there — SPIN prints a trail, and
+//! so do we. [`explore_traced`] runs the same breadth-first search as
+//! [`crate::search::explore`] but keeps one parent pointer and transition
+//! label per state, reconstructing the shortest event trace to the first
+//! violation.
+
+use crate::report::Outcome;
+use crate::search::Budget;
+use crate::store::StateStore;
+use ccr_runtime::{Label, TransitionSystem};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// A reachability result carrying an optional counterexample trail.
+#[derive(Debug, Clone)]
+pub struct TracedReport {
+    /// States visited.
+    pub states: usize,
+    /// How the search ended.
+    pub outcome: Outcome,
+    /// For `InvariantViolated`/`Deadlock`: the labels along a shortest path
+    /// from the initial state to the offending state, in firing order.
+    pub trail: Option<Vec<Label>>,
+}
+
+impl TracedReport {
+    /// Formats a trail as SPIN-like numbered lines (`actor rule`), or a
+    /// note that none exists.
+    pub fn trail_text(&self) -> String {
+        match &self.trail {
+            None => "(no counterexample)".to_string(),
+            Some(labels) => labels
+                .iter()
+                .enumerate()
+                .map(|(i, l)| {
+                    let completes = l
+                        .completes
+                        .map(|(a, m)| format!(" completes {a}:{m}"))
+                        .unwrap_or_default();
+                    format!("{:>4}: {} [{}]{}", i + 1, l.actor, l.rule, completes)
+                })
+                .collect::<Vec<_>>()
+                .join("\n"),
+        }
+    }
+}
+
+/// Breadth-first exploration with parent tracking; returns the shortest
+/// trail to the first invariant violation or deadlock.
+pub fn explore_traced<T: TransitionSystem>(
+    sys: &T,
+    budget: &Budget,
+    mut invariant: impl FnMut(&T::State) -> Option<String>,
+    check_deadlock: bool,
+) -> TracedReport {
+    let started = Instant::now();
+    let mut store = StateStore::new();
+    let mut parents: Vec<Option<(u32, Label)>> = Vec::new();
+    let mut frontier: VecDeque<(T::State, u32)> = VecDeque::new();
+    let mut succs = Vec::new();
+    let mut enc = Vec::new();
+
+    let trail_to = |idx: u32, parents: &[Option<(u32, Label)>]| -> Vec<Label> {
+        let mut labels = Vec::new();
+        let mut cur = idx;
+        while let Some(Some((p, l))) = parents.get(cur as usize) {
+            labels.push(l.clone());
+            cur = *p;
+        }
+        labels.reverse();
+        labels
+    };
+
+    let init = sys.initial();
+    sys.encode(&init, &mut enc);
+    store.insert(&enc);
+    parents.push(None);
+    if let Some(d) = invariant(&init) {
+        return TracedReport {
+            states: 1,
+            outcome: Outcome::InvariantViolated(d),
+            trail: Some(Vec::new()),
+        };
+    }
+    frontier.push_back((init, 0));
+
+    while let Some((state, idx)) = frontier.pop_front() {
+        if let Err(e) = sys.successors(&state, &mut succs) {
+            return TracedReport {
+                states: store.len(),
+                outcome: Outcome::RuntimeFailure(e),
+                trail: Some(trail_to(idx, &parents)),
+            };
+        }
+        if check_deadlock && succs.is_empty() {
+            return TracedReport {
+                states: store.len(),
+                outcome: Outcome::Deadlock,
+                trail: Some(trail_to(idx, &parents)),
+            };
+        }
+        for (label, next) in succs.drain(..) {
+            sys.encode(&next, &mut enc);
+            let (nidx, is_new) = store.insert(&enc);
+            if !is_new {
+                continue;
+            }
+            parents.push(Some((idx, label.clone())));
+            if let Some(d) = invariant(&next) {
+                return TracedReport {
+                    states: store.len(),
+                    outcome: Outcome::InvariantViolated(d),
+                    trail: Some(trail_to(nidx, &parents)),
+                };
+            }
+            if store.len() >= budget.max_states
+                || store.approx_bytes() >= budget.max_bytes
+                || budget.max_time.map(|t| started.elapsed() >= t).unwrap_or(false)
+            {
+                return TracedReport {
+                    states: store.len(),
+                    outcome: Outcome::Unfinished,
+                    trail: None,
+                };
+            }
+            frontier.push_back((next, nidx));
+        }
+    }
+    TracedReport { states: store.len(), outcome: Outcome::Complete, trail: None }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_core::builder::ProtocolBuilder;
+    use ccr_runtime::rendezvous::RendezvousSystem;
+
+    fn deadlocking_spec() -> ccr_core::process::ProtocolSpec {
+        let mut b = ProtocolBuilder::new("dead");
+        let m = b.msg("m");
+        let never = b.msg("never");
+        let h = b.home_state("H");
+        b.home(h).recv_any(m).goto(h);
+        let r0 = b.remote_state("R0");
+        let r1 = b.remote_state("R1");
+        b.remote(r0).send(m).goto(r1);
+        b.remote(r1).recv(never).goto(r0);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn deadlock_trail_is_shortest() {
+        let spec = deadlocking_spec();
+        let sys = RendezvousSystem::new(&spec, 1);
+        let r = explore_traced(&sys, &Budget::default(), |_| None, true);
+        assert_eq!(r.outcome, Outcome::Deadlock);
+        assert!(r.trail_text().contains("rendezvous"));
+        let trail = r.trail.expect("trail");
+        // One rendezvous (m) leads straight to the stuck configuration.
+        assert_eq!(trail.len(), 1);
+    }
+
+    #[test]
+    fn violation_in_initial_state_has_empty_trail() {
+        let spec = deadlocking_spec();
+        let sys = RendezvousSystem::new(&spec, 1);
+        let r = explore_traced(&sys, &Budget::default(), |_| Some("always".into()), false);
+        assert!(matches!(r.outcome, Outcome::InvariantViolated(_)));
+        assert_eq!(r.trail.as_deref(), Some(&[][..]));
+        assert_eq!(r.trail_text(), "", "empty trail renders empty");
+    }
+
+    #[test]
+    fn complete_run_has_no_trail() {
+        let spec = deadlocking_spec();
+        let sys = RendezvousSystem::new(&spec, 1);
+        let r = explore_traced(&sys, &Budget::default(), |_| None, false);
+        assert_eq!(r.outcome, Outcome::Complete);
+        assert!(r.trail.is_none());
+        assert_eq!(r.trail_text(), "(no counterexample)");
+    }
+
+    #[test]
+    fn budget_yields_unfinished() {
+        let spec = deadlocking_spec();
+        let sys = RendezvousSystem::new(&spec, 3);
+        let r = explore_traced(&sys, &Budget::states(2), |_| None, false);
+        assert_eq!(r.outcome, Outcome::Unfinished);
+    }
+}

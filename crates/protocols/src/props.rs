@@ -1,0 +1,236 @@
+//! Coherence safety invariants for the bundled protocols.
+//!
+//! Each helper takes the protocol's spec (to resolve state names to ids)
+//! and returns a closure suitable for `ccr_mc::search::explore`. The
+//! rendezvous-level invariants are the strong ones; the asynchronous-level
+//! invariants restrict attention to settled (`At`) control states, since
+//! transient windows are exactly what the abstraction function accounts
+//! for — full asynchronous safety follows from the rendezvous invariant
+//! plus the Equation 1 check.
+
+use ccr_core::ids::StateId;
+use ccr_core::process::ProtocolSpec;
+use ccr_core::value::Value;
+use ccr_runtime::asynch::{AsyncState, RemotePhase};
+use ccr_runtime::rendezvous::RvState;
+
+fn remote_states(spec: &ProtocolSpec, names: &[&str]) -> Vec<StateId> {
+    names
+        .iter()
+        .map(|n| spec.remote.state_by_name(n).unwrap_or_else(|| panic!("missing remote state {n}")))
+        .collect()
+}
+
+/// Migratory, rendezvous level: at most one remote holds the line (`V`,
+/// `IDS` or `LRS`), and while the home is Free (`F`) nobody holds it.
+pub fn migratory_rv_invariant(
+    spec: &ProtocolSpec,
+) -> impl FnMut(&RvState) -> Option<String> {
+    let holders = remote_states(spec, &["V", "IDS", "LRS"]);
+    let f = spec.home.state_by_name("F").expect("home F");
+    move |s: &RvState| {
+        let holding: Vec<usize> = s
+            .remotes
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| holders.contains(&r.state))
+            .map(|(i, _)| i)
+            .collect();
+        if holding.len() > 1 {
+            return Some(format!("{} remotes hold the migratory line", holding.len()));
+        }
+        if s.home.state == f && !holding.is_empty() {
+            return Some("home is Free while a remote holds the line".into());
+        }
+        None
+    }
+}
+
+/// Migratory, asynchronous level: at most one remote is settled in a
+/// holder state.
+pub fn migratory_async_invariant(
+    spec: &ProtocolSpec,
+) -> impl FnMut(&AsyncState) -> Option<String> {
+    let holders = remote_states(spec, &["V", "IDS", "LRS"]);
+    move |s: &AsyncState| {
+        let count = s
+            .remotes
+            .iter()
+            .filter(|r| matches!(r.phase, RemotePhase::At(st) if holders.contains(&st)))
+            .count();
+        if count > 1 {
+            Some(format!("{count} remotes settled in migratory holder states"))
+        } else {
+            None
+        }
+    }
+}
+
+/// Invalidate, rendezvous level:
+/// * at most one remote in `M` (or the write-back/flush states);
+/// * no remote in `M` while any remote is in `Sh`;
+/// * every remote in `Sh` agrees with the home's data value (only when the
+///   spec tracks data);
+/// * the home-side sharer mask covers every remote in `Sh`.
+pub fn invalidate_rv_invariant(
+    spec: &ProtocolSpec,
+) -> impl FnMut(&RvState) -> Option<String> {
+    let writers = remote_states(spec, &["M", "IDS", "WBS"]);
+    let sh = spec.remote.state_by_name("Sh").expect("remote Sh");
+    let s_var = spec
+        .home
+        .vars
+        .iter()
+        .position(|v| v.name == "s")
+        .expect("home sharer mask");
+    let d_var = spec.home.vars.iter().position(|v| v.name == "d");
+    let data_var = spec.remote.vars.iter().position(|v| v.name == "data");
+    move |s: &RvState| {
+        let m_count = s.remotes.iter().filter(|r| writers.contains(&r.state)).count();
+        if m_count > 1 {
+            return Some(format!("{m_count} writers"));
+        }
+        let sharers: Vec<usize> = s
+            .remotes
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.state == sh)
+            .map(|(i, _)| i)
+            .collect();
+        if m_count > 0 && !sharers.is_empty() {
+            return Some("a writer coexists with read sharers".into());
+        }
+        if let Some(Value::Mask(mask)) = s.home.env.get(s_var) {
+            for &i in &sharers {
+                if mask & (1 << i) == 0 {
+                    return Some(format!("remote r{i} is in Sh but not in the sharer mask"));
+                }
+            }
+        }
+        if let (Some(dv), Some(rv)) = (d_var, data_var) {
+            if let Some(home_d) = s.home.env.get(dv) {
+                for &i in &sharers {
+                    if s.remotes[i].env.get(rv) != Some(home_d) {
+                        return Some(format!(
+                            "sharer r{i} disagrees with home data ({:?} vs {home_d})",
+                            s.remotes[i].env.get(rv)
+                        ));
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Invalidate, asynchronous level: at most one settled writer, and settled
+/// writers exclude settled sharers.
+pub fn invalidate_async_invariant(
+    spec: &ProtocolSpec,
+) -> impl FnMut(&AsyncState) -> Option<String> {
+    let m = spec.remote.state_by_name("M").expect("remote M");
+    let sh = spec.remote.state_by_name("Sh").expect("remote Sh");
+    move |s: &AsyncState| {
+        let settled = |st: StateId| {
+            s.remotes
+                .iter()
+                .filter(move |r| matches!(r.phase, RemotePhase::At(x) if x == st))
+                .count()
+        };
+        let writers = settled(m);
+        if writers > 1 {
+            return Some(format!("{writers} settled writers"));
+        }
+        if writers > 0 && settled(sh) > 0 {
+            return Some("settled writer coexists with settled sharer".into());
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invalidate::{invalidate, InvalidateOptions};
+    use crate::migratory::{migratory, MigratoryOptions};
+    use ccr_core::value::Env;
+    use ccr_runtime::rendezvous::Local;
+
+    #[test]
+    fn migratory_invariant_flags_two_holders() {
+        let spec = migratory(&MigratoryOptions::default());
+        let v = spec.remote.state_by_name("V").unwrap();
+        let e = spec.home.state_by_name("E").unwrap();
+        let mut inv = migratory_rv_invariant(&spec);
+        let good = RvState {
+            home: Local { state: e, env: spec.home.initial_env() },
+            remotes: vec![
+                Local { state: v, env: spec.remote.initial_env() },
+                Local { state: spec.remote.initial, env: spec.remote.initial_env() },
+            ],
+        };
+        assert!(inv(&good).is_none());
+        let bad = RvState {
+            home: Local { state: e, env: spec.home.initial_env() },
+            remotes: vec![
+                Local { state: v, env: spec.remote.initial_env() },
+                Local { state: v, env: spec.remote.initial_env() },
+            ],
+        };
+        assert!(inv(&bad).is_some());
+    }
+
+    #[test]
+    fn migratory_invariant_flags_free_home_with_holder() {
+        let spec = migratory(&MigratoryOptions::default());
+        let v = spec.remote.state_by_name("V").unwrap();
+        let f = spec.home.state_by_name("F").unwrap();
+        let mut inv = migratory_rv_invariant(&spec);
+        let bad = RvState {
+            home: Local { state: f, env: spec.home.initial_env() },
+            remotes: vec![Local { state: v, env: spec.remote.initial_env() }],
+        };
+        assert!(inv(&bad).is_some());
+    }
+
+    #[test]
+    fn invalidate_invariant_flags_writer_sharer_mix() {
+        let spec = invalidate(&InvalidateOptions::default());
+        let m = spec.remote.state_by_name("M").unwrap();
+        let sh = spec.remote.state_by_name("Sh").unwrap();
+        let e = spec.home.state_by_name("E").unwrap();
+        let mut inv = invalidate_rv_invariant(&spec);
+        let bad = RvState {
+            home: Local { state: e, env: spec.home.initial_env() },
+            remotes: vec![
+                Local { state: m, env: spec.remote.initial_env() },
+                Local { state: sh, env: spec.remote.initial_env() },
+            ],
+        };
+        assert!(inv(&bad).is_some());
+    }
+
+    #[test]
+    fn invalidate_invariant_checks_sharer_mask() {
+        let spec = invalidate(&InvalidateOptions::default());
+        let sh = spec.remote.state_by_name("Sh").unwrap();
+        let s_state = spec.home.state_by_name("S").unwrap();
+        let mut inv = invalidate_rv_invariant(&spec);
+        // Sharer r0 present but the mask is empty: violation.
+        let bad = RvState {
+            home: Local { state: s_state, env: spec.home.initial_env() },
+            remotes: vec![Local { state: sh, env: spec.remote.initial_env() }],
+        };
+        assert!(inv(&bad).is_some());
+        // With the mask recording r0 it passes.
+        let mut env = spec.home.initial_env();
+        let s_var = spec.home.vars.iter().position(|v| v.name == "s").unwrap();
+        env.set(s_var, Value::Mask(0b1));
+        let good = RvState {
+            home: Local { state: s_state, env },
+            remotes: vec![Local { state: sh, env: spec.remote.initial_env() }],
+        };
+        assert!(inv(&good).is_none());
+        let _ = Env::new(vec![]);
+    }
+}

@@ -1,0 +1,73 @@
+//! The bundled protocols round-trip exactly through the textual front end,
+//! and the parsed spec refines to the same asynchronous protocol.
+
+use ccr_core::refine::{refine, RefineOptions};
+use ccr_core::text::{parse, parse_validated, to_text};
+use ccr_protocols::invalidate::{invalidate, InvalidateOptions};
+use ccr_protocols::migratory::{migratory, MigratoryOptions};
+use ccr_protocols::token::token;
+use ccr_protocols::update::{update, UpdateOptions as UpdOptions};
+
+#[test]
+fn token_round_trips() {
+    let spec = token();
+    let text = to_text(&spec);
+    let parsed = parse_validated(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+    assert_eq!(parsed, spec);
+}
+
+#[test]
+fn migratory_round_trips_all_variants() {
+    for opts in [
+        MigratoryOptions::default(),
+        MigratoryOptions::checking(),
+        MigratoryOptions::checking_with_data(4),
+        MigratoryOptions { data_domain: Some(2), cpu_gate: true },
+    ] {
+        let spec = migratory(&opts);
+        let text = to_text(&spec);
+        let parsed = parse_validated(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(parsed, spec, "\n{text}");
+    }
+}
+
+#[test]
+fn invalidate_round_trips() {
+    for opts in [InvalidateOptions::default(), InvalidateOptions { data_domain: Some(2) }] {
+        let spec = invalidate(&opts);
+        let text = to_text(&spec);
+        let parsed = parse_validated(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(parsed, spec, "\n{text}");
+    }
+}
+
+#[test]
+fn parsed_spec_refines_identically() {
+    let spec = migratory(&MigratoryOptions::checking());
+    let parsed = parse(&to_text(&spec)).unwrap();
+    let a = refine(&spec, &RefineOptions::default()).unwrap();
+    let b = refine(&parsed, &RefineOptions::default()).unwrap();
+    assert_eq!(a.pairs, b.pairs);
+    assert_eq!(a.home, b.home);
+    assert_eq!(a.remote, b.remote);
+    assert_eq!(a.home_noack, b.home_noack);
+    assert_eq!(a.remote_reply, b.remote_reply);
+}
+
+#[test]
+fn update_round_trips() {
+    for opts in [UpdOptions::default(), UpdOptions { data_domain: Some(2) }] {
+        let spec = update(&opts);
+        let text = to_text(&spec);
+        let parsed = parse_validated(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(parsed, spec, "\n{text}");
+    }
+}
+
+#[test]
+fn text_is_idempotent() {
+    let spec = invalidate(&InvalidateOptions { data_domain: Some(2) });
+    let t1 = to_text(&spec);
+    let t2 = to_text(&parse(&t1).unwrap());
+    assert_eq!(t1, t2);
+}

@@ -1,0 +1,941 @@
+//! Asynchronous semantics of a refined protocol (paper §3, Tables 1 and 2).
+//!
+//! A global configuration holds, per process, the control state (a
+//! communication/internal state or a *transient* state recorded as
+//! `Awaiting`), the variable environment, and the buffers of the refinement:
+//!
+//! * each **remote** owns a one-slot buffer for a pending home request
+//!   (Table 1);
+//! * the **home** owns a bounded buffer of `k >= 2` messages with the
+//!   reservation discipline of §3.2 — the last free slot (the *progress
+//!   buffer*) only accepts requests that can complete a rendezvous in the
+//!   current communication state, and while the home waits in a transient
+//!   state one further slot (the *ack buffer*) is reserved for the awaited
+//!   remote's response;
+//! * messages travel on reliable in-order point-to-point [`crate::wire::Link`]s.
+//!
+//! Every row of the paper's two tables corresponds to a labelled transition
+//! here; labels carry the row name (`"C1"`, `"T3"`, ...) for traces.
+
+use crate::error::{Result, RuntimeError};
+use crate::system::{Label, LabelKind, SentMsg, TransitionSystem};
+use crate::wire::{Link, Wire};
+use ccr_core::expr::EvalCtx;
+use ccr_core::ids::{MsgType, ProcessId, RemoteId, StateId};
+use ccr_core::process::{Branch, CommAction, Peer, ProtocolSpec, StateKind};
+use ccr_core::refine::RefinedProtocol;
+use ccr_core::value::{Env, Value};
+
+/// Execution parameters of the asynchronous semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsyncConfig {
+    /// Home buffer capacity `k` (paper §3.2 requires `k >= 2`).
+    pub home_buffer: usize,
+    /// Per-link capacity bound standing in for the paper's infinite
+    /// network buffering; exceeding it is a checked error, not silent loss.
+    pub link_capacity: usize,
+    /// Extra home-buffer slots available *only* to unacknowledged messages
+    /// (the hand-written baseline's `LR`); irrelevant for derived protocols.
+    pub unacked_allowance: usize,
+    /// Hand-baseline mode: a buffered home request that matches no guard of
+    /// the remote's current state is silently dropped instead of nacked
+    /// (the stale-`inv` race of the Avalanche hand design).
+    pub drop_unmatched: bool,
+}
+
+impl Default for AsyncConfig {
+    fn default() -> Self {
+        Self { home_buffer: 2, link_capacity: 4, unacked_allowance: 0, drop_unmatched: false }
+    }
+}
+
+impl AsyncConfig {
+    /// Config with a given home buffer capacity.
+    pub fn with_home_buffer(k: usize) -> Self {
+        Self { home_buffer: k, ..Self::default() }
+    }
+}
+
+/// A request parked in the home buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufEntry {
+    /// Sender.
+    pub from: RemoteId,
+    /// Requested message type.
+    pub msg: MsgType,
+    /// Payload.
+    pub val: Option<Value>,
+}
+
+/// Control phase of the home node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HomePhase {
+    /// At a communication or internal state of the spec.
+    At(StateId),
+    /// In the transient state for output branch `branch` of `state`,
+    /// awaiting an ack/nack (or optimized reply) from `target`.
+    Awaiting {
+        /// Origin communication state.
+        state: StateId,
+        /// Output branch index requested.
+        branch: u32,
+        /// The remote the request was sent to.
+        target: RemoteId,
+    },
+}
+
+/// Home node slice of the configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HomeState {
+    /// Control phase.
+    pub phase: HomePhase,
+    /// Variables.
+    pub env: Env,
+    /// Parked requests (bounded by `home_buffer` plus the unacked
+    /// allowance).
+    pub buf: Vec<BufEntry>,
+    /// Output-guard retry cursor (Table 2 row T2: after a nack, try the
+    /// *next* output guard; wrap around).
+    pub cursor: u32,
+}
+
+/// Control phase of a remote node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemotePhase {
+    /// At a spec state.
+    At(StateId),
+    /// In the transient state for the output branch of `state`, awaiting an
+    /// ack/nack (or the optimized reply) from home.
+    Awaiting {
+        /// Origin communication state.
+        state: StateId,
+        /// Output branch index.
+        branch: u32,
+    },
+}
+
+/// Remote node slice of the configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteState {
+    /// Control phase.
+    pub phase: RemotePhase,
+    /// Variables.
+    pub env: Env,
+    /// The one-slot buffer for a pending home request (Table 1).
+    pub buf: Option<(MsgType, Option<Value>)>,
+}
+
+/// A global asynchronous configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsyncState {
+    /// The home node.
+    pub home: HomeState,
+    /// The remotes, indexed by [`RemoteId`].
+    pub remotes: Vec<RemoteState>,
+    /// Links remote `i` → home.
+    pub to_home: Vec<Link>,
+    /// Links home → remote `i`.
+    pub to_remote: Vec<Link>,
+}
+
+impl AsyncState {
+    /// Number of remotes.
+    pub fn n(&self) -> usize {
+        self.remotes.len()
+    }
+
+    /// Total number of in-flight wire messages.
+    pub fn in_flight(&self) -> usize {
+        self.to_home.iter().map(Link::len).sum::<usize>()
+            + self.to_remote.iter().map(Link::len).sum::<usize>()
+    }
+}
+
+/// The asynchronous transition system of a refined protocol over `n`
+/// remotes.
+#[derive(Debug, Clone)]
+pub struct AsyncSystem<'a> {
+    refined: &'a RefinedProtocol,
+    n: u32,
+    config: AsyncConfig,
+}
+
+impl<'a> AsyncSystem<'a> {
+    /// Creates the system. Panics if `config.home_buffer < 2` (§3.2).
+    pub fn new(refined: &'a RefinedProtocol, n: u32, config: AsyncConfig) -> Self {
+        assert!(config.home_buffer >= 2, "the home buffer must hold at least 2 messages (§3.2)");
+        Self { refined, n, config }
+    }
+
+    /// The refined protocol being executed.
+    pub fn refined(&self) -> &'a RefinedProtocol {
+        self.refined
+    }
+
+    /// The underlying rendezvous spec.
+    pub fn spec(&self) -> &'a ProtocolSpec {
+        &self.refined.spec
+    }
+
+    /// Number of remotes.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// The configuration parameters.
+    pub fn config(&self) -> &AsyncConfig {
+        &self.config
+    }
+
+    fn eval_err(who: ProcessId) -> impl Fn(ccr_core::CoreError) -> RuntimeError {
+        move |source| RuntimeError::Eval { who, source }
+    }
+
+    fn guard_ok(guard: &Option<ccr_core::expr::Expr>, ctx: EvalCtx<'_>, who: ProcessId) -> Result<bool> {
+        match guard {
+            None => Ok(true),
+            Some(g) => g.eval_bool(ctx).map_err(Self::eval_err(who)),
+        }
+    }
+
+    fn apply_assigns(
+        br: &Branch,
+        env: &mut Env,
+        self_id: Option<RemoteId>,
+        who: ProcessId,
+    ) -> Result<()> {
+        for (v, e) in &br.assigns {
+            let val = e.eval(EvalCtx { env, self_id }).map_err(Self::eval_err(who))?;
+            env.set(v.index(), val);
+        }
+        Ok(())
+    }
+
+    fn push_link(&self, link: &mut Link, w: Wire, from: ProcessId, to: ProcessId) -> Result<()> {
+        if link.len() >= self.config.link_capacity {
+            return Err(RuntimeError::LinkOverflow { from, to });
+        }
+        link.push(w);
+        Ok(())
+    }
+
+    fn home_branch(&self, state: StateId, branch: u32) -> Result<&'a Branch> {
+        self.spec()
+            .home
+            .state(state)
+            .and_then(|s| s.branches.get(branch as usize))
+            .ok_or(RuntimeError::BadState { who: ProcessId::Home })
+    }
+
+    fn remote_branch(&self, i: RemoteId, state: StateId, branch: u32) -> Result<&'a Branch> {
+        self.spec()
+            .remote
+            .state(state)
+            .and_then(|s| s.branches.get(branch as usize))
+            .ok_or(RuntimeError::BadState { who: ProcessId::Remote(i) })
+    }
+
+    /// Whether home `Recv` branch `hb` accepts a request `(from, msg)` in
+    /// environment `env` (peer pattern, message type and guard).
+    fn home_recv_matches(
+        &self,
+        env: &Env,
+        hb: &Branch,
+        from: RemoteId,
+        msg: MsgType,
+    ) -> Result<bool> {
+        let ctx = EvalCtx { env, self_id: None };
+        let (peer, m) = match &hb.action {
+            CommAction::Recv { from: p, msg: m, .. } => (p, *m),
+            _ => return Ok(false),
+        };
+        if m != msg || !Self::guard_ok(&hb.guard, ctx, ProcessId::Home)? {
+            return Ok(false);
+        }
+        match peer {
+            Peer::AnyRemote { .. } => Ok(true),
+            Peer::Remote(e) => {
+                let t = e.eval_node(ctx).map_err(Self::eval_err(ProcessId::Home))?;
+                Ok(t == from)
+            }
+            Peer::Home => Ok(false),
+        }
+    }
+
+    /// Whether a specific request could complete a rendezvous at `state` —
+    /// the progress-buffer admission test (Table 2 row T5 condition (d)).
+    fn request_satisfies(&self, s: &AsyncState, state: StateId, from: RemoteId, msg: MsgType) -> Result<bool> {
+        let st = match self.spec().home.state(state) {
+            Some(st) if st.kind == StateKind::Communication => st,
+            _ => return Ok(false),
+        };
+        for (_, hb) in st.recvs() {
+            if self.home_recv_matches(&s.home.env, hb, from, msg)? {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Completes a home-passive rendezvous: consume buffered entry `idx`
+    /// through `Recv` branch `hb`, emitting an ack unless the message is
+    /// consumed silently (request/reply-optimized or unacked).
+    fn home_consume(
+        &self,
+        next: &mut AsyncState,
+        idx: usize,
+        hb: &Branch,
+    ) -> Result<Option<SentMsg>> {
+        let entry = next.home.buf.remove(idx);
+        let mut sent = None;
+        if !self.refined.home_noack.contains(&entry.msg) {
+            let to = ProcessId::Remote(entry.from);
+            self.push_link(&mut next.to_remote[entry.from.index()], Wire::Ack, ProcessId::Home, to)?;
+            sent = Some(SentMsg::ack(ProcessId::Home, to));
+        }
+        if let CommAction::Recv { from, bind, .. } = &hb.action {
+            if let Peer::AnyRemote { bind: Some(v) } = from {
+                next.home.env.set(v.index(), Value::Node(entry.from));
+            }
+            if let (Some(v), Some(val)) = (bind, entry.val) {
+                next.home.env.set(v.index(), val);
+            }
+        }
+        Self::apply_assigns(hb, &mut next.home.env, None, ProcessId::Home)?;
+        next.home.phase = HomePhase::At(hb.target);
+        next.home.cursor = 0;
+        Ok(sent)
+    }
+
+    /// Admission decision for a request arriving at the home (Table 2 rows
+    /// T4/T5/T6 and the analogous rule outside transient states).
+    fn home_admit(
+        &self,
+        s: &AsyncState,
+        from: RemoteId,
+        msg: MsgType,
+    ) -> Result<Admission> {
+        // Unacknowledged messages (hand baseline) must always be sunk.
+        if self.refined.unacked.contains(&msg) {
+            let cap = self.config.home_buffer + self.config.unacked_allowance;
+            if s.home.buf.len() >= cap {
+                return Err(RuntimeError::UnackedFlood);
+            }
+            return Ok(Admission::Accept("buf"));
+        }
+        if s.home.buf.iter().any(|e| e.from == from && !self.refined.unacked.contains(&e.msg)) {
+            return Err(RuntimeError::DuplicateRequest { from });
+        }
+        let (comm_state, reserved) = match s.home.phase {
+            HomePhase::At(st) => (st, 0usize),
+            HomePhase::Awaiting { state, .. } => (state, 1usize),
+        };
+        let used = s.home.buf.len() + reserved;
+        let free = self.config.home_buffer.saturating_sub(used);
+        if free >= 2 {
+            return Ok(Admission::Accept("T4"));
+        }
+        if free == 1 && self.request_satisfies(s, comm_state, from, msg)? {
+            return Ok(Admission::Accept("T5"));
+        }
+        Ok(Admission::Nack)
+    }
+
+    /// Generates the delivery transition for the head of `to_home[i]`.
+    fn deliver_to_home(
+        &self,
+        s: &AsyncState,
+        i: usize,
+        out: &mut Vec<(Label, AsyncState)>,
+    ) -> Result<()> {
+        let head = match s.to_home[i].head() {
+            Some(w) => *w,
+            None => return Ok(()),
+        };
+        let rid = RemoteId(i as u32);
+        let actor = ProcessId::Home;
+        match head {
+            Wire::Ack => {
+                let (state, branch, target) = match s.home.phase {
+                    HomePhase::Awaiting { state, branch, target } if target == rid => {
+                        (state, branch, target)
+                    }
+                    _ => return Err(RuntimeError::UnexpectedResponse { who: actor, what: "ack" }),
+                };
+                let _ = target;
+                let hb = self.home_branch(state, branch)?;
+                let msg = hb.action.msg().ok_or(RuntimeError::BadState { who: actor })?;
+                let mut next = s.clone();
+                next.to_home[i].pop();
+                Self::apply_assigns(hb, &mut next.home.env, None, actor)?;
+                next.home.phase = HomePhase::At(hb.target);
+                next.home.cursor = 0;
+                out.push((
+                    Label::new(actor, LabelKind::Complete, "T1").completing(actor, msg),
+                    next,
+                ));
+            }
+            Wire::Nack => {
+                let (state, branch) = match s.home.phase {
+                    HomePhase::Awaiting { state, branch, target } if target == rid => (state, branch),
+                    _ => return Err(RuntimeError::UnexpectedResponse { who: actor, what: "nack" }),
+                };
+                let mut next = s.clone();
+                next.to_home[i].pop();
+                next.home.phase = HomePhase::At(state);
+                next.home.cursor = branch + 1;
+                out.push((Label::new(actor, LabelKind::Deliver, "T2"), next));
+            }
+            Wire::Req { msg, val } => {
+                if let HomePhase::Awaiting { state, branch, target } = s.home.phase {
+                    if target == rid {
+                        let key = (state, branch);
+                        if self.refined.home_reply.get(&key) == Some(&msg) {
+                            // Optimized reply: completes our request and the
+                            // follow-up input in one delivery.
+                            let hb = self.home_branch(state, branch)?;
+                            let reqmsg =
+                                hb.action.msg().ok_or(RuntimeError::BadState { who: actor })?;
+                            let mut next = s.clone();
+                            next.to_home[i].pop();
+                            Self::apply_assigns(hb, &mut next.home.env, None, actor)?;
+                            let mid = hb.target;
+                            // Consume the reply input at the intermediate state.
+                            let mid_st = self
+                                .spec()
+                                .home
+                                .state(mid)
+                                .ok_or(RuntimeError::BadState { who: actor })?;
+                            let mut landed = false;
+                            for (_, rb) in mid_st.recvs() {
+                                if self.home_recv_matches(&next.home.env, rb, rid, msg)? {
+                                    if let CommAction::Recv { from, bind, .. } = &rb.action {
+                                        if let Peer::AnyRemote { bind: Some(v) } = from {
+                                            next.home.env.set(v.index(), Value::Node(rid));
+                                        }
+                                        if let (Some(v), Some(value)) = (bind, val) {
+                                            next.home.env.set(v.index(), value);
+                                        }
+                                    }
+                                    Self::apply_assigns(rb, &mut next.home.env, None, actor)?;
+                                    next.home.phase = HomePhase::At(rb.target);
+                                    next.home.cursor = 0;
+                                    landed = true;
+                                    break;
+                                }
+                            }
+                            if !landed {
+                                return Err(RuntimeError::ReplyNotAwaited { who: actor });
+                            }
+                            out.push((
+                                Label::new(actor, LabelKind::Complete, "T1/reply")
+                                    .completing(actor, reqmsg),
+                                next,
+                            ));
+                            return Ok(());
+                        }
+                        // Implicit nack (rule R3 / Table 2 row T3): revert to
+                        // the communication state and park the request in the
+                        // reserved ack-buffer slot.
+                        let mut next = s.clone();
+                        next.to_home[i].pop();
+                        if next.home.buf.len() >= self.config.home_buffer + self.config.unacked_allowance
+                        {
+                            return Err(RuntimeError::HomeBufferOverflow);
+                        }
+                        if next
+                            .home
+                            .buf
+                            .iter()
+                            .any(|e| e.from == rid && !self.refined.unacked.contains(&e.msg))
+                            && !self.refined.unacked.contains(&msg)
+                        {
+                            return Err(RuntimeError::DuplicateRequest { from: rid });
+                        }
+                        next.home.buf.push(BufEntry { from: rid, msg, val });
+                        next.home.phase = HomePhase::At(state);
+                        next.home.cursor = branch + 1;
+                        out.push((Label::new(actor, LabelKind::Deliver, "T3"), next));
+                        return Ok(());
+                    }
+                }
+                // Ordinary admission (Table 2 rows T4/T5/T6, also used
+                // outside transient states).
+                match self.home_admit(s, rid, msg)? {
+                    Admission::Accept(rule) => {
+                        let mut next = s.clone();
+                        next.to_home[i].pop();
+                        next.home.buf.push(BufEntry { from: rid, msg, val });
+                        out.push((Label::new(actor, LabelKind::Deliver, rule), next));
+                    }
+                    Admission::Nack => {
+                        let mut next = s.clone();
+                        next.to_home[i].pop();
+                        let to = ProcessId::Remote(rid);
+                        self.push_link(&mut next.to_remote[i], Wire::Nack, actor, to)?;
+                        out.push((
+                            Label::new(actor, LabelKind::Nacked, "T6")
+                                .sending(SentMsg::nack(actor, to)),
+                            next,
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Generates the home's spontaneous transitions (Table 2 rows C1/C2 and
+    /// internal taus).
+    fn home_step(&self, s: &AsyncState, out: &mut Vec<(Label, AsyncState)>) -> Result<()> {
+        let st_id = match s.home.phase {
+            HomePhase::At(st) => st,
+            HomePhase::Awaiting { .. } => return Ok(()),
+        };
+        let st = self
+            .spec()
+            .home
+            .state(st_id)
+            .ok_or(RuntimeError::BadState { who: ProcessId::Home })?;
+        let actor = ProcessId::Home;
+        let ctx = EvalCtx { env: &s.home.env, self_id: None };
+
+        if st.kind == StateKind::Internal {
+            for br in &st.branches {
+                if br.action.is_tau() && Self::guard_ok(&br.guard, ctx, actor)? {
+                    let mut next = s.clone();
+                    Self::apply_assigns(br, &mut next.home.env, None, actor)?;
+                    next.home.phase = HomePhase::At(br.target);
+                    next.home.cursor = 0;
+                    out.push((Label::new(actor, LabelKind::Tau, "tau").tagged(&br.tag), next));
+                }
+            }
+            return Ok(());
+        }
+
+        // C1: complete a rendezvous with a buffered request.
+        let mut c1_found = false;
+        for idx in 0..s.home.buf.len() {
+            let entry = s.home.buf[idx];
+            for (_, hb) in st.recvs() {
+                if self.home_recv_matches(&s.home.env, hb, entry.from, entry.msg)? {
+                    c1_found = true;
+                    let mut next = s.clone();
+                    let sent = self.home_consume(&mut next, idx, hb)?;
+                    let mut label = Label::new(actor, LabelKind::Complete, "C1")
+                        .completing(ProcessId::Remote(entry.from), entry.msg);
+                    if let Some(m) = sent {
+                        label = label.sending(m);
+                    }
+                    out.push((label, next));
+                }
+            }
+        }
+        if c1_found {
+            return Ok(());
+        }
+
+        // C2: request a rendezvous via an output guard, cycling from the
+        // cursor (Table 2 row T2's retry order).
+        let nb = st.branches.len();
+        for off in 0..nb {
+            let idx = (s.home.cursor as usize + off) % nb;
+            let br = &st.branches[idx];
+            let (peer, msg, payload) = match &br.action {
+                CommAction::Send { to: Peer::Remote(e), msg, payload } => (e, *msg, payload),
+                _ => continue,
+            };
+            if !Self::guard_ok(&br.guard, ctx, actor)? {
+                continue;
+            }
+            let t = peer.eval_node(ctx).map_err(Self::eval_err(actor))?;
+            if t.0 >= self.n {
+                return Err(RuntimeError::BadState { who: actor });
+            }
+            let val = match payload {
+                Some(e) => Some(e.eval(ctx).map_err(Self::eval_err(actor))?),
+                None => None,
+            };
+            let key = (st_id, idx as u32);
+            if self.refined.home_fire_forget.contains(&key) {
+                // Optimized reply send: guaranteed accepted; complete now.
+                let mut next = s.clone();
+                let to = ProcessId::Remote(t);
+                self.push_link(&mut next.to_remote[t.index()], Wire::Req { msg, val }, actor, to)?;
+                Self::apply_assigns(br, &mut next.home.env, None, actor)?;
+                next.home.phase = HomePhase::At(br.target);
+                next.home.cursor = 0;
+                out.push((
+                    Label::new(actor, LabelKind::Complete, "C2/reply")
+                        .completing(actor, msg)
+                        .sending(SentMsg::req(actor, to, msg))
+                        .tagged(&br.tag),
+                    next,
+                ));
+                return Ok(());
+            }
+            // Condition (c): skip remotes with a pending (ordinary) request —
+            // they are blocked as active parties and cannot accept ours.
+            if s.home
+                .buf
+                .iter()
+                .any(|e| e.from == t && !self.refined.unacked.contains(&e.msg))
+            {
+                continue;
+            }
+            let mut next = s.clone();
+            let mut label = Label::new(actor, LabelKind::Request, "C2").tagged(&br.tag);
+            // Reserve the ack buffer, nacking the oldest ordinary request if
+            // the buffer is full.
+            let ordinary = |e: &BufEntry| !self.refined.unacked.contains(&e.msg);
+            if next.home.buf.iter().filter(|e| ordinary(e)).count() >= self.config.home_buffer {
+                if let Some(victim_idx) = next.home.buf.iter().position(ordinary) {
+                    let victim = next.home.buf.remove(victim_idx);
+                    let to = ProcessId::Remote(victim.from);
+                    self.push_link(
+                        &mut next.to_remote[victim.from.index()],
+                        Wire::Nack,
+                        actor,
+                        to,
+                    )?;
+                    label = label.sending(SentMsg::nack(actor, to));
+                }
+            }
+            let to = ProcessId::Remote(t);
+            self.push_link(&mut next.to_remote[t.index()], Wire::Req { msg, val }, actor, to)?;
+            next.home.phase = HomePhase::Awaiting { state: st_id, branch: idx as u32, target: t };
+            out.push((label.sending(SentMsg::req(actor, to, msg)), next));
+            return Ok(());
+        }
+        Ok(())
+    }
+
+    /// Generates the delivery transition for the head of `to_remote[i]`.
+    fn deliver_to_remote(
+        &self,
+        s: &AsyncState,
+        i: usize,
+        out: &mut Vec<(Label, AsyncState)>,
+    ) -> Result<()> {
+        let head = match s.to_remote[i].head() {
+            Some(w) => *w,
+            None => return Ok(()),
+        };
+        let rid = RemoteId(i as u32);
+        let actor = ProcessId::Remote(rid);
+        match head {
+            Wire::Ack => {
+                let (state, branch) = match s.remotes[i].phase {
+                    RemotePhase::Awaiting { state, branch } => (state, branch),
+                    _ => return Err(RuntimeError::UnexpectedResponse { who: actor, what: "ack" }),
+                };
+                let rb = self.remote_branch(rid, state, branch)?;
+                let msg = rb.action.msg().ok_or(RuntimeError::BadState { who: actor })?;
+                let mut next = s.clone();
+                next.to_remote[i].pop();
+                Self::apply_assigns(rb, &mut next.remotes[i].env, Some(rid), actor)?;
+                next.remotes[i].phase = RemotePhase::At(rb.target);
+                out.push((
+                    Label::new(actor, LabelKind::Complete, "T1").completing(actor, msg),
+                    next,
+                ));
+            }
+            Wire::Nack => {
+                let state = match s.remotes[i].phase {
+                    RemotePhase::Awaiting { state, .. } => state,
+                    _ => return Err(RuntimeError::UnexpectedResponse { who: actor, what: "nack" }),
+                };
+                let mut next = s.clone();
+                next.to_remote[i].pop();
+                next.remotes[i].phase = RemotePhase::At(state);
+                out.push((Label::new(actor, LabelKind::Deliver, "T2"), next));
+            }
+            Wire::Req { msg, val } => {
+                match s.remotes[i].phase {
+                    RemotePhase::Awaiting { state, branch } => {
+                        let key = (state, branch);
+                        if self.refined.remote_reply.get(&key) == Some(&msg) {
+                            // Optimized reply: complete the request and the
+                            // follow-up input atomically.
+                            let rb = self.remote_branch(rid, state, branch)?;
+                            let reqmsg =
+                                rb.action.msg().ok_or(RuntimeError::BadState { who: actor })?;
+                            let mut next = s.clone();
+                            next.to_remote[i].pop();
+                            Self::apply_assigns(rb, &mut next.remotes[i].env, Some(rid), actor)?;
+                            let mid = rb.target;
+                            let mid_st = self
+                                .spec()
+                                .remote
+                                .state(mid)
+                                .ok_or(RuntimeError::BadState { who: actor })?;
+                            let mut landed = false;
+                            for (_, fb) in mid_st.recvs() {
+                                if let CommAction::Recv { from: Peer::Home, msg: m, bind } =
+                                    &fb.action
+                                {
+                                    if *m == msg {
+                                        if let (Some(v), Some(value)) = (bind, val) {
+                                            next.remotes[i].env.set(v.index(), value);
+                                        }
+                                        Self::apply_assigns(
+                                            fb,
+                                            &mut next.remotes[i].env,
+                                            Some(rid),
+                                            actor,
+                                        )?;
+                                        next.remotes[i].phase = RemotePhase::At(fb.target);
+                                        landed = true;
+                                        break;
+                                    }
+                                }
+                            }
+                            if !landed {
+                                return Err(RuntimeError::ReplyNotAwaited { who: actor });
+                            }
+                            out.push((
+                                Label::new(actor, LabelKind::Complete, "T1/reply")
+                                    .completing(actor, reqmsg),
+                                next,
+                            ));
+                        } else {
+                            // Table 1 row T3: ignore.
+                            let mut next = s.clone();
+                            next.to_remote[i].pop();
+                            out.push((Label::new(actor, LabelKind::Deliver, "T3"), next));
+                        }
+                    }
+                    RemotePhase::At(_) => {
+                        if s.remotes[i].buf.is_none() {
+                            let mut next = s.clone();
+                            next.to_remote[i].pop();
+                            next.remotes[i].buf = Some((msg, val));
+                            out.push((Label::new(actor, LabelKind::Deliver, "buf"), next));
+                        }
+                        // Buffer occupied: the message waits on the link.
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Generates remote `i`'s spontaneous transitions (Table 1 rows C1–C3
+    /// plus taus).
+    fn remote_step(&self, s: &AsyncState, i: usize, out: &mut Vec<(Label, AsyncState)>) -> Result<()> {
+        let st_id = match s.remotes[i].phase {
+            RemotePhase::At(st) => st,
+            RemotePhase::Awaiting { .. } => return Ok(()),
+        };
+        let rid = RemoteId(i as u32);
+        let actor = ProcessId::Remote(rid);
+        let st = self
+            .spec()
+            .remote
+            .state(st_id)
+            .ok_or(RuntimeError::BadState { who: actor })?;
+        let ctx = EvalCtx { env: &s.remotes[i].env, self_id: Some(rid) };
+
+        // Tau branches (autonomous decisions; allowed alongside inputs).
+        for br in &st.branches {
+            if br.action.is_tau() && Self::guard_ok(&br.guard, ctx, actor)? {
+                let mut next = s.clone();
+                Self::apply_assigns(br, &mut next.remotes[i].env, Some(rid), actor)?;
+                next.remotes[i].phase = RemotePhase::At(br.target);
+                out.push((Label::new(actor, LabelKind::Tau, "tau").tagged(&br.tag), next));
+            }
+        }
+        if st.kind == StateKind::Internal {
+            return Ok(());
+        }
+
+        if let Some((bidx, br)) = st.sends().next() {
+            // Active state (C1/C2): send the request; a buffered home
+            // request, if any, is deleted (the home will treat our request
+            // as an implicit nack of its own).
+            if Self::guard_ok(&br.guard, ctx, actor)? {
+                let (msg, payload) = match &br.action {
+                    CommAction::Send { msg, payload, .. } => (*msg, payload),
+                    _ => unreachable!("sends() yields Send branches"),
+                };
+                let val = match payload {
+                    Some(e) => Some(e.eval(ctx).map_err(Self::eval_err(actor))?),
+                    None => None,
+                };
+                let rule = if s.remotes[i].buf.is_some() { "C2" } else { "C1" };
+                let mut next = s.clone();
+                next.remotes[i].buf = None;
+                let to = ProcessId::Home;
+                self.push_link(&mut next.to_home[i], Wire::Req { msg, val }, actor, to)?;
+                let key = (st_id, bidx);
+                let label;
+                if self.refined.remote_fire_forget.contains(&key) {
+                    // Unacknowledged send (hand baseline): proceed at once.
+                    Self::apply_assigns(br, &mut next.remotes[i].env, Some(rid), actor)?;
+                    next.remotes[i].phase = RemotePhase::At(br.target);
+                    label = Label::new(actor, LabelKind::Complete, "C1/unacked")
+                        .completing(actor, msg)
+                        .sending(SentMsg::req(actor, to, msg))
+                        .tagged(&br.tag);
+                } else {
+                    next.remotes[i].phase = RemotePhase::Awaiting { state: st_id, branch: bidx };
+                    label = Label::new(actor, LabelKind::Request, rule)
+                        .sending(SentMsg::req(actor, to, msg))
+                        .tagged(&br.tag);
+                }
+                out.push((label, next));
+            }
+            return Ok(());
+        }
+
+        // Passive state (C3): serve the buffered home request.
+        if let Some((msg, val)) = s.remotes[i].buf {
+            let mut matched = false;
+            for (_, rb) in st.recvs() {
+                let ok = match &rb.action {
+                    CommAction::Recv { from: Peer::Home, msg: m, .. } => *m == msg,
+                    _ => false,
+                };
+                if !ok || !Self::guard_ok(&rb.guard, ctx, actor)? {
+                    continue;
+                }
+                matched = true;
+                let mut next = s.clone();
+                next.remotes[i].buf = None;
+                let mut label = Label::new(actor, LabelKind::Complete, "C3")
+                    .completing(ProcessId::Home, msg)
+                    .tagged(&rb.tag);
+                if !self.refined.remote_noack.contains(&msg) {
+                    let to = ProcessId::Home;
+                    self.push_link(&mut next.to_home[i], Wire::Ack, actor, to)?;
+                    label = label.sending(SentMsg::ack(actor, to));
+                }
+                if let CommAction::Recv { bind: Some(v), .. } = &rb.action {
+                    if let Some(value) = val {
+                        next.remotes[i].env.set(v.index(), value);
+                    }
+                }
+                Self::apply_assigns(rb, &mut next.remotes[i].env, Some(rid), actor)?;
+                next.remotes[i].phase = RemotePhase::At(rb.target);
+                out.push((label, next));
+            }
+            if !matched {
+                let mut next = s.clone();
+                next.remotes[i].buf = None;
+                if self.config.drop_unmatched {
+                    out.push((Label::new(actor, LabelKind::Deliver, "C3/drop"), next));
+                } else {
+                    let to = ProcessId::Home;
+                    self.push_link(&mut next.to_home[i], Wire::Nack, actor, to)?;
+                    out.push((
+                        Label::new(actor, LabelKind::Nacked, "C3/nack")
+                            .sending(SentMsg::nack(actor, to)),
+                        next,
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of the home's buffer-admission decision.
+enum Admission {
+    Accept(&'static str),
+    Nack,
+}
+
+impl<'a> TransitionSystem for AsyncSystem<'a> {
+    type State = AsyncState;
+
+    fn initial(&self) -> AsyncState {
+        AsyncState {
+            home: HomeState {
+                phase: HomePhase::At(self.spec().home.initial),
+                env: self.spec().home.initial_env(),
+                buf: Vec::new(),
+                cursor: 0,
+            },
+            remotes: (0..self.n)
+                .map(|_| RemoteState {
+                    phase: RemotePhase::At(self.spec().remote.initial),
+                    env: self.spec().remote.initial_env(),
+                    buf: None,
+                })
+                .collect(),
+            to_home: (0..self.n).map(|_| Link::new()).collect(),
+            to_remote: (0..self.n).map(|_| Link::new()).collect(),
+        }
+    }
+
+    fn successors(&self, s: &AsyncState, out: &mut Vec<(Label, AsyncState)>) -> Result<()> {
+        out.clear();
+        self.home_step(s, out)?;
+        for i in 0..s.remotes.len() {
+            self.deliver_to_home(s, i, out)?;
+            self.deliver_to_remote(s, i, out)?;
+            self.remote_step(s, i, out)?;
+        }
+        Ok(())
+    }
+
+    fn encode(&self, s: &AsyncState, out: &mut Vec<u8>) {
+        out.clear();
+        match s.home.phase {
+            HomePhase::At(st) => {
+                out.push(0);
+                out.extend_from_slice(&(st.0 as u16).to_le_bytes());
+            }
+            HomePhase::Awaiting { state, branch, target } => {
+                out.push(1);
+                out.extend_from_slice(&(state.0 as u16).to_le_bytes());
+                out.push(branch as u8);
+                out.extend_from_slice(&(target.0 as u16).to_le_bytes());
+            }
+        }
+        s.home.env.encode(out);
+        out.push(s.home.cursor as u8);
+        out.push(s.home.buf.len() as u8);
+        for e in &s.home.buf {
+            out.extend_from_slice(&(e.from.0 as u16).to_le_bytes());
+            out.push(e.msg.0 as u8);
+            match e.val {
+                Some(v) => {
+                    out.push(1);
+                    v.encode(out);
+                }
+                None => out.push(0),
+            }
+        }
+        for (i, r) in s.remotes.iter().enumerate() {
+            match r.phase {
+                RemotePhase::At(st) => {
+                    out.push(0);
+                    out.extend_from_slice(&(st.0 as u16).to_le_bytes());
+                }
+                RemotePhase::Awaiting { state, branch } => {
+                    out.push(1);
+                    out.extend_from_slice(&(state.0 as u16).to_le_bytes());
+                    out.push(branch as u8);
+                }
+            }
+            r.env.encode(out);
+            match &r.buf {
+                Some((m, v)) => {
+                    out.push(1);
+                    out.push(m.0 as u8);
+                    match v {
+                        Some(v) => {
+                            out.push(1);
+                            v.encode(out);
+                        }
+                        None => out.push(0),
+                    }
+                }
+                None => out.push(0),
+            }
+            s.to_home[i].encode(out);
+            s.to_remote[i].encode(out);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Runtime errors surfaced by the executable semantics.
+//!
+//! An error from the executor is always a *verification finding*: either the
+//! specification is broken (e.g. a type error in an expression) or an
+//! assumption of the refinement was violated (e.g. an ack arrived at a
+//! process that was not waiting for one). The model checker reports the
+//! offending configuration.
+
+use ccr_core::ids::{ProcessId, RemoteId};
+use std::fmt;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, RuntimeError>;
+
+/// Errors raised while executing protocol semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// An expression failed to evaluate.
+    Eval {
+        /// The process evaluating.
+        who: ProcessId,
+        /// The underlying error.
+        source: ccr_core::CoreError,
+    },
+    /// A control state id was out of range — corrupt spec or state.
+    BadState {
+        /// The process.
+        who: ProcessId,
+    },
+    /// An ack or nack arrived at a process that was not in a transient
+    /// state. The refinement should make this impossible.
+    UnexpectedResponse {
+        /// The receiving process.
+        who: ProcessId,
+        /// `"ack"` or `"nack"`.
+        what: &'static str,
+    },
+    /// A point-to-point link exceeded its configured capacity. The paper
+    /// assumes an infinitely buffered network; our configured bound stands
+    /// in for it and this error proves the bound too small (it is checked,
+    /// not assumed).
+    LinkOverflow {
+        /// Sender.
+        from: ProcessId,
+        /// Receiver.
+        to: ProcessId,
+    },
+    /// The home buffer was asked to hold more than its capacity. Indicates
+    /// a bookkeeping bug in the reservation discipline.
+    HomeBufferOverflow,
+    /// A second request from the same remote was already buffered — the
+    /// one-outstanding-request discipline was violated.
+    DuplicateRequest {
+        /// The remote with two live requests.
+        from: RemoteId,
+    },
+    /// A fire-and-forget reply arrived but its addressee was not waiting
+    /// for it — an accepted request/reply pair was unsound.
+    ReplyNotAwaited {
+        /// The receiving process.
+        who: ProcessId,
+    },
+    /// The abstraction function could not classify a configuration — the
+    /// asynchronous state does not correspond to any rendezvous state.
+    Unabstractable {
+        /// Description of the inconsistency.
+        detail: &'static str,
+    },
+    /// The home node's unacked-request allowance (hand-written-baseline
+    /// mode) grew beyond any plausible bound.
+    UnackedFlood,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Eval { who, source } => write!(f, "{who}: evaluation error: {source}"),
+            RuntimeError::BadState { who } => write!(f, "{who}: control state out of range"),
+            RuntimeError::UnexpectedResponse { who, what } => {
+                write!(f, "{who}: unexpected {what} outside a transient state")
+            }
+            RuntimeError::LinkOverflow { from, to } => {
+                write!(f, "link {from}->{to} exceeded its capacity")
+            }
+            RuntimeError::HomeBufferOverflow => write!(f, "home buffer overflow"),
+            RuntimeError::DuplicateRequest { from } => {
+                write!(f, "{from} has two outstanding requests")
+            }
+            RuntimeError::ReplyNotAwaited { who } => {
+                write!(f, "{who}: fire-and-forget reply arrived while not waiting")
+            }
+            RuntimeError::Unabstractable { detail } => {
+                write!(f, "abstraction failed: {detail}")
+            }
+            RuntimeError::UnackedFlood => write!(f, "unacked-request allowance exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let errs: Vec<RuntimeError> = vec![
+            RuntimeError::Eval {
+                who: ProcessId::Home,
+                source: ccr_core::CoreError::DivideByZero,
+            },
+            RuntimeError::BadState { who: ProcessId::Remote(RemoteId(1)) },
+            RuntimeError::UnexpectedResponse { who: ProcessId::Home, what: "ack" },
+            RuntimeError::LinkOverflow {
+                from: ProcessId::Home,
+                to: ProcessId::Remote(RemoteId(0)),
+            },
+            RuntimeError::HomeBufferOverflow,
+            RuntimeError::DuplicateRequest { from: RemoteId(2) },
+            RuntimeError::ReplyNotAwaited { who: ProcessId::Remote(RemoteId(0)) },
+            RuntimeError::Unabstractable { detail: "x" },
+            RuntimeError::UnackedFlood,
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

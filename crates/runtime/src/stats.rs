@@ -1,0 +1,168 @@
+//! Message and progress accounting for simulations.
+//!
+//! The paper's quality criterion (1) for a derived protocol is "the number
+//! of request, acknowledge, and negative acknowledge messages needed for
+//! carrying out the rendezvous specified in the given specification".
+//! [`MsgStats`] counts exactly those, plus the completion events the §2.5
+//! progress criterion is stated over.
+
+use crate::system::Label;
+use ccr_core::ids::{MsgType, ProcessId};
+use std::collections::HashMap;
+
+/// Accumulated counters over a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MsgStats {
+    /// Requests sent (including optimized replies), per message type.
+    pub requests: HashMap<MsgType, u64>,
+    /// Total acks sent.
+    pub acks: u64,
+    /// Total nacks sent.
+    pub nacks: u64,
+    /// Completed rendezvous, per message type.
+    pub completed: HashMap<MsgType, u64>,
+    /// Completed rendezvous per remote (only counted when the remote is the
+    /// active party) — the starvation/fairness metric of §6.
+    pub per_remote: HashMap<u32, u64>,
+    /// Total transitions observed.
+    pub steps: u64,
+}
+
+impl MsgStats {
+    /// Creates empty counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one transition label into the counters.
+    pub fn record(&mut self, label: &Label) {
+        self.steps += 1;
+        for m in label.emissions() {
+            if m.is_ack {
+                self.acks += 1;
+            } else if m.is_nack {
+                self.nacks += 1;
+            } else if let Some(msg) = m.msg {
+                *self.requests.entry(msg).or_insert(0) += 1;
+            }
+        }
+        if let Some((active, msg)) = label.completes {
+            *self.completed.entry(msg).or_insert(0) += 1;
+            if let ProcessId::Remote(r) = active {
+                *self.per_remote.entry(r.0).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Total wire messages (requests + acks + nacks).
+    pub fn total_messages(&self) -> u64 {
+        self.requests.values().sum::<u64>() + self.acks + self.nacks
+    }
+
+    /// Total completed rendezvous.
+    pub fn total_completed(&self) -> u64 {
+        self.completed.values().sum()
+    }
+
+    /// Messages per completed rendezvous; `None` when nothing completed.
+    pub fn messages_per_rendezvous(&self) -> Option<f64> {
+        let c = self.total_completed();
+        if c == 0 {
+            None
+        } else {
+            Some(self.total_messages() as f64 / c as f64)
+        }
+    }
+
+    /// Jain's fairness index over per-remote completions for `n` remotes:
+    /// `(Σx)² / (n·Σx²)`; 1.0 is perfectly fair, `1/n` is a single remote
+    /// hogging all progress. Returns `None` if nothing completed.
+    pub fn jain_fairness(&self, n: usize) -> Option<f64> {
+        if n == 0 {
+            return None;
+        }
+        let xs: Vec<f64> = (0..n as u32)
+            .map(|i| *self.per_remote.get(&i).unwrap_or(&0) as f64)
+            .collect();
+        let sum: f64 = xs.iter().sum();
+        if sum == 0.0 {
+            return None;
+        }
+        let sumsq: f64 = xs.iter().map(|x| x * x).sum();
+        Some(sum * sum / (n as f64 * sumsq))
+    }
+
+    /// Number of remotes that never completed a rendezvous — the starvation
+    /// count of §6.
+    pub fn starved(&self, n: usize) -> usize {
+        (0..n as u32).filter(|i| self.per_remote.get(i).copied().unwrap_or(0) == 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{LabelKind, SentMsg};
+    use ccr_core::ids::RemoteId;
+
+    fn remote(i: u32) -> ProcessId {
+        ProcessId::Remote(RemoteId(i))
+    }
+
+    #[test]
+    fn records_messages_and_completions() {
+        let mut st = MsgStats::new();
+        let l = Label::new(remote(0), LabelKind::Request, "C1")
+            .sending(SentMsg::req(remote(0), ProcessId::Home, MsgType(1)));
+        st.record(&l);
+        let l2 = Label::new(ProcessId::Home, LabelKind::Complete, "C1")
+            .completing(remote(0), MsgType(1))
+            .sending(SentMsg::ack(ProcessId::Home, remote(0)));
+        st.record(&l2);
+        let l3 = Label::new(ProcessId::Home, LabelKind::Nacked, "T6")
+            .sending(SentMsg::nack(ProcessId::Home, remote(1)));
+        st.record(&l3);
+
+        assert_eq!(st.total_messages(), 3);
+        assert_eq!(st.acks, 1);
+        assert_eq!(st.nacks, 1);
+        assert_eq!(st.total_completed(), 1);
+        assert_eq!(st.per_remote.get(&0), Some(&1));
+        assert_eq!(st.messages_per_rendezvous(), Some(3.0));
+        assert_eq!(st.steps, 3);
+    }
+
+    #[test]
+    fn fairness_index_bounds() {
+        let mut st = MsgStats::new();
+        for _ in 0..10 {
+            st.record(
+                &Label::new(ProcessId::Home, LabelKind::Complete, "C1")
+                    .completing(remote(0), MsgType(0)),
+            );
+        }
+        // One remote hogs everything among 2: index = 1/2.
+        let j = st.jain_fairness(2).unwrap();
+        assert!((j - 0.5).abs() < 1e-9);
+        assert_eq!(st.starved(2), 1);
+
+        for _ in 0..10 {
+            st.record(
+                &Label::new(ProcessId::Home, LabelKind::Complete, "C1")
+                    .completing(remote(1), MsgType(0)),
+            );
+        }
+        let j = st.jain_fairness(2).unwrap();
+        assert!((j - 1.0).abs() < 1e-9);
+        assert_eq!(st.starved(2), 0);
+    }
+
+    #[test]
+    fn empty_stats_edge_cases() {
+        let st = MsgStats::new();
+        assert_eq!(st.messages_per_rendezvous(), None);
+        assert_eq!(st.jain_fairness(4), None);
+        assert_eq!(st.jain_fairness(0), None);
+        assert_eq!(st.starved(3), 3);
+    }
+}

@@ -1,0 +1,168 @@
+//! The `TransitionSystem` abstraction shared by both semantic levels.
+//!
+//! The model checker, the simulators and the abstraction checker all
+//! consume protocols through this trait, so every analysis works uniformly
+//! on the rendezvous and the asynchronous semantics.
+
+use ccr_core::ids::{MsgType, ProcessId};
+use crate::error::Result;
+
+/// Classification of a global transition, used for reporting and for the
+/// progress checker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelKind {
+    /// An autonomous local step (`tau`, including internal states).
+    Tau,
+    /// A rendezvous completed atomically (rendezvous semantics only).
+    Rendezvous,
+    /// A process issued a request for rendezvous.
+    Request,
+    /// Delivery of a wire message was processed.
+    Deliver,
+    /// A passive party completed a rendezvous (sent an ack or consumed an
+    /// optimized request).
+    Complete,
+    /// A request was nacked.
+    Nacked,
+}
+
+/// A wire message emitted during a step, for message accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SentMsg {
+    /// Sender.
+    pub from: ProcessId,
+    /// Receiver.
+    pub to: ProcessId,
+    /// `Some(m)` for requests (including optimized replies); `None` for
+    /// acks/nacks.
+    pub msg: Option<MsgType>,
+    /// True for nacks.
+    pub is_nack: bool,
+    /// True for acks.
+    pub is_ack: bool,
+}
+
+impl SentMsg {
+    /// A request (or optimized reply) message record.
+    pub fn req(from: ProcessId, to: ProcessId, msg: MsgType) -> Self {
+        Self { from, to, msg: Some(msg), is_nack: false, is_ack: false }
+    }
+
+    /// An ack record.
+    pub fn ack(from: ProcessId, to: ProcessId) -> Self {
+        Self { from, to, msg: None, is_nack: false, is_ack: true }
+    }
+
+    /// A nack record.
+    pub fn nack(from: ProcessId, to: ProcessId) -> Self {
+        Self { from, to, msg: None, is_nack: true, is_ack: false }
+    }
+}
+
+/// Label attached to each generated transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Label {
+    /// The process that took the step.
+    pub actor: ProcessId,
+    /// Classification.
+    pub kind: LabelKind,
+    /// Short rule name from the paper's tables (e.g. `"C1"`, `"T3"`,
+    /// `"rendezvous"`), for traces and debugging.
+    pub rule: &'static str,
+    /// `Some((active, msg))` when this step *completes* a rendezvous —
+    /// the progress events of §2.5. `active` is the requesting party.
+    pub completes: Option<(ProcessId, MsgType)>,
+    /// Wire messages emitted during the step (at most two: a nack to free a
+    /// buffer slot plus the new request, per Table 2 row C2).
+    pub sent: [Option<SentMsg>; 2],
+    /// The tag of the branch that fired, if any (e.g. `"evict"`).
+    pub tag: Option<String>,
+}
+
+impl Label {
+    /// A label with no emissions.
+    pub fn new(actor: ProcessId, kind: LabelKind, rule: &'static str) -> Self {
+        Self { actor, kind, rule, completes: None, sent: [None, None], tag: None }
+    }
+
+    /// Attaches a completion event.
+    pub fn completing(mut self, active: ProcessId, msg: MsgType) -> Self {
+        self.completes = Some((active, msg));
+        self
+    }
+
+    /// Attaches the first or second emission.
+    pub fn sending(mut self, m: SentMsg) -> Self {
+        if self.sent[0].is_none() {
+            self.sent[0] = Some(m);
+        } else {
+            debug_assert!(self.sent[1].is_none(), "a step emits at most two messages");
+            self.sent[1] = Some(m);
+        }
+        self
+    }
+
+    /// Attaches a branch tag.
+    pub fn tagged(mut self, tag: &Option<String>) -> Self {
+        self.tag.clone_from(tag);
+        self
+    }
+
+    /// Iterates over emissions.
+    pub fn emissions(&self) -> impl Iterator<Item = &SentMsg> {
+        self.sent.iter().flatten()
+    }
+}
+
+/// A labelled transition system with encodable states.
+pub trait TransitionSystem {
+    /// Global configuration type.
+    type State: Clone;
+
+    /// The unique initial configuration.
+    fn initial(&self) -> Self::State;
+
+    /// Pushes every successor of `s` (with its label) into `out`.
+    /// `out` is cleared by the callee.
+    fn successors(&self, s: &Self::State, out: &mut Vec<(Label, Self::State)>) -> Result<()>;
+
+    /// Writes a canonical byte encoding of `s` into `out` (cleared first).
+    fn encode(&self, s: &Self::State, out: &mut Vec<u8>);
+
+    /// Convenience: encoded bytes as a fresh vector.
+    fn encoded(&self, s: &Self::State) -> Vec<u8> {
+        let mut v = Vec::new();
+        self.encode(s, &mut v);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_core::ids::RemoteId;
+
+    #[test]
+    fn label_builders() {
+        let l = Label::new(ProcessId::Home, LabelKind::Complete, "C1")
+            .completing(ProcessId::Remote(RemoteId(0)), MsgType(1))
+            .sending(SentMsg::ack(ProcessId::Home, ProcessId::Remote(RemoteId(0))));
+        assert_eq!(l.completes, Some((ProcessId::Remote(RemoteId(0)), MsgType(1))));
+        assert_eq!(l.emissions().count(), 1);
+        assert!(l.emissions().next().unwrap().is_ack);
+
+        let l2 = l
+            .clone()
+            .sending(SentMsg::nack(ProcessId::Home, ProcessId::Remote(RemoteId(1))));
+        assert_eq!(l2.emissions().count(), 2);
+    }
+
+    #[test]
+    fn sent_msg_constructors() {
+        let r = SentMsg::req(ProcessId::Home, ProcessId::Remote(RemoteId(0)), MsgType(7));
+        assert_eq!(r.msg, Some(MsgType(7)));
+        assert!(!r.is_ack && !r.is_nack);
+        let n = SentMsg::nack(ProcessId::Home, ProcessId::Remote(RemoteId(0)));
+        assert!(n.is_nack && n.msg.is_none());
+    }
+}

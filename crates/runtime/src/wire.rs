@@ -1,0 +1,176 @@
+//! Wire messages and the reliable in-order point-to-point network.
+//!
+//! The paper's communication model (§2.2): the network delivers messages
+//! reliably and in order between each pair of nodes. The paper assumes
+//! infinite buffering; for explicit-state model checking we bound each link
+//! and *check* (rather than assume) that the bound is never exceeded — an
+//! overflow surfaces as [`crate::RuntimeError::LinkOverflow`].
+
+use ccr_core::ids::MsgType;
+use ccr_core::value::Value;
+use std::collections::VecDeque;
+
+/// A message on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Wire {
+    /// A request for rendezvous carrying the message type and payload.
+    /// Optimized replies (`gr`, `ID`) also travel as `Req`s — their special
+    /// status is a property of the receiver's state, not of the wire format.
+    Req {
+        /// The message type requested.
+        msg: MsgType,
+        /// Payload, if the rendezvous carries one.
+        val: Option<Value>,
+    },
+    /// Positive acknowledgment: the rendezvous completed.
+    Ack,
+    /// Negative acknowledgment: the rendezvous failed; retransmit.
+    Nack,
+}
+
+impl Wire {
+    /// True for `Req`.
+    pub fn is_req(&self) -> bool {
+        matches!(self, Wire::Req { .. })
+    }
+
+    /// The request's message type, if a request.
+    pub fn req_msg(&self) -> Option<MsgType> {
+        match self {
+            Wire::Req { msg, .. } => Some(*msg),
+            _ => None,
+        }
+    }
+
+    /// Compact byte encoding for the state store.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Wire::Req { msg, val } => {
+                out.push(1);
+                out.push(msg.0 as u8);
+                match val {
+                    Some(v) => {
+                        out.push(1);
+                        v.encode(out);
+                    }
+                    None => out.push(0),
+                }
+            }
+            Wire::Ack => out.push(2),
+            Wire::Nack => out.push(3),
+        }
+    }
+}
+
+/// One direction of a point-to-point link: a bounded FIFO queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Link {
+    queue: VecDeque<Wire>,
+}
+
+impl Link {
+    /// Creates an empty link.
+    pub fn new() -> Self {
+        Self { queue: VecDeque::new() }
+    }
+
+    /// Appends a message; the caller enforces the capacity bound.
+    pub fn push(&mut self, w: Wire) {
+        self.queue.push_back(w);
+    }
+
+    /// Removes and returns the head message.
+    pub fn pop(&mut self) -> Option<Wire> {
+        self.queue.pop_front()
+    }
+
+    /// Peeks at the head message.
+    pub fn head(&self) -> Option<&Wire> {
+        self.queue.front()
+    }
+
+    /// Queue length.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if no messages are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Iterates over in-flight messages in delivery order.
+    pub fn iter(&self) -> impl Iterator<Item = &Wire> {
+        self.queue.iter()
+    }
+
+    /// Whether any in-flight message satisfies `pred`.
+    pub fn any(&self, pred: impl FnMut(&Wire) -> bool) -> bool {
+        self.queue.iter().any(pred)
+    }
+
+    /// Compact byte encoding for the state store.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.queue.len() as u8);
+        for w in &self.queue {
+            w.encode(out);
+        }
+    }
+}
+
+impl Default for Link {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_is_fifo() {
+        let mut l = Link::new();
+        assert!(l.is_empty());
+        l.push(Wire::Ack);
+        l.push(Wire::Nack);
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.head(), Some(&Wire::Ack));
+        assert_eq!(l.pop(), Some(Wire::Ack));
+        assert_eq!(l.pop(), Some(Wire::Nack));
+        assert_eq!(l.pop(), None);
+    }
+
+    #[test]
+    fn wire_helpers() {
+        let r = Wire::Req { msg: MsgType(3), val: Some(Value::Int(1)) };
+        assert!(r.is_req());
+        assert_eq!(r.req_msg(), Some(MsgType(3)));
+        assert!(!Wire::Ack.is_req());
+        assert_eq!(Wire::Nack.req_msg(), None);
+    }
+
+    #[test]
+    fn encodings_distinguish_messages() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        Wire::Req { msg: MsgType(0), val: None }.encode(&mut a);
+        Wire::Req { msg: MsgType(1), val: None }.encode(&mut b);
+        assert_ne!(a, b);
+        a.clear();
+        Wire::Ack.encode(&mut a);
+        b.clear();
+        Wire::Nack.encode(&mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn link_any_and_iter() {
+        let mut l = Link::new();
+        l.push(Wire::Req { msg: MsgType(5), val: None });
+        l.push(Wire::Ack);
+        assert!(l.any(|w| w.req_msg() == Some(MsgType(5))));
+        assert!(!l.any(|w| w.req_msg() == Some(MsgType(6))));
+        assert_eq!(l.iter().count(), 2);
+    }
+}

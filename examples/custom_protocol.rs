@@ -1,0 +1,98 @@
+//! Writing your own protocol: a read-once "mailbox" protocol built with
+//! the `ProtocolBuilder` DSL, validated, refined and verified end to end.
+//!
+//! The protocol: the home holds a mailbox value. A remote may `put` a new
+//! value (overwriting) or `get` the current value. `get` is answered by a
+//! `val` reply — a request/reply pair the refinement should discover —
+//! while `put` is a plain rendezvous that costs request+ack.
+//!
+//! Run: `cargo run --release --example custom_protocol`
+
+use coherence_refinement::prelude::*;
+use ccr_core::dot::dot_automaton;
+
+fn build_mailbox() -> ProtocolSpec {
+    let mut b = ProtocolBuilder::new("mailbox");
+    let put = b.msg("put");
+    let get = b.msg("get");
+    let val = b.msg("val");
+
+    // Home: a single communication state serving puts and gets.
+    let mbox = b.home_var("mbox", Value::Int(0));
+    let requester = b.home_var("requester", Value::Node(RemoteId(0)));
+    let serve = b.home_state("Serve");
+    let reply = b.home_state("Reply");
+    // put(v): store the value, ack implicitly via the ordinary scheme.
+    b.home(serve).recv_any(put).bind(mbox).goto(serve);
+    // get: remember who asked, answer with the mailbox contents.
+    b.home(serve).recv_any(get).bind_sender(requester).goto(reply);
+    b.home(reply)
+        .send_to(Expr::Var(requester), val)
+        .payload(Expr::Var(mbox))
+        .goto(serve);
+
+    // Remote: idle; sometimes put, sometimes get.
+    let seen = b.remote_var("seen", Value::Int(0));
+    let counter = b.remote_var("counter", Value::Int(0));
+    let idle = b.remote_state("Idle");
+    let putting = b.remote_state("Putting");
+    let getting = b.remote_state("Getting");
+    let waiting = b.remote_state("WaitVal");
+    b.remote(idle).tau().tag("put").goto(putting);
+    b.remote(idle).tau().tag("get").goto(getting);
+    // Each put writes a fresh (bounded) value derived from a local counter.
+    b.remote(putting)
+        .send(put)
+        .payload(Expr::add_mod(Expr::Var(counter), Expr::int(1), 4))
+        .assign(counter, Expr::add_mod(Expr::Var(counter), Expr::int(1), 4))
+        .goto(idle);
+    b.remote(getting).send(get).goto(waiting);
+    b.remote(waiting).recv(val).bind(seen).goto(idle);
+
+    b.finish().expect("mailbox satisfies the syntactic restrictions")
+}
+
+fn main() {
+    let spec = build_mailbox();
+    let refined = refine(&spec, &RefineOptions::default()).expect("refinable");
+
+    println!("=== mailbox protocol ===");
+    println!(
+        "detected pairs: {:?}",
+        refined
+            .pairs
+            .iter()
+            .map(|p| format!("{}→{}", spec.msg_name(p.req), spec.msg_name(p.repl)))
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(refined.pairs.len(), 1, "get/val should be the only pair");
+    let put = spec.msg_by_name("put").unwrap();
+    let get = spec.msg_by_name("get").unwrap();
+    println!(
+        "message cost per rendezvous: put={} get={} (val rides for free)",
+        refined.message_cost(put),
+        refined.message_cost(get)
+    );
+
+    // Verify: reachability, deadlock-freedom, soundness, progress.
+    let n = 2;
+    let rv = RendezvousSystem::new(&spec, n);
+    let r = ccr_mc::search::explore(&rv, &Budget::default(), |_| None, true);
+    println!("rendezvous: {} states, outcome {:?}", r.states, r.outcome);
+
+    let asys = AsyncSystem::new(&refined, n, AsyncConfig::default());
+    let a = ccr_mc::search::explore(&asys, &Budget::default(), |_| None, true);
+    println!("asynchronous: {} states, outcome {:?}", a.states, a.outcome);
+
+    let sim = check_simulation(&asys, &rv, &Budget::default());
+    println!("Equation 1 holds: {}", sim.holds());
+    assert!(sim.holds());
+    let prog = check_progress_default(&asys, &Budget::default());
+    println!("progress holds: {}", prog.holds());
+    assert!(prog.holds());
+
+    // Render the refined remote automaton (transients drawn dotted).
+    println!();
+    println!("=== refined remote automaton (Graphviz) ===");
+    println!("{}", dot_automaton(&refined.remote, "mailbox remote (refined)"));
+}

@@ -1,0 +1,72 @@
+//! Driving the DSM machine with the workloads the paper's domain
+//! motivates: migratory sharing, producer/consumer, read-mostly and
+//! hot-spot — comparing the derived protocol variants on message cost and
+//! fairness, plus a real multi-threaded run over crossbeam channels.
+//!
+//! Run: `cargo run --release --example dsm_workloads`
+
+use coherence_refinement::prelude::*;
+use ccr_dsm::threaded::{run_threaded, ThreadedConfig};
+use ccr_protocols::hand::hand_async_config;
+
+const STEPS: u64 = 100_000;
+
+fn main() {
+    let n = 4u32;
+
+    println!("== Migratory protocol under four workloads (n={n}, {STEPS} steps) ==");
+    let refined = migratory_refined(&MigratoryOptions::default());
+    let workloads: Vec<(&str, Box<dyn Workload>)> = vec![
+        ("migrating", Box::new(Migrating::new(1, 0.7, 0.5))),
+        ("read-mostly", Box::new(ReadMostly::new(2, 0.1, 0.7, 0.3))),
+        ("hot-spot", Box::new(HotSpot::new(3, RemoteId(0), 0.9, 0.05))),
+        ("prod/cons", Box::new(ProducerConsumer::new(4, RemoteId(0), 0.7, 0.4))),
+    ];
+    for (name, mut wl) in workloads {
+        let config = MachineConfig::standard(&refined, n, STEPS);
+        let machine = Machine::new(&refined, config);
+        let mut sched = RandomSched::new(10);
+        let report = machine.run(name, wl.as_mut(), &mut sched).expect("run");
+        println!("{}", report.summary());
+    }
+    println!();
+
+    println!("== Invalidate protocol: read-sharing pays off ==");
+    let inv = invalidate_refined(&InvalidateOptions::default());
+    for (name, mut wl) in [
+        ("read-mostly", ReadMostly::new(5, 0.05, 0.7, 0.2)),
+        ("write-heavy", ReadMostly::new(6, 0.9, 0.7, 0.2)),
+    ] {
+        let config = MachineConfig::standard(&inv, n, STEPS);
+        let machine = Machine::new(&inv, config);
+        let mut sched = RandomSched::new(11);
+        let report = machine.run(name, &mut wl, &mut sched).expect("run");
+        println!("{}", report.summary());
+    }
+    println!();
+
+    println!("== Derived vs hand-written baseline (the §5 comparison) ==");
+    let hand = migratory_hand(&MigratoryOptions::default());
+    for (variant, refined, hand_mode) in
+        [("derived", &refined, false), ("hand", &hand, true)]
+    {
+        let mut config = MachineConfig::standard(refined, n, STEPS);
+        if hand_mode {
+            config.asynch = hand_async_config(n);
+        }
+        let machine = Machine::new(refined, config);
+        let mut wl = Migrating::new(20, 0.7, 0.5);
+        let mut sched = RandomSched::new(21);
+        let report = machine.run(variant, &mut wl, &mut sched).expect("run");
+        println!("{}", report.summary());
+    }
+    println!();
+
+    println!("== Deployment-style run: one OS thread per node ==");
+    let config = ThreadedConfig { n, target_ops: 2_000, ..Default::default() };
+    let report = run_threaded(&refined, &config);
+    println!(
+        "  {} ops in {:?} across {} threads; per-remote completions {:?}; errors: {:?}",
+        report.ops, report.elapsed, n + 1, report.per_remote, report.error
+    );
+}

@@ -1,0 +1,95 @@
+protocol invalidate {
+  messages rreq, wreq, gr, grx, invs, inv, ID, rel, wb;
+  home {
+    var s: mask := mask(0);
+    var o: node := r0;
+    var j: node := r0;
+    var k: node := r0;
+    var d: int := 0;
+    state F init {
+      r(* -> j) ? rreq -> GS;
+      r(* -> j) ? wreq -> GX;
+    }
+    state GS {
+      r(j) ! gr (d) { s := madd(s, j); } -> S;
+    }
+    state GX {
+      r(j) ! grx (d) { o := j; } -> E;
+    }
+    state S {
+      r(* -> j) ? rreq -> GS;
+      r(* -> j) ? wreq -> INV;
+      r(* -> k) ? rel { s := mdel(s, k); } -> SCHK;
+    }
+    internal SCHK {
+      when empty(s) tau -> F;
+      when !(empty(s)) tau -> S;
+    }
+    state INV {
+      when !(empty(s)) r(first(s)) ! invs { s := mdel(s, first(s)); } -> INVC;
+      r(* -> k) ? rel { s := mdel(s, k); } -> INVC;
+    }
+    internal INVC {
+      when empty(s) tau -> GX;
+      when !(empty(s)) tau -> INV;
+    }
+    state E {
+      r(* -> j) ? rreq -> RVS;
+      r(* -> j) ? wreq -> RVX;
+      r(o) ? wb (bind d) -> F;
+    }
+    state RVS {
+      r(o) ! inv -> RVS2;
+      r(o) ? wb (bind d) -> GS;
+    }
+    state RVS2 {
+      r(o) ? ID (bind d) -> GS;
+      r(o) ? wb (bind d) -> GS;
+    }
+    state RVX {
+      r(o) ! inv -> RVX2;
+      r(o) ? wb (bind d) -> GX;
+    }
+    state RVX2 {
+      r(o) ? ID (bind d) -> GX;
+      r(o) ? wb (bind d) -> GX;
+    }
+  }
+  remote {
+    var data: int := 0;
+    state I init {
+      tau #read -> RRQ;
+      tau #write -> WRQ;
+    }
+    state RRQ {
+      h ! rreq -> WR;
+    }
+    state WR {
+      h ? gr (bind data) -> Sh;
+    }
+    state WRQ {
+      h ! wreq -> WW;
+    }
+    state WW {
+      h ? grx (bind data) -> M;
+    }
+    state Sh {
+      h ? invs { data := 0; } -> I;
+      tau #evict -> RELS;
+    }
+    state RELS {
+      h ! rel { data := 0; } -> I;
+    }
+    state M {
+      tau #write { data := ((data + 1) % 2); } -> M;
+      h ? inv -> IDS;
+      tau #evict -> WBS;
+    }
+    state IDS {
+      h ! ID (data) { data := 0; } -> I;
+    }
+    state WBS {
+      h ! wb (data) { data := 0; } -> I;
+    }
+  }
+}

@@ -1,0 +1,52 @@
+protocol migratory {
+  messages req, gr, LR, inv, ID;
+  home {
+    var o: node := r0;
+    var j: node := r0;
+    var d: int := 0;
+    state F init {
+      r(* -> j) ? req -> G1;
+    }
+    state G1 {
+      r(j) ! gr (d) { o := j; } -> E;
+    }
+    state E {
+      r(* -> j) ? req -> I1;
+      r(o) ? LR (bind d) -> F;
+    }
+    state I1 {
+      r(o) ! inv -> I2;
+      r(o) ? LR (bind d) -> I3;
+    }
+    state I2 {
+      r(o) ? ID (bind d) -> I3;
+      r(o) ? LR (bind d) -> I3;
+    }
+    state I3 {
+      r(j) ! gr (d) { o := j; } -> E;
+    }
+  }
+  remote {
+    var data: int := 0;
+    state I init {
+      tau #access -> RQ;
+    }
+    state RQ {
+      h ! req -> W;
+    }
+    state W {
+      h ? gr (bind data) -> V;
+    }
+    state V {
+      tau #write { data := ((data + 1) % 2); } -> V;
+      h ? inv -> IDS;
+      tau #evict -> LRS;
+    }
+    state IDS {
+      h ! ID (data) { data := 0; } -> I;
+    }
+    state LRS {
+      h ! LR (data) { data := 0; } -> I;
+    }
+  }
+}

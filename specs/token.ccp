@@ -1,0 +1,29 @@
+protocol token {
+  messages req, gr, rel;
+  home {
+    var o: node := r0;
+    state F init {
+      r(* -> o) ? req -> G1;
+    }
+    state G1 {
+      r(o) ! gr -> E;
+    }
+    state E {
+      r(o) ? rel -> F;
+    }
+  }
+  remote {
+    state I init {
+      tau #acquire -> RQ;
+    }
+    state RQ {
+      h ! req -> W;
+    }
+    state W {
+      h ? gr -> V;
+    }
+    state V {
+      h ! rel -> I;
+    }
+  }
+}

@@ -1,0 +1,58 @@
+protocol update {
+  messages rreq, gr, upd, push, rel;
+  home {
+    var s: mask := mask(0);
+    var t: mask := mask(0);
+    var j: node := r0;
+    var k: node := r0;
+    var w: node := r0;
+    var d: int := 0;
+    state F init {
+      r(* -> j) ? rreq -> GR;
+    }
+    state GR {
+      r(j) ! gr (d) { s := madd(s, j); } -> S;
+    }
+    state S {
+      r(* -> j) ? rreq -> GR;
+      r(* -> k) ? rel { s := mdel(s, k); } -> SCHK;
+      r(* -> w) ? upd (bind d) { t := mdel(s, w); } -> PUSHC;
+    }
+    internal SCHK {
+      when empty(s) tau -> F;
+      when !(empty(s)) tau -> S;
+    }
+    state PUSH {
+      when !(empty(t)) r(first(t)) ! push (d) { t := mdel(t, first(t)); } -> PUSHC;
+      r(* -> k) ? rel { s := mdel(s, k); t := mdel(t, k); } -> PUSHC;
+      r(* -> w) ? upd (bind d) { t := mdel(s, w); } -> PUSHC;
+    }
+    internal PUSHC {
+      when empty(t) tau -> S;
+      when !(empty(t)) tau -> PUSH;
+    }
+  }
+  remote {
+    var data: int := 0;
+    state I init {
+      tau #read -> RRQ;
+    }
+    state RRQ {
+      h ! rreq -> WR;
+    }
+    state WR {
+      h ? gr (bind data) -> Sh;
+    }
+    state Sh {
+      h ? push (bind data) -> Sh;
+      tau #write -> UPDS;
+      tau #evict -> RELS;
+    }
+    state UPDS {
+      h ! upd (((data + 1) % 2)) { data := ((data + 1) % 2); } -> Sh;
+    }
+    state RELS {
+      h ! rel { data := 0; } -> I;
+    }
+  }
+}

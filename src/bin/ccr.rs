@@ -1,0 +1,229 @@
+//! `ccr` — the command-line front end for the refinement pipeline.
+//!
+//! ```text
+//! ccr fmt     <spec.ccp>                  canonical formatting
+//! ccr check   <spec.ccp>                  validate the §2.4 restrictions
+//! ccr refine  <spec.ccp> [--no-opt]       show pairs, costs, automata sizes
+//! ccr dot     <spec.ccp> [--refined]      Graphviz to stdout
+//! ccr verify  <spec.ccp> [-n N] [--budget S] [--no-opt]
+//!                                         full pipeline: reachability both
+//!                                         levels, safety (deadlock),
+//!                                         Equation 1, forward progress
+//! ccr table   <spec.ccp> [-n N..]         per-N reachability comparison
+//! ```
+//!
+//! Specs are written in the textual form of `ccr_core::text` — see the
+//! bundled files under `specs/`.
+
+use ccr_core::dot::{dot_automaton, dot_spec};
+use ccr_core::refine::{refine, RefineOptions, ReqRepMode};
+use ccr_core::text::{parse_validated, to_text};
+use ccr_mc::progress::check_progress_default;
+use ccr_mc::search::{explore_plain, Budget};
+use ccr_mc::simrel::check_simulation;
+use ccr_mc::trace::explore_traced;
+use ccr_runtime::asynch::{AsyncConfig, AsyncSystem};
+use ccr_runtime::rendezvous::RendezvousSystem;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ccr <fmt|check|refine|dot|verify|table> <spec.ccp> \
+         [-n N] [--budget STATES] [--no-opt] [--refined]"
+    );
+    ExitCode::from(2)
+}
+
+struct Args {
+    cmd: String,
+    file: String,
+    n: u32,
+    budget: usize,
+    no_opt: bool,
+    refined: bool,
+}
+
+fn parse_args() -> Option<Args> {
+    let mut args = std::env::args().skip(1);
+    let cmd = args.next()?;
+    let file = args.next()?;
+    let mut out =
+        Args { cmd, file, n: 2, budget: 2_000_000, no_opt: false, refined: false };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "-n" => out.n = args.next()?.parse().ok()?,
+            "--budget" => out.budget = args.next()?.parse().ok()?,
+            "--no-opt" => out.no_opt = true,
+            "--refined" => out.refined = true,
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+fn main() -> ExitCode {
+    let Some(args) = parse_args() else { return usage() };
+    let src = match std::fs::read_to_string(&args.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ccr: cannot read {}: {e}", args.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match parse_validated(&src) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ccr: {}: {e}", args.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let opts = RefineOptions {
+        reqrep: if args.no_opt { ReqRepMode::Off } else { ReqRepMode::Auto },
+    };
+
+    match args.cmd.as_str() {
+        "fmt" => {
+            print!("{}", to_text(&spec));
+            ExitCode::SUCCESS
+        }
+        "check" => {
+            // parse_validated already ran the checks.
+            println!(
+                "ok: {} ({} home states, {} remote states, {} messages)",
+                spec.name,
+                spec.home.states.len(),
+                spec.remote.states.len(),
+                spec.msgs.len()
+            );
+            ExitCode::SUCCESS
+        }
+        "refine" => {
+            let r = match refine(&spec, &opts) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("ccr: refinement failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!("protocol {}", spec.name);
+            if r.pairs.is_empty() {
+                println!("  request/reply pairs: none");
+            } else {
+                for p in &r.pairs {
+                    println!(
+                        "  pair: {} answered by {} ({:?})",
+                        spec.msg_name(p.req),
+                        spec.msg_name(p.repl),
+                        p.direction
+                    );
+                }
+            }
+            println!(
+                "  home automaton: {} states ({} transient), {} edges",
+                r.home.states.len(),
+                r.home.transient_count(),
+                r.home.edges.len()
+            );
+            println!(
+                "  remote automaton: {} states ({} transient), {} edges",
+                r.remote.states.len(),
+                r.remote.transient_count(),
+                r.remote.edges.len()
+            );
+            println!("  static cost of one round of every rendezvous: {} messages", r.total_static_cost());
+            ExitCode::SUCCESS
+        }
+        "dot" => {
+            if args.refined {
+                match refine(&spec, &opts) {
+                    Ok(r) => {
+                        print!("{}", dot_automaton(&r.home, &format!("{} home (refined)", spec.name)));
+                        println!();
+                        print!(
+                            "{}",
+                            dot_automaton(&r.remote, &format!("{} remote (refined)", spec.name))
+                        );
+                    }
+                    Err(e) => {
+                        eprintln!("ccr: refinement failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                print!("{}", dot_spec(&spec));
+            }
+            ExitCode::SUCCESS
+        }
+        "verify" => {
+            let budget = Budget::states(args.budget);
+            let n = args.n;
+            let refined = match refine(&spec, &opts) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("ccr: refinement failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let rv = RendezvousSystem::new(&spec, n);
+            let r = explore_traced(&rv, &budget, |_| None, true);
+            println!("rendezvous level  (n={n}): {} states, {:?}", r.states, r.outcome);
+            if r.trail.is_some() {
+                println!("{}", r.trail_text());
+                return ExitCode::FAILURE;
+            }
+            let asys = AsyncSystem::new(&refined, n, AsyncConfig::default());
+            let a = explore_traced(&asys, &budget, |_| None, true);
+            println!("asynchronous level (n={n}): {} states, {:?}", a.states, a.outcome);
+            if a.trail.is_some() {
+                println!("{}", a.trail_text());
+                return ExitCode::FAILURE;
+            }
+            let sim = check_simulation(&asys, &rv, &budget);
+            println!(
+                "Equation 1: {} ({} transitions, {} stutters, {} mapped)",
+                if sim.holds() { "holds" } else { "VIOLATED" },
+                sim.transitions_checked,
+                sim.stutters,
+                sim.mapped_steps
+            );
+            if let Some(v) = &sim.violation {
+                println!("{v}");
+                return ExitCode::FAILURE;
+            }
+            let prog = check_progress_default(&asys, &budget);
+            println!(
+                "forward progress: {} ({} states, {} livelocked, {} deadlocked)",
+                if prog.holds() { "holds" } else { "VIOLATED" },
+                prog.states,
+                prog.livelocked_states,
+                prog.deadlocked_states
+            );
+            if prog.holds() && sim.holds() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        "table" => {
+            let budget = Budget::states(args.budget);
+            let refined = match refine(&spec, &opts) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("ccr: refinement failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!("| {:>3} | {:>18} | {:>18} |", "N", "asynchronous", "rendezvous");
+            for n in 1..=args.n {
+                let rv = explore_plain(&RendezvousSystem::new(&spec, n), &budget);
+                let asy = explore_plain(
+                    &AsyncSystem::new(&refined, n, AsyncConfig::default()),
+                    &budget,
+                );
+                println!("| {:>3} | {:>18} | {:>18} |", n, asy.table_cell(), rv.table_cell());
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

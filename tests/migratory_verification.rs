@@ -1,0 +1,75 @@
+//! End-to-end verification of the migratory protocol: reachability,
+//! coherence invariants, Equation 1 and forward progress at both levels.
+
+use ccr_mc::search::{explore, explore_plain, Budget};
+use ccr_mc::simrel::check_simulation;
+use ccr_mc::progress::check_progress_default;
+use ccr_protocols::migratory::{migratory, migratory_refined, MigratoryOptions};
+use ccr_protocols::props;
+use ccr_runtime::asynch::{AsyncConfig, AsyncSystem};
+use ccr_runtime::rendezvous::RendezvousSystem;
+
+#[test]
+fn rendezvous_reachability_and_safety() {
+    let spec = migratory(&MigratoryOptions::default());
+    for n in [1u32, 2, 3] {
+        let sys = RendezvousSystem::new(&spec, n);
+        let r = explore(&sys, &Budget::default(), props::migratory_rv_invariant(&spec), true);
+        assert!(r.outcome.is_complete(), "n={n}: {:?}", r.outcome);
+        println!("rendezvous migratory n={n}: {} states", r.states);
+    }
+}
+
+#[test]
+fn async_reachability_and_safety() {
+    let refined = migratory_refined(&MigratoryOptions::default());
+    for n in [1u32, 2] {
+        let sys = AsyncSystem::new(&refined, n, AsyncConfig::default());
+        let r = explore(
+            &sys,
+            &Budget::default(),
+            props::migratory_async_invariant(&refined.spec),
+            true,
+        );
+        assert!(r.outcome.is_complete(), "n={n}: {:?}", r.outcome);
+        println!("async migratory n={n}: {} states", r.states);
+    }
+}
+
+#[test]
+fn equation_one_holds_for_migratory() {
+    let refined = migratory_refined(&MigratoryOptions::default());
+    let rv = RendezvousSystem::new(&refined.spec, 2);
+    let asys = AsyncSystem::new(&refined, 2, AsyncConfig::default());
+    let r = check_simulation(&asys, &rv, &Budget::default());
+    assert!(r.holds(), "{r:?}");
+    println!("simrel: {} async states, {} stutters, {} mapped", r.async_states, r.stutters, r.mapped_steps);
+}
+
+#[test]
+fn progress_holds_for_migratory_async() {
+    let refined = migratory_refined(&MigratoryOptions::default());
+    let asys = AsyncSystem::new(&refined, 2, AsyncConfig::default());
+    let r = check_progress_default(&asys, &Budget::default());
+    assert!(r.holds(), "{r:?}");
+}
+
+#[test]
+fn rendezvous_much_smaller_than_async() {
+    let spec = migratory(&MigratoryOptions::default());
+    let refined = migratory_refined(&MigratoryOptions::default());
+    let rv = RendezvousSystem::new(&spec, 2);
+    let asys = AsyncSystem::new(&refined, 2, AsyncConfig::default());
+    let r1 = explore_plain(&rv, &Budget::default());
+    let r2 = explore_plain(&asys, &Budget::default());
+    println!("rv={} async={}", r1.states, r2.states);
+    assert!(r2.states > 3 * r1.states, "rv={} async={}", r1.states, r2.states);
+
+    // The gap widens rapidly with N (the paper's central observation).
+    let rv3 = RendezvousSystem::new(&spec, 3);
+    let asys3 = AsyncSystem::new(&refined, 3, AsyncConfig::default());
+    let r1 = explore_plain(&rv3, &Budget::default());
+    let r2 = explore_plain(&asys3, &Budget::default());
+    println!("n=3: rv={} async={}", r1.states, r2.states);
+    assert!(r2.states > 10 * r1.states, "rv={} async={}", r1.states, r2.states);
+}

@@ -1,0 +1,159 @@
+//! The refinement soundness theorem, property-tested over *randomly
+//! generated* valid protocols: for every spec satisfying the §2.4
+//! restrictions, the derived asynchronous protocol must
+//!
+//! 1. never trip a runtime assertion of the executor (unexpected acks,
+//!    duplicate requests, buffer overflows, unsound fire-and-forget
+//!    replies), and
+//! 2. satisfy Equation 1 — every reachable asynchronous transition maps
+//!    under `abs` to a stutter or one rendezvous step —
+//!
+//! regardless of which request/reply pairs the detector accepted. Random
+//! protocols deadlock all the time (that is allowed — they are arbitrary),
+//! but soundness must never fail. This hammers the reqrep safety checks,
+//! the transient-state rules and the abstraction function together.
+
+use ccr_core::builder::ProtocolBuilder;
+use ccr_core::expr::Expr;
+use ccr_core::ids::{MsgType, RemoteId};
+use ccr_core::process::ProtocolSpec;
+use ccr_core::refine::{refine, RefineOptions, ReqRepMode};
+use ccr_mc::search::Budget;
+use ccr_mc::simrel::check_simulation;
+use ccr_runtime::asynch::{AsyncConfig, AsyncSystem};
+use ccr_runtime::rendezvous::RendezvousSystem;
+use proptest::prelude::*;
+
+/// Shape of one remote state.
+#[derive(Debug, Clone)]
+enum RShape {
+    /// Active: one send.
+    Active { msg: usize, target: usize },
+    /// Passive: 1–2 recvs plus an optional tau escape.
+    Passive { recvs: Vec<(usize, usize)>, tau: Option<usize> },
+}
+
+/// Shape of one home branch.
+#[derive(Debug, Clone)]
+enum HShape {
+    RecvAny { msg: usize, target: usize },
+    SendTo { node: u32, msg: usize, target: usize },
+}
+
+fn arb_remote_state(nm: usize, ns: usize) -> impl Strategy<Value = RShape> {
+    prop_oneof![
+        (0..nm, 0..ns).prop_map(|(msg, target)| RShape::Active { msg, target }),
+        (
+            proptest::collection::vec((0..nm, 0..ns), 1..=2),
+            proptest::option::of(0..ns)
+        )
+            .prop_map(|(recvs, tau)| RShape::Passive { recvs, tau }),
+    ]
+}
+
+fn arb_home_branch(nm: usize, ns: usize, nremotes: u32) -> impl Strategy<Value = HShape> {
+    prop_oneof![
+        (0..nm, 0..ns).prop_map(|(msg, target)| HShape::RecvAny { msg, target }),
+        (0..nremotes, 0..nm, 0..ns)
+            .prop_map(|(node, msg, target)| HShape::SendTo { node, msg, target }),
+    ]
+}
+
+fn build(nm: usize, home: Vec<Vec<HShape>>, remote: Vec<RShape>) -> ProtocolSpec {
+    let mut b = ProtocolBuilder::new("random");
+    let msgs: Vec<MsgType> = (0..nm).map(|i| b.msg(&format!("m{i}"))).collect();
+    let hstates: Vec<_> = (0..home.len()).map(|i| b.home_state(&format!("H{i}"))).collect();
+    for (si, branches) in home.iter().enumerate() {
+        for br in branches {
+            match br {
+                HShape::RecvAny { msg, target } => {
+                    b.home(hstates[si]).recv_any(msgs[*msg]).goto(hstates[*target]);
+                }
+                HShape::SendTo { node, msg, target } => {
+                    b.home(hstates[si])
+                        .send_to(Expr::node(RemoteId(*node)), msgs[*msg])
+                        .goto(hstates[*target]);
+                }
+            }
+        }
+    }
+    let rstates: Vec<_> = (0..remote.len()).map(|i| b.remote_state(&format!("R{i}"))).collect();
+    for (si, shape) in remote.iter().enumerate() {
+        match shape {
+            RShape::Active { msg, target } => {
+                b.remote(rstates[si]).send(msgs[*msg]).goto(rstates[*target]);
+            }
+            RShape::Passive { recvs, tau } => {
+                for (msg, target) in recvs {
+                    b.remote(rstates[si]).recv(msgs[*msg]).goto(rstates[*target]);
+                }
+                if let Some(t) = tau {
+                    b.remote(rstates[si]).tau().goto(rstates[*t]);
+                }
+            }
+        }
+    }
+    b.finish().expect("generated specs satisfy §2.4 by construction")
+}
+
+fn soundness(spec: &ProtocolSpec, mode: ReqRepMode, n: u32) {
+    let refined = refine(spec, &RefineOptions { reqrep: mode }).unwrap();
+    let rv = RendezvousSystem::new(spec, n);
+    let asys = AsyncSystem::new(&refined, n, AsyncConfig::default());
+    // Budgeted: some random protocols have big spaces; an incomplete pass
+    // is fine, a *violation* never is.
+    let sim = check_simulation(&asys, &rv, &Budget::states(30_000));
+    assert!(
+        sim.violation.is_none(),
+        "soundness violated on a generated protocol:\n{}\nreport: {sim:?}",
+        ccr_core::text::to_text(spec)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn equation_one_never_fails_on_random_specs(
+        nm in 1..=3usize,
+        home in proptest::collection::vec(
+            proptest::collection::vec(arb_home_branch(3, 3, 2), 1..=3),
+            1..=3
+        ),
+        remote in proptest::collection::vec(arb_remote_state(3, 3), 1..=3),
+    ) {
+        // Clamp indices that exceeded the actual sizes (vec lengths vary).
+        let hs = home.len();
+        let rs = remote.len();
+        let home: Vec<Vec<HShape>> = home
+            .into_iter()
+            .map(|brs| {
+                brs.into_iter()
+                    .map(|b| match b {
+                        HShape::RecvAny { msg, target } => {
+                            HShape::RecvAny { msg: msg % nm, target: target % hs }
+                        }
+                        HShape::SendTo { node, msg, target } => {
+                            HShape::SendTo { node, msg: msg % nm, target: target % hs }
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let remote: Vec<RShape> = remote
+            .into_iter()
+            .map(|s| match s {
+                RShape::Active { msg, target } => {
+                    RShape::Active { msg: msg % nm, target: target % rs }
+                }
+                RShape::Passive { recvs, tau } => RShape::Passive {
+                    recvs: recvs.into_iter().map(|(m, t)| (m % nm, t % rs)).collect(),
+                    tau: tau.map(|t| t % rs),
+                },
+            })
+            .collect();
+        let spec = build(nm, home, remote);
+        soundness(&spec, ReqRepMode::Auto, 2);
+        soundness(&spec, ReqRepMode::Off, 2);
+    }
+}

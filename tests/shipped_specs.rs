@@ -1,0 +1,76 @@
+//! The `.ccp` spec files shipped under `specs/` stay in sync with the
+//! protocol constructors, parse cleanly, validate, and verify end to end.
+
+use ccr_core::text::{parse_validated, to_text};
+use ccr_mc::search::Budget;
+use ccr_mc::simrel::check_simulation;
+use ccr_core::refine::{refine, RefineOptions};
+use ccr_protocols::invalidate::{invalidate, InvalidateOptions};
+use ccr_protocols::migratory::{migratory, MigratoryOptions};
+use ccr_protocols::token::token;
+use ccr_protocols::update::{update, UpdateOptions};
+use ccr_runtime::asynch::{AsyncConfig, AsyncSystem};
+use ccr_runtime::rendezvous::RendezvousSystem;
+use std::path::Path;
+
+fn read(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("specs").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+#[test]
+fn shipped_specs_match_constructors() {
+    assert_eq!(read("token.ccp"), to_text(&token()));
+    assert_eq!(read("migratory.ccp"), to_text(&migratory(&MigratoryOptions::checking())));
+    assert_eq!(
+        read("migratory_gated.ccp"),
+        to_text(&migratory(&MigratoryOptions { data_domain: Some(2), cpu_gate: true }))
+    );
+    assert_eq!(
+        read("invalidate.ccp"),
+        to_text(&invalidate(&InvalidateOptions { data_domain: Some(2) }))
+    );
+    assert_eq!(read("update.ccp"), to_text(&update(&UpdateOptions { data_domain: Some(2) })));
+}
+
+#[test]
+fn shipped_specs_parse_and_validate() {
+    for name in
+        ["token.ccp", "migratory.ccp", "migratory_gated.ccp", "invalidate.ccp", "update.ccp"]
+    {
+        let spec = parse_validated(&read(name)).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(!spec.name.is_empty());
+    }
+}
+
+#[test]
+fn a_parsed_shipped_spec_verifies_end_to_end() {
+    let spec = parse_validated(&read("migratory.ccp")).unwrap();
+    let refined = refine(&spec, &RefineOptions::default()).unwrap();
+    assert_eq!(refined.pairs.len(), 2);
+    let rv = RendezvousSystem::new(&spec, 2);
+    let asys = AsyncSystem::new(&refined, 2, AsyncConfig::default());
+    let sim = check_simulation(&asys, &rv, &Budget::default());
+    assert!(sim.holds(), "{sim:?}");
+}
+
+#[test]
+fn cli_binary_verifies_a_shipped_spec() {
+    // Drive the actual `ccr` binary if it has been built; skip silently in
+    // bare `cargo test` runs where only the test profile exists.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let exe = root.join("target/release/ccr");
+    if !exe.exists() {
+        eprintln!("skipping: {} not built", exe.display());
+        return;
+    }
+    let out = std::process::Command::new(&exe)
+        .args(["verify", "specs/token.ccp", "-n", "2"])
+        .current_dir(root)
+        .output()
+        .expect("spawn ccr");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Equation 1: holds"), "{stdout}");
+    assert!(stdout.contains("forward progress: holds"), "{stdout}");
+}
