@@ -30,9 +30,7 @@ fn bench_refinement(c: &mut Criterion) {
         b.iter(|| black_box(refine(&mig, &RefineOptions::default()).unwrap()))
     });
     group.bench_function("refine/migratory/off", |b| {
-        b.iter(|| {
-            black_box(refine(&mig, &RefineOptions { reqrep: ReqRepMode::Off }).unwrap())
-        })
+        b.iter(|| black_box(refine(&mig, &RefineOptions { reqrep: ReqRepMode::Off }).unwrap()))
     });
     group.bench_function("refine/invalidate/auto", |b| {
         b.iter(|| black_box(refine(&inv, &RefineOptions::default()).unwrap()))

@@ -8,6 +8,9 @@
 //! report nack rates, Jain fairness and starvation counts.
 //!
 //! Run: `cargo run --release -p ccr-bench --bin buffers`
+//!
+//! Pass `--trace <file>` to narrate every run to `<file>` as JSONL trace
+//! events (one run after another, each ending with an `Outcome` line).
 
 use ccr_bench::configs;
 use ccr_core::ids::RemoteId;
@@ -16,8 +19,29 @@ use ccr_dsm::workload::Migrating;
 use ccr_protocols::migratory::{migratory_refined, MigratoryOptions};
 use ccr_runtime::asynch::AsyncConfig;
 use ccr_runtime::sched::{BiasedSched, RandomSched, Scheduler};
+use ccr_trace::{JsonlSink, NullSink, TraceSink};
+
+/// `--trace <file>` from the command line, as a boxed sink (`NullSink`
+/// when absent).
+fn sink_from_args() -> Box<dyn TraceSink> {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--trace") {
+        Some(i) => {
+            let path = args.get(i + 1).unwrap_or_else(|| {
+                eprintln!("--trace requires a file argument");
+                std::process::exit(2);
+            });
+            Box::new(JsonlSink::create(path).unwrap_or_else(|e| {
+                eprintln!("cannot create {path}: {e}");
+                std::process::exit(2);
+            }))
+        }
+        None => Box::new(NullSink),
+    }
+}
 
 fn main() {
+    let mut sink = sink_from_args();
     let n = 6u32;
     let refined = migratory_refined(&MigratoryOptions::default());
     println!("Migratory, n={n}, {} steps, home buffer k swept (§6):", configs::MESSAGE_RUN_STEPS);
@@ -28,7 +52,10 @@ fn main() {
             "| {:>2} | {:>7} | {:>8} | {:>7} | {:>9} | {:>8} | {:>7} |",
             "k", "ops", "messages", "nacks", "nack-rate", "fairness", "starved"
         );
-        println!("|{:-<4}|{:-<9}|{:-<10}|{:-<9}|{:-<11}|{:-<10}|{:-<9}|", "", "", "", "", "", "", "");
+        println!(
+            "|{:-<4}|{:-<9}|{:-<10}|{:-<9}|{:-<11}|{:-<10}|{:-<9}|",
+            "", "", "", "", "", "", ""
+        );
         for k in configs::BUFFER_KS {
             let mut config = MachineConfig::standard(&refined, n, configs::MESSAGE_RUN_STEPS);
             config.asynch = AsyncConfig::with_home_buffer(k);
@@ -39,7 +66,8 @@ fn main() {
             } else {
                 Box::new(RandomSched::new(88))
             };
-            let report = machine.run("derived", &mut wl, sched.as_mut()).expect("run");
+            let report =
+                machine.run_observed("derived", &mut wl, sched.as_mut(), &mut *sink).expect("run");
             let nack_rate = if report.messages == 0 {
                 0.0
             } else {

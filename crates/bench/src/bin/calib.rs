@@ -10,23 +10,35 @@ fn main() {
     for n in [2u32, 3, 4] {
         let sys = AsyncSystem::new(&mig, n, AsyncConfig::default());
         let r = explore_plain(&sys, &budget);
-        println!("async migratory(data=2) n={n}: {} states {:?} in {:?}", r.states, r.outcome, r.elapsed);
+        println!(
+            "async migratory(data=2) n={n}: {} states {:?} in {:?}",
+            r.states, r.outcome, r.elapsed
+        );
     }
     let spec = mig.spec.clone();
     for n in [8u32, 16] {
         let sys = RendezvousSystem::new(&spec, n);
         let r = explore_plain(&sys, &budget);
-        println!("rv migratory(data=2) n={n}: {} states {:?} in {:?}", r.states, r.outcome, r.elapsed);
+        println!(
+            "rv migratory(data=2) n={n}: {} states {:?} in {:?}",
+            r.states, r.outcome, r.elapsed
+        );
     }
     let inv = invalidate_refined(&InvalidateOptions { data_domain: Some(2) });
     for n in [2u32, 3] {
         let sys = AsyncSystem::new(&inv, n, AsyncConfig::default());
         let r = explore_plain(&sys, &budget);
-        println!("async invalidate(data=2) n={n}: {} states {:?} in {:?}", r.states, r.outcome, r.elapsed);
+        println!(
+            "async invalidate(data=2) n={n}: {} states {:?} in {:?}",
+            r.states, r.outcome, r.elapsed
+        );
     }
     for n in [4u32, 6] {
         let sys = RendezvousSystem::new(&inv.spec, n);
         let r = explore_plain(&sys, &budget);
-        println!("rv invalidate(data=2) n={n}: {} states {:?} in {:?}", r.states, r.outcome, r.elapsed);
+        println!(
+            "rv invalidate(data=2) n={n}: {} states {:?} in {:?}",
+            r.states, r.outcome, r.elapsed
+        );
     }
 }

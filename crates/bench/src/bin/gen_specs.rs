@@ -5,7 +5,8 @@ use ccr_protocols::token::token;
 use ccr_protocols::update::{update, UpdateOptions};
 fn main() {
     std::fs::write("specs/token.ccp", to_text(&token())).unwrap();
-    std::fs::write("specs/migratory.ccp", to_text(&migratory(&MigratoryOptions::checking()))).unwrap();
+    std::fs::write("specs/migratory.ccp", to_text(&migratory(&MigratoryOptions::checking())))
+        .unwrap();
     std::fs::write(
         "specs/migratory_gated.ccp",
         to_text(&migratory(&MigratoryOptions { data_domain: Some(2), cpu_gate: true })),
@@ -16,10 +17,7 @@ fn main() {
         to_text(&invalidate(&InvalidateOptions { data_domain: Some(2) })),
     )
     .unwrap();
-    std::fs::write(
-        "specs/update.ccp",
-        to_text(&update(&UpdateOptions { data_domain: Some(2) })),
-    )
-    .unwrap();
+    std::fs::write("specs/update.ccp", to_text(&update(&UpdateOptions { data_domain: Some(2) })))
+        .unwrap();
     println!("specs written");
 }

@@ -11,6 +11,9 @@
 //!   baseline the paper says the derived protocol nearly matches.
 //!
 //! Run: `cargo run --release -p ccr-bench --bin messages`
+//!
+//! Pass `--trace <file>` to narrate every run to `<file>` as JSONL trace
+//! events (one run after another, each ending with an `Outcome` line).
 
 use ccr_bench::configs;
 use ccr_core::refine::{refine, RefineOptions, RefinedProtocol, ReqRepMode};
@@ -19,8 +22,9 @@ use ccr_dsm::workload::Migrating;
 use ccr_protocols::hand::{hand_async_config, migratory_hand};
 use ccr_protocols::migratory::{migratory, MigratoryOptions};
 use ccr_runtime::sched::RandomSched;
+use ccr_trace::{JsonlSink, NullSink, TraceSink};
 
-fn run(refined: &RefinedProtocol, variant: &str, n: u32, hand: bool) {
+fn run(refined: &RefinedProtocol, variant: &str, n: u32, hand: bool, sink: &mut dyn TraceSink) {
     let mut config = MachineConfig::standard(refined, n, configs::MESSAGE_RUN_STEPS);
     if hand {
         config.asynch = hand_async_config(n);
@@ -28,11 +32,31 @@ fn run(refined: &RefinedProtocol, variant: &str, n: u32, hand: bool) {
     let machine = Machine::new(refined, config);
     let mut wl = Migrating::new(1000 + n as u64, 0.7, 0.5);
     let mut sched = RandomSched::new(2000 + n as u64);
-    let report = machine.run(variant, &mut wl, &mut sched).expect("machine run");
+    let report = machine.run_observed(variant, &mut wl, &mut sched, sink).expect("machine run");
     println!("{}", report.summary());
 }
 
+/// `--trace <file>` from the command line, as a boxed sink (`NullSink`
+/// when absent).
+fn sink_from_args() -> Box<dyn TraceSink> {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--trace") {
+        Some(i) => {
+            let path = args.get(i + 1).unwrap_or_else(|| {
+                eprintln!("--trace requires a file argument");
+                std::process::exit(2);
+            });
+            Box::new(JsonlSink::create(path).unwrap_or_else(|e| {
+                eprintln!("cannot create {path}: {e}");
+                std::process::exit(2);
+            }))
+        }
+        None => Box::new(NullSink),
+    }
+}
+
 fn main() {
+    let mut sink = sink_from_args();
     println!("Migratory message efficiency on a migrating workload");
     println!("(one line, {} machine steps, random scheduler):", configs::MESSAGE_RUN_STEPS);
     println!();
@@ -42,9 +66,9 @@ fn main() {
     let noopt = refine(&spec, &RefineOptions { reqrep: ReqRepMode::Off }).expect("refine");
     let hand = migratory_hand(&opts);
     for n in [2u32, 4, 8] {
-        run(&derived, "derived", n, false);
-        run(&noopt, "derived-noopt", n, false);
-        run(&hand, "hand", n, true);
+        run(&derived, "derived", n, false, &mut *sink);
+        run(&noopt, "derived-noopt", n, false, &mut *sink);
+        run(&hand, "hand", n, true, &mut *sink);
         println!();
     }
     println!("Static per-rendezvous cost (messages, successful case):");

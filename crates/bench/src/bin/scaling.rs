@@ -15,9 +15,16 @@ fn main() {
     let opts = MigratoryOptions::checking_with_data(configs::DATA_DOMAIN);
     let spec = migratory(&opts);
     println!("Rendezvous migratory scaling (budget 32 MB, as in the paper):");
-    println!("| {:>3} | {:>10} | {:>12} | {:>10} | {:>9} |", "N", "states", "transitions", "store KB", "secs");
+    println!(
+        "| {:>3} | {:>10} | {:>12} | {:>10} | {:>9} |",
+        "N", "states", "transitions", "store KB", "secs"
+    );
     println!("|{:-<5}|{:-<12}|{:-<14}|{:-<12}|{:-<11}|", "", "", "", "", "");
-    let budget = Budget { max_bytes: 32 << 20, max_time: Some(Duration::from_secs(120)), ..Budget::default() };
+    let budget = Budget {
+        max_bytes: 32 << 20,
+        max_time: Some(Duration::from_secs(120)),
+        ..Budget::default()
+    };
     for n in configs::SCALING_NS {
         let sys = RendezvousSystem::new(&spec, n);
         let r = explore_plain(&sys, &budget);

@@ -5,12 +5,12 @@
 //! Run: `cargo run --release -p ccr-bench --bin table3`
 
 use ccr_bench::configs;
+use ccr_core::refine::RefinedProtocol;
 use ccr_mc::search::explore_plain;
 use ccr_protocols::invalidate::{invalidate_refined, InvalidateOptions};
 use ccr_protocols::migratory::{migratory_refined, MigratoryOptions};
 use ccr_runtime::asynch::{AsyncConfig, AsyncSystem};
 use ccr_runtime::rendezvous::RendezvousSystem;
-use ccr_core::refine::RefinedProtocol;
 
 fn row(refined: &RefinedProtocol, protocol: &str, n: u32) -> (String, String) {
     let budget = configs::table3_budget();

@@ -7,11 +7,7 @@ use std::time::Duration;
 /// The Table 3 memory/time budget, standing in for the paper's 64 MB SPIN
 /// limit. A run that exhausts any bound reports `Unfinished`.
 pub fn table3_budget() -> Budget {
-    Budget {
-        max_states: 1_500_000,
-        max_bytes: 64 << 20,
-        max_time: Some(Duration::from_secs(60)),
-    }
+    Budget { max_states: 1_500_000, max_bytes: 64 << 20, max_time: Some(Duration::from_secs(60)) }
 }
 
 /// Remote counts for the migratory rows of Table 3 (the paper's 2/4/8).

@@ -391,11 +391,7 @@ mod tests {
         let m = b.msg("m");
         let h = b.home_state("H");
         let x = b.home_var("x", Value::Int(0));
-        b.home(h)
-            .recv_any(m)
-            .assign(x, Expr::int(1))
-            .assign(x, Expr::int(2))
-            .goto(h);
+        b.home(h).recv_any(m).assign(x, Expr::int(1)).assign(x, Expr::int(2)).goto(h);
         let spec = b.finish_unchecked().unwrap();
         let br = &spec.home.states[0].branches[0];
         assert_eq!(br.assigns.len(), 2);

@@ -38,12 +38,7 @@ pub fn dot_process(spec: &ProtocolSpec, p: &Process, title: &str) -> String {
                 let _ = write!(label, "[{g}] ");
             }
             let _ = write!(label, "{}", render_action(spec, &br.action));
-            let _ = writeln!(
-                out,
-                "  s{si} -> s{} [label=\"{}\"];",
-                br.target.index(),
-                esc(&label)
-            );
+            let _ = writeln!(out, "  s{si} -> s{} [label=\"{}\"];", br.target.index(), esc(&label));
         }
     }
     let _ = writeln!(out, "}}");

@@ -92,24 +92,15 @@ impl Expr {
 
     /// Convenience constructor for `(a + b) % m`.
     pub fn add_mod(a: Expr, b: Expr, m: i64) -> Self {
-        Expr::Mod(
-            Box::new(Expr::Add(Box::new(a), Box::new(b))),
-            Box::new(Expr::int(m)),
-        )
+        Expr::Mod(Box::new(Expr::Add(Box::new(a), Box::new(b))), Box::new(Expr::int(m)))
     }
 
     /// Evaluates the expression in `ctx`.
     pub fn eval(&self, ctx: EvalCtx<'_>) -> Result<Value> {
         match self {
             Expr::Const(v) => Ok(*v),
-            Expr::Var(v) => ctx
-                .env
-                .get(v.index())
-                .ok_or(CoreError::UnknownVar { var: *v }),
-            Expr::SelfId => ctx
-                .self_id
-                .map(Value::Node)
-                .ok_or(CoreError::SelfIdInHome),
+            Expr::Var(v) => ctx.env.get(v.index()).ok_or(CoreError::UnknownVar { var: *v }),
+            Expr::SelfId => ctx.self_id.map(Value::Node).ok_or(CoreError::SelfIdInHome),
             Expr::Not(e) => {
                 let b = Self::expect_bool(e.eval(ctx)?)?;
                 Ok(Value::Bool(!b))
@@ -191,39 +182,24 @@ impl Expr {
     pub fn eval_node(&self, ctx: EvalCtx<'_>) -> Result<RemoteId> {
         match self.eval(ctx)? {
             Value::Node(n) => Ok(n),
-            other => Err(CoreError::TypeMismatch {
-                expected: "node",
-                got: other,
-            }),
+            other => Err(CoreError::TypeMismatch { expected: "node", got: other }),
         }
     }
 
     fn expect_bool(v: Value) -> Result<bool> {
-        v.as_bool().ok_or(CoreError::TypeMismatch {
-            expected: "bool",
-            got: v,
-        })
+        v.as_bool().ok_or(CoreError::TypeMismatch { expected: "bool", got: v })
     }
 
     fn expect_int(v: Value) -> Result<i64> {
-        v.as_int().ok_or(CoreError::TypeMismatch {
-            expected: "int",
-            got: v,
-        })
+        v.as_int().ok_or(CoreError::TypeMismatch { expected: "int", got: v })
     }
 
     fn expect_mask(v: Value) -> Result<u64> {
-        v.as_mask().ok_or(CoreError::TypeMismatch {
-            expected: "node set",
-            got: v,
-        })
+        v.as_mask().ok_or(CoreError::TypeMismatch { expected: "node set", got: v })
     }
 
     fn expect_node(v: Value) -> Result<RemoteId> {
-        v.as_node().ok_or(CoreError::TypeMismatch {
-            expected: "node",
-            got: v,
-        })
+        v.as_node().ok_or(CoreError::TypeMismatch { expected: "node", got: v })
     }
 
     /// Collects the variables read by this expression into `vars`.
@@ -305,10 +281,8 @@ mod tests {
         let env = Env::new(vec![Value::Int(1), Value::Int(2)]);
         let lt = Expr::Lt(Box::new(Expr::Var(VarId(0))), Box::new(Expr::Var(VarId(1))));
         assert_eq!(lt.eval(ctx(&env)).unwrap(), Value::Bool(true));
-        let combo = Expr::And(
-            Box::new(lt.clone()),
-            Box::new(Expr::Not(Box::new(Expr::bool(false)))),
-        );
+        let combo =
+            Expr::And(Box::new(lt.clone()), Box::new(Expr::Not(Box::new(Expr::bool(false)))));
         assert!(combo.eval_bool(ctx(&env)).unwrap());
         let or = Expr::Or(Box::new(Expr::bool(false)), Box::new(Expr::bool(true)));
         assert!(or.eval_bool(ctx(&env)).unwrap());
@@ -330,10 +304,7 @@ mod tests {
     #[test]
     fn eval_errors() {
         let env = Env::new(vec![Value::Unit]);
-        assert!(matches!(
-            Expr::Var(VarId(7)).eval(ctx(&env)),
-            Err(CoreError::UnknownVar { .. })
-        ));
+        assert!(matches!(Expr::Var(VarId(7)).eval(ctx(&env)), Err(CoreError::UnknownVar { .. })));
         let bad = Expr::Add(Box::new(Expr::Var(VarId(0))), Box::new(Expr::int(1)));
         assert!(matches!(bad.eval(ctx(&env)), Err(CoreError::TypeMismatch { .. })));
         let div = Expr::Mod(Box::new(Expr::int(1)), Box::new(Expr::int(0)));

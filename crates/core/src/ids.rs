@@ -3,7 +3,21 @@
 //! All identifiers are thin newtypes over small integers so that protocol
 //! states can be encoded compactly for the explicit-state model checker.
 
+use serde::{Serialize, Serializer};
 use std::fmt;
+
+/// All identifiers serialize as their `Display` form (`"r3"`, `"h"`,
+/// `"m2"`, ...) so JSON traces and reports read like the diagnostics.
+macro_rules! serialize_as_display {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, s: &mut Serializer) {
+                s.serialize_str(&self.to_string());
+            }
+        }
+    )*};
+}
+serialize_as_display!(RemoteId, ProcessId, StateId, MsgType, VarId, BranchId);
 
 /// Identity of one remote (caching) node. Remote ids are dense: a system of
 /// `n` remotes uses ids `0..n`.

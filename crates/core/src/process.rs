@@ -204,10 +204,7 @@ impl Process {
 
     /// Finds a state id by name.
     pub fn state_by_name(&self, name: &str) -> Option<StateId> {
-        self.states
-            .iter()
-            .position(|s| s.name == name)
-            .map(|i| StateId(i as u32))
+        self.states.iter().position(|s| s.name == name).map(|i| StateId(i as u32))
     }
 
     /// Number of states.

@@ -110,10 +110,7 @@ pub struct AsyncAutomaton {
 impl AsyncAutomaton {
     /// Number of transient states introduced by refinement.
     pub fn transient_count(&self) -> usize {
-        self.states
-            .iter()
-            .filter(|s| matches!(s.kind, ANodeKind::Transient { .. }))
-            .count()
+        self.states.iter().filter(|s| matches!(s.kind, ANodeKind::Transient { .. })).count()
     }
 
     /// Finds the node index of the non-transient image of a spec state.

@@ -257,8 +257,7 @@ mod tests {
 
     #[test]
     fn unoptimized_remote_has_plain_transients() {
-        let refined =
-            refine(&token_spec(), &RefineOptions { reqrep: ReqRepMode::Off }).unwrap();
+        let refined = refine(&token_spec(), &RefineOptions { reqrep: ReqRepMode::Off }).unwrap();
         assert_eq!(refined.remote.transient_count(), 2);
         assert_eq!(refined.remote.count_edges(AEdgeKind::RecvReply), 0);
         assert_eq!(refined.remote.count_edges(AEdgeKind::RecvAck), 2);
@@ -276,11 +275,8 @@ mod tests {
         let i = spec.remote.state_by_name("I").unwrap();
         let v = spec.remote.state_by_name("V").unwrap();
         let t = refined.remote.transient_of(i, 0).expect("transient for req");
-        let reply_edge = refined
-            .remote
-            .edges_from(t)
-            .find(|e| e.kind == AEdgeKind::RecvReply)
-            .unwrap();
+        let reply_edge =
+            refined.remote.edges_from(t).find(|e| e.kind == AEdgeKind::RecvReply).unwrap();
         // Receiving gr lands directly in V, skipping the waiting state W.
         assert_eq!(reply_edge.to, v.index());
     }

@@ -24,10 +24,10 @@
 //! simulation checker in `ccr-mc` verifies Equation 1 over the full state
 //! space, so an unsound pair cannot survive verification silently.
 
+use super::ReqRepMode;
 use crate::error::{CoreError, Result};
 use crate::ids::{MsgType, StateId};
 use crate::process::{CommAction, Peer, Process, ProtocolSpec, StateKind};
-use super::ReqRepMode;
 use std::collections::HashSet;
 
 /// Who initiates the optimized request.
@@ -316,10 +316,7 @@ fn home_send_reply_dominated(spec: &ProtocolSpec, si: usize, bi: usize, q: MsgTy
                     Peer::Remote(e) => e == &peer,
                     _ => false,
                 };
-                let assigns_designator = b
-                    .assigns
-                    .iter()
-                    .any(|(v, _)| peer_vars.contains(v));
+                let assigns_designator = b.assigns.iter().any(|(v, _)| peer_vars.contains(v));
                 binds_designator || assigns_designator
             }
             _ => false,

@@ -37,9 +37,7 @@
 use crate::error::{CoreError, Result};
 use crate::expr::Expr;
 use crate::ids::{MsgType, RemoteId, StateId, SymbolTable, VarId};
-use crate::process::{
-    Branch, CommAction, Peer, Process, ProtocolSpec, State, StateKind, VarDecl,
-};
+use crate::process::{Branch, CommAction, Peer, Process, ProtocolSpec, State, StateKind, VarDecl};
 use crate::value::Value;
 use std::fmt::Write as _;
 
@@ -200,8 +198,8 @@ struct Lexer {
 }
 
 const PUNCTS: [&str; 20] = [
-    "->", ":=", "==", "!=", "&&", "||", "{", "}", "(", ")", ",", ";", ":", "?", "!", "*", "#",
-    "<", "%", "+",
+    "->", ":=", "==", "!=", "&&", "||", "{", "}", "(", ")", ",", ";", ":", "?", "!", "*", "#", "<",
+    "%", "+",
 ];
 
 fn lex(src: &str) -> Result<Lexer> {
@@ -433,7 +431,8 @@ fn parse_process(
         lx.eat_punct(";")?;
         vars.push(VarDecl { name, init });
     }
-    let mut names = Names { vars: vars.iter().map(|v| v.name.clone()).collect(), states: Vec::new() };
+    let mut names =
+        Names { vars: vars.iter().map(|v| v.name.clone()).collect(), states: Vec::new() };
     // Pre-scan the block for state declarations so that StateIds follow
     // declaration order (matching the builder), not first-mention order —
     // forward references like `-> GS;` would otherwise renumber states.
@@ -503,8 +502,7 @@ fn parse_process(
             })
         })
         .collect::<Result<_>>()?;
-    let initial =
-        initial.ok_or_else(|| CoreError::Builder(format!("{pname}: no `init` state")))?;
+    let initial = initial.ok_or_else(|| CoreError::Builder(format!("{pname}: no `init` state")))?;
     Ok(Process { name: pname.to_string(), states, vars, initial })
 }
 

@@ -44,7 +44,10 @@ fn validate_process(p: &Process, label: &'static str, is_home: bool) -> Result<(
         match st.kind {
             StateKind::Internal => {
                 if st.branches.iter().any(|b| !b.action.is_tau()) {
-                    return Err(CoreError::InternalStateCommunicates { process: label, state: sid });
+                    return Err(CoreError::InternalStateCommunicates {
+                        process: label,
+                        state: sid,
+                    });
                 }
             }
             StateKind::Communication => {
@@ -55,7 +58,8 @@ fn validate_process(p: &Process, label: &'static str, is_home: bool) -> Result<(
                         return Err(CoreError::StarViolation {
                             process: label,
                             state: sid,
-                            detail: "home communication state has a tau guard; use an internal state",
+                            detail:
+                                "home communication state has a tau guard; use an internal state",
                         });
                     }
                 } else {
@@ -426,11 +430,7 @@ mod tests {
         let h = b.home_state("H");
         let r = b.remote_state("R");
         let x = b.home_var("x", Value::Int(0));
-        b.home(h)
-            .when(Expr::eq(Expr::Var(x), Expr::int(0)))
-            .recv_any(m)
-            .bind(x)
-            .goto(h);
+        b.home(h).when(Expr::eq(Expr::Var(x), Expr::int(0))).recv_any(m).bind(x).goto(h);
         b.remote(r).send(m).goto(r);
         let err = b.finish().unwrap_err();
         assert!(matches!(err, CoreError::DanglingVar { .. }));

@@ -4,7 +4,9 @@
 use ccr_core::builder::ProtocolBuilder;
 use ccr_core::expr::{EvalCtx, Expr};
 use ccr_core::ids::{RemoteId, StateId, VarId};
-use ccr_core::process::{Branch, CommAction, Peer, Process, ProtocolSpec, State, StateKind, VarDecl};
+use ccr_core::process::{
+    Branch, CommAction, Peer, Process, ProtocolSpec, State, StateKind, VarDecl,
+};
 use ccr_core::text::{parse, to_text};
 use ccr_core::value::{Env, Value};
 use proptest::prelude::*;
@@ -169,18 +171,15 @@ fn arb_spec() -> impl Strategy<Value = ProtocolSpec> {
 fn arb_home_branch(nm: usize, nv: usize, ns: usize) -> impl Strategy<Value = Branch> {
     let action = prop_oneof![
         // recv_any with optional binds
-        (
-            0..nm,
-            proptest::option::of(0..nv.max(1)),
-            proptest::option::of(0..nv.max(1))
-        )
-            .prop_map(move |(m, sb, pb)| CommAction::Recv {
+        (0..nm, proptest::option::of(0..nv.max(1)), proptest::option::of(0..nv.max(1))).prop_map(
+            move |(m, sb, pb)| CommAction::Recv {
                 from: Peer::AnyRemote {
                     bind: if nv == 0 { None } else { sb.map(|v| VarId(v as u32)) }
                 },
                 msg: ccr_core::ids::MsgType(m as u32),
                 bind: if nv == 0 { None } else { pb.map(|v| VarId(v as u32)) },
-            }),
+            }
+        ),
         // send to a node expression
         (0..nm, arb_expr(nv), proptest::option::of(arb_expr(nv))).prop_map(|(m, peer, pl)| {
             CommAction::Send {
@@ -190,14 +189,15 @@ fn arb_home_branch(nm: usize, nv: usize, ns: usize) -> impl Strategy<Value = Bra
             }
         }),
     ];
-    (arb_guard(nv), action, arb_assigns(nv), 0..ns, proptest::option::of("[a-z]{1,4}"))
-        .prop_map(|(guard, action, assigns, tgt, tag)| Branch {
+    (arb_guard(nv), action, arb_assigns(nv), 0..ns, proptest::option::of("[a-z]{1,4}")).prop_map(
+        |(guard, action, assigns, tgt, tag)| Branch {
             guard,
             action,
             assigns,
             target: StateId(tgt as u32),
             tag,
-        })
+        },
+    )
 }
 
 fn arb_remote_branch(nm: usize, nv: usize, ns: usize) -> impl Strategy<Value = Branch> {
@@ -214,14 +214,15 @@ fn arb_remote_branch(nm: usize, nv: usize, ns: usize) -> impl Strategy<Value = B
             bind: if nv == 0 { None } else { b.map(|v| VarId(v as u32)) },
         }),
     ];
-    (arb_guard(nv), action, arb_assigns(nv), 0..ns, proptest::option::of("[a-z]{1,4}"))
-        .prop_map(|(guard, action, assigns, tgt, tag)| Branch {
+    (arb_guard(nv), action, arb_assigns(nv), 0..ns, proptest::option::of("[a-z]{1,4}")).prop_map(
+        |(guard, action, assigns, tgt, tag)| Branch {
             guard,
             action,
             assigns,
             target: StateId(tgt as u32),
             tag,
-        })
+        },
+    )
 }
 
 fn assemble_spec(
@@ -333,10 +334,7 @@ fn clamp_expr(e: &mut Expr, nvars: usize) {
 }
 
 fn clamp_vars(spec: &mut ProtocolSpec) {
-    for (p, n) in [
-        (&mut spec.home, 0usize),
-        (&mut spec.remote, 0usize),
-    ] {
+    for (p, n) in [(&mut spec.home, 0usize), (&mut spec.remote, 0usize)] {
         let n = if n == 0 { p.vars.len() } else { n };
         for st in &mut p.states {
             for br in &mut st.branches {

@@ -22,7 +22,12 @@ use ccr_runtime::error::{Result, RuntimeError};
 use ccr_runtime::wire::Wire;
 use std::collections::HashMap;
 
-fn apply_assigns(br: &Branch, env: &mut Env, self_id: Option<RemoteId>, who: ProcessId) -> Result<()> {
+fn apply_assigns(
+    br: &Branch,
+    env: &mut Env,
+    self_id: Option<RemoteId>,
+    who: ProcessId,
+) -> Result<()> {
     for (v, e) in &br.assigns {
         let val = e
             .eval(EvalCtx { env, self_id })
@@ -158,8 +163,10 @@ impl<'a> RemoteEngine<'a> {
                         if self.refined.remote_reply.get(&(state, branch)) == Some(&msg) {
                             // Optimized reply completes both halves.
                             let br = self.branch(state, branch)?;
-                            let reqmsg =
-                                br.action.msg().ok_or(RuntimeError::BadState { who: self.who() })?;
+                            let reqmsg = br
+                                .action
+                                .msg()
+                                .ok_or(RuntimeError::BadState { who: self.who() })?;
                             let mut env = std::mem::replace(&mut self.env, Env::new(vec![]));
                             apply_assigns(br, &mut env, Some(self.id), self.who())?;
                             let mid = self
@@ -208,7 +215,11 @@ impl<'a> RemoteEngine<'a> {
     /// (C3), issue our own request when a `Send` state is reached (C1/C2),
     /// or fire an enabled tau decision. `decide` gates tagged tau branches.
     /// Returns `true` if the engine changed state or emitted something.
-    pub fn poll(&mut self, decide: &mut dyn FnMut(&str) -> bool, out: &mut Vec<Wire>) -> Result<bool> {
+    pub fn poll(
+        &mut self,
+        decide: &mut dyn FnMut(&str) -> bool,
+        out: &mut Vec<Wire>,
+    ) -> Result<bool> {
         let st_id = match self.phase {
             Phase::At(st) => st,
             Phase::Awaiting { .. } => return Ok(false),
@@ -330,7 +341,12 @@ pub struct HomeEngine<'a> {
 
 impl<'a> HomeEngine<'a> {
     /// Creates the engine. `home_buffer` is the paper's `k >= 2`.
-    pub fn new(refined: &'a RefinedProtocol, n: u32, home_buffer: usize, unacked_allowance: usize) -> Self {
+    pub fn new(
+        refined: &'a RefinedProtocol,
+        n: u32,
+        home_buffer: usize,
+        unacked_allowance: usize,
+    ) -> Self {
         assert!(home_buffer >= 2, "k >= 2 (§3.2)");
         Self {
             refined,
@@ -399,7 +415,12 @@ impl<'a> HomeEngine<'a> {
 
     /// Consumes one message from `from`; outgoing `(dest, wire)` pairs go
     /// to `out`.
-    pub fn handle(&mut self, from: RemoteId, w: Wire, out: &mut Vec<(RemoteId, Wire)>) -> Result<()> {
+    pub fn handle(
+        &mut self,
+        from: RemoteId,
+        w: Wire,
+        out: &mut Vec<(RemoteId, Wire)>,
+    ) -> Result<()> {
         let who = ProcessId::Home;
         match w {
             Wire::Ack => match self.phase {
@@ -510,12 +531,7 @@ impl<'a> HomeEngine<'a> {
             Phase::At(st) => st,
             Phase::Awaiting { .. } => return Ok(false),
         };
-        let st = self
-            .refined
-            .spec
-            .home
-            .state(st_id)
-            .ok_or(RuntimeError::BadState { who })?;
+        let st = self.refined.spec.home.state(st_id).ok_or(RuntimeError::BadState { who })?;
 
         if st.kind == StateKind::Internal {
             let ctx = EvalCtx { env: &self.env, self_id: None };
@@ -577,16 +593,12 @@ impl<'a> HomeEngine<'a> {
             if !guard_ok(br, ctx, who)? {
                 continue;
             }
-            let t = peer
-                .eval_node(ctx)
-                .map_err(|source| RuntimeError::Eval { who, source })?;
+            let t = peer.eval_node(ctx).map_err(|source| RuntimeError::Eval { who, source })?;
             if t.0 >= self.n {
                 return Err(RuntimeError::BadState { who });
             }
             let val = match payload {
-                Some(e) => {
-                    Some(e.eval(ctx).map_err(|source| RuntimeError::Eval { who, source })?)
-                }
+                Some(e) => Some(e.eval(ctx).map_err(|source| RuntimeError::Eval { who, source })?),
                 None => None,
             };
             let key = (st_id, idx as u32);
@@ -622,9 +634,9 @@ impl<'a> HomeEngine<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ccr_core::refine::{refine, RefineOptions};
     use ccr_protocols::migratory::{migratory_refined, MigratoryOptions};
     use ccr_protocols::token::token;
-    use ccr_core::refine::{refine, RefineOptions};
 
     #[test]
     fn token_engines_complete_a_cycle() {

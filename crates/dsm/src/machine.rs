@@ -10,12 +10,14 @@
 use crate::metrics::MachineReport;
 use crate::workload::Workload;
 use ccr_core::ids::{MsgType, ProcessId};
+use ccr_core::refine::RefinedProtocol;
 use ccr_runtime::asynch::{AsyncConfig, AsyncState, AsyncSystem};
 use ccr_runtime::error::Result;
 use ccr_runtime::sched::Scheduler;
 use ccr_runtime::sim::Simulator;
 use ccr_runtime::system::{LabelKind, TransitionSystem};
-use ccr_core::refine::RefinedProtocol;
+use ccr_trace::{NullSink, TraceEvent, TraceSink};
+use std::time::Instant;
 
 /// Machine parameters.
 #[derive(Debug, Clone)]
@@ -68,21 +70,40 @@ impl<'a> Machine<'a> {
         workload: &mut dyn Workload,
         sched: &mut dyn Scheduler,
     ) -> Result<MachineReport> {
+        self.run_observed(variant, workload, sched, &mut NullSink)
+    }
+
+    /// [`Machine::run`] narrating every fired transition to `sink`; the
+    /// terminal [`TraceEvent::Outcome`] is emitted and the sink flushed
+    /// before returning. With a [`NullSink`] this is `run` exactly.
+    pub fn run_observed(
+        &self,
+        variant: &str,
+        workload: &mut dyn Workload,
+        sched: &mut dyn Scheduler,
+        sink: &mut dyn TraceSink,
+    ) -> Result<MachineReport> {
+        let started = Instant::now();
         let sys = AsyncSystem::new(self.refined, self.config.n, self.config.asynch.clone());
         let mut sim = Simulator::new(&sys);
         let mut steps = 0u64;
         let mut idle = false;
         let mut ops = 0u64;
+        let mut deadlocked = false;
         while steps < self.config.max_steps {
-            let fired = sim.step_filtered(sched, |label| {
-                if label.kind != LabelKind::Tau {
-                    return true;
-                }
-                match (&label.tag, label.actor) {
-                    (Some(tag), ProcessId::Remote(r)) => workload.enable(r, tag),
-                    _ => true,
-                }
-            })?;
+            let fired = sim.step_observed(
+                sched,
+                |label| {
+                    if label.kind != LabelKind::Tau {
+                        return true;
+                    }
+                    match (&label.tag, label.actor) {
+                        (Some(tag), ProcessId::Remote(r)) => workload.enable(r, tag),
+                        _ => true,
+                    }
+                },
+                sink,
+            )?;
             match fired {
                 Some(label) => {
                     steps += 1;
@@ -104,28 +125,30 @@ impl<'a> Machine<'a> {
                     let mut probe = Vec::new();
                     sys.successors(sim.state(), &mut probe)?;
                     if probe.is_empty() {
-                        return Ok(MachineReport::from_stats(
-                            &self.refined.spec.name,
-                            variant,
-                            self.config.n,
-                            steps,
-                            true,
-                            ops,
-                            sim.stats(),
-                        ));
+                        deadlocked = true;
+                        break;
                     }
                 }
             }
         }
         let _ = idle;
+        if sink.enabled() {
+            sink.emit(&TraceEvent::Outcome {
+                outcome: if deadlocked { "Deadlock".into() } else { "Complete".into() },
+                detail: None,
+                steps: Some(steps),
+            });
+            sink.flush();
+        }
         Ok(MachineReport::from_stats(
             &self.refined.spec.name,
             variant,
             self.config.n,
             steps,
-            false,
+            deadlocked,
             ops,
             sim.stats(),
+            started.elapsed(),
         ))
     }
 
@@ -137,6 +160,7 @@ impl<'a> Machine<'a> {
         workload: &mut dyn Workload,
         sched: &mut dyn Scheduler,
     ) -> Result<(MachineReport, AsyncState)> {
+        let started = Instant::now();
         let sys = AsyncSystem::new(self.refined, self.config.n, self.config.asynch.clone());
         let mut sim = Simulator::new(&sys);
         let mut steps = 0u64;
@@ -168,6 +192,7 @@ impl<'a> Machine<'a> {
             false,
             ops,
             sim.stats(),
+            started.elapsed(),
         );
         Ok((report, sim.state().clone()))
     }
@@ -216,6 +241,28 @@ mod tests {
         let report = machine.run("derived", &mut wl, &mut sched).unwrap();
         assert!(!report.deadlocked);
         assert!(report.ops > 0);
+    }
+
+    #[test]
+    fn observed_run_narrates_steps_and_outcome() {
+        use ccr_trace::RingSink;
+        let refined = migratory_refined(&MigratoryOptions::default());
+        let config = MachineConfig::standard(&refined, 2, 500);
+        let machine = Machine::new(&refined, config);
+        let mut wl = Always;
+        let mut sched = RandomSched::new(7);
+        let mut sink = RingSink::new(4096);
+        let report = machine.run_observed("derived", &mut wl, &mut sched, &mut sink).unwrap();
+        assert!(report.elapsed > std::time::Duration::ZERO);
+        let events = sink.into_events();
+        assert!(
+            events.iter().filter(|e| matches!(e, TraceEvent::Step { .. })).count() > 0,
+            "steps are narrated"
+        );
+        assert!(matches!(
+            events.last(),
+            Some(TraceEvent::Outcome { steps: Some(s), .. }) if *s == report.steps
+        ));
     }
 
     #[test]

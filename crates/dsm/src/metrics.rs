@@ -2,6 +2,7 @@
 
 use ccr_runtime::stats::MsgStats;
 use serde::Serialize;
+use std::time::Duration;
 
 /// Outcome of a machine run, serializable for the experiment harness.
 #[derive(Debug, Clone, Serialize)]
@@ -30,10 +31,16 @@ pub struct MachineReport {
     pub fairness: Option<f64>,
     /// Remotes that completed nothing.
     pub starved: usize,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+    /// Highest post-enqueue occupancy observed on any link — the margin
+    /// against the bounded-buffer (`LinkOverflow`) assumption.
+    pub max_link_occupancy: u32,
 }
 
 impl MachineReport {
     /// Builds a report from raw counters.
+    #[allow(clippy::too_many_arguments)]
     pub fn from_stats(
         protocol: &str,
         variant: &str,
@@ -42,6 +49,7 @@ impl MachineReport {
         deadlocked: bool,
         ops: u64,
         stats: &MsgStats,
+        elapsed: Duration,
     ) -> Self {
         Self {
             protocol: protocol.to_owned(),
@@ -60,13 +68,25 @@ impl MachineReport {
             },
             fairness: stats.jain_fairness(n as usize),
             starved: stats.starved(n as usize),
+            elapsed,
+            max_link_occupancy: stats.max_link_occupancy(),
+        }
+    }
+
+    /// Steps executed per wall-clock second, when measurable.
+    pub fn steps_per_sec(&self) -> Option<f64> {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            Some(self.steps as f64 / secs)
+        } else {
+            None
         }
     }
 
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
-            "{:<12} {:<14} n={:<3} ops={:<7} msgs={:<8} acks={:<6} nacks={:<6} msgs/op={} fair={} starved={}",
+            "{:<12} {:<14} n={:<3} ops={:<7} msgs={:<8} acks={:<6} nacks={:<6} msgs/op={} fair={} starved={} linkhw={} secs={:.3} steps/s={}",
             self.protocol,
             self.variant,
             self.n,
@@ -77,6 +97,9 @@ impl MachineReport {
             self.msgs_per_op.map(|x| format!("{x:.2}")).unwrap_or_else(|| "-".into()),
             self.fairness.map(|x| format!("{x:.3}")).unwrap_or_else(|| "-".into()),
             self.starved,
+            self.max_link_occupancy,
+            self.elapsed.as_secs_f64(),
+            self.steps_per_sec().map(|x| format!("{x:.0}")).unwrap_or_else(|| "-".into()),
         )
     }
 }
@@ -87,10 +110,21 @@ mod tests {
 
     #[test]
     fn report_from_empty_stats() {
-        let r = MachineReport::from_stats("migratory", "derived", 4, 100, false, 0, &MsgStats::new());
+        let r = MachineReport::from_stats(
+            "migratory",
+            "derived",
+            4,
+            100,
+            false,
+            0,
+            &MsgStats::new(),
+            Duration::from_millis(50),
+        );
         assert_eq!(r.msgs_per_op, None);
         assert_eq!(r.starved, 4);
         assert!(r.summary().contains("migratory"));
+        assert!(r.summary().contains("secs=0.050"), "{}", r.summary());
+        assert_eq!(r.steps_per_sec(), Some(2000.0));
     }
 
     #[test]
@@ -98,8 +132,30 @@ mod tests {
         let mut stats = MsgStats::new();
         stats.acks = 10;
         stats.nacks = 2;
-        let r = MachineReport::from_stats("token", "derived", 2, 50, false, 6, &stats);
+        let r =
+            MachineReport::from_stats("token", "derived", 2, 50, false, 6, &stats, Duration::ZERO);
         assert_eq!(r.messages, 12);
         assert_eq!(r.msgs_per_op, Some(2.0));
+        assert_eq!(r.steps_per_sec(), None, "zero elapsed is unmeasurable");
+    }
+
+    #[test]
+    fn report_surfaces_link_high_water() {
+        use ccr_core::ids::{ProcessId, RemoteId};
+        let mut stats = MsgStats::new();
+        stats.record_occupancy(ProcessId::Remote(RemoteId(0)), ProcessId::Home, 3);
+        stats.record_occupancy(ProcessId::Home, ProcessId::Remote(RemoteId(1)), 1);
+        let r = MachineReport::from_stats(
+            "token",
+            "derived",
+            2,
+            50,
+            false,
+            6,
+            &stats,
+            Duration::from_secs(1),
+        );
+        assert_eq!(r.max_link_occupancy, 3);
+        assert!(r.summary().contains("linkhw=3"), "{}", r.summary());
     }
 }

@@ -93,10 +93,8 @@ pub fn run_threaded(refined: &RefinedProtocol, config: &ThreadedConfig) -> Threa
     }
 
     // The op set: well-known acquisition requests present in the spec.
-    let op_msgs: Vec<_> = ["req", "rreq", "wreq"]
-        .iter()
-        .filter_map(|m| refined.spec.msg_by_name(m))
-        .collect();
+    let op_msgs: Vec<_> =
+        ["req", "rreq", "wreq"].iter().filter_map(|m| refined.spec.msg_by_name(m)).collect();
 
     let report = std::thread::scope(|scope| {
         // Remote threads.
@@ -209,9 +207,9 @@ pub fn run_threaded(refined: &RefinedProtocol, config: &ThreadedConfig) -> Threa
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ccr_core::refine::{refine, RefineOptions};
     use ccr_protocols::migratory::{migratory_refined, MigratoryOptions};
     use ccr_protocols::token::token;
-    use ccr_core::refine::{refine, RefineOptions};
 
     #[test]
     fn threaded_token_reaches_target() {

@@ -30,5 +30,7 @@ pub mod store;
 pub mod trace;
 
 pub use report::{ExploreReport, Outcome, ProgressReport, SimRelReport};
-pub use search::{explore, explore_dfs, Budget};
-pub use trace::{explore_traced, TracedReport};
+pub use search::{explore, explore_dfs, explore_observed, Budget, SearchObserver};
+pub use trace::{
+    explore_traced, explore_traced_observed, export_trail, replay_trail, TracedReport,
+};

@@ -8,10 +8,12 @@
 //! backwards; any state left unmarked is a livelock witness, and any state
 //! with no successors at all is a deadlock.
 
-use crate::report::ProgressReport;
-use crate::search::Budget;
+use crate::report::{Outcome, ProgressReport};
+use crate::search::{Budget, SearchObserver};
 use crate::store::StateStore;
+use crate::trace::{export_trail, trail_to};
 use ccr_runtime::{Label, TransitionSystem};
+use ccr_trace::NullSink;
 use std::collections::VecDeque;
 use std::time::Instant;
 
@@ -25,6 +27,21 @@ pub fn check_progress<T: TransitionSystem>(
     budget: &Budget,
     is_progress: impl Fn(&Label) -> bool,
 ) -> ProgressReport {
+    let mut null = NullSink;
+    let mut obs = SearchObserver::new(&mut null, 0);
+    check_progress_observed(sys, budget, is_progress, &mut obs)
+}
+
+/// [`check_progress`] with live progress reporting: `obs` receives
+/// periodic heartbeats during the forward exploration, and when the check
+/// fails the witness trail (shortest path to the first stuck state) is
+/// exported to the observer's sink as a replayed event stream.
+pub fn check_progress_observed<T: TransitionSystem>(
+    sys: &T,
+    budget: &Budget,
+    is_progress: impl Fn(&Label) -> bool,
+    obs: &mut SearchObserver<'_>,
+) -> ProgressReport {
     let started = Instant::now();
     let mut store = StateStore::new();
     let mut frontier: VecDeque<T::State> = VecDeque::new();
@@ -35,6 +52,7 @@ pub fn check_progress<T: TransitionSystem>(
     let mut rev_edges: Vec<Vec<u32>> = Vec::new();
     let mut has_progress_edge: Vec<bool> = Vec::new();
     let mut has_successor: Vec<bool> = Vec::new();
+    let mut parents: Vec<Option<(u32, Label)>> = Vec::new();
     let mut complete = true;
 
     let init = sys.initial();
@@ -43,12 +61,13 @@ pub fn check_progress<T: TransitionSystem>(
     rev_edges.push(Vec::new());
     has_progress_edge.push(false);
     has_successor.push(false);
+    parents.push(None);
     frontier.push_back(init);
     let next_index_of = |store: &mut StateStore,
-                             enc: &[u8],
-                             rev_edges: &mut Vec<Vec<u32>>,
-                             has_progress_edge: &mut Vec<bool>,
-                             has_successor: &mut Vec<bool>| {
+                         enc: &[u8],
+                         rev_edges: &mut Vec<Vec<u32>>,
+                         has_progress_edge: &mut Vec<bool>,
+                         has_successor: &mut Vec<bool>| {
         let (idx, is_new) = store.insert(enc);
         if is_new {
             rev_edges.push(Vec::new());
@@ -62,20 +81,27 @@ pub fn check_progress<T: TransitionSystem>(
     while let Some(state) = frontier.pop_front() {
         let this_idx = queue_index;
         queue_index += 1;
+        obs.tick(store.len(), frontier.len() + 1, store.approx_bytes());
         if sys.successors(&state, &mut succs).is_err() {
             complete = false;
             break;
         }
         for (label, next) in succs.drain(..) {
             sys.encode(&next, &mut enc);
-            let (idx, is_new) =
-                next_index_of(&mut store, &enc, &mut rev_edges, &mut has_progress_edge, &mut has_successor);
+            let (idx, is_new) = next_index_of(
+                &mut store,
+                &enc,
+                &mut rev_edges,
+                &mut has_progress_edge,
+                &mut has_successor,
+            );
             has_successor[this_idx as usize] = true;
             rev_edges[idx as usize].push(this_idx);
             if is_progress(&label) {
                 has_progress_edge[this_idx as usize] = true;
             }
             if is_new {
+                parents.push(Some((this_idx, label.clone())));
                 if store.len() >= budget.max_states
                     || store.approx_bytes() >= budget.max_bytes
                     || budget.max_time.map(|t| started.elapsed() >= t).unwrap_or(false)
@@ -116,14 +142,44 @@ pub fn check_progress<T: TransitionSystem>(
     // judged.
     let expanded = queue_index as usize;
     let deadlocked = (0..expanded).filter(|&i| !has_successor[i]).count();
-    let livelocked =
-        (0..expanded).filter(|&i| has_successor[i] && !good[i]).count();
+    let livelocked = (0..expanded).filter(|&i| has_successor[i] && !good[i]).count();
+
+    // Witness: shortest trail (BFS order = insertion order) to the first
+    // stuck state of either kind.
+    let first_dead = (0..expanded).find(|&i| !has_successor[i]);
+    let first_live = (0..expanded).find(|&i| has_successor[i] && !good[i]);
+    let bad = match (first_dead, first_live) {
+        (Some(d), Some(l)) => {
+            Some(if d <= l { (d, Outcome::Deadlock) } else { (l, Outcome::Livelock) })
+        }
+        (Some(d), None) => Some((d, Outcome::Deadlock)),
+        (None, Some(l)) => Some((l, Outcome::Livelock)),
+        (None, None) => None,
+    };
+    let (witness, witness_outcome) = match bad {
+        Some((idx, out)) => (Some(trail_to(&parents, idx as u32)), Some(out)),
+        None => (None, None),
+    };
+
+    if obs.sink().enabled() {
+        match (&witness, &witness_outcome) {
+            (Some(trail), Some(out)) => {
+                export_trail(sys, trail, out, obs.sink());
+            }
+            _ => {
+                let outcome = if complete { Outcome::Complete } else { Outcome::Unfinished };
+                obs.finish(&outcome, None);
+            }
+        }
+    }
 
     ProgressReport {
         states: store.len(),
         livelocked_states: livelocked,
         deadlocked_states: deadlocked,
         complete,
+        witness,
+        witness_outcome,
     }
 }
 
@@ -200,6 +256,38 @@ mod tests {
         assert!(r.complete);
         assert!(!r.holds());
         assert!(r.deadlocked_states > 0);
+    }
+
+    #[test]
+    fn deadlock_witness_replays_to_a_stuck_state() {
+        let mut b = ProtocolBuilder::new("dead");
+        let m = b.msg("m");
+        let never = b.msg("never");
+        let h = b.home_state("H");
+        b.home(h).recv_any(m).goto(h);
+        let r0 = b.remote_state("R0");
+        let r1 = b.remote_state("R1");
+        b.remote(r0).send(m).goto(r1);
+        b.remote(r1).recv(never).goto(r0);
+        let spec = b.finish().unwrap();
+        let sys = RendezvousSystem::new(&spec, 1);
+        let r = check_progress_default(&sys, &Budget::default());
+        assert_eq!(r.witness_outcome, Some(Outcome::Deadlock));
+        let trail = r.witness.expect("witness trail");
+        let end = crate::trace::replay_trail(&sys, &trail).expect("witness replays");
+        let mut succs = Vec::new();
+        sys.successors(&end, &mut succs).unwrap();
+        assert!(succs.is_empty(), "witness leads to a state with no successors");
+    }
+
+    #[test]
+    fn healthy_spec_has_no_witness() {
+        let spec = token_spec();
+        let sys = RendezvousSystem::new(&spec, 2);
+        let r = check_progress_default(&sys, &Budget::default());
+        assert!(r.holds());
+        assert!(r.witness.is_none());
+        assert!(r.witness_outcome.is_none());
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! Result structures produced by the checking algorithms.
 
-use ccr_runtime::RuntimeError;
+use ccr_runtime::{Label, RuntimeError};
+use serde::Serialize;
 use std::time::Duration;
 
 /// How a search ended.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub enum Outcome {
     /// The full reachable state space was explored.
     Complete,
@@ -15,6 +16,9 @@ pub enum Outcome {
     InvariantViolated(String),
     /// A deadlock (state with no successors) was found.
     Deadlock,
+    /// A livelock was found: a reachable state from which no rendezvous
+    /// completion remains reachable (the §2.5 progress criterion fails).
+    Livelock,
     /// The executor reported an error (a refinement-assumption violation).
     RuntimeFailure(RuntimeError),
 }
@@ -24,10 +28,31 @@ impl Outcome {
     pub fn is_complete(&self) -> bool {
         matches!(self, Outcome::Complete)
     }
+
+    /// The bare variant name, for trace events.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Outcome::Complete => "Complete",
+            Outcome::Unfinished => "Unfinished",
+            Outcome::InvariantViolated(_) => "InvariantViolated",
+            Outcome::Deadlock => "Deadlock",
+            Outcome::Livelock => "Livelock",
+            Outcome::RuntimeFailure(_) => "RuntimeFailure",
+        }
+    }
+
+    /// The violation description or failure message, when any.
+    pub fn detail(&self) -> Option<String> {
+        match self {
+            Outcome::InvariantViolated(d) => Some(d.clone()),
+            Outcome::RuntimeFailure(e) => Some(e.to_string()),
+            _ => None,
+        }
+    }
 }
 
 /// Statistics of a reachability run — the columns of Table 3.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct ExploreReport {
     /// Distinct states visited.
     pub states: usize,
@@ -53,13 +78,14 @@ impl ExploreReport {
             Outcome::Unfinished => "Unfinished".to_string(),
             Outcome::InvariantViolated(d) => format!("Violated({d})"),
             Outcome::Deadlock => "Deadlock".to_string(),
+            Outcome::Livelock => "Livelock".to_string(),
             Outcome::RuntimeFailure(e) => format!("Error({e})"),
         }
     }
 }
 
 /// Result of the Equation 1 stuttering-simulation check.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct SimRelReport {
     /// Asynchronous states examined.
     pub async_states: usize,
@@ -83,7 +109,7 @@ impl SimRelReport {
 }
 
 /// Result of the forward-progress (livelock) check.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct ProgressReport {
     /// Reachable states examined.
     pub states: usize,
@@ -93,6 +119,12 @@ pub struct ProgressReport {
     pub deadlocked_states: usize,
     /// True when the underlying exploration finished within budget.
     pub complete: bool,
+    /// Shortest transition trail from the initial state to the first
+    /// stuck (deadlocked or livelocked) state, when the check fails.
+    pub witness: Option<Vec<Label>>,
+    /// What the witness trail leads to: [`Outcome::Deadlock`] or
+    /// [`Outcome::Livelock`].
+    pub witness_outcome: Option<Outcome>,
 }
 
 impl ProgressReport {
@@ -128,6 +160,31 @@ mod tests {
     }
 
     #[test]
+    fn outcome_name_and_detail() {
+        assert_eq!(Outcome::Complete.name(), "Complete");
+        assert_eq!(Outcome::Complete.detail(), None);
+        let v = Outcome::InvariantViolated("two owners".into());
+        assert_eq!(v.name(), "InvariantViolated");
+        assert_eq!(v.detail().as_deref(), Some("two owners"));
+    }
+
+    #[test]
+    fn reports_serialize_to_valid_json() {
+        let r = ExploreReport {
+            states: 54,
+            transitions: 100,
+            elapsed: Duration::from_millis(100),
+            store_bytes: 1024,
+            peak_frontier: 10,
+            outcome: Outcome::InvariantViolated("two owners".into()),
+        };
+        let json = serde::json::to_string(&r);
+        assert!(ccr_trace::json_check::is_valid_json(&json), "{json}");
+        assert!(json.contains("\"InvariantViolated\":\"two owners\""), "{json}");
+        assert!(json.contains("\"states\":54"), "{json}");
+    }
+
+    #[test]
     fn simrel_holds_logic() {
         let mut r = SimRelReport {
             async_states: 10,
@@ -149,6 +206,8 @@ mod tests {
             livelocked_states: 0,
             deadlocked_states: 0,
             complete: true,
+            witness: None,
+            witness_outcome: None,
         };
         assert!(r.holds());
         r.livelocked_states = 1;

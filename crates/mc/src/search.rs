@@ -8,6 +8,7 @@
 use crate::report::{ExploreReport, Outcome};
 use crate::store::StateStore;
 use ccr_runtime::{Label, TransitionSystem};
+use ccr_trace::{NullSink, TraceEvent, TraceSink};
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
@@ -47,6 +48,67 @@ impl Budget {
     }
 }
 
+/// Live progress reporting for a search: periodic [`TraceEvent::Heartbeat`]
+/// events (states visited, frontier size, store bytes, exploration rate)
+/// emitted to a [`TraceSink`] every `every` newly stored states.
+///
+/// A disabled sink or `every == 0` silences heartbeats entirely; the
+/// per-expansion cost is then one comparison.
+pub struct SearchObserver<'s> {
+    sink: &'s mut dyn TraceSink,
+    every: usize,
+    started: Instant,
+    last_states: usize,
+    last_time: Instant,
+    next_beat: usize,
+}
+
+impl<'s> SearchObserver<'s> {
+    /// Heartbeats to `sink` every `every` states (0 disables them).
+    pub fn new(sink: &'s mut dyn TraceSink, every: usize) -> Self {
+        let now = Instant::now();
+        let every = if sink.enabled() { every } else { 0 };
+        Self { sink, every, started: now, last_states: 0, last_time: now, next_beat: every }
+    }
+
+    /// Called by searches once per expanded state.
+    pub fn tick(&mut self, states: usize, frontier: usize, store_bytes: usize) {
+        if self.every == 0 || states < self.next_beat {
+            return;
+        }
+        let now = Instant::now();
+        let dt = now.duration_since(self.last_time).as_secs_f64();
+        let rate = if dt > 0.0 { ((states - self.last_states) as f64 / dt) as u64 } else { 0 };
+        self.sink.emit(&TraceEvent::Heartbeat {
+            states: states as u64,
+            frontier: frontier as u64,
+            store_bytes: store_bytes as u64,
+            states_per_sec: rate,
+            elapsed_ms: self.started.elapsed().as_millis() as u64,
+        });
+        self.last_states = states;
+        self.last_time = now;
+        self.next_beat = states + self.every;
+    }
+
+    /// Emits the terminal [`TraceEvent::Outcome`] and flushes the sink.
+    pub fn finish(&mut self, outcome: &Outcome, steps: Option<u64>) {
+        if self.sink.enabled() {
+            self.sink.emit(&TraceEvent::Outcome {
+                outcome: outcome.name().to_string(),
+                detail: outcome.detail(),
+                steps,
+            });
+            self.sink.flush();
+        }
+    }
+
+    /// Direct access to the underlying sink (for counterexample export).
+    pub fn sink(&mut self) -> &mut dyn TraceSink {
+        self.sink
+    }
+}
+
 /// Explores the reachable state space of `sys` breadth-first.
 ///
 /// `invariant` is evaluated on every newly discovered state; returning
@@ -56,8 +118,22 @@ impl Budget {
 pub fn explore<T: TransitionSystem>(
     sys: &T,
     budget: &Budget,
+    invariant: impl FnMut(&T::State) -> Option<String>,
+    check_deadlock: bool,
+) -> ExploreReport {
+    let mut null = NullSink;
+    let mut obs = SearchObserver::new(&mut null, 0);
+    explore_observed(sys, budget, invariant, check_deadlock, &mut obs)
+}
+
+/// [`explore`] with live progress reporting: `obs` receives a heartbeat
+/// every few thousand states and the terminal outcome event.
+pub fn explore_observed<T: TransitionSystem>(
+    sys: &T,
+    budget: &Budget,
     mut invariant: impl FnMut(&T::State) -> Option<String>,
     check_deadlock: bool,
+    obs: &mut SearchObserver<'_>,
 ) -> ExploreReport {
     let started = Instant::now();
     let mut store = StateStore::new();
@@ -67,7 +143,13 @@ pub fn explore<T: TransitionSystem>(
     let mut transitions = 0usize;
     let mut peak_frontier = 0usize;
 
-    let report = |store: &StateStore, transitions, peak_frontier, outcome, started: Instant| {
+    let report = |store: &StateStore,
+                  transitions,
+                  peak_frontier,
+                  outcome: Outcome,
+                  started: Instant,
+                  obs: &mut SearchObserver<'_>| {
+        obs.finish(&outcome, None);
         ExploreReport {
             states: store.len(),
             transitions,
@@ -82,17 +164,25 @@ pub fn explore<T: TransitionSystem>(
     sys.encode(&init, &mut enc);
     store.insert(&enc);
     if let Some(d) = invariant(&init) {
-        return report(&store, 0, 0, Outcome::InvariantViolated(d), started);
+        return report(&store, 0, 0, Outcome::InvariantViolated(d), started, obs);
     }
     frontier.push_back(init);
 
     while let Some(state) = frontier.pop_front() {
         peak_frontier = peak_frontier.max(frontier.len() + 1);
+        obs.tick(store.len(), frontier.len() + 1, store.approx_bytes());
         if let Err(e) = sys.successors(&state, &mut succs) {
-            return report(&store, transitions, peak_frontier, Outcome::RuntimeFailure(e), started);
+            return report(
+                &store,
+                transitions,
+                peak_frontier,
+                Outcome::RuntimeFailure(e),
+                started,
+                obs,
+            );
         }
         if check_deadlock && succs.is_empty() {
-            return report(&store, transitions, peak_frontier, Outcome::Deadlock, started);
+            return report(&store, transitions, peak_frontier, Outcome::Deadlock, started, obs);
         }
         for (_, next) in succs.drain(..) {
             transitions += 1;
@@ -106,17 +196,25 @@ pub fn explore<T: TransitionSystem>(
                         peak_frontier,
                         Outcome::InvariantViolated(d),
                         started,
+                        obs,
                     );
                 }
                 if budget.exceeded(&store, started) {
-                    return report(&store, transitions, peak_frontier, Outcome::Unfinished, started);
+                    return report(
+                        &store,
+                        transitions,
+                        peak_frontier,
+                        Outcome::Unfinished,
+                        started,
+                        obs,
+                    );
                 }
                 frontier.push_back(next);
             }
         }
     }
 
-    report(&store, transitions, peak_frontier, Outcome::Complete, started)
+    report(&store, transitions, peak_frontier, Outcome::Complete, started, obs)
 }
 
 /// Convenience: explore with no invariant and no deadlock check.
@@ -174,7 +272,13 @@ pub fn explore_dfs<T: TransitionSystem>(
             let (_, is_new) = store.insert(&enc);
             if is_new {
                 if let Some(d) = invariant(&next) {
-                    return report(&store, transitions, peak, Outcome::InvariantViolated(d), started);
+                    return report(
+                        &store,
+                        transitions,
+                        peak,
+                        Outcome::InvariantViolated(d),
+                        started,
+                    );
                 }
                 if budget.exceeded(&store, started) {
                     return report(&store, transitions, peak, Outcome::Unfinished, started);
@@ -189,11 +293,11 @@ pub fn explore_dfs<T: TransitionSystem>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ccr_runtime::rendezvous::RendezvousSystem;
     use ccr_core::builder::ProtocolBuilder;
     use ccr_core::expr::Expr;
     use ccr_core::ids::RemoteId;
     use ccr_core::value::Value;
+    use ccr_runtime::rendezvous::RendezvousSystem;
 
     fn token_spec() -> ccr_core::process::ProtocolSpec {
         let mut b = ProtocolBuilder::new("token");
@@ -313,6 +417,37 @@ mod tests {
         let sys = RendezvousSystem::new(&spec, 1);
         let r = explore_dfs(&sys, &Budget::default(), |_| None, true);
         assert_eq!(r.outcome, Outcome::Deadlock);
+    }
+
+    #[test]
+    fn observer_emits_heartbeats_and_terminal_outcome() {
+        use ccr_trace::{RingSink, TraceEvent};
+        let spec = token_spec();
+        let sys = RendezvousSystem::new(&spec, 3);
+        let mut sink = RingSink::new(256);
+        let mut obs = SearchObserver::new(&mut sink, 1);
+        let r = explore_observed(&sys, &Budget::default(), |_| None, false, &mut obs);
+        assert!(r.outcome.is_complete());
+        let events = sink.into_events();
+        assert!(
+            events.iter().any(|e| matches!(e, TraceEvent::Heartbeat { .. })),
+            "heartbeats every state expansion"
+        );
+        assert!(matches!(
+            events.last(),
+            Some(TraceEvent::Outcome { outcome, .. }) if outcome == "Complete"
+        ));
+    }
+
+    #[test]
+    fn disabled_sink_silences_the_observer() {
+        use ccr_trace::NullSink;
+        let spec = token_spec();
+        let sys = RendezvousSystem::new(&spec, 2);
+        let mut null = NullSink;
+        let mut obs = SearchObserver::new(&mut null, 1);
+        let r = explore_observed(&sys, &Budget::default(), |_| None, false, &mut obs);
+        assert!(r.outcome.is_complete());
     }
 
     #[test]

@@ -69,8 +69,7 @@ pub fn check_simulation(
             let a2 = match abs(async_sys, &next) {
                 Ok(a2) => a2,
                 Err(e) => {
-                    report.violation =
-                        Some(format!("abs failed after rule {}: {e}", label.rule));
+                    report.violation = Some(format!("abs failed after rule {}: {e}", label.rule));
                     break 'outer;
                 }
             };

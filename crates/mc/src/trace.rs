@@ -5,17 +5,23 @@
 //! so do we. [`explore_traced`] runs the same breadth-first search as
 //! [`crate::search::explore`] but keeps one parent pointer and transition
 //! label per state, reconstructing the shortest event trace to the first
-//! violation.
+//! violation. [`export_trail`] replays that trail through the system while
+//! narrating every step to a [`TraceSink`], producing a JSONL
+//! counterexample that uses the exact event expansion of a live simulator
+//! trace; [`replay_trail`] re-executes it without narration so tests (and
+//! sceptical users) can confirm the final state really is the bad one.
 
 use crate::report::Outcome;
-use crate::search::Budget;
+use crate::search::{Budget, SearchObserver};
 use crate::store::StateStore;
+use ccr_runtime::observe::emit_label_events;
 use ccr_runtime::{Label, TransitionSystem};
+use ccr_trace::{NullSink, TraceEvent, TraceSink};
 use std::collections::VecDeque;
 use std::time::Instant;
 
 /// A reachability result carrying an optional counterexample trail.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct TracedReport {
     /// States visited.
     pub states: usize,
@@ -36,16 +42,97 @@ impl TracedReport {
                 .iter()
                 .enumerate()
                 .map(|(i, l)| {
-                    let completes = l
-                        .completes
-                        .map(|(a, m)| format!(" completes {a}:{m}"))
-                        .unwrap_or_default();
+                    let completes =
+                        l.completes.map(|(a, m)| format!(" completes {a}:{m}")).unwrap_or_default();
                     format!("{:>4}: {} [{}]{}", i + 1, l.actor, l.rule, completes)
                 })
                 .collect::<Vec<_>>()
                 .join("\n"),
         }
     }
+
+    /// Exports the counterexample as a replayed event stream on `sink`
+    /// (see [`export_trail`]). Returns the replayed final state, or `None`
+    /// when there is no trail or it does not replay.
+    pub fn export<T: TransitionSystem>(
+        &self,
+        sys: &T,
+        sink: &mut dyn TraceSink,
+    ) -> Option<T::State> {
+        export_trail(sys, self.trail.as_deref()?, &self.outcome, sink)
+    }
+}
+
+/// Reconstructs the label trail from `idx` back to the root through the
+/// parent-pointer array, in firing order.
+pub(crate) fn trail_to(parents: &[Option<(u32, Label)>], idx: u32) -> Vec<Label> {
+    let mut labels = Vec::new();
+    let mut cur = idx;
+    while let Some(Some((p, l))) = parents.get(cur as usize) {
+        labels.push(l.clone());
+        cur = *p;
+    }
+    labels.reverse();
+    labels
+}
+
+/// Replays `trail` from the initial state of `sys`, returning the state it
+/// ends in. Fails with a description when a label along the way is not
+/// enabled — which would mean the trail is not a real execution.
+pub fn replay_trail<T: TransitionSystem>(
+    sys: &T,
+    trail: &[Label],
+) -> std::result::Result<T::State, String> {
+    let mut state = sys.initial();
+    let mut succs = Vec::new();
+    for (i, want) in trail.iter().enumerate() {
+        if let Err(e) = sys.successors(&state, &mut succs) {
+            return Err(format!("step {i}: executor failed: {e}"));
+        }
+        match succs.drain(..).find(|(l, _)| l == want) {
+            Some((_, next)) => state = next,
+            None => return Err(format!("step {i}: {} [{}] is not enabled", want.actor, want.rule)),
+        }
+    }
+    Ok(state)
+}
+
+/// Replays `trail` through `sys`, narrating every step to `sink` with the
+/// same event expansion the live simulator uses ([`emit_label_events`]
+/// plus home-buffer occupancy changes), then emits the terminal `outcome`
+/// event and flushes. Returns the final (violating) state, or `None` when
+/// the trail does not replay.
+pub fn export_trail<T: TransitionSystem>(
+    sys: &T,
+    trail: &[Label],
+    outcome: &Outcome,
+    sink: &mut dyn TraceSink,
+) -> Option<T::State> {
+    let mut state = sys.initial();
+    let mut succs = Vec::new();
+    let mut last_buf = None;
+    for (seq, want) in trail.iter().enumerate() {
+        sys.successors(&state, &mut succs).ok()?;
+        let (label, next) = succs.drain(..).find(|(l, _)| l == want)?;
+        state = next;
+        let seq = seq as u64;
+        emit_label_events(sink, seq, &label, &|m| sys.msg_name(m), &|m| {
+            sys.link_occupancy(&state, m.from, m.to)
+        });
+        if let Some((used, capacity)) = sys.home_buffer_occupancy(&state) {
+            if last_buf != Some(used) {
+                last_buf = Some(used);
+                sink.emit(&TraceEvent::HomeBuffer { seq, used, capacity });
+            }
+        }
+    }
+    sink.emit(&TraceEvent::Outcome {
+        outcome: outcome.name().to_string(),
+        detail: outcome.detail(),
+        steps: Some(trail.len() as u64),
+    });
+    sink.flush();
+    Some(state)
 }
 
 /// Breadth-first exploration with parent tracking; returns the shortest
@@ -53,8 +140,24 @@ impl TracedReport {
 pub fn explore_traced<T: TransitionSystem>(
     sys: &T,
     budget: &Budget,
+    invariant: impl FnMut(&T::State) -> Option<String>,
+    check_deadlock: bool,
+) -> TracedReport {
+    let mut null = NullSink;
+    let mut obs = SearchObserver::new(&mut null, 0);
+    explore_traced_observed(sys, budget, invariant, check_deadlock, &mut obs)
+}
+
+/// [`explore_traced`] with live progress reporting: `obs` receives
+/// periodic heartbeats while searching, and on a violation the full
+/// counterexample is exported to the observer's sink as a replayed event
+/// stream (followed by the terminal outcome event).
+pub fn explore_traced_observed<T: TransitionSystem>(
+    sys: &T,
+    budget: &Budget,
     mut invariant: impl FnMut(&T::State) -> Option<String>,
     check_deadlock: bool,
+    obs: &mut SearchObserver<'_>,
 ) -> TracedReport {
     let started = Instant::now();
     let mut store = StateStore::new();
@@ -63,15 +166,16 @@ pub fn explore_traced<T: TransitionSystem>(
     let mut succs = Vec::new();
     let mut enc = Vec::new();
 
-    let trail_to = |idx: u32, parents: &[Option<(u32, Label)>]| -> Vec<Label> {
-        let mut labels = Vec::new();
-        let mut cur = idx;
-        while let Some(Some((p, l))) = parents.get(cur as usize) {
-            labels.push(l.clone());
-            cur = *p;
+    let conclude = |report: TracedReport, obs: &mut SearchObserver<'_>| -> TracedReport {
+        if obs.sink().enabled() {
+            match &report.trail {
+                Some(trail) => {
+                    export_trail(sys, trail, &report.outcome, obs.sink());
+                }
+                None => obs.finish(&report.outcome, None),
+            }
         }
-        labels.reverse();
-        labels
+        report
     };
 
     let init = sys.initial();
@@ -79,28 +183,32 @@ pub fn explore_traced<T: TransitionSystem>(
     store.insert(&enc);
     parents.push(None);
     if let Some(d) = invariant(&init) {
-        return TracedReport {
+        let r = TracedReport {
             states: 1,
             outcome: Outcome::InvariantViolated(d),
             trail: Some(Vec::new()),
         };
+        return conclude(r, obs);
     }
     frontier.push_back((init, 0));
 
     while let Some((state, idx)) = frontier.pop_front() {
+        obs.tick(store.len(), frontier.len() + 1, store.approx_bytes());
         if let Err(e) = sys.successors(&state, &mut succs) {
-            return TracedReport {
+            let r = TracedReport {
                 states: store.len(),
                 outcome: Outcome::RuntimeFailure(e),
-                trail: Some(trail_to(idx, &parents)),
+                trail: Some(trail_to(&parents, idx)),
             };
+            return conclude(r, obs);
         }
         if check_deadlock && succs.is_empty() {
-            return TracedReport {
+            let r = TracedReport {
                 states: store.len(),
                 outcome: Outcome::Deadlock,
-                trail: Some(trail_to(idx, &parents)),
+                trail: Some(trail_to(&parents, idx)),
             };
+            return conclude(r, obs);
         }
         for (label, next) in succs.drain(..) {
             sys.encode(&next, &mut enc);
@@ -110,26 +218,25 @@ pub fn explore_traced<T: TransitionSystem>(
             }
             parents.push(Some((idx, label.clone())));
             if let Some(d) = invariant(&next) {
-                return TracedReport {
+                let r = TracedReport {
                     states: store.len(),
                     outcome: Outcome::InvariantViolated(d),
-                    trail: Some(trail_to(nidx, &parents)),
+                    trail: Some(trail_to(&parents, nidx)),
                 };
+                return conclude(r, obs);
             }
             if store.len() >= budget.max_states
                 || store.approx_bytes() >= budget.max_bytes
                 || budget.max_time.map(|t| started.elapsed() >= t).unwrap_or(false)
             {
-                return TracedReport {
-                    states: store.len(),
-                    outcome: Outcome::Unfinished,
-                    trail: None,
-                };
+                let r =
+                    TracedReport { states: store.len(), outcome: Outcome::Unfinished, trail: None };
+                return conclude(r, obs);
             }
             frontier.push_back((next, nidx));
         }
     }
-    TracedReport { states: store.len(), outcome: Outcome::Complete, trail: None }
+    conclude(TracedReport { states: store.len(), outcome: Outcome::Complete, trail: None }, obs)
 }
 
 #[cfg(test)]
@@ -137,6 +244,7 @@ mod tests {
     use super::*;
     use ccr_core::builder::ProtocolBuilder;
     use ccr_runtime::rendezvous::RendezvousSystem;
+    use ccr_trace::RingSink;
 
     fn deadlocking_spec() -> ccr_core::process::ProtocolSpec {
         let mut b = ProtocolBuilder::new("dead");
@@ -189,5 +297,62 @@ mod tests {
         let sys = RendezvousSystem::new(&spec, 3);
         let r = explore_traced(&sys, &Budget::states(2), |_| None, false);
         assert_eq!(r.outcome, Outcome::Unfinished);
+    }
+
+    #[test]
+    fn violation_trail_replays_to_the_violating_state() {
+        let spec = deadlocking_spec();
+        let sys = RendezvousSystem::new(&spec, 1);
+        let r1 = spec.remote.state_by_name("R1").unwrap();
+        // Claim (falsely) that remote 0 never reaches R1.
+        let r = explore_traced(
+            &sys,
+            &Budget::default(),
+            |s| {
+                if s.remotes[0].state == r1 {
+                    Some("remote 0 reached R1".into())
+                } else {
+                    None
+                }
+            },
+            false,
+        );
+        assert!(matches!(r.outcome, Outcome::InvariantViolated(_)));
+        let trail = r.trail.clone().expect("trail");
+        assert!(!trail.is_empty());
+        let end = replay_trail(&sys, &trail).expect("trail must replay");
+        assert_eq!(end.remotes[0].state, r1, "replayed final state violates the invariant");
+    }
+
+    #[test]
+    fn export_narrates_the_trail_and_ends_with_the_outcome() {
+        let spec = deadlocking_spec();
+        let sys = RendezvousSystem::new(&spec, 1);
+        let r = explore_traced(&sys, &Budget::default(), |_| None, true);
+        assert_eq!(r.outcome, Outcome::Deadlock);
+        let mut sink = RingSink::new(64);
+        let end = r.export(&sys, &mut sink).expect("trail replays");
+        let mut succs = Vec::new();
+        sys.successors(&end, &mut succs).unwrap();
+        assert!(succs.is_empty(), "exported trail ends in the deadlocked state");
+        let events = sink.into_events();
+        assert!(events.len() >= 2, "at least one step event plus the outcome");
+        assert!(matches!(&events[0], TraceEvent::Step { seq: 0, .. }));
+        assert!(matches!(
+            events.last(),
+            Some(TraceEvent::Outcome { outcome, steps: Some(1), .. }) if outcome == "Deadlock"
+        ));
+    }
+
+    #[test]
+    fn replay_rejects_a_corrupted_trail() {
+        let spec = deadlocking_spec();
+        let sys = RendezvousSystem::new(&spec, 1);
+        let r = explore_traced(&sys, &Budget::default(), |_| None, true);
+        let mut trail = r.trail.expect("trail");
+        // Duplicate the only step: the second firing is not enabled.
+        let dup = trail[0].clone();
+        trail.push(dup);
+        assert!(replay_trail(&sys, &trail).is_err());
     }
 }

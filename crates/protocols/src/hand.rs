@@ -32,8 +32,7 @@ use ccr_runtime::asynch::AsyncConfig;
 /// Builds the hand-designed asynchronous migratory baseline.
 pub fn migratory_hand(opts: &MigratoryOptions) -> RefinedProtocol {
     let spec = migratory(opts);
-    let mut refined =
-        refine(&spec, &RefineOptions::default()).expect("migratory refines");
+    let mut refined = refine(&spec, &RefineOptions::default()).expect("migratory refines");
     let lr = refined.spec.msg_by_name("LR").expect("migratory has LR");
     refined.make_unacked(lr).expect("LR is a remote-sent plain rendezvous");
     refined
@@ -43,11 +42,7 @@ pub fn migratory_hand(opts: &MigratoryOptions) -> RefinedProtocol {
 /// slot per remote for in-flight `LR`s, and silent dropping of stale home
 /// requests.
 pub fn hand_async_config(n: u32) -> AsyncConfig {
-    AsyncConfig {
-        unacked_allowance: n as usize,
-        drop_unmatched: true,
-        ..AsyncConfig::default()
-    }
+    AsyncConfig { unacked_allowance: n as usize, drop_unmatched: true, ..AsyncConfig::default() }
 }
 
 #[cfg(test)]

@@ -106,10 +106,7 @@ pub fn invalidate(opts: &InvalidateOptions) -> ProtocolSpec {
         .assign(s, Expr::MaskDel(Box::new(Expr::Var(s)), Box::new(Expr::Var(k))))
         .goto(schk);
     // SCHK: did the last sharer leave?
-    b.home(schk)
-        .when(Expr::MaskIsEmpty(Box::new(Expr::Var(s))))
-        .tau()
-        .goto(f);
+    b.home(schk).when(Expr::MaskIsEmpty(Box::new(Expr::Var(s)))).tau().goto(f);
     b.home(schk)
         .when(Expr::Not(Box::new(Expr::MaskIsEmpty(Box::new(Expr::Var(s))))))
         .tau()
@@ -132,10 +129,7 @@ pub fn invalidate(opts: &InvalidateOptions) -> ProtocolSpec {
         .assign(s, Expr::MaskDel(Box::new(Expr::Var(s)), Box::new(Expr::Var(k))))
         .goto(invc);
     // INVC: all sharers gone?
-    b.home(invc)
-        .when(Expr::MaskIsEmpty(Box::new(Expr::Var(s))))
-        .tau()
-        .goto(gx);
+    b.home(invc).when(Expr::MaskIsEmpty(Box::new(Expr::Var(s)))).tau().goto(gx);
     b.home(invc)
         .when(Expr::Not(Box::new(Expr::MaskIsEmpty(Box::new(Expr::Var(s))))))
         .tau()
@@ -250,11 +244,7 @@ mod tests {
             .pairs
             .iter()
             .map(|p| {
-                (
-                    spec.msg_name(p.req).to_string(),
-                    spec.msg_name(p.repl).to_string(),
-                    p.direction,
-                )
+                (spec.msg_name(p.req).to_string(), spec.msg_name(p.repl).to_string(), p.direction)
             })
             .collect();
         names.sort();

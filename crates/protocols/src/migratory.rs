@@ -222,10 +222,9 @@ mod tests {
 
     #[test]
     fn detects_exactly_the_papers_two_pairs() {
-        for opts in [
-            MigratoryOptions::default(),
-            MigratoryOptions { data_domain: Some(2), cpu_gate: true },
-        ] {
+        for opts in
+            [MigratoryOptions::default(), MigratoryOptions { data_domain: Some(2), cpu_gate: true }]
+        {
             let refined = migratory_refined(&opts);
             let spec = &refined.spec;
             assert_eq!(refined.pairs.len(), 2, "req/gr and inv/ID");
@@ -240,11 +239,7 @@ mod tests {
                     )
                 })
                 .collect();
-            assert!(names.contains(&(
-                "req".into(),
-                "gr".into(),
-                PairDirection::RemoteRequests
-            )));
+            assert!(names.contains(&("req".into(), "gr".into(), PairDirection::RemoteRequests)));
             assert!(names.contains(&("inv".into(), "ID".into(), PairDirection::HomeRequests)));
         }
     }
@@ -286,11 +281,8 @@ mod tests {
     fn static_cost_with_and_without_optimization() {
         let spec = migratory(&MigratoryOptions::default());
         let derived = migratory_refined(&MigratoryOptions::default());
-        let unopt = refine(
-            &spec,
-            &RefineOptions { reqrep: ccr_core::refine::ReqRepMode::Off },
-        )
-        .unwrap();
+        let unopt =
+            refine(&spec, &RefineOptions { reqrep: ccr_core::refine::ReqRepMode::Off }).unwrap();
         // 5 distinct sent messages: req, gr, LR, inv, ID.
         // Optimized: req(1)+gr(1)+LR(2)+inv(1)+ID(1) = 6.
         // Unoptimized: 5 * 2 = 10.

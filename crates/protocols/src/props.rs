@@ -23,9 +23,7 @@ fn remote_states(spec: &ProtocolSpec, names: &[&str]) -> Vec<StateId> {
 
 /// Migratory, rendezvous level: at most one remote holds the line (`V`,
 /// `IDS` or `LRS`), and while the home is Free (`F`) nobody holds it.
-pub fn migratory_rv_invariant(
-    spec: &ProtocolSpec,
-) -> impl FnMut(&RvState) -> Option<String> {
+pub fn migratory_rv_invariant(spec: &ProtocolSpec) -> impl FnMut(&RvState) -> Option<String> {
     let holders = remote_states(spec, &["V", "IDS", "LRS"]);
     let f = spec.home.state_by_name("F").expect("home F");
     move |s: &RvState| {
@@ -48,9 +46,7 @@ pub fn migratory_rv_invariant(
 
 /// Migratory, asynchronous level: at most one remote is settled in a
 /// holder state.
-pub fn migratory_async_invariant(
-    spec: &ProtocolSpec,
-) -> impl FnMut(&AsyncState) -> Option<String> {
+pub fn migratory_async_invariant(spec: &ProtocolSpec) -> impl FnMut(&AsyncState) -> Option<String> {
     let holders = remote_states(spec, &["V", "IDS", "LRS"]);
     move |s: &AsyncState| {
         let count = s
@@ -72,17 +68,10 @@ pub fn migratory_async_invariant(
 /// * every remote in `Sh` agrees with the home's data value (only when the
 ///   spec tracks data);
 /// * the home-side sharer mask covers every remote in `Sh`.
-pub fn invalidate_rv_invariant(
-    spec: &ProtocolSpec,
-) -> impl FnMut(&RvState) -> Option<String> {
+pub fn invalidate_rv_invariant(spec: &ProtocolSpec) -> impl FnMut(&RvState) -> Option<String> {
     let writers = remote_states(spec, &["M", "IDS", "WBS"]);
     let sh = spec.remote.state_by_name("Sh").expect("remote Sh");
-    let s_var = spec
-        .home
-        .vars
-        .iter()
-        .position(|v| v.name == "s")
-        .expect("home sharer mask");
+    let s_var = spec.home.vars.iter().position(|v| v.name == "s").expect("home sharer mask");
     let d_var = spec.home.vars.iter().position(|v| v.name == "d");
     let data_var = spec.remote.vars.iter().position(|v| v.name == "data");
     move |s: &RvState| {
@@ -90,13 +79,8 @@ pub fn invalidate_rv_invariant(
         if m_count > 1 {
             return Some(format!("{m_count} writers"));
         }
-        let sharers: Vec<usize> = s
-            .remotes
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| r.state == sh)
-            .map(|(i, _)| i)
-            .collect();
+        let sharers: Vec<usize> =
+            s.remotes.iter().enumerate().filter(|(_, r)| r.state == sh).map(|(i, _)| i).collect();
         if m_count > 0 && !sharers.is_empty() {
             return Some("a writer coexists with read sharers".into());
         }

@@ -93,8 +93,7 @@ pub fn update(opts: &UpdateOptions) -> ProtocolSpec {
             Some(dv) => br.bind(dv),
             None => br,
         };
-        br.assign(t, Expr::MaskDel(Box::new(Expr::Var(s)), Box::new(Expr::Var(w))))
-            .goto(pushc);
+        br.assign(t, Expr::MaskDel(Box::new(Expr::Var(s)), Box::new(Expr::Var(w)))).goto(pushc);
     }
     b.home(schk).when(is_empty(s)).tau().goto(f);
     b.home(schk).when(not_empty(s)).tau().goto(st_s);
@@ -111,7 +110,10 @@ pub fn update(opts: &UpdateOptions) -> ProtocolSpec {
         };
         br.assign(
             t,
-            Expr::MaskDel(Box::new(Expr::Var(t)), Box::new(Expr::MaskFirst(Box::new(Expr::Var(t))))),
+            Expr::MaskDel(
+                Box::new(Expr::Var(t)),
+                Box::new(Expr::MaskFirst(Box::new(Expr::Var(t)))),
+            ),
         )
         .goto(pushc);
     }
@@ -131,8 +133,7 @@ pub fn update(opts: &UpdateOptions) -> ProtocolSpec {
             Some(dv) => br.bind(dv),
             None => br,
         };
-        br.assign(t, Expr::MaskDel(Box::new(Expr::Var(s)), Box::new(Expr::Var(w))))
-            .goto(pushc);
+        br.assign(t, Expr::MaskDel(Box::new(Expr::Var(s)), Box::new(Expr::Var(w)))).goto(pushc);
     }
 
     // ---- Remote node ----------------------------------------------------------
@@ -210,13 +211,8 @@ pub fn update_rv_invariant(
     let data_var = spec.remote.vars.iter().position(|v| v.name == "data");
     move |st: &ccr_runtime::rendezvous::RvState| {
         let quiescent = st.home.state == f || st.home.state == s_state;
-        let sharers: Vec<usize> = st
-            .remotes
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| r.state == sh)
-            .map(|(i, _)| i)
-            .collect();
+        let sharers: Vec<usize> =
+            st.remotes.iter().enumerate().filter(|(_, r)| r.state == sh).map(|(i, _)| i).collect();
         if let Some(Value::Mask(mask)) = st.home.env.get(s_var) {
             for &i in &sharers {
                 if mask & (1 << i) == 0 {
@@ -232,9 +228,7 @@ pub fn update_rv_invariant(
                 if let Some(home_d) = st.home.env.get(dv) {
                     for &i in &sharers {
                         if st.remotes[i].env.get(rv) != Some(home_d) {
-                            return Some(format!(
-                                "sharer r{i} disagrees with the committed value"
-                            ));
+                            return Some(format!("sharer r{i} disagrees with the committed value"));
                         }
                     }
                 }
@@ -264,11 +258,7 @@ mod tests {
             .pairs
             .iter()
             .map(|p| {
-                (
-                    spec.msg_name(p.req).to_string(),
-                    spec.msg_name(p.repl).to_string(),
-                    p.direction,
-                )
+                (spec.msg_name(p.req).to_string(), spec.msg_name(p.repl).to_string(), p.direction)
             })
             .collect();
         names.sort();

@@ -90,10 +90,8 @@ pub fn abs(sys: &AsyncSystem<'_>, s: &AsyncState) -> Result<RvState> {
                         _ => None,
                     });
                     if let Some(val) = reply_val {
-                        let mid = spec
-                            .remote
-                            .state(br.target)
-                            .ok_or(RuntimeError::BadState { who })?;
+                        let mid =
+                            spec.remote.state(br.target).ok_or(RuntimeError::BadState { who })?;
                         let fb = mid
                             .branches
                             .iter()
@@ -149,8 +147,7 @@ pub fn abs(sys: &AsyncSystem<'_>, s: &AsyncState) -> Result<RvState> {
                     Wire::Req { msg, val } if *msg == repl => Some(*val),
                     _ => None,
                 });
-                if reply_val.is_none()
-                    && matches!(s.remotes[t].phase, RemotePhase::Awaiting { .. })
+                if reply_val.is_none() && matches!(s.remotes[t].phase, RemotePhase::Awaiting { .. })
                 {
                     // No reply anywhere and the awaited remote is itself in
                     // a transient state: it *ignored* our request (remote
@@ -158,23 +155,17 @@ pub fn abs(sys: &AsyncSystem<'_>, s: &AsyncState) -> Result<RvState> {
                     // happened — revert, exactly as if the request were
                     // still in the medium. The home learns of this via the
                     // implicit nack when the remote's own request arrives.
-                    return Ok(RvState {
-                        home: Local { state, env: s.home.env.clone() },
-                        remotes,
-                    });
+                    return Ok(RvState { home: Local { state, env: s.home.env.clone() }, remotes });
                 }
                 let mut env = s.home.env.clone();
                 apply_assigns(br, &mut env, None, who)?;
                 let mut local = Local { state: br.target, env };
                 if let Some(val) = reply_val {
-                    let mid =
-                        spec.home.state(br.target).ok_or(RuntimeError::BadState { who })?;
+                    let mid = spec.home.state(br.target).ok_or(RuntimeError::BadState { who })?;
                     let fb = mid
                         .branches
                         .iter()
-                        .find(|b| {
-                            matches!(&b.action, CommAction::Recv { msg, .. } if *msg == repl)
-                        })
+                        .find(|b| matches!(&b.action, CommAction::Recv { msg, .. } if *msg == repl))
                         .ok_or(RuntimeError::Unabstractable {
                             detail: "home reply landing state lacks the reply input",
                         })?;

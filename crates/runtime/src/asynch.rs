@@ -191,7 +191,11 @@ impl<'a> AsyncSystem<'a> {
         move |source| RuntimeError::Eval { who, source }
     }
 
-    fn guard_ok(guard: &Option<ccr_core::expr::Expr>, ctx: EvalCtx<'_>, who: ProcessId) -> Result<bool> {
+    fn guard_ok(
+        guard: &Option<ccr_core::expr::Expr>,
+        ctx: EvalCtx<'_>,
+        who: ProcessId,
+    ) -> Result<bool> {
         match guard {
             None => Ok(true),
             Some(g) => g.eval_bool(ctx).map_err(Self::eval_err(who)),
@@ -264,7 +268,13 @@ impl<'a> AsyncSystem<'a> {
 
     /// Whether a specific request could complete a rendezvous at `state` —
     /// the progress-buffer admission test (Table 2 row T5 condition (d)).
-    fn request_satisfies(&self, s: &AsyncState, state: StateId, from: RemoteId, msg: MsgType) -> Result<bool> {
+    fn request_satisfies(
+        &self,
+        s: &AsyncState,
+        state: StateId,
+        from: RemoteId,
+        msg: MsgType,
+    ) -> Result<bool> {
         let st = match self.spec().home.state(state) {
             Some(st) if st.kind == StateKind::Communication => st,
             _ => return Ok(false),
@@ -290,7 +300,12 @@ impl<'a> AsyncSystem<'a> {
         let mut sent = None;
         if !self.refined.home_noack.contains(&entry.msg) {
             let to = ProcessId::Remote(entry.from);
-            self.push_link(&mut next.to_remote[entry.from.index()], Wire::Ack, ProcessId::Home, to)?;
+            self.push_link(
+                &mut next.to_remote[entry.from.index()],
+                Wire::Ack,
+                ProcessId::Home,
+                to,
+            )?;
             sent = Some(SentMsg::ack(ProcessId::Home, to));
         }
         if let CommAction::Recv { from, bind, .. } = &hb.action {
@@ -309,12 +324,7 @@ impl<'a> AsyncSystem<'a> {
 
     /// Admission decision for a request arriving at the home (Table 2 rows
     /// T4/T5/T6 and the analogous rule outside transient states).
-    fn home_admit(
-        &self,
-        s: &AsyncState,
-        from: RemoteId,
-        msg: MsgType,
-    ) -> Result<Admission> {
+    fn home_admit(&self, s: &AsyncState, from: RemoteId, msg: MsgType) -> Result<Admission> {
         // Unacknowledged messages (hand baseline) must always be sunk.
         if self.refined.unacked.contains(&msg) {
             let cap = self.config.home_buffer + self.config.unacked_allowance;
@@ -371,20 +381,28 @@ impl<'a> AsyncSystem<'a> {
                 next.home.phase = HomePhase::At(hb.target);
                 next.home.cursor = 0;
                 out.push((
-                    Label::new(actor, LabelKind::Complete, "T1").completing(actor, msg),
+                    Label::new(actor, LabelKind::Complete, "T1")
+                        .completing(actor, msg)
+                        .receiving(SentMsg::ack(ProcessId::Remote(rid), actor)),
                     next,
                 ));
             }
             Wire::Nack => {
                 let (state, branch) = match s.home.phase {
-                    HomePhase::Awaiting { state, branch, target } if target == rid => (state, branch),
+                    HomePhase::Awaiting { state, branch, target } if target == rid => {
+                        (state, branch)
+                    }
                     _ => return Err(RuntimeError::UnexpectedResponse { who: actor, what: "nack" }),
                 };
                 let mut next = s.clone();
                 next.to_home[i].pop();
                 next.home.phase = HomePhase::At(state);
                 next.home.cursor = branch + 1;
-                out.push((Label::new(actor, LabelKind::Deliver, "T2"), next));
+                out.push((
+                    Label::new(actor, LabelKind::Deliver, "T2")
+                        .receiving(SentMsg::nack(ProcessId::Remote(rid), actor)),
+                    next,
+                ));
             }
             Wire::Req { msg, val } => {
                 if let HomePhase::Awaiting { state, branch, target } = s.home.phase {
@@ -429,7 +447,8 @@ impl<'a> AsyncSystem<'a> {
                             }
                             out.push((
                                 Label::new(actor, LabelKind::Complete, "T1/reply")
-                                    .completing(actor, reqmsg),
+                                    .completing(actor, reqmsg)
+                                    .receiving(SentMsg::req(ProcessId::Remote(rid), actor, msg)),
                                 next,
                             ));
                             return Ok(());
@@ -439,7 +458,8 @@ impl<'a> AsyncSystem<'a> {
                         // reserved ack-buffer slot.
                         let mut next = s.clone();
                         next.to_home[i].pop();
-                        if next.home.buf.len() >= self.config.home_buffer + self.config.unacked_allowance
+                        if next.home.buf.len()
+                            >= self.config.home_buffer + self.config.unacked_allowance
                         {
                             return Err(RuntimeError::HomeBufferOverflow);
                         }
@@ -455,7 +475,14 @@ impl<'a> AsyncSystem<'a> {
                         next.home.buf.push(BufEntry { from: rid, msg, val });
                         next.home.phase = HomePhase::At(state);
                         next.home.cursor = branch + 1;
-                        out.push((Label::new(actor, LabelKind::Deliver, "T3"), next));
+                        out.push((
+                            Label::new(actor, LabelKind::Deliver, "T3").receiving(SentMsg::req(
+                                ProcessId::Remote(rid),
+                                actor,
+                                msg,
+                            )),
+                            next,
+                        ));
                         return Ok(());
                     }
                 }
@@ -466,7 +493,14 @@ impl<'a> AsyncSystem<'a> {
                         let mut next = s.clone();
                         next.to_home[i].pop();
                         next.home.buf.push(BufEntry { from: rid, msg, val });
-                        out.push((Label::new(actor, LabelKind::Deliver, rule), next));
+                        out.push((
+                            Label::new(actor, LabelKind::Deliver, rule).receiving(SentMsg::req(
+                                ProcessId::Remote(rid),
+                                actor,
+                                msg,
+                            )),
+                            next,
+                        ));
                     }
                     Admission::Nack => {
                         let mut next = s.clone();
@@ -475,6 +509,7 @@ impl<'a> AsyncSystem<'a> {
                         self.push_link(&mut next.to_remote[i], Wire::Nack, actor, to)?;
                         out.push((
                             Label::new(actor, LabelKind::Nacked, "T6")
+                                .receiving(SentMsg::req(ProcessId::Remote(rid), actor, msg))
                                 .sending(SentMsg::nack(actor, to)),
                             next,
                         ));
@@ -492,11 +527,8 @@ impl<'a> AsyncSystem<'a> {
             HomePhase::At(st) => st,
             HomePhase::Awaiting { .. } => return Ok(()),
         };
-        let st = self
-            .spec()
-            .home
-            .state(st_id)
-            .ok_or(RuntimeError::BadState { who: ProcessId::Home })?;
+        let st =
+            self.spec().home.state(st_id).ok_or(RuntimeError::BadState { who: ProcessId::Home })?;
         let actor = ProcessId::Home;
         let ctx = EvalCtx { env: &s.home.env, self_id: None };
 
@@ -576,11 +608,7 @@ impl<'a> AsyncSystem<'a> {
             }
             // Condition (c): skip remotes with a pending (ordinary) request —
             // they are blocked as active parties and cannot accept ours.
-            if s.home
-                .buf
-                .iter()
-                .any(|e| e.from == t && !self.refined.unacked.contains(&e.msg))
-            {
+            if s.home.buf.iter().any(|e| e.from == t && !self.refined.unacked.contains(&e.msg)) {
                 continue;
             }
             let mut next = s.clone();
@@ -636,7 +664,9 @@ impl<'a> AsyncSystem<'a> {
                 Self::apply_assigns(rb, &mut next.remotes[i].env, Some(rid), actor)?;
                 next.remotes[i].phase = RemotePhase::At(rb.target);
                 out.push((
-                    Label::new(actor, LabelKind::Complete, "T1").completing(actor, msg),
+                    Label::new(actor, LabelKind::Complete, "T1")
+                        .completing(actor, msg)
+                        .receiving(SentMsg::ack(ProcessId::Home, actor)),
                     next,
                 ));
             }
@@ -648,7 +678,11 @@ impl<'a> AsyncSystem<'a> {
                 let mut next = s.clone();
                 next.to_remote[i].pop();
                 next.remotes[i].phase = RemotePhase::At(state);
-                out.push((Label::new(actor, LabelKind::Deliver, "T2"), next));
+                out.push((
+                    Label::new(actor, LabelKind::Deliver, "T2")
+                        .receiving(SentMsg::nack(ProcessId::Home, actor)),
+                    next,
+                ));
             }
             Wire::Req { msg, val } => {
                 match s.remotes[i].phase {
@@ -695,14 +729,19 @@ impl<'a> AsyncSystem<'a> {
                             }
                             out.push((
                                 Label::new(actor, LabelKind::Complete, "T1/reply")
-                                    .completing(actor, reqmsg),
+                                    .completing(actor, reqmsg)
+                                    .receiving(SentMsg::req(ProcessId::Home, actor, msg)),
                                 next,
                             ));
                         } else {
                             // Table 1 row T3: ignore.
                             let mut next = s.clone();
                             next.to_remote[i].pop();
-                            out.push((Label::new(actor, LabelKind::Deliver, "T3"), next));
+                            out.push((
+                                Label::new(actor, LabelKind::Deliver, "T3")
+                                    .receiving(SentMsg::req(ProcessId::Home, actor, msg)),
+                                next,
+                            ));
                         }
                     }
                     RemotePhase::At(_) => {
@@ -710,7 +749,11 @@ impl<'a> AsyncSystem<'a> {
                             let mut next = s.clone();
                             next.to_remote[i].pop();
                             next.remotes[i].buf = Some((msg, val));
-                            out.push((Label::new(actor, LabelKind::Deliver, "buf"), next));
+                            out.push((
+                                Label::new(actor, LabelKind::Deliver, "buf")
+                                    .receiving(SentMsg::req(ProcessId::Home, actor, msg)),
+                                next,
+                            ));
                         }
                         // Buffer occupied: the message waits on the link.
                     }
@@ -722,18 +765,19 @@ impl<'a> AsyncSystem<'a> {
 
     /// Generates remote `i`'s spontaneous transitions (Table 1 rows C1–C3
     /// plus taus).
-    fn remote_step(&self, s: &AsyncState, i: usize, out: &mut Vec<(Label, AsyncState)>) -> Result<()> {
+    fn remote_step(
+        &self,
+        s: &AsyncState,
+        i: usize,
+        out: &mut Vec<(Label, AsyncState)>,
+    ) -> Result<()> {
         let st_id = match s.remotes[i].phase {
             RemotePhase::At(st) => st,
             RemotePhase::Awaiting { .. } => return Ok(()),
         };
         let rid = RemoteId(i as u32);
         let actor = ProcessId::Remote(rid);
-        let st = self
-            .spec()
-            .remote
-            .state(st_id)
-            .ok_or(RuntimeError::BadState { who: actor })?;
+        let st = self.spec().remote.state(st_id).ok_or(RuntimeError::BadState { who: actor })?;
         let ctx = EvalCtx { env: &s.remotes[i].env, self_id: Some(rid) };
 
         // Tau branches (autonomous decisions; allowed alongside inputs).
@@ -877,6 +921,27 @@ impl<'a> TransitionSystem for AsyncSystem<'a> {
             self.remote_step(s, i, out)?;
         }
         Ok(())
+    }
+
+    fn link_occupancy(&self, s: &AsyncState, from: ProcessId, to: ProcessId) -> Option<u32> {
+        match (from, to) {
+            (ProcessId::Remote(r), ProcessId::Home) => {
+                s.to_home.get(r.index()).map(|l| l.len() as u32)
+            }
+            (ProcessId::Home, ProcessId::Remote(r)) => {
+                s.to_remote.get(r.index()).map(|l| l.len() as u32)
+            }
+            _ => None,
+        }
+    }
+
+    fn home_buffer_occupancy(&self, s: &AsyncState) -> Option<(u32, u32)> {
+        let cap = self.config.home_buffer + self.config.unacked_allowance;
+        Some((s.home.buf.len() as u32, cap as u32))
+    }
+
+    fn msg_name(&self, m: MsgType) -> String {
+        self.refined.spec.msg_name(m).to_string()
     }
 
     fn encode(&self, s: &AsyncState, out: &mut Vec<u8>) {

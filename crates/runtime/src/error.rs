@@ -99,6 +99,14 @@ impl fmt::Display for RuntimeError {
 
 impl std::error::Error for RuntimeError {}
 
+/// Serializes as the `Display` message — JSON consumers want the
+/// diagnostic text, not the structural breakdown.
+impl serde::Serialize for RuntimeError {
+    fn serialize(&self, s: &mut serde::Serializer) {
+        s.serialize_str(&self.to_string());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,10 +114,7 @@ mod tests {
     #[test]
     fn display_is_informative() {
         let errs: Vec<RuntimeError> = vec![
-            RuntimeError::Eval {
-                who: ProcessId::Home,
-                source: ccr_core::CoreError::DivideByZero,
-            },
+            RuntimeError::Eval { who: ProcessId::Home, source: ccr_core::CoreError::DivideByZero },
             RuntimeError::BadState { who: ProcessId::Remote(RemoteId(1)) },
             RuntimeError::UnexpectedResponse { who: ProcessId::Home, what: "ack" },
             RuntimeError::LinkOverflow {

@@ -26,6 +26,7 @@
 pub mod abstraction;
 pub mod asynch;
 pub mod error;
+pub mod observe;
 pub mod rendezvous;
 pub mod sched;
 pub mod sim;
@@ -34,4 +35,5 @@ pub mod system;
 pub mod wire;
 
 pub use error::{Result, RuntimeError};
+pub use observe::emit_label_events;
 pub use system::{Label, LabelKind, SentMsg, TransitionSystem};

@@ -8,7 +8,7 @@
 use crate::error::{Result, RuntimeError};
 use crate::system::{Label, LabelKind, TransitionSystem};
 use ccr_core::expr::EvalCtx;
-use ccr_core::ids::{ProcessId, RemoteId, StateId};
+use ccr_core::ids::{MsgType, ProcessId, RemoteId, StateId};
 use ccr_core::process::{Branch, CommAction, Peer, Process, ProtocolSpec, StateKind};
 use ccr_core::value::{Env, Value};
 
@@ -62,10 +62,7 @@ impl<'a> RendezvousSystem<'a> {
     }
 
     fn home_state<'s>(&'s self, s: &RvState) -> Result<&'s ccr_core::process::State> {
-        self.spec
-            .home
-            .state(s.home.state)
-            .ok_or(RuntimeError::BadState { who: ProcessId::Home })
+        self.spec.home.state(s.home.state).ok_or(RuntimeError::BadState { who: ProcessId::Home })
     }
 
     fn remote_state<'s>(&'s self, s: &RvState, i: usize) -> Result<&'s ccr_core::process::State> {
@@ -76,7 +73,11 @@ impl<'a> RendezvousSystem<'a> {
     }
 
     /// Evaluates a guard (missing guard is `true`).
-    fn guard_ok(guard: &Option<ccr_core::expr::Expr>, ctx: EvalCtx<'_>, who: ProcessId) -> Result<bool> {
+    fn guard_ok(
+        guard: &Option<ccr_core::expr::Expr>,
+        ctx: EvalCtx<'_>,
+        who: ProcessId,
+    ) -> Result<bool> {
         match guard {
             None => Ok(true),
             Some(g) => g.eval_bool(ctx).map_err(|source| RuntimeError::Eval { who, source }),
@@ -102,18 +103,13 @@ impl<'a> RendezvousSystem<'a> {
 
     /// Executes a rendezvous where the *home* is active (home `Send` branch
     /// `hb`, remote `i` `Recv` branch `rb`), producing the successor.
-    fn do_home_active(
-        &self,
-        s: &RvState,
-        hb: &Branch,
-        i: usize,
-        rb: &Branch,
-    ) -> Result<RvState> {
+    fn do_home_active(&self, s: &RvState, hb: &Branch, i: usize, rb: &Branch) -> Result<RvState> {
         let mut next = s.clone();
         let hctx = EvalCtx { env: &s.home.env, self_id: None };
         let payload = match &hb.action {
             CommAction::Send { payload: Some(e), .. } => Some(
-                e.eval(hctx).map_err(|source| RuntimeError::Eval { who: ProcessId::Home, source })?,
+                e.eval(hctx)
+                    .map_err(|source| RuntimeError::Eval { who: ProcessId::Home, source })?,
             ),
             _ => None,
         };
@@ -138,20 +134,15 @@ impl<'a> RendezvousSystem<'a> {
     }
 
     /// Executes a rendezvous where remote `i` is active.
-    fn do_remote_active(
-        &self,
-        s: &RvState,
-        i: usize,
-        rb: &Branch,
-        hb: &Branch,
-    ) -> Result<RvState> {
+    fn do_remote_active(&self, s: &RvState, i: usize, rb: &Branch, hb: &Branch) -> Result<RvState> {
         let mut next = s.clone();
         let rid = RemoteId(i as u32);
         let rctx = EvalCtx { env: &s.remotes[i].env, self_id: Some(rid) };
         let payload = match &rb.action {
-            CommAction::Send { payload: Some(e), .. } => Some(e.eval(rctx).map_err(|source| {
-                RuntimeError::Eval { who: ProcessId::Remote(rid), source }
-            })?),
+            CommAction::Send { payload: Some(e), .. } => Some(
+                e.eval(rctx)
+                    .map_err(|source| RuntimeError::Eval { who: ProcessId::Remote(rid), source })?,
+            ),
             _ => None,
         };
         // Home receiver: bind sender and payload, assigns, move.
@@ -234,7 +225,13 @@ impl<'a> TransitionSystem for RendezvousSystem<'a> {
         for br in &home_st.branches {
             if br.action.is_tau() && Self::guard_ok(&br.guard, hctx, ProcessId::Home)? {
                 let mut next = s.clone();
-                Self::apply_assigns(&self.spec.home, br, &mut next.home.env, None, ProcessId::Home)?;
+                Self::apply_assigns(
+                    &self.spec.home,
+                    br,
+                    &mut next.home.env,
+                    None,
+                    ProcessId::Home,
+                )?;
                 next.home.state = br.target;
                 out.push((Label::new(ProcessId::Home, LabelKind::Tau, "tau"), next));
             }
@@ -250,15 +247,19 @@ impl<'a> TransitionSystem for RendezvousSystem<'a> {
             for br in &rst.branches {
                 if br.action.is_tau() && Self::guard_ok(&br.guard, rctx, pid)? {
                     let mut next = s.clone();
-                    Self::apply_assigns(&self.spec.remote, br, &mut next.remotes[i].env, Some(rid), pid)?;
+                    Self::apply_assigns(
+                        &self.spec.remote,
+                        br,
+                        &mut next.remotes[i].env,
+                        Some(rid),
+                        pid,
+                    )?;
                     next.remotes[i].state = br.target;
                     out.push((Label::new(pid, LabelKind::Tau, "tau"), next));
                 }
             }
 
-            if home_st.kind != StateKind::Communication
-                || rst.kind != StateKind::Communication
-            {
+            if home_st.kind != StateKind::Communication || rst.kind != StateKind::Communication {
                 continue;
             }
 
@@ -319,6 +320,10 @@ impl<'a> TransitionSystem for RendezvousSystem<'a> {
             }
         }
         Ok(())
+    }
+
+    fn msg_name(&self, m: MsgType) -> String {
+        self.spec.msg_name(m).to_string()
     }
 
     fn encode(&self, s: &RvState, out: &mut Vec<u8>) {
@@ -394,11 +399,8 @@ mod tests {
         let mut out = Vec::new();
         sys.successors(&s0, &mut out).unwrap();
         // Take remote 1's request.
-        let (_, s1) = out
-            .iter()
-            .find(|(l, _)| l.actor == ProcessId::Remote(RemoteId(1)))
-            .cloned()
-            .unwrap();
+        let (_, s1) =
+            out.iter().find(|(l, _)| l.actor == ProcessId::Remote(RemoteId(1))).cloned().unwrap();
         assert_eq!(s1.home.env.get(0), Some(Value::Node(RemoteId(1))));
         // From s1 the only rendezvous is gr to remote 1.
         sys.successors(&s1, &mut out).unwrap();

@@ -71,9 +71,7 @@ impl Scheduler for RoundRobinSched {
         let total = self.n + 1;
         for off in 0..total {
             let want = (self.next + off) % total;
-            if let Some(idx) =
-                choices.iter().position(|l| self.actor_index(l.actor) == want)
-            {
+            if let Some(idx) = choices.iter().position(|l| self.actor_index(l.actor) == want) {
                 self.next = (want + 1) % total;
                 return Some(idx);
             }
@@ -168,10 +166,8 @@ mod tests {
 
     #[test]
     fn biased_starves_victims_when_alternatives_exist() {
-        let choices = vec![
-            lbl(ProcessId::Remote(RemoteId(0))),
-            lbl(ProcessId::Remote(RemoteId(1))),
-        ];
+        let choices =
+            vec![lbl(ProcessId::Remote(RemoteId(0))), lbl(ProcessId::Remote(RemoteId(1)))];
         let mut s = BiasedSched::new(vec![RemoteId(0)], 7);
         for _ in 0..50 {
             assert_eq!(s.pick(&choices), Some(1));

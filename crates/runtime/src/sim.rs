@@ -7,12 +7,16 @@
 //! workload wants them).
 
 use crate::error::Result;
+use crate::observe::emit_label_events;
 use crate::sched::Scheduler;
 use crate::stats::MsgStats;
 use crate::system::{Label, TransitionSystem};
+use ccr_trace::{NullSink, TraceEvent, TraceSink};
+use serde::Serialize;
+use std::time::{Duration, Instant};
 
 /// Outcome of a simulation run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SimReport {
     /// Message/progress counters.
     pub stats: MsgStats,
@@ -20,6 +24,8 @@ pub struct SimReport {
     pub deadlocked: bool,
     /// Steps actually executed.
     pub steps: u64,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
 }
 
 /// A simulation driver owning the current state.
@@ -28,13 +34,16 @@ pub struct Simulator<'s, T: TransitionSystem> {
     state: T::State,
     stats: MsgStats,
     scratch: Vec<(Label, T::State)>,
+    /// Last reported home-buffer occupancy, so `HomeBuffer` events are
+    /// emitted only on change.
+    last_home_buf: Option<u32>,
 }
 
 impl<'s, T: TransitionSystem> Simulator<'s, T> {
     /// Starts a simulation from the initial state.
     pub fn new(sys: &'s T) -> Self {
         let state = sys.initial();
-        Self { sys, state, stats: MsgStats::new(), scratch: Vec::new() }
+        Self { sys, state, stats: MsgStats::new(), scratch: Vec::new(), last_home_buf: None }
     }
 
     /// Read access to the current state.
@@ -48,12 +57,18 @@ impl<'s, T: TransitionSystem> Simulator<'s, T> {
     }
 
     /// Executes one step chosen by `sched` among transitions passing
-    /// `filter`. Returns the fired label, or `None` if nothing was enabled
-    /// (after filtering).
-    pub fn step_filtered(
+    /// `filter`, narrating it to `sink`. Returns the fired label, or `None`
+    /// if nothing was enabled (after filtering).
+    ///
+    /// Link-occupancy high-water marks are folded into [`MsgStats`]
+    /// unconditionally (they are cheap and always useful); per-event
+    /// construction is guarded by [`TraceSink::enabled`], so running with
+    /// a [`NullSink`] costs one predictable branch per step.
+    pub fn step_observed(
         &mut self,
         sched: &mut dyn Scheduler,
         mut filter: impl FnMut(&Label) -> bool,
+        sink: &mut dyn TraceSink,
     ) -> Result<Option<Label>> {
         let mut scratch = std::mem::take(&mut self.scratch);
         self.sys.successors(&self.state, &mut scratch)?;
@@ -63,8 +78,17 @@ impl<'s, T: TransitionSystem> Simulator<'s, T> {
         let result = match picked {
             Some(idx) if idx < scratch.len() => {
                 let (label, next) = scratch.swap_remove(idx);
+                let seq = self.stats.steps;
                 self.stats.record(&label);
                 self.state = next;
+                for m in label.emissions() {
+                    if let Some(occ) = self.sys.link_occupancy(&self.state, m.from, m.to) {
+                        self.stats.record_occupancy(m.from, m.to, occ);
+                    }
+                }
+                if sink.enabled() {
+                    self.narrate(sink, seq, &label);
+                }
                 Some(label)
             }
             _ => None,
@@ -74,6 +98,32 @@ impl<'s, T: TransitionSystem> Simulator<'s, T> {
         Ok(result)
     }
 
+    /// Emits the events describing one fired step (post-state already
+    /// installed in `self.state`).
+    fn narrate(&mut self, sink: &mut dyn TraceSink, seq: u64, label: &Label) {
+        let sys = self.sys;
+        let state = &self.state;
+        emit_label_events(sink, seq, label, &|m| sys.msg_name(m), &|m| {
+            sys.link_occupancy(state, m.from, m.to)
+        });
+        if let Some((used, capacity)) = sys.home_buffer_occupancy(state) {
+            if self.last_home_buf != Some(used) {
+                self.last_home_buf = Some(used);
+                sink.emit(&TraceEvent::HomeBuffer { seq, used, capacity });
+            }
+        }
+    }
+
+    /// Executes one step chosen by `sched` among transitions passing
+    /// `filter`, without tracing.
+    pub fn step_filtered(
+        &mut self,
+        sched: &mut dyn Scheduler,
+        filter: impl FnMut(&Label) -> bool,
+    ) -> Result<Option<Label>> {
+        self.step_observed(sched, filter, &mut NullSink)
+    }
+
     /// Executes one unfiltered step.
     pub fn step(&mut self, sched: &mut dyn Scheduler) -> Result<Option<Label>> {
         self.step_filtered(sched, |_| true)
@@ -81,10 +131,23 @@ impl<'s, T: TransitionSystem> Simulator<'s, T> {
 
     /// Runs up to `max_steps` steps; stops early on deadlock.
     pub fn run(&mut self, sched: &mut dyn Scheduler, max_steps: u64) -> Result<SimReport> {
+        self.run_traced(sched, max_steps, &mut NullSink)
+    }
+
+    /// Runs up to `max_steps` steps, narrating every step to `sink`; stops
+    /// early on deadlock. A terminal [`TraceEvent::Outcome`] is emitted and
+    /// the sink flushed before returning.
+    pub fn run_traced(
+        &mut self,
+        sched: &mut dyn Scheduler,
+        max_steps: u64,
+        sink: &mut dyn TraceSink,
+    ) -> Result<SimReport> {
+        let started = Instant::now();
         let mut steps = 0;
         let mut deadlocked = false;
         while steps < max_steps {
-            match self.step(sched)? {
+            match self.step_observed(sched, |_| true, sink)? {
                 Some(_) => steps += 1,
                 None => {
                     deadlocked = true;
@@ -92,7 +155,15 @@ impl<'s, T: TransitionSystem> Simulator<'s, T> {
                 }
             }
         }
-        Ok(SimReport { stats: self.stats.clone(), deadlocked, steps })
+        if sink.enabled() {
+            sink.emit(&TraceEvent::Outcome {
+                outcome: if deadlocked { "Deadlock".into() } else { "Complete".into() },
+                detail: None,
+                steps: Some(steps),
+            });
+            sink.flush();
+        }
+        Ok(SimReport { stats: self.stats.clone(), deadlocked, steps, elapsed: started.elapsed() })
     }
 }
 

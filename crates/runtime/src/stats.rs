@@ -7,11 +7,13 @@
 //! progress criterion is stated over.
 
 use crate::system::Label;
+use crate::wire::Network;
 use ccr_core::ids::{MsgType, ProcessId};
+use serde::Serialize;
 use std::collections::HashMap;
 
 /// Accumulated counters over a run.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
 pub struct MsgStats {
     /// Requests sent (including optimized replies), per message type.
     pub requests: HashMap<MsgType, u64>,
@@ -26,6 +28,10 @@ pub struct MsgStats {
     pub per_remote: HashMap<u32, u64>,
     /// Total transitions observed.
     pub steps: u64,
+    /// Per-link occupancy high-water marks, recorded by simulators whose
+    /// semantics models wires (empty otherwise) — the observed margin of
+    /// the bounded-link assumption.
+    pub link_high_water: Network,
 }
 
 impl MsgStats {
@@ -52,6 +58,17 @@ impl MsgStats {
                 *self.per_remote.entry(r.0).or_insert(0) += 1;
             }
         }
+    }
+
+    /// Records an observed occupancy of the directed link `from → to`.
+    pub fn record_occupancy(&mut self, from: ProcessId, to: ProcessId, occupancy: u32) {
+        self.link_high_water.observe(from, to, occupancy);
+    }
+
+    /// The maximum link-occupancy high-water mark over all links (0 when
+    /// the run never observed a wire).
+    pub fn max_link_occupancy(&self) -> u32 {
+        self.link_high_water.max_high_water()
     }
 
     /// Total wire messages (requests + acks + nacks).
@@ -81,9 +98,8 @@ impl MsgStats {
         if n == 0 {
             return None;
         }
-        let xs: Vec<f64> = (0..n as u32)
-            .map(|i| *self.per_remote.get(&i).unwrap_or(&0) as f64)
-            .collect();
+        let xs: Vec<f64> =
+            (0..n as u32).map(|i| *self.per_remote.get(&i).unwrap_or(&0) as f64).collect();
         let sum: f64 = xs.iter().sum();
         if sum == 0.0 {
             return None;
@@ -112,8 +128,11 @@ mod tests {
     #[test]
     fn records_messages_and_completions() {
         let mut st = MsgStats::new();
-        let l = Label::new(remote(0), LabelKind::Request, "C1")
-            .sending(SentMsg::req(remote(0), ProcessId::Home, MsgType(1)));
+        let l = Label::new(remote(0), LabelKind::Request, "C1").sending(SentMsg::req(
+            remote(0),
+            ProcessId::Home,
+            MsgType(1),
+        ));
         st.record(&l);
         let l2 = Label::new(ProcessId::Home, LabelKind::Complete, "C1")
             .completing(remote(0), MsgType(1))
@@ -155,6 +174,17 @@ mod tests {
         let j = st.jain_fairness(2).unwrap();
         assert!((j - 1.0).abs() < 1e-9);
         assert_eq!(st.starved(2), 0);
+    }
+
+    #[test]
+    fn occupancy_high_water_and_json() {
+        let mut st = MsgStats::new();
+        st.record_occupancy(remote(0), ProcessId::Home, 2);
+        st.record_occupancy(remote(0), ProcessId::Home, 1);
+        st.record_occupancy(ProcessId::Home, remote(0), 3);
+        assert_eq!(st.max_link_occupancy(), 3);
+        let json = serde::json::to_string(&st);
+        assert!(json.contains("\"link_high_water\":{\"h->r0\":3,\"r0->h\":2}"), "{json}");
     }
 
     #[test]

@@ -4,12 +4,13 @@
 //! consume protocols through this trait, so every analysis works uniformly
 //! on the rendezvous and the asynchronous semantics.
 
-use ccr_core::ids::{MsgType, ProcessId};
 use crate::error::Result;
+use ccr_core::ids::{MsgType, ProcessId};
+use serde::Serialize;
 
 /// Classification of a global transition, used for reporting and for the
 /// progress checker.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub enum LabelKind {
     /// An autonomous local step (`tau`, including internal states).
     Tau,
@@ -27,7 +28,7 @@ pub enum LabelKind {
 }
 
 /// A wire message emitted during a step, for message accounting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct SentMsg {
     /// Sender.
     pub from: ProcessId,
@@ -57,10 +58,21 @@ impl SentMsg {
     pub fn nack(from: ProcessId, to: ProcessId) -> Self {
         Self { from, to, msg: None, is_nack: true, is_ack: false }
     }
+
+    /// The wire kind as a short name: `"Req"`, `"Ack"` or `"Nack"`.
+    pub fn wire_kind(&self) -> &'static str {
+        if self.is_ack {
+            "Ack"
+        } else if self.is_nack {
+            "Nack"
+        } else {
+            "Req"
+        }
+    }
 }
 
 /// Label attached to each generated transition.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct Label {
     /// The process that took the step.
     pub actor: ProcessId,
@@ -75,6 +87,9 @@ pub struct Label {
     /// Wire messages emitted during the step (at most two: a nack to free a
     /// buffer slot plus the new request, per Table 2 row C2).
     pub sent: [Option<SentMsg>; 2],
+    /// The wire message this step *consumed* from a link, if it was a
+    /// delivery step (Table 1–2 rows T1–T6 and `buf`).
+    pub recv: Option<SentMsg>,
     /// The tag of the branch that fired, if any (e.g. `"evict"`).
     pub tag: Option<String>,
 }
@@ -82,7 +97,7 @@ pub struct Label {
 impl Label {
     /// A label with no emissions.
     pub fn new(actor: ProcessId, kind: LabelKind, rule: &'static str) -> Self {
-        Self { actor, kind, rule, completes: None, sent: [None, None], tag: None }
+        Self { actor, kind, rule, completes: None, sent: [None, None], recv: None, tag: None }
     }
 
     /// Attaches a completion event.
@@ -99,6 +114,13 @@ impl Label {
             debug_assert!(self.sent[1].is_none(), "a step emits at most two messages");
             self.sent[1] = Some(m);
         }
+        self
+    }
+
+    /// Attaches the consumed wire message (delivery steps).
+    pub fn receiving(mut self, m: SentMsg) -> Self {
+        debug_assert!(self.recv.is_none(), "a step consumes at most one message");
+        self.recv = Some(m);
         self
     }
 
@@ -135,6 +157,25 @@ pub trait TransitionSystem {
         self.encode(s, &mut v);
         v
     }
+
+    /// Observability hook: the number of messages in flight on the directed
+    /// link `from → to` in configuration `s`, when the semantics models
+    /// links (`None` otherwise — the rendezvous level has no wires).
+    fn link_occupancy(&self, _s: &Self::State, _from: ProcessId, _to: ProcessId) -> Option<u32> {
+        None
+    }
+
+    /// Observability hook: `(used, capacity)` of the home node's request
+    /// buffer in `s`, when the semantics models one (§3.2's bounded k).
+    fn home_buffer_occupancy(&self, _s: &Self::State) -> Option<(u32, u32)> {
+        None
+    }
+
+    /// Observability hook: a human-readable name for a message type.
+    /// Systems carrying a spec override this with the spec's symbol table.
+    fn msg_name(&self, m: MsgType) -> String {
+        m.to_string()
+    }
 }
 
 #[cfg(test)]
@@ -151,9 +192,7 @@ mod tests {
         assert_eq!(l.emissions().count(), 1);
         assert!(l.emissions().next().unwrap().is_ack);
 
-        let l2 = l
-            .clone()
-            .sending(SentMsg::nack(ProcessId::Home, ProcessId::Remote(RemoteId(1))));
+        let l2 = l.clone().sending(SentMsg::nack(ProcessId::Home, ProcessId::Remote(RemoteId(1))));
         assert_eq!(l2.emissions().count(), 2);
     }
 

@@ -7,7 +7,9 @@
 //! overflow surfaces as [`crate::RuntimeError::LinkOverflow`].
 
 use ccr_core::ids::MsgType;
+use ccr_core::ids::{ProcessId, RemoteId};
 use ccr_core::value::Value;
+use serde::{Serialize, Serializer};
 use std::collections::VecDeque;
 
 /// A message on the wire.
@@ -124,6 +126,100 @@ impl Default for Link {
     }
 }
 
+/// Per-link occupancy high-water bookkeeping for the star topology.
+///
+/// The paper *assumes* infinitely buffered links; the executor bounds them
+/// and checks the bound. `Network` records the highest occupancy each
+/// directed link ever reached during a run, making the margin of the
+/// [`crate::RuntimeError::LinkOverflow`] assumption observable instead of
+/// binary (overflowed / didn't).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Network {
+    /// High-water marks of the `remote i → home` links, indexed by `i`.
+    to_home: Vec<u32>,
+    /// High-water marks of the `home → remote i` links, indexed by `i`.
+    to_remote: Vec<u32>,
+}
+
+impl Network {
+    /// Empty bookkeeper; links are discovered lazily as they are observed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn slot(side: &mut Vec<u32>, i: usize) -> &mut u32 {
+        if side.len() <= i {
+            side.resize(i + 1, 0);
+        }
+        &mut side[i]
+    }
+
+    /// Records an observed occupancy of the directed link `from → to`.
+    /// Links between two remotes do not exist in the star topology and are
+    /// ignored.
+    pub fn observe(&mut self, from: ProcessId, to: ProcessId, occupancy: u32) {
+        let slot = match (from, to) {
+            (ProcessId::Remote(r), ProcessId::Home) => Self::slot(&mut self.to_home, r.index()),
+            (ProcessId::Home, ProcessId::Remote(r)) => Self::slot(&mut self.to_remote, r.index()),
+            _ => return,
+        };
+        *slot = (*slot).max(occupancy);
+    }
+
+    /// The recorded high-water mark for `from → to` (0 if never observed).
+    pub fn high_water(&self, from: ProcessId, to: ProcessId) -> u32 {
+        match (from, to) {
+            (ProcessId::Remote(r), ProcessId::Home) => {
+                self.to_home.get(r.index()).copied().unwrap_or(0)
+            }
+            (ProcessId::Home, ProcessId::Remote(r)) => {
+                self.to_remote.get(r.index()).copied().unwrap_or(0)
+            }
+            _ => 0,
+        }
+    }
+
+    /// The maximum high-water mark over all links.
+    pub fn max_high_water(&self) -> u32 {
+        self.to_home.iter().chain(self.to_remote.iter()).copied().max().unwrap_or(0)
+    }
+
+    /// Iterates over `(from, to, high_water)` for every observed link.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, ProcessId, u32)> + '_ {
+        let up = self
+            .to_home
+            .iter()
+            .enumerate()
+            .map(|(i, &hw)| (ProcessId::Remote(RemoteId(i as u32)), ProcessId::Home, hw));
+        let down = self
+            .to_remote
+            .iter()
+            .enumerate()
+            .map(|(i, &hw)| (ProcessId::Home, ProcessId::Remote(RemoteId(i as u32)), hw));
+        up.chain(down)
+    }
+
+    /// True when no link was ever observed.
+    pub fn is_empty(&self) -> bool {
+        self.to_home.is_empty() && self.to_remote.is_empty()
+    }
+}
+
+/// Serializes as a flat object keyed by `"from->to"`, e.g.
+/// `{"h->r0":2,"r0->h":1}`.
+impl Serialize for Network {
+    fn serialize(&self, s: &mut Serializer) {
+        let mut entries: Vec<(String, u32)> =
+            self.iter().map(|(from, to, hw)| (format!("{from}->{to}"), hw)).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut m = s.begin_map();
+        for (k, hw) in &entries {
+            m.entry(k, hw);
+        }
+        m.end();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,6 +258,33 @@ mod tests {
         b.clear();
         Wire::Nack.encode(&mut b);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn network_high_water_tracks_maxima() {
+        let r0 = ProcessId::Remote(RemoteId(0));
+        let r2 = ProcessId::Remote(RemoteId(2));
+        let h = ProcessId::Home;
+        let mut net = Network::new();
+        assert!(net.is_empty());
+        net.observe(r0, h, 1);
+        net.observe(r0, h, 3);
+        net.observe(r0, h, 2);
+        net.observe(h, r2, 4);
+        net.observe(r0, r2, 99); // no remote-remote links in the star
+        assert_eq!(net.high_water(r0, h), 3);
+        assert_eq!(net.high_water(h, r2), 4);
+        assert_eq!(net.high_water(h, r0), 0);
+        assert_eq!(net.max_high_water(), 4);
+        assert_eq!(net.iter().count(), 4, "r0..r2 downlinks materialized");
+    }
+
+    #[test]
+    fn network_serializes_as_sorted_link_map() {
+        let mut net = Network::new();
+        net.observe(ProcessId::Remote(RemoteId(0)), ProcessId::Home, 2);
+        net.observe(ProcessId::Home, ProcessId::Remote(RemoteId(0)), 1);
+        assert_eq!(serde::json::to_string(&net), "{\"h->r0\":1,\"r0->h\":2}");
     }
 
     #[test]

@@ -80,7 +80,12 @@ fn home_buffers_request_then_c1_acks_it() {
     let s0 = sys.initial();
     let (_, s1) = fire(&sys, &s0, by_rule(R0, "C1"), "remote C1");
     // Delivery into the home buffer (T4/T5 depending on occupancy).
-    let (label, s2) = fire(&sys, &s1, |l| l.actor == H && l.kind == ccr_runtime::LabelKind::Deliver, "home buffering");
+    let (label, s2) = fire(
+        &sys,
+        &s1,
+        |l| l.actor == H && l.kind == ccr_runtime::LabelKind::Deliver,
+        "home buffering",
+    );
     assert!(label.rule == "T4" || label.rule == "T5", "{}", label.rule);
     assert_eq!(s2.home.buf.len(), 1);
     // Home C1: consume + ack.
@@ -105,7 +110,8 @@ fn home_c2_reserves_ack_buffer_and_t6_nacks_overflow() {
     let s0 = sys.initial();
     // r0 requests; home consumes via C1 path up to granting (C2 send of gr).
     let (_, s) = fire(&sys, &s0, by_rule(R0, "C1"), "r0 request");
-    let (_, s) = fire(&sys, &s, |l| l.actor == H && l.kind == ccr_runtime::LabelKind::Deliver, "buffer r0");
+    let (_, s) =
+        fire(&sys, &s, |l| l.actor == H && l.kind == ccr_runtime::LabelKind::Deliver, "buffer r0");
     let (_, s) = fire(&sys, &s, by_rule(H, "C1"), "consume req");
     // Home now at G1 whose only branch is the gr send -> C2.
     let (label, s) = fire(&sys, &s, by_rule(H, "C2"), "home C2 sends gr");
@@ -177,14 +183,21 @@ fn remote_t3_ignores_home_request_and_home_t3_implicit_nacks() {
     assert_eq!(s.remotes[0].phase, RemotePhase::At(v));
     // r1 wants the line; home starts revoking r0.
     let (_, s) = fire(&sys, &s, by_rule(R1, "C1"), "r1 req");
-    let (_, s) = fire(&sys, &s, |l| l.actor == H && l.kind == ccr_runtime::LabelKind::Deliver, "buffer r1");
+    let (_, s) =
+        fire(&sys, &s, |l| l.actor == H && l.kind == ccr_runtime::LabelKind::Deliver, "buffer r1");
     let (_, s) = fire(&sys, &s, by_rule(H, "C1"), "consume r1 req");
     let (_, s) = fire(&sys, &s, by_rule(H, "C2"), "home sends inv to r0");
     assert!(matches!(s.home.phase, HomePhase::Awaiting { .. }));
     // Concurrently r0 evicts: tau to LRS, then sends LR (deleting the
     // buffered inv per remote C2) and awaits its ack.
-    let (_, s) = fire(&sys, &s, |l| l.actor == R0 && l.tag.as_deref() == Some("evict"), "r0 evicts");
-    let (label, s) = fire(&sys, &s, |l| l.actor == R0 && l.kind == ccr_runtime::LabelKind::Request, "r0 sends LR");
+    let (_, s) =
+        fire(&sys, &s, |l| l.actor == R0 && l.tag.as_deref() == Some("evict"), "r0 evicts");
+    let (label, s) = fire(
+        &sys,
+        &s,
+        |l| l.actor == R0 && l.kind == ccr_runtime::LabelKind::Request,
+        "r0 sends LR",
+    );
     // The rule is C1 or C2 depending on whether inv was already delivered
     // into r0's buffer; both are legal.
     assert!(label.rule == "C1" || label.rule == "C2", "{}", label.rule);
@@ -220,16 +233,20 @@ fn t5_progress_buffer_admits_only_satisfying_requests() {
     // Home at E. Its guards accept only rel from r0. A req from r1 is
     // buffered while free >= 2...
     let (_, s) = fire(&sys, &s, by_rule(R1, "C1"), "r1 req");
-    let (label, s) = fire(&sys, &s, |l| l.actor == H && l.kind == ccr_runtime::LabelKind::Deliver, "admit r1");
+    let (label, s) =
+        fire(&sys, &s, |l| l.actor == H && l.kind == ccr_runtime::LabelKind::Deliver, "admit r1");
     assert_eq!(label.rule, "T4");
     // ...but with one slot left (the progress buffer) a second req that
     // satisfies no guard at E is nacked (T6), while r0's rel (which does
     // satisfy E) is admitted via T5.
-    let (_, s) = fire(&sys, &s, |l| l.actor == ProcessId::Remote(RemoteId(2)) && l.rule == "C1", "r2 req");
-    let (label, s) = fire(&sys, &s, |l| l.actor == H && (l.rule == "T6" || l.rule == "T5"), "r2 admission");
+    let (_, s) =
+        fire(&sys, &s, |l| l.actor == ProcessId::Remote(RemoteId(2)) && l.rule == "C1", "r2 req");
+    let (label, s) =
+        fire(&sys, &s, |l| l.actor == H && (l.rule == "T6" || l.rule == "T5"), "r2 admission");
     assert_eq!(label.rule, "T6", "non-satisfying request must be nacked from the progress slot");
     let (_, s) = fire(&sys, &s, by_rule(R0, "C1"), "r0 releases");
-    let (label, _) = fire(&sys, &s, |l| l.actor == H && l.kind == ccr_runtime::LabelKind::Deliver, "admit rel");
+    let (label, _) =
+        fire(&sys, &s, |l| l.actor == H && l.kind == ccr_runtime::LabelKind::Deliver, "admit rel");
     assert_eq!(label.rule, "T5", "the satisfying rel takes the progress buffer");
 }
 
@@ -270,7 +287,8 @@ fn cursor_cycles_output_guards_after_nack() {
     }
     // r0 autonomously moves to R2 and sends hello — crossing the ping.
     let (_, s) = fire(&sys, &s, |l| l.actor == R0 && l.tag.as_deref() == Some("go"), "r0 go");
-    let (_, s) = fire(&sys, &s, |l| l.actor == R0 && l.kind == ccr_runtime::LabelKind::Request, "r0 hello");
+    let (_, s) =
+        fire(&sys, &s, |l| l.actor == R0 && l.kind == ccr_runtime::LabelKind::Request, "r0 hello");
     // Home receives hello from r0 = implicit nack; cursor moves past 0.
     let (_, s) = fire(&sys, &s, by_rule(H, "T3"), "implicit nack");
     assert_eq!(s.home.cursor, 1);

@@ -1,0 +1,216 @@
+//! A small JSON syntax validator.
+//!
+//! The workspace has no JSON *parser* dependency (the build is hermetic),
+//! but tests and tools still want to assert that emitted trace lines and
+//! `--json` reports are well-formed. This is a strict recursive-descent
+//! recognizer for RFC 8259 JSON — it validates, it does not build values.
+
+/// Whether `s` is exactly one well-formed JSON value (with optional
+/// surrounding whitespace).
+pub fn is_valid_json(s: &str) -> bool {
+    let bytes = s.as_bytes();
+    let mut pos = 0;
+    if !value(bytes, &mut pos) {
+        return false;
+    }
+    skip_ws(bytes, &mut pos);
+    pos == bytes.len()
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> bool {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, b"true"),
+        Some(b'f') => literal(b, pos, b"false"),
+        Some(b'n') => literal(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+        _ => false,
+    }
+}
+
+fn literal(b: &[u8], pos: &mut usize, lit: &[u8]) -> bool {
+    if b[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        true
+    } else {
+        false
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize) -> bool {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return true;
+    }
+    loop {
+        skip_ws(b, pos);
+        if !string(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return false;
+        }
+        *pos += 1;
+        if !value(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> bool {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return true;
+    }
+    loop {
+        if !value(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn string(b: &[u8], pos: &mut usize) -> bool {
+    if b.get(*pos) != Some(&b'"') {
+        return false;
+    }
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return true;
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            match b.get(*pos) {
+                                Some(h) if h.is_ascii_hexdigit() => *pos += 1,
+                                _ => return false,
+                            }
+                        }
+                    }
+                    _ => return false,
+                }
+            }
+            0x00..=0x1F => return false,
+            _ => *pos += 1,
+        }
+    }
+    false
+}
+
+fn number(b: &[u8], pos: &mut usize) -> bool {
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    match b.get(*pos) {
+        Some(b'0') => *pos += 1,
+        Some(c) if c.is_ascii_digit() => {
+            while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+                *pos += 1;
+            }
+        }
+        _ => return false,
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            return false;
+        }
+        while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            return false;
+        }
+        while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::is_valid_json;
+
+    #[test]
+    fn accepts_well_formed() {
+        for ok in [
+            "null",
+            "true",
+            "-12.5e3",
+            "\"a\\nb\\u00e9\"",
+            "[]",
+            "[1,2,[3]]",
+            "{}",
+            "{\"a\":1,\"b\":{\"c\":[true,null]}}",
+            "  {\"x\" : 0}  ",
+        ] {
+            assert!(is_valid_json(ok), "{ok}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[1,]",
+            "{\"a\":}",
+            "{a:1}",
+            "01",
+            "1.",
+            "+1",
+            "\"unterminated",
+            "nul",
+            "[1] []",
+            "{\"a\" 1}",
+        ] {
+            assert!(!is_valid_json(bad), "{bad}");
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! # ccr-trace — structured event tracing for the refinement pipeline
+//!
+//! The paper's claims are *trajectory* claims: messages per rendezvous
+//! (§3.3), state-space sizes (Table 3), forward progress (§2.5). This
+//! crate gives every execution layer a common, cheap way to narrate its
+//! trajectory: a [`TraceEvent`] enum covering the events the paper
+//! reasons about, and a [`TraceSink`] trait with three implementations —
+//!
+//! * [`NullSink`] — the default; `enabled()` is `false` and `emit` is an
+//!   empty inlineable body, so instrumented code costs one predictable
+//!   branch per step when tracing is off.
+//! * [`RingSink`] — a bounded in-memory ring keeping the last `cap`
+//!   events; what you want for counterexample tails.
+//! * [`JsonlSink`] — a buffered writer emitting one serde-serialized
+//!   JSON object per line (JSONL), the interchange format of the `ccr`
+//!   CLI's `--trace` flag and the model checker's counterexample export.
+//!
+//! Event producers live in `ccr-runtime` (per-step simulator events),
+//! `ccr-mc` (search heartbeats and counterexample paths) and `ccr-dsm`
+//! (machine runs). See `docs/observability.md` for the schema.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod json_check;
+
+use serde::Serialize;
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// One observable event in a protocol execution or a state-space search.
+///
+/// Serialized (externally tagged) as `{"<Variant>":{...fields...}}`, one
+/// object per JSONL line. `seq` is the 0-based step index of the run the
+/// event belongs to; several events may share a `seq` (a transition plus
+/// the sends/receives it performs).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum TraceEvent {
+    /// A transition fired: which process moved, under which rule of the
+    /// paper's Tables 1–2 (`C1`–`C3`, `T1`–`T6`, `buf`, `tau`), and the
+    /// label kind (`Tau`, `Rendezvous`, `Request`, `Deliver`, `Complete`,
+    /// `Nacked`).
+    Step {
+        /// Step index within the run.
+        seq: u64,
+        /// Process that moved (`h` or `r<i>`).
+        actor: String,
+        /// Label kind.
+        kind: String,
+        /// Rule identifier from the paper's tables.
+        rule: String,
+        /// Optional user tag (e.g. the workload action name).
+        tag: Option<String>,
+    },
+    /// A wire message was enqueued on a link.
+    Send {
+        /// Step index within the run.
+        seq: u64,
+        /// Sending endpoint.
+        from: String,
+        /// Receiving endpoint.
+        to: String,
+        /// Wire kind: `Req`, `Ack` or `Nack`.
+        wire: String,
+        /// Message type name for `Req` wires.
+        msg: Option<String>,
+        /// Link occupancy immediately after the enqueue, when known.
+        occupancy: Option<u32>,
+    },
+    /// A wire message was consumed from a link.
+    Recv {
+        /// Step index within the run.
+        seq: u64,
+        /// Endpoint the message came from.
+        from: String,
+        /// Endpoint that consumed it.
+        to: String,
+        /// Wire kind: `Req`, `Ack` or `Nack`.
+        wire: String,
+        /// Message type name for `Req` wires.
+        msg: Option<String>,
+    },
+    /// A rendezvous completed (async level: request acknowledged; the
+    /// abstraction maps this to one atomic rendezvous step).
+    Rendezvous {
+        /// Step index within the run.
+        seq: u64,
+        /// The active party whose rendezvous completed.
+        actor: String,
+        /// Message type of the rendezvous.
+        msg: String,
+    },
+    /// A nack was consumed, so the rejected request will be retried
+    /// (the refinement's implicit retransmission loop).
+    Retransmit {
+        /// Step index within the run.
+        seq: u64,
+        /// The process that will retry.
+        actor: String,
+        /// Rule that delivered the nack (`T2` at remotes).
+        rule: String,
+    },
+    /// Home buffer occupancy changed (sampled per step; §3.2's k ≥ 2
+    /// bound with reserved progress/ack slots).
+    HomeBuffer {
+        /// Step index within the run.
+        seq: u64,
+        /// Entries currently buffered.
+        used: u32,
+        /// Configured capacity `k`.
+        capacity: u32,
+    },
+    /// Periodic search progress (model checker only; never part of a
+    /// deterministic run trace).
+    Heartbeat {
+        /// States explored so far.
+        states: u64,
+        /// Current frontier length.
+        frontier: u64,
+        /// Approximate state-store bytes.
+        store_bytes: u64,
+        /// Exploration rate since the previous heartbeat.
+        states_per_sec: u64,
+        /// Wall-clock ms since the search began.
+        elapsed_ms: u64,
+    },
+    /// Terminal event: how the run or search ended.
+    Outcome {
+        /// Outcome name (`Complete`, `Deadlock`, `InvariantViolated`, ...).
+        outcome: String,
+        /// Violation message or failure detail, when any.
+        detail: Option<String>,
+        /// Length of the counterexample path that precedes this event,
+        /// when one was emitted.
+        steps: Option<u64>,
+    },
+}
+
+impl TraceEvent {
+    /// The event's JSONL line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        serde::json::to_string(self)
+    }
+}
+
+/// Where trace events go. Instrumented code guards event construction
+/// with [`TraceSink::enabled`], so disabled sinks cost one branch.
+pub trait TraceSink {
+    /// Whether events should be constructed and emitted at all.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Record one event.
+    fn emit(&mut self, ev: &TraceEvent);
+
+    /// Flush any buffered output.
+    fn flush(&mut self) {}
+}
+
+/// A sink that drops everything; `enabled()` is `false`, so callers skip
+/// event construction entirely and the cost is one predictable branch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn emit(&mut self, _ev: &TraceEvent) {}
+}
+
+/// A bounded in-memory ring keeping the most recent `cap` events — the
+/// tail of an execution, which is what a counterexample wants.
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    cap: usize,
+    buf: VecDeque<TraceEvent>,
+    /// Total events offered, including ones the ring has since dropped.
+    seen: u64,
+}
+
+impl RingSink {
+    /// Ring keeping the last `cap` events (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        RingSink { cap: cap.max(1), buf: VecDeque::new(), seen: 0 }
+    }
+
+    /// The retained tail, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events offered to the sink, including dropped ones.
+    pub fn total_seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Consume the ring, yielding the retained tail oldest first.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.buf.into()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn emit(&mut self, ev: &TraceEvent) {
+        self.seen += 1;
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(ev.clone());
+    }
+}
+
+/// A buffered JSONL writer: one serde-serialized [`TraceEvent`] per line.
+///
+/// I/O errors are sticky: the first failure disables further writes and
+/// is reported by [`JsonlSink::take_error`].
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    out: BufWriter<W>,
+    lines: u64,
+    error: Option<io::Error>,
+}
+
+impl JsonlSink<File> {
+    /// Create (truncating) a JSONL trace file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(JsonlSink::new(File::create(path)?))
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wrap any writer.
+    pub fn new(w: W) -> Self {
+        JsonlSink { out: BufWriter::new(w), lines: 0, error: None }
+    }
+
+    /// Lines successfully written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// The first I/O error, if any occurred.
+    pub fn take_error(&mut self) -> Option<io::Error> {
+        self.error.take()
+    }
+
+    /// Flush and return the underlying writer.
+    pub fn into_inner(self) -> io::Result<W> {
+        self.out.into_inner().map_err(|e| e.into_error())
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn emit(&mut self, ev: &TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = ev.to_json();
+        if let Err(e) = self.out.write_all(line.as_bytes()).and_then(|()| self.out.write_all(b"\n"))
+        {
+            self.error = Some(e);
+            return;
+        }
+        self.lines += 1;
+    }
+
+    fn flush(&mut self) {
+        if let Err(e) = self.out.flush() {
+            if self.error.is_none() {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+/// Fans every event out to two sinks — e.g. a JSONL file plus a live
+/// progress printer. Enabled when either half is; each half only sees
+/// events while it is itself enabled.
+#[derive(Debug)]
+pub struct TeeSink<A, B>(pub A, pub B);
+
+impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
+    fn enabled(&self) -> bool {
+        self.0.enabled() || self.1.enabled()
+    }
+    fn emit(&mut self, ev: &TraceEvent) {
+        if self.0.enabled() {
+            self.0.emit(ev);
+        }
+        if self.1.enabled() {
+            self.1.emit(ev);
+        }
+    }
+    fn flush(&mut self) {
+        self.0.flush();
+        self.1.flush();
+    }
+}
+
+/// Forwarding impl so `&mut S` is itself a sink (handy for passing a
+/// sink down through several layers without giving it up).
+impl<S: TraceSink + ?Sized> TraceSink for &mut S {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+    fn emit(&mut self, ev: &TraceEvent) {
+        (**self).emit(ev);
+    }
+    fn flush(&mut self) {
+        (**self).flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64) -> TraceEvent {
+        TraceEvent::Step {
+            seq,
+            actor: "h".into(),
+            kind: "Tau".into(),
+            rule: "tau".into(),
+            tag: None,
+        }
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let mut s = NullSink;
+        assert!(!s.enabled());
+        s.emit(&ev(0));
+    }
+
+    #[test]
+    fn ring_keeps_the_tail() {
+        let mut s = RingSink::new(3);
+        for i in 0..10 {
+            s.emit(&ev(i));
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.total_seen(), 10);
+        let seqs: Vec<u64> = s
+            .into_events()
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Step { seq, .. } => *seq,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(seqs, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn jsonl_writes_one_object_per_line() {
+        let mut s = JsonlSink::new(Vec::new());
+        s.emit(&ev(0));
+        s.emit(&TraceEvent::Outcome { outcome: "Complete".into(), detail: None, steps: Some(1) });
+        s.flush();
+        assert_eq!(s.lines(), 2);
+        let bytes = s.into_inner().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            assert!(crate::json_check::is_valid_json(line), "{line}");
+        }
+    }
+
+    #[test]
+    fn event_json_is_externally_tagged() {
+        let json = ev(3).to_json();
+        assert_eq!(
+            json,
+            "{\"Step\":{\"seq\":3,\"actor\":\"h\",\"kind\":\"Tau\",\"rule\":\"tau\",\"tag\":null}}"
+        );
+    }
+
+    #[test]
+    fn tee_fans_out_and_respects_per_half_enabledness() {
+        let mut tee = TeeSink(RingSink::new(8), NullSink);
+        assert!(tee.enabled(), "one enabled half enables the tee");
+        tee.emit(&ev(1));
+        tee.emit(&ev(2));
+        assert_eq!(tee.0.len(), 2);
+
+        let both_off = TeeSink(NullSink, NullSink);
+        assert!(!both_off.enabled());
+
+        let mut both_on = TeeSink(RingSink::new(8), RingSink::new(8));
+        both_on.emit(&ev(5));
+        assert_eq!(both_on.0.len(), 1);
+        assert_eq!(both_on.1.len(), 1);
+    }
+}

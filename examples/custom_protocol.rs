@@ -8,8 +8,8 @@
 //!
 //! Run: `cargo run --release --example custom_protocol`
 
-use coherence_refinement::prelude::*;
 use ccr_core::dot::dot_automaton;
+use coherence_refinement::prelude::*;
 
 fn build_mailbox() -> ProtocolSpec {
     let mut b = ProtocolBuilder::new("mailbox");
@@ -26,10 +26,7 @@ fn build_mailbox() -> ProtocolSpec {
     b.home(serve).recv_any(put).bind(mbox).goto(serve);
     // get: remember who asked, answer with the mailbox contents.
     b.home(serve).recv_any(get).bind_sender(requester).goto(reply);
-    b.home(reply)
-        .send_to(Expr::Var(requester), val)
-        .payload(Expr::Var(mbox))
-        .goto(serve);
+    b.home(reply).send_to(Expr::Var(requester), val).payload(Expr::Var(mbox)).goto(serve);
 
     // Remote: idle; sometimes put, sometimes get.
     let seen = b.remote_var("seen", Value::Int(0));

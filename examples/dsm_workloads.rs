@@ -5,9 +5,9 @@
 //!
 //! Run: `cargo run --release --example dsm_workloads`
 
-use coherence_refinement::prelude::*;
 use ccr_dsm::threaded::{run_threaded, ThreadedConfig};
 use ccr_protocols::hand::hand_async_config;
+use coherence_refinement::prelude::*;
 
 const STEPS: u64 = 100_000;
 
@@ -47,9 +47,7 @@ fn main() {
 
     println!("== Derived vs hand-written baseline (the §5 comparison) ==");
     let hand = migratory_hand(&MigratoryOptions::default());
-    for (variant, refined, hand_mode) in
-        [("derived", &refined, false), ("hand", &hand, true)]
-    {
+    for (variant, refined, hand_mode) in [("derived", &refined, false), ("hand", &hand, true)] {
         let mut config = MachineConfig::standard(refined, n, STEPS);
         if hand_mode {
             config.asynch = hand_async_config(n);
@@ -67,6 +65,10 @@ fn main() {
     let report = run_threaded(&refined, &config);
     println!(
         "  {} ops in {:?} across {} threads; per-remote completions {:?}; errors: {:?}",
-        report.ops, report.elapsed, n + 1, report.per_remote, report.error
+        report.ops,
+        report.elapsed,
+        n + 1,
+        report.per_remote,
+        report.error
     );
 }

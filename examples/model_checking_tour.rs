@@ -5,8 +5,8 @@
 //!
 //! Run: `cargo run --release --example model_checking_tour`
 
-use coherence_refinement::prelude::*;
 use ccr_protocols::props;
+use coherence_refinement::prelude::*;
 
 fn main() {
     println!("== 1. Reachability under a memory budget (the Table 3 setup) ==");

@@ -3,8 +3,8 @@
 //!
 //! Run: `cargo run --release --example quickstart`
 
-use coherence_refinement::prelude::*;
 use ccr_core::pretty::render_spec;
+use coherence_refinement::prelude::*;
 
 fn main() {
     // 1. The rendezvous specification of the migratory protocol — the
@@ -38,7 +38,11 @@ fn main() {
     // ...and confirm the derived asynchronous protocol implements it.
     let asys = AsyncSystem::new(&refined, n, AsyncConfig::default());
     let a = explore_plain(&asys, &Budget::default());
-    println!("asynchronous level, n={n}: {} states ({}x more)", a.states, a.states / r.states.max(1));
+    println!(
+        "asynchronous level, n={n}: {} states ({}x more)",
+        a.states,
+        a.states / r.states.max(1)
+    );
 
     let sim = check_simulation(&asys, &RendezvousSystem::new(&refined.spec, 2), &Budget::default());
     println!(

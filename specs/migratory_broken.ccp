@@ -1,0 +1,45 @@
+protocol migratory_broken {
+  messages req, gr, LR, inv, ID;
+  home {
+    var o: node := r0;
+    var j: node := r0;
+    state F init {
+      r(* -> j) ? req -> G1;
+    }
+    state G1 {
+      r(j) ! gr { o := j; } -> E;
+    }
+    state E {
+      r(* -> j) ? req -> I1;
+      r(o) ? LR -> F;
+    }
+    state I1 {
+      r(o) ! inv -> I2;
+      r(o) ? LR -> I3;
+    }
+    state I2 {
+      r(o) ? LR -> I3;
+    }
+    state I3 {
+      r(j) ! gr { o := j; } -> E;
+    }
+  }
+  remote {
+    state RQ init {
+      h ! req -> W;
+    }
+    state W {
+      h ? gr -> V;
+    }
+    state V {
+      h ? inv -> IDS;
+      tau #evict -> LRS;
+    }
+    state IDS {
+      h ! ID -> RQ;
+    }
+    state LRS {
+      h ! LR -> RQ;
+    }
+  }
+}

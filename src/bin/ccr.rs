@@ -6,11 +6,25 @@
 //! ccr refine  <spec.ccp> [--no-opt]       show pairs, costs, automata sizes
 //! ccr dot     <spec.ccp> [--refined]      Graphviz to stdout
 //! ccr verify  <spec.ccp> [-n N] [--budget S] [--no-opt]
+//!             [--trace FILE] [--progress] [--json]
 //!                                         full pipeline: reachability both
 //!                                         levels, safety (deadlock),
 //!                                         Equation 1, forward progress
-//! ccr table   <spec.ccp> [-n N..]         per-N reachability comparison
+//! ccr table   <spec.ccp> [-n N..] [--trace FILE] [--progress] [--json]
+//!                                         per-N reachability comparison
 //! ```
+//!
+//! Observability flags (verify/table):
+//!
+//! * `--trace FILE` — write a JSONL event stream to FILE: search
+//!   heartbeats and, on a violation, the full counterexample replayed as
+//!   `Step`/`Send`/`Recv`/... events ending with an `Outcome` line (the
+//!   schema is documented in `docs/observability.md`).
+//! * `--progress` — print live heartbeats (states, frontier, rate) to
+//!   stderr during long explorations.
+//! * `--json` — emit the reports as a single machine-readable JSON
+//!   document on stdout instead of the human tables (suitable for
+//!   `docs/results/`).
 //!
 //! Specs are written in the textual form of `ccr_core::text` — see the
 //! bundled files under `specs/`.
@@ -18,18 +32,24 @@
 use ccr_core::dot::{dot_automaton, dot_spec};
 use ccr_core::refine::{refine, RefineOptions, ReqRepMode};
 use ccr_core::text::{parse_validated, to_text};
-use ccr_mc::progress::check_progress_default;
-use ccr_mc::search::{explore_plain, Budget};
+use ccr_mc::progress::check_progress_observed;
+use ccr_mc::search::{explore_observed, Budget, SearchObserver};
 use ccr_mc::simrel::check_simulation;
-use ccr_mc::trace::explore_traced;
+use ccr_mc::trace::explore_traced_observed;
 use ccr_runtime::asynch::{AsyncConfig, AsyncSystem};
 use ccr_runtime::rendezvous::RendezvousSystem;
+use ccr_trace::{JsonlSink, NullSink, TeeSink, TraceEvent, TraceSink};
+use serde::Serializer;
 use std::process::ExitCode;
+
+/// Heartbeat interval for `--progress`/`--trace`, in newly stored states.
+const HEARTBEAT_EVERY: usize = 25_000;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: ccr <fmt|check|refine|dot|verify|table> <spec.ccp> \
-         [-n N] [--budget STATES] [--no-opt] [--refined]"
+         [-n N] [--budget STATES] [--no-opt] [--refined] \
+         [--trace FILE] [--progress] [--json]"
     );
     ExitCode::from(2)
 }
@@ -41,28 +61,80 @@ struct Args {
     budget: usize,
     no_opt: bool,
     refined: bool,
+    trace: Option<String>,
+    progress: bool,
+    json: bool,
 }
 
 fn parse_args() -> Option<Args> {
     let mut args = std::env::args().skip(1);
     let cmd = args.next()?;
     let file = args.next()?;
-    let mut out =
-        Args { cmd, file, n: 2, budget: 2_000_000, no_opt: false, refined: false };
+    let mut out = Args {
+        cmd,
+        file,
+        n: 2,
+        budget: 2_000_000,
+        no_opt: false,
+        refined: false,
+        trace: None,
+        progress: false,
+        json: false,
+    };
     while let Some(a) = args.next() {
         match a.as_str() {
             "-n" => out.n = args.next()?.parse().ok()?,
             "--budget" => out.budget = args.next()?.parse().ok()?,
             "--no-opt" => out.no_opt = true,
             "--refined" => out.refined = true,
+            "--trace" => out.trace = Some(args.next()?),
+            "--progress" => out.progress = true,
+            "--json" => out.json = true,
             _ => return None,
         }
     }
     Some(out)
 }
 
+/// Prints `Heartbeat` events to stderr as live progress lines; every
+/// other event is dropped.
+struct ProgressSink;
+
+impl TraceSink for ProgressSink {
+    fn emit(&mut self, ev: &TraceEvent) {
+        if let TraceEvent::Heartbeat { states, frontier, store_bytes, states_per_sec, elapsed_ms } =
+            ev
+        {
+            eprintln!(
+                "  [{:>7} ms] {} states, frontier {}, {} KB, {} states/s",
+                elapsed_ms,
+                states,
+                frontier,
+                store_bytes / 1024,
+                states_per_sec
+            );
+        }
+    }
+}
+
+/// The `--trace` file sink (or a null sink when the flag is absent).
+fn file_sink(trace: &Option<String>) -> Result<Box<dyn TraceSink>, ExitCode> {
+    match trace {
+        Some(path) => match JsonlSink::create(path) {
+            Ok(s) => Ok(Box::new(s)),
+            Err(e) => {
+                eprintln!("ccr: cannot create {path}: {e}");
+                Err(ExitCode::FAILURE)
+            }
+        },
+        None => Ok(Box::new(NullSink)),
+    }
+}
+
 fn main() -> ExitCode {
-    let Some(args) = parse_args() else { return usage() };
+    let Some(args) = parse_args() else {
+        return usage();
+    };
     let src = match std::fs::read_to_string(&args.file) {
         Ok(s) => s,
         Err(e) => {
@@ -77,9 +149,8 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let opts = RefineOptions {
-        reqrep: if args.no_opt { ReqRepMode::Off } else { ReqRepMode::Auto },
-    };
+    let opts =
+        RefineOptions { reqrep: if args.no_opt { ReqRepMode::Off } else { ReqRepMode::Auto } };
 
     match args.cmd.as_str() {
         "fmt" => {
@@ -130,14 +201,20 @@ fn main() -> ExitCode {
                 r.remote.transient_count(),
                 r.remote.edges.len()
             );
-            println!("  static cost of one round of every rendezvous: {} messages", r.total_static_cost());
+            println!(
+                "  static cost of one round of every rendezvous: {} messages",
+                r.total_static_cost()
+            );
             ExitCode::SUCCESS
         }
         "dot" => {
             if args.refined {
                 match refine(&spec, &opts) {
                     Ok(r) => {
-                        print!("{}", dot_automaton(&r.home, &format!("{} home (refined)", spec.name)));
+                        print!(
+                            "{}",
+                            dot_automaton(&r.home, &format!("{} home (refined)", spec.name))
+                        );
                         println!();
                         print!(
                             "{}",
@@ -157,6 +234,7 @@ fn main() -> ExitCode {
         "verify" => {
             let budget = Budget::states(args.budget);
             let n = args.n;
+            let human = !args.json;
             let refined = match refine(&spec, &opts) {
                 Ok(r) => r,
                 Err(e) => {
@@ -164,41 +242,106 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+            let mut file = match file_sink(&args.trace) {
+                Ok(s) => s,
+                Err(code) => return code,
+            };
+            let mut beats: Box<dyn TraceSink> =
+                if args.progress { Box::new(ProgressSink) } else { Box::new(NullSink) };
+            let mut tee = TeeSink(&mut *file, &mut *beats);
+
             let rv = RendezvousSystem::new(&spec, n);
-            let r = explore_traced(&rv, &budget, |_| None, true);
-            println!("rendezvous level  (n={n}): {} states, {:?}", r.states, r.outcome);
-            if r.trail.is_some() {
-                println!("{}", r.trail_text());
-                return ExitCode::FAILURE;
+            let r = {
+                let mut obs = SearchObserver::new(&mut tee, HEARTBEAT_EVERY);
+                explore_traced_observed(&rv, &budget, |_| None, true, &mut obs)
+            };
+            if human {
+                println!("rendezvous level  (n={n}): {} states, {:?}", r.states, r.outcome);
+                if r.trail.is_some() {
+                    println!("{}", r.trail_text());
+                }
             }
+            let r_ok = r.outcome.is_complete();
+
             let asys = AsyncSystem::new(&refined, n, AsyncConfig::default());
-            let a = explore_traced(&asys, &budget, |_| None, true);
-            println!("asynchronous level (n={n}): {} states, {:?}", a.states, a.outcome);
-            if a.trail.is_some() {
-                println!("{}", a.trail_text());
-                return ExitCode::FAILURE;
+            let mut a = None;
+            let mut sim = None;
+            let mut prog = None;
+            if r_ok {
+                let ar = {
+                    let mut obs = SearchObserver::new(&mut tee, HEARTBEAT_EVERY);
+                    explore_traced_observed(&asys, &budget, |_| None, true, &mut obs)
+                };
+                if human {
+                    println!("asynchronous level (n={n}): {} states, {:?}", ar.states, ar.outcome);
+                    if ar.trail.is_some() {
+                        println!("{}", ar.trail_text());
+                    }
+                }
+                let a_ok = ar.outcome.is_complete();
+                a = Some(ar);
+                if a_ok {
+                    let s = check_simulation(&asys, &rv, &budget);
+                    if human {
+                        println!(
+                            "Equation 1: {} ({} transitions, {} stutters, {} mapped)",
+                            if s.holds() { "holds" } else { "VIOLATED" },
+                            s.transitions_checked,
+                            s.stutters,
+                            s.mapped_steps
+                        );
+                        if let Some(v) = &s.violation {
+                            println!("{v}");
+                        }
+                    }
+                    let s_ok = s.holds();
+                    sim = Some(s);
+                    if s_ok {
+                        let p = {
+                            let mut obs = SearchObserver::new(&mut tee, HEARTBEAT_EVERY);
+                            check_progress_observed(
+                                &asys,
+                                &budget,
+                                |l| l.completes.is_some(),
+                                &mut obs,
+                            )
+                        };
+                        if human {
+                            println!(
+                                "forward progress: {} ({} states, {} livelocked, {} deadlocked)",
+                                if p.holds() { "holds" } else { "VIOLATED" },
+                                p.states,
+                                p.livelocked_states,
+                                p.deadlocked_states
+                            );
+                        }
+                        prog = Some(p);
+                    }
+                }
             }
-            let sim = check_simulation(&asys, &rv, &budget);
-            println!(
-                "Equation 1: {} ({} transitions, {} stutters, {} mapped)",
-                if sim.holds() { "holds" } else { "VIOLATED" },
-                sim.transitions_checked,
-                sim.stutters,
-                sim.mapped_steps
-            );
-            if let Some(v) = &sim.violation {
-                println!("{v}");
-                return ExitCode::FAILURE;
+            let ok = r_ok
+                && a.as_ref().map(|x| x.outcome.is_complete()).unwrap_or(false)
+                && sim.as_ref().map(|x| x.holds()).unwrap_or(false)
+                && prog.as_ref().map(|x| x.holds()).unwrap_or(false);
+            if args.json {
+                let mut s = Serializer::new();
+                {
+                    let mut m = s.begin_map();
+                    m.entry("spec", spec.name.as_str());
+                    m.entry("command", "verify");
+                    m.entry("n", &n);
+                    m.entry("budget_states", &args.budget);
+                    m.entry("optimized", &!args.no_opt);
+                    m.entry("rendezvous", &r);
+                    m.entry("asynchronous", &a);
+                    m.entry("equation1", &sim);
+                    m.entry("progress", &prog);
+                    m.entry("holds", &ok);
+                    m.end();
+                }
+                println!("{}", s.into_string());
             }
-            let prog = check_progress_default(&asys, &budget);
-            println!(
-                "forward progress: {} ({} states, {} livelocked, {} deadlocked)",
-                if prog.holds() { "holds" } else { "VIOLATED" },
-                prog.states,
-                prog.livelocked_states,
-                prog.deadlocked_states
-            );
-            if prog.holds() && sim.holds() {
+            if ok {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::FAILURE
@@ -213,14 +356,66 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            println!("| {:>3} | {:>18} | {:>18} |", "N", "asynchronous", "rendezvous");
+            let mut file = match file_sink(&args.trace) {
+                Ok(s) => s,
+                Err(code) => return code,
+            };
+            let mut beats: Box<dyn TraceSink> =
+                if args.progress { Box::new(ProgressSink) } else { Box::new(NullSink) };
+            let mut tee = TeeSink(&mut *file, &mut *beats);
+            if !args.json {
+                println!("| {:>3} | {:>18} | {:>18} |", "N", "asynchronous", "rendezvous");
+            }
+            let mut rows = Vec::new();
             for n in 1..=args.n {
-                let rv = explore_plain(&RendezvousSystem::new(&spec, n), &budget);
-                let asy = explore_plain(
-                    &AsyncSystem::new(&refined, n, AsyncConfig::default()),
-                    &budget,
-                );
-                println!("| {:>3} | {:>18} | {:>18} |", n, asy.table_cell(), rv.table_cell());
+                let rv = {
+                    let mut obs = SearchObserver::new(&mut tee, HEARTBEAT_EVERY);
+                    explore_observed(
+                        &RendezvousSystem::new(&spec, n),
+                        &budget,
+                        |_| None,
+                        false,
+                        &mut obs,
+                    )
+                };
+                let asy = {
+                    let mut obs = SearchObserver::new(&mut tee, HEARTBEAT_EVERY);
+                    explore_observed(
+                        &AsyncSystem::new(&refined, n, AsyncConfig::default()),
+                        &budget,
+                        |_| None,
+                        false,
+                        &mut obs,
+                    )
+                };
+                if !args.json {
+                    println!("| {:>3} | {:>18} | {:>18} |", n, asy.table_cell(), rv.table_cell());
+                }
+                rows.push((n, asy, rv));
+            }
+            if args.json {
+                let mut s = Serializer::new();
+                {
+                    let mut m = s.begin_map();
+                    m.entry("spec", spec.name.as_str());
+                    m.entry("command", "table");
+                    m.entry("budget_states", &args.budget);
+                    m.entry_with("rows", |ser| {
+                        let mut seq = ser.begin_seq();
+                        for (n, asy, rv) in &rows {
+                            seq.elem_with(|ser| {
+                                let mut row = ser.begin_map();
+                                row.entry("n", n);
+                                row.entry("asynchronous", asy);
+                                row.entry("rendezvous", rv);
+                                row.end();
+                            });
+                        }
+                        seq.end();
+                    });
+                    m.end();
+                }
+                println!("{}", s.into_string());
             }
             ExitCode::SUCCESS
         }

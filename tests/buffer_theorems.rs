@@ -8,11 +8,11 @@
 //!   transition emits a nack;
 //! * below that size, nacks occur.
 
+use ccr_core::refine::{refine, RefineOptions};
 use ccr_mc::progress::check_progress_default;
 use ccr_mc::search::Budget;
 use ccr_protocols::migratory::{migratory_refined, MigratoryOptions};
 use ccr_protocols::token::token;
-use ccr_core::refine::{refine, RefineOptions};
 use ccr_runtime::asynch::{AsyncConfig, AsyncSystem};
 use ccr_runtime::{Label, TransitionSystem};
 
@@ -58,12 +58,8 @@ fn minimal_buffer_preserves_progress_for_all_protocols() {
 fn n_plus_two_buffer_eliminates_nacks() {
     let refined = migratory_refined(&MigratoryOptions::checking());
     for n in [2u32, 3] {
-        let sys =
-            AsyncSystem::new(&refined, n, AsyncConfig::with_home_buffer(n as usize + 2));
-        assert!(
-            !any_nack_reachable(&sys),
-            "n={n}: no nack should be reachable with k = n + 2"
-        );
+        let sys = AsyncSystem::new(&refined, n, AsyncConfig::with_home_buffer(n as usize + 2));
+        assert!(!any_nack_reachable(&sys), "n={n}: no nack should be reachable with k = n + 2");
     }
 }
 

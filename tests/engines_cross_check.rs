@@ -25,8 +25,12 @@ fn engine_lockstep(refined: &ccr_core::refine::RefinedProtocol, target: u64) {
     let mut rounds = 0u64;
     while home.completions.total() + remote.completions.total() < target {
         rounds += 1;
-        assert!(rounds < 100_000, "engines wedged: home {:?} remote {:?}",
-            home.phase(), remote.phase());
+        assert!(
+            rounds < 100_000,
+            "engines wedged: home {:?} remote {:?}",
+            home.phase(),
+            remote.phase()
+        );
         let mut progressed = false;
         // Deliver pending traffic.
         for w in to_home.drain(..) {
@@ -40,10 +44,7 @@ fn engine_lockstep(refined: &ccr_core::refine::RefinedProtocol, target: u64) {
         }
         progressed |= home.poll(&mut to_remote).unwrap();
         progressed |= remote.poll(&mut always, &mut to_home).unwrap();
-        assert!(
-            progressed || !to_home.is_empty() || !to_remote.is_empty(),
-            "no progress possible"
-        );
+        assert!(progressed || !to_home.is_empty() || !to_remote.is_empty(), "no progress possible");
     }
 }
 

@@ -21,12 +21,8 @@ fn hand_baseline_is_safe() {
     let hand = migratory_hand(&opts());
     for n in [1u32, 2, 3] {
         let sys = AsyncSystem::new(&hand, n, hand_async_config(n));
-        let r = explore(
-            &sys,
-            &Budget::default(),
-            props::migratory_async_invariant(&hand.spec),
-            true,
-        );
+        let r =
+            explore(&sys, &Budget::default(), props::migratory_async_invariant(&hand.spec), true);
         assert!(r.outcome.is_complete(), "n={n}: {:?}", r.outcome);
     }
 }
@@ -46,10 +42,7 @@ fn hand_baseline_state_space_is_comparable_to_derived() {
     // the rendezvous one.
     let derived = migratory_refined(&opts());
     let hand = migratory_hand(&opts());
-    let d = explore_plain(
-        &AsyncSystem::new(&derived, 2, Default::default()),
-        &Budget::default(),
-    );
+    let d = explore_plain(&AsyncSystem::new(&derived, 2, Default::default()), &Budget::default());
     let h = explore_plain(&AsyncSystem::new(&hand, 2, hand_async_config(2)), &Budget::default());
     assert!(d.outcome.is_complete() && h.outcome.is_complete());
     // Same order of magnitude.

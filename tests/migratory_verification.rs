@@ -1,9 +1,9 @@
 //! End-to-end verification of the migratory protocol: reachability,
 //! coherence invariants, Equation 1 and forward progress at both levels.
 
+use ccr_mc::progress::check_progress_default;
 use ccr_mc::search::{explore, explore_plain, Budget};
 use ccr_mc::simrel::check_simulation;
-use ccr_mc::progress::check_progress_default;
 use ccr_protocols::migratory::{migratory, migratory_refined, MigratoryOptions};
 use ccr_protocols::props;
 use ccr_runtime::asynch::{AsyncConfig, AsyncSystem};
@@ -43,7 +43,10 @@ fn equation_one_holds_for_migratory() {
     let asys = AsyncSystem::new(&refined, 2, AsyncConfig::default());
     let r = check_simulation(&asys, &rv, &Budget::default());
     assert!(r.holds(), "{r:?}");
-    println!("simrel: {} async states, {} stutters, {} mapped", r.async_states, r.stutters, r.mapped_steps);
+    println!(
+        "simrel: {} async states, {} stutters, {} mapped",
+        r.async_states, r.stutters, r.mapped_steps
+    );
 }
 
 #[test]

@@ -43,10 +43,7 @@ enum HShape {
 fn arb_remote_state(nm: usize, ns: usize) -> impl Strategy<Value = RShape> {
     prop_oneof![
         (0..nm, 0..ns).prop_map(|(msg, target)| RShape::Active { msg, target }),
-        (
-            proptest::collection::vec((0..nm, 0..ns), 1..=2),
-            proptest::option::of(0..ns)
-        )
+        (proptest::collection::vec((0..nm, 0..ns), 1..=2), proptest::option::of(0..ns))
             .prop_map(|(recvs, tau)| RShape::Passive { recvs, tau }),
     ]
 }
@@ -54,8 +51,11 @@ fn arb_remote_state(nm: usize, ns: usize) -> impl Strategy<Value = RShape> {
 fn arb_home_branch(nm: usize, ns: usize, nremotes: u32) -> impl Strategy<Value = HShape> {
     prop_oneof![
         (0..nm, 0..ns).prop_map(|(msg, target)| HShape::RecvAny { msg, target }),
-        (0..nremotes, 0..nm, 0..ns)
-            .prop_map(|(node, msg, target)| HShape::SendTo { node, msg, target }),
+        (0..nremotes, 0..nm, 0..ns).prop_map(|(node, msg, target)| HShape::SendTo {
+            node,
+            msg,
+            target
+        }),
     ]
 }
 

@@ -1,10 +1,10 @@
 //! The `.ccp` spec files shipped under `specs/` stay in sync with the
 //! protocol constructors, parse cleanly, validate, and verify end to end.
 
+use ccr_core::refine::{refine, RefineOptions};
 use ccr_core::text::{parse_validated, to_text};
 use ccr_mc::search::Budget;
 use ccr_mc::simrel::check_simulation;
-use ccr_core::refine::{refine, RefineOptions};
 use ccr_protocols::invalidate::{invalidate, InvalidateOptions};
 use ccr_protocols::migratory::{migratory, MigratoryOptions};
 use ccr_protocols::token::token;

@@ -1,0 +1,141 @@
+//! Minimal, dependency-free drop-in for the subset of `criterion` this
+//! workspace uses: `Criterion::benchmark_group`, `sample_size`,
+//! `bench_function`, `finish`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Vendored so the workspace builds hermetically (no registry access).
+//! Measurement is deliberately simple — per-sample wall-clock timing with
+//! a short warm-up, reporting min/median/mean — not criterion's bootstrap
+//! statistics. Good enough to compare runs on the same machine, which is
+//! all the repo's perf gates need.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup {name}");
+        BenchmarkGroup { _c: self, name, sample_size: 20 }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time `f` and print a one-line summary.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { samples: Vec::new(), per_sample_iters: 1 };
+        // Warm-up and calibration: target roughly 10ms per sample, capped.
+        let mut probe = Bencher { samples: Vec::new(), per_sample_iters: 1 };
+        f(&mut probe);
+        let one = probe.samples.first().copied().unwrap_or(Duration::from_micros(1));
+        let target = Duration::from_millis(10);
+        b.per_sample_iters = if one.is_zero() {
+            1000
+        } else {
+            ((target.as_nanos() / one.as_nanos().max(1)) as usize).clamp(1, 10_000)
+        };
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        let mut per_iter: Vec<f64> =
+            b.samples.iter().map(|d| d.as_nanos() as f64 / b.per_sample_iters as f64).collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let min = per_iter.first().copied().unwrap_or(0.0);
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!(
+            "  {}/{id}: min {} median {} mean {} ({} samples x {} iters)",
+            self.name,
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean),
+            per_iter.len(),
+            b.per_sample_iters,
+        );
+        self
+    }
+
+    /// End the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the code
+/// under test.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    per_sample_iters: usize,
+}
+
+impl Bencher {
+    /// Time `per_sample_iters` executions of `f` as one sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.per_sample_iters {
+            std::hint::black_box(f());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// Re-export so `criterion::black_box` also works.
+pub use std::hint::black_box;
+
+/// Bundle benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($f(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($g:path),+ $(,)?) => {
+        fn main() {
+            $($g();)+
+        }
+    };
+}

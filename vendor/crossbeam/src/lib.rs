@@ -1,0 +1,102 @@
+//! Minimal, dependency-free drop-in for the subset of `crossbeam` this
+//! workspace uses: `channel::{unbounded, Sender, Receiver, TryRecvError}`.
+//!
+//! Vendored so the workspace builds hermetically (no registry access).
+//! Backed by `std::sync::mpsc`; `Sender` is `Clone + Send` and `Receiver`
+//! is moved into exactly one consumer thread, which is all the threaded
+//! DSM runner needs.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer single-consumer channels, mirroring `crossbeam::channel`.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty but senders remain connected.
+        Empty,
+        /// All senders have disconnected and the buffer is drained.
+        Disconnected,
+    }
+
+    impl std::fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TryRecvError::Empty => write!(f, "receiving on an empty channel"),
+                TryRecvError::Disconnected => write!(f, "receiving on a disconnected channel"),
+            }
+        }
+    }
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// The sending half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender { inner: self.inner.clone() }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a message; fails only when the receiver was dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.inner.send(msg).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+    }
+
+    /// Create an unbounded mpsc channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, TryRecvError};
+
+    #[test]
+    fn send_try_recv_roundtrip() {
+        let (tx, rx) = unbounded();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(41u32).unwrap();
+        let tx2 = tx.clone();
+        tx2.send(42).unwrap();
+        assert_eq!(rx.try_recv(), Ok(41));
+        assert_eq!(rx.try_recv(), Ok(42));
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+}

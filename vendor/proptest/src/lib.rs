@@ -1,0 +1,104 @@
+//! Minimal, dependency-free drop-in for the subset of the `proptest` API
+//! this workspace uses. Vendored so the workspace builds hermetically
+//! (no registry access).
+//!
+//! Semantics vs. real proptest: generation is plain seeded random
+//! sampling — there is **no shrinking** and no failure persistence. Each
+//! `proptest!` test runs `config.cases` deterministic cases (the rng for
+//! case `k` depends only on `k`), so failures reproduce across runs.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+
+pub mod collection;
+pub mod option;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, TestRng};
+pub use test_runner::ProptestConfig;
+
+/// Everything a test file needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, TestRng};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Module alias in the spirit of `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::{collection, option, strategy};
+    }
+}
+
+/// Assert inside a property; maps to `assert!` (no shrinking here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a property; maps to `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert inequality inside a property; maps to `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice between heterogeneous strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::union(::std::vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// Define property tests: deterministic seeded cases, no shrinking.
+///
+/// Supports the standard surface:
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(x in 0u32..10, v in collection::vec(any::<bool>(), 3)) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; expands each test fn.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$attr:meta])*
+      fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let __strat = ( $( $strat, )+ );
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::strategy::TestRng::for_case(__case as u64);
+                let ( $( $arg, )+ ) =
+                    $crate::strategy::Strategy::generate(&__strat, &mut __rng);
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}

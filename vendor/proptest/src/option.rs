@@ -1,0 +1,25 @@
+//! `Option` strategies (`proptest::option`).
+
+use crate::strategy::{Strategy, TestRng};
+
+/// Generate `Some` from `inner` three times out of four, else `None`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.next_u64() & 3 == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}

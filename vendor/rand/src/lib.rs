@@ -1,0 +1,106 @@
+//! Minimal, dependency-free drop-in for the subset of the `rand` 0.9 API
+//! this workspace uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::random_range` over `usize` ranges, and `Rng::random_bool`.
+//!
+//! Vendored so the workspace builds hermetically (no registry access).
+//! The generator is SplitMix64: statistically fine for scheduling and
+//! workload decisions, fully deterministic per seed, but NOT a
+//! reproduction of upstream `StdRng`'s ChaCha streams and NOT
+//! cryptographically secure.
+
+#![forbid(unsafe_code)]
+
+/// Rngs seedable from simple integer seeds.
+pub trait SeedableRng: Sized {
+    /// Build an rng whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The sampling surface used by this workspace.
+pub trait Rng {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw from a half-open `usize` range (`low..high`, non-empty).
+    fn random_range(&mut self, range: std::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "random_range: empty range");
+        let span = (range.end - range.start) as u64;
+        // Multiply-shift bounded sampling; bias is < 2^-64 per draw, far
+        // below anything observable at simulation scales.
+        let hi = ((self.next_u64() as u128 * span as u128) >> 64) as u64;
+        range.start + hi as usize
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        // Compare 53 uniform mantissa bits against p.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+/// Named rng types, mirroring `rand::rngs`.
+pub mod rngs {
+    /// Deterministic 64-bit generator (SplitMix64 under the hood).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood 2014): passes BigCrush, one
+            // add + two xor-shift-multiplies per draw.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.random_range(3..17);
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((20_000..30_000).contains(&hits), "hits = {hits}");
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+    }
+}

@@ -1,0 +1,389 @@
+//! Minimal, dependency-free drop-in for the subset of `serde` this
+//! workspace uses: the [`Serialize`] trait plus a `#[derive(Serialize)]`
+//! macro (behind the `derive` feature), rendering JSON directly.
+//!
+//! Vendored so the workspace builds hermetically (no registry access).
+//! Unlike real serde there is no `Serializer` abstraction over formats —
+//! the only output format anyone here needs is JSON (JSONL traces and
+//! `--json` reports), so [`Serializer`] *is* the JSON writer. Enum
+//! representation matches serde's externally-tagged default: a unit
+//! variant renders as `"Name"`, a newtype variant as `{"Name":value}`,
+//! a tuple variant as `{"Name":[..]}`, a struct variant as
+//! `{"Name":{..}}`. Map keys are emitted in sorted order so output is
+//! deterministic regardless of `HashMap` iteration order.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::time::Duration;
+
+/// Types that can render themselves as JSON.
+pub trait Serialize {
+    /// Append this value's JSON encoding to `s`.
+    fn serialize(&self, s: &mut Serializer);
+}
+
+/// A JSON writer. Values append themselves via [`Serialize::serialize`].
+#[derive(Debug, Default)]
+pub struct Serializer {
+    out: String,
+}
+
+impl Serializer {
+    /// Fresh, empty writer.
+    pub fn new() -> Self {
+        Serializer { out: String::new() }
+    }
+
+    /// Consume the writer, yielding the accumulated JSON text.
+    pub fn into_string(self) -> String {
+        self.out
+    }
+
+    /// Emit a JSON string with escaping.
+    pub fn serialize_str(&mut self, v: &str) {
+        self.out.push('"');
+        for c in v.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    /// Emit a raw JSON token (a number, `true`, `false`, or `null`).
+    pub fn serialize_raw(&mut self, tok: &str) {
+        self.out.push_str(tok);
+    }
+
+    /// Emit `null`.
+    pub fn serialize_null(&mut self) {
+        self.out.push_str("null");
+    }
+
+    /// Start a JSON object; finish it with [`MapSer::end`].
+    pub fn begin_map(&mut self) -> MapSer<'_> {
+        self.out.push('{');
+        MapSer { ser: self, first: true }
+    }
+
+    /// Start a JSON array; finish it with [`SeqSer::end`].
+    pub fn begin_seq(&mut self) -> SeqSer<'_> {
+        self.out.push('[');
+        SeqSer { ser: self, first: true }
+    }
+}
+
+/// In-progress JSON object.
+#[derive(Debug)]
+pub struct MapSer<'a> {
+    ser: &'a mut Serializer,
+    first: bool,
+}
+
+impl MapSer<'_> {
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.ser.out.push(',');
+        }
+        self.first = false;
+        self.ser.serialize_str(key);
+        self.ser.out.push(':');
+    }
+
+    /// Append one `"key":value` entry.
+    pub fn entry<T: Serialize + ?Sized>(&mut self, key: &str, value: &T) {
+        self.key(key);
+        value.serialize(self.ser);
+    }
+
+    /// Append one entry whose value is written by `f` (used for tuple and
+    /// struct enum variants).
+    pub fn entry_with(&mut self, key: &str, f: impl FnOnce(&mut Serializer)) {
+        self.key(key);
+        f(self.ser);
+    }
+
+    /// Close the object.
+    pub fn end(self) {
+        self.ser.out.push('}');
+    }
+}
+
+/// In-progress JSON array.
+#[derive(Debug)]
+pub struct SeqSer<'a> {
+    ser: &'a mut Serializer,
+    first: bool,
+}
+
+impl SeqSer<'_> {
+    /// Append one element.
+    pub fn elem<T: Serialize + ?Sized>(&mut self, value: &T) {
+        self.elem_with(|s| value.serialize(s));
+    }
+
+    /// Append one element written by `f`.
+    pub fn elem_with(&mut self, f: impl FnOnce(&mut Serializer)) {
+        if !self.first {
+            self.ser.out.push(',');
+        }
+        self.first = false;
+        f(self.ser);
+    }
+
+    /// Close the array.
+    pub fn end(self) {
+        self.ser.out.push(']');
+    }
+}
+
+/// JSON entry points, in the spirit of `serde_json`.
+pub mod json {
+    use super::{Serialize, Serializer};
+
+    /// Render any [`Serialize`] value to a JSON string.
+    pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut s = Serializer::new();
+        value.serialize(&mut s);
+        s.into_string()
+    }
+}
+
+// ---- primitive impls -------------------------------------------------------
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, s: &mut Serializer) {
+                s.serialize_raw(&self.to_string());
+            }
+        }
+    )*};
+}
+impl_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Serialize for bool {
+    fn serialize(&self, s: &mut Serializer) {
+        s.serialize_raw(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self, s: &mut Serializer) {
+        if self.is_finite() {
+            let text = self.to_string();
+            s.serialize_raw(&text);
+        } else {
+            s.serialize_null();
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self, s: &mut Serializer) {
+        (*self as f64).serialize(s);
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, s: &mut Serializer) {
+        s.serialize_str(self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, s: &mut Serializer) {
+        s.serialize_str(self);
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self, s: &mut Serializer) {
+        s.serialize_str(&self.to_string());
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, s: &mut Serializer) {
+        (**self).serialize(s);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self, s: &mut Serializer) {
+        (**self).serialize(s);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, s: &mut Serializer) {
+        match self {
+            Some(v) => v.serialize(s),
+            None => s.serialize_null(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, s: &mut Serializer) {
+        let mut seq = s.begin_seq();
+        for v in self {
+            seq.elem(v);
+        }
+        seq.end();
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self, s: &mut Serializer) {
+        self.as_slice().serialize(s);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, s: &mut Serializer) {
+        self.as_slice().serialize(s);
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize(&self, s: &mut Serializer) {
+        let mut seq = s.begin_seq();
+        for v in self {
+            seq.elem(v);
+        }
+        seq.end();
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self, s: &mut Serializer) {
+                let mut seq = s.begin_seq();
+                $(seq.elem(&self.$n);)+
+                seq.end();
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Render a map key: serialize it, and if the result is not already a
+/// JSON string (e.g. an integer key), wrap it in quotes as serde_json does.
+fn key_string<K: Serialize>(key: &K) -> String {
+    let rendered = json::to_string(key);
+    if rendered.starts_with('"') {
+        rendered
+    } else {
+        format!("\"{rendered}\"")
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize(&self, s: &mut Serializer) {
+        // Sort by rendered key for deterministic output.
+        let mut entries: Vec<(String, &V)> = self.iter().map(|(k, v)| (key_string(k), v)).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        write_map(s, entries);
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self, s: &mut Serializer) {
+        let entries: Vec<(String, &V)> = self.iter().map(|(k, v)| (key_string(k), v)).collect();
+        write_map(s, entries);
+    }
+}
+
+fn write_map<V: Serialize>(s: &mut Serializer, entries: Vec<(String, &V)>) {
+    s.serialize_raw("{");
+    for (i, (k, v)) in entries.iter().enumerate() {
+        if i > 0 {
+            s.serialize_raw(",");
+        }
+        s.serialize_raw(k);
+        s.serialize_raw(":");
+        v.serialize(s);
+    }
+    s.serialize_raw("}");
+}
+
+impl Serialize for Duration {
+    fn serialize(&self, s: &mut Serializer) {
+        // Matches serde's own Duration representation.
+        let mut m = s.begin_map();
+        m.entry("secs", &self.as_secs());
+        m.entry("nanos", &self.subsec_nanos());
+        m.end();
+    }
+}
+
+impl Serialize for () {
+    fn serialize(&self, s: &mut Serializer) {
+        s.serialize_null();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_render_as_json() {
+        assert_eq!(json::to_string(&3u32), "3");
+        assert_eq!(json::to_string(&-4i64), "-4");
+        assert_eq!(json::to_string(&true), "true");
+        assert_eq!(json::to_string("a\"b\n"), "\"a\\\"b\\n\"");
+        assert_eq!(json::to_string(&Some(1u8)), "1");
+        assert_eq!(json::to_string(&None::<u8>), "null");
+        assert_eq!(json::to_string(&vec![1, 2, 3]), "[1,2,3]");
+        assert_eq!(json::to_string(&(1u8, "x")), "[1,\"x\"]");
+        assert_eq!(json::to_string(&1.5f64), "1.5");
+    }
+
+    #[test]
+    fn maps_are_sorted_and_integer_keys_quoted() {
+        let mut m = HashMap::new();
+        m.insert(10u32, "b");
+        m.insert(2u32, "a");
+        assert_eq!(json::to_string(&m), "{\"10\":\"b\",\"2\":\"a\"}");
+    }
+
+    #[test]
+    fn duration_matches_serde_shape() {
+        let d = Duration::new(2, 500);
+        assert_eq!(json::to_string(&d), "{\"secs\":2,\"nanos\":500}");
+    }
+
+    #[test]
+    fn manual_object_building() {
+        let mut s = Serializer::new();
+        let mut m = s.begin_map();
+        m.entry("a", &1u8);
+        m.entry_with("b", |s| {
+            let mut q = s.begin_seq();
+            q.elem(&true);
+            q.end();
+        });
+        m.end();
+        assert_eq!(s.into_string(), "{\"a\":1,\"b\":[true]}");
+    }
+}

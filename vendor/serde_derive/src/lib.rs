@@ -1,0 +1,296 @@
+//! `#[derive(Serialize)]` for the vendored `serde` subset.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` — the build is hermetic).
+//! Supports exactly what this workspace derives on: non-generic structs
+//! with named fields, and non-generic enums with unit, tuple, and struct
+//! variants. Anything else panics with a clear message at compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => gen_struct(fields),
+        ItemKind::Enum(variants) => gen_enum(&item.name, variants),
+    };
+    let code = format!(
+        "impl ::serde::Serialize for {} {{\n\
+         fn serialize(&self, __s: &mut ::serde::Serializer) {{\n{}\n}}\n}}",
+        item.name, body
+    );
+    code.parse().expect("serde_derive: generated code failed to parse")
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn gen_struct(fields: &[String]) -> String {
+    let mut out = String::from("let mut __m = __s.begin_map();\n");
+    for f in fields {
+        out.push_str(&format!("__m.entry(\"{f}\", &self.{f});\n"));
+    }
+    out.push_str("__m.end();");
+    out
+}
+
+fn gen_enum(name: &str, variants: &[Variant]) -> String {
+    let mut out = String::from("match self {\n");
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            Shape::Unit => {
+                out.push_str(&format!("{name}::{vn} => {{ __s.serialize_str(\"{vn}\"); }}\n"));
+            }
+            Shape::Tuple(1) => {
+                out.push_str(&format!(
+                    "{name}::{vn}(__f0) => {{ let mut __m = __s.begin_map(); \
+                     __m.entry(\"{vn}\", __f0); __m.end(); }}\n"
+                ));
+            }
+            Shape::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let elems: Vec<String> = binds.iter().map(|b| format!("__q.elem({b});")).collect();
+                out.push_str(&format!(
+                    "{name}::{vn}({}) => {{ let mut __m = __s.begin_map(); \
+                     __m.entry_with(\"{vn}\", |__s| {{ let mut __q = __s.begin_seq(); {} \
+                     __q.end(); }}); __m.end(); }}\n",
+                    binds.join(", "),
+                    elems.join(" ")
+                ));
+            }
+            Shape::Struct(fields) => {
+                let entries: Vec<String> =
+                    fields.iter().map(|f| format!("__m2.entry(\"{f}\", {f});")).collect();
+                out.push_str(&format!(
+                    "{name}::{vn} {{ {} }} => {{ let mut __m = __s.begin_map(); \
+                     __m.entry_with(\"{vn}\", |__s| {{ let mut __m2 = __s.begin_map(); {} \
+                     __m2.end(); }}); __m.end(); }}\n",
+                    fields.join(", "),
+                    entries.join(" ")
+                ));
+            }
+        }
+    }
+    out.push('}');
+    out
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility until `struct` / `enum`.
+    let is_enum = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // the `#`
+                i += 1; // the bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                i += 1;
+                break false;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                i += 1;
+                break true;
+            }
+            other => panic!("serde_derive: unexpected token before struct/enum: {other:?}"),
+        }
+    };
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic types are not supported (type `{name}`)");
+        }
+    }
+    // The body is the next brace group (skips any where clause).
+    let body = tokens[i..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .unwrap_or_else(|| {
+            panic!("serde_derive: `{name}` has no braced body (tuple/unit structs unsupported)")
+        });
+    let kind = if is_enum {
+        ItemKind::Enum(parse_variants(body, &name))
+    } else {
+        ItemKind::Struct(parse_named_fields(body, &name))
+    };
+    Item { name, kind }
+}
+
+/// Parse `name: Type, ...` pairs, returning the field names.
+fn parse_named_fields(body: TokenStream, ctx: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name in `{ctx}`, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after `{name}` in `{ctx}`, got {other:?}"),
+        }
+        i = skip_type(&tokens, i);
+        fields.push(name);
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream, ctx: &str) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name in `{ctx}`, got {other:?}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Struct(parse_named_fields(g.stream(), ctx))
+            }
+            _ => Shape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Skip to past the next top-level comma (covers `= discr` too).
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+/// Count fields in a tuple variant's parenthesised type list.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    let mut prev_dash = false;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' if prev_dash => {} // `->` in fn types
+                '>' => angle -= 1,
+                ',' if angle == 0 => count += 1,
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+    }
+    // Tolerate a trailing comma.
+    if let Some(TokenTree::Punct(p)) = tokens.last() {
+        if p.as_char() == ',' {
+            count -= 1;
+        }
+    }
+    count
+}
+
+/// Skip `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Skip a type expression: consume until a `,` at angle-bracket depth 0.
+fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle = 0i32;
+    let mut prev_dash = false;
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' if prev_dash => {}
+                '>' => angle -= 1,
+                ',' if angle == 0 => return i,
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+        i += 1;
+    }
+    i
+}
