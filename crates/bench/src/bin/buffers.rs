@@ -11,6 +11,8 @@
 //!
 //! Pass `--trace <file>` to narrate every run to `<file>` as JSONL trace
 //! events (one run after another, each ending with an `Outcome` line).
+//! Pass `--seed <N>` to shift the workload and scheduler seeds by `N`
+//! (default 0, reproducing the canonical run).
 
 use ccr_bench::configs;
 use ccr_core::ids::RemoteId;
@@ -40,8 +42,21 @@ fn sink_from_args() -> Box<dyn TraceSink> {
     }
 }
 
+/// `--seed <N>` from the command line (0 when absent: the canonical run).
+fn seed_from_args() -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--seed") {
+        Some(i) => args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+            eprintln!("--seed requires an integer argument");
+            std::process::exit(2);
+        }),
+        None => 0,
+    }
+}
+
 fn main() {
     let mut sink = sink_from_args();
+    let seed = seed_from_args();
     let n = 6u32;
     let refined = migratory_refined(&MigratoryOptions::default());
     println!("Migratory, n={n}, {} steps, home buffer k swept (§6):", configs::MESSAGE_RUN_STEPS);
@@ -60,11 +75,11 @@ fn main() {
             let mut config = MachineConfig::standard(&refined, n, configs::MESSAGE_RUN_STEPS);
             config.asynch = AsyncConfig::with_home_buffer(k);
             let machine = Machine::new(&refined, config);
-            let mut wl = Migrating::new(77, 0.8, 0.5);
+            let mut wl = Migrating::new(77 + seed, 0.8, 0.5);
             let mut sched: Box<dyn Scheduler> = if adversarial {
-                Box::new(BiasedSched::new(vec![RemoteId(0)], 88))
+                Box::new(BiasedSched::new(vec![RemoteId(0)], 88 + seed))
             } else {
-                Box::new(RandomSched::new(88))
+                Box::new(RandomSched::new(88 + seed))
             };
             let report =
                 machine.run_observed("derived", &mut wl, sched.as_mut(), &mut *sink).expect("run");

@@ -14,6 +14,8 @@
 //!
 //! Pass `--trace <file>` to narrate every run to `<file>` as JSONL trace
 //! events (one run after another, each ending with an `Outcome` line).
+//! Pass `--seed <N>` to shift every workload and scheduler seed by `N`
+//! (default 0, reproducing the canonical run).
 
 use ccr_bench::configs;
 use ccr_core::refine::{refine, RefineOptions, RefinedProtocol, ReqRepMode};
@@ -24,14 +26,21 @@ use ccr_protocols::migratory::{migratory, MigratoryOptions};
 use ccr_runtime::sched::RandomSched;
 use ccr_trace::{JsonlSink, NullSink, TraceSink};
 
-fn run(refined: &RefinedProtocol, variant: &str, n: u32, hand: bool, sink: &mut dyn TraceSink) {
+fn run(
+    refined: &RefinedProtocol,
+    variant: &str,
+    n: u32,
+    hand: bool,
+    seed: u64,
+    sink: &mut dyn TraceSink,
+) {
     let mut config = MachineConfig::standard(refined, n, configs::MESSAGE_RUN_STEPS);
     if hand {
         config.asynch = hand_async_config(n);
     }
     let machine = Machine::new(refined, config);
-    let mut wl = Migrating::new(1000 + n as u64, 0.7, 0.5);
-    let mut sched = RandomSched::new(2000 + n as u64);
+    let mut wl = Migrating::new(1000 + n as u64 + seed, 0.7, 0.5);
+    let mut sched = RandomSched::new(2000 + n as u64 + seed);
     let report = machine.run_observed(variant, &mut wl, &mut sched, sink).expect("machine run");
     println!("{}", report.summary());
 }
@@ -55,8 +64,21 @@ fn sink_from_args() -> Box<dyn TraceSink> {
     }
 }
 
+/// `--seed <N>` from the command line (0 when absent: the canonical run).
+fn seed_from_args() -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--seed") {
+        Some(i) => args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+            eprintln!("--seed requires an integer argument");
+            std::process::exit(2);
+        }),
+        None => 0,
+    }
+}
+
 fn main() {
     let mut sink = sink_from_args();
+    let seed = seed_from_args();
     println!("Migratory message efficiency on a migrating workload");
     println!("(one line, {} machine steps, random scheduler):", configs::MESSAGE_RUN_STEPS);
     println!();
@@ -66,9 +88,9 @@ fn main() {
     let noopt = refine(&spec, &RefineOptions { reqrep: ReqRepMode::Off }).expect("refine");
     let hand = migratory_hand(&opts);
     for n in [2u32, 4, 8] {
-        run(&derived, "derived", n, false, &mut *sink);
-        run(&noopt, "derived-noopt", n, false, &mut *sink);
-        run(&hand, "hand", n, true, &mut *sink);
+        run(&derived, "derived", n, false, seed, &mut *sink);
+        run(&noopt, "derived-noopt", n, false, seed, &mut *sink);
+        run(&hand, "hand", n, true, seed, &mut *sink);
         println!();
     }
     println!("Static per-rendezvous cost (messages, successful case):");

@@ -84,6 +84,25 @@ impl Value {
             }
         }
     }
+
+    /// Inverse of [`Value::encode`]: reads one value from the front of
+    /// `bytes`, returning it and the number of bytes consumed, or `None`
+    /// when the input is truncated or carries an unknown tag.
+    pub fn decode(bytes: &[u8]) -> Option<(Value, usize)> {
+        fn take<const N: usize>(bytes: &[u8]) -> Option<[u8; N]> {
+            bytes.get(1..1 + N)?.try_into().ok()
+        }
+        match *bytes.first()? {
+            0 => Some((Value::Unit, 1)),
+            1 => Some((Value::Bool(false), 1)),
+            2 => Some((Value::Bool(true), 1)),
+            3 => take::<8>(bytes).map(|b| (Value::Int(i64::from_le_bytes(b)), 9)),
+            4 => take::<2>(bytes).map(|b| (Value::Node(RemoteId(u16::from_le_bytes(b) as u32)), 3)),
+            5 => take::<8>(bytes).map(|b| (Value::Mask(u64::from_le_bytes(b)), 9)),
+            6 => bytes.get(1).map(|&b| (Value::Int(b as i8 as i64), 2)),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Value {

@@ -115,6 +115,35 @@ proptest! {
         prop_assert_eq!(a == b, ea == eb);
     }
 
+    /// `Value::decode` inverts `encode`, reports the exact byte count
+    /// consumed, and ignores trailing garbage.
+    #[test]
+    fn value_decode_roundtrips(
+        v in arb_value(),
+        suffix in proptest::collection::vec(any::<u8>(), 0..8),
+    ) {
+        let mut bytes = Vec::new();
+        v.encode(&mut bytes);
+        let encoded_len = bytes.len();
+        bytes.extend_from_slice(&suffix);
+        let (decoded, used) = Value::decode(&bytes).expect("well-formed encoding");
+        prop_assert_eq!(decoded, v);
+        prop_assert_eq!(used, encoded_len);
+    }
+
+    /// `Value::decode` is total on arbitrary bytes: it either rejects with
+    /// `None` or yields a value whose re-encoding decodes back to itself.
+    #[test]
+    fn value_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..24)) {
+        if let Some((v, used)) = Value::decode(&bytes) {
+            prop_assert!(used <= bytes.len());
+            let mut re = Vec::new();
+            v.encode(&mut re);
+            let (v2, _) = Value::decode(&re).expect("re-encoded value decodes");
+            prop_assert_eq!(v2, v);
+        }
+    }
+
     /// `add_mod` keeps results in `[0, m)`.
     #[test]
     fn add_mod_stays_in_range(x in -50i64..50, y in -50i64..50, m in 1i64..20) {

@@ -152,6 +152,89 @@ impl<'a> Machine<'a> {
         ))
     }
 
+    /// [`Machine::run_observed`] through a fault harness: `harness`
+    /// injects its plan's wire faults during the run and recovers dropped
+    /// messages by timeout and retransmission. The report carries the
+    /// harness's [`ccr_faults::FaultStats`].
+    ///
+    /// With an inactive plan this produces the same transitions, trace
+    /// bytes and counters as [`Machine::run_observed`] — fault handling is
+    /// zero-cost when off.
+    pub fn run_faulted(
+        &self,
+        variant: &str,
+        workload: &mut dyn Workload,
+        sched: &mut dyn Scheduler,
+        harness: &mut ccr_runtime::FaultHarness,
+        sink: &mut dyn TraceSink,
+    ) -> Result<MachineReport> {
+        let started = Instant::now();
+        let sys = AsyncSystem::new(self.refined, self.config.n, self.config.asynch.clone());
+        let mut sim = Simulator::new(&sys);
+        let mut steps = 0u64;
+        let mut ops = 0u64;
+        let mut deadlocked = false;
+        while steps < self.config.max_steps {
+            let fired = harness.step(
+                &mut sim,
+                sched,
+                |label| {
+                    if label.kind != LabelKind::Tau {
+                        return true;
+                    }
+                    match (&label.tag, label.actor) {
+                        (Some(tag), ProcessId::Remote(r)) => workload.enable(r, tag),
+                        _ => true,
+                    }
+                },
+                sink,
+            )?;
+            match fired {
+                Some(label) => {
+                    steps += 1;
+                    if let Some((_, msg)) = label.completes {
+                        if self.config.ops.contains(&msg) {
+                            ops += 1;
+                        }
+                    }
+                }
+                None => {
+                    steps += 1;
+                    if harness.pending_recoveries() > 0 {
+                        // A quiet network that still owes retransmissions
+                        // is recovering, not stuck.
+                        continue;
+                    }
+                    let mut probe = Vec::new();
+                    sys.successors(sim.state(), &mut probe)?;
+                    if probe.is_empty() {
+                        deadlocked = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if sink.enabled() {
+            sink.emit(&TraceEvent::Outcome {
+                outcome: if deadlocked { "Deadlock".into() } else { "Complete".into() },
+                detail: None,
+                steps: Some(steps),
+            });
+            sink.flush();
+        }
+        Ok(MachineReport::from_stats(
+            &self.refined.spec.name,
+            variant,
+            self.config.n,
+            steps,
+            deadlocked,
+            ops,
+            sim.stats(),
+            started.elapsed(),
+        )
+        .with_faults(*harness.stats()))
+    }
+
     /// Runs and returns the final asynchronous state alongside the report
     /// (used by tests that inspect the end configuration).
     pub fn run_with_state(
@@ -263,6 +346,61 @@ mod tests {
             events.last(),
             Some(TraceEvent::Outcome { steps: Some(s), .. }) if *s == report.steps
         ));
+    }
+
+    #[test]
+    fn faulted_migratory_run_completes_and_recovers() {
+        use ccr_faults::{FaultPlan, FaultRates, FaultSpec};
+        use ccr_runtime::FaultHarness;
+        let refined = migratory_refined(&MigratoryOptions::default());
+        let config = MachineConfig::standard(&refined, 4, 30_000);
+        let machine = Machine::new(&refined, config);
+        let mut wl = Migrating::new(11, 0.8, 0.5);
+        let mut sched = RandomSched::new(12);
+        let plan = FaultPlan::new(
+            FaultSpec::with_rates(FaultRates { drop: 0.05, dup: 0.02, ..FaultRates::default() }),
+            7,
+        );
+        let mut harness = FaultHarness::new(plan);
+        let report = machine
+            .run_faulted("derived", &mut wl, &mut sched, &mut harness, &mut ccr_trace::NullSink)
+            .unwrap();
+        assert!(!report.deadlocked, "faults must not wedge the machine");
+        assert!(report.ops > 100, "ops={}", report.ops);
+        let faults = report.faults.expect("faulted run reports counters");
+        assert!(faults.drops > 0 && faults.recovered > 0, "{faults:?}");
+    }
+
+    #[test]
+    fn inactive_fault_harness_reproduces_plain_run() {
+        use ccr_faults::FaultPlan;
+        use ccr_runtime::FaultHarness;
+        use ccr_trace::RingSink;
+        let refined = migratory_refined(&MigratoryOptions::default());
+        let run = |faulted: bool| -> (MachineReport, Vec<TraceEvent>) {
+            let config = MachineConfig::standard(&refined, 3, 4_000);
+            let machine = Machine::new(&refined, config);
+            let mut wl = Migrating::new(5, 0.8, 0.5);
+            let mut sched = RandomSched::new(6);
+            let mut sink = RingSink::new(1 << 16);
+            let report = if faulted {
+                let mut harness = FaultHarness::new(FaultPlan::inactive());
+                machine
+                    .run_faulted("derived", &mut wl, &mut sched, &mut harness, &mut sink)
+                    .unwrap()
+            } else {
+                machine.run_observed("derived", &mut wl, &mut sched, &mut sink).unwrap()
+            };
+            (report, sink.into_events())
+        };
+        let (plain, plain_events) = run(false);
+        let (faulted, faulted_events) = run(true);
+        assert_eq!(plain_events, faulted_events, "traces must match byte for byte");
+        assert_eq!(plain.steps, faulted.steps);
+        assert_eq!(plain.ops, faulted.ops);
+        assert_eq!(plain.messages, faulted.messages);
+        assert_eq!(plain.msgs_per_op, faulted.msgs_per_op);
+        assert_eq!(faulted.faults, Some(ccr_faults::FaultStats::default()));
     }
 
     #[test]

@@ -1,11 +1,12 @@
 //! Machine-level result reporting.
 
+use ccr_faults::FaultStats;
 use ccr_runtime::stats::MsgStats;
-use serde::Serialize;
+use serde::{Serialize, Serializer};
 use std::time::Duration;
 
 /// Outcome of a machine run, serializable for the experiment harness.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MachineReport {
     /// Protocol name.
     pub protocol: String,
@@ -36,6 +37,42 @@ pub struct MachineReport {
     /// Highest post-enqueue occupancy observed on any link — the margin
     /// against the bounded-buffer (`LinkOverflow`) assumption.
     pub max_link_occupancy: u32,
+    /// Fault-injection counters when the run went through the fault
+    /// harness (`None` for plain runs, keeping their reports unchanged).
+    pub faults: Option<FaultStats>,
+    /// `msgs_per_op` of this run divided by the same ratio of a clean
+    /// baseline run — how much the faults cost per completed acquisition.
+    /// Set by [`MachineReport::with_degradation_vs`].
+    pub degradation: Option<f64>,
+}
+
+// Hand-written so the fault fields are *omitted* — not `null` — when
+// absent: plain-run reports stay byte-identical to their pre-fault form.
+impl Serialize for MachineReport {
+    fn serialize(&self, s: &mut Serializer) {
+        let mut m = s.begin_map();
+        m.entry("protocol", self.protocol.as_str());
+        m.entry("variant", self.variant.as_str());
+        m.entry("n", &self.n);
+        m.entry("steps", &self.steps);
+        m.entry("deadlocked", &self.deadlocked);
+        m.entry("ops", &self.ops);
+        m.entry("messages", &self.messages);
+        m.entry("acks", &self.acks);
+        m.entry("nacks", &self.nacks);
+        m.entry("msgs_per_op", &self.msgs_per_op);
+        m.entry("fairness", &self.fairness);
+        m.entry("starved", &self.starved);
+        m.entry("elapsed", &self.elapsed);
+        m.entry("max_link_occupancy", &self.max_link_occupancy);
+        if let Some(f) = &self.faults {
+            m.entry("faults", f);
+        }
+        if let Some(d) = self.degradation {
+            m.entry("degradation", &d);
+        }
+        m.end();
+    }
 }
 
 impl MachineReport {
@@ -70,7 +107,31 @@ impl MachineReport {
             starved: stats.starved(n as usize),
             elapsed,
             max_link_occupancy: stats.max_link_occupancy(),
+            faults: None,
+            degradation: None,
         }
+    }
+
+    /// Attaches fault-injection counters (builder style).
+    pub fn with_faults(mut self, faults: FaultStats) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// The ratio of this run's messages-per-operation to `baseline`'s,
+    /// when both are measurable: 1.0 means the faults were free, 1.3 means
+    /// each acquisition cost 30% more messages.
+    pub fn degradation_vs(&self, baseline: &MachineReport) -> Option<f64> {
+        match (self.msgs_per_op, baseline.msgs_per_op) {
+            (Some(a), Some(b)) if b > 0.0 => Some(a / b),
+            _ => None,
+        }
+    }
+
+    /// Records [`MachineReport::degradation_vs`] `baseline` on the report.
+    pub fn with_degradation_vs(mut self, baseline: &MachineReport) -> Self {
+        self.degradation = self.degradation_vs(baseline);
+        self
     }
 
     /// Steps executed per wall-clock second, when measurable.
@@ -83,8 +144,23 @@ impl MachineReport {
         }
     }
 
-    /// One-line human-readable summary.
+    /// One-line human-readable summary. Fault counters are appended only
+    /// when present, so plain runs print exactly as before.
     pub fn summary(&self) -> String {
+        let mut line = self.base_summary();
+        if let Some(f) = &self.faults {
+            line.push_str(&format!(
+                " | faults: drop={} dup={} reorder={} delay={} rexmit={} recovered={} absorbed={}",
+                f.drops, f.dups, f.reorders, f.delays, f.retransmits, f.recovered, f.absorbed
+            ));
+        }
+        if let Some(d) = self.degradation {
+            line.push_str(&format!(" degr={d:.2}x"));
+        }
+        line
+    }
+
+    fn base_summary(&self) -> String {
         format!(
             "{:<12} {:<14} n={:<3} ops={:<7} msgs={:<8} acks={:<6} nacks={:<6} msgs/op={} fair={} starved={} linkhw={} secs={:.3} steps/s={}",
             self.protocol,
@@ -137,6 +213,38 @@ mod tests {
         assert_eq!(r.messages, 12);
         assert_eq!(r.msgs_per_op, Some(2.0));
         assert_eq!(r.steps_per_sec(), None, "zero elapsed is unmeasurable");
+    }
+
+    #[test]
+    fn fault_counters_and_degradation_are_opt_in() {
+        let mut stats = MsgStats::new();
+        stats.acks = 12;
+        let clean =
+            MachineReport::from_stats("token", "derived", 2, 50, false, 6, &stats, Duration::ZERO);
+        assert!(clean.faults.is_none());
+        assert!(!clean.summary().contains("faults:"), "{}", clean.summary());
+
+        let mut stats = MsgStats::new();
+        stats.acks = 18;
+        let faulted =
+            MachineReport::from_stats("token", "derived", 2, 70, false, 6, &stats, Duration::ZERO)
+                .with_faults(FaultStats { drops: 3, recovered: 3, ..FaultStats::default() })
+                .with_degradation_vs(&clean);
+        assert_eq!(faulted.degradation, Some(1.5));
+        let line = faulted.summary();
+        assert!(line.contains("drop=3") && line.contains("degr=1.50x"), "{line}");
+
+        let ser = |r: &MachineReport| {
+            let mut s = Serializer::new();
+            r.serialize(&mut s);
+            s.into_string()
+        };
+        assert!(
+            !ser(&clean).contains("faults"),
+            "plain reports must serialize without fault fields: {}",
+            ser(&clean)
+        );
+        assert!(ser(&faulted).contains("\"recovered\":3"), "{}", ser(&faulted));
     }
 
     #[test]

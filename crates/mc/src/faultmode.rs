@@ -1,0 +1,135 @@
+//! Fault-closure verification: safety and progress under ≤ f wire faults.
+//!
+//! The paper proves its refinement correct over a reliable FIFO network
+//! (§2.2). [`ccr_runtime::FaultClosure`] weakens that assumption into an
+//! adversary with a bounded budget of drop/duplicate faults plus an
+//! always-available recovery transition (retransmission into the original
+//! FIFO position). This module runs the standard exploration and progress
+//! machinery over that closure and packages the result:
+//!
+//! * **Safety**: the user invariant holds in every reachable base
+//!   configuration, no matter where the adversary spends its budget;
+//! * **Recovery**: from every reachable state a rendezvous completion is
+//!   still reachable — faults delay the protocol but cannot wedge it,
+//!   because once the budget is spent and the lost frames are
+//!   retransmitted the network has quiesced.
+
+use crate::report::{Outcome, ProgressReport};
+use crate::search::{Budget, SearchObserver};
+use crate::trace::{explore_traced_observed, TracedReport};
+use ccr_runtime::asynch::{AsyncState, AsyncSystem};
+use ccr_runtime::FaultClosure;
+use ccr_trace::NullSink;
+use serde::Serialize;
+
+/// Outcome of verifying an asynchronous protocol under a fault budget.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultClosureReport {
+    /// The adversary's fault budget `f`.
+    pub budget_faults: u32,
+    /// Reachability + invariant + deadlock result over the closure.
+    pub explore: TracedReport,
+    /// Progress (§2.5) over the closure: completions stay reachable
+    /// through and after faults.
+    pub progress: ProgressReport,
+}
+
+impl FaultClosureReport {
+    /// True when safety held everywhere and progress survives the faults.
+    pub fn holds(&self) -> bool {
+        matches!(self.explore.outcome, Outcome::Complete) && self.progress.holds()
+    }
+}
+
+/// Explores the fault closure of `sys` with budget `faults`, checking
+/// `invariant` on every reachable base configuration and then checking
+/// progress, reporting heartbeats and any counterexample trail to `obs`.
+pub fn check_fault_closure_observed(
+    sys: &AsyncSystem<'_>,
+    faults: u32,
+    budget: &Budget,
+    mut invariant: impl FnMut(&AsyncState) -> Option<String>,
+    obs: &mut SearchObserver<'_>,
+) -> FaultClosureReport {
+    let closure = FaultClosure::new(sys.clone(), faults);
+    let explore = explore_traced_observed(&closure, budget, |fs| invariant(&fs.base), true, obs);
+    let progress =
+        crate::progress::check_progress_observed(&closure, budget, |l| l.completes.is_some(), obs);
+    FaultClosureReport { budget_faults: faults, explore, progress }
+}
+
+/// [`check_fault_closure_observed`] without live reporting.
+pub fn check_fault_closure(
+    sys: &AsyncSystem<'_>,
+    faults: u32,
+    budget: &Budget,
+    invariant: impl FnMut(&AsyncState) -> Option<String>,
+) -> FaultClosureReport {
+    let mut null = NullSink;
+    let mut obs = SearchObserver::new(&mut null, 0);
+    check_fault_closure_observed(sys, faults, budget, invariant, &mut obs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_core::builder::ProtocolBuilder;
+    use ccr_core::expr::Expr;
+    use ccr_core::ids::RemoteId;
+    use ccr_core::refine::{refine, RefineOptions};
+    use ccr_core::value::Value;
+    use ccr_runtime::asynch::AsyncConfig;
+
+    fn token_spec() -> ccr_core::process::ProtocolSpec {
+        let mut b = ProtocolBuilder::new("token");
+        let req = b.msg("req");
+        let gr = b.msg("gr");
+        let rel = b.msg("rel");
+        let o = b.home_var("o", Value::Node(RemoteId(0)));
+        let f = b.home_state("F");
+        let g1 = b.home_state("G1");
+        let e = b.home_state("E");
+        b.home(f).recv_any(req).bind_sender(o).goto(g1);
+        b.home(g1).send_to(Expr::Var(o), gr).goto(e);
+        b.home(e).recv_exact(rel, Expr::Var(o)).goto(f);
+        let i = b.remote_state("I");
+        let w = b.remote_state("W");
+        let v = b.remote_state("V");
+        b.remote(i).send(req).goto(w);
+        b.remote(w).recv(gr).goto(v);
+        b.remote(v).send(rel).goto(i);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn token_protocol_survives_two_faults() {
+        let spec = token_spec();
+        let refined = refine(&spec, &RefineOptions::default()).unwrap();
+        let sys = AsyncSystem::new(&refined, 2, AsyncConfig::default());
+        let report = check_fault_closure(&sys, 2, &Budget::states(2_000_000), |_| None);
+        assert!(
+            report.holds(),
+            "token closure must stay safe and live: {:?} / livelocked {} deadlocked {}",
+            report.explore.outcome,
+            report.progress.livelocked_states,
+            report.progress.deadlocked_states
+        );
+        // A budget of 2 strictly grows the state space over budget 0.
+        let base = check_fault_closure(&sys, 0, &Budget::states(2_000_000), |_| None);
+        assert!(report.explore.states > base.explore.states);
+    }
+
+    #[test]
+    fn invariant_violations_surface_with_a_trail() {
+        let spec = token_spec();
+        let refined = refine(&spec, &RefineOptions::default()).unwrap();
+        let sys = AsyncSystem::new(&refined, 2, AsyncConfig::default());
+        // A deliberately false invariant: no message may ever be in flight.
+        let report = check_fault_closure(&sys, 1, &Budget::states(100_000), |s: &AsyncState| {
+            (s.in_flight() > 0).then(|| "message in flight".to_string())
+        });
+        assert!(!report.holds());
+        assert!(matches!(report.explore.outcome, Outcome::InvariantViolated(_)));
+        assert!(report.explore.trail.is_some(), "counterexample trail expected");
+    }
+}

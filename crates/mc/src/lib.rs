@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod faultmode;
 pub mod progress;
 pub mod props;
 pub mod report;
@@ -29,6 +30,7 @@ pub mod simrel;
 pub mod store;
 pub mod trace;
 
+pub use faultmode::{check_fault_closure, check_fault_closure_observed, FaultClosureReport};
 pub use report::{ExploreReport, Outcome, ProgressReport, SimRelReport};
 pub use search::{explore, explore_dfs, explore_observed, Budget, SearchObserver};
 pub use trace::{

@@ -69,6 +69,14 @@ pub enum RuntimeError {
     /// The home node's unacked-request allowance (hand-written-baseline
     /// mode) grew beyond any plausible bound.
     UnackedFlood,
+    /// A byte buffer claiming to hold an encoded wire message was
+    /// truncated or carried an unknown tag.
+    Decode {
+        /// What was wrong with the bytes.
+        detail: &'static str,
+        /// Offset of the offending byte in the input.
+        offset: usize,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -93,6 +101,9 @@ impl fmt::Display for RuntimeError {
                 write!(f, "abstraction failed: {detail}")
             }
             RuntimeError::UnackedFlood => write!(f, "unacked-request allowance exhausted"),
+            RuntimeError::Decode { detail, offset } => {
+                write!(f, "wire decode failed at byte {offset}: {detail}")
+            }
         }
     }
 }
@@ -126,6 +137,7 @@ mod tests {
             RuntimeError::ReplyNotAwaited { who: ProcessId::Remote(RemoteId(0)) },
             RuntimeError::Unabstractable { detail: "x" },
             RuntimeError::UnackedFlood,
+            RuntimeError::Decode { detail: "empty input", offset: 0 },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

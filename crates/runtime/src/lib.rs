@@ -26,6 +26,7 @@
 pub mod abstraction;
 pub mod asynch;
 pub mod error;
+pub mod faults;
 pub mod observe;
 pub mod rendezvous;
 pub mod sched;
@@ -35,5 +36,6 @@ pub mod system;
 pub mod wire;
 
 pub use error::{Result, RuntimeError};
+pub use faults::{FaultClosure, FaultHarness, FaultState};
 pub use observe::emit_label_events;
 pub use system::{Label, LabelKind, SentMsg, TransitionSystem};

@@ -56,6 +56,23 @@ impl<'s, T: TransitionSystem> Simulator<'s, T> {
         &self.stats
     }
 
+    /// The transition system being simulated.
+    pub fn system(&self) -> &'s T {
+        self.sys
+    }
+
+    /// Mutable access to the current state, for the fault layer: injecting
+    /// a wire fault *is* an out-of-band state mutation.
+    pub(crate) fn state_mut(&mut self) -> &mut T::State {
+        &mut self.state
+    }
+
+    /// Mutable access to the counters, for the fault layer's occupancy
+    /// bookkeeping after it mutates links.
+    pub(crate) fn stats_mut(&mut self) -> &mut MsgStats {
+        &mut self.stats
+    }
+
     /// Executes one step chosen by `sched` among transitions passing
     /// `filter`, narrating it to `sink`. Returns the fired label, or `None`
     /// if nothing was enabled (after filtering).

@@ -25,6 +25,9 @@ pub enum LabelKind {
     Complete,
     /// A request was nacked.
     Nacked,
+    /// The fault layer perturbed the network (model-checking fault-closure
+    /// transitions: drop, duplicate, retransmit).
+    Fault,
 }
 
 /// A wire message emitted during a step, for message accounting.

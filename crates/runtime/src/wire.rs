@@ -62,6 +62,48 @@ impl Wire {
             Wire::Nack => out.push(3),
         }
     }
+
+    /// Inverse of [`Wire::encode`]: reads one message from the front of
+    /// `bytes`, returning it and the number of bytes consumed.
+    ///
+    /// Truncated or corrupt input is a structured
+    /// [`RuntimeError::Decode`](crate::RuntimeError::Decode), never a
+    /// panic — decode sits on the boundary where bytes from a state store
+    /// or an external tool re-enter typed code.
+    pub fn decode(bytes: &[u8]) -> crate::Result<(Wire, usize)> {
+        use crate::RuntimeError::Decode;
+        let tag = *bytes.first().ok_or(Decode { detail: "empty input", offset: 0 })?;
+        match tag {
+            1 => {
+                let msg =
+                    *bytes.get(1).ok_or(Decode { detail: "missing message type", offset: 1 })?;
+                let flag =
+                    *bytes.get(2).ok_or(Decode { detail: "missing payload flag", offset: 2 })?;
+                match flag {
+                    0 => Ok((Wire::Req { msg: MsgType(msg as u32), val: None }, 3)),
+                    1 => {
+                        let (val, used) = Value::decode(&bytes[3..])
+                            .ok_or(Decode { detail: "bad payload value", offset: 3 })?;
+                        Ok((Wire::Req { msg: MsgType(msg as u32), val: Some(val) }, 3 + used))
+                    }
+                    _ => Err(Decode { detail: "bad payload flag", offset: 2 }),
+                }
+            }
+            2 => Ok((Wire::Ack, 1)),
+            3 => Ok((Wire::Nack, 1)),
+            _ => Err(Decode { detail: "unknown wire tag", offset: 0 }),
+        }
+    }
+
+    /// Short wire-format name for trace events: `"Req"`, `"Ack"` or
+    /// `"Nack"`.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Wire::Req { .. } => "Req",
+            Wire::Ack => "Ack",
+            Wire::Nack => "Nack",
+        }
+    }
 }
 
 /// One direction of a point-to-point link: a bounded FIFO queue.
@@ -109,6 +151,29 @@ impl Link {
     /// Whether any in-flight message satisfies `pred`.
     pub fn any(&self, pred: impl FnMut(&Wire) -> bool) -> bool {
         self.queue.iter().any(pred)
+    }
+
+    /// The message at queue position `i` (0 = head), if in range.
+    pub fn get(&self, i: usize) -> Option<&Wire> {
+        self.queue.get(i)
+    }
+
+    /// Inserts a message at queue position `i ≤ len`, shifting later
+    /// messages back. Used by the fault layer to resequence a recovered
+    /// message into its original FIFO position.
+    pub fn insert(&mut self, i: usize, w: Wire) {
+        self.queue.insert(i, w);
+    }
+
+    /// Removes and returns the message at queue position `i`, if in range.
+    /// Used by the fault layer to drop an in-flight message.
+    pub fn remove_at(&mut self, i: usize) -> Option<Wire> {
+        self.queue.remove(i)
+    }
+
+    /// Swaps the messages at positions `i` and `j` (a reorder fault).
+    pub fn swap(&mut self, i: usize, j: usize) {
+        self.queue.swap(i, j);
     }
 
     /// Compact byte encoding for the state store.
@@ -285,6 +350,51 @@ mod tests {
         net.observe(ProcessId::Remote(RemoteId(0)), ProcessId::Home, 2);
         net.observe(ProcessId::Home, ProcessId::Remote(RemoteId(0)), 1);
         assert_eq!(serde::json::to_string(&net), "{\"h->r0\":1,\"r0->h\":2}");
+    }
+
+    #[test]
+    fn wire_decode_roundtrips_and_reports_offsets() {
+        let wires = [
+            Wire::Req { msg: MsgType(3), val: Some(Value::Int(1)) },
+            Wire::Req { msg: MsgType(0), val: Some(Value::Node(RemoteId(2))) },
+            Wire::Req { msg: MsgType(7), val: None },
+            Wire::Ack,
+            Wire::Nack,
+        ];
+        for w in wires {
+            let mut buf = Vec::new();
+            w.encode(&mut buf);
+            assert_eq!(Wire::decode(&buf).unwrap(), (w, buf.len()));
+        }
+        // Truncations and corruptions are structured errors, not panics.
+        assert!(matches!(Wire::decode(&[]), Err(crate::RuntimeError::Decode { offset: 0, .. })));
+        assert!(matches!(
+            Wire::decode(&[1, 3]),
+            Err(crate::RuntimeError::Decode { offset: 2, .. })
+        ));
+        assert!(matches!(
+            Wire::decode(&[1, 3, 9]),
+            Err(crate::RuntimeError::Decode { offset: 2, .. })
+        ));
+        assert!(matches!(
+            Wire::decode(&[1, 3, 1, 255]),
+            Err(crate::RuntimeError::Decode { offset: 3, .. })
+        ));
+        assert!(Wire::decode(&[99]).is_err());
+    }
+
+    #[test]
+    fn link_positional_ops() {
+        let mut l = Link::new();
+        l.push(Wire::Ack);
+        l.push(Wire::Nack);
+        l.insert(1, Wire::Req { msg: MsgType(1), val: None });
+        assert_eq!(l.get(1).unwrap().req_msg(), Some(MsgType(1)));
+        l.swap(0, 2);
+        assert_eq!(l.head(), Some(&Wire::Nack));
+        assert_eq!(l.remove_at(1), Some(Wire::Req { msg: MsgType(1), val: None }));
+        assert_eq!(l.remove_at(5), None);
+        assert_eq!(l.len(), 2);
     }
 
     #[test]

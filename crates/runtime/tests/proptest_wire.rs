@@ -1,0 +1,90 @@
+//! Property-based tests for the wire codec: `Wire::decode` must invert
+//! `Wire::encode` exactly and must never panic on arbitrary byte soup —
+//! it sits on the boundary where bytes from a state store or an external
+//! tool re-enter typed code.
+
+use ccr_core::ids::{MsgType, RemoteId};
+use ccr_core::value::Value;
+use ccr_runtime::wire::Wire;
+use ccr_runtime::RuntimeError;
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Unit),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        (0u32..64).prop_map(|n| Value::Node(RemoteId(n))),
+        any::<u64>().prop_map(Value::Mask),
+    ]
+}
+
+fn arb_wire() -> impl Strategy<Value = Wire> {
+    prop_oneof![
+        (0u32..200, proptest::option::of(arb_value()))
+            .prop_map(|(m, val)| Wire::Req { msg: MsgType(m), val }),
+        Just(Wire::Ack),
+        Just(Wire::Nack),
+    ]
+}
+
+proptest! {
+    /// Decode inverts encode, reports the exact consumed length, and is
+    /// indifferent to trailing bytes (messages are read from the front of
+    /// a concatenated stream).
+    #[test]
+    fn wire_decode_roundtrips(
+        w in arb_wire(),
+        suffix in proptest::collection::vec(any::<u8>(), 0..12),
+    ) {
+        let mut bytes = Vec::new();
+        w.encode(&mut bytes);
+        let encoded_len = bytes.len();
+        bytes.extend_from_slice(&suffix);
+        let (decoded, used) = Wire::decode(&bytes).expect("well-formed encoding");
+        prop_assert_eq!(decoded, w);
+        prop_assert_eq!(used, encoded_len);
+    }
+
+    /// Arbitrary bytes either decode to a re-encodable message or fail
+    /// with a structured error whose offset lies inside the input — never
+    /// a panic, never an out-of-range offset.
+    #[test]
+    fn wire_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..32)) {
+        match Wire::decode(&bytes) {
+            Ok((w, used)) => {
+                prop_assert!(used <= bytes.len());
+                let mut re = Vec::new();
+                w.encode(&mut re);
+                let (w2, _) = Wire::decode(&re).expect("re-encoded wire decodes");
+                prop_assert_eq!(w2, w);
+            }
+            Err(RuntimeError::Decode { offset, .. }) => {
+                prop_assert!(offset <= bytes.len());
+            }
+            Err(e) => prop_assert!(false, "unexpected error kind: {e}"),
+        }
+    }
+
+    /// A whole link queue encodes as a parseable stream: length byte, then
+    /// back-to-back wire messages.
+    #[test]
+    fn link_encoding_is_a_parseable_stream(
+        wires in proptest::collection::vec(arb_wire(), 0..6),
+    ) {
+        let mut link = ccr_runtime::wire::Link::new();
+        for w in &wires {
+            link.push(*w);
+        }
+        let mut bytes = Vec::new();
+        link.encode(&mut bytes);
+        prop_assert_eq!(bytes[0] as usize, wires.len());
+        let mut at = 1;
+        for w in &wires {
+            let (decoded, used) = Wire::decode(&bytes[at..]).expect("stream element");
+            prop_assert_eq!(&decoded, w);
+            at += used;
+        }
+        prop_assert_eq!(at, bytes.len());
+    }
+}

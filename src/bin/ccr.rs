@@ -7,9 +7,11 @@
 //! ccr dot     <spec.ccp> [--refined]      Graphviz to stdout
 //! ccr verify  <spec.ccp> [-n N] [--budget S] [--no-opt]
 //!             [--trace FILE] [--progress] [--json]
+//!             [--faults SPEC] [--seed N] [--fault-budget F]
 //!                                         full pipeline: reachability both
 //!                                         levels, safety (deadlock),
-//!                                         Equation 1, forward progress
+//!                                         Equation 1, forward progress,
+//!                                         and (opt-in) fault tolerance
 //! ccr table   <spec.ccp> [-n N..] [--trace FILE] [--progress] [--json]
 //!                                         per-N reachability comparison
 //! ```
@@ -26,30 +28,53 @@
 //!   document on stdout instead of the human tables (suitable for
 //!   `docs/results/`).
 //!
+//! Fault-injection flags (verify only, see `docs/fault_injection.md`):
+//!
+//! * `--faults SPEC` — after the clean pipeline passes, run seeded random
+//!   walks through the wire-fault harness. SPEC is comma-separated
+//!   `kind=rate` pairs, e.g. `drop=0.05,dup=0.02`; kinds are `drop`,
+//!   `dup`, `reorder`, `delay`.
+//! * `--seed N` — base seed for the fault walks (default 0); the same
+//!   spec + seed reproduces the same faults byte for byte.
+//! * `--fault-budget F` — model-check the fault closure: prove safety and
+//!   progress under every placement of up to `F` drop/duplicate faults.
+//!
 //! Specs are written in the textual form of `ccr_core::text` — see the
 //! bundled files under `specs/`.
 
 use ccr_core::dot::{dot_automaton, dot_spec};
 use ccr_core::refine::{refine, RefineOptions, ReqRepMode};
 use ccr_core::text::{parse_validated, to_text};
+use ccr_faults::{parse_fault_spec, FaultPlan, FaultRates, FaultSpec, FaultStats};
+use ccr_mc::faultmode::check_fault_closure_observed;
 use ccr_mc::progress::check_progress_observed;
 use ccr_mc::search::{explore_observed, Budget, SearchObserver};
 use ccr_mc::simrel::check_simulation;
 use ccr_mc::trace::explore_traced_observed;
 use ccr_runtime::asynch::{AsyncConfig, AsyncSystem};
 use ccr_runtime::rendezvous::RendezvousSystem;
+use ccr_runtime::sched::RandomSched;
+use ccr_runtime::sim::Simulator;
+use ccr_runtime::{FaultHarness, TransitionSystem};
 use ccr_trace::{JsonlSink, NullSink, TeeSink, TraceEvent, TraceSink};
-use serde::Serializer;
+use serde::{Serialize, Serializer};
 use std::process::ExitCode;
 
 /// Heartbeat interval for `--progress`/`--trace`, in newly stored states.
 const HEARTBEAT_EVERY: usize = 25_000;
 
+/// Number of seeded random walks run by `verify --faults`.
+const FAULT_WALKS: u32 = 3;
+
+/// Steps per fault walk (scheduler decisions, including recovery waits).
+const FAULT_WALK_STEPS: u64 = 20_000;
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: ccr <fmt|check|refine|dot|verify|table> <spec.ccp> \
          [-n N] [--budget STATES] [--no-opt] [--refined] \
-         [--trace FILE] [--progress] [--json]"
+         [--trace FILE] [--progress] [--json] \
+         [--faults SPEC] [--seed N] [--fault-budget F]"
     );
     ExitCode::from(2)
 }
@@ -64,6 +89,9 @@ struct Args {
     trace: Option<String>,
     progress: bool,
     json: bool,
+    faults: Option<String>,
+    seed: u64,
+    fault_budget: Option<u32>,
 }
 
 fn parse_args() -> Option<Args> {
@@ -80,6 +108,9 @@ fn parse_args() -> Option<Args> {
         trace: None,
         progress: false,
         json: false,
+        faults: None,
+        seed: 0,
+        fault_budget: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -90,6 +121,9 @@ fn parse_args() -> Option<Args> {
             "--trace" => out.trace = Some(args.next()?),
             "--progress" => out.progress = true,
             "--json" => out.json = true,
+            "--faults" => out.faults = Some(args.next()?),
+            "--seed" => out.seed = args.next()?.parse().ok()?,
+            "--fault-budget" => out.fault_budget = Some(args.next()?.parse().ok()?),
             _ => return None,
         }
     }
@@ -128,6 +162,140 @@ fn file_sink(trace: &Option<String>) -> Result<Box<dyn TraceSink>, ExitCode> {
             }
         },
         None => Ok(Box::new(NullSink)),
+    }
+}
+
+/// Result of the seeded random-walk phase of `ccr verify --faults`.
+#[derive(Debug, Serialize)]
+struct FaultWalkReport {
+    /// Base seed; walk `w` uses `seed + w`.
+    seed: u64,
+    /// The `--faults` spec as given on the command line.
+    rates: String,
+    /// Number of independent walks.
+    walks: u32,
+    /// Scheduler decisions per walk (recovery waits included).
+    steps_per_walk: u64,
+    /// Rendezvous completions across all faulted walks.
+    completed: u64,
+    /// Wire messages across all faulted walks, retransmission attempts
+    /// included — they consume bandwidth even when lost again.
+    messages: u64,
+    /// Messages per completion under faults.
+    msgs_per_completion: Option<f64>,
+    /// Messages per completion of the clean twin runs (same seeds).
+    clean_msgs_per_completion: Option<f64>,
+    /// Faulted over clean messages-per-completion.
+    degradation: Option<f64>,
+    /// True if any walk wedged with no recovery pending.
+    deadlocked: bool,
+    /// Runtime error that aborted a walk — typically a reorder fault
+    /// surfacing the protocol's FIFO assumption (e.g. a request overtaking
+    /// a writeback). Unlike drops and duplicates, reorders are not masked
+    /// by the recovery layer, so this is the probe working as intended.
+    error: Option<String>,
+    /// Aggregated injection/recovery counters.
+    faults: FaultStats,
+}
+
+impl FaultWalkReport {
+    /// The walks pass when every run kept completing rendezvous.
+    fn holds(&self) -> bool {
+        self.error.is_none() && !self.deadlocked && self.completed > 0
+    }
+}
+
+/// Runs `FAULT_WALKS` seeded random walks of `asys` through the fault
+/// harness, plus a clean twin per walk (same scheduler seed, no faults)
+/// for the degradation baseline. Fault events stream to `sink`.
+fn run_fault_walks(
+    asys: &AsyncSystem<'_>,
+    rates: FaultRates,
+    spec_text: &str,
+    seed: u64,
+    sink: &mut dyn TraceSink,
+) -> FaultWalkReport {
+    let mut faults = FaultStats::default();
+    let mut completed = 0u64;
+    let mut messages = 0u64;
+    let mut clean_completed = 0u64;
+    let mut clean_messages = 0u64;
+    let mut deadlocked = false;
+    let mut error = None;
+    'walks: for w in 0..FAULT_WALKS {
+        let wseed = seed.wrapping_add(u64::from(w));
+        let sched_seed = wseed ^ 0x5EED_CAB1;
+
+        let mut sim = Simulator::new(asys);
+        let mut sched = RandomSched::new(sched_seed);
+        match sim.run(&mut sched, FAULT_WALK_STEPS) {
+            Ok(clean) => {
+                clean_completed += clean.stats.total_completed();
+                clean_messages += clean.stats.total_messages();
+            }
+            Err(e) => {
+                error = Some(format!("clean twin: {e}"));
+                break;
+            }
+        }
+
+        let plan = FaultPlan::new(FaultSpec::with_rates(rates), wseed);
+        let mut harness = FaultHarness::new(plan);
+        let mut sim = Simulator::new(asys);
+        let mut sched = RandomSched::new(sched_seed);
+        for _ in 0..FAULT_WALK_STEPS {
+            let fired = match harness.step(&mut sim, &mut sched, |_| true, sink) {
+                Ok(f) => f,
+                Err(e) => {
+                    error = Some(e.to_string());
+                    completed += sim.stats().total_completed();
+                    messages += sim.stats().total_messages() + harness.stats().retransmits;
+                    faults.merge(harness.stats());
+                    break 'walks;
+                }
+            };
+            if fired.is_none() && harness.pending_recoveries() == 0 {
+                let mut succ = Vec::new();
+                match asys.successors(sim.state(), &mut succ) {
+                    Ok(()) => {}
+                    Err(e) => {
+                        error = Some(e.to_string());
+                        succ.clear();
+                    }
+                }
+                if succ.is_empty() {
+                    deadlocked = error.is_none();
+                    break;
+                }
+            }
+        }
+        completed += sim.stats().total_completed();
+        messages += sim.stats().total_messages() + harness.stats().retransmits;
+        faults.merge(harness.stats());
+        if error.is_some() {
+            break;
+        }
+    }
+    let per_op = |msgs: u64, ops: u64| (ops > 0).then(|| msgs as f64 / ops as f64);
+    let msgs_per_completion = per_op(messages, completed);
+    let clean_msgs_per_completion = per_op(clean_messages, clean_completed);
+    let degradation = match (msgs_per_completion, clean_msgs_per_completion) {
+        (Some(a), Some(b)) if b > 0.0 => Some(a / b),
+        _ => None,
+    };
+    FaultWalkReport {
+        seed,
+        rates: spec_text.to_owned(),
+        walks: FAULT_WALKS,
+        steps_per_walk: FAULT_WALK_STEPS,
+        completed,
+        messages,
+        msgs_per_completion,
+        clean_msgs_per_completion,
+        degradation,
+        deadlocked,
+        error,
+        faults,
     }
 }
 
@@ -235,6 +403,16 @@ fn main() -> ExitCode {
             let budget = Budget::states(args.budget);
             let n = args.n;
             let human = !args.json;
+            let fault_rates = match &args.faults {
+                Some(spec) => match parse_fault_spec(spec) {
+                    Ok(r) => Some(r),
+                    Err(e) => {
+                        eprintln!("ccr: bad --faults spec: {e}");
+                        return usage();
+                    }
+                },
+                None => None,
+            };
             let refined = match refine(&spec, &opts) {
                 Ok(r) => r,
                 Err(e) => {
@@ -319,10 +497,82 @@ fn main() -> ExitCode {
                     }
                 }
             }
-            let ok = r_ok
+            let clean_ok = r_ok
                 && a.as_ref().map(|x| x.outcome.is_complete()).unwrap_or(false)
                 && sim.as_ref().map(|x| x.holds()).unwrap_or(false)
                 && prog.as_ref().map(|x| x.holds()).unwrap_or(false);
+
+            // Fault phases run only once the clean pipeline has passed:
+            // fault tolerance of a protocol that is already broken is
+            // meaningless and would only bury the primary counterexample.
+            let mut fclosure = None;
+            if clean_ok {
+                if let Some(f) = args.fault_budget {
+                    let fc = {
+                        let mut obs = SearchObserver::new(&mut tee, HEARTBEAT_EVERY);
+                        check_fault_closure_observed(&asys, f, &budget, |_| None, &mut obs)
+                    };
+                    if human {
+                        println!(
+                            "fault closure (budget={f}): {} ({} states, {} livelocked, {} deadlocked)",
+                            if fc.holds() { "holds" } else { "VIOLATED" },
+                            fc.explore.states,
+                            fc.progress.livelocked_states,
+                            fc.progress.deadlocked_states
+                        );
+                        if fc.explore.trail.is_some() {
+                            println!("{}", fc.explore.trail_text());
+                        }
+                    }
+                    fclosure = Some(fc);
+                }
+            }
+            let fclosure_ok = fclosure.as_ref().map(|x| x.holds()).unwrap_or(clean_ok);
+            let mut fwalk = None;
+            if clean_ok && fclosure_ok {
+                if let (Some(rates), Some(spec_text)) = (fault_rates, &args.faults) {
+                    let w = run_fault_walks(&asys, rates, spec_text, args.seed, &mut tee);
+                    if human {
+                        let fs = &w.faults;
+                        println!(
+                            "fault walks ({} seed={}): {} — {} completions in {}x{} steps, \
+                             msgs/op {} vs clean {} ({}), injected {} (drop={} dup={} reorder={} delay={}), \
+                             rexmit={} recovered={} absorbed={}",
+                            w.rates,
+                            w.seed,
+                            if w.holds() { "ok" } else { "FAILED" },
+                            w.completed,
+                            w.walks,
+                            w.steps_per_walk,
+                            w.msgs_per_completion
+                                .map(|x| format!("{x:.2}"))
+                                .unwrap_or_else(|| "-".into()),
+                            w.clean_msgs_per_completion
+                                .map(|x| format!("{x:.2}"))
+                                .unwrap_or_else(|| "-".into()),
+                            w.degradation
+                                .map(|x| format!("{x:.2}x"))
+                                .unwrap_or_else(|| "-".into()),
+                            fs.injected(),
+                            fs.drops,
+                            fs.dups,
+                            fs.reorders,
+                            fs.delays,
+                            fs.retransmits,
+                            fs.recovered,
+                            fs.absorbed
+                        );
+                        if let Some(e) = &w.error {
+                            println!("fault walk error: {e}");
+                        }
+                    }
+                    fwalk = Some(w);
+                }
+            }
+
+            let ok = clean_ok
+                && fclosure.as_ref().map(|x| x.holds()).unwrap_or(true)
+                && fwalk.as_ref().map(|x| x.holds()).unwrap_or(true);
             if args.json {
                 let mut s = Serializer::new();
                 {
@@ -332,10 +582,13 @@ fn main() -> ExitCode {
                     m.entry("n", &n);
                     m.entry("budget_states", &args.budget);
                     m.entry("optimized", &!args.no_opt);
+                    m.entry("seed", &args.seed);
                     m.entry("rendezvous", &r);
                     m.entry("asynchronous", &a);
                     m.entry("equation1", &sim);
                     m.entry("progress", &prog);
+                    m.entry("fault_closure", &fclosure);
+                    m.entry("fault_walk", &fwalk);
                     m.entry("holds", &ok);
                     m.end();
                 }
