@@ -14,6 +14,7 @@
 //! Pass `--seed <N>` to shift the workload and scheduler seeds by `N`
 //! (default 0, reproducing the canonical run).
 
+use ccr_bench::cli::{seed_from_args, sink_from_args};
 use ccr_bench::configs;
 use ccr_core::ids::RemoteId;
 use ccr_dsm::machine::{Machine, MachineConfig};
@@ -21,38 +22,6 @@ use ccr_dsm::workload::Migrating;
 use ccr_protocols::migratory::{migratory_refined, MigratoryOptions};
 use ccr_runtime::asynch::AsyncConfig;
 use ccr_runtime::sched::{BiasedSched, RandomSched, Scheduler};
-use ccr_trace::{JsonlSink, NullSink, TraceSink};
-
-/// `--trace <file>` from the command line, as a boxed sink (`NullSink`
-/// when absent).
-fn sink_from_args() -> Box<dyn TraceSink> {
-    let args: Vec<String> = std::env::args().collect();
-    match args.iter().position(|a| a == "--trace") {
-        Some(i) => {
-            let path = args.get(i + 1).unwrap_or_else(|| {
-                eprintln!("--trace requires a file argument");
-                std::process::exit(2);
-            });
-            Box::new(JsonlSink::create(path).unwrap_or_else(|e| {
-                eprintln!("cannot create {path}: {e}");
-                std::process::exit(2);
-            }))
-        }
-        None => Box::new(NullSink),
-    }
-}
-
-/// `--seed <N>` from the command line (0 when absent: the canonical run).
-fn seed_from_args() -> u64 {
-    let args: Vec<String> = std::env::args().collect();
-    match args.iter().position(|a| a == "--seed") {
-        Some(i) => args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
-            eprintln!("--seed requires an integer argument");
-            std::process::exit(2);
-        }),
-        None => 0,
-    }
-}
 
 fn main() {
     let mut sink = sink_from_args();

@@ -1,0 +1,260 @@
+//! Parallel model-checker throughput: the perf trajectory behind the
+//! sharded engine (`ccr_mc::explore_parallel`).
+//!
+//! Measures states/sec of the serial BFS against the parallel engine at
+//! 1, 2, 4, and 8 threads on the async state spaces the paper's Table 3
+//! exercises (the 1-thread row isolates the sharded engine's overhead
+//! from actual parallelism), plus visited-set bytes per state for the
+//! arena-backed store against an estimate of the previous
+//! `HashMap<Vec<u8>, u32>` layout. Results go to `BENCH_mc.json`
+//! (override with `--out <file>`) so future changes have a baseline to
+//! regress against.
+//!
+//! The JSON records `host_parallelism`; on a single-core host (CI
+//! containers included) parallel speedup is physically impossible and
+//! the speedup columns measure pure engine overhead, so read them
+//! against that field.
+//!
+//! Run: `cargo run --release -p ccr-bench --bin mc_perf`
+//!
+//! The headline workload is the asynchronous migratory protocol at
+//! n=3 (data domain widened and home buffer k=3 so the space is large
+//! enough that thread startup and level barriers are noise); each
+//! configuration is run `REPEATS` times and the fastest run is kept.
+
+use ccr_bench::configs;
+use ccr_mc::search::{explore_plain, Budget};
+use ccr_mc::{explore_parallel, ExploreReport, ParallelConfig};
+use ccr_protocols::invalidate::{invalidate_refined, InvalidateOptions};
+use ccr_protocols::migratory::{migratory_refined, MigratoryOptions};
+use ccr_runtime::asynch::{AsyncConfig, AsyncSystem};
+use ccr_runtime::TransitionSystem;
+use serde::Serializer;
+
+/// Fastest-of-N repetitions, to strip scheduler noise from the ratios.
+const REPEATS: usize = 3;
+/// Thread counts measured against the serial engine.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// One measured engine configuration (serial or a thread count).
+struct Sample {
+    threads: usize,
+    report: ExploreReport,
+}
+
+impl Sample {
+    fn states_per_sec(&self) -> f64 {
+        self.report.states as f64 / self.report.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Best-of-`REPEATS` serial run.
+fn measure_serial<T>(sys: &T, budget: &Budget) -> Sample
+where
+    T: TransitionSystem + Sync,
+    T::State: Send,
+{
+    let report = (0..REPEATS)
+        .map(|_| explore_plain(sys, budget))
+        .min_by_key(|r| r.elapsed)
+        .expect("at least one repeat");
+    Sample { threads: 1, report }
+}
+
+/// Best-of-`REPEATS` parallel run at `threads` workers.
+fn measure_parallel<T>(sys: &T, budget: &Budget, threads: usize) -> Sample
+where
+    T: TransitionSystem + Sync,
+    T::State: Send,
+{
+    let cfg = ParallelConfig::threads(threads);
+    let report = (0..REPEATS)
+        .map(|_| explore_parallel(sys, budget, |_| None, false, &cfg).explore_report())
+        .min_by_key(|r| r.elapsed)
+        .expect("at least one repeat");
+    Sample { threads, report }
+}
+
+/// Bytes per state of the retired `HashMap<Vec<u8>, u32>` visited set,
+/// from its layout: the encoded key on its own heap allocation, a
+/// 24-byte `Vec` header plus the 4-byte index (padded to 32 bytes per
+/// bucket), and the table's power-of-two slack (~1.5x buckets per entry
+/// at the default 87% max load) with one control byte per bucket.
+fn hashmap_bytes_per_state_estimate(encoded_len: usize) -> f64 {
+    encoded_len as f64 + 1.5 * 33.0
+}
+
+struct Workload {
+    name: &'static str,
+    description: &'static str,
+    serial: Sample,
+    parallel: Vec<Sample>,
+    encoded_len: usize,
+}
+
+fn run_workload<T>(name: &'static str, description: &'static str, sys: &T) -> Workload
+where
+    T: TransitionSystem + Sync,
+    T::State: Send,
+{
+    let budget = Budget::states(3_000_000);
+    let serial = measure_serial(sys, &budget);
+    assert!(
+        serial.report.outcome.is_complete(),
+        "{name}: workload must fit the budget, got {:?}",
+        serial.report.outcome
+    );
+    let parallel: Vec<Sample> =
+        THREADS.iter().map(|&t| measure_parallel(sys, &budget, t)).collect();
+    for p in &parallel {
+        assert_eq!(p.report.states, serial.report.states, "{name}: parallel states diverged");
+        assert_eq!(
+            p.report.transitions, serial.report.transitions,
+            "{name}: parallel transitions diverged"
+        );
+    }
+    let mut enc = Vec::new();
+    sys.encode(&sys.initial(), &mut enc);
+    eprintln!(
+        "{name}: {} states; serial {:.0}/s; {}",
+        serial.report.states,
+        serial.states_per_sec(),
+        parallel
+            .iter()
+            .map(|p| format!(
+                "{}t {:.0}/s ({:.2}x)",
+                p.threads,
+                p.states_per_sec(),
+                p.states_per_sec() / serial.states_per_sec()
+            ))
+            .collect::<Vec<_>>()
+            .join("; ")
+    );
+    Workload { name, description, serial, parallel, encoded_len: enc.len() }
+}
+
+fn out_path() -> String {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--out") {
+        Some(i) => args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--out requires a file argument");
+            std::process::exit(2);
+        }),
+        None => "BENCH_mc.json".to_string(),
+    }
+}
+
+fn main() {
+    let out = out_path();
+    let host = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+
+    // The headline space: async migratory at n=3, widened (data domain 4,
+    // home buffer 3) so it is large enough to time. The n=4 row keeps the
+    // Table 3 checking configuration, and async invalidate n=3 is the
+    // largest space that completes, dominating visited-set pressure.
+    let mig_wide = migratory_refined(&MigratoryOptions::checking_with_data(4));
+    let mig_n3 = AsyncSystem::new(&mig_wide, 3, AsyncConfig::with_home_buffer(3));
+    let mig_std = migratory_refined(&MigratoryOptions::checking_with_data(configs::DATA_DOMAIN));
+    let mig_n4 = AsyncSystem::new(&mig_std, 4, AsyncConfig::default());
+    let inv = invalidate_refined(&InvalidateOptions { data_domain: Some(configs::DATA_DOMAIN) });
+    let inv_n3 = AsyncSystem::new(&inv, 3, AsyncConfig::default());
+
+    let workloads = [
+        run_workload(
+            "migratory_async_n3",
+            "async migratory, n=3, data domain 4, home buffer k=3",
+            &mig_n3,
+        ),
+        run_workload(
+            "migratory_async_n4",
+            "async migratory, n=4, Table 3 checking configuration",
+            &mig_n4,
+        ),
+        run_workload(
+            "invalidate_async_n3",
+            "async invalidate, n=3, Table 3 checking configuration",
+            &inv_n3,
+        ),
+    ];
+
+    let mut s = Serializer::new();
+    {
+        let mut m = s.begin_map();
+        m.entry("bench", "mc_perf");
+        m.entry("host_parallelism", &host);
+        if host == 1 {
+            m.entry(
+                "note",
+                "single-core host: no parallel speedup is physically possible; \
+                 the speedup columns measure engine overhead, not scaling",
+            );
+        }
+        m.entry("repeats_best_of", &REPEATS);
+        m.entry_with("workloads", |ser| {
+            let mut seq = ser.begin_seq();
+            for w in &workloads {
+                seq.elem_with(|ser| {
+                    let mut row = ser.begin_map();
+                    row.entry("name", w.name);
+                    row.entry("description", w.description);
+                    row.entry("states", &w.serial.report.states);
+                    row.entry("transitions", &w.serial.report.transitions);
+                    row.entry("encoded_len_bytes", &w.encoded_len);
+                    row.entry_with("serial", |ser| {
+                        let mut e = ser.begin_map();
+                        e.entry("secs", &w.serial.report.elapsed.as_secs_f64());
+                        e.entry("states_per_sec", &w.serial.states_per_sec());
+                        e.end();
+                    });
+                    row.entry_with("parallel", |ser| {
+                        let mut ps = ser.begin_seq();
+                        for p in &w.parallel {
+                            ps.elem_with(|ser| {
+                                let mut e = ser.begin_map();
+                                e.entry("threads", &p.threads);
+                                e.entry("secs", &p.report.elapsed.as_secs_f64());
+                                e.entry("states_per_sec", &p.states_per_sec());
+                                e.entry(
+                                    "speedup",
+                                    &(p.states_per_sec() / w.serial.states_per_sec()),
+                                );
+                                e.end();
+                            });
+                        }
+                        ps.end();
+                    });
+                    row.entry_with("store", |ser| {
+                        let mut e = ser.begin_map();
+                        e.entry(
+                            "arena_bytes_per_state",
+                            &(w.serial.report.store_bytes as f64 / w.serial.report.states as f64),
+                        );
+                        e.entry(
+                            "hashmap_bytes_per_state_estimate",
+                            &hashmap_bytes_per_state_estimate(w.encoded_len),
+                        );
+                        e.end();
+                    });
+                    row.end();
+                });
+            }
+            seq.end();
+        });
+        let headline = &workloads[0];
+        let four = headline
+            .parallel
+            .iter()
+            .find(|p| p.threads == 4)
+            .expect("4-thread sample")
+            .states_per_sec()
+            / headline.serial.states_per_sec();
+        m.entry("acceptance_speedup_4t_migratory_async_n3", &four);
+        m.end();
+    }
+    let json = s.into_string();
+    std::fs::write(&out, format!("{json}\n")).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(2);
+    });
+    println!("wrote {out}");
+}

@@ -17,6 +17,7 @@
 //! Pass `--seed <N>` to shift every workload and scheduler seed by `N`
 //! (default 0, reproducing the canonical run).
 
+use ccr_bench::cli::{seed_from_args, sink_from_args};
 use ccr_bench::configs;
 use ccr_core::refine::{refine, RefineOptions, RefinedProtocol, ReqRepMode};
 use ccr_dsm::machine::{Machine, MachineConfig};
@@ -24,7 +25,7 @@ use ccr_dsm::workload::Migrating;
 use ccr_protocols::hand::{hand_async_config, migratory_hand};
 use ccr_protocols::migratory::{migratory, MigratoryOptions};
 use ccr_runtime::sched::RandomSched;
-use ccr_trace::{JsonlSink, NullSink, TraceSink};
+use ccr_trace::TraceSink;
 
 fn run(
     refined: &RefinedProtocol,
@@ -43,37 +44,6 @@ fn run(
     let mut sched = RandomSched::new(2000 + n as u64 + seed);
     let report = machine.run_observed(variant, &mut wl, &mut sched, sink).expect("machine run");
     println!("{}", report.summary());
-}
-
-/// `--trace <file>` from the command line, as a boxed sink (`NullSink`
-/// when absent).
-fn sink_from_args() -> Box<dyn TraceSink> {
-    let args: Vec<String> = std::env::args().collect();
-    match args.iter().position(|a| a == "--trace") {
-        Some(i) => {
-            let path = args.get(i + 1).unwrap_or_else(|| {
-                eprintln!("--trace requires a file argument");
-                std::process::exit(2);
-            });
-            Box::new(JsonlSink::create(path).unwrap_or_else(|e| {
-                eprintln!("cannot create {path}: {e}");
-                std::process::exit(2);
-            }))
-        }
-        None => Box::new(NullSink),
-    }
-}
-
-/// `--seed <N>` from the command line (0 when absent: the canonical run).
-fn seed_from_args() -> u64 {
-    let args: Vec<String> = std::env::args().collect();
-    match args.iter().position(|a| a == "--seed") {
-        Some(i) => args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
-            eprintln!("--seed requires an integer argument");
-            std::process::exit(2);
-        }),
-        None => 0,
-    }
 }
 
 fn main() {

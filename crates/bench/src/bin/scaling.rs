@@ -3,17 +3,25 @@
 //! protocol can be model checked for only two nodes using 64MB".
 //!
 //! Run: `cargo run --release -p ccr-bench --bin scaling`
+//!
+//! Pass `--threads N` to route the reachability runs through the sharded
+//! parallel engine (identical counts, wall-clock drops on large spaces).
 
+use ccr_bench::cli::{explore_threaded, threads_from_args};
 use ccr_bench::configs;
-use ccr_mc::search::{explore_plain, Budget};
+use ccr_mc::search::Budget;
 use ccr_protocols::migratory::{migratory, migratory_refined, MigratoryOptions};
 use ccr_runtime::asynch::{AsyncConfig, AsyncSystem};
 use ccr_runtime::rendezvous::RendezvousSystem;
 use std::time::Duration;
 
 fn main() {
+    let threads = threads_from_args();
     let opts = MigratoryOptions::checking_with_data(configs::DATA_DOMAIN);
     let spec = migratory(&opts);
+    if threads > 1 {
+        println!("(parallel engine, {threads} threads)");
+    }
     println!("Rendezvous migratory scaling (budget 32 MB, as in the paper):");
     println!(
         "| {:>3} | {:>10} | {:>12} | {:>10} | {:>9} |",
@@ -27,7 +35,7 @@ fn main() {
     };
     for n in configs::SCALING_NS {
         let sys = RendezvousSystem::new(&spec, n);
-        let r = explore_plain(&sys, &budget);
+        let r = explore_threaded(&sys, &budget, threads);
         println!(
             "| {:>3} | {:>10} | {:>12} | {:>10} | {:>9.3} |{}",
             n,
@@ -46,7 +54,7 @@ fn main() {
     let refined = migratory_refined(&opts);
     for n in [2u32, 3, 4, 5] {
         let sys = AsyncSystem::new(&refined, n, AsyncConfig::default());
-        let r = explore_plain(&sys, &budget);
+        let r = explore_threaded(&sys, &budget, threads);
         println!(
             "| {:>3} | {:>10} | {:>10} | {:>9.3} | {} |",
             n,

@@ -3,26 +3,33 @@
 //! the migratory and invalidate protocols, under a fixed memory budget.
 //!
 //! Run: `cargo run --release -p ccr-bench --bin table3`
+//!
+//! Pass `--threads N` to route the reachability runs through the sharded
+//! parallel engine (identical counts, wall-clock drops on large spaces).
 
+use ccr_bench::cli::{explore_threaded, threads_from_args};
 use ccr_bench::configs;
 use ccr_core::refine::RefinedProtocol;
-use ccr_mc::search::explore_plain;
 use ccr_protocols::invalidate::{invalidate_refined, InvalidateOptions};
 use ccr_protocols::migratory::{migratory_refined, MigratoryOptions};
 use ccr_runtime::asynch::{AsyncConfig, AsyncSystem};
 use ccr_runtime::rendezvous::RendezvousSystem;
 
-fn row(refined: &RefinedProtocol, protocol: &str, n: u32) -> (String, String) {
+fn row(refined: &RefinedProtocol, protocol: &str, n: u32, threads: usize) -> (String, String) {
     let budget = configs::table3_budget();
     let asys = AsyncSystem::new(refined, n, AsyncConfig::default());
-    let a = explore_plain(&asys, &budget);
+    let a = explore_threaded(&asys, &budget, threads);
     let rsys = RendezvousSystem::new(&refined.spec, n);
-    let r = explore_plain(&rsys, &budget);
+    let r = explore_threaded(&rsys, &budget, threads);
     let _ = protocol;
     (a.table_cell(), r.table_cell())
 }
 
 fn main() {
+    let threads = threads_from_args();
+    if threads > 1 {
+        println!("(parallel engine, {threads} threads)");
+    }
     println!("Table 3 reproduction — states visited / seconds for reachability");
     println!(
         "analysis (budget: {} states, {} MB, {:?}; 'Unfinished' = budget hit)",
@@ -39,12 +46,12 @@ fn main() {
 
     let mig = migratory_refined(&MigratoryOptions::checking_with_data(configs::DATA_DOMAIN));
     for n in configs::MIGRATORY_NS {
-        let (a, r) = row(&mig, "Migratory", n);
+        let (a, r) = row(&mig, "Migratory", n, threads);
         println!("| {:<10} | {:>2} | {:>22} | {:>22} |", "Migratory", n, a, r);
     }
     let inv = invalidate_refined(&InvalidateOptions { data_domain: Some(configs::DATA_DOMAIN) });
     for n in configs::INVALIDATE_NS {
-        let (a, r) = row(&inv, "Invalidate", n);
+        let (a, r) = row(&inv, "Invalidate", n, threads);
         println!("| {:<10} | {:>2} | {:>22} | {:>22} |", "Invalidate", n, a, r);
     }
     println!();

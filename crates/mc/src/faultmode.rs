@@ -14,6 +14,8 @@
 //!   because once the budget is spent and the lost frames are
 //!   retransmitted the network has quiesced.
 
+use crate::parallel::{explore_parallel_traced_observed, ParallelConfig};
+use crate::progress::check_progress_parallel_observed;
 use crate::report::{Outcome, ProgressReport};
 use crate::search::{Budget, SearchObserver};
 use crate::trace::{explore_traced_observed, TracedReport};
@@ -55,6 +57,37 @@ pub fn check_fault_closure_observed(
     let explore = explore_traced_observed(&closure, budget, |fs| invariant(&fs.base), true, obs);
     let progress =
         crate::progress::check_progress_observed(&closure, budget, |l| l.completes.is_some(), obs);
+    FaultClosureReport { budget_faults: faults, explore, progress }
+}
+
+/// [`check_fault_closure_observed`] on the multi-threaded engine: both
+/// the safety exploration and the progress check run with `cfg.threads`
+/// workers. On a complete run the reported counts match the serial
+/// checker at any thread count; see [`crate::parallel`] for the exact
+/// determinism guarantees on violating runs.
+pub fn check_fault_closure_parallel_observed<F>(
+    sys: &AsyncSystem<'_>,
+    faults: u32,
+    budget: &Budget,
+    invariant: F,
+    cfg: &ParallelConfig,
+    obs: &mut SearchObserver<'_>,
+) -> FaultClosureReport
+where
+    F: Fn(&AsyncState) -> Option<String> + Sync,
+{
+    let closure = FaultClosure::new(sys.clone(), faults);
+    let explore = explore_parallel_traced_observed(
+        &closure,
+        budget,
+        |fs: &ccr_runtime::FaultState| invariant(&fs.base),
+        true,
+        cfg,
+        obs,
+    )
+    .traced_report();
+    let progress =
+        check_progress_parallel_observed(&closure, budget, |l| l.completes.is_some(), cfg, obs);
     FaultClosureReport { budget_faults: faults, explore, progress }
 }
 
@@ -117,6 +150,38 @@ mod tests {
         // A budget of 2 strictly grows the state space over budget 0.
         let base = check_fault_closure(&sys, 0, &Budget::states(2_000_000), |_| None);
         assert!(report.explore.states > base.explore.states);
+    }
+
+    #[test]
+    fn parallel_closure_matches_serial() {
+        let spec = token_spec();
+        let refined = refine(&spec, &RefineOptions::default()).unwrap();
+        let sys = AsyncSystem::new(&refined, 2, AsyncConfig::default());
+        let serial = check_fault_closure(&sys, 1, &Budget::states(2_000_000), |_| None);
+        assert!(serial.holds());
+        for threads in [2usize, 4] {
+            let mut null = ccr_trace::NullSink;
+            let mut obs = SearchObserver::new(&mut null, 0);
+            let par = check_fault_closure_parallel_observed(
+                &sys,
+                1,
+                &Budget::states(2_000_000),
+                |_| None,
+                &ParallelConfig::threads(threads),
+                &mut obs,
+            );
+            assert!(par.holds(), "t={threads}");
+            assert_eq!(par.explore.states, serial.explore.states, "t={threads}");
+            assert_eq!(par.progress.states, serial.progress.states, "t={threads}");
+            assert_eq!(
+                par.progress.livelocked_states, serial.progress.livelocked_states,
+                "t={threads}"
+            );
+            assert_eq!(
+                par.progress.deadlocked_states, serial.progress.deadlocked_states,
+                "t={threads}"
+            );
+        }
     }
 
     #[test]

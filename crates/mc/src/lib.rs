@@ -16,12 +16,17 @@
 //!   stutter or to a rendezvous transition;
 //! * [`progress::check_progress`] — livelock detection: from every
 //!   reachable state some rendezvous completion must remain reachable (the
-//!   §2.5 forward-progress criterion for "at least one remote").
+//!   §2.5 forward-progress criterion for "at least one remote");
+//! * [`parallel::explore_parallel`] — the multi-threaded engine: hash-
+//!   sharded visited set behind lock stripes, level-synchronized BFS with
+//!   batched cross-worker exchange, observationally equivalent to the
+//!   serial search (same states/transitions/outcome at any thread count).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod faultmode;
+pub mod parallel;
 pub mod progress;
 pub mod props;
 pub mod report;
@@ -30,7 +35,18 @@ pub mod simrel;
 pub mod store;
 pub mod trace;
 
-pub use faultmode::{check_fault_closure, check_fault_closure_observed, FaultClosureReport};
+pub use faultmode::{
+    check_fault_closure, check_fault_closure_observed, check_fault_closure_parallel_observed,
+    FaultClosureReport,
+};
+pub use parallel::{
+    explore_parallel, explore_parallel_observed, explore_parallel_traced_observed, ParallelConfig,
+    ParallelReport,
+};
+pub use progress::{
+    check_progress, check_progress_default, check_progress_observed, check_progress_parallel,
+    check_progress_parallel_observed,
+};
 pub use report::{ExploreReport, Outcome, ProgressReport, SimRelReport};
 pub use search::{explore, explore_dfs, explore_observed, Budget, SearchObserver};
 pub use trace::{

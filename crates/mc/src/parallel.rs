@@ -1,0 +1,1142 @@
+//! Parallel sharded state-space exploration.
+//!
+//! [`explore_parallel`] partitions encoded states by hash across `S`
+//! shards, each a lock stripe owning its slice of the visited set (the
+//! arena-backed [`StateStore`]) plus its own frontier queue. `T` worker
+//! threads (spawned with `std::thread::scope` — no detached threads, no
+//! unsafe) each own the shards `s` with `s % T == w` and exchange
+//! cross-shard successors through batched queues (the vendored
+//! `crossbeam::queue::SegQueue`). Each worker locks its own stripes once
+//! for the whole run — stripes are strictly owner-accessed while workers
+//! are live — so the hot path is plain `&mut` access, with shared
+//! atomics touched once per batch, not per state.
+//!
+//! # Determinism
+//!
+//! The search is **level-synchronized**: all states at BFS depth `d` are
+//! expanded before any state at depth `d + 1`, with a barrier (and a
+//! drain of every in-flight batch) between levels. Because a complete
+//! exploration visits the same reachable set in any order, `states`,
+//! `transitions` and the outcome are *byte-identical across thread
+//! counts*:
+//!
+//! * **Complete** runs report exactly the counts of the serial
+//!   [`crate::search::explore`].
+//! * **Violating** runs (invariant violation, deadlock, runtime failure)
+//!   finish the level in which the first violation surfaced, then report
+//!   the violation at minimal `(depth, encoded-state, kind)` order — a
+//!   deterministic choice whatever the thread interleaving. The counts
+//!   cover every fully expanded level and are therefore identical across
+//!   thread counts, though they can exceed the serial engine's
+//!   early-exit counts (the serial BFS stops mid-level).
+//! * **Unfinished** runs stop at the end of the level during which the
+//!   state or byte budget was crossed (deterministic; overshoot is
+//!   bounded by one level). Only the wall-clock budget (and a 2× state
+//!   safety valve) aborts mid-level, which is inherently
+//!   timing-dependent — exactly as in the serial engine.
+//!
+//! With [`ParallelConfig::track_trails`] the engine keeps one parent
+//! pointer and label per state; a violating run then carries a shortest
+//! (minimal-depth) counterexample trail that replays under
+//! [`crate::trace::replay_trail`].
+//!
+//! # Hash compaction
+//!
+//! [`ParallelConfig::compact_hash`] switches every shard store to 8-byte
+//! hash compaction: distinct states whose 64-bit hashes collide are
+//! conflated, making the run probabilistic (flagged in the report), in
+//! exchange for a much smaller visited set — the escape hatch for spaces
+//! that exceed the byte budget. See `docs/parallel_checking.md`.
+
+use crate::report::{ExploreReport, Outcome};
+use crate::search::{Budget, SearchObserver};
+use crate::store::{hash_encoded, StateStore};
+use ccr_core::ids::ProcessId;
+use ccr_runtime::{Label, LabelKind, TransitionSystem};
+use ccr_trace::NullSink;
+use crossbeam::queue::SegQueue;
+use serde::Serialize;
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering::Relaxed, Ordering::SeqCst};
+use std::sync::{Barrier, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`explore_parallel`] and the parallel progress check.
+#[derive(Debug, Clone)]
+pub struct ParallelConfig {
+    /// Worker threads (≥ 1). 1 runs the same sharded algorithm on a
+    /// single worker, which is useful for equivalence testing.
+    pub threads: usize,
+    /// Shard count (rounded up to a power of two ≥ `threads`). More
+    /// shards mean finer lock striping and better balance; 64 is plenty
+    /// up to 16 threads.
+    pub shards: usize,
+    /// Store only 64-bit state hashes (probabilistic, ~12 bytes/state).
+    pub compact_hash: bool,
+    /// Keep a parent pointer + label per state so violating runs carry a
+    /// replayable counterexample trail. Costs one `Label` per stored
+    /// state.
+    pub track_trails: bool,
+    /// Cross-worker successor batch size.
+    pub batch: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        Self { threads: 1, shards: 64, compact_hash: false, track_trails: false, batch: 256 }
+    }
+}
+
+impl ParallelConfig {
+    /// A config with `threads` workers and default everything else.
+    pub fn threads(threads: usize) -> Self {
+        Self { threads: threads.max(1), ..Self::default() }
+    }
+
+    /// Enables counterexample trails.
+    pub fn with_trails(mut self) -> Self {
+        self.track_trails = true;
+        self
+    }
+
+    /// Enables 8-byte hash compaction (probabilistic).
+    pub fn with_compaction(mut self) -> Self {
+        self.compact_hash = true;
+        self
+    }
+
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shards.max(self.threads).max(1).next_power_of_two()
+    }
+}
+
+/// Result of a parallel exploration: the [`ExploreReport`] fields plus
+/// the parallel run's own metadata and optional counterexample trail.
+#[derive(Debug, Clone, Serialize)]
+pub struct ParallelReport {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Transitions traversed (successors generated from expanded states).
+    pub transitions: usize,
+    /// Wall time of the search.
+    pub elapsed: Duration,
+    /// Bytes across all shard stores.
+    pub store_bytes: usize,
+    /// Largest BFS level (the level-synchronized frontier high-water
+    /// mark).
+    pub peak_frontier: usize,
+    /// How the run ended.
+    pub outcome: Outcome,
+    /// BFS levels fully expanded.
+    pub depth: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Shard (lock stripe) count.
+    pub shards: usize,
+    /// True when hash compaction was on: `states` counts hash-distinct
+    /// states and a `Complete` outcome is probabilistic.
+    pub probabilistic: bool,
+    /// Shortest trail to the violation, when one was found and
+    /// [`ParallelConfig::track_trails`] was set. Replays under
+    /// [`crate::trace::replay_trail`].
+    pub trail: Option<Vec<Label>>,
+}
+
+impl ParallelReport {
+    /// The serial-shaped view of this report.
+    pub fn explore_report(&self) -> ExploreReport {
+        ExploreReport {
+            states: self.states,
+            transitions: self.transitions,
+            elapsed: self.elapsed,
+            store_bytes: self.store_bytes,
+            peak_frontier: self.peak_frontier,
+            outcome: self.outcome.clone(),
+            probabilistic: self.probabilistic,
+        }
+    }
+
+    /// The trail-carrying serial-shaped view of this report, for callers
+    /// that handle serial and parallel runs uniformly.
+    pub fn traced_report(&self) -> crate::trace::TracedReport {
+        crate::trace::TracedReport {
+            states: self.states,
+            outcome: self.outcome.clone(),
+            trail: self.trail.clone(),
+        }
+    }
+
+    /// Formats the trail as SPIN-like numbered lines (`actor rule`), or a
+    /// note that none exists.
+    pub fn trail_text(&self) -> String {
+        match &self.trail {
+            None => "(no counterexample)".to_string(),
+            Some(labels) => labels
+                .iter()
+                .enumerate()
+                .map(|(i, l)| {
+                    let completes =
+                        l.completes.map(|(a, m)| format!(" completes {a}:{m}")).unwrap_or_default();
+                    format!("{:>4}: {} [{}]{}", i + 1, l.actor, l.rule, completes)
+                })
+                .collect::<Vec<_>>()
+                .join("\n"),
+        }
+    }
+}
+
+/// Packed state reference: shard in the high 32 bits, dense in-shard
+/// index in the low 32.
+pub(crate) fn pack(shard: usize, idx: u32) -> u64 {
+    ((shard as u64) << 32) | u64::from(idx)
+}
+
+pub(crate) fn unpack(r: u64) -> (usize, u32) {
+    ((r >> 32) as usize, r as u32)
+}
+
+/// Sentinel parent reference of the initial state.
+pub(crate) const ROOT: u64 = u64::MAX;
+
+pub(crate) const FLAG_HAS_SUCC: u8 = 1;
+pub(crate) const FLAG_PROGRESS: u8 = 2;
+pub(crate) const FLAG_EXPANDED: u8 = 4;
+
+/// Per-shard data behind one lock stripe.
+pub(crate) struct ShardData<St> {
+    pub(crate) store: StateStore,
+    /// Dense index → BFS depth.
+    pub(crate) depth: Vec<u32>,
+    /// Dense index → parent reference (trails mode).
+    pub(crate) parents: Vec<u64>,
+    /// Dense index → incoming label (trails mode).
+    pub(crate) labels: Vec<Label>,
+    /// Dense index → `FLAG_*` bits (progress mode).
+    pub(crate) flags: Vec<u8>,
+    /// Frontier: states at the level being expanded.
+    cur: Vec<(St, u32)>,
+    /// Frontier: states discovered for the next level.
+    next: Vec<(St, u32)>,
+}
+
+impl<St> ShardData<St> {
+    fn new(compact: bool) -> Self {
+        Self {
+            store: if compact { StateStore::compact() } else { StateStore::new() },
+            depth: Vec::new(),
+            parents: Vec::new(),
+            labels: Vec::new(),
+            flags: Vec::new(),
+            cur: Vec::new(),
+            next: Vec::new(),
+        }
+    }
+}
+
+/// One cross-shard successor candidate. The encoded bytes live in the
+/// carrying [`Batch`]'s arena (`enc_start..enc_end`) so the receiver
+/// never re-encodes.
+struct Item<St> {
+    hash: u64,
+    depth: u32,
+    src: u64,
+    label: Option<Label>,
+    state: St,
+    enc_start: u32,
+    enc_end: u32,
+}
+
+/// A batch of cross-shard candidates plus one shared byte arena for
+/// their encodings: two allocations per `batch` states, not two per
+/// state.
+struct Batch<St> {
+    items: Vec<Item<St>>,
+    bytes: Vec<u8>,
+}
+
+impl<St> Batch<St> {
+    fn with_capacity(n: usize) -> Self {
+        Self { items: Vec::with_capacity(n), bytes: Vec::new() }
+    }
+}
+
+/// Per-worker counters on their own cache line, written only by the
+/// owning worker (batched, relaxed) and summed by readers (the
+/// per-level decision, heartbeats, the final report) — no line all
+/// workers fight over.
+#[repr(align(64))]
+#[derive(Default)]
+struct Counters {
+    states: AtomicUsize,
+    transitions: AtomicUsize,
+    /// States discovered for the level being built (reset by `decide`).
+    next: AtomicUsize,
+    /// Monotone: states ever enqueued on a frontier.
+    frontier_in: AtomicUsize,
+    /// Monotone: frontier states expanded.
+    frontier_out: AtomicUsize,
+    bytes: AtomicUsize,
+}
+
+/// Worker-private tallies, flushed into the shared [`Counters`] cell at
+/// batch granularity (every drained batch, every 1024 expansions, and at
+/// each level boundary) so the per-item hot path touches no shared
+/// memory at all. The level decision runs after a barrier, which orders
+/// every flush before every read.
+#[derive(Default)]
+struct LocalCounts {
+    states: usize,
+    transitions: usize,
+    next: usize,
+    frontier_in: usize,
+    frontier_out: usize,
+    bytes: usize,
+}
+
+/// A violation observed during the sweep; the engine finishes the level,
+/// then the minimal one (by `(depth, encoded state, kind)`) wins.
+struct Violation {
+    depth: u32,
+    enc: Vec<u8>,
+    rank: u8,
+    outcome: Outcome,
+    /// Reference of the state the trail should lead to.
+    state_ref: u64,
+}
+
+const DECIDE_CONTINUE: u8 = 0;
+const DECIDE_STOP: u8 = 1;
+
+/// Everything the workers share by reference.
+pub(crate) struct Engine<'e, T: TransitionSystem, F, G> {
+    sys: &'e T,
+    budget: &'e Budget,
+    invariant: &'e F,
+    is_progress: Option<&'e G>,
+    check_deadlock: bool,
+    cfg: &'e ParallelConfig,
+    n_shards: usize,
+    pub(crate) stripes: Vec<Mutex<ShardData<T::State>>>,
+    inboxes: Vec<SegQueue<Batch<T::State>>>,
+    pub(crate) started: Instant,
+    // Level-synchronization state.
+    barrier: Barrier,
+    done_expanding: AtomicUsize,
+    in_flight: AtomicUsize,
+    counters: Vec<Counters>,
+    pub(crate) peak_frontier: AtomicUsize,
+    pub(crate) level: AtomicUsize,
+    decision: AtomicU8,
+    stop_mid_level: AtomicBool,
+    finished: AtomicBool,
+    violations: Mutex<Vec<Violation>>,
+    pub(crate) budget_hit: AtomicBool,
+}
+
+impl<'e, T, F, G> Engine<'e, T, F, G>
+where
+    T: TransitionSystem + Sync,
+    T::State: Send,
+    F: Fn(&T::State) -> Option<String> + Sync,
+    G: Fn(&Label) -> bool + Sync,
+{
+    pub(crate) fn new(
+        sys: &'e T,
+        budget: &'e Budget,
+        invariant: &'e F,
+        is_progress: Option<&'e G>,
+        check_deadlock: bool,
+        cfg: &'e ParallelConfig,
+    ) -> Self {
+        let n_shards = cfg.shard_count();
+        let threads = cfg.threads.max(1);
+        Self {
+            sys,
+            budget,
+            invariant,
+            is_progress,
+            check_deadlock,
+            cfg,
+            n_shards,
+            stripes: (0..n_shards).map(|_| Mutex::new(ShardData::new(cfg.compact_hash))).collect(),
+            inboxes: (0..threads).map(|_| SegQueue::new()).collect(),
+            started: Instant::now(),
+            barrier: Barrier::new(threads),
+            done_expanding: AtomicUsize::new(0),
+            in_flight: AtomicUsize::new(0),
+            counters: (0..threads).map(|_| Counters::default()).collect(),
+            peak_frontier: AtomicUsize::new(0),
+            level: AtomicUsize::new(0),
+            decision: AtomicU8::new(DECIDE_CONTINUE),
+            stop_mid_level: AtomicBool::new(false),
+            finished: AtomicBool::new(false),
+            violations: Mutex::new(Vec::new()),
+            budget_hit: AtomicBool::new(false),
+        }
+    }
+
+    fn shard_of(&self, hash: u64) -> usize {
+        ((hash >> 48) as usize) & (self.n_shards - 1)
+    }
+
+    fn owner_of(&self, shard: usize) -> usize {
+        shard % self.cfg.threads.max(1)
+    }
+
+    fn track_trails(&self) -> bool {
+        self.cfg.track_trails || self.is_progress.is_some()
+    }
+
+    pub(crate) fn states_total(&self) -> usize {
+        self.counters.iter().map(|c| c.states.load(Relaxed)).sum()
+    }
+
+    pub(crate) fn transitions_total(&self) -> usize {
+        self.counters.iter().map(|c| c.transitions.load(Relaxed)).sum()
+    }
+
+    fn bytes_total(&self) -> usize {
+        self.counters.iter().map(|c| c.bytes.load(Relaxed)).sum()
+    }
+
+    fn frontier_len(&self) -> usize {
+        let inn: usize = self.counters.iter().map(|c| c.frontier_in.load(Relaxed)).sum();
+        let out: usize = self.counters.iter().map(|c| c.frontier_out.load(Relaxed)).sum();
+        inn.saturating_sub(out)
+    }
+
+    fn record_violation(&self, v: Violation) {
+        self.violations.lock().expect("violations").push(v);
+    }
+
+    /// Inserts a candidate into `sh`, its (already locked) shard stripe.
+    /// The invariant runs on newly inserted states; violations are
+    /// recorded and the level is finished, never expanded past.
+    #[allow(clippy::too_many_arguments)]
+    fn insert(
+        &self,
+        sh: &mut ShardData<T::State>,
+        shard: usize,
+        hash: u64,
+        enc: &[u8],
+        state: T::State,
+        depth: u32,
+        src: u64,
+        label: Option<Label>,
+        edges: &mut Vec<(u64, u64)>,
+        local: &mut LocalCounts,
+    ) {
+        let before = sh.store.approx_bytes();
+        let (idx, is_new) = sh.store.insert_hashed(hash, enc);
+        let dst_ref = pack(shard, idx);
+        if is_new {
+            sh.depth.push(depth);
+            if self.track_trails() {
+                sh.parents.push(src);
+                sh.labels.push(
+                    label.unwrap_or_else(|| Label::new(ProcessId::Home, LabelKind::Tau, "?")),
+                );
+            }
+            if self.is_progress.is_some() {
+                sh.flags.push(0);
+            }
+            local.bytes += sh.store.approx_bytes() - before;
+            local.states += 1;
+            local.next += 1;
+            local.frontier_in += 1;
+            if let Some(desc) = (self.invariant)(&state) {
+                self.record_violation(Violation {
+                    depth,
+                    enc: enc.to_vec(),
+                    rank: 0,
+                    outcome: Outcome::InvariantViolated(desc),
+                    state_ref: dst_ref,
+                });
+            }
+            sh.next.push((state, idx));
+        }
+        if self.is_progress.is_some() {
+            edges.push((dst_ref, src));
+        }
+    }
+
+    /// Drains one batch from `w`'s inbox, if any. `guards` are the
+    /// worker's held stripes (position `s / threads` for shard `s`).
+    /// Returns whether a batch was processed.
+    fn drain_one(
+        &self,
+        w: usize,
+        guards: &mut [MutexGuard<'_, ShardData<T::State>>],
+        edges: &mut Vec<(u64, u64)>,
+        local: &mut LocalCounts,
+    ) -> bool {
+        let Some(batch) = self.inboxes[w].pop() else {
+            return false;
+        };
+        let threads = self.cfg.threads.max(1);
+        for item in batch.items {
+            let shard = self.shard_of(item.hash);
+            debug_assert_eq!(self.owner_of(shard), w);
+            let enc = &batch.bytes[item.enc_start as usize..item.enc_end as usize];
+            self.insert(
+                &mut guards[shard / threads],
+                shard,
+                item.hash,
+                enc,
+                item.state,
+                item.depth,
+                item.src,
+                item.label,
+                edges,
+                local,
+            );
+        }
+        self.in_flight.fetch_sub(1, SeqCst);
+        true
+    }
+
+    /// Publishes worker-private tallies into the worker's shared cell.
+    fn flush_counts(&self, w: usize, local: &mut LocalCounts) {
+        let c = &self.counters[w];
+        c.states.fetch_add(local.states, Relaxed);
+        c.transitions.fetch_add(local.transitions, Relaxed);
+        c.next.fetch_add(local.next, Relaxed);
+        c.frontier_in.fetch_add(local.frontier_in, Relaxed);
+        c.frontier_out.fetch_add(local.frontier_out, Relaxed);
+        c.bytes.fetch_add(local.bytes, Relaxed);
+        *local = LocalCounts::default();
+    }
+
+    fn flush(&self, dest: usize, outbox: &mut Batch<T::State>) {
+        if outbox.items.is_empty() {
+            return;
+        }
+        self.in_flight.fetch_add(1, SeqCst);
+        self.inboxes[dest].push(Batch {
+            items: std::mem::take(&mut outbox.items),
+            bytes: std::mem::take(&mut outbox.bytes),
+        });
+    }
+
+    /// Mid-level abort checks: wall clock, and a safety valve for levels
+    /// that blow far past the state budget.
+    fn check_mid_level_abort(&self) {
+        let timed_out = self.budget.max_time.map(|t| self.started.elapsed() >= t).unwrap_or(false);
+        let blown = self.states_total() >= self.budget.max_states.saturating_mul(2);
+        if timed_out || blown {
+            self.stop_mid_level.store(true, SeqCst);
+            self.budget_hit.store(true, SeqCst);
+        }
+    }
+
+    /// The worker body: expand, exchange, synchronize — once per level
+    /// until the leader decides to stop. Returns the worker's edge list
+    /// (progress mode; empty otherwise).
+    fn worker(&self, w: usize) -> Vec<(u64, u64)> {
+        let threads = self.cfg.threads.max(1);
+        let trails = self.track_trails();
+        let owned: Vec<usize> = (0..self.n_shards).filter(|s| self.owner_of(*s) == w).collect();
+        // Hold every owned stripe for the worker's whole lifetime.
+        // Stripes are strictly owner-accessed while workers are live
+        // (seeding happens before the scope, trail reconstruction and
+        // the progress sweep after it), so the locks exist to satisfy
+        // the type system, not to arbitrate — taking them once turns
+        // every insert into a plain `&mut` field access. Shard `s` sits
+        // at `guards[s / threads]` because `owned` ascends in steps of
+        // `threads` from `w`.
+        let mut guards: Vec<MutexGuard<'_, ShardData<T::State>>> =
+            owned.iter().map(|&s| self.stripes[s].lock().expect("stripe")).collect();
+        let mut local = LocalCounts::default();
+        let mut enc: Vec<u8> = Vec::new();
+        let mut succs: Vec<(Label, T::State)> = Vec::new();
+        let mut edges: Vec<(u64, u64)> = Vec::new();
+        let mut outboxes: Vec<Batch<T::State>> =
+            (0..threads).map(|_| Batch::with_capacity(self.cfg.batch)).collect();
+        let mut taken: Vec<(T::State, u32)> = Vec::new();
+
+        loop {
+            let depth = self.level.load(SeqCst) as u32;
+            // Expand phase: all owned shards' current level.
+            for (li, &s) in owned.iter().enumerate() {
+                std::mem::swap(&mut taken, &mut guards[li].cur);
+                let mut i = 0;
+                while i < taken.len() {
+                    if i & 0x3f == 0x3f {
+                        // Periodic duties off the per-item path: keep the
+                        // inbox short while other workers expand, check
+                        // the wall clock, publish counters.
+                        self.drain_one(w, &mut guards, &mut edges, &mut local);
+                        if i & 0x3ff == 0x3ff {
+                            self.flush_counts(w, &mut local);
+                            self.check_mid_level_abort();
+                        }
+                        if self.stop_mid_level.load(SeqCst) {
+                            // Wall-clock abort: put the unexpanded tail
+                            // back so progress mode never judges an
+                            // unexpanded state.
+                            let tail: Vec<_> = taken.drain(i..).collect();
+                            guards[li].cur.extend(tail);
+                            break;
+                        }
+                    }
+                    let (state, idx) = &taken[i];
+                    let src = pack(s, *idx);
+                    local.frontier_out += 1;
+                    if let Err(e) = self.sys.successors(state, &mut succs) {
+                        if self.is_progress.is_some() {
+                            // Judged like the serial checker: expanded,
+                            // no successors recorded.
+                            guards[li].flags[*idx as usize] |= FLAG_EXPANDED;
+                        }
+                        self.sys.encode(state, &mut enc);
+                        self.record_violation(Violation {
+                            depth,
+                            enc: enc.clone(),
+                            rank: 2,
+                            outcome: Outcome::RuntimeFailure(e),
+                            state_ref: src,
+                        });
+                        i += 1;
+                        continue;
+                    }
+                    local.transitions += succs.len();
+                    if self.is_progress.is_some() {
+                        let mut bits = FLAG_EXPANDED;
+                        if !succs.is_empty() {
+                            bits |= FLAG_HAS_SUCC;
+                        }
+                        if let Some(isp) = self.is_progress {
+                            if succs.iter().any(|(l, _)| isp(l)) {
+                                bits |= FLAG_PROGRESS;
+                            }
+                        }
+                        guards[li].flags[*idx as usize] |= bits;
+                    }
+                    if self.check_deadlock && succs.is_empty() {
+                        self.sys.encode(state, &mut enc);
+                        self.record_violation(Violation {
+                            depth,
+                            enc: enc.clone(),
+                            rank: 1,
+                            outcome: Outcome::Deadlock,
+                            state_ref: src,
+                        });
+                        i += 1;
+                        continue;
+                    }
+                    for (label, next) in succs.drain(..) {
+                        self.sys.encode(&next, &mut enc);
+                        let hash = hash_encoded(&enc);
+                        let shard = self.shard_of(hash);
+                        let dest = self.owner_of(shard);
+                        let label = trails.then_some(label);
+                        if dest == w {
+                            self.insert(
+                                &mut guards[shard / threads],
+                                shard,
+                                hash,
+                                &enc,
+                                next,
+                                depth + 1,
+                                src,
+                                label,
+                                &mut edges,
+                                &mut local,
+                            );
+                        } else {
+                            let out = &mut outboxes[dest];
+                            let enc_start = out.bytes.len() as u32;
+                            out.bytes.extend_from_slice(&enc);
+                            let enc_end = out.bytes.len() as u32;
+                            out.items.push(Item {
+                                hash,
+                                depth: depth + 1,
+                                src,
+                                label,
+                                state: next,
+                                enc_start,
+                                enc_end,
+                            });
+                            if out.items.len() >= self.cfg.batch {
+                                self.flush(dest, &mut outboxes[dest]);
+                            }
+                        }
+                    }
+                    i += 1;
+                }
+                taken.clear();
+            }
+            for (dest, out) in outboxes.iter_mut().enumerate() {
+                if dest != w {
+                    self.flush(dest, out);
+                }
+            }
+            self.done_expanding.fetch_add(1, SeqCst);
+            // Drain phase: insertions for the next level keep arriving
+            // until every worker has finished expanding and every batch
+            // sent this level has been consumed. (No batch is sent during
+            // draining, so the condition is stable once true.) Back off
+            // from yielding to sleeping so stragglers get the core on
+            // oversubscribed hosts instead of fighting our spin.
+            let mut idle = 0u32;
+            loop {
+                if self.drain_one(w, &mut guards, &mut edges, &mut local) {
+                    idle = 0;
+                    continue;
+                }
+                if self.done_expanding.load(SeqCst) == threads && self.in_flight.load(SeqCst) == 0 {
+                    break;
+                }
+                idle += 1;
+                if idle < 16 {
+                    std::hint::spin_loop();
+                } else if idle < 64 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            }
+            // Publish before the barrier: the leader's decision (and any
+            // reader after the barrier) then sees exact totals.
+            self.flush_counts(w, &mut local);
+            // Level boundary: one leader takes the global decision.
+            if self.barrier.wait().is_leader() {
+                self.decide();
+            }
+            self.barrier.wait();
+            if self.decision.load(SeqCst) == DECIDE_STOP {
+                return edges;
+            }
+            for g in guards.iter_mut() {
+                let sh = &mut **g;
+                debug_assert!(sh.cur.is_empty());
+                std::mem::swap(&mut sh.cur, &mut sh.next);
+            }
+        }
+    }
+
+    /// The per-level global decision, taken by the barrier leader while
+    /// every other worker is parked at the second barrier.
+    fn decide(&self) {
+        let next: usize = self.counters.iter().map(|c| c.next.swap(0, Relaxed)).sum();
+        self.peak_frontier.fetch_max(next, SeqCst);
+        self.done_expanding.store(0, SeqCst);
+        let states = self.states_total();
+        let bytes = self.bytes_total();
+        let has_violation = !self.violations.lock().expect("violations").is_empty();
+        let timed_out = self.budget.max_time.map(|t| self.started.elapsed() >= t).unwrap_or(false);
+        let over_budget = states >= self.budget.max_states || bytes >= self.budget.max_bytes;
+        let stop = if has_violation {
+            true
+        } else if over_budget || timed_out || self.stop_mid_level.load(SeqCst) {
+            self.budget_hit.store(true, SeqCst);
+            true
+        } else if next == 0 {
+            true
+        } else {
+            self.level.fetch_add(1, SeqCst);
+            false
+        };
+        self.decision.store(if stop { DECIDE_STOP } else { DECIDE_CONTINUE }, SeqCst);
+        if stop {
+            self.finished.store(true, SeqCst);
+        }
+    }
+
+    /// Seeds the initial state (mirroring the serial engine: the state is
+    /// stored before its invariant runs). Returns the violation outcome
+    /// when the invariant already fails there.
+    fn seed(&self) -> Option<Outcome> {
+        let init = self.sys.initial();
+        let mut enc = Vec::new();
+        self.sys.encode(&init, &mut enc);
+        let hash = hash_encoded(&enc);
+        let shard = self.shard_of(hash);
+        {
+            let mut sh = self.stripes[shard].lock().expect("stripe");
+            let (idx, is_new) = sh.store.insert_hashed(hash, &enc);
+            debug_assert!(is_new);
+            sh.depth.push(0);
+            if self.track_trails() {
+                sh.parents.push(ROOT);
+                sh.labels.push(Label::new(ProcessId::Home, LabelKind::Tau, "init"));
+            }
+            if self.is_progress.is_some() {
+                sh.flags.push(0);
+            }
+            let b = sh.store.approx_bytes();
+            sh.cur.push((init.clone(), idx));
+            self.counters[0].bytes.fetch_add(b, Relaxed);
+        }
+        self.counters[0].states.fetch_add(1, Relaxed);
+        self.counters[0].frontier_in.fetch_add(1, Relaxed);
+        self.peak_frontier.fetch_max(1, SeqCst);
+        (self.invariant)(&init).map(Outcome::InvariantViolated)
+    }
+
+    /// Picks the winning violation: minimal `(depth, encoded state,
+    /// kind)`, a total order independent of thread interleavings.
+    fn winning_violation(&self) -> Option<Violation> {
+        let mut vs = self.violations.lock().expect("violations");
+        if vs.is_empty() {
+            return None;
+        }
+        let best = vs
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.depth.cmp(&b.depth).then(a.enc.cmp(&b.enc)).then(a.rank.cmp(&b.rank))
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        Some(vs.swap_remove(best))
+    }
+
+    /// Reconstructs the label trail to `state_ref` by walking parent
+    /// pointers across shards (single-threaded; workers have exited).
+    pub(crate) fn trail_to(&self, state_ref: u64) -> Vec<Label> {
+        let mut labels = Vec::new();
+        let mut cur = state_ref;
+        while cur != ROOT {
+            let (shard, idx) = unpack(cur);
+            let sh = self.stripes[shard].lock().expect("stripe");
+            let parent = sh.parents[idx as usize];
+            if parent != ROOT {
+                labels.push(sh.labels[idx as usize].clone());
+            }
+            cur = parent;
+        }
+        labels.reverse();
+        labels
+    }
+
+    pub(crate) fn store_bytes(&self) -> usize {
+        self.stripes.iter().map(|s| s.lock().expect("stripe").store.approx_bytes()).sum()
+    }
+}
+
+/// Runs the engine to completion: seeds, spawns the scoped workers,
+/// pumps heartbeats from the calling thread, classifies the outcome and
+/// reconstructs the trail. Returns `(outcome, trail, edges)`; the caller
+/// reads counters off the engine. Shared by the explore and progress
+/// entry points.
+pub(crate) fn run<T, F, G>(
+    engine: &Engine<'_, T, F, G>,
+    obs: &mut SearchObserver<'_>,
+) -> (Outcome, Option<Vec<Label>>, Vec<(u64, u64)>)
+where
+    T: TransitionSystem + Sync,
+    T::State: Send,
+    F: Fn(&T::State) -> Option<String> + Sync,
+    G: Fn(&Label) -> bool + Sync,
+{
+    if let Some(v) = engine.seed() {
+        return (v, engine.track_trails().then(Vec::new), Vec::new());
+    }
+    let threads = engine.cfg.threads.max(1);
+    let mut edges: Vec<(u64, u64)> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads).map(|w| scope.spawn(move || engine.worker(w))).collect();
+        while !engine.finished.load(SeqCst) {
+            obs.tick(engine.states_total(), engine.frontier_len(), engine.bytes_total());
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        for h in handles {
+            let mut worker_edges = h.join().expect("worker panicked");
+            edges.append(&mut worker_edges);
+        }
+    });
+    match engine.winning_violation() {
+        Some(v) => {
+            let trail = engine.track_trails().then(|| engine.trail_to(v.state_ref));
+            (v.outcome, trail, edges)
+        }
+        None if engine.budget_hit.load(SeqCst) => (Outcome::Unfinished, None, edges),
+        None => (Outcome::Complete, None, edges),
+    }
+}
+
+/// Explores the reachable state space of `sys` breadth-first with
+/// `cfg.threads` workers over `cfg.shards` lock-striped shards. Semantics
+/// match [`crate::search::explore`]; see the module docs for the exact
+/// determinism guarantees.
+pub fn explore_parallel<T, F>(
+    sys: &T,
+    budget: &Budget,
+    invariant: F,
+    check_deadlock: bool,
+    cfg: &ParallelConfig,
+) -> ParallelReport
+where
+    T: TransitionSystem + Sync,
+    T::State: Send,
+    F: Fn(&T::State) -> Option<String> + Sync,
+{
+    let mut null = NullSink;
+    let mut obs = SearchObserver::new(&mut null, 0);
+    explore_parallel_observed(sys, budget, invariant, check_deadlock, cfg, &mut obs)
+}
+
+/// [`explore_parallel`] with heartbeats: the calling thread aggregates
+/// worker counters into [`SearchObserver`] ticks while the workers run.
+pub fn explore_parallel_observed<T, F>(
+    sys: &T,
+    budget: &Budget,
+    invariant: F,
+    check_deadlock: bool,
+    cfg: &ParallelConfig,
+    obs: &mut SearchObserver<'_>,
+) -> ParallelReport
+where
+    T: TransitionSystem + Sync,
+    T::State: Send,
+    F: Fn(&T::State) -> Option<String> + Sync,
+{
+    let engine: Engine<'_, T, F, fn(&Label) -> bool> =
+        Engine::new(sys, budget, &invariant, None, check_deadlock, cfg);
+    let (outcome, trail, _) = run(&engine, obs);
+    let report = assemble(&engine, cfg, outcome, trail);
+    obs.finish(&report.outcome, None);
+    report
+}
+
+/// [`explore_parallel_observed`] with the serial traced-export behavior
+/// of [`crate::trace::explore_traced_observed`]: trails are always
+/// tracked, and on a violation the counterexample is exported to the
+/// observer's sink as a replayed event stream ending with the outcome
+/// (instead of the bare outcome event).
+pub fn explore_parallel_traced_observed<T, F>(
+    sys: &T,
+    budget: &Budget,
+    invariant: F,
+    check_deadlock: bool,
+    cfg: &ParallelConfig,
+    obs: &mut SearchObserver<'_>,
+) -> ParallelReport
+where
+    T: TransitionSystem + Sync,
+    T::State: Send,
+    F: Fn(&T::State) -> Option<String> + Sync,
+{
+    let cfg = cfg.clone().with_trails();
+    let engine: Engine<'_, T, F, fn(&Label) -> bool> =
+        Engine::new(sys, budget, &invariant, None, check_deadlock, &cfg);
+    let (outcome, trail, _) = run(&engine, obs);
+    let report = assemble(&engine, &cfg, outcome, trail);
+    if obs.sink().enabled() {
+        match &report.trail {
+            Some(trail) => {
+                crate::trace::export_trail(sys, trail, &report.outcome, obs.sink());
+            }
+            None => obs.finish(&report.outcome, None),
+        }
+    }
+    report
+}
+
+fn assemble<T, F, G>(
+    engine: &Engine<'_, T, F, G>,
+    cfg: &ParallelConfig,
+    outcome: Outcome,
+    trail: Option<Vec<Label>>,
+) -> ParallelReport
+where
+    T: TransitionSystem + Sync,
+    T::State: Send,
+    F: Fn(&T::State) -> Option<String> + Sync,
+    G: Fn(&Label) -> bool + Sync,
+{
+    ParallelReport {
+        states: engine.states_total(),
+        transitions: engine.transitions_total(),
+        elapsed: engine.started.elapsed(),
+        store_bytes: engine.store_bytes(),
+        peak_frontier: engine.peak_frontier.load(SeqCst).max(1),
+        outcome,
+        depth: engine.level.load(SeqCst),
+        threads: cfg.threads.max(1),
+        shards: engine.n_shards,
+        probabilistic: cfg.compact_hash,
+        trail,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{explore, explore_plain};
+    use ccr_core::builder::ProtocolBuilder;
+    use ccr_core::expr::Expr;
+    use ccr_core::ids::RemoteId;
+    use ccr_core::value::Value;
+    use ccr_runtime::rendezvous::RendezvousSystem;
+
+    fn token_spec() -> ccr_core::process::ProtocolSpec {
+        let mut b = ProtocolBuilder::new("token");
+        let req = b.msg("req");
+        let gr = b.msg("gr");
+        let rel = b.msg("rel");
+        let o = b.home_var("o", Value::Node(RemoteId(0)));
+        let f = b.home_state("F");
+        let g1 = b.home_state("G1");
+        let e = b.home_state("E");
+        b.home(f).recv_any(req).bind_sender(o).goto(g1);
+        b.home(g1).send_to(Expr::Var(o), gr).goto(e);
+        b.home(e).recv_exact(rel, Expr::Var(o)).goto(f);
+        let i = b.remote_state("I");
+        let w = b.remote_state("W");
+        let v = b.remote_state("V");
+        b.remote(i).send(req).goto(w);
+        b.remote(w).recv(gr).goto(v);
+        b.remote(v).send(rel).goto(i);
+        b.finish().unwrap()
+    }
+
+    fn deadlocking_spec() -> ccr_core::process::ProtocolSpec {
+        let mut b = ProtocolBuilder::new("dead");
+        let m = b.msg("m");
+        let never = b.msg("never");
+        let h = b.home_state("H");
+        b.home(h).recv_any(m).goto(h);
+        let r0 = b.remote_state("R0");
+        let r1 = b.remote_state("R1");
+        b.remote(r0).send(m).goto(r1);
+        b.remote(r1).recv(never).goto(r0);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn matches_serial_on_complete_spaces() {
+        let spec = token_spec();
+        for n in [1u32, 2, 3, 4] {
+            let sys = RendezvousSystem::new(&spec, n);
+            let serial = explore_plain(&sys, &Budget::default());
+            for threads in [1usize, 2, 4] {
+                let cfg = ParallelConfig::threads(threads);
+                let par = explore_parallel(&sys, &Budget::default(), |_| None, false, &cfg);
+                assert_eq!(par.outcome, Outcome::Complete, "n={n} t={threads}");
+                assert_eq!(par.states, serial.states, "n={n} t={threads}");
+                assert_eq!(par.transitions, serial.transitions, "n={n} t={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts_on_deadlock() {
+        let spec = deadlocking_spec();
+        let sys = RendezvousSystem::new(&spec, 3);
+        let serial = explore(&sys, &Budget::default(), |_| None, true);
+        assert_eq!(serial.outcome, Outcome::Deadlock);
+        let mut reference: Option<(usize, usize, usize)> = None;
+        for threads in [1usize, 2, 4] {
+            let cfg = ParallelConfig::threads(threads).with_trails();
+            let par = explore_parallel(&sys, &Budget::default(), |_| None, true, &cfg);
+            assert_eq!(par.outcome, Outcome::Deadlock, "t={threads}");
+            let key = (par.states, par.transitions, par.trail.as_ref().unwrap().len());
+            match &reference {
+                None => reference = Some(key),
+                Some(r) => assert_eq!(&key, r, "t={threads}"),
+            }
+        }
+    }
+
+    #[test]
+    fn deadlock_trail_replays() {
+        let spec = deadlocking_spec();
+        let sys = RendezvousSystem::new(&spec, 2);
+        let cfg = ParallelConfig::threads(4).with_trails();
+        let par = explore_parallel(&sys, &Budget::default(), |_| None, true, &cfg);
+        assert_eq!(par.outcome, Outcome::Deadlock);
+        let trail = par.trail.clone().expect("trail");
+        let end = crate::trace::replay_trail(&sys, &trail).expect("trail replays");
+        let mut succs = Vec::new();
+        sys.successors(&end, &mut succs).unwrap();
+        assert!(succs.is_empty(), "trail must end in the deadlocked state");
+        assert!(par.trail_text().contains("rendezvous"));
+    }
+
+    #[test]
+    fn invariant_violation_found_and_trail_replays() {
+        let spec = token_spec();
+        let sys = RendezvousSystem::new(&spec, 3);
+        let v = spec.remote.state_by_name("V").unwrap();
+        let cfg = ParallelConfig::threads(3).with_trails();
+        let par = explore_parallel(
+            &sys,
+            &Budget::default(),
+            |s: &ccr_runtime::rendezvous::RvState| {
+                if s.remotes.iter().any(|r| r.state == v) {
+                    Some("a remote reached V".into())
+                } else {
+                    None
+                }
+            },
+            false,
+            &cfg,
+        );
+        assert!(matches!(par.outcome, Outcome::InvariantViolated(_)));
+        let trail = par.trail.clone().expect("trail");
+        let end = crate::trace::replay_trail(&sys, &trail).expect("trail replays");
+        assert!(end.remotes.iter().any(|r| r.state == v));
+    }
+
+    #[test]
+    fn violated_initial_state_reports_like_serial() {
+        let spec = token_spec();
+        let sys = RendezvousSystem::new(&spec, 2);
+        let cfg = ParallelConfig::threads(2).with_trails();
+        let par =
+            explore_parallel(&sys, &Budget::default(), |_| Some("always".into()), false, &cfg);
+        assert!(matches!(par.outcome, Outcome::InvariantViolated(_)));
+        assert_eq!(par.states, 1);
+        assert_eq!(par.trail.as_deref(), Some(&[][..]));
+    }
+
+    #[test]
+    fn state_budget_stops_at_a_level_boundary() {
+        let spec = token_spec();
+        let sys = RendezvousSystem::new(&spec, 4);
+        let full = explore_plain(&sys, &Budget::default());
+        let cfg = ParallelConfig::threads(2);
+        let par = explore_parallel(&sys, &Budget::states(3), |_| None, false, &cfg);
+        assert_eq!(par.outcome, Outcome::Unfinished);
+        assert!(par.states >= 3 && par.states < full.states);
+        let tiny = explore_parallel(&sys, &Budget::bytes(64), |_| None, false, &cfg);
+        assert_eq!(tiny.outcome, Outcome::Unfinished);
+    }
+
+    #[test]
+    fn compact_mode_is_flagged_probabilistic_and_agrees_here() {
+        let spec = token_spec();
+        let sys = RendezvousSystem::new(&spec, 3);
+        let exact = explore_plain(&sys, &Budget::default());
+        let cfg = ParallelConfig::threads(2).with_compaction();
+        let par = explore_parallel(&sys, &Budget::default(), |_| None, false, &cfg);
+        assert!(par.probabilistic);
+        assert!(par.explore_report().probabilistic);
+        // No 64-bit collisions in a space this small: counts agree.
+        assert_eq!(par.states, exact.states);
+        // Dropping the arena makes the store strictly smaller than the
+        // exact parallel store under the same sharding.
+        let full = explore_parallel(
+            &sys,
+            &Budget::default(),
+            |_| None,
+            false,
+            &ParallelConfig::threads(2),
+        );
+        assert!(!full.probabilistic);
+        assert!(par.store_bytes < full.store_bytes);
+    }
+
+    #[test]
+    fn single_shard_config_still_works() {
+        let spec = token_spec();
+        let sys = RendezvousSystem::new(&spec, 2);
+        let serial = explore_plain(&sys, &Budget::default());
+        let cfg = ParallelConfig { threads: 2, shards: 1, ..ParallelConfig::default() };
+        let par = explore_parallel(&sys, &Budget::default(), |_| None, false, &cfg);
+        assert_eq!(par.states, serial.states);
+        assert_eq!(par.transitions, serial.transitions);
+        assert!(par.shards >= 2, "shards round up to cover the workers");
+    }
+}

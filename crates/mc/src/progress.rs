@@ -7,7 +7,24 @@
 //! with an outgoing *completing* transition, and propagate reachability
 //! backwards; any state left unmarked is a livelock witness, and any state
 //! with no successors at all is a deadlock.
+//!
+//! The reverse graph is stored in flat CSR form (an offsets array plus a
+//! targets array, two `Vec<u32>`s) rather than one `Vec` per state: edges
+//! are collected as `(dst, src)` pairs during the forward sweep and
+//! bucketed by a counting sort afterwards, so the backward BFS walks one
+//! contiguous slice per state instead of chasing per-state heap
+//! allocations.
+//!
+//! [`check_progress_parallel`] runs the same check on the multi-threaded
+//! engine of [`crate::parallel`]: workers record reverse edges and
+//! per-state flags during the level-synchronized sweep, shard-local state
+//! indices are renumbered to dense global ids by prefix sums afterwards,
+//! and the backward propagation runs single-threaded on the merged CSR
+//! (it is a fraction of the forward-sweep cost).
 
+use crate::parallel::{
+    self, pack, unpack, ParallelConfig, FLAG_EXPANDED, FLAG_HAS_SUCC, FLAG_PROGRESS,
+};
 use crate::report::{Outcome, ProgressReport};
 use crate::search::{Budget, SearchObserver};
 use crate::store::StateStore;
@@ -16,6 +33,50 @@ use ccr_runtime::{Label, TransitionSystem};
 use ccr_trace::NullSink;
 use std::collections::VecDeque;
 use std::time::Instant;
+
+/// Builds the CSR adjacency `(offsets, targets)` over `n` nodes from
+/// `(node, target)` pairs — for the reverse graph, `node` is the edge's
+/// destination and `target` its source.
+fn build_csr(n: usize, edges: &[(u32, u32)]) -> (Vec<u32>, Vec<u32>) {
+    let mut offsets = vec![0u32; n + 1];
+    for &(node, _) in edges {
+        offsets[node as usize + 1] += 1;
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut cursor: Vec<u32> = offsets[..n].to_vec();
+    let mut targets = vec![0u32; edges.len()];
+    for &(node, tgt) in edges {
+        let c = &mut cursor[node as usize];
+        targets[*c as usize] = tgt;
+        *c += 1;
+    }
+    (offsets, targets)
+}
+
+/// Backward BFS over a reverse-graph CSR: marks every state from which a
+/// `seed`-marked state is forward-reachable.
+fn propagate_good(n: usize, offsets: &[u32], targets: &[u32], seed: &[bool]) -> Vec<bool> {
+    let mut good = vec![false; n];
+    let mut bfs: VecDeque<u32> = VecDeque::new();
+    for (i, &p) in seed.iter().enumerate().take(n) {
+        if p {
+            good[i] = true;
+            bfs.push_back(i as u32);
+        }
+    }
+    while let Some(i) = bfs.pop_front() {
+        let (s, e) = (offsets[i as usize] as usize, offsets[i as usize + 1] as usize);
+        for &p in &targets[s..e] {
+            if !good[p as usize] {
+                good[p as usize] = true;
+                bfs.push_back(p);
+            }
+        }
+    }
+    good
+}
 
 /// Explores `sys` and checks that from every reachable state a completing
 /// transition remains reachable.
@@ -48,8 +109,9 @@ pub fn check_progress_observed<T: TransitionSystem>(
     let mut succs = Vec::new();
     let mut enc = Vec::new();
 
-    // Forward exploration building the reverse graph.
-    let mut rev_edges: Vec<Vec<u32>> = Vec::new();
+    // Forward exploration collecting the reverse graph as a flat
+    // `(dst, src)` edge list — CSR-bucketed after the sweep.
+    let mut edge_list: Vec<(u32, u32)> = Vec::new();
     let mut has_progress_edge: Vec<bool> = Vec::new();
     let mut has_successor: Vec<bool> = Vec::new();
     let mut parents: Vec<Option<(u32, Label)>> = Vec::new();
@@ -58,19 +120,16 @@ pub fn check_progress_observed<T: TransitionSystem>(
     let init = sys.initial();
     sys.encode(&init, &mut enc);
     store.insert(&enc);
-    rev_edges.push(Vec::new());
     has_progress_edge.push(false);
     has_successor.push(false);
     parents.push(None);
     frontier.push_back(init);
     let next_index_of = |store: &mut StateStore,
                          enc: &[u8],
-                         rev_edges: &mut Vec<Vec<u32>>,
                          has_progress_edge: &mut Vec<bool>,
                          has_successor: &mut Vec<bool>| {
         let (idx, is_new) = store.insert(enc);
         if is_new {
-            rev_edges.push(Vec::new());
             has_progress_edge.push(false);
             has_successor.push(false);
         }
@@ -88,15 +147,10 @@ pub fn check_progress_observed<T: TransitionSystem>(
         }
         for (label, next) in succs.drain(..) {
             sys.encode(&next, &mut enc);
-            let (idx, is_new) = next_index_of(
-                &mut store,
-                &enc,
-                &mut rev_edges,
-                &mut has_progress_edge,
-                &mut has_successor,
-            );
+            let (idx, is_new) =
+                next_index_of(&mut store, &enc, &mut has_progress_edge, &mut has_successor);
             has_successor[this_idx as usize] = true;
-            rev_edges[idx as usize].push(this_idx);
+            edge_list.push((idx, this_idx));
             if is_progress(&label) {
                 has_progress_edge[this_idx as usize] = true;
             }
@@ -118,24 +172,12 @@ pub fn check_progress_observed<T: TransitionSystem>(
         }
     }
 
-    // Backward propagation from progress states.
+    // Backward propagation from progress states over the CSR reverse
+    // graph.
     let n = store.len();
-    let mut good = vec![false; n];
-    let mut bfs: VecDeque<u32> = VecDeque::new();
-    for (i, &p) in has_progress_edge.iter().enumerate().take(n) {
-        if p {
-            good[i] = true;
-            bfs.push_back(i as u32);
-        }
-    }
-    while let Some(i) = bfs.pop_front() {
-        for &p in &rev_edges[i as usize] {
-            if !good[p as usize] {
-                good[p as usize] = true;
-                bfs.push_back(p);
-            }
-        }
-    }
+    let (offsets, targets) = build_csr(n, &edge_list);
+    drop(edge_list);
+    let good = propagate_good(n, &offsets, &targets, &has_progress_edge);
 
     // Only states that were actually *expanded* (index < queue_index) have
     // complete successor information; unexpanded frontier states are not
@@ -186,6 +228,159 @@ pub fn check_progress_observed<T: TransitionSystem>(
 /// Convenience: progress = any completed rendezvous.
 pub fn check_progress_default<T: TransitionSystem>(sys: &T, budget: &Budget) -> ProgressReport {
     check_progress(sys, budget, |l| l.completes.is_some())
+}
+
+/// [`check_progress`] on the multi-threaded engine: the forward sweep
+/// runs level-synchronized across `cfg.threads` workers (reverse edges
+/// and per-state flags recorded shard-locally), then the backward
+/// propagation runs single-threaded on the merged CSR.
+///
+/// On a complete exploration the counts (`states`, `livelocked_states`,
+/// `deadlocked_states`) equal the serial checker's at any thread count.
+/// The witness is the minimal stuck state by `(depth, encoded state)` —
+/// deterministic across thread counts, always a shortest-depth witness,
+/// though possibly a different same-depth state than the serial checker
+/// picks. Under hash compaction the encoding is unavailable and the
+/// tiebreak falls back to shard order, which is stable for a given
+/// config but not across thread counts.
+pub fn check_progress_parallel<T, G>(
+    sys: &T,
+    budget: &Budget,
+    is_progress: G,
+    cfg: &ParallelConfig,
+) -> ProgressReport
+where
+    T: TransitionSystem + Sync,
+    T::State: Send,
+    G: Fn(&Label) -> bool + Sync,
+{
+    let mut null = NullSink;
+    let mut obs = SearchObserver::new(&mut null, 0);
+    check_progress_parallel_observed(sys, budget, is_progress, cfg, &mut obs)
+}
+
+/// [`check_progress_parallel`] with heartbeats and witness-trail export,
+/// mirroring [`check_progress_observed`].
+pub fn check_progress_parallel_observed<T, G>(
+    sys: &T,
+    budget: &Budget,
+    is_progress: G,
+    cfg: &ParallelConfig,
+    obs: &mut SearchObserver<'_>,
+) -> ProgressReport
+where
+    T: TransitionSystem + Sync,
+    T::State: Send,
+    G: Fn(&Label) -> bool + Sync,
+{
+    let invariant = |_: &T::State| None::<String>;
+    let engine = parallel::Engine::new(sys, budget, &invariant, Some(&is_progress), false, cfg);
+    let (outcome, _, edges) = parallel::run(&engine, obs);
+    let complete = outcome.is_complete();
+
+    // Renumber shard-local indices to dense global ids by prefix sums,
+    // and pull each shard's flags and depths into flat arrays.
+    let n_shards = engine.stripes.len();
+    let mut base = vec![0u32; n_shards + 1];
+    let mut flags: Vec<u8> = Vec::new();
+    let mut depths: Vec<u32> = Vec::new();
+    for (s, stripe) in engine.stripes.iter().enumerate() {
+        let sh = stripe.lock().expect("stripe");
+        base[s + 1] = base[s] + sh.store.len() as u32;
+        flags.extend_from_slice(&sh.flags);
+        depths.extend_from_slice(&sh.depth);
+    }
+    let n = base[n_shards] as usize;
+    let to_global = |r: u64| {
+        let (s, i) = unpack(r);
+        base[s] + i
+    };
+
+    let mapped: Vec<(u32, u32)> =
+        edges.iter().map(|&(d, s)| (to_global(d), to_global(s))).collect();
+    drop(edges);
+    let (offsets, targets) = build_csr(n, &mapped);
+    drop(mapped);
+    let seed: Vec<bool> = flags.iter().map(|f| f & FLAG_PROGRESS != 0).collect();
+    let good = propagate_good(n, &offsets, &targets, &seed);
+
+    // Judge only expanded states, as in the serial checker.
+    let mut deadlocked = 0usize;
+    let mut livelocked = 0usize;
+    for i in 0..n {
+        if flags[i] & FLAG_EXPANDED == 0 {
+            continue;
+        }
+        if flags[i] & FLAG_HAS_SUCC == 0 {
+            deadlocked += 1;
+        } else if !good[i] {
+            livelocked += 1;
+        }
+    }
+
+    // Witness: minimal stuck state by (depth, encoded bytes, kind), one
+    // candidate per shard then a global minimum.
+    let mut best: Option<(u32, Vec<u8>, u8, u64)> = None;
+    for (s, stripe) in engine.stripes.iter().enumerate() {
+        let sh = stripe.lock().expect("stripe");
+        for i in 0..sh.store.len() as u32 {
+            let gi = (base[s] + i) as usize;
+            let f = flags[gi];
+            if f & FLAG_EXPANDED == 0 {
+                continue;
+            }
+            let rank = if f & FLAG_HAS_SUCC == 0 {
+                0u8
+            } else if !good[gi] {
+                1u8
+            } else {
+                continue;
+            };
+            let d = depths[gi];
+            if let Some((bd, _, _, _)) = &best {
+                if d > *bd {
+                    continue;
+                }
+            }
+            let enc = sh.store.key_bytes(i).map(<[u8]>::to_vec).unwrap_or_default();
+            let cand = (d, enc, rank, pack(s, i));
+            let better = match &best {
+                None => true,
+                Some(b) => (cand.0, &cand.1, cand.2) < (b.0, &b.1, b.2),
+            };
+            if better {
+                best = Some(cand);
+            }
+        }
+    }
+    let (witness, witness_outcome) = match best {
+        Some((_, _, rank, state_ref)) => {
+            let out = if rank == 0 { Outcome::Deadlock } else { Outcome::Livelock };
+            (Some(engine.trail_to(state_ref)), Some(out))
+        }
+        None => (None, None),
+    };
+
+    if obs.sink().enabled() {
+        match (&witness, &witness_outcome) {
+            (Some(trail), Some(out)) => {
+                export_trail(sys, trail, out, obs.sink());
+            }
+            _ => {
+                let o = if complete { Outcome::Complete } else { Outcome::Unfinished };
+                obs.finish(&o, None);
+            }
+        }
+    }
+
+    ProgressReport {
+        states: n,
+        livelocked_states: livelocked,
+        deadlocked_states: deadlocked,
+        complete,
+        witness,
+        witness_outcome,
+    }
 }
 
 #[cfg(test)]
@@ -297,5 +492,104 @@ mod tests {
         let r = check_progress_default(&sys, &Budget::states(2));
         assert!(!r.complete);
         assert!(!r.holds());
+    }
+
+    #[test]
+    fn csr_regression_no_progress_notion_marks_everything_livelocked() {
+        // With no label counting as progress, every state that has
+        // successors is livelocked and the witness is the initial state
+        // (empty trail) — pins the CSR backward propagation against the
+        // old per-state adjacency-list behavior.
+        let spec = token_spec();
+        let sys = RendezvousSystem::new(&spec, 2);
+        let r = check_progress(&sys, &Budget::default(), |_| false);
+        assert!(r.complete);
+        assert_eq!(r.states, 6);
+        assert_eq!(r.livelocked_states, r.states);
+        assert_eq!(r.deadlocked_states, 0);
+        assert_eq!(r.witness_outcome, Some(Outcome::Livelock));
+        assert_eq!(r.witness.as_deref(), Some(&[][..]), "initial state is the first witness");
+    }
+
+    #[test]
+    fn parallel_progress_matches_serial_on_healthy_specs() {
+        let spec = token_spec();
+        for n in [2u32, 3] {
+            let sys = RendezvousSystem::new(&spec, n);
+            let serial = check_progress_default(&sys, &Budget::default());
+            for threads in [1usize, 2, 4] {
+                let cfg = ParallelConfig::threads(threads);
+                let par = check_progress_parallel(
+                    &sys,
+                    &Budget::default(),
+                    |l: &Label| l.completes.is_some(),
+                    &cfg,
+                );
+                assert_eq!(par.states, serial.states, "n={n} t={threads}");
+                assert_eq!(par.livelocked_states, serial.livelocked_states, "n={n} t={threads}");
+                assert_eq!(par.deadlocked_states, serial.deadlocked_states, "n={n} t={threads}");
+                assert!(par.complete && par.holds(), "n={n} t={threads}");
+                assert!(par.witness.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_progress_on_async_refinement_matches_serial() {
+        let spec = token_spec();
+        let refined = refine(&spec, &RefineOptions::default()).unwrap();
+        let sys = AsyncSystem::new(&refined, 2, AsyncConfig::default());
+        let serial = check_progress_default(&sys, &Budget::default());
+        let cfg = ParallelConfig::threads(4);
+        let par = check_progress_parallel(
+            &sys,
+            &Budget::default(),
+            |l: &Label| l.completes.is_some(),
+            &cfg,
+        );
+        assert_eq!(par.states, serial.states);
+        assert_eq!(par.livelocked_states, serial.livelocked_states);
+        assert_eq!(par.deadlocked_states, serial.deadlocked_states);
+        assert_eq!(par.holds(), serial.holds());
+    }
+
+    #[test]
+    fn parallel_progress_finds_deadlock_and_witness_replays() {
+        let mut b = ProtocolBuilder::new("dead");
+        let m = b.msg("m");
+        let never = b.msg("never");
+        let h = b.home_state("H");
+        b.home(h).recv_any(m).goto(h);
+        let r0 = b.remote_state("R0");
+        let r1 = b.remote_state("R1");
+        b.remote(r0).send(m).goto(r1);
+        b.remote(r1).recv(never).goto(r0);
+        let spec = b.finish().unwrap();
+        let sys = RendezvousSystem::new(&spec, 2);
+        let serial = check_progress_default(&sys, &Budget::default());
+        let mut reference: Option<(usize, usize, usize)> = None;
+        for threads in [1usize, 2, 4] {
+            let cfg = ParallelConfig::threads(threads);
+            let par = check_progress_parallel(
+                &sys,
+                &Budget::default(),
+                |l: &Label| l.completes.is_some(),
+                &cfg,
+            );
+            assert_eq!(par.states, serial.states, "t={threads}");
+            assert_eq!(par.deadlocked_states, serial.deadlocked_states, "t={threads}");
+            assert_eq!(par.livelocked_states, serial.livelocked_states, "t={threads}");
+            assert_eq!(par.witness_outcome, Some(Outcome::Deadlock), "t={threads}");
+            let trail = par.witness.clone().expect("witness trail");
+            let end = crate::trace::replay_trail(&sys, &trail).expect("witness replays");
+            let mut succs = Vec::new();
+            sys.successors(&end, &mut succs).unwrap();
+            assert!(succs.is_empty(), "witness leads to a stuck state");
+            let key = (par.states, par.deadlocked_states, trail.len());
+            match &reference {
+                None => reference = Some(key),
+                Some(r) => assert_eq!(&key, r, "t={threads}"),
+            }
+        }
     }
 }

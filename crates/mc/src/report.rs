@@ -66,6 +66,11 @@ pub struct ExploreReport {
     pub peak_frontier: usize,
     /// How the run ended.
     pub outcome: Outcome,
+    /// True when the visited set used 8-byte hash compaction: `states`
+    /// counts hash-distinct states, so a `Complete` outcome is
+    /// probabilistic (distinct states with colliding hashes are
+    /// conflated). Exact searches always report `false`.
+    pub probabilistic: bool,
 }
 
 impl ExploreReport {
@@ -148,6 +153,7 @@ mod tests {
             store_bytes: 1024,
             peak_frontier: 10,
             outcome: Outcome::Complete,
+            probabilistic: false,
         };
         assert_eq!(r.table_cell(), "54/0.10");
         r.outcome = Outcome::Unfinished;
@@ -177,6 +183,7 @@ mod tests {
             store_bytes: 1024,
             peak_frontier: 10,
             outcome: Outcome::InvariantViolated("two owners".into()),
+            probabilistic: false,
         };
         let json = serde::json::to_string(&r);
         assert!(ccr_trace::json_check::is_valid_json(&json), "{json}");

@@ -157,6 +157,7 @@ pub fn explore_observed<T: TransitionSystem>(
             store_bytes: store.approx_bytes(),
             peak_frontier,
             outcome,
+            probabilistic: false,
         }
     };
 
@@ -248,6 +249,7 @@ pub fn explore_dfs<T: TransitionSystem>(
         store_bytes: store.approx_bytes(),
         peak_frontier: peak,
         outcome,
+        probabilistic: false,
     };
 
     let init = sys.initial();

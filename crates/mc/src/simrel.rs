@@ -19,7 +19,7 @@ use crate::store::StateStore;
 use ccr_runtime::abstraction::abs;
 use ccr_runtime::asynch::{AsyncState, AsyncSystem};
 use ccr_runtime::rendezvous::RendezvousSystem;
-use ccr_runtime::TransitionSystem;
+use ccr_runtime::{EncodeBuf, TransitionSystem};
 use std::collections::VecDeque;
 use std::time::Instant;
 
@@ -36,6 +36,11 @@ pub fn check_simulation(
     let mut succs = Vec::new();
     let mut rv_succs = Vec::new();
     let mut enc = Vec::new();
+    // Reused across the whole sweep: one allocation each, not one per
+    // transition (`encoded()` would allocate a fresh Vec every time).
+    let mut a_buf = EncodeBuf::new();
+    let mut a2_buf = EncodeBuf::new();
+    let mut r_buf = EncodeBuf::new();
 
     let mut report = SimRelReport {
         async_states: 0,
@@ -59,7 +64,7 @@ pub fn check_simulation(
                 break;
             }
         };
-        let a_enc = rv_sys.encoded(&a);
+        a_buf.fill(rv_sys, &a);
         if async_sys.successors(&state, &mut succs).is_err() {
             report.violation = Some("async successor generation failed".into());
             break;
@@ -73,8 +78,8 @@ pub fn check_simulation(
                     break 'outer;
                 }
             };
-            let a2_enc = rv_sys.encoded(&a2);
-            if a_enc == a2_enc {
+            a2_buf.fill(rv_sys, &a2);
+            if a_buf.bytes() == a2_buf.bytes() {
                 report.stutters += 1;
             } else {
                 // Must be a single rendezvous step abs(q) ->h abs(q').
@@ -82,7 +87,7 @@ pub fn check_simulation(
                     report.violation = Some("rendezvous successor generation failed".into());
                     break 'outer;
                 }
-                let matched = rv_succs.iter().any(|(_, r)| rv_sys.encoded(r) == a2_enc);
+                let matched = rv_succs.iter().any(|(_, r)| r_buf.fill(rv_sys, r) == a2_buf.bytes());
                 if !matched {
                     report.violation = Some(format!(
                         "async rule {} (actor {}) maps to an impossible rendezvous step:\n  abs(q)  = {:?}\n  abs(q') = {:?}\n  async q = {:?}\n  async q' = {:?}",

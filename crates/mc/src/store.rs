@@ -1,13 +1,35 @@
-//! The visited-state store: a hash set over encoded states.
+//! The visited-state store: an open-addressed hash table over encoded
+//! states with arena-backed keys.
 //!
 //! States are stored by their canonical byte encodings. Hashing uses a
 //! local FxHash-style multiply-xor hasher (fast on short byte strings, per
-//! the Rust perf-book guidance) so the store adds no external dependency.
-//! The store tracks its approximate memory footprint so searches can
-//! enforce a byte budget the way the paper's SPIN runs enforced 64 MB.
+//! the Rust perf-book guidance) followed by a splitmix-style finalizer, so
+//! the store adds no external dependency and the same 64-bit hash drives
+//! slot probing here and shard routing in the parallel engine.
+//!
+//! Two deliberate layout choices keep the constant factors down:
+//!
+//! * **Single-probe insertion.** [`StateStore::insert`] walks the probe
+//!   sequence once, returning the existing index or claiming the first
+//!   empty slot — no separate `get` + `insert` double probe, and no
+//!   `enc.to_vec()` allocation per *hit* the way a `HashMap<Vec<u8>, _>`
+//!   key forces.
+//! * **Arena-backed keys.** Key bytes live contiguously in one bump arena
+//!   addressed by `(offset, len)` pairs, eliminating the per-key `Vec`
+//!   header and allocator round-trip (~48 bytes of overhead per state in
+//!   the old layout).
+//!
+//! An opt-in **hash-compaction** mode ([`StateStore::compact`]) stores only
+//! the 64-bit hash per state. Distinct states that collide are conflated,
+//! so a run using it is *probabilistic* (reported as such in
+//! [`crate::report::ExploreReport`]); in exchange the per-state footprint
+//! drops to ~12 bytes, letting runs squeeze under the paper's 64 MB budget.
+//!
+//! The store tracks its memory footprint from the real capacities of its
+//! buffers so searches can enforce a byte budget the way the paper's SPIN
+//! runs enforced 64 MB.
 
-use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
+use std::hash::Hasher;
 
 /// FxHash-style 64-bit hasher: multiply-rotate over 8-byte words.
 #[derive(Debug, Default, Clone, Copy)]
@@ -46,14 +68,48 @@ impl Hasher for FxHasher {
 }
 
 /// `BuildHasher` for [`FxHasher`].
-pub type FxBuild = BuildHasherDefault<FxHasher>;
+pub type FxBuild = std::hash::BuildHasherDefault<FxHasher>;
+
+/// Splitmix64 finalizer: spreads FxHash entropy into the low bits used for
+/// slot probing and the high bits used for shard routing.
+#[inline]
+fn mix(mut h: u64) -> u64 {
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Hashes an encoded state. The same value is used for slot probing,
+/// duplicate detection (full 64-bit compare before any byte compare) and,
+/// in the parallel engine, shard routing (top bits).
+#[inline]
+pub fn hash_encoded(enc: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(enc);
+    mix(h.finish())
+}
+
+const EMPTY: u32 = u32::MAX;
+/// Initial slot-table capacity (power of two).
+const MIN_CAP: usize = 16;
 
 /// A visited set mapping encoded states to dense indices (the index order
 /// is discovery order, used by the progress checker to address states).
 #[derive(Debug, Default)]
 pub struct StateStore {
-    map: HashMap<Vec<u8>, u32, FxBuild>,
-    bytes: usize,
+    /// Slot → full hash of the occupying entry (valid where `slots` is).
+    hashes: Vec<u64>,
+    /// Slot → dense entry index, or `EMPTY`.
+    slots: Vec<u32>,
+    /// Dense index → `(arena offset, length)`. Unused in compact mode.
+    entries: Vec<(u32, u32)>,
+    /// Bump arena holding every key's bytes back to back.
+    arena: Vec<u8>,
+    len: u32,
+    /// Hash-compaction: drop the key bytes, keep only the 64-bit hash.
+    compact: bool,
 }
 
 impl StateStore {
@@ -62,38 +118,127 @@ impl StateStore {
         Self::default()
     }
 
+    /// Creates an empty store in 8-byte hash-compaction mode: only state
+    /// hashes are kept, so distinct states that collide are conflated and
+    /// any search over the store is probabilistic.
+    pub fn compact() -> Self {
+        Self { compact: true, ..Self::default() }
+    }
+
+    /// True when the store runs in hash-compaction mode.
+    pub fn is_compact(&self) -> bool {
+        self.compact
+    }
+
     /// Inserts an encoded state. Returns `(index, true)` if newly inserted
     /// or `(existing index, false)` if already present.
     pub fn insert(&mut self, enc: &[u8]) -> (u32, bool) {
-        if let Some(&idx) = self.map.get(enc) {
-            return (idx, false);
+        self.insert_hashed(hash_encoded(enc), enc)
+    }
+
+    /// [`StateStore::insert`] with the hash precomputed by
+    /// [`hash_encoded`] — the parallel engine hashes once on the sending
+    /// side for shard routing and reuses the value here.
+    pub fn insert_hashed(&mut self, hash: u64, enc: &[u8]) -> (u32, bool) {
+        if self.slots.is_empty() || (self.len as usize + 1) * 8 > self.slots.len() * 7 {
+            self.grow();
         }
-        let idx = self.map.len() as u32;
-        // Key bytes + map entry overhead (key header 3 words + value + hash
-        // bucket), a deliberate slight overestimate.
-        self.bytes += enc.len() + 48;
-        self.map.insert(enc.to_vec(), idx);
-        (idx, true)
+        let mask = self.slots.len() - 1;
+        let mut i = (hash as usize) & mask;
+        loop {
+            let idx = self.slots[i];
+            if idx == EMPTY {
+                let new_idx = self.len;
+                self.slots[i] = new_idx;
+                self.hashes[i] = hash;
+                if !self.compact {
+                    let off = self.arena.len();
+                    debug_assert!(off + enc.len() <= u32::MAX as usize, "arena overflow");
+                    self.arena.extend_from_slice(enc);
+                    self.entries.push((off as u32, enc.len() as u32));
+                }
+                self.len += 1;
+                return (new_idx, true);
+            }
+            if self.hashes[i] == hash && (self.compact || self.entry_bytes(idx) == enc) {
+                return (idx, false);
+            }
+            i = (i + 1) & mask;
+        }
     }
 
     /// Looks up an encoded state.
     pub fn get(&self, enc: &[u8]) -> Option<u32> {
-        self.map.get(enc).copied()
+        if self.slots.is_empty() {
+            return None;
+        }
+        let hash = hash_encoded(enc);
+        let mask = self.slots.len() - 1;
+        let mut i = (hash as usize) & mask;
+        loop {
+            let idx = self.slots[i];
+            if idx == EMPTY {
+                return None;
+            }
+            if self.hashes[i] == hash && (self.compact || self.entry_bytes(idx) == enc) {
+                return Some(idx);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// The stored key bytes of entry `idx` (not available in compact mode).
+    fn entry_bytes(&self, idx: u32) -> &[u8] {
+        let (off, len) = self.entries[idx as usize];
+        &self.arena[off as usize..off as usize + len as usize]
+    }
+
+    /// The encoded bytes of state `idx`, or `None` in compact mode (where
+    /// only hashes are retained). Used by the parallel engine to order
+    /// witnesses deterministically.
+    pub fn key_bytes(&self, idx: u32) -> Option<&[u8]> {
+        if self.compact || idx >= self.len {
+            return None;
+        }
+        Some(self.entry_bytes(idx))
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(MIN_CAP);
+        let old_slots = std::mem::replace(&mut self.slots, vec![EMPTY; new_cap]);
+        let old_hashes = std::mem::replace(&mut self.hashes, vec![0; new_cap]);
+        let mask = new_cap - 1;
+        for (slot, hash) in old_slots.into_iter().zip(old_hashes) {
+            if slot == EMPTY {
+                continue;
+            }
+            let mut i = (hash as usize) & mask;
+            while self.slots[i] != EMPTY {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = slot;
+            self.hashes[i] = hash;
+        }
     }
 
     /// Number of distinct states stored.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.len as usize
     }
 
     /// True if no states are stored.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len == 0
     }
 
-    /// Approximate memory footprint in bytes.
+    /// Memory footprint in bytes, computed from the buffers actually
+    /// allocated (arena + slot table + entry table); tracks the real
+    /// allocation within 2× (asserted by a unit test).
     pub fn approx_bytes(&self) -> usize {
-        self.bytes
+        self.arena.len()
+            + self.slots.len() * (std::mem::size_of::<u32>() + std::mem::size_of::<u64>())
+            + self.entries.len() * std::mem::size_of::<(u32, u32)>()
+            + std::mem::size_of::<Self>()
     }
 }
 
@@ -137,5 +282,100 @@ mod tests {
         assert_eq!(st.get(b"s1"), Some(1));
         assert_eq!(st.get(b"s2"), None);
         assert!(st.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn store_survives_growth_and_keeps_indices() {
+        let mut st = StateStore::new();
+        let keys: Vec<Vec<u8>> = (0u32..10_000).map(|i| i.to_le_bytes().to_vec()).collect();
+        for (i, k) in keys.iter().enumerate() {
+            let (idx, is_new) = st.insert(k);
+            assert!(is_new);
+            assert_eq!(idx as usize, i);
+        }
+        assert_eq!(st.len(), keys.len());
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(st.get(k), Some(i as u32), "key {i}");
+            let (idx, is_new) = st.insert(k);
+            assert!(!is_new);
+            assert_eq!(idx as usize, i);
+        }
+    }
+
+    #[test]
+    fn store_handles_variable_length_and_prefix_keys() {
+        let mut st = StateStore::new();
+        // Keys that are prefixes of each other must not be conflated by the
+        // arena layout.
+        let (a, _) = st.insert(b"abc");
+        let (b, _) = st.insert(b"abcd");
+        let (c, _) = st.insert(b"ab");
+        let (d, _) = st.insert(b"");
+        assert_eq!([a, b, c, d], [0, 1, 2, 3]);
+        assert_eq!(st.get(b"abc"), Some(0));
+        assert_eq!(st.get(b"abcd"), Some(1));
+        assert_eq!(st.get(b"ab"), Some(2));
+        assert_eq!(st.get(b""), Some(3));
+        assert_eq!(st.len(), 4);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_actual_allocation_within_2x() {
+        let mut st = StateStore::new();
+        for i in 0u32..50_000 {
+            let mut k = [0u8; 24];
+            k[..4].copy_from_slice(&i.to_le_bytes());
+            k[4..8].copy_from_slice(&i.wrapping_mul(2654435761).to_le_bytes());
+            st.insert(&k);
+        }
+        // The real heap allocation behind the store, from capacities.
+        let actual = st.arena.capacity()
+            + st.slots.capacity() * std::mem::size_of::<u32>()
+            + st.hashes.capacity() * std::mem::size_of::<u64>()
+            + st.entries.capacity() * std::mem::size_of::<(u32, u32)>()
+            + std::mem::size_of::<StateStore>();
+        let approx = st.approx_bytes();
+        assert!(
+            approx * 2 >= actual && actual * 2 >= approx,
+            "approx_bytes {approx} vs actual allocation {actual}"
+        );
+        // And the per-state overhead beyond the key bytes stays small: the
+        // arena layout must beat the old HashMap<Vec<u8>, u32> entry
+        // (~48 bytes of header + bucket per state).
+        let overhead = (approx - st.arena.len()) / st.len();
+        assert!(overhead < 48, "per-state overhead {overhead} >= 48 bytes");
+    }
+
+    #[test]
+    fn compact_mode_dedups_by_hash_and_stays_small() {
+        let mut full = StateStore::new();
+        let mut compact = StateStore::compact();
+        assert!(compact.is_compact() && !full.is_compact());
+        for i in 0u32..10_000 {
+            let k = (i % 1000).to_le_bytes();
+            full.insert(&k);
+            compact.insert(&k);
+        }
+        assert_eq!(full.len(), 1000);
+        // No collisions expected among 1000 64-bit hashes.
+        assert_eq!(compact.len(), 1000);
+        assert!(
+            compact.approx_bytes() < full.approx_bytes(),
+            "compact {} vs full {}",
+            compact.approx_bytes(),
+            full.approx_bytes()
+        );
+    }
+
+    #[test]
+    fn hashed_insert_agrees_with_plain_insert() {
+        let mut a = StateStore::new();
+        let mut b = StateStore::new();
+        for i in 0u32..1000 {
+            let k = i.to_le_bytes();
+            let ra = a.insert(&k);
+            let rb = b.insert_hashed(hash_encoded(&k), &k);
+            assert_eq!(ra, rb);
+        }
     }
 }

@@ -794,26 +794,32 @@ impl TransitionSystem for FaultClosure<'_> {
         out.push(s.faults_left as u8);
         // Canonicalize ledger order so states reached by different fault
         // interleavings dedup. `due`/`attempt` are timer bookkeeping with
-        // no meaning here (always 0) and are excluded.
-        let mut lost: Vec<Vec<u8>> = s
-            .ledger
-            .lost
-            .iter()
-            .map(|e| {
-                let mut b = vec![
-                    u8::from(e.link.to_home),
-                    e.link.idx as u8,
-                    e.ahead as u8,
-                    e.holes_ahead as u8,
-                ];
-                e.wire.encode(&mut b);
-                b
-            })
-            .collect();
-        lost.sort();
-        out.push(lost.len() as u8);
-        for b in lost {
-            out.extend_from_slice(&b);
+        // no meaning here (always 0) and are excluded. Entries are
+        // encoded straight into `out` (variable length — the wire may
+        // carry a value) with their byte ranges recorded; when more than
+        // one entry landed out of order, the tail is rewritten through a
+        // single scratch copy instead of allocating one `Vec` per entry.
+        out.push(s.ledger.lost.len() as u8);
+        let lost_base = out.len();
+        let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(s.ledger.lost.len());
+        for e in &s.ledger.lost {
+            let start = out.len();
+            out.push(u8::from(e.link.to_home));
+            out.push(e.link.idx as u8);
+            out.push(e.ahead as u8);
+            out.push(e.holes_ahead as u8);
+            e.wire.encode(out);
+            ranges.push((start, out.len()));
+        }
+        let sorted = ranges.windows(2).all(|w| out[w[0].0..w[0].1] <= out[w[1].0..w[1].1]);
+        if !sorted {
+            ranges.sort_by(|a, b| out[a.0..a.1].cmp(&out[b.0..b.1]));
+            let mut tmp = Vec::with_capacity(out.len() - lost_base);
+            for &(a, b) in &ranges {
+                tmp.extend_from_slice(&out[a..b]);
+            }
+            out.truncate(lost_base);
+            out.extend_from_slice(&tmp);
         }
         let mut ghosts: Vec<[u8; 3]> = s
             .ledger

@@ -154,7 +154,10 @@ pub trait TransitionSystem {
     /// Writes a canonical byte encoding of `s` into `out` (cleared first).
     fn encode(&self, s: &Self::State, out: &mut Vec<u8>);
 
-    /// Convenience: encoded bytes as a fresh vector.
+    /// Convenience: encoded bytes as a fresh vector. Hot paths (the
+    /// search engines, the Equation 1 checker) should prefer
+    /// [`TransitionSystem::encode`] with a reused buffer or an
+    /// [`EncodeBuf`] — one heap allocation per *search*, not per state.
     fn encoded(&self, s: &Self::State) -> Vec<u8> {
         let mut v = Vec::new();
         self.encode(s, &mut v);
@@ -178,6 +181,35 @@ pub trait TransitionSystem {
     /// Systems carrying a spec override this with the spec's symbol table.
     fn msg_name(&self, m: MsgType) -> String {
         m.to_string()
+    }
+}
+
+/// A reusable state-encoding buffer.
+///
+/// [`TransitionSystem::encoded`] allocates a fresh `Vec` per call, which
+/// on checker hot paths means one heap allocation per visited state.
+/// `EncodeBuf` keeps one growable buffer alive across calls: after the
+/// first few states it stops allocating entirely (encodings of a given
+/// system have near-constant size).
+#[derive(Debug, Default)]
+pub struct EncodeBuf(Vec<u8>);
+
+impl EncodeBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encodes `s` into the buffer (replacing any previous contents) and
+    /// returns the encoded bytes.
+    pub fn fill<'a, T: TransitionSystem>(&'a mut self, sys: &T, s: &T::State) -> &'a [u8] {
+        sys.encode(s, &mut self.0);
+        &self.0
+    }
+
+    /// The bytes of the most recent [`EncodeBuf::fill`].
+    pub fn bytes(&self) -> &[u8] {
+        &self.0
     }
 }
 

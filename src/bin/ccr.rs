@@ -5,16 +5,22 @@
 //! ccr check   <spec.ccp>                  validate the §2.4 restrictions
 //! ccr refine  <spec.ccp> [--no-opt]       show pairs, costs, automata sizes
 //! ccr dot     <spec.ccp> [--refined]      Graphviz to stdout
-//! ccr verify  <spec.ccp> [-n N] [--budget S] [--no-opt]
+//! ccr verify  <spec.ccp> [-n N] [--budget S] [--no-opt] [--threads T]
 //!             [--trace FILE] [--progress] [--json]
 //!             [--faults SPEC] [--seed N] [--fault-budget F]
 //!                                         full pipeline: reachability both
 //!                                         levels, safety (deadlock),
 //!                                         Equation 1, forward progress,
 //!                                         and (opt-in) fault tolerance
-//! ccr table   <spec.ccp> [-n N..] [--trace FILE] [--progress] [--json]
-//!                                         per-N reachability comparison
+//! ccr table   <spec.ccp> [-n N..] [--threads T] [--trace FILE]
+//!             [--progress] [--json]       per-N reachability comparison
 //! ```
+//!
+//! `--threads T` (verify/table) runs the explorations and the progress
+//! check on the sharded parallel engine with `T` worker threads — see
+//! `docs/parallel_checking.md`. Results are observationally equivalent
+//! to the serial engine; Equation 1 stays serial (it is cheap relative
+//! to the asynchronous sweep).
 //!
 //! Observability flags (verify/table):
 //!
@@ -46,11 +52,13 @@ use ccr_core::dot::{dot_automaton, dot_spec};
 use ccr_core::refine::{refine, RefineOptions, ReqRepMode};
 use ccr_core::text::{parse_validated, to_text};
 use ccr_faults::{parse_fault_spec, FaultPlan, FaultRates, FaultSpec, FaultStats};
-use ccr_mc::faultmode::check_fault_closure_observed;
-use ccr_mc::progress::check_progress_observed;
+use ccr_mc::faultmode::{check_fault_closure_observed, check_fault_closure_parallel_observed};
+use ccr_mc::parallel::{explore_parallel_traced_observed, ParallelConfig};
+use ccr_mc::progress::{check_progress_observed, check_progress_parallel_observed};
+use ccr_mc::report::ExploreReport;
 use ccr_mc::search::{explore_observed, Budget, SearchObserver};
 use ccr_mc::simrel::check_simulation;
-use ccr_mc::trace::explore_traced_observed;
+use ccr_mc::trace::{explore_traced_observed, TracedReport};
 use ccr_runtime::asynch::{AsyncConfig, AsyncSystem};
 use ccr_runtime::rendezvous::RendezvousSystem;
 use ccr_runtime::sched::RandomSched;
@@ -72,7 +80,7 @@ const FAULT_WALK_STEPS: u64 = 20_000;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: ccr <fmt|check|refine|dot|verify|table> <spec.ccp> \
-         [-n N] [--budget STATES] [--no-opt] [--refined] \
+         [-n N] [--budget STATES] [--no-opt] [--refined] [--threads T] \
          [--trace FILE] [--progress] [--json] \
          [--faults SPEC] [--seed N] [--fault-budget F]"
     );
@@ -92,6 +100,7 @@ struct Args {
     faults: Option<String>,
     seed: u64,
     fault_budget: Option<u32>,
+    threads: usize,
 }
 
 fn parse_args() -> Option<Args> {
@@ -111,6 +120,7 @@ fn parse_args() -> Option<Args> {
         faults: None,
         seed: 0,
         fault_budget: None,
+        threads: 1,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -124,6 +134,7 @@ fn parse_args() -> Option<Args> {
             "--faults" => out.faults = Some(args.next()?),
             "--seed" => out.seed = args.next()?.parse().ok()?,
             "--fault-budget" => out.fault_budget = Some(args.next()?.parse().ok()?),
+            "--threads" => out.threads = args.next()?.parse().ok().filter(|&t| t >= 1)?,
             _ => return None,
         }
     }
@@ -148,6 +159,46 @@ impl TraceSink for ProgressSink {
                 states_per_sec
             );
         }
+    }
+}
+
+/// Traced exploration (deadlock check on, no invariant) on the serial or
+/// the sharded parallel engine, depending on `--threads`.
+fn explore_cli<T>(
+    sys: &T,
+    budget: &Budget,
+    threads: usize,
+    obs: &mut SearchObserver<'_>,
+) -> TracedReport
+where
+    T: TransitionSystem + Sync,
+    T::State: Send,
+{
+    if threads > 1 {
+        let cfg = ParallelConfig::threads(threads).with_trails();
+        explore_parallel_traced_observed(sys, budget, |_| None, true, &cfg, obs).traced_report()
+    } else {
+        explore_traced_observed(sys, budget, |_| None, true, obs)
+    }
+}
+
+/// Plain exploration (for `ccr table`) on the serial or parallel engine.
+fn explore_plain_cli<T>(
+    sys: &T,
+    budget: &Budget,
+    threads: usize,
+    obs: &mut SearchObserver<'_>,
+) -> ExploreReport
+where
+    T: TransitionSystem + Sync,
+    T::State: Send,
+{
+    if threads > 1 {
+        let cfg = ParallelConfig::threads(threads);
+        ccr_mc::parallel::explore_parallel_observed(sys, budget, |_| None, false, &cfg, obs)
+            .explore_report()
+    } else {
+        explore_observed(sys, budget, |_| None, false, obs)
     }
 }
 
@@ -428,10 +479,11 @@ fn main() -> ExitCode {
                 if args.progress { Box::new(ProgressSink) } else { Box::new(NullSink) };
             let mut tee = TeeSink(&mut *file, &mut *beats);
 
+            let threads = args.threads;
             let rv = RendezvousSystem::new(&spec, n);
             let r = {
                 let mut obs = SearchObserver::new(&mut tee, HEARTBEAT_EVERY);
-                explore_traced_observed(&rv, &budget, |_| None, true, &mut obs)
+                explore_cli(&rv, &budget, threads, &mut obs)
             };
             if human {
                 println!("rendezvous level  (n={n}): {} states, {:?}", r.states, r.outcome);
@@ -448,7 +500,7 @@ fn main() -> ExitCode {
             if r_ok {
                 let ar = {
                     let mut obs = SearchObserver::new(&mut tee, HEARTBEAT_EVERY);
-                    explore_traced_observed(&asys, &budget, |_| None, true, &mut obs)
+                    explore_cli(&asys, &budget, threads, &mut obs)
                 };
                 if human {
                     println!("asynchronous level (n={n}): {} states, {:?}", ar.states, ar.outcome);
@@ -477,12 +529,22 @@ fn main() -> ExitCode {
                     if s_ok {
                         let p = {
                             let mut obs = SearchObserver::new(&mut tee, HEARTBEAT_EVERY);
-                            check_progress_observed(
-                                &asys,
-                                &budget,
-                                |l| l.completes.is_some(),
-                                &mut obs,
-                            )
+                            if threads > 1 {
+                                check_progress_parallel_observed(
+                                    &asys,
+                                    &budget,
+                                    |l| l.completes.is_some(),
+                                    &ParallelConfig::threads(threads),
+                                    &mut obs,
+                                )
+                            } else {
+                                check_progress_observed(
+                                    &asys,
+                                    &budget,
+                                    |l| l.completes.is_some(),
+                                    &mut obs,
+                                )
+                            }
                         };
                         if human {
                             println!(
@@ -510,7 +572,18 @@ fn main() -> ExitCode {
                 if let Some(f) = args.fault_budget {
                     let fc = {
                         let mut obs = SearchObserver::new(&mut tee, HEARTBEAT_EVERY);
-                        check_fault_closure_observed(&asys, f, &budget, |_| None, &mut obs)
+                        if threads > 1 {
+                            check_fault_closure_parallel_observed(
+                                &asys,
+                                f,
+                                &budget,
+                                |_| None,
+                                &ParallelConfig::threads(threads),
+                                &mut obs,
+                            )
+                        } else {
+                            check_fault_closure_observed(&asys, f, &budget, |_| None, &mut obs)
+                        }
                     };
                     if human {
                         println!(
@@ -582,6 +655,7 @@ fn main() -> ExitCode {
                     m.entry("n", &n);
                     m.entry("budget_states", &args.budget);
                     m.entry("optimized", &!args.no_opt);
+                    m.entry("threads", &threads);
                     m.entry("seed", &args.seed);
                     m.entry("rendezvous", &r);
                     m.entry("asynchronous", &a);
@@ -623,21 +697,19 @@ fn main() -> ExitCode {
             for n in 1..=args.n {
                 let rv = {
                     let mut obs = SearchObserver::new(&mut tee, HEARTBEAT_EVERY);
-                    explore_observed(
+                    explore_plain_cli(
                         &RendezvousSystem::new(&spec, n),
                         &budget,
-                        |_| None,
-                        false,
+                        args.threads,
                         &mut obs,
                     )
                 };
                 let asy = {
                     let mut obs = SearchObserver::new(&mut tee, HEARTBEAT_EVERY);
-                    explore_observed(
+                    explore_plain_cli(
                         &AsyncSystem::new(&refined, n, AsyncConfig::default()),
                         &budget,
-                        |_| None,
-                        false,
+                        args.threads,
                         &mut obs,
                     )
                 };

@@ -1,10 +1,16 @@
 //! Minimal, dependency-free drop-in for the subset of `crossbeam` this
-//! workspace uses: `channel::{unbounded, Sender, Receiver, TryRecvError}`.
+//! workspace uses: `channel::{unbounded, Sender, Receiver, TryRecvError}`
+//! and `queue::SegQueue`.
 //!
 //! Vendored so the workspace builds hermetically (no registry access).
-//! Backed by `std::sync::mpsc`; `Sender` is `Clone + Send` and `Receiver`
-//! is moved into exactly one consumer thread, which is all the threaded
-//! DSM runner needs.
+//! `channel` is backed by `std::sync::mpsc`; `Sender` is `Clone + Send`
+//! and `Receiver` is moved into exactly one consumer thread, which is all
+//! the threaded DSM runner needs. `queue::SegQueue` is the multi-producer
+//! multi-consumer unbounded queue the parallel model checker uses as a
+//! per-worker batch inbox; true crossbeam implements it lock-free over
+//! linked segments, this subset keeps the API (`push`/`pop`/`len`/
+//! `is_empty`) over a mutexed ring buffer so the crate can stay
+//! `forbid(unsafe_code)`.
 
 #![forbid(unsafe_code)]
 
@@ -82,9 +88,61 @@ pub mod channel {
     }
 }
 
+/// Concurrent queues, mirroring `crossbeam::queue`.
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// An unbounded multi-producer multi-consumer FIFO queue.
+    ///
+    /// API-compatible with `crossbeam::queue::SegQueue`: `push` never
+    /// blocks, `pop` returns `None` when the queue is momentarily empty
+    /// (emptiness is not a termination signal — pair it with an external
+    /// in-flight counter, as the parallel search engine does).
+    #[derive(Debug)]
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> SegQueue<T> {
+        /// Creates an empty queue.
+        pub fn new() -> Self {
+            Self { inner: Mutex::new(VecDeque::new()) }
+        }
+
+        /// Enqueues `value` at the back.
+        pub fn push(&self, value: T) {
+            self.inner.lock().expect("queue poisoned").push_back(value);
+        }
+
+        /// Dequeues from the front, or `None` when currently empty.
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().expect("queue poisoned").pop_front()
+        }
+
+        /// Number of queued elements at this instant.
+        pub fn len(&self) -> usize {
+            self.inner.lock().expect("queue poisoned").len()
+        }
+
+        /// True when no element is queued at this instant.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::channel::{unbounded, TryRecvError};
+    use super::queue::SegQueue;
+    use std::sync::Arc;
 
     #[test]
     fn send_try_recv_roundtrip() {
@@ -98,5 +156,43 @@ mod tests {
         drop(tx);
         drop(tx2);
         assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn seg_queue_is_fifo() {
+        let q = SegQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        q.push(1);
+        q.push(2);
+        q.push(3);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn seg_queue_shared_across_threads() {
+        let q = Arc::new(SegQueue::new());
+        let producers: Vec<_> = (0..4)
+            .map(|t| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        q.push(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut seen = std::collections::HashSet::new();
+        while let Some(v) = q.pop() {
+            assert!(seen.insert(v));
+        }
+        assert_eq!(seen.len(), 4000);
     }
 }
