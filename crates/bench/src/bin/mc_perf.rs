@@ -15,6 +15,12 @@
 //! the speedup columns measure pure engine overhead, so read them
 //! against that field.
 //!
+//! Each workload also records per-phase wall times (`phases`): the
+//! encode microbench, the serial exploration, and one forward-progress
+//! check — the axes `ccr bench diff` gates independently. `--workload
+//! <name>` restricts the run to a single workload (the CI perf gate uses
+//! the headline space only).
+//!
 //! Run: `cargo run --release -p ccr-bench --bin mc_perf`
 //!
 //! The headline workload is the asynchronous migratory protocol at
@@ -23,6 +29,7 @@
 //! configuration is run `REPEATS` times and the fastest run is kept.
 
 use ccr_bench::configs;
+use ccr_mc::progress::check_progress_default;
 use ccr_mc::search::{explore_plain, Budget};
 use ccr_mc::{explore_parallel, ExploreReport, ParallelConfig};
 use ccr_protocols::invalidate::{invalidate_refined, InvalidateOptions};
@@ -30,11 +37,17 @@ use ccr_protocols::migratory::{migratory_refined, MigratoryOptions};
 use ccr_runtime::asynch::{AsyncConfig, AsyncSystem};
 use ccr_runtime::TransitionSystem;
 use serde::Serializer;
+use std::collections::{HashSet, VecDeque};
+use std::time::Instant;
 
 /// Fastest-of-N repetitions, to strip scheduler noise from the ratios.
 const REPEATS: usize = 3;
 /// Thread counts measured against the serial engine.
 const THREADS: [usize; 4] = [1, 2, 4, 8];
+/// States in the encode-phase sample (breadth-first from the initial
+/// state) and passes per timed repetition of that microbench.
+const ENCODE_SAMPLE: usize = 10_000;
+const ENCODE_PASSES: usize = 20;
 
 /// One measured engine configuration (serial or a thread count).
 struct Sample {
@@ -84,12 +97,85 @@ fn hashmap_bytes_per_state_estimate(encoded_len: usize) -> f64 {
     encoded_len as f64 + 1.5 * 33.0
 }
 
+/// Per-phase wall times of one workload, separating the cost of state
+/// encoding from the exploration proper and from the progress check —
+/// `ccr bench diff` gates each phase independently.
+struct Phases {
+    /// Best-of-[`REPEATS`] time of [`ENCODE_PASSES`] encode passes over
+    /// an [`ENCODE_SAMPLE`]-state breadth-first sample.
+    encode_secs: f64,
+    /// Serial exploration wall time (the best repetition).
+    explore_secs: f64,
+    /// One serial forward-progress check (exploration + CSR + backward
+    /// propagation).
+    progress_secs: f64,
+}
+
+/// Breadth-first sample of up to `cap` distinct states, for phase
+/// microbenches that need real states without a full exploration.
+fn collect_sample<T: TransitionSystem>(sys: &T, cap: usize) -> Vec<T::State> {
+    let mut seen: HashSet<Vec<u8>> = HashSet::new();
+    let mut queue = VecDeque::new();
+    let mut out = Vec::new();
+    let mut succs = Vec::new();
+    let mut enc = Vec::new();
+    let init = sys.initial();
+    sys.encode(&init, &mut enc);
+    seen.insert(enc.clone());
+    queue.push_back(init.clone());
+    out.push(init);
+    'bfs: while let Some(state) = queue.pop_front() {
+        succs.clear();
+        if sys.successors(&state, &mut succs).is_err() {
+            continue;
+        }
+        for (_, next) in succs.drain(..) {
+            sys.encode(&next, &mut enc);
+            if seen.insert(enc.clone()) {
+                out.push(next.clone());
+                queue.push_back(next);
+                if out.len() >= cap {
+                    break 'bfs;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn measure_phases<T>(sys: &T, serial: &Sample, budget: &Budget) -> Phases
+where
+    T: TransitionSystem + Sync,
+    T::State: Send,
+{
+    let sample = collect_sample(sys, ENCODE_SAMPLE);
+    let mut enc = Vec::new();
+    let encode_secs = (0..REPEATS)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..ENCODE_PASSES {
+                for state in &sample {
+                    sys.encode(state, &mut enc);
+                }
+            }
+            t.elapsed().as_secs_f64()
+        })
+        .min_by(f64::total_cmp)
+        .expect("at least one repeat");
+    let t = Instant::now();
+    let progress = check_progress_default(sys, budget);
+    let progress_secs = t.elapsed().as_secs_f64();
+    assert!(progress.complete, "progress phase must fit the budget");
+    Phases { encode_secs, explore_secs: serial.report.elapsed.as_secs_f64(), progress_secs }
+}
+
 struct Workload {
     name: &'static str,
     description: &'static str,
     serial: Sample,
     parallel: Vec<Sample>,
     encoded_len: usize,
+    phases: Phases,
 }
 
 fn run_workload<T>(name: &'static str, description: &'static str, sys: &T) -> Workload
@@ -113,6 +199,7 @@ where
             "{name}: parallel transitions diverged"
         );
     }
+    let phases = measure_phases(sys, &serial, &budget);
     let mut enc = Vec::new();
     sys.encode(&sys.initial(), &mut enc);
     eprintln!(
@@ -130,7 +217,7 @@ where
             .collect::<Vec<_>>()
             .join("; ")
     );
-    Workload { name, description, serial, parallel, encoded_len: enc.len() }
+    Workload { name, description, serial, parallel, encoded_len: enc.len(), phases }
 }
 
 fn out_path() -> String {
@@ -142,6 +229,18 @@ fn out_path() -> String {
         }),
         None => "BENCH_mc.json".to_string(),
     }
+}
+
+/// `--workload <name>` restricts the run to one workload — the CI perf
+/// gate measures only the headline space to stay inside its time box.
+fn workload_filter() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == "--workload").map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--workload requires a workload name");
+            std::process::exit(2);
+        })
+    })
 }
 
 fn main() {
@@ -159,23 +258,25 @@ fn main() {
     let inv = invalidate_refined(&InvalidateOptions { data_domain: Some(configs::DATA_DOMAIN) });
     let inv_n3 = AsyncSystem::new(&inv, 3, AsyncConfig::default());
 
-    let workloads = [
-        run_workload(
-            "migratory_async_n3",
-            "async migratory, n=3, data domain 4, home buffer k=3",
-            &mig_n3,
-        ),
-        run_workload(
-            "migratory_async_n4",
-            "async migratory, n=4, Table 3 checking configuration",
-            &mig_n4,
-        ),
-        run_workload(
-            "invalidate_async_n3",
-            "async invalidate, n=3, Table 3 checking configuration",
-            &inv_n3,
-        ),
+    let defs: [(&'static str, &'static str, &AsyncSystem<'_>); 3] = [
+        ("migratory_async_n3", "async migratory, n=3, data domain 4, home buffer k=3", &mig_n3),
+        ("migratory_async_n4", "async migratory, n=4, Table 3 checking configuration", &mig_n4),
+        ("invalidate_async_n3", "async invalidate, n=3, Table 3 checking configuration", &inv_n3),
     ];
+    let filter = workload_filter();
+    let workloads: Vec<Workload> = defs
+        .iter()
+        .filter(|(name, _, _)| filter.as_deref().is_none_or(|f| f == *name))
+        .map(|(name, description, sys)| run_workload(name, description, *sys))
+        .collect();
+    if workloads.is_empty() {
+        eprintln!(
+            "no workload named {:?}; known: {}",
+            filter.unwrap_or_default(),
+            defs.map(|(n, _, _)| n).join(", ")
+        );
+        std::process::exit(2);
+    }
 
     let mut s = Serializer::new();
     {
@@ -235,20 +336,28 @@ fn main() {
                         );
                         e.end();
                     });
+                    row.entry_with("phases", |ser| {
+                        let mut e = ser.begin_map();
+                        e.entry("encode_secs", &w.phases.encode_secs);
+                        e.entry("explore_secs", &w.phases.explore_secs);
+                        e.entry("progress_secs", &w.phases.progress_secs);
+                        e.end();
+                    });
                     row.end();
                 });
             }
             seq.end();
         });
-        let headline = &workloads[0];
-        let four = headline
-            .parallel
-            .iter()
-            .find(|p| p.threads == 4)
-            .expect("4-thread sample")
-            .states_per_sec()
-            / headline.serial.states_per_sec();
-        m.entry("acceptance_speedup_4t_migratory_async_n3", &four);
+        if let Some(headline) = workloads.iter().find(|w| w.name == "migratory_async_n3") {
+            let four = headline
+                .parallel
+                .iter()
+                .find(|p| p.threads == 4)
+                .expect("4-thread sample")
+                .states_per_sec()
+                / headline.serial.states_per_sec();
+            m.entry("acceptance_speedup_4t_migratory_async_n3", &four);
+        }
         m.end();
     }
     let json = s.into_string();

@@ -1,0 +1,429 @@
+//! `ccr bench diff` — the perf-regression comparator.
+//!
+//! Compares two JSON files of the same kind and reports regressions:
+//!
+//! * **Bench reports** (`BENCH_mc.json`, anything with a top-level
+//!   `"bench"` key): workloads are matched by name; `states`,
+//!   `transitions` and `encoded_len_bytes` must match exactly (the state
+//!   space is deterministic — any drift is a correctness bug, not
+//!   noise), throughput (`states_per_sec`, serial and per thread count)
+//!   may drop by at most `tolerance`, `store.arena_bytes_per_state` may
+//!   grow by at most `bytes_tolerance`, and per-phase wall times may
+//!   grow by at most `tolerance` (with a small absolute floor so
+//!   microsecond phases don't flap).
+//! * **Metrics snapshots** (`ccr --metrics` output, anything with a
+//!   top-level `"counters"` key): every metric *not* tagged in either
+//!   file's `nondeterministic` list must match exactly — counters,
+//!   gauges, and histogram bucket counts alike. Phases are wall-clock
+//!   and are ignored.
+//!
+//! `diff_strs` is the library entry; [`cli`] is the `ccr bench diff`
+//! front end (exit 0 clean, 1 on regression, 2 on usage/parse errors).
+
+use ccr_metrics::jsonval::Json;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Relative-tolerance thresholds for [`diff_strs`].
+#[derive(Debug, Clone)]
+pub struct DiffOptions {
+    /// Maximum allowed relative throughput drop / phase-time growth.
+    pub tolerance: f64,
+    /// Maximum allowed relative growth in bytes per state.
+    pub bytes_tolerance: f64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        Self { tolerance: 0.1, bytes_tolerance: 0.1 }
+    }
+}
+
+/// Outcome of a comparison: hard regressions plus informational notes
+/// (entries present on only one side, skipped nondeterministic metrics).
+#[derive(Debug, Default)]
+pub struct DiffReport {
+    /// Violations of the thresholds — any entry here fails the gate.
+    pub regressions: Vec<String>,
+    /// Observations that do not fail the gate.
+    pub notes: Vec<String>,
+}
+
+impl DiffReport {
+    /// True when no regression was found.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Human-readable summary, one line per finding.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.regressions {
+            let _ = writeln!(out, "REGRESSION: {r}");
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "note: {n}");
+        }
+        if self.ok() {
+            let _ = writeln!(out, "ok: no regressions");
+        }
+        out
+    }
+}
+
+/// Compares two JSON documents (both bench reports or both metrics
+/// snapshots). Errors on unparsable input or mismatched kinds.
+pub fn diff_strs(old: &str, new: &str, opts: &DiffOptions) -> Result<DiffReport, String> {
+    let old = Json::parse(old).map_err(|e| format!("old file: {e}"))?;
+    let new = Json::parse(new).map_err(|e| format!("new file: {e}"))?;
+    let kind = |j: &Json| {
+        if j.get("bench").is_some() {
+            Some("bench")
+        } else if j.get("counters").is_some() {
+            Some("snapshot")
+        } else {
+            None
+        }
+    };
+    match (kind(&old), kind(&new)) {
+        (Some("bench"), Some("bench")) => Ok(diff_bench(&old, &new, opts)),
+        (Some("snapshot"), Some("snapshot")) => Ok(diff_snapshot(&old, &new)),
+        (Some(a), Some(b)) => Err(format!("cannot compare a {a} report against a {b} report")),
+        _ => Err("unrecognized report: expected a top-level \"bench\" or \"counters\" key".into()),
+    }
+}
+
+fn workload_map(doc: &Json) -> Vec<(&str, &Json)> {
+    doc.get("workloads")
+        .and_then(Json::as_array)
+        .map(|ws| {
+            ws.iter().filter_map(|w| w.get("name").and_then(Json::as_str).map(|n| (n, w))).collect()
+        })
+        .unwrap_or_default()
+}
+
+fn diff_bench(old: &Json, new: &Json, opts: &DiffOptions) -> DiffReport {
+    let mut rep = DiffReport::default();
+    let old_ws = workload_map(old);
+    let new_ws = workload_map(new);
+    for (name, _) in &old_ws {
+        if !new_ws.iter().any(|(n, _)| n == name) {
+            rep.notes.push(format!("workload {name} only in old report"));
+        }
+    }
+    for (name, nw) in &new_ws {
+        let Some((_, ow)) = old_ws.iter().find(|(n, _)| n == name) else {
+            rep.notes.push(format!("workload {name} only in new report"));
+            continue;
+        };
+        diff_workload(name, ow, nw, opts, &mut rep);
+    }
+    rep
+}
+
+fn diff_workload(name: &str, old: &Json, new: &Json, opts: &DiffOptions, rep: &mut DiffReport) {
+    // The state space is deterministic: exact equality, no tolerance.
+    for key in ["states", "transitions", "encoded_len_bytes"] {
+        match (old.get(key).and_then(Json::as_u64), new.get(key).and_then(Json::as_u64)) {
+            (Some(o), Some(n)) if o != n => {
+                rep.regressions.push(format!("{name}: {key} changed {o} -> {n} (must be exact)"));
+            }
+            (Some(_), Some(_)) => {}
+            _ => rep.notes.push(format!("{name}: {key} missing on one side")),
+        }
+    }
+    // Throughput: one-sided relative drop.
+    let rate = |w: &Json, path: &str| w.path(path).and_then(Json::as_f64);
+    check_rate(
+        rep,
+        opts.tolerance,
+        format!("{name}: serial states_per_sec"),
+        rate(old, "serial.states_per_sec"),
+        rate(new, "serial.states_per_sec"),
+    );
+    let threads_of = |e: &Json| e.get("threads").and_then(Json::as_u64);
+    let old_par = old.get("parallel").and_then(Json::as_array).unwrap_or(&[]);
+    let new_par = new.get("parallel").and_then(Json::as_array).unwrap_or(&[]);
+    for ne in new_par {
+        let Some(t) = threads_of(ne) else { continue };
+        let Some(oe) = old_par.iter().find(|e| threads_of(e) == Some(t)) else {
+            rep.notes.push(format!("{name}: {t}-thread sample only in new report"));
+            continue;
+        };
+        check_rate(
+            rep,
+            opts.tolerance,
+            format!("{name}: {t}-thread states_per_sec"),
+            oe.get("states_per_sec").and_then(Json::as_f64),
+            ne.get("states_per_sec").and_then(Json::as_f64),
+        );
+    }
+    // Memory: one-sided relative growth.
+    match (rate(old, "store.arena_bytes_per_state"), rate(new, "store.arena_bytes_per_state")) {
+        (Some(o), Some(n)) if o > 0.0 && n > o * (1.0 + opts.bytes_tolerance) => {
+            rep.regressions.push(format!(
+                "{name}: arena_bytes_per_state grew {o:.1} -> {n:.1} ({:+.1}% > {:.0}% tolerance)",
+                (n / o - 1.0) * 100.0,
+                opts.bytes_tolerance * 100.0
+            ));
+        }
+        _ => {}
+    }
+    // Phase wall times: one-sided growth with a 20 ms absolute floor so
+    // sub-millisecond phases don't flap on scheduler noise.
+    let old_ph = phase_entries(old);
+    for (key, n) in phase_entries(new) {
+        let Some(&(_, o)) = old_ph.iter().find(|(k, _)| *k == key) else {
+            rep.notes.push(format!("{name}: phase {key} only in new report"));
+            continue;
+        };
+        if n > o * (1.0 + opts.tolerance) && n - o > 0.02 {
+            rep.regressions.push(format!(
+                "{name}: phase {key} slowed {o:.3}s -> {n:.3}s ({:+.1}% > {:.0}% tolerance)",
+                (n / o - 1.0) * 100.0,
+                opts.tolerance * 100.0
+            ));
+        }
+    }
+}
+
+fn check_rate(rep: &mut DiffReport, tolerance: f64, label: String, o: Option<f64>, n: Option<f64>) {
+    match (o, n) {
+        (Some(o), Some(n)) if o > 0.0 && n < o * (1.0 - tolerance) => {
+            rep.regressions.push(format!(
+                "{label} dropped {o:.0} -> {n:.0} states/sec ({:+.1}% > {:.0}% tolerance)",
+                (n / o - 1.0) * 100.0,
+                tolerance * 100.0
+            ));
+        }
+        (Some(_), Some(_)) => {}
+        _ => rep.notes.push(format!("{label} missing on one side")),
+    }
+}
+
+fn phase_entries(w: &Json) -> Vec<(&str, f64)> {
+    w.get("phases")
+        .and_then(Json::as_object)
+        .map(|o| o.iter().filter_map(|(k, v)| v.as_f64().map(|f| (k.as_str(), f))).collect())
+        .unwrap_or_default()
+}
+
+fn diff_snapshot(old: &Json, new: &Json) -> DiffReport {
+    let mut rep = DiffReport::default();
+    let nondet: BTreeSet<&str> = [old, new]
+        .iter()
+        .filter_map(|j| j.get("nondeterministic").and_then(Json::as_array))
+        .flatten()
+        .filter_map(Json::as_str)
+        .collect();
+    for family in ["counters", "gauges"] {
+        let old_m = old.get(family).and_then(Json::as_object).unwrap_or(&[]);
+        let new_m = new.get(family).and_then(Json::as_object).unwrap_or(&[]);
+        let names: BTreeSet<&str> = old_m.iter().chain(new_m).map(|(k, _)| k.as_str()).collect();
+        for name in names {
+            if nondet.contains(name) {
+                rep.notes.push(format!("{name}: nondeterministic, skipped"));
+                continue;
+            }
+            let get = |m: &[(String, Json)]| {
+                m.iter().find(|(k, _)| k == name).and_then(|(_, v)| v.as_u64())
+            };
+            match (get(old_m), get(new_m)) {
+                (Some(o), Some(n)) if o != n => rep
+                    .regressions
+                    .push(format!("{name}: deterministic {family} changed {o} -> {n}")),
+                (Some(_), Some(_)) => {}
+                (Some(_), None) => {
+                    rep.regressions.push(format!("{name}: deterministic {family} disappeared"));
+                }
+                (None, Some(_)) => rep.notes.push(format!("{name}: new {family}")),
+                (None, None) => {}
+            }
+        }
+    }
+    let old_h = old.get("histograms").and_then(Json::as_object).unwrap_or(&[]);
+    let new_h = new.get("histograms").and_then(Json::as_object).unwrap_or(&[]);
+    let names: BTreeSet<&str> = old_h.iter().chain(new_h).map(|(k, _)| k.as_str()).collect();
+    for name in names {
+        if nondet.contains(name) {
+            rep.notes.push(format!("{name}: nondeterministic, skipped"));
+            continue;
+        }
+        let shape = |m: &[(String, Json)]| {
+            m.iter().find(|(k, _)| k == name).map(|(_, v)| {
+                let nums = |key: &str| -> Vec<u64> {
+                    v.get(key)
+                        .and_then(Json::as_array)
+                        .map(|a| a.iter().filter_map(Json::as_u64).collect())
+                        .unwrap_or_default()
+                };
+                (nums("counts"), v.get("sum").and_then(Json::as_u64))
+            })
+        };
+        match (shape(old_h), shape(new_h)) {
+            (Some(o), Some(n)) if o != n => {
+                rep.regressions.push(format!("{name}: deterministic histogram changed"));
+            }
+            (Some(_), Some(_)) => {}
+            (Some(_), None) => {
+                rep.regressions.push(format!("{name}: deterministic histogram disappeared"));
+            }
+            (None, Some(_)) => rep.notes.push(format!("{name}: new histogram")),
+            (None, None) => {}
+        }
+    }
+    if old.get("phases").and_then(Json::as_object).map(|p| !p.is_empty()).unwrap_or(false)
+        || new.get("phases").and_then(Json::as_object).map(|p| !p.is_empty()).unwrap_or(false)
+    {
+        rep.notes.push("phases: wall-clock timings, not compared".into());
+    }
+    rep
+}
+
+/// The `ccr bench diff` front end. `args` excludes the `bench` word
+/// itself: `["diff", old, new, --tolerance T, --bytes-tolerance B]`.
+pub fn cli(args: &[String]) -> std::process::ExitCode {
+    use std::process::ExitCode;
+    let usage = || {
+        eprintln!(
+            "usage: ccr bench diff <old.json> <new.json> \
+             [--tolerance T] [--bytes-tolerance B]"
+        );
+        ExitCode::from(2)
+    };
+    if args.first().map(String::as_str) != Some("diff") {
+        return usage();
+    }
+    let mut files = Vec::new();
+    let mut opts = DiffOptions::default();
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tolerance" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) if (0.0..1.0).contains(&t) => opts.tolerance = t,
+                _ => return usage(),
+            },
+            "--bytes-tolerance" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) if (0.0..1.0).contains(&t) => opts.bytes_tolerance = t,
+                _ => return usage(),
+            },
+            _ if a.starts_with('-') => return usage(),
+            _ => files.push(a.clone()),
+        }
+    }
+    let [old_path, new_path] = files.as_slice() else {
+        return usage();
+    };
+    let read = |path: &str| {
+        std::fs::read_to_string(path).map_err(|e| {
+            eprintln!("ccr bench diff: cannot read {path}: {e}");
+        })
+    };
+    let (Ok(old), Ok(new)) = (read(old_path), read(new_path)) else {
+        return ExitCode::from(2);
+    };
+    match diff_strs(&old, &new, &opts) {
+        Ok(rep) => {
+            print!("{}", rep.render());
+            if rep.ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("ccr bench diff: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_doc(states: u64, serial_rate: f64, bytes_per_state: f64, explore_secs: f64) -> String {
+        format!(
+            r#"{{"bench":"mc_perf","workloads":[{{"name":"w1","states":{states},
+              "transitions":10,"encoded_len_bytes":16,
+              "serial":{{"secs":1.0,"states_per_sec":{serial_rate}}},
+              "parallel":[{{"threads":4,"secs":1.0,"states_per_sec":{serial_rate},"speedup":1.0}}],
+              "store":{{"arena_bytes_per_state":{bytes_per_state}}},
+              "phases":{{"explore_secs":{explore_secs}}}}}]}}"#
+        )
+    }
+
+    #[test]
+    fn identical_bench_reports_pass() {
+        let doc = bench_doc(100, 5000.0, 20.0, 1.0);
+        let rep = diff_strs(&doc, &doc, &DiffOptions::default()).unwrap();
+        assert!(rep.ok(), "{:?}", rep.regressions);
+    }
+
+    #[test]
+    fn throughput_drop_beyond_tolerance_fails() {
+        let old = bench_doc(100, 5000.0, 20.0, 1.0);
+        let new = bench_doc(100, 4000.0, 20.0, 1.0);
+        let rep = diff_strs(&old, &new, &DiffOptions::default()).unwrap();
+        assert!(!rep.ok());
+        assert!(rep.regressions.iter().any(|r| r.contains("states_per_sec")), "{rep:?}");
+        // The same drop passes under a looser gate.
+        let loose = DiffOptions { tolerance: 0.25, ..DiffOptions::default() };
+        assert!(diff_strs(&old, &new, &loose).unwrap().ok());
+    }
+
+    #[test]
+    fn state_count_drift_fails_exactly() {
+        let old = bench_doc(100, 5000.0, 20.0, 1.0);
+        let new = bench_doc(101, 5000.0, 20.0, 1.0);
+        let rep = diff_strs(&old, &new, &DiffOptions::default()).unwrap();
+        assert!(rep.regressions.iter().any(|r| r.contains("states changed")), "{rep:?}");
+    }
+
+    #[test]
+    fn bytes_growth_and_phase_slowdown_fail() {
+        let old = bench_doc(100, 5000.0, 20.0, 1.0);
+        let fat = bench_doc(100, 5000.0, 25.0, 1.0);
+        let rep = diff_strs(&old, &fat, &DiffOptions::default()).unwrap();
+        assert!(rep.regressions.iter().any(|r| r.contains("arena_bytes_per_state")), "{rep:?}");
+        let slow = bench_doc(100, 5000.0, 20.0, 1.5);
+        let rep = diff_strs(&old, &slow, &DiffOptions::default()).unwrap();
+        assert!(rep.regressions.iter().any(|r| r.contains("explore_secs")), "{rep:?}");
+        // Faster is never a regression.
+        let fast = bench_doc(100, 5000.0, 20.0, 0.5);
+        assert!(diff_strs(&old, &fast, &DiffOptions::default()).unwrap().ok());
+    }
+
+    #[test]
+    fn snapshot_deterministic_drift_fails_and_nondet_is_skipped() {
+        let reg = ccr_metrics::Registry::new();
+        reg.counter("mc_states_total", "states").add(10);
+        reg.counter_nondet("mc_batches_flushed_total", "batches").add(3);
+        let old = reg.snapshot().to_json();
+        reg.counter("mc_states_total", "states").add(1);
+        let drifted = reg.snapshot().to_json();
+        let rep = diff_strs(&old, &old, &DiffOptions::default()).unwrap();
+        assert!(rep.ok());
+        let rep = diff_strs(&old, &drifted, &DiffOptions::default()).unwrap();
+        assert!(rep.regressions.iter().any(|r| r.contains("mc_states_total")), "{rep:?}");
+        // The nondet counter may drift freely.
+        reg.counter_nondet("mc_batches_flushed_total", "batches").add(99);
+        let nondet_only = {
+            let reg2 = ccr_metrics::Registry::new();
+            reg2.counter("mc_states_total", "states").add(11);
+            reg2.counter_nondet("mc_batches_flushed_total", "batches").add(500);
+            reg2.snapshot().to_json()
+        };
+        let rep = diff_strs(&drifted, &nondet_only, &DiffOptions::default()).unwrap();
+        assert!(rep.ok(), "{:?}", rep.regressions);
+    }
+
+    #[test]
+    fn mismatched_kinds_and_garbage_error() {
+        let bench = bench_doc(1, 1.0, 1.0, 1.0);
+        let snap = ccr_metrics::Registry::new().snapshot().to_json();
+        assert!(diff_strs(&bench, &snap, &DiffOptions::default()).is_err());
+        assert!(diff_strs("not json", &snap, &DiffOptions::default()).is_err());
+        assert!(diff_strs("{}", "{}", &DiffOptions::default()).is_err());
+    }
+}

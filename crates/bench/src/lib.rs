@@ -24,3 +24,4 @@
 
 pub mod cli;
 pub mod configs;
+pub mod diff;

@@ -1,12 +1,15 @@
 //! Machine-level result reporting.
 
 use ccr_faults::FaultStats;
+use ccr_metrics::Registry;
 use ccr_runtime::stats::MsgStats;
-use serde::{Serialize, Serializer};
+use serde::Serialize;
 use std::time::Duration;
 
 /// Outcome of a machine run, serializable for the experiment harness.
-#[derive(Debug, Clone)]
+/// The fault fields are *omitted* — not `null` — when absent, so
+/// plain-run reports stay byte-identical to their pre-fault form.
+#[derive(Debug, Clone, Serialize)]
 pub struct MachineReport {
     /// Protocol name.
     pub protocol: String,
@@ -39,40 +42,13 @@ pub struct MachineReport {
     pub max_link_occupancy: u32,
     /// Fault-injection counters when the run went through the fault
     /// harness (`None` for plain runs, keeping their reports unchanged).
+    #[serde(skip_serializing_if = "Option::is_none")]
     pub faults: Option<FaultStats>,
     /// `msgs_per_op` of this run divided by the same ratio of a clean
     /// baseline run — how much the faults cost per completed acquisition.
     /// Set by [`MachineReport::with_degradation_vs`].
+    #[serde(skip_serializing_if = "Option::is_none")]
     pub degradation: Option<f64>,
-}
-
-// Hand-written so the fault fields are *omitted* — not `null` — when
-// absent: plain-run reports stay byte-identical to their pre-fault form.
-impl Serialize for MachineReport {
-    fn serialize(&self, s: &mut Serializer) {
-        let mut m = s.begin_map();
-        m.entry("protocol", self.protocol.as_str());
-        m.entry("variant", self.variant.as_str());
-        m.entry("n", &self.n);
-        m.entry("steps", &self.steps);
-        m.entry("deadlocked", &self.deadlocked);
-        m.entry("ops", &self.ops);
-        m.entry("messages", &self.messages);
-        m.entry("acks", &self.acks);
-        m.entry("nacks", &self.nacks);
-        m.entry("msgs_per_op", &self.msgs_per_op);
-        m.entry("fairness", &self.fairness);
-        m.entry("starved", &self.starved);
-        m.entry("elapsed", &self.elapsed);
-        m.entry("max_link_occupancy", &self.max_link_occupancy);
-        if let Some(f) = &self.faults {
-            m.entry("faults", f);
-        }
-        if let Some(d) = self.degradation {
-            m.entry("degradation", &d);
-        }
-        m.end();
-    }
 }
 
 impl MachineReport {
@@ -132,6 +108,45 @@ impl MachineReport {
     pub fn with_degradation_vs(mut self, baseline: &MachineReport) -> Self {
         self.degradation = self.degradation_vs(baseline);
         self
+    }
+
+    /// Folds this report's counters into the shared metrics registry
+    /// (the `dsm_*` family), so machine runs land in the same snapshot
+    /// as the model checker's `mc_*` series. Counters accumulate across
+    /// runs; the link high-water gauge keeps its maximum. A no-op on a
+    /// null registry.
+    pub fn publish(&self, reg: &Registry) {
+        if !reg.enabled() {
+            return;
+        }
+        reg.counter("dsm_runs_total", "Machine runs folded into this registry").inc();
+        reg.counter("dsm_steps_total", "Scheduler steps executed").add(self.steps);
+        reg.counter("dsm_ops_total", "Completed line acquisitions").add(self.ops);
+        reg.counter("dsm_messages_total", "Wire messages sent").add(self.messages);
+        reg.counter("dsm_acks_total", "Acks sent").add(self.acks);
+        reg.counter("dsm_nacks_total", "Nacks sent").add(self.nacks);
+        reg.gauge("dsm_max_link_occupancy", "Highest post-enqueue link occupancy seen")
+            .record_max(u64::from(self.max_link_occupancy));
+        if self.deadlocked {
+            reg.counter("dsm_deadlocks_total", "Runs that wedged with no enabled transition").inc();
+        }
+        if let Some(f) = &self.faults {
+            reg.counter("dsm_fault_drops_total", "Messages dropped by the fault plan").add(f.drops);
+            reg.counter("dsm_fault_dups_total", "Messages duplicated by the fault plan")
+                .add(f.dups);
+            reg.counter("dsm_fault_reorders_total", "Adjacent-pair reorders performed")
+                .add(f.reorders);
+            reg.counter("dsm_fault_delays_total", "Per-step delivery delays imposed").add(f.delays);
+            reg.counter(
+                "dsm_retransmits_total",
+                "Retransmissions attempted by the recovery harness",
+            )
+            .add(f.retransmits);
+            reg.counter("dsm_recovered_total", "Dropped messages restored to their link")
+                .add(f.recovered);
+            reg.counter("dsm_absorbed_total", "Duplicate copies absorbed by receiver-side dedup")
+                .add(f.absorbed);
+        }
     }
 
     /// Steps executed per wall-clock second, when measurable.
@@ -234,17 +249,96 @@ mod tests {
         let line = faulted.summary();
         assert!(line.contains("drop=3") && line.contains("degr=1.50x"), "{line}");
 
-        let ser = |r: &MachineReport| {
-            let mut s = Serializer::new();
-            r.serialize(&mut s);
-            s.into_string()
-        };
+        let ser = |r: &MachineReport| serde::json::to_string(r);
         assert!(
             !ser(&clean).contains("faults"),
             "plain reports must serialize without fault fields: {}",
             ser(&clean)
         );
         assert!(ser(&faulted).contains("\"recovered\":3"), "{}", ser(&faulted));
+    }
+
+    /// The hand-written serializer the derive replaced, kept verbatim as
+    /// a golden reference: the derived output must match byte for byte,
+    /// including omitting (not nulling) the absent fault fields.
+    fn hand_serialize(r: &MachineReport) -> String {
+        let mut s = serde::Serializer::new();
+        let mut m = s.begin_map();
+        m.entry("protocol", r.protocol.as_str());
+        m.entry("variant", r.variant.as_str());
+        m.entry("n", &r.n);
+        m.entry("steps", &r.steps);
+        m.entry("deadlocked", &r.deadlocked);
+        m.entry("ops", &r.ops);
+        m.entry("messages", &r.messages);
+        m.entry("acks", &r.acks);
+        m.entry("nacks", &r.nacks);
+        m.entry("msgs_per_op", &r.msgs_per_op);
+        m.entry("fairness", &r.fairness);
+        m.entry("starved", &r.starved);
+        m.entry("elapsed", &r.elapsed);
+        m.entry("max_link_occupancy", &r.max_link_occupancy);
+        if let Some(f) = &r.faults {
+            m.entry("faults", f);
+        }
+        if let Some(d) = r.degradation {
+            m.entry("degradation", &d);
+        }
+        m.end();
+        s.into_string()
+    }
+
+    #[test]
+    fn derived_serializer_is_byte_compatible_with_hand_written() {
+        let mut stats = MsgStats::new();
+        stats.acks = 12;
+        let clean =
+            MachineReport::from_stats("token", "derived", 2, 50, false, 6, &stats, Duration::ZERO);
+        // Omitted-field case: no faults, no degradation.
+        assert_eq!(serde::json::to_string(&clean), hand_serialize(&clean));
+        assert!(!serde::json::to_string(&clean).contains("faults"));
+
+        // Faults present, degradation absent.
+        let faulted = clean.clone().with_faults(FaultStats {
+            drops: 3,
+            recovered: 3,
+            ..FaultStats::default()
+        });
+        assert_eq!(serde::json::to_string(&faulted), hand_serialize(&faulted));
+
+        // Both present (and an unmeasurable ratio staying null).
+        let degraded = faulted.clone().with_degradation_vs(&clean);
+        assert_eq!(serde::json::to_string(&degraded), hand_serialize(&degraded));
+
+        // Degradation present without faults.
+        let mut odd = clean.clone();
+        odd.degradation = Some(1.25);
+        assert_eq!(serde::json::to_string(&odd), hand_serialize(&odd));
+        assert!(!serde::json::to_string(&odd).contains("faults"));
+        assert!(serde::json::to_string(&odd).contains("\"degradation\":1.25"));
+    }
+
+    #[test]
+    fn publish_folds_counters_into_registry() {
+        let reg = ccr_metrics::Registry::new();
+        let mut stats = MsgStats::new();
+        stats.acks = 10;
+        stats.nacks = 2;
+        let report =
+            MachineReport::from_stats("token", "derived", 2, 50, false, 6, &stats, Duration::ZERO)
+                .with_faults(FaultStats { drops: 3, retransmits: 4, ..FaultStats::default() });
+        report.publish(&reg);
+        report.publish(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["dsm_runs_total"], 2);
+        assert_eq!(snap.counters["dsm_steps_total"], 100);
+        assert_eq!(snap.counters["dsm_messages_total"], 24);
+        assert_eq!(snap.counters["dsm_fault_drops_total"], 6);
+        assert_eq!(snap.counters["dsm_retransmits_total"], 8);
+        // A null registry stays empty.
+        let null = ccr_metrics::Registry::disabled();
+        report.publish(&null);
+        assert!(null.snapshot().counters.is_empty());
     }
 
     #[test]

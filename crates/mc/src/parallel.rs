@@ -52,6 +52,7 @@ use crate::report::{ExploreReport, Outcome};
 use crate::search::{Budget, SearchObserver};
 use crate::store::{hash_encoded, StateStore};
 use ccr_core::ids::ProcessId;
+use ccr_metrics::Registry;
 use ccr_runtime::{Label, LabelKind, TransitionSystem};
 use ccr_trace::NullSink;
 use crossbeam::queue::SegQueue;
@@ -306,6 +307,38 @@ struct Violation {
 const DECIDE_CONTINUE: u8 = 0;
 const DECIDE_STOP: u8 = 1;
 
+/// Pre-created metric handles so the worker paths that record (batch
+/// flush/drain, the per-level decision) touch only the atomic cells —
+/// never the registry's name map — and compile to a single branch on a
+/// null registry.
+struct EngineMetrics {
+    /// Cross-worker successor batches pushed (timing-dependent).
+    batches_flushed: ccr_metrics::Counter,
+    /// Cross-worker successor batches consumed (timing-dependent).
+    batches_drained: ccr_metrics::Counter,
+    /// States per fully built BFS level (deterministic: the search is
+    /// level-synchronized).
+    level_frontier: ccr_metrics::Histogram,
+}
+
+impl EngineMetrics {
+    fn new(reg: &Registry) -> Self {
+        Self {
+            batches_flushed: reg
+                .counter_nondet("mc_batches_flushed_total", "Cross-worker successor batches sent"),
+            batches_drained: reg.counter_nondet(
+                "mc_batches_drained_total",
+                "Cross-worker successor batches consumed",
+            ),
+            level_frontier: reg.histogram(
+                "mc_level_frontier",
+                "States discovered per BFS level",
+                crate::search::LEVEL_FRONTIER_BOUNDS,
+            ),
+        }
+    }
+}
+
 /// Everything the workers share by reference.
 pub(crate) struct Engine<'e, T: TransitionSystem, F, G> {
     sys: &'e T,
@@ -330,6 +363,7 @@ pub(crate) struct Engine<'e, T: TransitionSystem, F, G> {
     finished: AtomicBool,
     violations: Mutex<Vec<Violation>>,
     pub(crate) budget_hit: AtomicBool,
+    metrics: EngineMetrics,
 }
 
 impl<'e, T, F, G> Engine<'e, T, F, G>
@@ -346,6 +380,7 @@ where
         is_progress: Option<&'e G>,
         check_deadlock: bool,
         cfg: &'e ParallelConfig,
+        reg: &Registry,
     ) -> Self {
         let n_shards = cfg.shard_count();
         let threads = cfg.threads.max(1);
@@ -371,6 +406,7 @@ where
             finished: AtomicBool::new(false),
             violations: Mutex::new(Vec::new()),
             budget_hit: AtomicBool::new(false),
+            metrics: EngineMetrics::new(reg),
         }
     }
 
@@ -491,6 +527,7 @@ where
             );
         }
         self.in_flight.fetch_sub(1, SeqCst);
+        self.metrics.batches_drained.inc();
         true
     }
 
@@ -511,6 +548,7 @@ where
             return;
         }
         self.in_flight.fetch_add(1, SeqCst);
+        self.metrics.batches_flushed.inc();
         self.inboxes[dest].push(Batch {
             items: std::mem::take(&mut outbox.items),
             bytes: std::mem::take(&mut outbox.bytes),
@@ -719,6 +757,9 @@ where
     fn decide(&self) {
         let next: usize = self.counters.iter().map(|c| c.next.swap(0, Relaxed)).sum();
         self.peak_frontier.fetch_max(next, SeqCst);
+        if next > 0 {
+            self.metrics.level_frontier.observe(next as u64);
+        }
         self.done_expanding.store(0, SeqCst);
         let states = self.states_total();
         let bytes = self.bytes_total();
@@ -770,6 +811,7 @@ where
         self.counters[0].states.fetch_add(1, Relaxed);
         self.counters[0].frontier_in.fetch_add(1, Relaxed);
         self.peak_frontier.fetch_max(1, SeqCst);
+        self.metrics.level_frontier.observe(1);
         (self.invariant)(&init).map(Outcome::InvariantViolated)
     }
 
@@ -829,7 +871,9 @@ where
     F: Fn(&T::State) -> Option<String> + Sync,
     G: Fn(&Label) -> bool + Sync,
 {
+    let reg = obs.metrics().clone();
     if let Some(v) = engine.seed() {
+        record_parallel_run(engine, &reg);
         return (v, engine.track_trails().then(Vec::new), Vec::new());
     }
     let threads = engine.cfg.threads.max(1);
@@ -845,6 +889,7 @@ where
             edges.append(&mut worker_edges);
         }
     });
+    record_parallel_run(engine, &reg);
     match engine.winning_violation() {
         Some(v) => {
             let trail = engine.track_trails().then(|| engine.trail_to(v.state_ref));
@@ -852,6 +897,40 @@ where
         }
         None if engine.budget_hit.load(SeqCst) => (Outcome::Unfinished, None, edges),
         None => (Outcome::Complete, None, edges),
+    }
+}
+
+/// Folds one finished parallel run into `reg`: the shared serial/parallel
+/// totals (`mc_runs_total`, `mc_states_total`, `mc_transitions_total`,
+/// peak frontier, store bytes — see
+/// [`crate::search::record_run_totals`]) plus the parallel-only level
+/// count, worker-width gauge, and per-stripe store-shape histograms.
+/// Called exactly once per run, from [`run`], so every parallel entry
+/// point (explore, traced, progress, fault-mode) records the same way.
+fn record_parallel_run<T, F, G>(engine: &Engine<'_, T, F, G>, reg: &Registry)
+where
+    T: TransitionSystem + Sync,
+    T::State: Send,
+    F: Fn(&T::State) -> Option<String> + Sync,
+    G: Fn(&Label) -> bool + Sync,
+{
+    if !reg.enabled() {
+        return;
+    }
+    crate::search::record_run_totals(
+        reg,
+        engine.states_total(),
+        engine.transitions_total(),
+        engine.peak_frontier.load(SeqCst).max(1),
+        engine.store_bytes(),
+    );
+    reg.counter("mc_levels_total", "BFS levels fully expanded, summed over parallel runs")
+        .add(engine.level.load(SeqCst) as u64);
+    reg.gauge_nondet("mc_workers", "Worker threads used by the widest parallel run")
+        .record_max(engine.cfg.threads.max(1) as u64);
+    for stripe in &engine.stripes {
+        let sh = stripe.lock().expect("stripe");
+        crate::search::record_store_shape(reg, &sh.store);
     }
 }
 
@@ -892,7 +971,7 @@ where
     F: Fn(&T::State) -> Option<String> + Sync,
 {
     let engine: Engine<'_, T, F, fn(&Label) -> bool> =
-        Engine::new(sys, budget, &invariant, None, check_deadlock, cfg);
+        Engine::new(sys, budget, &invariant, None, check_deadlock, cfg, obs.metrics());
     let (outcome, trail, _) = run(&engine, obs);
     let report = assemble(&engine, cfg, outcome, trail);
     obs.finish(&report.outcome, None);
@@ -919,7 +998,7 @@ where
 {
     let cfg = cfg.clone().with_trails();
     let engine: Engine<'_, T, F, fn(&Label) -> bool> =
-        Engine::new(sys, budget, &invariant, None, check_deadlock, &cfg);
+        Engine::new(sys, budget, &invariant, None, check_deadlock, &cfg, obs.metrics());
     let (outcome, trail, _) = run(&engine, obs);
     let report = assemble(&engine, &cfg, outcome, trail);
     if obs.sink().enabled() {
@@ -1126,6 +1205,61 @@ mod tests {
         );
         assert!(!full.probabilistic);
         assert!(par.store_bytes < full.store_bytes);
+    }
+
+    #[test]
+    fn metrics_deterministic_counters_match_serial_at_any_thread_count() {
+        let spec = token_spec();
+        let sys = RendezvousSystem::new(&spec, 3);
+        let snap_for = |threads: Option<usize>| {
+            let reg = ccr_metrics::Registry::new();
+            let mut null = NullSink;
+            let mut obs = SearchObserver::with_metrics(&mut null, 0, reg.clone());
+            match threads {
+                None => {
+                    crate::search::explore_observed(
+                        &sys,
+                        &Budget::default(),
+                        |_| None,
+                        false,
+                        &mut obs,
+                    );
+                }
+                Some(t) => {
+                    explore_parallel_observed(
+                        &sys,
+                        &Budget::default(),
+                        |_| None,
+                        false,
+                        &ParallelConfig::threads(t),
+                        &mut obs,
+                    );
+                }
+            }
+            reg.snapshot()
+        };
+        let serial = snap_for(None);
+        let par: Vec<_> = [1usize, 2, 4].iter().map(|&t| snap_for(Some(t))).collect();
+        for p in &par {
+            // The shared serial/parallel counters agree exactly.
+            for name in ["mc_runs_total", "mc_states_total", "mc_transitions_total"] {
+                assert_eq!(serial.counters[name], p.counters[name], "{name}");
+            }
+            // The encoded-length histogram is a multiset property of the
+            // reachable set: identical whatever engine visited it.
+            assert_eq!(
+                serial.histograms["mc_state_bytes"].counts,
+                p.histograms["mc_state_bytes"].counts
+            );
+            // Timing-dependent metrics are tagged as such.
+            for name in ["mc_batches_flushed_total", "mc_batches_drained_total", "mc_workers"] {
+                assert!(p.nondeterministic.contains(&name.to_string()), "{name}");
+            }
+        }
+        // The deterministic view is byte-identical across thread counts.
+        let views: Vec<String> = par.iter().map(|p| p.deterministic().to_json()).collect();
+        assert_eq!(views[0], views[1]);
+        assert_eq!(views[1], views[2]);
     }
 
     #[test]

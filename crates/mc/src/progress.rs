@@ -137,9 +137,11 @@ pub fn check_progress_observed<T: TransitionSystem>(
     };
 
     let mut queue_index = 0u32;
+    let mut peak_frontier = 1usize;
     while let Some(state) = frontier.pop_front() {
         let this_idx = queue_index;
         queue_index += 1;
+        peak_frontier = peak_frontier.max(frontier.len() + 1);
         obs.tick(store.len(), frontier.len() + 1, store.approx_bytes());
         if sys.successors(&state, &mut succs).is_err() {
             complete = false;
@@ -175,8 +177,10 @@ pub fn check_progress_observed<T: TransitionSystem>(
     // Backward propagation from progress states over the CSR reverse
     // graph.
     let n = store.len();
+    let transitions = edge_list.len();
     let (offsets, targets) = build_csr(n, &edge_list);
     drop(edge_list);
+    crate::search::record_search_run(obs.metrics(), n, transitions, peak_frontier, &store);
     let good = propagate_good(n, &offsets, &targets, &has_progress_edge);
 
     // Only states that were actually *expanded* (index < queue_index) have
@@ -274,7 +278,15 @@ where
     G: Fn(&Label) -> bool + Sync,
 {
     let invariant = |_: &T::State| None::<String>;
-    let engine = parallel::Engine::new(sys, budget, &invariant, Some(&is_progress), false, cfg);
+    let engine = parallel::Engine::new(
+        sys,
+        budget,
+        &invariant,
+        Some(&is_progress),
+        false,
+        cfg,
+        obs.metrics(),
+    );
     let (outcome, _, edges) = parallel::run(&engine, obs);
     let complete = outcome.is_complete();
 

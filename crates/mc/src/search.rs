@@ -7,10 +7,86 @@
 
 use crate::report::{ExploreReport, Outcome};
 use crate::store::StateStore;
+use ccr_metrics::Registry;
 use ccr_runtime::{Label, TransitionSystem};
 use ccr_trace::{NullSink, TraceEvent, TraceSink};
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
+
+/// Inclusive `le` bounds for the store probe-displacement histogram.
+pub(crate) const PROBE_BOUNDS: &[u64] = &[0, 1, 2, 4, 8, 16, 32];
+/// Inclusive `le` bounds for the encoded-state-length histogram.
+pub(crate) const STATE_BYTES_BOUNDS: &[u64] = &[8, 16, 24, 32, 48, 64, 96, 128];
+/// Inclusive `le` bounds for the per-level frontier-size histogram.
+pub(crate) const LEVEL_FRONTIER_BOUNDS: &[u64] = &[16, 64, 256, 1024, 4096, 16384, 65536, 262144];
+
+/// Folds one finished search into `reg` (a no-op on a null registry):
+/// the deterministic run totals plus the post-hoc store-shape
+/// histograms. Serial explorers call this once per run; the parallel
+/// engine records the same names from its own totals so serial and
+/// parallel snapshots of the same state space agree on every
+/// deterministic counter.
+pub(crate) fn record_search_run(
+    reg: &Registry,
+    states: usize,
+    transitions: usize,
+    peak_frontier: usize,
+    store: &StateStore,
+) {
+    if !reg.enabled() {
+        return;
+    }
+    record_run_totals(reg, states, transitions, peak_frontier, store.approx_bytes());
+    record_store_shape(reg, store);
+}
+
+/// The deterministic run totals alone — shared between the serial
+/// explorers (which have one store) and the parallel engine (which sums
+/// its shard stripes before calling).
+pub(crate) fn record_run_totals(
+    reg: &Registry,
+    states: usize,
+    transitions: usize,
+    peak_frontier: usize,
+    store_bytes: usize,
+) {
+    if !reg.enabled() {
+        return;
+    }
+    reg.counter("mc_runs_total", "Search runs folded into this registry").inc();
+    reg.counter("mc_states_total", "Distinct states stored, summed over runs").add(states as u64);
+    reg.counter("mc_transitions_total", "Transitions generated, summed over runs")
+        .add(transitions as u64);
+    reg.gauge("mc_peak_frontier", "Largest BFS frontier observed in any run")
+        .record_max(peak_frontier as u64);
+    reg.gauge("mc_store_bytes", "Largest state-store footprint observed in any run")
+        .record_max(store_bytes as u64);
+}
+
+/// Post-hoc store-shape histograms: probe displacements (insertion-order
+/// dependent, hence tagged nondeterministic) and encoded state lengths
+/// (a multiset property of the reachable set, hence deterministic).
+pub(crate) fn record_store_shape(reg: &Registry, store: &StateStore) {
+    if !reg.enabled() {
+        return;
+    }
+    let probes = reg.histogram_nondet(
+        "mc_store_probe_len",
+        "Open-addressing probe displacement per occupied slot",
+        PROBE_BOUNDS,
+    );
+    for displacement in store.probe_displacements() {
+        probes.observe(displacement);
+    }
+    let lengths = reg.histogram(
+        "mc_state_bytes",
+        "Encoded state length in bytes (no samples in compact-hash mode)",
+        STATE_BYTES_BOUNDS,
+    );
+    for len in store.entry_lengths() {
+        lengths.observe(len);
+    }
+}
 
 /// Resource limits for a search.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,14 +137,37 @@ pub struct SearchObserver<'s> {
     last_states: usize,
     last_time: Instant,
     next_beat: usize,
+    metrics: Registry,
 }
 
 impl<'s> SearchObserver<'s> {
-    /// Heartbeats to `sink` every `every` states (0 disables them).
+    /// Heartbeats to `sink` every `every` states (0 disables them), with
+    /// metrics off (the null registry).
     pub fn new(sink: &'s mut dyn TraceSink, every: usize) -> Self {
+        Self::with_metrics(sink, every, Registry::disabled())
+    }
+
+    /// Like [`SearchObserver::new`], but also carrying a metrics
+    /// registry: searches driven through this observer fold their run
+    /// totals and store-shape histograms into it.
+    pub fn with_metrics(sink: &'s mut dyn TraceSink, every: usize, metrics: Registry) -> Self {
         let now = Instant::now();
         let every = if sink.enabled() { every } else { 0 };
-        Self { sink, every, started: now, last_states: 0, last_time: now, next_beat: every }
+        Self {
+            sink,
+            every,
+            started: now,
+            last_states: 0,
+            last_time: now,
+            next_beat: every,
+            metrics,
+        }
+    }
+
+    /// The metrics registry searches record into (null unless built with
+    /// [`SearchObserver::with_metrics`]).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
     }
 
     /// Called by searches once per expanded state.
@@ -150,6 +249,7 @@ pub fn explore_observed<T: TransitionSystem>(
                   started: Instant,
                   obs: &mut SearchObserver<'_>| {
         obs.finish(&outcome, None);
+        record_search_run(obs.metrics(), store.len(), transitions, peak_frontier, store);
         ExploreReport {
             states: store.len(),
             transitions,

@@ -240,6 +240,25 @@ impl StateStore {
             + self.entries.len() * std::mem::size_of::<(u32, u32)>()
             + std::mem::size_of::<Self>()
     }
+
+    /// Probe displacement (distance from the hash's home slot, in slots)
+    /// of every occupied slot, in table order. Computed post-hoc by
+    /// rescanning the table, so histogramming probe lengths costs the
+    /// search's hot path nothing. Displacements depend on insertion
+    /// order, which under parallel exploration depends on scheduling.
+    pub fn probe_displacements(&self) -> impl Iterator<Item = u64> + '_ {
+        let mask = self.slots.len().wrapping_sub(1);
+        self.slots.iter().enumerate().filter(|(_, &slot)| slot != EMPTY).map(move |(i, _)| {
+            let home = (self.hashes[i] as usize) & mask;
+            (i.wrapping_sub(home) & mask) as u64
+        })
+    }
+
+    /// Encoded length in bytes of every stored state, in insertion order.
+    /// Empty in hash-compaction mode, where key bytes are not kept.
+    pub fn entry_lengths(&self) -> impl Iterator<Item = u64> + '_ {
+        self.entries.iter().map(|&(_, len)| u64::from(len))
+    }
 }
 
 #[cfg(test)]
@@ -377,5 +396,34 @@ mod tests {
             let rb = b.insert_hashed(hash_encoded(&k), &k);
             assert_eq!(ra, rb);
         }
+    }
+
+    #[test]
+    fn shape_iterators_cover_every_entry() {
+        let mut store = StateStore::new();
+        assert_eq!(store.probe_displacements().count(), 0);
+        assert_eq!(store.entry_lengths().count(), 0);
+        for i in 0u32..500 {
+            // Variable-length keys: 4 or 8 bytes.
+            if i % 2 == 0 {
+                store.insert(&i.to_le_bytes());
+            } else {
+                store.insert(&u64::from(i).to_le_bytes());
+            }
+        }
+        assert_eq!(store.probe_displacements().count(), 500);
+        assert_eq!(store.entry_lengths().count(), 500);
+        assert_eq!(store.entry_lengths().filter(|&l| l == 4).count(), 250);
+        assert_eq!(store.entry_lengths().filter(|&l| l == 8).count(), 250);
+        // Displacements are small for a healthy table (load factor 7/8).
+        assert!(store.probe_displacements().all(|d| d < store.len() as u64));
+
+        // Compact mode keeps no key bytes, but still probes.
+        let mut compact = StateStore::compact();
+        for i in 0u32..100 {
+            compact.insert(&i.to_le_bytes());
+        }
+        assert_eq!(compact.entry_lengths().count(), 0);
+        assert_eq!(compact.probe_displacements().count(), 100);
     }
 }

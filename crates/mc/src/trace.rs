@@ -165,8 +165,15 @@ pub fn explore_traced_observed<T: TransitionSystem>(
     let mut frontier: VecDeque<(T::State, u32)> = VecDeque::new();
     let mut succs = Vec::new();
     let mut enc = Vec::new();
+    let mut transitions = 0usize;
+    let mut peak_frontier = 0usize;
 
-    let conclude = |report: TracedReport, obs: &mut SearchObserver<'_>| -> TracedReport {
+    let conclude = |report: TracedReport,
+                    transitions: usize,
+                    peak_frontier: usize,
+                    store: &StateStore,
+                    obs: &mut SearchObserver<'_>|
+     -> TracedReport {
         if obs.sink().enabled() {
             match &report.trail {
                 Some(trail) => {
@@ -175,6 +182,13 @@ pub fn explore_traced_observed<T: TransitionSystem>(
                 None => obs.finish(&report.outcome, None),
             }
         }
+        crate::search::record_search_run(
+            obs.metrics(),
+            report.states,
+            transitions,
+            peak_frontier,
+            store,
+        );
         report
     };
 
@@ -188,11 +202,12 @@ pub fn explore_traced_observed<T: TransitionSystem>(
             outcome: Outcome::InvariantViolated(d),
             trail: Some(Vec::new()),
         };
-        return conclude(r, obs);
+        return conclude(r, 0, 0, &store, obs);
     }
     frontier.push_back((init, 0));
 
     while let Some((state, idx)) = frontier.pop_front() {
+        peak_frontier = peak_frontier.max(frontier.len() + 1);
         obs.tick(store.len(), frontier.len() + 1, store.approx_bytes());
         if let Err(e) = sys.successors(&state, &mut succs) {
             let r = TracedReport {
@@ -200,7 +215,7 @@ pub fn explore_traced_observed<T: TransitionSystem>(
                 outcome: Outcome::RuntimeFailure(e),
                 trail: Some(trail_to(&parents, idx)),
             };
-            return conclude(r, obs);
+            return conclude(r, transitions, peak_frontier, &store, obs);
         }
         if check_deadlock && succs.is_empty() {
             let r = TracedReport {
@@ -208,9 +223,10 @@ pub fn explore_traced_observed<T: TransitionSystem>(
                 outcome: Outcome::Deadlock,
                 trail: Some(trail_to(&parents, idx)),
             };
-            return conclude(r, obs);
+            return conclude(r, transitions, peak_frontier, &store, obs);
         }
         for (label, next) in succs.drain(..) {
+            transitions += 1;
             sys.encode(&next, &mut enc);
             let (nidx, is_new) = store.insert(&enc);
             if !is_new {
@@ -223,7 +239,7 @@ pub fn explore_traced_observed<T: TransitionSystem>(
                     outcome: Outcome::InvariantViolated(d),
                     trail: Some(trail_to(&parents, nidx)),
                 };
-                return conclude(r, obs);
+                return conclude(r, transitions, peak_frontier, &store, obs);
             }
             if store.len() >= budget.max_states
                 || store.approx_bytes() >= budget.max_bytes
@@ -231,12 +247,13 @@ pub fn explore_traced_observed<T: TransitionSystem>(
             {
                 let r =
                     TracedReport { states: store.len(), outcome: Outcome::Unfinished, trail: None };
-                return conclude(r, obs);
+                return conclude(r, transitions, peak_frontier, &store, obs);
             }
             frontier.push_back((next, nidx));
         }
     }
-    conclude(TracedReport { states: store.len(), outcome: Outcome::Complete, trail: None }, obs)
+    let r = TracedReport { states: store.len(), outcome: Outcome::Complete, trail: None };
+    conclude(r, transitions, peak_frontier, &store, obs)
 }
 
 #[cfg(test)]

@@ -1,0 +1,380 @@
+//! Validator for the Prometheus text exposition format (version 0.0.4),
+//! used by tests to prove [`crate::Snapshot::to_prometheus`] output is
+//! well-formed: metric-name charset, `# HELP`/`# TYPE` placement, sample
+//! syntax, and the histogram `_bucket`/`_sum`/`_count` invariants
+//! (cumulative nondecreasing buckets, `le="+Inf"` equal to `_count`).
+
+use std::collections::BTreeMap;
+
+/// One parsed sample line.
+#[derive(Debug, Clone)]
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+#[derive(Debug, Default)]
+struct Family {
+    kind: Option<String>,
+    saw_sample: bool,
+    /// For histograms: (le, cumulative count) in order of appearance.
+    buckets: Vec<(f64, f64)>,
+    sum: Option<f64>,
+    count: Option<f64>,
+}
+
+/// Is `name` a valid metric name (`[a-zA-Z_:][a-zA-Z0-9_:]*`)?
+pub fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Is `name` a valid label name (`[a-zA-Z_][a-zA-Z0-9_]*`)?
+pub fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Strip a histogram sample suffix, mapping `x_bucket`/`x_sum`/`x_count`
+/// to the family name `x`.
+fn family_of(sample_name: &str, families: &BTreeMap<String, Family>) -> String {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = sample_name.strip_suffix(suffix) {
+            if families.get(base).and_then(|f| f.kind.as_deref()) == Some("histogram") {
+                return base.to_string();
+            }
+        }
+    }
+    sample_name.to_string()
+}
+
+/// Validate a complete exposition. Returns the first problem found.
+pub fn validate(text: &str) -> Result<(), String> {
+    let mut families: BTreeMap<String, Family> = BTreeMap::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw;
+        let err = |msg: String| Err(format!("line {}: {msg}: {line:?}", lineno + 1));
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            match parts.next() {
+                Some("HELP") => {
+                    let Some(name) = parts.next() else {
+                        return err("HELP without metric name".into());
+                    };
+                    if !valid_name(name) {
+                        return err(format!("invalid metric name `{name}` in HELP"));
+                    }
+                }
+                Some("TYPE") => {
+                    let (Some(name), Some(kind)) = (parts.next(), parts.next()) else {
+                        return err("TYPE needs a name and a type".into());
+                    };
+                    if !valid_name(name) {
+                        return err(format!("invalid metric name `{name}` in TYPE"));
+                    }
+                    if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                        return err(format!("unknown metric type `{kind}`"));
+                    }
+                    let family = families.entry(name.to_string()).or_default();
+                    if family.kind.is_some() {
+                        return err(format!("duplicate TYPE for `{name}`"));
+                    }
+                    if family.saw_sample {
+                        return err(format!("TYPE for `{name}` after its samples"));
+                    }
+                    family.kind = Some(kind.to_string());
+                }
+                _ => {} // plain comment
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // comment without space, still a comment
+        }
+        let sample = match parse_sample(line) {
+            Ok(sample) => sample,
+            Err(msg) => return err(msg),
+        };
+        if !valid_name(&sample.name) {
+            return err(format!("invalid metric name `{}`", sample.name));
+        }
+        for (label, _) in &sample.labels {
+            if !valid_label_name(label) {
+                return err(format!("invalid label name `{label}`"));
+            }
+        }
+        let family_name = family_of(&sample.name, &families);
+        let family = families.entry(family_name.clone()).or_default();
+        family.saw_sample = true;
+        if family.kind.as_deref() == Some("histogram") {
+            if sample.name == format!("{family_name}_bucket") {
+                let le = sample
+                    .labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .map(|(_, v)| v.clone())
+                    .ok_or_else(|| format!("line {}: bucket without le label", lineno + 1))?;
+                let bound = parse_value(&le)
+                    .map_err(|e| format!("line {}: bad le value `{le}`: {e}", lineno + 1))?;
+                family.buckets.push((bound, sample.value));
+            } else if sample.name == format!("{family_name}_sum") {
+                family.sum = Some(sample.value);
+            } else if sample.name == format!("{family_name}_count") {
+                family.count = Some(sample.value);
+            } else if sample.name != family_name {
+                return err(format!(
+                    "sample `{}` does not belong to histogram `{family_name}`",
+                    sample.name
+                ));
+            }
+        } else if let Some(kind) = family.kind.as_deref() {
+            // counters and gauges: the sample name must equal the family name
+            if (kind == "counter" || kind == "gauge") && sample.name != family_name {
+                return err(format!(
+                    "sample `{}` under {kind} family `{family_name}`",
+                    sample.name
+                ));
+            }
+        }
+    }
+    // Histogram invariants.
+    for (name, family) in &families {
+        if family.kind.as_deref() != Some("histogram") || !family.saw_sample {
+            continue;
+        }
+        if family.buckets.is_empty() {
+            return Err(format!("histogram `{name}` has no buckets"));
+        }
+        for window in family.buckets.windows(2) {
+            if window[1].0 <= window[0].0 {
+                return Err(format!("histogram `{name}` buckets not in increasing le order"));
+            }
+            if window[1].1 < window[0].1 {
+                return Err(format!("histogram `{name}` bucket counts not cumulative"));
+            }
+        }
+        let (last_le, last_count) = *family.buckets.last().unwrap();
+        if !last_le.is_infinite() || last_le < 0.0 {
+            return Err(format!("histogram `{name}` missing le=\"+Inf\" bucket"));
+        }
+        let Some(count) = family.count else {
+            return Err(format!("histogram `{name}` missing _count"));
+        };
+        if family.sum.is_none() {
+            return Err(format!("histogram `{name}` missing _sum"));
+        }
+        if last_count != count {
+            return Err(format!(
+                "histogram `{name}`: le=\"+Inf\" bucket {last_count} != _count {count}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Parse a sample value: a float, or the special `+Inf`/`-Inf`/`NaN`.
+fn parse_value(text: &str) -> Result<f64, String> {
+    match text {
+        "+Inf" | "Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        _ => text.parse::<f64>().map_err(|e| e.to_string()),
+    }
+}
+
+/// Parse `name[{labels}] value [timestamp]`.
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let line = line.trim_end();
+    let (name_part, rest) = match line.find('{') {
+        Some(brace) => {
+            let close = find_closing_brace(line, brace)?;
+            (&line[..brace], &line[close + 1..])
+        }
+        None => match line.find(' ') {
+            Some(space) => (&line[..space], &line[space..]),
+            None => return Err("sample without value".into()),
+        },
+    };
+    let labels = match line.find('{') {
+        Some(brace) => {
+            let close = find_closing_brace(line, brace)?;
+            parse_labels(&line[brace + 1..close])?
+        }
+        None => Vec::new(),
+    };
+    let mut fields = rest.split_whitespace();
+    let value_text = fields.next().ok_or_else(|| "sample without value".to_string())?;
+    let value = parse_value(value_text)?;
+    if let Some(timestamp) = fields.next() {
+        timestamp.parse::<i64>().map_err(|_| format!("bad timestamp `{timestamp}`"))?;
+    }
+    if fields.next().is_some() {
+        return Err("trailing tokens after timestamp".into());
+    }
+    Ok(Sample { name: name_part.trim().to_string(), labels, value })
+}
+
+/// Index of the `}` closing the label block, honoring quoted strings.
+fn find_closing_brace(line: &str, open: usize) -> Result<usize, String> {
+    let bytes = line.as_bytes();
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, &b) in bytes.iter().enumerate().skip(open + 1) {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+            }
+        } else if b == b'"' {
+            in_string = true;
+        } else if b == b'}' {
+            return Ok(i);
+        }
+    }
+    Err("unterminated label block".into())
+}
+
+/// Parse `k1="v1",k2="v2"` (trailing comma tolerated, as Prometheus does).
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or_else(|| "label without `=`".to_string())?;
+        let name = rest[..eq].trim().to_string();
+        rest = rest[eq + 1..].trim_start();
+        if !rest.starts_with('"') {
+            return Err(format!("label `{name}` value not quoted"));
+        }
+        let mut value = String::new();
+        let mut chars = rest[1..].char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, other)) => value.push(other),
+                    None => return Err("dangling escape in label value".into()),
+                },
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let end = end.ok_or_else(|| "unterminated label value".to_string())?;
+        labels.push((name, value));
+        rest = rest[1 + end + 1..].trim_start();
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped.trim_start();
+        } else if !rest.is_empty() {
+            return Err("expected `,` between labels".into());
+        }
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_well_formed_exposition() {
+        let text = "\
+# HELP jobs_total Jobs processed
+# TYPE jobs_total counter
+jobs_total 7
+# TYPE queue_depth gauge
+queue_depth{worker=\"w1\",kind=\"a b\"} 3
+# TYPE lat histogram
+lat_bucket{le=\"1\"} 2
+lat_bucket{le=\"4\"} 5
+lat_bucket{le=\"+Inf\"} 6
+lat_sum 19
+lat_count 6
+";
+        validate(text).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_metric_name() {
+        assert!(validate("bad-name 1\n").is_err());
+    }
+
+    #[test]
+    fn rejects_type_after_samples() {
+        let text = "x_total 1\n# TYPE x_total counter\n";
+        assert!(validate(text).unwrap_err().contains("after its samples"));
+    }
+
+    #[test]
+    fn rejects_noncumulative_buckets() {
+        let text = "\
+# TYPE lat histogram
+lat_bucket{le=\"1\"} 5
+lat_bucket{le=\"2\"} 3
+lat_bucket{le=\"+Inf\"} 5
+lat_sum 1
+lat_count 5
+";
+        assert!(validate(text).unwrap_err().contains("cumulative"));
+    }
+
+    #[test]
+    fn rejects_inf_count_mismatch() {
+        let text = "\
+# TYPE lat histogram
+lat_bucket{le=\"1\"} 1
+lat_bucket{le=\"+Inf\"} 4
+lat_sum 1
+lat_count 5
+";
+        assert!(validate(text).unwrap_err().contains("_count"));
+    }
+
+    #[test]
+    fn rejects_missing_inf_bucket() {
+        let text = "\
+# TYPE lat histogram
+lat_bucket{le=\"1\"} 1
+lat_sum 1
+lat_count 1
+";
+        assert!(validate(text).unwrap_err().contains("+Inf"));
+    }
+
+    #[test]
+    fn rejects_missing_sum() {
+        let text = "\
+# TYPE lat histogram
+lat_bucket{le=\"+Inf\"} 1
+lat_count 1
+";
+        assert!(validate(text).unwrap_err().contains("_sum"));
+    }
+
+    #[test]
+    fn rejects_unquoted_label_value() {
+        assert!(validate("x{l=3} 1\n").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_value() {
+        assert!(validate("x_total abc\n").is_err());
+    }
+}

@@ -113,6 +113,34 @@ impl MsgStats {
     pub fn starved(&self, n: usize) -> usize {
         (0..n as u32).filter(|i| self.per_remote.get(i).copied().unwrap_or(0) == 0).count()
     }
+
+    /// Folds these counters into the shared metrics registry (the
+    /// `runtime_*` family): message/ack/nack/completion/step totals plus
+    /// one high-water gauge per observed link
+    /// (`runtime_link_high_water_r0_h` for the wire `r0 → h`). Counters
+    /// accumulate across calls; gauges keep their maxima. A no-op on a
+    /// null registry.
+    pub fn publish(&self, reg: &ccr_metrics::Registry) {
+        if !reg.enabled() {
+            return;
+        }
+        reg.counter("runtime_steps_total", "Simulator transitions observed").add(self.steps);
+        reg.counter("runtime_requests_total", "Request messages sent (all types)")
+            .add(self.requests.values().sum());
+        reg.counter("runtime_acks_total", "Acks sent").add(self.acks);
+        reg.counter("runtime_nacks_total", "Nacks sent").add(self.nacks);
+        reg.counter("runtime_completed_total", "Completed rendezvous (all types)")
+            .add(self.completed.values().sum());
+        reg.gauge("runtime_max_link_occupancy", "Highest post-enqueue occupancy on any link")
+            .record_max(u64::from(self.max_link_occupancy()));
+        for (from, to, high_water) in self.link_high_water.iter() {
+            reg.gauge(
+                &format!("runtime_link_high_water_{from}_{to}"),
+                "Post-enqueue occupancy high-water mark of one directed link",
+            )
+            .record_max(u64::from(high_water));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -185,6 +213,37 @@ mod tests {
         assert_eq!(st.max_link_occupancy(), 3);
         let json = serde::json::to_string(&st);
         assert!(json.contains("\"link_high_water\":{\"h->r0\":3,\"r0->h\":2}"), "{json}");
+    }
+
+    #[test]
+    fn publish_maps_counters_to_registry() {
+        let mut st = MsgStats::new();
+        let l = Label::new(remote(0), LabelKind::Request, "C1").sending(SentMsg::req(
+            remote(0),
+            ProcessId::Home,
+            MsgType(1),
+        ));
+        st.record(&l);
+        st.record(
+            &Label::new(ProcessId::Home, LabelKind::Complete, "C1")
+                .completing(remote(0), MsgType(1))
+                .sending(SentMsg::ack(ProcessId::Home, remote(0))),
+        );
+        st.record_occupancy(remote(0), ProcessId::Home, 2);
+        let reg = ccr_metrics::Registry::new();
+        st.publish(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["runtime_steps_total"], 2);
+        assert_eq!(snap.counters["runtime_requests_total"], 1);
+        assert_eq!(snap.counters["runtime_acks_total"], 1);
+        assert_eq!(snap.counters["runtime_completed_total"], 1);
+        assert_eq!(snap.gauges["runtime_link_high_water_r0_h"], 2);
+        assert_eq!(snap.gauges["runtime_max_link_occupancy"], 2);
+        // A second publish accumulates counters but not the gauge.
+        st.publish(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["runtime_steps_total"], 4);
+        assert_eq!(snap.gauges["runtime_max_link_occupancy"], 2);
     }
 
     #[test]

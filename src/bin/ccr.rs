@@ -14,6 +14,10 @@
 //!                                         and (opt-in) fault tolerance
 //! ccr table   <spec.ccp> [-n N..] [--threads T] [--trace FILE]
 //!             [--progress] [--json]       per-N reachability comparison
+//! ccr bench diff <old.json> <new.json> [--tolerance T]
+//!             [--bytes-tolerance B]       perf-regression gate over
+//!                                         BENCH_*.json reports or
+//!                                         --metrics snapshots
 //! ```
 //!
 //! `--threads T` (verify/table) runs the explorations and the progress
@@ -33,6 +37,13 @@
 //! * `--json` — emit the reports as a single machine-readable JSON
 //!   document on stdout instead of the human tables (suitable for
 //!   `docs/results/`).
+//! * `--metrics PATH|-` — collect pipeline metrics (counters, gauges,
+//!   histograms, per-phase wall times) in the `ccr-metrics` registry and
+//!   write the snapshot to PATH (`-` = stdout, as the final line). With
+//!   the flag absent the registry is null and the pipeline records
+//!   nothing.
+//! * `--metrics-format json|prometheus` — snapshot encoding (default
+//!   `json`; `prometheus` writes text exposition format 0.0.4).
 //!
 //! Fault-injection flags (verify only, see `docs/fault_injection.md`):
 //!
@@ -59,6 +70,7 @@ use ccr_mc::report::ExploreReport;
 use ccr_mc::search::{explore_observed, Budget, SearchObserver};
 use ccr_mc::simrel::check_simulation;
 use ccr_mc::trace::{explore_traced_observed, TracedReport};
+use ccr_metrics::Registry;
 use ccr_runtime::asynch::{AsyncConfig, AsyncSystem};
 use ccr_runtime::rendezvous::RendezvousSystem;
 use ccr_runtime::sched::RandomSched;
@@ -82,7 +94,10 @@ fn usage() -> ExitCode {
         "usage: ccr <fmt|check|refine|dot|verify|table> <spec.ccp> \
          [-n N] [--budget STATES] [--no-opt] [--refined] [--threads T] \
          [--trace FILE] [--progress] [--json] \
-         [--faults SPEC] [--seed N] [--fault-budget F]"
+         [--metrics PATH|-] [--metrics-format json|prometheus] \
+         [--faults SPEC] [--seed N] [--fault-budget F]\n\
+         \x20      ccr bench diff <old.json> <new.json> \
+         [--tolerance T] [--bytes-tolerance B]"
     );
     ExitCode::from(2)
 }
@@ -101,6 +116,14 @@ struct Args {
     seed: u64,
     fault_budget: Option<u32>,
     threads: usize,
+    metrics: Option<String>,
+    metrics_format: MetricsFormat,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum MetricsFormat {
+    Json,
+    Prometheus,
 }
 
 fn parse_args() -> Option<Args> {
@@ -121,6 +144,8 @@ fn parse_args() -> Option<Args> {
         seed: 0,
         fault_budget: None,
         threads: 1,
+        metrics: None,
+        metrics_format: MetricsFormat::Json,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -135,6 +160,14 @@ fn parse_args() -> Option<Args> {
             "--seed" => out.seed = args.next()?.parse().ok()?,
             "--fault-budget" => out.fault_budget = Some(args.next()?.parse().ok()?),
             "--threads" => out.threads = args.next()?.parse().ok().filter(|&t| t >= 1)?,
+            "--metrics" => out.metrics = Some(args.next()?),
+            "--metrics-format" => {
+                out.metrics_format = match args.next()?.as_str() {
+                    "json" => MetricsFormat::Json,
+                    "prometheus" => MetricsFormat::Prometheus,
+                    _ => return None,
+                }
+            }
             _ => return None,
         }
     }
@@ -256,6 +289,23 @@ impl FaultWalkReport {
     }
 }
 
+/// Folds aggregated injection/recovery counters into the registry (the
+/// `fault_*` family). The walks are seeded, so given the same spec and
+/// seed these are deterministic.
+fn publish_fault_stats(reg: &Registry, fs: &FaultStats) {
+    if !reg.enabled() {
+        return;
+    }
+    let c = |name: &str, help: &str, v: u64| reg.counter(name, help).add(v);
+    c("fault_drops_total", "Messages dropped by the fault plan", fs.drops);
+    c("fault_dups_total", "Messages duplicated by the fault plan", fs.dups);
+    c("fault_reorders_total", "Messages reordered by the fault plan", fs.reorders);
+    c("fault_delays_total", "Messages delayed by the fault plan", fs.delays);
+    c("fault_retransmits_total", "Retransmission attempts by the recovery layer", fs.retransmits);
+    c("fault_recovered_total", "Faults recovered by retransmission", fs.recovered);
+    c("fault_absorbed_total", "Faults absorbed without a retransmission", fs.absorbed);
+}
+
 /// Runs `FAULT_WALKS` seeded random walks of `asys` through the fault
 /// harness, plus a clean twin per walk (same scheduler seed, no faults)
 /// for the degradation baseline. Fault events stream to `sink`.
@@ -265,6 +315,7 @@ fn run_fault_walks(
     spec_text: &str,
     seed: u64,
     sink: &mut dyn TraceSink,
+    reg: &Registry,
 ) -> FaultWalkReport {
     let mut faults = FaultStats::default();
     let mut completed = 0u64;
@@ -302,6 +353,7 @@ fn run_fault_walks(
                     completed += sim.stats().total_completed();
                     messages += sim.stats().total_messages() + harness.stats().retransmits;
                     faults.merge(harness.stats());
+                    sim.stats().publish(reg);
                     break 'walks;
                 }
             };
@@ -323,10 +375,12 @@ fn run_fault_walks(
         completed += sim.stats().total_completed();
         messages += sim.stats().total_messages() + harness.stats().retransmits;
         faults.merge(harness.stats());
+        sim.stats().publish(reg);
         if error.is_some() {
             break;
         }
     }
+    publish_fault_stats(reg, &faults);
     let per_op = |msgs: u64, ops: u64| (ops > 0).then(|| msgs as f64 / ops as f64);
     let msgs_per_completion = per_op(messages, completed);
     let clean_msgs_per_completion = per_op(clean_messages, clean_completed);
@@ -350,10 +404,41 @@ fn run_fault_walks(
     }
 }
 
+/// Writes the registry snapshot to `--metrics` (stdout for `-`), in the
+/// `--metrics-format` encoding. No-op when the flag is absent.
+fn write_metrics(args: &Args, registry: &Registry) -> Result<(), ExitCode> {
+    let Some(path) = &args.metrics else {
+        return Ok(());
+    };
+    let snap = registry.snapshot();
+    let text = match args.metrics_format {
+        MetricsFormat::Json => snap.to_json(),
+        MetricsFormat::Prometheus => snap.to_prometheus(),
+    };
+    if path == "-" {
+        println!("{text}");
+        return Ok(());
+    }
+    std::fs::write(path, format!("{text}\n")).map_err(|e| {
+        eprintln!("ccr: cannot write {path}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
 fn main() -> ExitCode {
+    // `ccr bench diff` takes no spec file and none of the pipeline
+    // flags; dispatch before the regular argument parse.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("bench") {
+        return ccr_bench::diff::cli(&argv[1..]);
+    }
     let Some(args) = parse_args() else {
         return usage();
     };
+    // One registry for the whole invocation: real when `--metrics` asked
+    // for a snapshot, null (every record a no-op) otherwise.
+    let registry = if args.metrics.is_some() { Registry::new() } else { Registry::disabled() };
+    let parse_phase = registry.phase("parse");
     let src = match std::fs::read_to_string(&args.file) {
         Ok(s) => s,
         Err(e) => {
@@ -368,6 +453,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    drop(parse_phase);
     let opts =
         RefineOptions { reqrep: if args.no_opt { ReqRepMode::Off } else { ReqRepMode::Auto } };
 
@@ -464,11 +550,14 @@ fn main() -> ExitCode {
                 },
                 None => None,
             };
-            let refined = match refine(&spec, &opts) {
-                Ok(r) => r,
-                Err(e) => {
-                    eprintln!("ccr: refinement failed: {e}");
-                    return ExitCode::FAILURE;
+            let refined = {
+                let _p = registry.phase("refine");
+                match refine(&spec, &opts) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("ccr: refinement failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
             };
             let mut file = match file_sink(&args.trace) {
@@ -482,7 +571,9 @@ fn main() -> ExitCode {
             let threads = args.threads;
             let rv = RendezvousSystem::new(&spec, n);
             let r = {
-                let mut obs = SearchObserver::new(&mut tee, HEARTBEAT_EVERY);
+                let _p = registry.phase("explore/rendezvous");
+                let mut obs =
+                    SearchObserver::with_metrics(&mut tee, HEARTBEAT_EVERY, registry.clone());
                 explore_cli(&rv, &budget, threads, &mut obs)
             };
             if human {
@@ -499,7 +590,9 @@ fn main() -> ExitCode {
             let mut prog = None;
             if r_ok {
                 let ar = {
-                    let mut obs = SearchObserver::new(&mut tee, HEARTBEAT_EVERY);
+                    let _p = registry.phase("explore/async");
+                    let mut obs =
+                        SearchObserver::with_metrics(&mut tee, HEARTBEAT_EVERY, registry.clone());
                     explore_cli(&asys, &budget, threads, &mut obs)
                 };
                 if human {
@@ -511,7 +604,10 @@ fn main() -> ExitCode {
                 let a_ok = ar.outcome.is_complete();
                 a = Some(ar);
                 if a_ok {
-                    let s = check_simulation(&asys, &rv, &budget);
+                    let s = {
+                        let _p = registry.phase("check/equation1");
+                        check_simulation(&asys, &rv, &budget)
+                    };
                     if human {
                         println!(
                             "Equation 1: {} ({} transitions, {} stutters, {} mapped)",
@@ -528,7 +624,12 @@ fn main() -> ExitCode {
                     sim = Some(s);
                     if s_ok {
                         let p = {
-                            let mut obs = SearchObserver::new(&mut tee, HEARTBEAT_EVERY);
+                            let _p = registry.phase("check/progress");
+                            let mut obs = SearchObserver::with_metrics(
+                                &mut tee,
+                                HEARTBEAT_EVERY,
+                                registry.clone(),
+                            );
                             if threads > 1 {
                                 check_progress_parallel_observed(
                                     &asys,
@@ -571,7 +672,12 @@ fn main() -> ExitCode {
             if clean_ok {
                 if let Some(f) = args.fault_budget {
                     let fc = {
-                        let mut obs = SearchObserver::new(&mut tee, HEARTBEAT_EVERY);
+                        let _p = registry.phase("check/fault-closure");
+                        let mut obs = SearchObserver::with_metrics(
+                            &mut tee,
+                            HEARTBEAT_EVERY,
+                            registry.clone(),
+                        );
                         if threads > 1 {
                             check_fault_closure_parallel_observed(
                                 &asys,
@@ -604,7 +710,10 @@ fn main() -> ExitCode {
             let mut fwalk = None;
             if clean_ok && fclosure_ok {
                 if let (Some(rates), Some(spec_text)) = (fault_rates, &args.faults) {
-                    let w = run_fault_walks(&asys, rates, spec_text, args.seed, &mut tee);
+                    let w = {
+                        let _p = registry.phase("check/fault-walks");
+                        run_fault_walks(&asys, rates, spec_text, args.seed, &mut tee, &registry)
+                    };
                     if human {
                         let fs = &w.faults;
                         println!(
@@ -647,6 +756,7 @@ fn main() -> ExitCode {
                 && fclosure.as_ref().map(|x| x.holds()).unwrap_or(true)
                 && fwalk.as_ref().map(|x| x.holds()).unwrap_or(true);
             if args.json {
+                let _p = registry.phase("report");
                 let mut s = Serializer::new();
                 {
                     let mut m = s.begin_map();
@@ -668,6 +778,9 @@ fn main() -> ExitCode {
                 }
                 println!("{}", s.into_string());
             }
+            if let Err(code) = write_metrics(&args, &registry) {
+                return code;
+            }
             if ok {
                 ExitCode::SUCCESS
             } else {
@@ -676,11 +789,14 @@ fn main() -> ExitCode {
         }
         "table" => {
             let budget = Budget::states(args.budget);
-            let refined = match refine(&spec, &opts) {
-                Ok(r) => r,
-                Err(e) => {
-                    eprintln!("ccr: refinement failed: {e}");
-                    return ExitCode::FAILURE;
+            let refined = {
+                let _p = registry.phase("refine");
+                match refine(&spec, &opts) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("ccr: refinement failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
             };
             let mut file = match file_sink(&args.trace) {
@@ -696,7 +812,9 @@ fn main() -> ExitCode {
             let mut rows = Vec::new();
             for n in 1..=args.n {
                 let rv = {
-                    let mut obs = SearchObserver::new(&mut tee, HEARTBEAT_EVERY);
+                    let _p = registry.phase("explore/rendezvous");
+                    let mut obs =
+                        SearchObserver::with_metrics(&mut tee, HEARTBEAT_EVERY, registry.clone());
                     explore_plain_cli(
                         &RendezvousSystem::new(&spec, n),
                         &budget,
@@ -705,7 +823,9 @@ fn main() -> ExitCode {
                     )
                 };
                 let asy = {
-                    let mut obs = SearchObserver::new(&mut tee, HEARTBEAT_EVERY);
+                    let _p = registry.phase("explore/async");
+                    let mut obs =
+                        SearchObserver::with_metrics(&mut tee, HEARTBEAT_EVERY, registry.clone());
                     explore_plain_cli(
                         &AsyncSystem::new(&refined, n, AsyncConfig::default()),
                         &budget,
@@ -719,6 +839,7 @@ fn main() -> ExitCode {
                 rows.push((n, asy, rv));
             }
             if args.json {
+                let _p = registry.phase("report");
                 let mut s = Serializer::new();
                 {
                     let mut m = s.begin_map();
@@ -741,6 +862,9 @@ fn main() -> ExitCode {
                     m.end();
                 }
                 println!("{}", s.into_string());
+            }
+            if let Err(code) = write_metrics(&args, &registry) {
+                return code;
             }
             ExitCode::SUCCESS
         }

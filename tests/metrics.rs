@@ -1,0 +1,201 @@
+//! End-to-end checks for the metrics pipeline: snapshot determinism
+//! across identical runs and thread counts, the Prometheus exposition
+//! surface, the `ccr verify --metrics` CLI contract, and the
+//! `ccr bench diff` regression gate's exit codes.
+
+use ccr_mc::parallel::{explore_parallel_observed, ParallelConfig};
+use ccr_mc::search::{explore_observed, Budget, SearchObserver};
+use ccr_metrics::jsonval::Json;
+use ccr_metrics::{promcheck, Registry};
+use ccr_protocols::migratory::{migratory_refined, MigratoryOptions};
+use ccr_runtime::asynch::{AsyncConfig, AsyncSystem};
+use ccr_trace::NullSink;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// One full serial exploration of the async migratory space at `n`,
+/// metered into a fresh registry.
+fn serial_snapshot(n: u32) -> ccr_metrics::Snapshot {
+    let refined = migratory_refined(&MigratoryOptions::default());
+    let sys = AsyncSystem::new(&refined, n, AsyncConfig::default());
+    let reg = Registry::new();
+    let mut null = NullSink;
+    let mut obs = SearchObserver::with_metrics(&mut null, 0, reg.clone());
+    let r = explore_observed(&sys, &Budget::default(), |_| None, false, &mut obs);
+    assert!(r.outcome.is_complete());
+    reg.snapshot()
+}
+
+fn parallel_snapshot(n: u32, threads: usize) -> ccr_metrics::Snapshot {
+    let refined = migratory_refined(&MigratoryOptions::default());
+    let sys = AsyncSystem::new(&refined, n, AsyncConfig::default());
+    let reg = Registry::new();
+    let mut null = NullSink;
+    let mut obs = SearchObserver::with_metrics(&mut null, 0, reg.clone());
+    let r = explore_parallel_observed(
+        &sys,
+        &Budget::default(),
+        |_| None,
+        false,
+        &ParallelConfig::threads(threads),
+        &mut obs,
+    );
+    assert!(r.outcome.is_complete());
+    reg.snapshot()
+}
+
+#[test]
+fn identical_serial_runs_yield_identical_snapshots() {
+    // Library-level runs record no phases, so the *full* snapshot —
+    // nondeterministic-tagged metrics included — must be byte-identical.
+    let a = serial_snapshot(2).to_json();
+    let b = serial_snapshot(2).to_json();
+    assert!(!a.is_empty());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn parallel_deterministic_view_is_thread_count_independent() {
+    let views: Vec<ccr_metrics::Snapshot> =
+        [1usize, 2, 4].iter().map(|&t| parallel_snapshot(2, t)).collect();
+    let serial = serial_snapshot(2);
+    for v in &views {
+        // The shared counters agree with the serial engine exactly.
+        for name in ["mc_runs_total", "mc_states_total", "mc_transitions_total"] {
+            assert_eq!(serial.counters[name], v.counters[name], "{name}");
+        }
+        // Timing-dependent metrics are declared, not silently mixed in.
+        for name in ["mc_batches_flushed_total", "mc_batches_drained_total", "mc_workers"] {
+            assert!(v.nondeterministic.contains(&name.to_string()), "{name} untagged");
+        }
+    }
+    let dets: Vec<String> = views.iter().map(|v| v.deterministic().to_json()).collect();
+    assert_eq!(dets[0], dets[1]);
+    assert_eq!(dets[1], dets[2]);
+}
+
+#[test]
+fn exposition_of_a_real_run_passes_the_prometheus_validator() {
+    let text = parallel_snapshot(2, 2).to_prometheus();
+    assert!(text.contains("mc_state_bytes_bucket{le=\"+Inf\"}"), "{text}");
+    promcheck::validate(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+}
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ccr-metrics-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir
+}
+
+/// Runs `ccr verify specs/migratory.ccp -n 2 --metrics -` and returns the
+/// snapshot parsed from the last stdout line.
+fn cli_snapshot(extra: &[&str]) -> Json {
+    let out = Command::new(env!("CARGO_BIN_EXE_ccr"))
+        .args(["verify", "specs/migratory.ccp", "-n", "2", "--metrics", "-"])
+        .args(extra)
+        .current_dir(repo_root())
+        .output()
+        .expect("run ccr");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    let last = stdout.lines().last().expect("snapshot line");
+    Json::parse(last).unwrap_or_else(|e| panic!("{e}: {last}"))
+}
+
+#[test]
+fn cli_parallel_snapshot_counters_equal_the_serial_runs() {
+    let serial = cli_snapshot(&[]);
+    let parallel = cli_snapshot(&["--threads", "4"]);
+    for name in ["mc_runs_total", "mc_states_total", "mc_transitions_total"] {
+        let get = |j: &Json| j.path(&format!("counters.{name}")).and_then(Json::as_u64);
+        assert_eq!(get(&serial), get(&parallel), "{name}");
+        assert!(get(&serial).expect("present") > 0, "{name} vacuous");
+    }
+    // The verify pipeline runs through its phases either way.
+    for phase in ["parse", "refine", "explore/rendezvous", "explore/async", "check/progress"] {
+        assert!(
+            serial.path("phases").and_then(|p| p.get(phase)).is_some(),
+            "phase {phase} missing"
+        );
+    }
+}
+
+#[test]
+fn cli_prometheus_file_output_validates() {
+    let dir = tmp_dir("prom");
+    let path = dir.join("metrics.prom");
+    let out = Command::new(env!("CARGO_BIN_EXE_ccr"))
+        .args(["verify", "specs/migratory.ccp", "-n", "2", "--threads", "2"])
+        .arg("--metrics")
+        .arg(&path)
+        .args(["--metrics-format", "prometheus"])
+        .current_dir(repo_root())
+        .output()
+        .expect("run ccr");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&path).expect("metrics file");
+    promcheck::validate(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+    assert!(text.contains("ccr_phase_seconds"), "phases missing:\n{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bench_diff_exit_codes_gate_regressions() {
+    let dir = tmp_dir("diff");
+    let doc = |rate: f64| {
+        format!(
+            r#"{{"bench":"mc_perf","workloads":[{{"name":"w","states":10,"transitions":20,
+              "encoded_len_bytes":8,"serial":{{"secs":1.0,"states_per_sec":{rate}}},
+              "parallel":[],"store":{{"arena_bytes_per_state":20.0}}}}]}}"#
+        )
+    };
+    let old = dir.join("old.json");
+    let same = dir.join("same.json");
+    let slow = dir.join("slow.json");
+    std::fs::write(&old, doc(1000.0)).unwrap();
+    std::fs::write(&same, doc(1000.0)).unwrap();
+    std::fs::write(&slow, doc(500.0)).unwrap();
+    let run = |new: &Path, extra: &[&str]| {
+        Command::new(env!("CARGO_BIN_EXE_ccr"))
+            .args(["bench", "diff"])
+            .arg(&old)
+            .arg(new)
+            .args(extra)
+            .output()
+            .expect("run ccr bench diff")
+    };
+    // Identical inputs: exit 0.
+    let out = run(&same, &[]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    // A 50% throughput drop beyond the default tolerance: exit nonzero.
+    let out = run(&slow, &[]);
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stdout));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("REGRESSION"));
+    // The same drop passes when the caller loosens the gate past it.
+    let out = run(&slow, &["--tolerance", "0.6"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    // Usage errors exit 2, distinct from a regression.
+    let out = run(Path::new("does-not-exist.json"), &[]);
+    assert_eq!(out.status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checked_in_bench_baseline_diffs_cleanly_against_itself() {
+    let baseline = repo_root().join("BENCH_mc.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_ccr"))
+        .args(["bench", "diff"])
+        .arg(&baseline)
+        .arg(&baseline)
+        .output()
+        .expect("run ccr bench diff");
+    assert!(
+        out.status.success(),
+        "baseline must be self-consistent: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}

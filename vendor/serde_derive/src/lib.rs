@@ -3,11 +3,14 @@
 //! Hand-rolled token parsing (no `syn`/`quote` — the build is hermetic).
 //! Supports exactly what this workspace derives on: non-generic structs
 //! with named fields, and non-generic enums with unit, tuple, and struct
-//! variants. Anything else panics with a clear message at compile time.
+//! variants. One field attribute is honored:
+//! `#[serde(skip_serializing_if = "path")]` omits the field when the
+//! named predicate (called with a reference to the field) returns true.
+//! Anything else panics with a clear message at compile time.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let body = match &item.kind {
@@ -28,8 +31,14 @@ struct Item {
 }
 
 enum ItemKind {
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
     Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    /// Path of the `skip_serializing_if` predicate, if any.
+    skip_if: Option<String>,
 }
 
 struct Variant {
@@ -40,13 +49,18 @@ struct Variant {
 enum Shape {
     Unit,
     Tuple(usize),
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
 }
 
-fn gen_struct(fields: &[String]) -> String {
+fn gen_struct(fields: &[Field]) -> String {
     let mut out = String::from("let mut __m = __s.begin_map();\n");
     for f in fields {
-        out.push_str(&format!("__m.entry(\"{f}\", &self.{f});\n"));
+        let n = &f.name;
+        match &f.skip_if {
+            None => out.push_str(&format!("__m.entry(\"{n}\", &self.{n});\n")),
+            Some(pred) => out
+                .push_str(&format!("if !{pred}(&self.{n}) {{ __m.entry(\"{n}\", &self.{n}); }}\n")),
+        }
     }
     out.push_str("__m.end();");
     out
@@ -78,13 +92,24 @@ fn gen_enum(name: &str, variants: &[Variant]) -> String {
                 ));
             }
             Shape::Struct(fields) => {
-                let entries: Vec<String> =
-                    fields.iter().map(|f| format!("__m2.entry(\"{f}\", {f});")).collect();
+                let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        let n = &f.name;
+                        match &f.skip_if {
+                            None => format!("__m2.entry(\"{n}\", {n});"),
+                            Some(pred) => {
+                                format!("if !{pred}({n}) {{ __m2.entry(\"{n}\", {n}); }}")
+                            }
+                        }
+                    })
+                    .collect();
                 out.push_str(&format!(
                     "{name}::{vn} {{ {} }} => {{ let mut __m = __s.begin_map(); \
                      __m.entry_with(\"{vn}\", |__s| {{ let mut __m2 = __s.begin_map(); {} \
                      __m2.end(); }}); __m.end(); }}\n",
-                    fields.join(", "),
+                    binds.join(", "),
                     entries.join(" ")
                 ));
             }
@@ -153,13 +178,15 @@ fn parse_item(input: TokenStream) -> Item {
     Item { name, kind }
 }
 
-/// Parse `name: Type, ...` pairs, returning the field names.
-fn parse_named_fields(body: TokenStream, ctx: &str) -> Vec<String> {
+/// Parse `name: Type, ...` pairs, returning the fields with any
+/// recognised `#[serde(...)]` attributes.
+fn parse_named_fields(body: TokenStream, ctx: &str) -> Vec<Field> {
     let tokens: Vec<TokenTree> = body.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        i = skip_attrs_and_vis(&tokens, i);
+        let (next, skip_if) = take_attrs_and_vis(&tokens, i, ctx);
+        i = next;
         if i >= tokens.len() {
             break;
         }
@@ -173,7 +200,7 @@ fn parse_named_fields(body: TokenStream, ctx: &str) -> Vec<String> {
             other => panic!("serde_derive: expected `:` after `{name}` in `{ctx}`, got {other:?}"),
         }
         i = skip_type(&tokens, i);
-        fields.push(name);
+        fields.push(Field { name, skip_if });
         if let Some(TokenTree::Punct(p)) = tokens.get(i) {
             if p.as_char() == ',' {
                 i += 1;
@@ -253,6 +280,85 @@ fn count_tuple_fields(stream: TokenStream) -> usize {
         }
     }
     count
+}
+
+/// Skip `#[...]` attributes and `pub` / `pub(...)` visibility, collecting
+/// any `#[serde(skip_serializing_if = "path")]` predicate on the way.
+fn take_attrs_and_vis(tokens: &[TokenTree], mut i: usize, ctx: &str) -> (usize, Option<String>) {
+    let mut skip_if = None;
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    if let Some(pred) = parse_serde_attr(g.stream(), ctx) {
+                        skip_if = Some(pred);
+                    }
+                }
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return (i, skip_if),
+        }
+    }
+}
+
+/// If `stream` is the inside of a `#[serde(...)]` attribute, extract the
+/// `skip_serializing_if = "path"` predicate. Unknown `serde` arguments
+/// panic (better a compile error than silently wrong JSON); non-serde
+/// attributes (doc comments etc.) are ignored.
+fn parse_serde_attr(stream: TokenStream, ctx: &str) -> Option<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let args = match tokens.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        other => panic!("serde_derive: malformed #[serde] attribute in `{ctx}`: {other:?}"),
+    };
+    let args: Vec<TokenTree> = args.into_iter().collect();
+    let mut skip_if = None;
+    let mut i = 0;
+    while i < args.len() {
+        match &args[i] {
+            TokenTree::Ident(id) if id.to_string() == "skip_serializing_if" => {
+                match (args.get(i + 1), args.get(i + 2)) {
+                    (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                        if eq.as_char() == '=' =>
+                    {
+                        let text = lit.to_string();
+                        let path = text
+                            .strip_prefix('"')
+                            .and_then(|t| t.strip_suffix('"'))
+                            .unwrap_or_else(|| {
+                                panic!(
+                                    "serde_derive: skip_serializing_if needs a string literal \
+                                     in `{ctx}`, got {text}"
+                                )
+                            });
+                        skip_if = Some(path.to_string());
+                        i += 3;
+                    }
+                    other => {
+                        panic!("serde_derive: malformed skip_serializing_if in `{ctx}`: {other:?}")
+                    }
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            other => panic!(
+                "serde_derive: unsupported #[serde] argument in `{ctx}`: {other:?} \
+                 (only skip_serializing_if is implemented)"
+            ),
+        }
+    }
+    skip_if
 }
 
 /// Skip `#[...]` attributes and `pub` / `pub(...)` visibility.
