@@ -27,11 +27,14 @@
 //! n=3 (data domain widened and home buffer k=3 so the space is large
 //! enough that thread startup and level barriers are noise); each
 //! configuration is run `REPEATS` times and the fastest run is kept.
+//! `migratory_async_n3_sym` re-runs the headline space under the
+//! symmetry reduction (`ccr_mc::Reduced`): its `states` value is the
+//! orbit count, so the gate also pins the reduction factor.
 
 use ccr_bench::configs;
 use ccr_mc::progress::check_progress_default;
 use ccr_mc::search::{explore_plain, Budget};
-use ccr_mc::{explore_parallel, ExploreReport, ParallelConfig};
+use ccr_mc::{explore_parallel, ExploreReport, ParallelConfig, Reduced};
 use ccr_protocols::invalidate::{invalidate_refined, InvalidateOptions};
 use ccr_protocols::migratory::{migratory_refined, MigratoryOptions};
 use ccr_runtime::asynch::{AsyncConfig, AsyncSystem};
@@ -264,14 +267,27 @@ fn main() {
         ("invalidate_async_n3", "async invalidate, n=3, Table 3 checking configuration", &inv_n3),
     ];
     let filter = workload_filter();
-    let workloads: Vec<Workload> = defs
+    let mut workloads: Vec<Workload> = defs
         .iter()
         .filter(|(name, _, _)| filter.as_deref().is_none_or(|f| f == *name))
         .map(|(name, description, sys)| run_workload(name, description, *sys))
         .collect();
+    // The headline space again, explored modulo remote symmetry. Its
+    // `states` count is the orbit count, so the gate pins the reduction
+    // factor: states(migratory_async_n3) / states(migratory_async_n3_sym)
+    // must not drift.
+    let sym_name = "migratory_async_n3_sym";
+    if filter.as_deref().is_none_or(|f| f == sym_name) {
+        let red_n3 = Reduced::new(&mig_n3);
+        workloads.push(run_workload(
+            sym_name,
+            "headline space under symmetry reduction (states are orbit counts)",
+            &red_n3,
+        ));
+    }
     if workloads.is_empty() {
         eprintln!(
-            "no workload named {:?}; known: {}",
+            "no workload named {:?}; known: {}, {sym_name}",
             filter.unwrap_or_default(),
             defs.map(|(n, _, _)| n).join(", ")
         );
@@ -357,6 +373,15 @@ fn main() {
                 .states_per_sec()
                 / headline.serial.states_per_sec();
             m.entry("acceptance_speedup_4t_migratory_async_n3", &four);
+        }
+        if let (Some(full), Some(red)) = (
+            workloads.iter().find(|w| w.name == "migratory_async_n3"),
+            workloads.iter().find(|w| w.name == sym_name),
+        ) {
+            m.entry(
+                "symmetry_reduction_factor_migratory_async_n3",
+                &(full.serial.report.states as f64 / red.serial.report.states as f64),
+            );
         }
         m.end();
     }

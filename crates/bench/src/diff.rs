@@ -10,7 +10,10 @@
 //!   may drop by at most `tolerance`, `store.arena_bytes_per_state` may
 //!   grow by at most `bytes_tolerance`, and per-phase wall times may
 //!   grow by at most `tolerance` (with a small absolute floor so
-//!   microsecond phases don't flap).
+//!   microsecond phases don't flap). `--counts-only` drops every
+//!   timing- and memory-based threshold and gates the exact counts
+//!   alone — for workloads too short to time reliably, such as the
+//!   symmetry-reduced orbit spaces.
 //! * **Metrics snapshots** (`ccr --metrics` output, anything with a
 //!   top-level `"counters"` key): every metric *not* tagged in either
 //!   file's `nondeterministic` list must match exactly — counters,
@@ -31,11 +34,17 @@ pub struct DiffOptions {
     pub tolerance: f64,
     /// Maximum allowed relative growth in bytes per state.
     pub bytes_tolerance: f64,
+    /// Compare only the deterministic counts (`states`, `transitions`,
+    /// `encoded_len_bytes`) and skip every timing- and memory-based
+    /// threshold. For gating workloads whose wall time is too short to
+    /// measure reliably — e.g. the symmetry-reduced orbit spaces, where
+    /// the counts *are* the result being pinned.
+    pub counts_only: bool,
 }
 
 impl Default for DiffOptions {
     fn default() -> Self {
-        Self { tolerance: 0.1, bytes_tolerance: 0.1 }
+        Self { tolerance: 0.1, bytes_tolerance: 0.1, counts_only: false }
     }
 }
 
@@ -131,6 +140,9 @@ fn diff_workload(name: &str, old: &Json, new: &Json, opts: &DiffOptions, rep: &m
             (Some(_), Some(_)) => {}
             _ => rep.notes.push(format!("{name}: {key} missing on one side")),
         }
+    }
+    if opts.counts_only {
+        return;
     }
     // Throughput: one-sided relative drop.
     let rate = |w: &Json, path: &str| w.path(path).and_then(Json::as_f64);
@@ -287,7 +299,7 @@ pub fn cli(args: &[String]) -> std::process::ExitCode {
     let usage = || {
         eprintln!(
             "usage: ccr bench diff <old.json> <new.json> \
-             [--tolerance T] [--bytes-tolerance B]"
+             [--tolerance T] [--bytes-tolerance B] [--counts-only]"
         );
         ExitCode::from(2)
     };
@@ -307,6 +319,7 @@ pub fn cli(args: &[String]) -> std::process::ExitCode {
                 Some(t) if (0.0..1.0).contains(&t) => opts.bytes_tolerance = t,
                 _ => return usage(),
             },
+            "--counts-only" => opts.counts_only = true,
             _ if a.starts_with('-') => return usage(),
             _ => files.push(a.clone()),
         }
@@ -392,6 +405,19 @@ mod tests {
         // Faster is never a regression.
         let fast = bench_doc(100, 5000.0, 20.0, 0.5);
         assert!(diff_strs(&old, &fast, &DiffOptions::default()).unwrap().ok());
+    }
+
+    #[test]
+    fn counts_only_ignores_timing_but_still_pins_counts() {
+        let opts = DiffOptions { counts_only: true, ..DiffOptions::default() };
+        let old = bench_doc(100, 5000.0, 20.0, 1.0);
+        // Half the throughput, fatter store, slower phase: all ignored.
+        let noisy = bench_doc(100, 2500.0, 30.0, 2.0);
+        assert!(diff_strs(&old, &noisy, &opts).unwrap().ok());
+        // State-count drift still fails exactly.
+        let drifted = bench_doc(99, 5000.0, 20.0, 1.0);
+        let rep = diff_strs(&old, &drifted, &opts).unwrap();
+        assert!(rep.regressions.iter().any(|r| r.contains("states changed")), "{rep:?}");
     }
 
     #[test]

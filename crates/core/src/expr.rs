@@ -226,6 +226,36 @@ impl Expr {
         }
     }
 
+    /// True when the expression commutes with every renaming of remote
+    /// identities — the *scalarset* discipline of Murphi symmetry
+    /// reduction. Two constructs break it: [`Expr::MaskFirst`], which
+    /// picks the lowest-*numbered* node of a set and so distinguishes
+    /// otherwise interchangeable remotes, and literals naming a specific
+    /// node or non-empty node set. Protocols whose transition
+    /// expressions are all equivariant have fully interchangeable
+    /// remotes; `ccr-mc`'s symmetry reduction is sound exactly for
+    /// those.
+    pub fn is_equivariant(&self) -> bool {
+        match self {
+            Expr::Const(Value::Node(_)) => false,
+            Expr::Const(Value::Mask(m)) => *m == 0,
+            Expr::Const(_) | Expr::Var(_) | Expr::SelfId => true,
+            Expr::MaskFirst(_) => false,
+            Expr::Not(e) | Expr::MaskIsEmpty(e) => e.is_equivariant(),
+            Expr::And(a, b)
+            | Expr::Or(a, b)
+            | Expr::Eq(a, b)
+            | Expr::Ne(a, b)
+            | Expr::Lt(a, b)
+            | Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mod(a, b)
+            | Expr::MaskHas(a, b)
+            | Expr::MaskAdd(a, b)
+            | Expr::MaskDel(a, b) => a.is_equivariant() && b.is_equivariant(),
+        }
+    }
+
     /// Returns the variable if this expression is exactly one variable read.
     pub fn as_single_var(&self) -> Option<VarId> {
         match self {
@@ -352,6 +382,20 @@ mod tests {
         let mut vs = Vec::new();
         Expr::MaskFirst(Box::new(Expr::Var(VarId(0)))).collect_vars(&mut vs);
         assert_eq!(vs, vec![VarId(0)]);
+    }
+
+    #[test]
+    fn equivariance_flags_order_sensitive_constructs() {
+        let var_mask = Expr::Var(VarId(0));
+        assert!(Expr::MaskAdd(Box::new(var_mask.clone()), Box::new(Expr::SelfId)).is_equivariant());
+        assert!(Expr::MaskIsEmpty(Box::new(var_mask.clone())).is_equivariant());
+        assert!(Expr::mask(0).is_equivariant(), "the empty set names no node");
+        assert!(!Expr::MaskFirst(Box::new(var_mask.clone())).is_equivariant());
+        assert!(!Expr::node(RemoteId(0)).is_equivariant(), "node literal");
+        assert!(!Expr::mask(0b10).is_equivariant(), "non-empty set literal");
+        let nested =
+            Expr::And(Box::new(Expr::bool(true)), Box::new(Expr::MaskFirst(Box::new(var_mask))));
+        assert!(!nested.is_equivariant(), "order sensitivity propagates up");
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod report;
 pub mod search;
 pub mod simrel;
 pub mod store;
+pub mod symmetry;
 pub mod trace;
 
 pub use faultmode::{
@@ -49,6 +50,9 @@ pub use progress::{
 };
 pub use report::{ExploreReport, Outcome, ProgressReport, SimRelReport};
 pub use search::{explore, explore_dfs, explore_observed, Budget, SearchObserver};
+pub use symmetry::{
+    apply_perm, canonical_encode, canonicalize, spec_permutable, OrbitSample, Reduced, Symmetric,
+};
 pub use trace::{
     explore_traced, explore_traced_observed, export_trail, replay_trail, TracedReport,
 };

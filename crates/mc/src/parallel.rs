@@ -955,6 +955,27 @@ where
     explore_parallel_observed(sys, budget, invariant, check_deadlock, cfg, &mut obs)
 }
 
+/// The shared body of the two observed entry points: build the engine
+/// (no progress judging), run it to completion, assemble the report.
+fn run_assembled<T, F>(
+    sys: &T,
+    budget: &Budget,
+    invariant: &F,
+    check_deadlock: bool,
+    cfg: &ParallelConfig,
+    obs: &mut SearchObserver<'_>,
+) -> ParallelReport
+where
+    T: TransitionSystem + Sync,
+    T::State: Send,
+    F: Fn(&T::State) -> Option<String> + Sync,
+{
+    let engine: Engine<'_, T, F, fn(&Label) -> bool> =
+        Engine::new(sys, budget, invariant, None, check_deadlock, cfg, obs.metrics());
+    let (outcome, trail, _) = run(&engine, obs);
+    assemble(&engine, cfg, outcome, trail)
+}
+
 /// [`explore_parallel`] with heartbeats: the calling thread aggregates
 /// worker counters into [`SearchObserver`] ticks while the workers run.
 pub fn explore_parallel_observed<T, F>(
@@ -970,10 +991,7 @@ where
     T::State: Send,
     F: Fn(&T::State) -> Option<String> + Sync,
 {
-    let engine: Engine<'_, T, F, fn(&Label) -> bool> =
-        Engine::new(sys, budget, &invariant, None, check_deadlock, cfg, obs.metrics());
-    let (outcome, trail, _) = run(&engine, obs);
-    let report = assemble(&engine, cfg, outcome, trail);
+    let report = run_assembled(sys, budget, &invariant, check_deadlock, cfg, obs);
     obs.finish(&report.outcome, None);
     report
 }
@@ -997,18 +1015,8 @@ where
     F: Fn(&T::State) -> Option<String> + Sync,
 {
     let cfg = cfg.clone().with_trails();
-    let engine: Engine<'_, T, F, fn(&Label) -> bool> =
-        Engine::new(sys, budget, &invariant, None, check_deadlock, &cfg, obs.metrics());
-    let (outcome, trail, _) = run(&engine, obs);
-    let report = assemble(&engine, &cfg, outcome, trail);
-    if obs.sink().enabled() {
-        match &report.trail {
-            Some(trail) => {
-                crate::trace::export_trail(sys, trail, &report.outcome, obs.sink());
-            }
-            None => obs.finish(&report.outcome, None),
-        }
-    }
+    let report = run_assembled(sys, budget, &invariant, check_deadlock, &cfg, obs);
+    crate::trace::conclude_with_trail(sys, &report.outcome, report.trail.as_deref(), obs);
     report
 }
 

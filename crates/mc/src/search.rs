@@ -208,6 +208,136 @@ impl<'s> SearchObserver<'s> {
     }
 }
 
+/// The raw result of one [`drive`] run: everything the public wrappers
+/// need to shape an [`ExploreReport`] or a
+/// [`crate::trace::TracedReport`], including the final store (for the
+/// store-shape histograms).
+pub(crate) struct DriveRun {
+    /// The visited set as it stood when the search ended.
+    pub(crate) store: StateStore,
+    /// Transitions generated.
+    pub(crate) transitions: usize,
+    /// Largest frontier (BFS queue or DFS stack) observed.
+    pub(crate) peak_frontier: usize,
+    /// Wall time of the search.
+    pub(crate) elapsed: Duration,
+    /// How the search ended.
+    pub(crate) outcome: Outcome,
+    /// With `track_trails`: labels along the path to the offending state
+    /// for violating outcomes, `None` otherwise.
+    pub(crate) trail: Option<Vec<Label>>,
+}
+
+impl DriveRun {
+    /// The serial-shaped public view of this run.
+    pub(crate) fn explore_report(&self) -> ExploreReport {
+        ExploreReport {
+            states: self.store.len(),
+            transitions: self.transitions,
+            elapsed: self.elapsed,
+            store_bytes: self.store.approx_bytes(),
+            peak_frontier: self.peak_frontier,
+            outcome: self.outcome.clone(),
+            probabilistic: false,
+        }
+    }
+}
+
+/// The one serial search driver behind [`explore`], [`explore_dfs`] and
+/// [`crate::trace::explore_traced`]: reachability over `sys` with a
+/// budget, an invariant, optional deadlock detection, BFS or DFS order
+/// (`depth_first`), and optional parent tracking (`track_trails`) for
+/// shortest-counterexample reconstruction.
+///
+/// The wrappers differ only in these two flags and in how they report:
+/// keeping the expansion loop in one place is what lets a state-space
+/// reduction (e.g. [`crate::symmetry`]) slot in under every serial entry
+/// point at once via [`ccr_runtime::TransitionSystem::encode`].
+pub(crate) fn drive<T: TransitionSystem>(
+    sys: &T,
+    budget: &Budget,
+    mut invariant: impl FnMut(&T::State) -> Option<String>,
+    check_deadlock: bool,
+    depth_first: bool,
+    track_trails: bool,
+    obs: &mut SearchObserver<'_>,
+) -> DriveRun {
+    let started = Instant::now();
+    let mut store = StateStore::new();
+    let mut parents: Vec<Option<(u32, Label)>> = Vec::new();
+    let mut frontier: VecDeque<(T::State, u32)> = VecDeque::new();
+    let mut succs: Vec<(Label, T::State)> = Vec::new();
+    let mut enc = Vec::new();
+    let mut transitions = 0usize;
+    let mut peak_frontier = 0usize;
+
+    macro_rules! done {
+        ($outcome:expr, $trail:expr) => {
+            return DriveRun {
+                transitions,
+                peak_frontier,
+                elapsed: started.elapsed(),
+                outcome: $outcome,
+                trail: $trail,
+                store,
+            }
+        };
+    }
+
+    let init = sys.initial();
+    sys.encode(&init, &mut enc);
+    store.insert(&enc);
+    if track_trails {
+        parents.push(None);
+    }
+    if let Some(d) = invariant(&init) {
+        done!(Outcome::InvariantViolated(d), track_trails.then(Vec::new));
+    }
+    frontier.push_back((init, 0));
+
+    while let Some((state, idx)) =
+        if depth_first { frontier.pop_back() } else { frontier.pop_front() }
+    {
+        peak_frontier = peak_frontier.max(frontier.len() + 1);
+        obs.tick(store.len(), frontier.len() + 1, store.approx_bytes());
+        if let Err(e) = sys.successors(&state, &mut succs) {
+            let trail = track_trails.then(|| crate::trace::trail_to(&parents, idx));
+            done!(Outcome::RuntimeFailure(e), trail);
+        }
+        if check_deadlock && succs.is_empty() {
+            let trail = track_trails.then(|| crate::trace::trail_to(&parents, idx));
+            done!(Outcome::Deadlock, trail);
+        }
+        for (label, next) in succs.drain(..) {
+            transitions += 1;
+            sys.encode(&next, &mut enc);
+            let (nidx, is_new) = store.insert(&enc);
+            if !is_new {
+                continue;
+            }
+            if track_trails {
+                parents.push(Some((idx, label)));
+            }
+            if let Some(d) = invariant(&next) {
+                let trail = track_trails.then(|| crate::trace::trail_to(&parents, nidx));
+                done!(Outcome::InvariantViolated(d), trail);
+            }
+            if budget.exceeded(&store, started) {
+                done!(Outcome::Unfinished, None);
+            }
+            frontier.push_back((next, nidx));
+        }
+    }
+    DriveRun {
+        transitions,
+        peak_frontier,
+        elapsed: started.elapsed(),
+        outcome: Outcome::Complete,
+        trail: None,
+        store,
+    }
+}
+
 /// Explores the reachable state space of `sys` breadth-first.
 ///
 /// `invariant` is evaluated on every newly discovered state; returning
@@ -230,92 +360,20 @@ pub fn explore<T: TransitionSystem>(
 pub fn explore_observed<T: TransitionSystem>(
     sys: &T,
     budget: &Budget,
-    mut invariant: impl FnMut(&T::State) -> Option<String>,
+    invariant: impl FnMut(&T::State) -> Option<String>,
     check_deadlock: bool,
     obs: &mut SearchObserver<'_>,
 ) -> ExploreReport {
-    let started = Instant::now();
-    let mut store = StateStore::new();
-    let mut frontier: VecDeque<T::State> = VecDeque::new();
-    let mut succs: Vec<(Label, T::State)> = Vec::new();
-    let mut enc = Vec::new();
-    let mut transitions = 0usize;
-    let mut peak_frontier = 0usize;
-
-    let report = |store: &StateStore,
-                  transitions,
-                  peak_frontier,
-                  outcome: Outcome,
-                  started: Instant,
-                  obs: &mut SearchObserver<'_>| {
-        obs.finish(&outcome, None);
-        record_search_run(obs.metrics(), store.len(), transitions, peak_frontier, store);
-        ExploreReport {
-            states: store.len(),
-            transitions,
-            elapsed: started.elapsed(),
-            store_bytes: store.approx_bytes(),
-            peak_frontier,
-            outcome,
-            probabilistic: false,
-        }
-    };
-
-    let init = sys.initial();
-    sys.encode(&init, &mut enc);
-    store.insert(&enc);
-    if let Some(d) = invariant(&init) {
-        return report(&store, 0, 0, Outcome::InvariantViolated(d), started, obs);
-    }
-    frontier.push_back(init);
-
-    while let Some(state) = frontier.pop_front() {
-        peak_frontier = peak_frontier.max(frontier.len() + 1);
-        obs.tick(store.len(), frontier.len() + 1, store.approx_bytes());
-        if let Err(e) = sys.successors(&state, &mut succs) {
-            return report(
-                &store,
-                transitions,
-                peak_frontier,
-                Outcome::RuntimeFailure(e),
-                started,
-                obs,
-            );
-        }
-        if check_deadlock && succs.is_empty() {
-            return report(&store, transitions, peak_frontier, Outcome::Deadlock, started, obs);
-        }
-        for (_, next) in succs.drain(..) {
-            transitions += 1;
-            sys.encode(&next, &mut enc);
-            let (_, is_new) = store.insert(&enc);
-            if is_new {
-                if let Some(d) = invariant(&next) {
-                    return report(
-                        &store,
-                        transitions,
-                        peak_frontier,
-                        Outcome::InvariantViolated(d),
-                        started,
-                        obs,
-                    );
-                }
-                if budget.exceeded(&store, started) {
-                    return report(
-                        &store,
-                        transitions,
-                        peak_frontier,
-                        Outcome::Unfinished,
-                        started,
-                        obs,
-                    );
-                }
-                frontier.push_back(next);
-            }
-        }
-    }
-
-    report(&store, transitions, peak_frontier, Outcome::Complete, started, obs)
+    let run = drive(sys, budget, invariant, check_deadlock, false, false, obs);
+    obs.finish(&run.outcome, None);
+    record_search_run(
+        obs.metrics(),
+        run.store.len(),
+        run.transitions,
+        run.peak_frontier,
+        &run.store,
+    );
+    run.explore_report()
 }
 
 /// Convenience: explore with no invariant and no deadlock check.
@@ -331,65 +389,12 @@ pub fn explore_plain<T: TransitionSystem>(sys: &T, budget: &Budget) -> ExploreRe
 pub fn explore_dfs<T: TransitionSystem>(
     sys: &T,
     budget: &Budget,
-    mut invariant: impl FnMut(&T::State) -> Option<String>,
+    invariant: impl FnMut(&T::State) -> Option<String>,
     check_deadlock: bool,
 ) -> ExploreReport {
-    let started = Instant::now();
-    let mut store = StateStore::new();
-    let mut stack: Vec<T::State> = Vec::new();
-    let mut succs: Vec<(Label, T::State)> = Vec::new();
-    let mut enc = Vec::new();
-    let mut transitions = 0usize;
-    let mut peak = 0usize;
-
-    let report = |store: &StateStore, transitions, peak, outcome, started: Instant| ExploreReport {
-        states: store.len(),
-        transitions,
-        elapsed: started.elapsed(),
-        store_bytes: store.approx_bytes(),
-        peak_frontier: peak,
-        outcome,
-        probabilistic: false,
-    };
-
-    let init = sys.initial();
-    sys.encode(&init, &mut enc);
-    store.insert(&enc);
-    if let Some(d) = invariant(&init) {
-        return report(&store, 0, 0, Outcome::InvariantViolated(d), started);
-    }
-    stack.push(init);
-
-    while let Some(state) = stack.pop() {
-        peak = peak.max(stack.len() + 1);
-        if let Err(e) = sys.successors(&state, &mut succs) {
-            return report(&store, transitions, peak, Outcome::RuntimeFailure(e), started);
-        }
-        if check_deadlock && succs.is_empty() {
-            return report(&store, transitions, peak, Outcome::Deadlock, started);
-        }
-        for (_, next) in succs.drain(..) {
-            transitions += 1;
-            sys.encode(&next, &mut enc);
-            let (_, is_new) = store.insert(&enc);
-            if is_new {
-                if let Some(d) = invariant(&next) {
-                    return report(
-                        &store,
-                        transitions,
-                        peak,
-                        Outcome::InvariantViolated(d),
-                        started,
-                    );
-                }
-                if budget.exceeded(&store, started) {
-                    return report(&store, transitions, peak, Outcome::Unfinished, started);
-                }
-                stack.push(next);
-            }
-        }
-    }
-    report(&store, transitions, peak, Outcome::Complete, started)
+    let mut null = NullSink;
+    let mut obs = SearchObserver::new(&mut null, 0);
+    drive(sys, budget, invariant, check_deadlock, true, false, &mut obs).explore_report()
 }
 
 #[cfg(test)]

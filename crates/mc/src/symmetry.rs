@@ -1,0 +1,799 @@
+//! Symmetry reduction over the identical-remotes permutation group.
+//!
+//! Every protocol in the paper runs on a star topology: one home node and
+//! `N` *interchangeable* remotes. Renaming the remotes by any permutation
+//! `π` maps reachable states to reachable states and violations to
+//! violations, so the reachable space splits into orbits of up to `N!`
+//! equivalent states — and it suffices to explore one representative per
+//! orbit. This module picks that representative *canonically*: the orbit
+//! member with the lexicographically least [`TransitionSystem::encode`]
+//! bytes.
+//!
+//! The [`Reduced`] wrapper plugs the reduction in under every engine at
+//! once. Engines identify states solely through `encode` (the serial
+//! [`crate::search::drive`], the parallel engine's shard hashing, the
+//! progress checkers' CSR indices); `Reduced` delegates everything except
+//! `encode`, which it redirects to the canonical representative's bytes.
+//! Frontier states stay *concrete* (the first-discovered member of each
+//! orbit), and recorded labels are real transitions fired from those
+//! concrete states — so counterexample trails are genuine executions that
+//! replay on the unreduced system, with no witness-permutation
+//! bookkeeping. Sharding in the parallel engine hashes the canonical
+//! bytes, so shard assignment is permutation-independent and the level
+//! counts stay deterministic across thread counts.
+//!
+//! Orbit enumeration is `argmin` over *sorting permutations*: each remote
+//! gets an id-independent signature (its local slice with `self`/`other`
+//! node references abstracted), candidates are exactly the permutations
+//! that sort the signature sequence, and the least encoding among them is
+//! canonical. Equal signatures expand into all their orderings, so the
+//! candidate count is `Π gᵢ!` over signature-group sizes — worst case
+//! `N!` for a fully symmetric state, typically 1–2 once the protocol
+//! breaks symmetry. See `docs/symmetry.md` for the soundness argument and
+//! the fault-mode interaction (scripted per-link faults break symmetry;
+//! `--symmetry auto` falls back to `off`).
+
+use ccr_core::ids::RemoteId;
+use ccr_core::ids::{MsgType, ProcessId};
+use ccr_core::process::{CommAction, Peer, Process, ProtocolSpec};
+use ccr_core::value::{Env, Value};
+use ccr_metrics::Registry;
+use ccr_runtime::asynch::{AsyncState, AsyncSystem, BufEntry, HomePhase, HomeState, RemoteState};
+use ccr_runtime::rendezvous::{Local, RendezvousSystem, RvState};
+use ccr_runtime::wire::{Link, Wire};
+use ccr_runtime::{Label, TransitionSystem};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// A transition system whose state carries `remote_count()` interchangeable
+/// per-remote components, acted on by the symmetric group: `permute`
+/// renames the remotes and `signature` produces an id-independent
+/// discriminator for one remote's slice.
+///
+/// The contract both implementations uphold (and the proptests check):
+///
+/// * **Action**: `permute(s, π)` relabels every remote-indexed component
+///   and every remote-valued datum (`Value::Node`, `Value::Mask` bits,
+///   buffer senders, `Awaiting` targets, link endpoints) by `π`, where
+///   `π[i] = j` sends old remote `i` to new slot `j`. It is a group
+///   action: permuting by `π` then `σ` equals permuting by `σ∘π`.
+/// * **Equivariance**: `signature(permute(s, π), π[i]) == signature(s, i)`
+///   — the signature never mentions a concrete remote id, only *self* /
+///   *other* relationships, so it is constant along the orbit.
+pub trait Symmetric: TransitionSystem {
+    /// Number of remote processes in every state of this system.
+    fn remote_count(&self) -> usize;
+
+    /// Whether the remotes really are interchangeable: true iff every
+    /// transition expression of the underlying protocol is equivariant
+    /// (see [`spec_permutable`]). When this is false, permutations are
+    /// *not* automorphisms of the transition graph and [`Reduced`]
+    /// degrades to the identity — reduction of an asymmetric protocol
+    /// would merge states with genuinely different futures.
+    fn permutable(&self) -> bool;
+
+    /// Applies the remote permutation `perm` (`perm[i]` = new index of old
+    /// remote `i`) to `s`, producing the relabelled sibling state.
+    fn permute(&self, s: &Self::State, perm: &[usize]) -> Self::State;
+
+    /// Appends an id-independent signature of remote `i`'s slice of `s`
+    /// to `out` (which is *not* cleared). Equal signatures mark remotes
+    /// that are possibly interchangeable in `s`.
+    fn signature(&self, s: &Self::State, i: usize, out: &mut Vec<u8>);
+}
+
+/// True when every branch of `p` (guard, peer designator, payload,
+/// assignment right-hand sides) is equivariant under remote renaming.
+fn process_permutable(p: &Process) -> bool {
+    p.states.iter().flat_map(|st| &st.branches).all(|br| {
+        let action_ok = match &br.action {
+            CommAction::Send { to, payload, .. } => {
+                let peer_ok = match to {
+                    Peer::Remote(e) => e.is_equivariant(),
+                    Peer::Home | Peer::AnyRemote { .. } => true,
+                };
+                peer_ok && payload.as_ref().is_none_or(|e| e.is_equivariant())
+            }
+            CommAction::Recv { from, .. } => match from {
+                Peer::Remote(e) => e.is_equivariant(),
+                Peer::Home | Peer::AnyRemote { .. } => true,
+            },
+            CommAction::Tau => true,
+        };
+        action_ok
+            && br.guard.as_ref().is_none_or(|e| e.is_equivariant())
+            && br.assigns.iter().all(|(_, e)| e.is_equivariant())
+    })
+}
+
+/// The scalarset check: true when the spec's remotes are genuinely
+/// interchangeable, i.e. no transition expression of either process
+/// distinguishes remotes by their *number* — no `first(mask)` (which
+/// picks the lowest-numbered member) and no literal naming a specific
+/// node or non-empty node set. Initial variable values are exempt: they
+/// fix one concrete initial state but do not shape the transition
+/// *relation*, which is all an automorphism cares about.
+///
+/// Of the shipped specs, `invalidate.ccp` and `update.ccp` use
+/// `first(...)` to walk their sharer sets in index order and are
+/// therefore not reducible; the migratory family and `token.ccp` are.
+pub fn spec_permutable(spec: &ProtocolSpec) -> bool {
+    process_permutable(&spec.home) && process_permutable(&spec.remote)
+}
+
+/// Bit mask of the low `n` bits, saturating at all-ones for `n >= 64`.
+fn low_bits(n: usize) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Relabels one value under a remote permutation: node identities move to
+/// their new index, mask bits below the remote count are permuted (higher
+/// bits pass through), everything else is untouched.
+fn permute_value(v: Value, perm: &[usize]) -> Value {
+    let n = perm.len();
+    match v {
+        Value::Node(r) if r.index() < n => Value::Node(RemoteId(perm[r.index()] as u32)),
+        Value::Mask(m) => {
+            let low = low_bits(n);
+            let mut out = m & !low;
+            for (b, &p) in perm.iter().enumerate() {
+                if m & (1u64 << b) != 0 {
+                    out |= 1u64 << p;
+                }
+            }
+            Value::Mask(out)
+        }
+        other => other,
+    }
+}
+
+/// Relabels every slot of an environment under a remote permutation.
+fn permute_env(env: &Env, perm: &[usize]) -> Env {
+    Env::new(env.values().map(|v| permute_value(v, perm)).collect())
+}
+
+/// Id-independent signature bytes of a value *owned by* remote `i`: node
+/// references collapse to self/other markers and masks to (self-bit,
+/// other-popcount), so the bytes are identical for every remote whose
+/// slice looks the same up to renaming.
+fn signature_value(v: Value, i: usize, n: usize, out: &mut Vec<u8>) {
+    match v {
+        Value::Node(r) if r.index() < n => {
+            out.push(4);
+            out.push(if r.index() == i { 0xFF } else { 0xFE });
+        }
+        Value::Mask(m) => {
+            let low = low_bits(n);
+            out.push(5);
+            out.push(((m >> i) & 1) as u8);
+            out.push(((m & low) & !(1u64 << i)).count_ones() as u8);
+            out.extend_from_slice(&(m & !low).to_le_bytes());
+        }
+        other => other.encode(out),
+    }
+}
+
+/// Signature bytes of how a *home-owned* value relates to remote `i`:
+/// does it name `i`, another remote, or no remote at all. Pure relation,
+/// no identity — equivariant by construction.
+fn signature_home_ref(v: Value, i: usize, n: usize, out: &mut Vec<u8>) {
+    match v {
+        Value::Node(r) if r.index() < n => out.push(if r.index() == i { 1 } else { 2 }),
+        Value::Mask(m) => {
+            out.push(3);
+            out.push(((m >> i) & 1) as u8);
+        }
+        _ => out.push(0),
+    }
+}
+
+/// Signature bytes of one wire message travelling to or from remote `i`.
+fn signature_wire(w: &Wire, i: usize, n: usize, out: &mut Vec<u8>) {
+    match w {
+        Wire::Req { msg, val } => {
+            out.push(1);
+            out.push(msg.0 as u8);
+            match val {
+                Some(v) => {
+                    out.push(1);
+                    signature_value(*v, i, n, out);
+                }
+                None => out.push(0),
+            }
+        }
+        Wire::Ack => out.push(2),
+        Wire::Nack => out.push(3),
+    }
+}
+
+impl Symmetric for RendezvousSystem<'_> {
+    fn remote_count(&self) -> usize {
+        self.n() as usize
+    }
+
+    fn permutable(&self) -> bool {
+        spec_permutable(self.spec())
+    }
+
+    fn permute(&self, s: &RvState, perm: &[usize]) -> RvState {
+        let mut remotes = s.remotes.clone();
+        for (i, r) in s.remotes.iter().enumerate() {
+            remotes[perm[i]] = Local { state: r.state, env: permute_env(&r.env, perm) };
+        }
+        RvState {
+            home: Local { state: s.home.state, env: permute_env(&s.home.env, perm) },
+            remotes,
+        }
+    }
+
+    fn signature(&self, s: &RvState, i: usize, out: &mut Vec<u8>) {
+        let n = s.remotes.len();
+        let r = &s.remotes[i];
+        out.extend_from_slice(&(r.state.0 as u16).to_le_bytes());
+        for v in r.env.values() {
+            signature_value(v, i, n, out);
+        }
+        for v in s.home.env.values() {
+            signature_home_ref(v, i, n, out);
+        }
+    }
+}
+
+impl Symmetric for AsyncSystem<'_> {
+    fn remote_count(&self) -> usize {
+        self.n() as usize
+    }
+
+    fn permutable(&self) -> bool {
+        spec_permutable(self.spec())
+    }
+
+    fn permute(&self, s: &AsyncState, perm: &[usize]) -> AsyncState {
+        let mut remotes = s.remotes.clone();
+        let mut to_home = s.to_home.clone();
+        let mut to_remote = s.to_remote.clone();
+        for (i, r) in s.remotes.iter().enumerate() {
+            remotes[perm[i]] = RemoteState {
+                phase: r.phase,
+                env: permute_env(&r.env, perm),
+                buf: r.buf.map(|(m, v)| (m, v.map(|v| permute_value(v, perm)))),
+            };
+            to_home[perm[i]] = permute_link(&s.to_home[i], perm);
+            to_remote[perm[i]] = permute_link(&s.to_remote[i], perm);
+        }
+        AsyncState {
+            home: HomeState {
+                phase: match s.home.phase {
+                    HomePhase::At(st) => HomePhase::At(st),
+                    HomePhase::Awaiting { state, branch, target } => HomePhase::Awaiting {
+                        state,
+                        branch,
+                        target: RemoteId(perm[target.index()] as u32),
+                    },
+                },
+                env: permute_env(&s.home.env, perm),
+                // FIFO order is semantic (the C1 scan and victim-nack pick
+                // by position), so entries keep their slots; only senders
+                // and payloads are renamed.
+                buf: s
+                    .home
+                    .buf
+                    .iter()
+                    .map(|e| BufEntry {
+                        from: RemoteId(perm[e.from.index()] as u32),
+                        msg: e.msg,
+                        val: e.val.map(|v| permute_value(v, perm)),
+                    })
+                    .collect(),
+                cursor: s.home.cursor,
+            },
+            remotes,
+            to_home,
+            to_remote,
+        }
+    }
+
+    fn signature(&self, s: &AsyncState, i: usize, out: &mut Vec<u8>) {
+        let n = s.remotes.len();
+        let r = &s.remotes[i];
+        match r.phase {
+            ccr_runtime::asynch::RemotePhase::At(st) => {
+                out.push(0);
+                out.extend_from_slice(&(st.0 as u16).to_le_bytes());
+            }
+            ccr_runtime::asynch::RemotePhase::Awaiting { state, branch } => {
+                out.push(1);
+                out.extend_from_slice(&(state.0 as u16).to_le_bytes());
+                out.push(branch as u8);
+            }
+        }
+        for v in r.env.values() {
+            signature_value(v, i, n, out);
+        }
+        match &r.buf {
+            Some((m, v)) => {
+                out.push(1);
+                out.push(m.0 as u8);
+                match v {
+                    Some(v) => {
+                        out.push(1);
+                        signature_value(*v, i, n, out);
+                    }
+                    None => out.push(0),
+                }
+            }
+            None => out.push(0),
+        }
+        // This remote's halves of the shared state: its two links, the
+        // home-buffer entries it parked, and how the home's bookkeeping
+        // refers to it.
+        for link in [&s.to_home[i], &s.to_remote[i]] {
+            out.push(link.len() as u8);
+            for w in link.iter() {
+                signature_wire(w, i, n, out);
+            }
+        }
+        if let HomePhase::Awaiting { target, .. } = s.home.phase {
+            out.push(if target.index() == i { 1 } else { 2 });
+        } else {
+            out.push(0);
+        }
+        for (pos, e) in s.home.buf.iter().enumerate() {
+            if e.from.index() == i {
+                out.push(pos as u8);
+                out.push(e.msg.0 as u8);
+                match e.val {
+                    Some(v) => {
+                        out.push(1);
+                        signature_value(v, i, n, out);
+                    }
+                    None => out.push(0),
+                }
+            }
+        }
+        out.push(0xFD);
+        for v in s.home.env.values() {
+            signature_home_ref(v, i, n, out);
+        }
+    }
+}
+
+/// Rebuilds a link with every payload relabelled under `perm` (FIFO order
+/// preserved — in-order delivery is semantic).
+fn permute_link(link: &Link, perm: &[usize]) -> Link {
+    let mut out = Link::new();
+    for w in link.iter() {
+        out.push(match w {
+            Wire::Req { msg, val } => {
+                Wire::Req { msg: *msg, val: val.map(|v| permute_value(v, perm)) }
+            }
+            other => *other,
+        });
+    }
+    out
+}
+
+/// What one canonicalization observed, for the orbit metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrbitSample {
+    /// Sorting permutations evaluated (1 when the signature sequence has
+    /// no ties, up to `N!` for a fully symmetric state).
+    pub candidates: u64,
+    /// Whether the canonical encoding differs from the state's own — i.e.
+    /// the state was not already its orbit representative.
+    pub moved: bool,
+}
+
+/// Walks every permutation of `order` that keeps each equal-signature
+/// group within its positions (groups are contiguous after the sort;
+/// `group_end[pos]` is one past the group containing `pos`), converting
+/// each ordering into an old-index → new-index `perm` for `f`.
+fn for_each_sorting_perm(
+    order: &mut [usize],
+    group_end: &[usize],
+    pos: usize,
+    perm: &mut [usize],
+    f: &mut impl FnMut(&[usize]),
+) {
+    if pos == order.len() {
+        for (new_pos, &old) in order.iter().enumerate() {
+            perm[old] = new_pos;
+        }
+        f(perm);
+        return;
+    }
+    for k in pos..group_end[pos] {
+        order.swap(pos, k);
+        for_each_sorting_perm(order, group_end, pos + 1, perm, f);
+        order.swap(pos, k);
+    }
+}
+
+/// Encodes the canonical orbit representative of `s` into `out` (cleared
+/// first, like [`TransitionSystem::encode`]) and reports what the search
+/// over sorting permutations saw.
+///
+/// Soundness: signatures are equivariant, so the *set* of sorting
+/// permutations applied to `s` yields the same candidate state-set for
+/// every member of the orbit — and the minimum of a fixed set does not
+/// depend on where you start. Idempotence follows because the identity
+/// sorts the already-sorted canonical state, so `canon(canon(s))` can
+/// never find anything smaller.
+pub fn canonical_encode<T: Symmetric>(sys: &T, s: &T::State, out: &mut Vec<u8>) -> OrbitSample {
+    let n = sys.remote_count();
+    if n <= 1 {
+        sys.encode(s, out);
+        return OrbitSample { candidates: 1, moved: false };
+    }
+
+    let mut sigs: Vec<Vec<u8>> = vec![Vec::new(); n];
+    for (i, sig) in sigs.iter_mut().enumerate() {
+        sys.signature(s, i, sig);
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| sigs[a].cmp(&sigs[b]));
+    let mut group_end = vec![0usize; n];
+    let mut k = 0;
+    while k < n {
+        let mut e = k + 1;
+        while e < n && sigs[order[e]] == sigs[order[k]] {
+            e += 1;
+        }
+        for g in group_end.iter_mut().take(e).skip(k) {
+            *g = e;
+        }
+        k = e;
+    }
+
+    let mut perm = vec![0usize; n];
+    let mut best: Vec<u8> = Vec::new();
+    let mut scratch: Vec<u8> = Vec::new();
+    let mut first = true;
+    let mut candidates = 0u64;
+    for_each_sorting_perm(&mut order, &group_end, 0, &mut perm, &mut |perm| {
+        candidates += 1;
+        let cand = sys.permute(s, perm);
+        sys.encode(&cand, &mut scratch);
+        if first || scratch < best {
+            std::mem::swap(&mut best, &mut scratch);
+            first = false;
+        }
+    });
+
+    sys.encode(s, &mut scratch);
+    let moved = best != scratch;
+    out.clear();
+    out.extend_from_slice(&best);
+    OrbitSample { candidates, moved }
+}
+
+/// The canonical orbit representative of `s` itself (the state whose
+/// encoding [`canonical_encode`] produces). Primarily for tests; the
+/// engines only ever need the canonical *bytes*.
+pub fn canonicalize<T: Symmetric>(sys: &T, s: &T::State) -> T::State {
+    let n = sys.remote_count();
+    if n <= 1 {
+        return s.clone();
+    }
+    let mut enc = Vec::new();
+    canonical_encode(sys, s, &mut enc);
+    // Re-run the candidate walk keeping the matching state. Two passes
+    // keep the hot path (`canonical_encode`, used by every engine) free
+    // of state clones it does not need.
+    let mut sigs: Vec<Vec<u8>> = vec![Vec::new(); n];
+    for (i, sig) in sigs.iter_mut().enumerate() {
+        sys.signature(s, i, sig);
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| sigs[a].cmp(&sigs[b]));
+    let mut group_end = vec![0usize; n];
+    let mut k = 0;
+    while k < n {
+        let mut e = k + 1;
+        while e < n && sigs[order[e]] == sigs[order[k]] {
+            e += 1;
+        }
+        for g in group_end.iter_mut().take(e).skip(k) {
+            *g = e;
+        }
+        k = e;
+    }
+    let mut perm = vec![0usize; n];
+    let mut found: Option<T::State> = None;
+    let mut scratch = Vec::new();
+    for_each_sorting_perm(&mut order, &group_end, 0, &mut perm, &mut |perm| {
+        if found.is_some() {
+            return;
+        }
+        let cand = sys.permute(s, perm);
+        sys.encode(&cand, &mut scratch);
+        if scratch == enc {
+            found = Some(cand);
+        }
+    });
+    found.expect("the canonical encoding came from some sorting permutation")
+}
+
+/// Applies the remote permutation `perm` to `s` — a re-export of
+/// [`Symmetric::permute`] as a free function, for the differential and
+/// property tests.
+pub fn apply_perm<T: Symmetric>(sys: &T, s: &T::State, perm: &[usize]) -> T::State {
+    sys.permute(s, perm)
+}
+
+/// A [`TransitionSystem`] adapter that explores `T` modulo remote
+/// symmetry: identical to the inner system except that [`encode`]
+/// produces the canonical orbit representative's bytes, so every engine
+/// that deduplicates on encodings (all of them) visits one state per
+/// orbit. See the module docs for why frontiers and trails stay concrete.
+///
+/// [`encode`]: TransitionSystem::encode
+pub struct Reduced<'a, T: Symmetric> {
+    inner: &'a T,
+    active: bool,
+    canon_total: AtomicU64,
+    moved_total: AtomicU64,
+    candidates_total: AtomicU64,
+    candidates_max: AtomicU64,
+}
+
+impl<'a, T: Symmetric> Reduced<'a, T> {
+    /// Wraps `inner` with orbit-canonical encoding and fresh orbit
+    /// counters. When the inner system is not [`Symmetric::permutable`]
+    /// (its protocol uses order-sensitive primitives such as `first`),
+    /// the wrapper is the *identity*: reduction of an asymmetric graph
+    /// would be unsound, so none happens and [`Reduced::active`] reports
+    /// it.
+    pub fn new(inner: &'a T) -> Self {
+        Self {
+            inner,
+            active: inner.permutable() && inner.remote_count() > 1,
+            canon_total: AtomicU64::new(0),
+            moved_total: AtomicU64::new(0),
+            candidates_total: AtomicU64::new(0),
+            candidates_max: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped system.
+    pub fn inner(&self) -> &'a T {
+        self.inner
+    }
+
+    /// Whether encoding actually canonicalizes (false for non-permutable
+    /// protocols and for `n <= 1`, where the wrapper is the identity).
+    pub fn active(&self) -> bool {
+        self.active
+    }
+
+    /// Canonicalizations performed so far.
+    pub fn canon_total(&self) -> u64 {
+        self.canon_total.load(Relaxed)
+    }
+
+    /// Folds this wrapper's orbit counters into `reg`:
+    /// `mc_symmetry_orbit_states_total` (canonicalizations),
+    /// `mc_symmetry_orbit_moved_total` (states that were not already
+    /// canonical), `mc_symmetry_orbit_candidates_total` (sorting
+    /// permutations evaluated) and the `mc_symmetry_orbit_candidates_max`
+    /// gauge. Call once after each reduced search phase.
+    pub fn record_metrics(&self, reg: &Registry) {
+        if !reg.enabled() {
+            return;
+        }
+        reg.counter("mc_symmetry_orbit_states_total", "States canonicalized by symmetry reduction")
+            .add(self.canon_total.load(Relaxed));
+        reg.counter(
+            "mc_symmetry_orbit_moved_total",
+            "Canonicalized states that were not already orbit representatives",
+        )
+        .add(self.moved_total.load(Relaxed));
+        reg.counter(
+            "mc_symmetry_orbit_candidates_total",
+            "Sorting permutations evaluated across all canonicalizations",
+        )
+        .add(self.candidates_total.load(Relaxed));
+        reg.gauge(
+            "mc_symmetry_orbit_candidates_max",
+            "Largest sorting-permutation set met by one canonicalization",
+        )
+        .record_max(self.candidates_max.load(Relaxed));
+    }
+}
+
+impl<T: Symmetric> TransitionSystem for Reduced<'_, T> {
+    type State = T::State;
+
+    fn initial(&self) -> T::State {
+        self.inner.initial()
+    }
+
+    fn successors(
+        &self,
+        s: &T::State,
+        out: &mut Vec<(Label, T::State)>,
+    ) -> ccr_runtime::Result<()> {
+        self.inner.successors(s, out)
+    }
+
+    fn encode(&self, s: &T::State, out: &mut Vec<u8>) {
+        if !self.active {
+            self.inner.encode(s, out);
+            return;
+        }
+        let sample = canonical_encode(self.inner, s, out);
+        self.canon_total.fetch_add(1, Relaxed);
+        self.candidates_total.fetch_add(sample.candidates, Relaxed);
+        self.candidates_max.fetch_max(sample.candidates, Relaxed);
+        if sample.moved {
+            self.moved_total.fetch_add(1, Relaxed);
+        }
+    }
+
+    fn link_occupancy(&self, s: &T::State, from: ProcessId, to: ProcessId) -> Option<u32> {
+        self.inner.link_occupancy(s, from, to)
+    }
+
+    fn home_buffer_occupancy(&self, s: &T::State) -> Option<(u32, u32)> {
+        self.inner.home_buffer_occupancy(s)
+    }
+
+    fn msg_name(&self, m: MsgType) -> String {
+        self.inner.msg_name(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{explore_plain, Budget};
+    use ccr_core::builder::ProtocolBuilder;
+    use ccr_core::expr::Expr;
+
+    fn token_spec() -> ccr_core::process::ProtocolSpec {
+        let mut b = ProtocolBuilder::new("token");
+        let req = b.msg("req");
+        let gr = b.msg("gr");
+        let rel = b.msg("rel");
+        let o = b.home_var("o", Value::Node(RemoteId(0)));
+        let f = b.home_state("F");
+        let g1 = b.home_state("G1");
+        let e = b.home_state("E");
+        b.home(f).recv_any(req).bind_sender(o).goto(g1);
+        b.home(g1).send_to(Expr::Var(o), gr).goto(e);
+        b.home(e).recv_exact(rel, Expr::Var(o)).goto(f);
+        let i = b.remote_state("I");
+        let w = b.remote_state("W");
+        let v = b.remote_state("V");
+        b.remote(i).send(req).goto(w);
+        b.remote(w).recv(gr).goto(v);
+        b.remote(v).send(rel).goto(i);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn permute_value_moves_nodes_and_mask_bits() {
+        let perm = [2usize, 0, 1];
+        assert_eq!(permute_value(Value::Node(RemoteId(0)), &perm), Value::Node(RemoteId(2)));
+        assert_eq!(permute_value(Value::Mask(0b011), &perm), Value::Mask(0b101));
+        assert_eq!(permute_value(Value::Int(7), &perm), Value::Int(7));
+        // Bits past the remote count pass through.
+        assert_eq!(permute_value(Value::Mask(0b1000), &perm), Value::Mask(0b1000));
+    }
+
+    #[test]
+    fn canonical_encode_is_constant_on_an_orbit() {
+        let spec = token_spec();
+        let sys = RendezvousSystem::new(&spec, 3);
+        // Reach an asymmetric state: remote 1 owns the token.
+        let s0 = sys.initial();
+        let mut out = Vec::new();
+        sys.successors(&s0, &mut out).unwrap();
+        let s = out
+            .iter()
+            .find(|(l, _)| l.actor == ProcessId::Remote(RemoteId(1)))
+            .map(|(_, s)| s.clone())
+            .unwrap();
+        let mut base = Vec::new();
+        canonical_encode(&sys, &s, &mut base);
+        // Every permutation of the state canonicalizes to the same bytes.
+        let perms: [[usize; 3]; 6] =
+            [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        for p in &perms {
+            let sibling = sys.permute(&s, p);
+            let mut enc = Vec::new();
+            canonical_encode(&sys, &sibling, &mut enc);
+            assert_eq!(enc, base, "perm {p:?}");
+        }
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent_and_matches_encoding() {
+        let spec = token_spec();
+        let sys = RendezvousSystem::new(&spec, 3);
+        let s0 = sys.initial();
+        let mut out = Vec::new();
+        sys.successors(&s0, &mut out).unwrap();
+        for (_, s) in &out {
+            let c = canonicalize(&sys, s);
+            let cc = canonicalize(&sys, &c);
+            assert_eq!(sys.encoded(&c), sys.encoded(&cc), "idempotent");
+            let mut enc = Vec::new();
+            canonical_encode(&sys, s, &mut enc);
+            assert_eq!(sys.encoded(&c), enc, "canonicalize agrees with canonical_encode");
+        }
+    }
+
+    #[test]
+    fn reduced_search_shrinks_the_token_space() {
+        let spec = token_spec();
+        let sys = RendezvousSystem::new(&spec, 3);
+        let full = explore_plain(&sys, &Budget::default());
+        let red = Reduced::new(&sys);
+        let reduced = explore_plain(&red, &Budget::default());
+        assert!(full.outcome.is_complete() && reduced.outcome.is_complete());
+        assert!(reduced.states < full.states, "reduced {} vs full {}", reduced.states, full.states);
+        assert!(red.canon_total() > 0, "orbit counters advance");
+    }
+
+    #[test]
+    fn order_sensitive_spec_is_detected_and_left_unreduced() {
+        // A home that walks its sharer set with first(s) — the scalarset
+        // violation that makes invalidate.ccp/update.ccp irreducible.
+        let mut b = ProtocolBuilder::new("ordered");
+        let req = b.msg("req");
+        let inv = b.msg("inv");
+        let s = b.home_var("s", Value::Mask(0));
+        let o = b.home_var("o", Value::Node(RemoteId(0)));
+        let f = b.home_state("F");
+        let g = b.home_state("G");
+        b.home(f)
+            .recv_any(req)
+            .bind_sender(o)
+            .assign(s, Expr::MaskAdd(Box::new(Expr::Var(s)), Box::new(Expr::Var(o))))
+            .goto(g);
+        b.home(g)
+            .when(Expr::Not(Box::new(Expr::MaskIsEmpty(Box::new(Expr::Var(s))))))
+            .send_to(Expr::MaskFirst(Box::new(Expr::Var(s))), inv)
+            .assign(
+                s,
+                Expr::MaskDel(
+                    Box::new(Expr::Var(s)),
+                    Box::new(Expr::MaskFirst(Box::new(Expr::Var(s)))),
+                ),
+            )
+            .goto(f);
+        let i = b.remote_state("I");
+        let w = b.remote_state("W");
+        b.remote(i).send(req).goto(w);
+        b.remote(w).recv(inv).goto(i);
+        let spec = b.finish().unwrap();
+        assert!(!spec_permutable(&spec), "first() must flag the spec");
+        assert!(spec_permutable(&token_spec()), "token is scalarset-clean");
+
+        let sys = RendezvousSystem::new(&spec, 3);
+        let red = Reduced::new(&sys);
+        assert!(!red.active(), "reduction must disable itself");
+        let full = explore_plain(&sys, &Budget::default());
+        let reduced = explore_plain(&red, &Budget::default());
+        assert_eq!(reduced.states, full.states, "identity wrapper");
+        assert_eq!(reduced.outcome, full.outcome);
+        assert_eq!(red.canon_total(), 0, "no canonicalization happens");
+    }
+
+    #[test]
+    fn fully_symmetric_initial_state_explores_all_orderings() {
+        let spec = token_spec();
+        let sys = RendezvousSystem::new(&spec, 3);
+        let s0 = sys.initial();
+        let mut enc = Vec::new();
+        // All three remotes are identical in the initial state except for
+        // the home's owner variable, which names remote 0.
+        let sample = canonical_encode(&sys, &s0, &mut enc);
+        assert!(sample.candidates >= 2, "ties expand into orderings");
+        assert!(!enc.is_empty());
+    }
+}

@@ -13,12 +13,9 @@
 
 use crate::report::Outcome;
 use crate::search::{Budget, SearchObserver};
-use crate::store::StateStore;
 use ccr_runtime::observe::emit_label_events;
 use ccr_runtime::{Label, TransitionSystem};
 use ccr_trace::{NullSink, TraceEvent, TraceSink};
-use std::collections::VecDeque;
-use std::time::Instant;
 
 /// A reachability result carrying an optional counterexample trail.
 #[derive(Debug, Clone, serde::Serialize)]
@@ -155,105 +152,42 @@ pub fn explore_traced<T: TransitionSystem>(
 pub fn explore_traced_observed<T: TransitionSystem>(
     sys: &T,
     budget: &Budget,
-    mut invariant: impl FnMut(&T::State) -> Option<String>,
+    invariant: impl FnMut(&T::State) -> Option<String>,
     check_deadlock: bool,
     obs: &mut SearchObserver<'_>,
 ) -> TracedReport {
-    let started = Instant::now();
-    let mut store = StateStore::new();
-    let mut parents: Vec<Option<(u32, Label)>> = Vec::new();
-    let mut frontier: VecDeque<(T::State, u32)> = VecDeque::new();
-    let mut succs = Vec::new();
-    let mut enc = Vec::new();
-    let mut transitions = 0usize;
-    let mut peak_frontier = 0usize;
+    let run = crate::search::drive(sys, budget, invariant, check_deadlock, false, true, obs);
+    let report = TracedReport { states: run.store.len(), outcome: run.outcome, trail: run.trail };
+    conclude_with_trail(sys, &report.outcome, report.trail.as_deref(), obs);
+    crate::search::record_search_run(
+        obs.metrics(),
+        report.states,
+        run.transitions,
+        run.peak_frontier,
+        &run.store,
+    );
+    report
+}
 
-    let conclude = |report: TracedReport,
-                    transitions: usize,
-                    peak_frontier: usize,
-                    store: &StateStore,
-                    obs: &mut SearchObserver<'_>|
-     -> TracedReport {
-        if obs.sink().enabled() {
-            match &report.trail {
-                Some(trail) => {
-                    export_trail(sys, trail, &report.outcome, obs.sink());
-                }
-                None => obs.finish(&report.outcome, None),
-            }
-        }
-        crate::search::record_search_run(
-            obs.metrics(),
-            report.states,
-            transitions,
-            peak_frontier,
-            store,
-        );
-        report
-    };
-
-    let init = sys.initial();
-    sys.encode(&init, &mut enc);
-    store.insert(&enc);
-    parents.push(None);
-    if let Some(d) = invariant(&init) {
-        let r = TracedReport {
-            states: 1,
-            outcome: Outcome::InvariantViolated(d),
-            trail: Some(Vec::new()),
-        };
-        return conclude(r, 0, 0, &store, obs);
+/// Shared ending for trail-carrying searches (serial and parallel): when
+/// the observer's sink is live, a violating run exports its
+/// counterexample as a replayed event stream ending with the outcome,
+/// and a trail-less run emits the bare outcome event.
+pub(crate) fn conclude_with_trail<T: TransitionSystem>(
+    sys: &T,
+    outcome: &Outcome,
+    trail: Option<&[Label]>,
+    obs: &mut SearchObserver<'_>,
+) {
+    if !obs.sink().enabled() {
+        return;
     }
-    frontier.push_back((init, 0));
-
-    while let Some((state, idx)) = frontier.pop_front() {
-        peak_frontier = peak_frontier.max(frontier.len() + 1);
-        obs.tick(store.len(), frontier.len() + 1, store.approx_bytes());
-        if let Err(e) = sys.successors(&state, &mut succs) {
-            let r = TracedReport {
-                states: store.len(),
-                outcome: Outcome::RuntimeFailure(e),
-                trail: Some(trail_to(&parents, idx)),
-            };
-            return conclude(r, transitions, peak_frontier, &store, obs);
+    match trail {
+        Some(trail) => {
+            export_trail(sys, trail, outcome, obs.sink());
         }
-        if check_deadlock && succs.is_empty() {
-            let r = TracedReport {
-                states: store.len(),
-                outcome: Outcome::Deadlock,
-                trail: Some(trail_to(&parents, idx)),
-            };
-            return conclude(r, transitions, peak_frontier, &store, obs);
-        }
-        for (label, next) in succs.drain(..) {
-            transitions += 1;
-            sys.encode(&next, &mut enc);
-            let (nidx, is_new) = store.insert(&enc);
-            if !is_new {
-                continue;
-            }
-            parents.push(Some((idx, label.clone())));
-            if let Some(d) = invariant(&next) {
-                let r = TracedReport {
-                    states: store.len(),
-                    outcome: Outcome::InvariantViolated(d),
-                    trail: Some(trail_to(&parents, nidx)),
-                };
-                return conclude(r, transitions, peak_frontier, &store, obs);
-            }
-            if store.len() >= budget.max_states
-                || store.approx_bytes() >= budget.max_bytes
-                || budget.max_time.map(|t| started.elapsed() >= t).unwrap_or(false)
-            {
-                let r =
-                    TracedReport { states: store.len(), outcome: Outcome::Unfinished, trail: None };
-                return conclude(r, transitions, peak_frontier, &store, obs);
-            }
-            frontier.push_back((next, nidx));
-        }
+        None => obs.finish(outcome, None),
     }
-    let r = TracedReport { states: store.len(), outcome: Outcome::Complete, trail: None };
-    conclude(r, transitions, peak_frontier, &store, obs)
 }
 
 #[cfg(test)]

@@ -6,14 +6,15 @@
 //! ccr refine  <spec.ccp> [--no-opt]       show pairs, costs, automata sizes
 //! ccr dot     <spec.ccp> [--refined]      Graphviz to stdout
 //! ccr verify  <spec.ccp> [-n N] [--budget S] [--no-opt] [--threads T]
-//!             [--trace FILE] [--progress] [--json]
-//!             [--faults SPEC] [--seed N] [--fault-budget F]
+//!             [--symmetry on|off|auto] [--trace FILE] [--progress]
+//!             [--json] [--faults SPEC] [--seed N] [--fault-budget F]
 //!                                         full pipeline: reachability both
 //!                                         levels, safety (deadlock),
 //!                                         Equation 1, forward progress,
 //!                                         and (opt-in) fault tolerance
-//! ccr table   <spec.ccp> [-n N..] [--threads T] [--trace FILE]
-//!             [--progress] [--json]       per-N reachability comparison
+//! ccr table   <spec.ccp> [-n N..] [--threads T] [--symmetry on|off|auto]
+//!             [--trace FILE] [--progress] [--json]
+//!                                         per-N reachability comparison
 //! ccr bench diff <old.json> <new.json> [--tolerance T]
 //!             [--bytes-tolerance B]       perf-regression gate over
 //!                                         BENCH_*.json reports or
@@ -25,6 +26,20 @@
 //! `docs/parallel_checking.md`. Results are observationally equivalent
 //! to the serial engine; Equation 1 stays serial (it is cheap relative
 //! to the asynchronous sweep).
+//!
+//! `--symmetry on|off|auto` (verify/table, default `auto`) dedupes
+//! permutation-equivalent global states — the remotes are identical, so
+//! states differing only in which remote plays which role form one orbit
+//! and only a canonical representative is stored (see
+//! `docs/symmetry.md`). `auto` turns the reduction on for `verify`
+//! unless a fault flag is present (fault phases track per-link fault
+//! ledgers that break the symmetry, so `auto` falls back to `off` and
+//! says so), and leaves `table` unreduced for faithful Table 3 counts.
+//! Specs that fail the scalarset check — order-sensitive primitives
+//! such as `first(mask)`, as in `invalidate.ccp`/`update.ccp` — are
+//! never reduced, even under `on`: the reduction would be unsound.
+//! Equation 1 always runs on the concrete state spaces. Counterexample
+//! trails stay concrete executions and replay on the unreduced engine.
 //!
 //! Observability flags (verify/table):
 //!
@@ -70,6 +85,7 @@ use ccr_mc::report::ExploreReport;
 use ccr_mc::search::{explore_observed, Budget, SearchObserver};
 use ccr_mc::simrel::check_simulation;
 use ccr_mc::trace::{explore_traced_observed, TracedReport};
+use ccr_mc::{Reduced, Symmetric};
 use ccr_metrics::Registry;
 use ccr_runtime::asynch::{AsyncConfig, AsyncSystem};
 use ccr_runtime::rendezvous::RendezvousSystem;
@@ -93,7 +109,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: ccr <fmt|check|refine|dot|verify|table> <spec.ccp> \
          [-n N] [--budget STATES] [--no-opt] [--refined] [--threads T] \
-         [--trace FILE] [--progress] [--json] \
+         [--symmetry on|off|auto] [--trace FILE] [--progress] [--json] \
          [--metrics PATH|-] [--metrics-format json|prometheus] \
          [--faults SPEC] [--seed N] [--fault-budget F]\n\
          \x20      ccr bench diff <old.json> <new.json> \
@@ -116,6 +132,7 @@ struct Args {
     seed: u64,
     fault_budget: Option<u32>,
     threads: usize,
+    symmetry: Symmetry,
     metrics: Option<String>,
     metrics_format: MetricsFormat,
 }
@@ -124,6 +141,15 @@ struct Args {
 enum MetricsFormat {
     Json,
     Prometheus,
+}
+
+/// The `--symmetry` mode: whether to dedupe permutation-equivalent
+/// states during exploration (see `docs/symmetry.md`).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Symmetry {
+    On,
+    Off,
+    Auto,
 }
 
 fn parse_args() -> Option<Args> {
@@ -144,6 +170,7 @@ fn parse_args() -> Option<Args> {
         seed: 0,
         fault_budget: None,
         threads: 1,
+        symmetry: Symmetry::Auto,
         metrics: None,
         metrics_format: MetricsFormat::Json,
     };
@@ -160,6 +187,14 @@ fn parse_args() -> Option<Args> {
             "--seed" => out.seed = args.next()?.parse().ok()?,
             "--fault-budget" => out.fault_budget = Some(args.next()?.parse().ok()?),
             "--threads" => out.threads = args.next()?.parse().ok().filter(|&t| t >= 1)?,
+            "--symmetry" => {
+                out.symmetry = match args.next()?.as_str() {
+                    "on" => Symmetry::On,
+                    "off" => Symmetry::Off,
+                    "auto" => Symmetry::Auto,
+                    _ => return None,
+                }
+            }
             "--metrics" => out.metrics = Some(args.next()?),
             "--metrics-format" => {
                 out.metrics_format = match args.next()?.as_str() {
@@ -232,6 +267,104 @@ where
             .explore_report()
     } else {
         explore_observed(sys, budget, |_| None, false, obs)
+    }
+}
+
+/// [`explore_cli`] over the symmetry-reduced quotient when `reduce` is
+/// set (orbit metrics flushed to `registry`), the concrete system
+/// otherwise. Trails are concrete either way: the reduced frontier
+/// holds first-discovered orbit representatives and real labels.
+fn explore_cli_sym<T>(
+    sys: &T,
+    reduce: bool,
+    budget: &Budget,
+    threads: usize,
+    obs: &mut SearchObserver<'_>,
+    registry: &Registry,
+) -> TracedReport
+where
+    T: Symmetric + Sync,
+    T::State: Send,
+{
+    if reduce {
+        let red = Reduced::new(sys);
+        let report = explore_cli(&red, budget, threads, obs);
+        red.record_metrics(registry);
+        report
+    } else {
+        explore_cli(sys, budget, threads, obs)
+    }
+}
+
+/// [`explore_plain_cli`] with optional symmetry reduction, as in
+/// [`explore_cli_sym`].
+fn explore_plain_cli_sym<T>(
+    sys: &T,
+    reduce: bool,
+    budget: &Budget,
+    threads: usize,
+    obs: &mut SearchObserver<'_>,
+    registry: &Registry,
+) -> ExploreReport
+where
+    T: Symmetric + Sync,
+    T::State: Send,
+{
+    if reduce {
+        let red = Reduced::new(sys);
+        let report = explore_plain_cli(&red, budget, threads, obs);
+        red.record_metrics(registry);
+        report
+    } else {
+        explore_plain_cli(sys, budget, threads, obs)
+    }
+}
+
+/// The progress check (serial or parallel per `--threads`) with optional
+/// symmetry reduction. Sound on the quotient: progress labels are
+/// permutation-invariant (`completes` carries an actor, but whether *a*
+/// completion exists from a state is an orbit property).
+fn progress_cli_sym<T>(
+    sys: &T,
+    reduce: bool,
+    budget: &Budget,
+    threads: usize,
+    obs: &mut SearchObserver<'_>,
+    registry: &Registry,
+) -> ccr_mc::report::ProgressReport
+where
+    T: Symmetric + Sync,
+    T::State: Send,
+{
+    fn run<S>(
+        sys: &S,
+        budget: &Budget,
+        threads: usize,
+        obs: &mut SearchObserver<'_>,
+    ) -> ccr_mc::report::ProgressReport
+    where
+        S: TransitionSystem + Sync,
+        S::State: Send,
+    {
+        if threads > 1 {
+            check_progress_parallel_observed(
+                sys,
+                budget,
+                |l| l.completes.is_some(),
+                &ParallelConfig::threads(threads),
+                obs,
+            )
+        } else {
+            check_progress_observed(sys, budget, |l| l.completes.is_some(), obs)
+        }
+    }
+    if reduce {
+        let red = Reduced::new(sys);
+        let report = run(&red, budget, threads, obs);
+        red.record_metrics(registry);
+        report
+    } else {
+        run(sys, budget, threads, obs)
     }
 }
 
@@ -569,12 +702,49 @@ fn main() -> ExitCode {
             let mut tee = TeeSink(&mut *file, &mut *beats);
 
             let threads = args.threads;
+            // `auto` reduces unless a fault flag is present: the fault
+            // phases explore per-link fault ledgers that break remote
+            // interchangeability (docs/symmetry.md), and mixing reduced
+            // clean phases with concrete fault phases would make the two
+            // state counts incomparable. Specs that fail the scalarset
+            // check (order-sensitive primitives like `first`) are never
+            // reduced, not even under an explicit `on` — it would be
+            // unsound.
+            let faulty = args.faults.is_some() || args.fault_budget.is_some();
+            let permutable = ccr_mc::spec_permutable(&spec);
+            let reduce = permutable
+                && match args.symmetry {
+                    Symmetry::On => true,
+                    Symmetry::Off => false,
+                    Symmetry::Auto => !faulty,
+                };
+            if human {
+                let asked = match args.symmetry {
+                    Symmetry::On => "on",
+                    Symmetry::Off => "off",
+                    Symmetry::Auto => "auto",
+                };
+                if args.symmetry != Symmetry::Off && !permutable {
+                    println!(
+                        "symmetry: {asked} -> off (spec uses order-sensitive \
+                         primitives; remotes are not interchangeable, see \
+                         docs/symmetry.md)"
+                    );
+                } else if args.symmetry == Symmetry::Auto && faulty {
+                    println!(
+                        "symmetry: auto -> off (fault flags present; per-link faults \
+                         break remote interchangeability, see docs/symmetry.md)"
+                    );
+                } else {
+                    println!("symmetry: {}", if reduce { "on" } else { "off" });
+                }
+            }
             let rv = RendezvousSystem::new(&spec, n);
             let r = {
                 let _p = registry.phase("explore/rendezvous");
                 let mut obs =
                     SearchObserver::with_metrics(&mut tee, HEARTBEAT_EVERY, registry.clone());
-                explore_cli(&rv, &budget, threads, &mut obs)
+                explore_cli_sym(&rv, reduce, &budget, threads, &mut obs, &registry)
             };
             if human {
                 println!("rendezvous level  (n={n}): {} states, {:?}", r.states, r.outcome);
@@ -593,7 +763,7 @@ fn main() -> ExitCode {
                     let _p = registry.phase("explore/async");
                     let mut obs =
                         SearchObserver::with_metrics(&mut tee, HEARTBEAT_EVERY, registry.clone());
-                    explore_cli(&asys, &budget, threads, &mut obs)
+                    explore_cli_sym(&asys, reduce, &budget, threads, &mut obs, &registry)
                 };
                 if human {
                     println!("asynchronous level (n={n}): {} states, {:?}", ar.states, ar.outcome);
@@ -630,22 +800,7 @@ fn main() -> ExitCode {
                                 HEARTBEAT_EVERY,
                                 registry.clone(),
                             );
-                            if threads > 1 {
-                                check_progress_parallel_observed(
-                                    &asys,
-                                    &budget,
-                                    |l| l.completes.is_some(),
-                                    &ParallelConfig::threads(threads),
-                                    &mut obs,
-                                )
-                            } else {
-                                check_progress_observed(
-                                    &asys,
-                                    &budget,
-                                    |l| l.completes.is_some(),
-                                    &mut obs,
-                                )
-                            }
+                            progress_cli_sym(&asys, reduce, &budget, threads, &mut obs, &registry)
                         };
                         if human {
                             println!(
@@ -766,6 +921,7 @@ fn main() -> ExitCode {
                     m.entry("budget_states", &args.budget);
                     m.entry("optimized", &!args.no_opt);
                     m.entry("threads", &threads);
+                    m.entry("symmetry", if reduce { "on" } else { "off" });
                     m.entry("seed", &args.seed);
                     m.entry("rendezvous", &r);
                     m.entry("asynchronous", &a);
@@ -806,7 +962,21 @@ fn main() -> ExitCode {
             let mut beats: Box<dyn TraceSink> =
                 if args.progress { Box::new(ProgressSink) } else { Box::new(NullSink) };
             let mut tee = TeeSink(&mut *file, &mut *beats);
+            // `table` reproduces the paper's Table 3, so `auto` keeps the
+            // concrete (unreduced) counts; only an explicit `--symmetry
+            // on` switches the cells to orbit counts (and only when the
+            // spec passes the scalarset check).
+            let permutable = ccr_mc::spec_permutable(&spec);
+            let reduce = args.symmetry == Symmetry::On && permutable;
             if !args.json {
+                if args.symmetry == Symmetry::On && !permutable {
+                    println!(
+                        "symmetry: on -> off (spec uses order-sensitive primitives; \
+                         remotes are not interchangeable, see docs/symmetry.md)"
+                    );
+                } else if reduce {
+                    println!("symmetry: on (cells count orbits, not concrete states)");
+                }
                 println!("| {:>3} | {:>18} | {:>18} |", "N", "asynchronous", "rendezvous");
             }
             let mut rows = Vec::new();
@@ -815,22 +985,26 @@ fn main() -> ExitCode {
                     let _p = registry.phase("explore/rendezvous");
                     let mut obs =
                         SearchObserver::with_metrics(&mut tee, HEARTBEAT_EVERY, registry.clone());
-                    explore_plain_cli(
+                    explore_plain_cli_sym(
                         &RendezvousSystem::new(&spec, n),
+                        reduce,
                         &budget,
                         args.threads,
                         &mut obs,
+                        &registry,
                     )
                 };
                 let asy = {
                     let _p = registry.phase("explore/async");
                     let mut obs =
                         SearchObserver::with_metrics(&mut tee, HEARTBEAT_EVERY, registry.clone());
-                    explore_plain_cli(
+                    explore_plain_cli_sym(
                         &AsyncSystem::new(&refined, n, AsyncConfig::default()),
+                        reduce,
                         &budget,
                         args.threads,
                         &mut obs,
+                        &registry,
                     )
                 };
                 if !args.json {
@@ -846,6 +1020,7 @@ fn main() -> ExitCode {
                     m.entry("spec", spec.name.as_str());
                     m.entry("command", "table");
                     m.entry("budget_states", &args.budget);
+                    m.entry("symmetry", if reduce { "on" } else { "off" });
                     m.entry_with("rows", |ser| {
                         let mut seq = ser.begin_seq();
                         for (n, asy, rv) in &rows {
