@@ -21,6 +21,14 @@
 //! <name>` restricts the run to a single workload (the CI perf gate uses
 //! the headline space only).
 //!
+//! Each workload additionally runs one *profiled* serial and one
+//! profiled 1-thread parallel repetition (the timed best-of samples stay
+//! unprofiled) and records the span `attribution`: how much of the
+//! 1-thread-vs-serial gap the engine's ship/drain/barrier-wait spans
+//! account for (`overhead_explained`). Attribution is timing-based and
+//! not gated by `ccr bench diff`. `--profile <path>` writes the headline
+//! workload's 1-thread folded stacks for flamegraph tooling.
+//!
 //! Run: `cargo run --release -p ccr-bench --bin mc_perf`
 //!
 //! The headline workload is the asynchronous migratory protocol at
@@ -32,14 +40,17 @@
 //! orbit count, so the gate also pins the reduction factor.
 
 use ccr_bench::configs;
+use ccr_mc::parallel::explore_parallel_observed;
 use ccr_mc::progress::check_progress_default;
-use ccr_mc::search::{explore_plain, Budget};
+use ccr_mc::search::{explore_observed, explore_plain, Budget, SearchObserver};
 use ccr_mc::{explore_parallel, ExploreReport, ParallelConfig, Reduced};
+use ccr_metrics::profile::{ProfileAgg, Profiler, SpanKind};
 use ccr_protocols::invalidate::{invalidate_refined, InvalidateOptions};
 use ccr_protocols::migratory::{migratory_refined, MigratoryOptions};
 use ccr_runtime::asynch::{AsyncConfig, AsyncSystem};
 use ccr_runtime::TransitionSystem;
-use serde::Serializer;
+use ccr_trace::NullSink;
+use serde::{MapSer, Serializer};
 use std::collections::{HashSet, VecDeque};
 use std::time::Instant;
 
@@ -89,6 +100,102 @@ where
         .min_by_key(|r| r.elapsed)
         .expect("at least one repeat");
     Sample { threads, report }
+}
+
+/// Span attribution of one profiled serial run and one profiled
+/// 1-thread parallel run: where the sharded engine's 1-thread overhead
+/// over the serial BFS actually goes (shipping batches, draining
+/// inboxes, waiting at level barriers).
+struct Attribution {
+    serial_agg: ProfileAgg,
+    serial_profiled_secs: f64,
+    par1_agg: ProfileAgg,
+    par1_profiled_secs: f64,
+    /// Folded stacks of the profiled 1-thread parallel run, for
+    /// `--profile <path>`.
+    par1_folded: String,
+}
+
+impl Attribution {
+    /// Seconds the 1-thread parallel worker spent in ship + drain +
+    /// barrier-wait spans — the engine's coordination machinery.
+    fn sync_overhead_secs(&self) -> f64 {
+        [SpanKind::Ship, SpanKind::Drain, SpanKind::BarrierWait]
+            .iter()
+            .map(|k| self.par1_agg.kind(*k).secs())
+            .sum()
+    }
+}
+
+/// Profiled serial and 1-thread parallel runs, best-of-[`REPEATS`] like
+/// the unprofiled timed samples (so profiled-vs-unprofiled deltas
+/// measure profiling overhead, not first-run noise). A fresh profiler
+/// per repetition; the fastest repetition's aggregate is kept.
+fn measure_attribution<T>(sys: &T, budget: &Budget) -> Attribution
+where
+    T: TransitionSystem + Sync,
+    T::State: Send,
+{
+    let best_of = |parallel: bool| -> (f64, Profiler) {
+        (0..REPEATS)
+            .map(|_| {
+                let mut null = NullSink;
+                let prof = Profiler::new();
+                let t = Instant::now();
+                {
+                    let mut obs = SearchObserver::new(&mut null).with_profiler(prof.clone());
+                    if parallel {
+                        explore_parallel_observed(
+                            sys,
+                            budget,
+                            |_| None,
+                            false,
+                            &ParallelConfig::threads(1),
+                            &mut obs,
+                        );
+                    } else {
+                        explore_observed(sys, budget, |_| None, false, &mut obs);
+                    }
+                }
+                (t.elapsed().as_secs_f64(), prof)
+            })
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+            .expect("at least one repeat")
+    };
+    let (serial_profiled_secs, serial_prof) = best_of(false);
+    let (par1_profiled_secs, par1_prof) = best_of(true);
+    Attribution {
+        serial_agg: serial_prof.aggregate(),
+        serial_profiled_secs,
+        par1_agg: par1_prof.aggregate(),
+        par1_profiled_secs,
+        par1_folded: par1_prof.folded(),
+    }
+}
+
+/// Serializes one span-kind breakdown (`{kind: {secs, count, share}}`).
+fn spans_entry(m: &mut MapSer<'_>, key: &str, agg: &ProfileAgg) {
+    let totals = agg.totals();
+    let grand: u64 = totals.iter().map(|t| t.nanos).sum();
+    m.entry_with(key, |ser| {
+        let mut e = ser.begin_map();
+        for (i, kind) in SpanKind::ALL.iter().enumerate() {
+            if totals[i].nanos == 0 && totals[i].count == 0 {
+                continue;
+            }
+            e.entry_with(kind.name(), |ser| {
+                let mut cell = ser.begin_map();
+                cell.entry("secs", &totals[i].secs());
+                cell.entry("count", &totals[i].count);
+                cell.entry(
+                    "share",
+                    &if grand == 0 { 0.0 } else { totals[i].nanos as f64 / grand as f64 },
+                );
+                cell.end();
+            });
+        }
+        e.end();
+    });
 }
 
 /// Bytes per state of the retired `HashMap<Vec<u8>, u32>` visited set,
@@ -179,6 +286,7 @@ struct Workload {
     parallel: Vec<Sample>,
     encoded_len: usize,
     phases: Phases,
+    attribution: Attribution,
 }
 
 fn run_workload<T>(name: &'static str, description: &'static str, sys: &T) -> Workload
@@ -203,8 +311,21 @@ where
         );
     }
     let phases = measure_phases(sys, &serial, &budget);
+    let attribution = measure_attribution(sys, &budget);
     let mut enc = Vec::new();
     sys.encode(&sys.initial(), &mut enc);
+    let gap = attribution.par1_profiled_secs - attribution.serial_profiled_secs;
+    let delta = |kind: SpanKind| {
+        attribution.par1_agg.kind(kind).secs() - attribution.serial_agg.kind(kind).secs()
+    };
+    eprintln!(
+        "{name}: 1t gap {:.3}s — compute {:+.3}s, encode {:+.3}s, \
+         ship+drain+barrier {:.3}s",
+        gap,
+        delta(SpanKind::Compute),
+        delta(SpanKind::Encode),
+        attribution.sync_overhead_secs(),
+    );
     eprintln!(
         "{name}: {} states; serial {:.0}/s; {}",
         serial.report.states,
@@ -220,7 +341,7 @@ where
             .collect::<Vec<_>>()
             .join("; ")
     );
-    Workload { name, description, serial, parallel, encoded_len: enc.len(), phases }
+    Workload { name, description, serial, parallel, encoded_len: enc.len(), phases, attribution }
 }
 
 fn out_path() -> String {
@@ -232,6 +353,18 @@ fn out_path() -> String {
         }),
         None => "BENCH_mc.json".to_string(),
     }
+}
+
+/// `--profile <path>` writes the folded stacks of the headline
+/// workload's profiled 1-thread parallel run (flamegraph-ready).
+fn profile_path() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == "--profile").map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--profile requires a file argument");
+            std::process::exit(2);
+        })
+    })
 }
 
 /// `--workload <name>` restricts the run to one workload — the CI perf
@@ -359,6 +492,53 @@ fn main() {
                         e.entry("progress_secs", &w.phases.progress_secs);
                         e.end();
                     });
+                    // Span attribution: where the sharded engine's
+                    // 1-thread overhead over the serial BFS goes.
+                    // Timing-based — `ccr bench diff` does not gate it.
+                    row.entry_with("attribution", |ser| {
+                        let a = &w.attribution;
+                        let mut e = ser.begin_map();
+                        e.entry("serial_profiled_secs", &a.serial_profiled_secs);
+                        e.entry("parallel_1t_profiled_secs", &a.par1_profiled_secs);
+                        spans_entry(&mut e, "serial_spans", &a.serial_agg);
+                        spans_entry(&mut e, "parallel_1t_spans", &a.par1_agg);
+                        let sync = a.sync_overhead_secs();
+                        e.entry("sync_overhead_secs", &sync);
+                        let par1_total = a.par1_agg.total_nanos() as f64 / 1e9;
+                        e.entry(
+                            "sync_overhead_share",
+                            &if par1_total > 0.0 { sync / par1_total } else { 0.0 },
+                        );
+                        // The 1-thread-vs-serial gap (profiled best-of
+                        // timings, so both sides carry the same probe
+                        // cost), decomposed span by span: at one worker
+                        // every successor routes to the local shard, so
+                        // the gap sits in the sharded compute/encode
+                        // paths rather than in shipping proper. The
+                        // per-span deltas sum to ~the gap — the full
+                        // answer to "where does the 1-thread overhead
+                        // go".
+                        let gap = a.par1_profiled_secs - a.serial_profiled_secs;
+                        e.entry("gap_secs", &gap);
+                        e.entry_with("gap_attribution", |ser| {
+                            let mut g = ser.begin_map();
+                            for kind in SpanKind::ALL {
+                                let delta =
+                                    a.par1_agg.kind(kind).secs() - a.serial_agg.kind(kind).secs();
+                                if delta.abs() > 1e-9 {
+                                    g.entry(
+                                        kind.name(),
+                                        &if gap > 0.0 { delta / gap } else { 0.0 },
+                                    );
+                                }
+                            }
+                            g.end();
+                        });
+                        // Share of the gap in engine-coordination spans
+                        // alone (ship + drain + barrier-wait).
+                        e.entry("overhead_explained", &if gap > 0.0 { sync / gap } else { 0.0 });
+                        e.end();
+                    });
                     row.end();
                 });
             }
@@ -391,4 +571,12 @@ fn main() {
         std::process::exit(2);
     });
     println!("wrote {out}");
+    if let Some(path) = profile_path() {
+        let w = workloads.iter().find(|w| w.name == "migratory_async_n3").unwrap_or(&workloads[0]);
+        std::fs::write(&path, &w.attribution.par1_folded).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("wrote {path} ({} 1-thread folded stacks)", w.name);
+    }
 }

@@ -135,7 +135,10 @@ fn diff_workload(name: &str, old: &Json, new: &Json, opts: &DiffOptions, rep: &m
     for key in ["states", "transitions", "encoded_len_bytes"] {
         match (old.get(key).and_then(Json::as_u64), new.get(key).and_then(Json::as_u64)) {
             (Some(o), Some(n)) if o != n => {
-                rep.regressions.push(format!("{name}: {key} changed {o} -> {n} (must be exact)"));
+                rep.regressions.push(format!(
+                    "{name}: {key} changed {o} -> {n} ({:+.2}%, must be exact)",
+                    (n as f64 / o.max(1) as f64 - 1.0) * 100.0
+                ));
             }
             (Some(_), Some(_)) => {}
             _ => rep.notes.push(format!("{name}: {key} missing on one side")),
@@ -241,12 +244,14 @@ fn diff_snapshot(old: &Json, new: &Json) -> DiffReport {
                 m.iter().find(|(k, _)| k == name).and_then(|(_, v)| v.as_u64())
             };
             match (get(old_m), get(new_m)) {
-                (Some(o), Some(n)) if o != n => rep
-                    .regressions
-                    .push(format!("{name}: deterministic {family} changed {o} -> {n}")),
+                (Some(o), Some(n)) if o != n => rep.regressions.push(format!(
+                    "{name}: deterministic {family} changed {o} -> {n} ({:+.2}%)",
+                    (n as f64 / o.max(1) as f64 - 1.0) * 100.0
+                )),
                 (Some(_), Some(_)) => {}
-                (Some(_), None) => {
-                    rep.regressions.push(format!("{name}: deterministic {family} disappeared"));
+                (Some(o), None) => {
+                    rep.regressions
+                        .push(format!("{name}: deterministic {family} disappeared (was {o})"));
                 }
                 (None, Some(_)) => rep.notes.push(format!("{name}: new {family}")),
                 (None, None) => {}
@@ -274,11 +279,23 @@ fn diff_snapshot(old: &Json, new: &Json) -> DiffReport {
         };
         match (shape(old_h), shape(new_h)) {
             (Some(o), Some(n)) if o != n => {
-                rep.regressions.push(format!("{name}: deterministic histogram changed"));
+                let fmt_sum =
+                    |s: Option<u64>| s.map(|v| v.to_string()).unwrap_or_else(|| "-".to_string());
+                rep.regressions.push(format!(
+                    "{name}: deterministic histogram changed \
+                     (sum {} -> {}, counts {:?} -> {:?})",
+                    fmt_sum(o.1),
+                    fmt_sum(n.1),
+                    o.0,
+                    n.0
+                ));
             }
             (Some(_), Some(_)) => {}
-            (Some(_), None) => {
-                rep.regressions.push(format!("{name}: deterministic histogram disappeared"));
+            (Some(o), None) => {
+                rep.regressions.push(format!(
+                    "{name}: deterministic histogram disappeared (sum was {})",
+                    o.1.map(|v| v.to_string()).unwrap_or_else(|| "-".to_string())
+                ));
             }
             (None, Some(_)) => rep.notes.push(format!("{name}: new histogram")),
             (None, None) => {}
@@ -418,6 +435,21 @@ mod tests {
         let drifted = bench_doc(99, 5000.0, 20.0, 1.0);
         let rep = diff_strs(&old, &drifted, &opts).unwrap();
         assert!(rep.regressions.iter().any(|r| r.contains("states changed")), "{rep:?}");
+    }
+
+    #[test]
+    fn every_violation_reports_workload_values_and_delta() {
+        let old = bench_doc(100, 5000.0, 20.0, 1.0);
+        // Drifted counts, slower throughput (serial and 4-thread), fatter
+        // store, slower phase — every violation class at once.
+        let bad = bench_doc(101, 4000.0, 25.0, 1.5);
+        let rep = diff_strs(&old, &bad, &DiffOptions::default()).unwrap();
+        assert!(rep.regressions.len() >= 5, "{rep:?}");
+        for r in &rep.regressions {
+            assert!(r.contains("w1:"), "missing workload name: {r}");
+            assert!(r.contains("->"), "missing old -> new values: {r}");
+            assert!(r.contains('%'), "missing relative delta: {r}");
+        }
     }
 
     #[test]

@@ -99,7 +99,7 @@ pub fn check_fault_closure(
     invariant: impl FnMut(&AsyncState) -> Option<String>,
 ) -> FaultClosureReport {
     let mut null = NullSink;
-    let mut obs = SearchObserver::new(&mut null, 0);
+    let mut obs = SearchObserver::new(&mut null);
     check_fault_closure_observed(sys, faults, budget, invariant, &mut obs)
 }
 
@@ -161,7 +161,7 @@ mod tests {
         assert!(serial.holds());
         for threads in [2usize, 4] {
             let mut null = ccr_trace::NullSink;
-            let mut obs = SearchObserver::new(&mut null, 0);
+            let mut obs = SearchObserver::new(&mut null);
             let par = check_fault_closure_parallel_observed(
                 &sys,
                 1,

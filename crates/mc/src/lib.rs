@@ -49,7 +49,10 @@ pub use progress::{
     check_progress_parallel_observed,
 };
 pub use report::{ExploreReport, Outcome, ProgressReport, SimRelReport};
-pub use search::{explore, explore_dfs, explore_observed, Budget, SearchObserver};
+pub use search::{
+    explore, explore_dfs, explore_observed, Budget, SearchObserver, StatusReporter,
+    DEFAULT_HEARTBEAT_INTERVAL,
+};
 pub use symmetry::{
     apply_perm, canonical_encode, canonicalize, spec_permutable, OrbitSample, Reduced, Symmetric,
 };

@@ -52,13 +52,14 @@ use crate::report::{ExploreReport, Outcome};
 use crate::search::{Budget, SearchObserver};
 use crate::store::{hash_encoded, StateStore};
 use ccr_core::ids::ProcessId;
+use ccr_metrics::profile::{Profiler, SpanKind};
 use ccr_metrics::Registry;
 use ccr_runtime::{Label, LabelKind, TransitionSystem};
 use ccr_trace::NullSink;
 use crossbeam::queue::SegQueue;
 use serde::Serialize;
 use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering::Relaxed, Ordering::SeqCst};
-use std::sync::{Barrier, Mutex, MutexGuard};
+use std::sync::{Barrier, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`explore_parallel`] and the parallel progress check.
@@ -161,6 +162,7 @@ impl ParallelReport {
     pub fn traced_report(&self) -> crate::trace::TracedReport {
         crate::trace::TracedReport {
             states: self.states,
+            transitions: self.transitions,
             outcome: self.outcome.clone(),
             trail: self.trail.clone(),
         }
@@ -361,9 +363,16 @@ pub(crate) struct Engine<'e, T: TransitionSystem, F, G> {
     decision: AtomicU8,
     stop_mid_level: AtomicBool,
     finished: AtomicBool,
+    /// Completion signal for the pump thread: `decide` flips the flag and
+    /// notifies, so [`run`] returns as soon as the last level ends instead
+    /// of sleeping out a poll quantum (which used to bill up to 100 ms of
+    /// dead wait to every parallel measurement).
+    finish_mutex: Mutex<bool>,
+    finish_cv: Condvar,
     violations: Mutex<Vec<Violation>>,
     pub(crate) budget_hit: AtomicBool,
     metrics: EngineMetrics,
+    profiler: Profiler,
 }
 
 impl<'e, T, F, G> Engine<'e, T, F, G>
@@ -373,6 +382,7 @@ where
     F: Fn(&T::State) -> Option<String> + Sync,
     G: Fn(&Label) -> bool + Sync,
 {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         sys: &'e T,
         budget: &'e Budget,
@@ -381,6 +391,7 @@ where
         check_deadlock: bool,
         cfg: &'e ParallelConfig,
         reg: &Registry,
+        prof: &Profiler,
     ) -> Self {
         let n_shards = cfg.shard_count();
         let threads = cfg.threads.max(1);
@@ -404,9 +415,12 @@ where
             decision: AtomicU8::new(DECIDE_CONTINUE),
             stop_mid_level: AtomicBool::new(false),
             finished: AtomicBool::new(false),
+            finish_mutex: Mutex::new(false),
+            finish_cv: Condvar::new(),
             violations: Mutex::new(Vec::new()),
             budget_hit: AtomicBool::new(false),
             metrics: EngineMetrics::new(reg),
+            profiler: prof.clone(),
         }
     }
 
@@ -497,18 +511,20 @@ where
 
     /// Drains one batch from `w`'s inbox, if any. `guards` are the
     /// worker's held stripes (position `s / threads` for shard `s`).
-    /// Returns whether a batch was processed.
+    /// Returns the number of items processed (0: no batch was pending;
+    /// flushed batches are never empty).
     fn drain_one(
         &self,
         w: usize,
         guards: &mut [MutexGuard<'_, ShardData<T::State>>],
         edges: &mut Vec<(u64, u64)>,
         local: &mut LocalCounts,
-    ) -> bool {
+    ) -> usize {
         let Some(batch) = self.inboxes[w].pop() else {
-            return false;
+            return 0;
         };
         let threads = self.cfg.threads.max(1);
+        let n_items = batch.items.len();
         for item in batch.items {
             let shard = self.shard_of(item.hash);
             debug_assert_eq!(self.owner_of(shard), w);
@@ -528,7 +544,7 @@ where
         }
         self.in_flight.fetch_sub(1, SeqCst);
         self.metrics.batches_drained.inc();
-        true
+        n_items
     }
 
     /// Publishes worker-private tallies into the worker's shared cell.
@@ -543,9 +559,11 @@ where
         *local = LocalCounts::default();
     }
 
-    fn flush(&self, dest: usize, outbox: &mut Batch<T::State>) {
+    /// Ships a non-empty outbox to `dest`'s inbox. Returns whether a
+    /// batch was actually sent.
+    fn flush(&self, dest: usize, outbox: &mut Batch<T::State>) -> bool {
         if outbox.items.is_empty() {
-            return;
+            return false;
         }
         self.in_flight.fetch_add(1, SeqCst);
         self.metrics.batches_flushed.inc();
@@ -553,6 +571,7 @@ where
             items: std::mem::take(&mut outbox.items),
             bytes: std::mem::take(&mut outbox.bytes),
         });
+        true
     }
 
     /// Mid-level abort checks: wall clock, and a safety valve for levels
@@ -590,9 +609,12 @@ where
         let mut outboxes: Vec<Batch<T::State>> =
             (0..threads).map(|_| Batch::with_capacity(self.cfg.batch)).collect();
         let mut taken: Vec<(T::State, u32)> = Vec::new();
+        let mut timer = self.profiler.worker(w);
 
         loop {
             let depth = self.level.load(SeqCst) as u32;
+            timer.set_level(depth);
+            timer.mark();
             // Expand phase: all owned shards' current level.
             for (li, &s) in owned.iter().enumerate() {
                 std::mem::swap(&mut taken, &mut guards[li].cur);
@@ -602,7 +624,10 @@ where
                         // Periodic duties off the per-item path: keep the
                         // inbox short while other workers expand, check
                         // the wall clock, publish counters.
-                        self.drain_one(w, &mut guards, &mut edges, &mut local);
+                        let drained = self.drain_one(w, &mut guards, &mut edges, &mut local);
+                        if drained > 0 {
+                            timer.lap(SpanKind::Drain, drained as u64);
+                        }
                         if i & 0x3ff == 0x3ff {
                             self.flush_counts(w, &mut local);
                             self.check_mid_level_abort();
@@ -636,6 +661,7 @@ where
                         i += 1;
                         continue;
                     }
+                    timer.lap(SpanKind::Compute, 1);
                     local.transitions += succs.len();
                     if self.is_progress.is_some() {
                         let mut bits = FLAG_EXPANDED;
@@ -661,6 +687,7 @@ where
                         i += 1;
                         continue;
                     }
+                    let n_succs = succs.len() as u64;
                     for (label, next) in succs.drain(..) {
                         self.sys.encode(&next, &mut enc);
                         let hash = hash_encoded(&enc);
@@ -695,18 +722,27 @@ where
                                 enc_end,
                             });
                             if out.items.len() >= self.cfg.batch {
+                                // Close the encode interval first so the
+                                // handoff alone is charged to `ship`.
+                                timer.lap(SpanKind::Encode, 0);
                                 self.flush(dest, &mut outboxes[dest]);
+                                timer.lap(SpanKind::Ship, 1);
                             }
                         }
                     }
+                    timer.lap(SpanKind::Encode, n_succs);
                     i += 1;
                 }
                 taken.clear();
             }
+            let mut shipped = 0u64;
             for (dest, out) in outboxes.iter_mut().enumerate() {
-                if dest != w {
-                    self.flush(dest, out);
+                if dest != w && self.flush(dest, out) {
+                    shipped += 1;
                 }
+            }
+            if shipped > 0 {
+                timer.lap(SpanKind::Ship, shipped);
             }
             self.done_expanding.fetch_add(1, SeqCst);
             // Drain phase: insertions for the next level keep arriving
@@ -717,7 +753,9 @@ where
             // oversubscribed hosts instead of fighting our spin.
             let mut idle = 0u32;
             loop {
-                if self.drain_one(w, &mut guards, &mut edges, &mut local) {
+                let drained = self.drain_one(w, &mut guards, &mut edges, &mut local);
+                if drained > 0 {
+                    timer.lap(SpanKind::Drain, drained as u64);
                     idle = 0;
                     continue;
                 }
@@ -742,6 +780,7 @@ where
             }
             self.barrier.wait();
             if self.decision.load(SeqCst) == DECIDE_STOP {
+                timer.lap(SpanKind::BarrierWait, 1);
                 return edges;
             }
             for g in guards.iter_mut() {
@@ -749,6 +788,7 @@ where
                 debug_assert!(sh.cur.is_empty());
                 std::mem::swap(&mut sh.cur, &mut sh.next);
             }
+            timer.lap(SpanKind::BarrierWait, 1);
         }
     }
 
@@ -780,6 +820,8 @@ where
         self.decision.store(if stop { DECIDE_STOP } else { DECIDE_CONTINUE }, SeqCst);
         if stop {
             self.finished.store(true, SeqCst);
+            *self.finish_mutex.lock().expect("finish") = true;
+            self.finish_cv.notify_all();
         }
     }
 
@@ -878,11 +920,32 @@ where
     }
     let threads = engine.cfg.threads.max(1);
     let mut edges: Vec<(u64, u64)> = Vec::new();
+    let quantum = obs.interval().min(Duration::from_millis(100)).max(Duration::from_millis(1));
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads).map(|w| scope.spawn(move || engine.worker(w))).collect();
-        while !engine.finished.load(SeqCst) {
-            obs.tick(engine.states_total(), engine.frontier_len(), engine.bytes_total());
-            std::thread::sleep(Duration::from_millis(100));
+        // Pump heartbeats until the last level's decision flips the
+        // completion flag: a timed condvar wait, so the run returns the
+        // moment the workers finish instead of after a poll quantum.
+        loop {
+            let finished = {
+                let done = engine.finish_mutex.lock().expect("finish");
+                if *done {
+                    true
+                } else {
+                    let (done, _) = engine.finish_cv.wait_timeout(done, quantum).expect("finish");
+                    *done
+                }
+            };
+            if finished {
+                break;
+            }
+            obs.tick_full(
+                engine.states_total(),
+                engine.frontier_len(),
+                engine.bytes_total(),
+                Some(engine.transitions_total() as u64),
+                Some(engine.level.load(SeqCst) as u64),
+            );
         }
         for h in handles {
             let mut worker_edges = h.join().expect("worker panicked");
@@ -951,7 +1014,7 @@ where
     F: Fn(&T::State) -> Option<String> + Sync,
 {
     let mut null = NullSink;
-    let mut obs = SearchObserver::new(&mut null, 0);
+    let mut obs = SearchObserver::new(&mut null);
     explore_parallel_observed(sys, budget, invariant, check_deadlock, cfg, &mut obs)
 }
 
@@ -970,8 +1033,16 @@ where
     T::State: Send,
     F: Fn(&T::State) -> Option<String> + Sync,
 {
-    let engine: Engine<'_, T, F, fn(&Label) -> bool> =
-        Engine::new(sys, budget, invariant, None, check_deadlock, cfg, obs.metrics());
+    let engine: Engine<'_, T, F, fn(&Label) -> bool> = Engine::new(
+        sys,
+        budget,
+        invariant,
+        None,
+        check_deadlock,
+        cfg,
+        obs.metrics(),
+        obs.profiler(),
+    );
     let (outcome, trail, _) = run(&engine, obs);
     assemble(&engine, cfg, outcome, trail)
 }
@@ -1222,7 +1293,7 @@ mod tests {
         let snap_for = |threads: Option<usize>| {
             let reg = ccr_metrics::Registry::new();
             let mut null = NullSink;
-            let mut obs = SearchObserver::with_metrics(&mut null, 0, reg.clone());
+            let mut obs = SearchObserver::with_metrics(&mut null, reg.clone());
             match threads {
                 None => {
                     crate::search::explore_observed(

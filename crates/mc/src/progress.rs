@@ -29,6 +29,7 @@ use crate::report::{Outcome, ProgressReport};
 use crate::search::{Budget, SearchObserver};
 use crate::store::StateStore;
 use crate::trace::{export_trail, trail_to};
+use ccr_metrics::profile::SpanKind;
 use ccr_runtime::{Label, TransitionSystem};
 use ccr_trace::NullSink;
 use std::collections::VecDeque;
@@ -89,7 +90,7 @@ pub fn check_progress<T: TransitionSystem>(
     is_progress: impl Fn(&Label) -> bool,
 ) -> ProgressReport {
     let mut null = NullSink;
-    let mut obs = SearchObserver::new(&mut null, 0);
+    let mut obs = SearchObserver::new(&mut null);
     check_progress_observed(sys, budget, is_progress, &mut obs)
 }
 
@@ -108,6 +109,7 @@ pub fn check_progress_observed<T: TransitionSystem>(
     let mut frontier: VecDeque<T::State> = VecDeque::new();
     let mut succs = Vec::new();
     let mut enc = Vec::new();
+    let mut timer = obs.profiler().worker(0);
 
     // Forward exploration collecting the reverse graph as a flat
     // `(dst, src)` edge list — CSR-bucketed after the sweep.
@@ -147,6 +149,8 @@ pub fn check_progress_observed<T: TransitionSystem>(
             complete = false;
             break;
         }
+        timer.lap(SpanKind::Compute, 1);
+        let n_succs = succs.len() as u64;
         for (label, next) in succs.drain(..) {
             sys.encode(&next, &mut enc);
             let (idx, is_new) =
@@ -169,6 +173,7 @@ pub fn check_progress_observed<T: TransitionSystem>(
                 frontier.push_back(next);
             }
         }
+        timer.lap(SpanKind::Encode, n_succs);
         if !complete {
             break;
         }
@@ -176,12 +181,14 @@ pub fn check_progress_observed<T: TransitionSystem>(
 
     // Backward propagation from progress states over the CSR reverse
     // graph.
+    timer.mark();
     let n = store.len();
     let transitions = edge_list.len();
     let (offsets, targets) = build_csr(n, &edge_list);
     drop(edge_list);
     crate::search::record_search_run(obs.metrics(), n, transitions, peak_frontier, &store);
     let good = propagate_good(n, &offsets, &targets, &has_progress_edge);
+    timer.lap(SpanKind::Progress, 1);
 
     // Only states that were actually *expanded* (index < queue_index) have
     // complete successor information; unexpanded frontier states are not
@@ -259,7 +266,7 @@ where
     G: Fn(&Label) -> bool + Sync,
 {
     let mut null = NullSink;
-    let mut obs = SearchObserver::new(&mut null, 0);
+    let mut obs = SearchObserver::new(&mut null);
     check_progress_parallel_observed(sys, budget, is_progress, cfg, &mut obs)
 }
 
@@ -286,9 +293,13 @@ where
         false,
         cfg,
         obs.metrics(),
+        obs.profiler(),
     );
     let (outcome, _, edges) = parallel::run(&engine, obs);
     let complete = outcome.is_complete();
+    // The single-threaded graph pass below (renumber, CSR, propagate) is
+    // the progress check's own cost — charge it to the coordinator.
+    let mut timer = obs.profiler().worker(0);
 
     // Renumber shard-local indices to dense global ids by prefix sums,
     // and pull each shard's flags and depths into flat arrays.
@@ -315,6 +326,7 @@ where
     drop(mapped);
     let seed: Vec<bool> = flags.iter().map(|f| f & FLAG_PROGRESS != 0).collect();
     let good = propagate_good(n, &offsets, &targets, &seed);
+    timer.lap(SpanKind::Progress, 1);
 
     // Judge only expanded states, as in the serial checker.
     let mut deadlocked = 0usize;

@@ -7,6 +7,8 @@
 
 use crate::report::{ExploreReport, Outcome};
 use crate::store::StateStore;
+use ccr_metrics::profile::{Profiler, SpanKind};
+use ccr_metrics::status::{RunStatus, StatusWriter};
 use ccr_metrics::Registry;
 use ccr_runtime::{Label, TransitionSystem};
 use ccr_trace::{NullSink, TraceEvent, TraceSink};
@@ -124,44 +126,179 @@ impl Budget {
     }
 }
 
+/// Wall-clock heartbeat cadence when none is configured.
+pub const DEFAULT_HEARTBEAT_INTERVAL: Duration = Duration::from_secs(1);
+
+/// Expansions between clock probes. Heartbeats are wall-clock-interval
+/// based, but reading the clock on every expansion of a fast in-memory
+/// search would be measurable, so the observer only probes every
+/// `PROBE_EVERY` ticks (a zero interval drops the countdown to 1 so
+/// tests can demand a beat per tick).
+const PROBE_EVERY: u32 = 16;
+
+/// Live status reporting for a run: maintains a [`RunStatus`] document
+/// and rewrites a status file (atomic rename, see
+/// [`ccr_metrics::status`]) so `ccr watch` can follow the run from
+/// another process.
+pub struct StatusReporter {
+    writer: StatusWriter,
+    status: RunStatus,
+    target_states: Option<u64>,
+}
+
+impl StatusReporter {
+    /// A reporter writing snapshots for `spec` through `writer`.
+    pub fn new(writer: StatusWriter, spec: &str) -> Self {
+        StatusReporter {
+            writer,
+            status: RunStatus {
+                spec: spec.to_string(),
+                phase: "start".to_string(),
+                ..RunStatus::default()
+            },
+            target_states: None,
+        }
+    }
+
+    /// Names the phase stamped on subsequent snapshots.
+    pub fn set_phase(&mut self, phase: &str) {
+        self.status.phase = phase.to_string();
+    }
+
+    /// Sets the state-count target ETAs are computed against (a finite
+    /// budget cap; `None` disables ETA).
+    pub fn set_target(&mut self, target: Option<u64>) {
+        self.target_states = target;
+    }
+
+    /// Writes one live snapshot. Write errors are deliberately dropped:
+    /// status is advisory and must never abort a verification.
+    #[allow(clippy::too_many_arguments)]
+    pub fn update(
+        &mut self,
+        states: u64,
+        transitions: u64,
+        frontier: u64,
+        depth: Option<u64>,
+        states_per_sec: f64,
+        store_bytes: u64,
+        elapsed: Duration,
+        profiler: &Profiler,
+    ) {
+        self.status.states = states;
+        self.status.transitions = transitions;
+        self.status.frontier = frontier;
+        self.status.depth = depth;
+        self.status.states_per_sec = states_per_sec;
+        self.status.store_bytes = store_bytes;
+        self.status.elapsed_ms = elapsed.as_millis() as u64;
+        self.status.eta_ms = match (self.target_states, states_per_sec > 0.0) {
+            (Some(target), true) if target > states => {
+                Some(((target - states) as f64 / states_per_sec * 1e3) as u64)
+            }
+            _ => None,
+        };
+        if profiler.enabled() {
+            self.status.set_spans(&profiler.aggregate());
+        }
+        let _ = self.writer.write(&mut self.status);
+    }
+
+    /// Writes the terminal snapshot: exact final counts, `finished`,
+    /// and the outcome name.
+    pub fn finalize(
+        &mut self,
+        outcome: &Outcome,
+        states: u64,
+        transitions: u64,
+        elapsed: Duration,
+        profiler: &Profiler,
+    ) {
+        self.status.states = states;
+        self.status.transitions = transitions;
+        self.status.frontier = 0;
+        self.status.eta_ms = Some(0);
+        // Whole-run average, so a run too quick for any live snapshot
+        // still reports a rate.
+        self.status.states_per_sec =
+            if elapsed.as_secs_f64() > 0.0 { states as f64 / elapsed.as_secs_f64() } else { 0.0 };
+        self.status.elapsed_ms = elapsed.as_millis() as u64;
+        self.status.finished = true;
+        self.status.outcome = Some(outcome.name().to_string());
+        if profiler.enabled() {
+            self.status.set_spans(&profiler.aggregate());
+        }
+        let _ = self.writer.write(&mut self.status);
+    }
+}
+
 /// Live progress reporting for a search: periodic [`TraceEvent::Heartbeat`]
 /// events (states visited, frontier size, store bytes, exploration rate)
-/// emitted to a [`TraceSink`] every `every` newly stored states.
+/// emitted to a [`TraceSink`] on a wall-clock interval, plus an optional
+/// live status file and span profiler shared with the engines.
 ///
-/// A disabled sink or `every == 0` silences heartbeats entirely; the
-/// per-expansion cost is then one comparison.
+/// With a disabled sink and no status reporter the per-expansion cost is
+/// one comparison.
 pub struct SearchObserver<'s> {
     sink: &'s mut dyn TraceSink,
-    every: usize,
+    beats: bool,
+    interval: Duration,
     started: Instant,
     last_states: usize,
     last_time: Instant,
-    next_beat: usize,
+    probe_countdown: u32,
     metrics: Registry,
+    profiler: Profiler,
+    status: Option<StatusReporter>,
 }
 
 impl<'s> SearchObserver<'s> {
-    /// Heartbeats to `sink` every `every` states (0 disables them), with
-    /// metrics off (the null registry).
-    pub fn new(sink: &'s mut dyn TraceSink, every: usize) -> Self {
-        Self::with_metrics(sink, every, Registry::disabled())
+    /// Heartbeats to `sink` at [`DEFAULT_HEARTBEAT_INTERVAL`] (silenced
+    /// by a disabled sink), with metrics off (the null registry).
+    pub fn new(sink: &'s mut dyn TraceSink) -> Self {
+        Self::with_metrics(sink, Registry::disabled())
     }
 
     /// Like [`SearchObserver::new`], but also carrying a metrics
     /// registry: searches driven through this observer fold their run
     /// totals and store-shape histograms into it.
-    pub fn with_metrics(sink: &'s mut dyn TraceSink, every: usize, metrics: Registry) -> Self {
+    pub fn with_metrics(sink: &'s mut dyn TraceSink, metrics: Registry) -> Self {
         let now = Instant::now();
-        let every = if sink.enabled() { every } else { 0 };
+        let beats = sink.enabled();
         Self {
             sink,
-            every,
+            beats,
+            interval: DEFAULT_HEARTBEAT_INTERVAL,
             started: now,
             last_states: 0,
             last_time: now,
-            next_beat: every,
+            probe_countdown: 1,
             metrics,
+            profiler: Profiler::disabled(),
+            status: None,
         }
+    }
+
+    /// Sets the wall-clock heartbeat interval. `Duration::ZERO` beats on
+    /// every tick (test use).
+    pub fn with_interval(mut self, interval: Duration) -> Self {
+        self.interval = interval;
+        self
+    }
+
+    /// Attaches a span profiler: engines driven through this observer
+    /// time themselves into it, and status snapshots carry its per-kind
+    /// split.
+    pub fn with_profiler(mut self, profiler: Profiler) -> Self {
+        self.profiler = profiler;
+        self
+    }
+
+    /// Attaches a live status reporter; snapshots are written on the
+    /// heartbeat interval even when the trace sink is disabled.
+    pub fn with_status(mut self, status: StatusReporter) -> Self {
+        self.status = Some(status);
+        self
     }
 
     /// The metrics registry searches record into (null unless built with
@@ -170,24 +307,78 @@ impl<'s> SearchObserver<'s> {
         &self.metrics
     }
 
+    /// The wall-clock heartbeat interval.
+    pub fn interval(&self) -> Duration {
+        self.interval
+    }
+
+    /// The span profiler engines time themselves into (null unless
+    /// attached with [`SearchObserver::with_profiler`]).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// The attached status reporter, if any.
+    pub fn status_mut(&mut self) -> Option<&mut StatusReporter> {
+        self.status.as_mut()
+    }
+
     /// Called by searches once per expanded state.
+    #[inline]
     pub fn tick(&mut self, states: usize, frontier: usize, store_bytes: usize) {
-        if self.every == 0 || states < self.next_beat {
+        self.tick_full(states, frontier, store_bytes, None, None);
+    }
+
+    /// [`SearchObserver::tick`] with the extra fields only some engines
+    /// track: cumulative transitions and the current BFS depth.
+    pub fn tick_full(
+        &mut self,
+        states: usize,
+        frontier: usize,
+        store_bytes: usize,
+        transitions: Option<u64>,
+        depth: Option<u64>,
+    ) {
+        if !self.beats && self.status.is_none() {
+            return;
+        }
+        self.probe_countdown -= 1;
+        if self.probe_countdown != 0 {
             return;
         }
         let now = Instant::now();
+        if now.duration_since(self.last_time) < self.interval {
+            self.probe_countdown = PROBE_EVERY;
+            return;
+        }
+        self.probe_countdown = if self.interval.is_zero() { 1 } else { PROBE_EVERY };
         let dt = now.duration_since(self.last_time).as_secs_f64();
-        let rate = if dt > 0.0 { ((states - self.last_states) as f64 / dt) as u64 } else { 0 };
-        self.sink.emit(&TraceEvent::Heartbeat {
-            states: states as u64,
-            frontier: frontier as u64,
-            store_bytes: store_bytes as u64,
-            states_per_sec: rate,
-            elapsed_ms: self.started.elapsed().as_millis() as u64,
-        });
+        let rate =
+            if dt > 0.0 { (states.saturating_sub(self.last_states)) as f64 / dt } else { 0.0 };
+        let elapsed = now.duration_since(self.started);
+        if self.beats {
+            self.sink.emit(&TraceEvent::Heartbeat {
+                states: states as u64,
+                frontier: frontier as u64,
+                store_bytes: store_bytes as u64,
+                states_per_sec: rate as u64,
+                elapsed_ms: elapsed.as_millis() as u64,
+            });
+        }
+        if let Some(status) = &mut self.status {
+            status.update(
+                states as u64,
+                transitions.unwrap_or(0),
+                frontier as u64,
+                depth,
+                rate,
+                store_bytes as u64,
+                elapsed,
+                &self.profiler,
+            );
+        }
         self.last_states = states;
         self.last_time = now;
-        self.next_beat = states + self.every;
     }
 
     /// Emits the terminal [`TraceEvent::Outcome`] and flushes the sink.
@@ -199,6 +390,15 @@ impl<'s> SearchObserver<'s> {
                 steps,
             });
             self.sink.flush();
+        }
+    }
+
+    /// Writes the terminal status snapshot with exact final counts (a
+    /// no-op without an attached reporter).
+    pub fn record_final(&mut self, outcome: &Outcome, states: u64, transitions: u64) {
+        let elapsed = self.started.elapsed();
+        if let Some(status) = &mut self.status {
+            status.finalize(outcome, states, transitions, elapsed, &self.profiler);
         }
     }
 
@@ -270,6 +470,7 @@ pub(crate) fn drive<T: TransitionSystem>(
     let mut enc = Vec::new();
     let mut transitions = 0usize;
     let mut peak_frontier = 0usize;
+    let mut timer = obs.profiler().worker(0);
 
     macro_rules! done {
         ($outcome:expr, $trail:expr) => {
@@ -299,15 +500,23 @@ pub(crate) fn drive<T: TransitionSystem>(
         if depth_first { frontier.pop_back() } else { frontier.pop_front() }
     {
         peak_frontier = peak_frontier.max(frontier.len() + 1);
-        obs.tick(store.len(), frontier.len() + 1, store.approx_bytes());
+        obs.tick_full(
+            store.len(),
+            frontier.len() + 1,
+            store.approx_bytes(),
+            Some(transitions as u64),
+            None,
+        );
         if let Err(e) = sys.successors(&state, &mut succs) {
             let trail = track_trails.then(|| crate::trace::trail_to(&parents, idx));
             done!(Outcome::RuntimeFailure(e), trail);
         }
+        timer.lap(SpanKind::Compute, 1);
         if check_deadlock && succs.is_empty() {
             let trail = track_trails.then(|| crate::trace::trail_to(&parents, idx));
             done!(Outcome::Deadlock, trail);
         }
+        let n_succs = succs.len() as u64;
         for (label, next) in succs.drain(..) {
             transitions += 1;
             sys.encode(&next, &mut enc);
@@ -327,6 +536,7 @@ pub(crate) fn drive<T: TransitionSystem>(
             }
             frontier.push_back((next, nidx));
         }
+        timer.lap(SpanKind::Encode, n_succs);
     }
     DriveRun {
         transitions,
@@ -351,7 +561,7 @@ pub fn explore<T: TransitionSystem>(
     check_deadlock: bool,
 ) -> ExploreReport {
     let mut null = NullSink;
-    let mut obs = SearchObserver::new(&mut null, 0);
+    let mut obs = SearchObserver::new(&mut null);
     explore_observed(sys, budget, invariant, check_deadlock, &mut obs)
 }
 
@@ -393,7 +603,7 @@ pub fn explore_dfs<T: TransitionSystem>(
     check_deadlock: bool,
 ) -> ExploreReport {
     let mut null = NullSink;
-    let mut obs = SearchObserver::new(&mut null, 0);
+    let mut obs = SearchObserver::new(&mut null);
     drive(sys, budget, invariant, check_deadlock, true, false, &mut obs).explore_report()
 }
 
@@ -532,7 +742,7 @@ mod tests {
         let spec = token_spec();
         let sys = RendezvousSystem::new(&spec, 3);
         let mut sink = RingSink::new(256);
-        let mut obs = SearchObserver::new(&mut sink, 1);
+        let mut obs = SearchObserver::new(&mut sink).with_interval(Duration::ZERO);
         let r = explore_observed(&sys, &Budget::default(), |_| None, false, &mut obs);
         assert!(r.outcome.is_complete());
         let events = sink.into_events();
@@ -552,7 +762,7 @@ mod tests {
         let spec = token_spec();
         let sys = RendezvousSystem::new(&spec, 2);
         let mut null = NullSink;
-        let mut obs = SearchObserver::new(&mut null, 1);
+        let mut obs = SearchObserver::new(&mut null);
         let r = explore_observed(&sys, &Budget::default(), |_| None, false, &mut obs);
         assert!(r.outcome.is_complete());
     }

@@ -22,6 +22,8 @@ use ccr_trace::{NullSink, TraceEvent, TraceSink};
 pub struct TracedReport {
     /// States visited.
     pub states: usize,
+    /// Transitions traversed.
+    pub transitions: usize,
     /// How the search ended.
     pub outcome: Outcome,
     /// For `InvariantViolated`/`Deadlock`: the labels along a shortest path
@@ -141,7 +143,7 @@ pub fn explore_traced<T: TransitionSystem>(
     check_deadlock: bool,
 ) -> TracedReport {
     let mut null = NullSink;
-    let mut obs = SearchObserver::new(&mut null, 0);
+    let mut obs = SearchObserver::new(&mut null);
     explore_traced_observed(sys, budget, invariant, check_deadlock, &mut obs)
 }
 
@@ -157,7 +159,12 @@ pub fn explore_traced_observed<T: TransitionSystem>(
     obs: &mut SearchObserver<'_>,
 ) -> TracedReport {
     let run = crate::search::drive(sys, budget, invariant, check_deadlock, false, true, obs);
-    let report = TracedReport { states: run.store.len(), outcome: run.outcome, trail: run.trail };
+    let report = TracedReport {
+        states: run.store.len(),
+        transitions: run.transitions,
+        outcome: run.outcome,
+        trail: run.trail,
+    };
     conclude_with_trail(sys, &report.outcome, report.trail.as_deref(), obs);
     crate::search::record_search_run(
         obs.metrics(),

@@ -31,7 +31,9 @@
 #![deny(missing_docs)]
 
 pub mod jsonval;
+pub mod profile;
 pub mod promcheck;
+pub mod status;
 
 use serde::Serialize;
 use std::collections::BTreeMap;

@@ -1,0 +1,609 @@
+//! Per-worker, per-level span timelines for the search engines.
+//!
+//! The phase timers in the parent module answer "how long did the
+//! explore phase take"; this module answers "where inside the explore
+//! did worker 3 spend level 12" — the attribution the parallel-engine
+//! performance work runs on. A [`Profiler`] follows the registry's
+//! null-object pattern: [`Profiler::disabled`] hands out timers whose
+//! every call is one branch, so the instrumentation can stay compiled
+//! into the hot loops permanently.
+//!
+//! # Span model
+//!
+//! Workers time themselves by **lap timing**: a [`SpanTimer`] keeps one
+//! `Instant` cursor, and [`SpanTimer::lap`] charges the interval since
+//! the previous lap to a [`SpanKind`] — one clock read per span
+//! boundary, not two per span. Kinds partition a worker's wall time:
+//!
+//! | kind           | parallel engine                            | serial engines      |
+//! |----------------|--------------------------------------------|---------------------|
+//! | `compute`      | `successors()` per expanded state          | same                |
+//! | `encode`       | successor encode + hash + routing + local insert (incl. outbox append) | successor encode + insert |
+//! | `ship`         | cross-worker batch handoff (`flush`)       | —                   |
+//! | `drain`        | consuming inbound batches (incl. waiting for them mid-drain) | — |
+//! | `barrier_wait` | level wind-down: straggler wait, both barriers, the leader's decision, frontier swap | — |
+//! | `progress`     | CSR build + backward livelock propagation  | same                |
+//!
+//! Timers accumulate into thread-local buffers (`(level, kind)` rows)
+//! and merge into the shared profiler at batch granularity — every
+//! [`FLUSH_LAPS`] laps, at level boundaries, and on drop — so the
+//! per-lap path touches no shared memory.
+//!
+//! # Determinism
+//!
+//! Span *timings* are wall-clock and therefore nondeterministic:
+//! [`Profiler::publish`] registers every `profile_*` metric through the
+//! `_nondet` constructors, so [`crate::Snapshot::deterministic`] views
+//! are identical whether profiling ran or not. Span *counts* for
+//! `compute` (states expanded) and `encode` (successors processed) are
+//! properties of the state space: on a complete run they are equal for
+//! the serial engine and the parallel engine at any thread count (see
+//! [`SpanKind::deterministic_count`]).
+
+use crate::Registry;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Laps between automatic flushes of a timer's local buffer into the
+/// shared profiler (a mutex acquisition); level boundaries and drop
+/// flush too.
+pub const FLUSH_LAPS: u32 = 4096;
+
+/// What a span interval was spent on. See the module docs for the
+/// engine-side meaning of each kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SpanKind {
+    /// Successor generation (`successors()`).
+    Compute,
+    /// Successor encoding, hashing, routing and local insertion.
+    Encode,
+    /// Cross-worker batch handoff.
+    Ship,
+    /// Inbound batch consumption.
+    Drain,
+    /// Level synchronization: straggler wait, barriers, decision, swap.
+    BarrierWait,
+    /// Livelock-check graph work (CSR build + backward propagation).
+    Progress,
+}
+
+/// Number of span kinds (the fixed width of every per-level row).
+pub const N_SPAN_KINDS: usize = 6;
+
+impl SpanKind {
+    /// Every kind, in canonical (output) order.
+    pub const ALL: [SpanKind; N_SPAN_KINDS] = [
+        SpanKind::Compute,
+        SpanKind::Encode,
+        SpanKind::Ship,
+        SpanKind::Drain,
+        SpanKind::BarrierWait,
+        SpanKind::Progress,
+    ];
+
+    fn idx(self) -> usize {
+        match self {
+            SpanKind::Compute => 0,
+            SpanKind::Encode => 1,
+            SpanKind::Ship => 2,
+            SpanKind::Drain => 3,
+            SpanKind::BarrierWait => 4,
+            SpanKind::Progress => 5,
+        }
+    }
+
+    /// Stable name used in folded stacks, metric names and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Compute => "compute",
+            SpanKind::Encode => "encode",
+            SpanKind::Ship => "ship",
+            SpanKind::Drain => "drain",
+            SpanKind::BarrierWait => "barrier_wait",
+            SpanKind::Progress => "progress",
+        }
+    }
+
+    /// Inverse of [`SpanKind::name`].
+    pub fn from_name(name: &str) -> Option<SpanKind> {
+        SpanKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// Whether this kind's aggregate *count* is a property of the state
+    /// space (identical for serial and parallel engines at any thread
+    /// count on a complete run) rather than of the schedule.
+    pub fn deterministic_count(self) -> bool {
+        matches!(self, SpanKind::Compute | SpanKind::Encode)
+    }
+}
+
+/// Accumulated time and unit count for one `(worker, level, kind)` cell.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SpanTotals {
+    /// Wall-clock nanoseconds charged to this cell.
+    pub nanos: u64,
+    /// Work units (kind-specific: states, successors, batches, levels).
+    pub count: u64,
+}
+
+impl SpanTotals {
+    fn add(&mut self, other: SpanTotals) {
+        self.nanos += other.nanos;
+        self.count += other.count;
+    }
+
+    /// Seconds charged to this cell.
+    pub fn secs(&self) -> f64 {
+        self.nanos as f64 / 1e9
+    }
+}
+
+type Row = [SpanTotals; N_SPAN_KINDS];
+
+fn row_is_zero(row: &Row) -> bool {
+    row.iter().all(|t| t.nanos == 0 && t.count == 0)
+}
+
+/// One worker's spans: level-less totals (serial engines) plus one row
+/// per BFS level (the parallel engine).
+#[derive(Default, Clone)]
+struct Timeline {
+    flat: Row,
+    levels: Vec<Row>,
+}
+
+impl Timeline {
+    fn merge(&mut self, other: &Timeline) {
+        for (k, t) in other.flat.iter().enumerate() {
+            self.flat[k].add(*t);
+        }
+        if self.levels.len() < other.levels.len() {
+            self.levels.resize(other.levels.len(), Row::default());
+        }
+        for (row, orow) in self.levels.iter_mut().zip(other.levels.iter()) {
+            for (k, t) in orow.iter().enumerate() {
+                row[k].add(*t);
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.flat = Row::default();
+        for row in &mut self.levels {
+            *row = Row::default();
+        }
+    }
+
+    fn is_zero(&self) -> bool {
+        row_is_zero(&self.flat) && self.levels.iter().all(row_is_zero)
+    }
+}
+
+#[derive(Default)]
+struct ProfInner {
+    workers: Mutex<BTreeMap<usize, Timeline>>,
+}
+
+/// Handle to a span store, or the null profiler when profiling is off.
+/// Clones share the same store, mirroring [`Registry`].
+#[derive(Clone, Default)]
+pub struct Profiler {
+    inner: Option<Arc<ProfInner>>,
+}
+
+impl Profiler {
+    /// An enabled profiler with an empty store.
+    pub fn new() -> Self {
+        Profiler { inner: Some(Arc::new(ProfInner::default())) }
+    }
+
+    /// The null profiler: every timer is a no-op costing one branch.
+    pub fn disabled() -> Self {
+        Profiler { inner: None }
+    }
+
+    /// Whether this profiler actually records anything.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// A lap timer for worker `worker`. The timer buffers locally and
+    /// merges into this profiler at batch granularity and on drop.
+    pub fn worker(&self, worker: usize) -> SpanTimer {
+        SpanTimer {
+            shared: self.inner.clone(),
+            worker,
+            level: None,
+            last: Instant::now(),
+            local: Timeline::default(),
+            pending: 0,
+        }
+    }
+
+    /// Point-in-time aggregate of everything flushed so far.
+    pub fn aggregate(&self) -> ProfileAgg {
+        let mut agg = ProfileAgg::default();
+        let Some(inner) = &self.inner else { return agg };
+        let workers = inner.workers.lock().unwrap();
+        for (&worker, timeline) in workers.iter() {
+            let mut kinds = Row::default();
+            for (k, t) in timeline.flat.iter().enumerate() {
+                kinds[k].add(*t);
+            }
+            for row in &timeline.levels {
+                for (k, t) in row.iter().enumerate() {
+                    kinds[k].add(*t);
+                }
+            }
+            agg.workers.push(WorkerAgg { worker, kinds });
+        }
+        agg
+    }
+
+    /// Renders the whole store as folded stacks (one
+    /// `frame;frame;frame value` line per nonzero cell, value in
+    /// nanoseconds) — the input format of flamegraph tooling. Lines are
+    /// ordered by worker, then level (level-less rows first), then kind.
+    pub fn folded(&self) -> String {
+        let mut out = String::new();
+        let Some(inner) = &self.inner else { return out };
+        let workers = inner.workers.lock().unwrap();
+        for (&worker, timeline) in workers.iter() {
+            for (k, t) in timeline.flat.iter().enumerate() {
+                if t.nanos > 0 || t.count > 0 {
+                    out.push_str(&format!(
+                        "worker{worker};{} {}\n",
+                        SpanKind::ALL[k].name(),
+                        t.nanos
+                    ));
+                }
+            }
+            for (level, row) in timeline.levels.iter().enumerate() {
+                for (k, t) in row.iter().enumerate() {
+                    if t.nanos > 0 || t.count > 0 {
+                        out.push_str(&format!(
+                            "worker{worker};L{level};{} {}\n",
+                            SpanKind::ALL[k].name(),
+                            t.nanos
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Folds the aggregate into `reg` as `profile_<kind>_nanos_total` /
+    /// `profile_<kind>_spans_total` counters. All of them are registered
+    /// nondeterministic (timings are wall-clock; counts of the
+    /// schedule-dependent kinds vary with thread count), so the
+    /// deterministic snapshot view is identical with profiling on or
+    /// off.
+    pub fn publish(&self, reg: &Registry) {
+        if !self.enabled() || !reg.enabled() {
+            return;
+        }
+        let totals = self.aggregate().totals();
+        for kind in SpanKind::ALL {
+            let t = totals[kind.idx()];
+            if t.nanos == 0 && t.count == 0 {
+                continue;
+            }
+            reg.counter_nondet(
+                &format!("profile_{}_nanos_total", kind.name()),
+                &format!("Wall-clock nanoseconds in {} spans across workers", kind.name()),
+            )
+            .add(t.nanos);
+            reg.counter_nondet(
+                &format!("profile_{}_spans_total", kind.name()),
+                &format!("Work units charged to {} spans across workers", kind.name()),
+            )
+            .add(t.count);
+        }
+    }
+}
+
+/// A worker-owned lap timer; create via [`Profiler::worker`].
+pub struct SpanTimer {
+    shared: Option<Arc<ProfInner>>,
+    worker: usize,
+    level: Option<u32>,
+    last: Instant,
+    local: Timeline,
+    pending: u32,
+}
+
+impl SpanTimer {
+    /// Charges the interval since the previous lap (or [`mark`]) to
+    /// `kind`, crediting `count` work units, and restarts the cursor.
+    /// One branch when profiling is off.
+    ///
+    /// [`mark`]: SpanTimer::mark
+    #[inline]
+    pub fn lap(&mut self, kind: SpanKind, count: u64) {
+        if self.shared.is_none() {
+            return;
+        }
+        self.lap_enabled(kind, count);
+    }
+
+    fn lap_enabled(&mut self, kind: SpanKind, count: u64) {
+        let now = Instant::now();
+        let nanos = u64::try_from(now.duration_since(self.last).as_nanos()).unwrap_or(u64::MAX);
+        self.last = now;
+        let row = match self.level {
+            None => &mut self.local.flat,
+            Some(level) => {
+                let level = level as usize;
+                if self.local.levels.len() <= level {
+                    self.local.levels.resize(level + 1, Row::default());
+                }
+                &mut self.local.levels[level]
+            }
+        };
+        row[kind.idx()].add(SpanTotals { nanos, count });
+        self.pending += 1;
+        if self.pending >= FLUSH_LAPS {
+            self.flush();
+        }
+    }
+
+    /// Restarts the cursor without charging the elapsed interval to any
+    /// kind (discard uninteresting time, e.g. setup).
+    #[inline]
+    pub fn mark(&mut self) {
+        if self.shared.is_some() {
+            self.last = Instant::now();
+        }
+    }
+
+    /// Directs subsequent laps to BFS level `level` and flushes the
+    /// local buffer (level boundaries are the parallel engine's natural
+    /// batch edge).
+    pub fn set_level(&mut self, level: u32) {
+        if self.shared.is_none() {
+            return;
+        }
+        if self.level != Some(level) {
+            self.flush();
+            self.level = Some(level);
+        }
+    }
+
+    /// Merges the local buffer into the shared profiler.
+    pub fn flush(&mut self) {
+        let Some(shared) = &self.shared else { return };
+        self.pending = 0;
+        if self.local.is_zero() {
+            return;
+        }
+        let mut workers = shared.workers.lock().unwrap();
+        workers.entry(self.worker).or_default().merge(&self.local);
+        self.local.clear();
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// One worker's per-kind totals, summed over levels.
+#[derive(Debug, Clone)]
+pub struct WorkerAgg {
+    /// Worker index (0 for the serial engines).
+    pub worker: usize,
+    /// Totals indexed in [`SpanKind::ALL`] order.
+    pub kinds: Row,
+}
+
+impl WorkerAgg {
+    /// Totals for one kind.
+    pub fn kind(&self, kind: SpanKind) -> SpanTotals {
+        self.kinds[kind.idx()]
+    }
+
+    /// Nanoseconds across every kind.
+    pub fn total_nanos(&self) -> u64 {
+        self.kinds.iter().map(|t| t.nanos).sum()
+    }
+}
+
+/// Aggregated profile: per-worker and overall per-kind totals.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileAgg {
+    /// Per-worker totals, ordered by worker index.
+    pub workers: Vec<WorkerAgg>,
+}
+
+impl ProfileAgg {
+    /// Per-kind totals summed across workers, in [`SpanKind::ALL`]
+    /// order.
+    pub fn totals(&self) -> Row {
+        let mut totals = Row::default();
+        for w in &self.workers {
+            for (k, t) in w.kinds.iter().enumerate() {
+                totals[k].add(*t);
+            }
+        }
+        totals
+    }
+
+    /// Overall totals for one kind.
+    pub fn kind(&self, kind: SpanKind) -> SpanTotals {
+        self.totals()[kind.idx()]
+    }
+
+    /// Nanoseconds across every worker and kind.
+    pub fn total_nanos(&self) -> u64 {
+        self.workers.iter().map(WorkerAgg::total_nanos).sum()
+    }
+
+    /// Whether anything was recorded at all.
+    pub fn is_empty(&self) -> bool {
+        self.total_nanos() == 0 && self.workers.iter().all(|w| w.kinds.iter().all(|t| t.count == 0))
+    }
+
+    /// Rebuilds per-worker, per-kind totals from parsed folded stacks
+    /// (the inverse of [`Profiler::folded`] up to unit counts, which the
+    /// folded format does not carry).
+    pub fn from_folded(entries: &[FoldedEntry]) -> Result<ProfileAgg, String> {
+        let mut map: BTreeMap<usize, Row> = BTreeMap::new();
+        for e in entries {
+            let (first, last) = match (e.frames.first(), e.frames.last()) {
+                (Some(f), Some(l)) if e.frames.len() >= 2 => (f, l),
+                _ => {
+                    return Err(format!(
+                        "stack `{}` needs worker and kind frames",
+                        e.frames.join(";")
+                    ))
+                }
+            };
+            let worker: usize = first
+                .strip_prefix("worker")
+                .and_then(|w| w.parse().ok())
+                .ok_or_else(|| format!("bad worker frame `{first}`"))?;
+            let kind =
+                SpanKind::from_name(last).ok_or_else(|| format!("bad kind frame `{last}`"))?;
+            map.entry(worker).or_default()[kind.idx()].nanos += e.value;
+        }
+        Ok(ProfileAgg {
+            workers: map.into_iter().map(|(worker, kinds)| WorkerAgg { worker, kinds }).collect(),
+        })
+    }
+}
+
+/// One parsed folded-stack line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FoldedEntry {
+    /// Stack frames, outermost first.
+    pub frames: Vec<String>,
+    /// The sample value (nanoseconds in this crate's output).
+    pub value: u64,
+}
+
+/// Parses folded-stack text (`frame;frame;frame value` per line; blank
+/// lines ignored) — accepts anything flamegraph tooling would.
+pub fn parse_folded(text: &str) -> Result<Vec<FoldedEntry>, String> {
+    let mut entries = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let (stack, value) =
+            line.rsplit_once(' ').ok_or_else(|| format!("line {}: no value separator", i + 1))?;
+        let value: u64 =
+            value.parse().map_err(|_| format!("line {}: bad value `{value}`", i + 1))?;
+        if stack.is_empty() {
+            return Err(format!("line {}: empty stack", i + 1));
+        }
+        entries.push(FoldedEntry { frames: stack.split(';').map(str::to_string).collect(), value });
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profiler_is_a_noop() {
+        let prof = Profiler::disabled();
+        assert!(!prof.enabled());
+        let mut t = prof.worker(0);
+        t.lap(SpanKind::Compute, 5);
+        t.set_level(3);
+        t.lap(SpanKind::Encode, 1);
+        t.flush();
+        drop(t);
+        assert!(prof.aggregate().is_empty());
+        assert_eq!(prof.folded(), "");
+    }
+
+    #[test]
+    fn laps_accumulate_per_worker_and_level() {
+        let prof = Profiler::new();
+        let mut t0 = prof.worker(0);
+        t0.set_level(0);
+        t0.lap(SpanKind::Compute, 2);
+        t0.lap(SpanKind::Encode, 7);
+        t0.set_level(1);
+        t0.lap(SpanKind::BarrierWait, 1);
+        drop(t0);
+        let mut t1 = prof.worker(1);
+        t1.lap(SpanKind::Compute, 3);
+        drop(t1);
+
+        let agg = prof.aggregate();
+        assert_eq!(agg.workers.len(), 2);
+        assert_eq!(agg.kind(SpanKind::Compute).count, 5);
+        assert_eq!(agg.kind(SpanKind::Encode).count, 7);
+        assert_eq!(agg.kind(SpanKind::BarrierWait).count, 1);
+        let folded = prof.folded();
+        assert!(folded.contains("worker0;L0;compute "));
+        assert!(folded.contains("worker0;L1;barrier_wait "));
+        assert!(folded.contains("worker1;compute "), "level-less rows have no level frame");
+    }
+
+    #[test]
+    fn folded_round_trips_through_the_parser() {
+        let prof = Profiler::new();
+        let mut t = prof.worker(2);
+        t.set_level(0);
+        t.lap(SpanKind::Compute, 1);
+        t.lap(SpanKind::Ship, 4);
+        drop(t);
+        let folded = prof.folded();
+        let entries = parse_folded(&folded).unwrap();
+        let rebuilt = ProfileAgg::from_folded(&entries).unwrap();
+        let agg = prof.aggregate();
+        assert_eq!(rebuilt.workers.len(), agg.workers.len());
+        for (r, a) in rebuilt.workers.iter().zip(agg.workers.iter()) {
+            assert_eq!(r.worker, a.worker);
+            for kind in SpanKind::ALL {
+                assert_eq!(r.kind(kind).nanos, a.kind(kind).nanos, "{}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn parse_folded_rejects_malformed_lines() {
+        assert!(parse_folded("no_value_here").is_err());
+        assert!(parse_folded("a;b notanumber").is_err());
+        assert!(parse_folded(" 5").is_err());
+        assert!(parse_folded("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn publish_registers_only_nondet_metrics() {
+        let prof = Profiler::new();
+        let mut t = prof.worker(0);
+        t.lap(SpanKind::Compute, 3);
+        drop(t);
+        let reg = Registry::new();
+        prof.publish(&reg);
+        let snap = reg.snapshot();
+        assert!(snap.counters.contains_key("profile_compute_nanos_total"));
+        assert_eq!(snap.counters["profile_compute_spans_total"], 3);
+        for name in snap.counters.keys() {
+            assert!(
+                snap.nondeterministic.contains(name),
+                "{name} must be nondet so deterministic views ignore profiling"
+            );
+        }
+        assert_eq!(reg.snapshot().deterministic().counters.len(), 0);
+    }
+
+    #[test]
+    fn span_kind_names_round_trip() {
+        for kind in SpanKind::ALL {
+            assert_eq!(SpanKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(SpanKind::from_name("nope"), None);
+        assert!(SpanKind::Compute.deterministic_count());
+        assert!(!SpanKind::Ship.deterministic_count());
+    }
+}

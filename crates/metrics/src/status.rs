@@ -1,0 +1,254 @@
+//! Live run status files: a small JSON snapshot of a running search,
+//! rewritten atomically on a wall-clock interval so another process
+//! (`ccr watch`) can tail a long run without attaching to it.
+//!
+//! Atomicity is by rename: [`StatusWriter::write`] serializes into a
+//! hidden sibling temp file and `rename(2)`s it over the target, so a
+//! concurrent reader sees either the previous snapshot or the new one,
+//! never a torn mix. A monotonically increasing `seq` field lets
+//! readers detect updates without comparing whole documents.
+
+use crate::jsonval::Json;
+use crate::profile::{ProfileAgg, SpanKind};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One point-in-time snapshot of a run, as written to the status file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunStatus {
+    /// Spec path or workload name the run is verifying.
+    pub spec: String,
+    /// Current phase (e.g. `explore`, `progress`, `done`).
+    pub phase: String,
+    /// States discovered so far.
+    pub states: u64,
+    /// Transitions taken so far (0 if the engine does not track it).
+    pub transitions: u64,
+    /// Current frontier size.
+    pub frontier: u64,
+    /// Current BFS depth / level, when known.
+    pub depth: Option<u64>,
+    /// Recent exploration rate.
+    pub states_per_sec: f64,
+    /// Approximate store footprint in bytes.
+    pub store_bytes: u64,
+    /// Milliseconds since the run started.
+    pub elapsed_ms: u64,
+    /// Estimated milliseconds to completion, when a target is known.
+    pub eta_ms: Option<u64>,
+    /// Per-span-kind seconds (kind name → seconds), present when
+    /// profiling is on.
+    pub spans: Vec<(String, f64)>,
+    /// Whether the run has finished.
+    pub finished: bool,
+    /// Final outcome string, set with `finished`.
+    pub outcome: Option<String>,
+    /// Monotonically increasing write sequence number.
+    pub seq: u64,
+}
+
+impl RunStatus {
+    /// Fills [`RunStatus::spans`] from a profile aggregate (nonzero
+    /// kinds only, canonical order).
+    pub fn set_spans(&mut self, agg: &ProfileAgg) {
+        self.spans.clear();
+        let totals = agg.totals();
+        for (k, kind) in SpanKind::ALL.iter().enumerate() {
+            if totals[k].nanos > 0 {
+                self.spans.push((kind.name().to_string(), totals[k].secs()));
+            }
+        }
+    }
+
+    /// Serializes to a single-line JSON document.
+    pub fn to_json(&self) -> String {
+        let mut ser = serde::Serializer::new();
+        {
+            let mut map = ser.begin_map();
+            map.entry("spec", &self.spec);
+            map.entry("phase", &self.phase);
+            map.entry("states", &self.states);
+            map.entry("transitions", &self.transitions);
+            map.entry("frontier", &self.frontier);
+            map.entry("depth", &self.depth);
+            map.entry("states_per_sec", &self.states_per_sec);
+            map.entry("store_bytes", &self.store_bytes);
+            map.entry("elapsed_ms", &self.elapsed_ms);
+            map.entry("eta_ms", &self.eta_ms);
+            map.entry_with("spans", |ser| {
+                let mut spans = ser.begin_map();
+                for (name, secs) in &self.spans {
+                    spans.entry(name, secs);
+                }
+                spans.end();
+            });
+            map.entry("finished", &self.finished);
+            map.entry("outcome", &self.outcome);
+            map.entry("seq", &self.seq);
+            map.end();
+        }
+        ser.into_string()
+    }
+
+    /// Parses a document produced by [`RunStatus::to_json`].
+    pub fn parse(text: &str) -> Result<RunStatus, String> {
+        let json = Json::parse(text)?;
+        let str_of = |key: &str| {
+            json.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("status missing `{key}`"))
+        };
+        let u64_of = |key: &str| {
+            json.get(key).and_then(Json::as_u64).ok_or_else(|| format!("status missing `{key}`"))
+        };
+        let mut spans = Vec::new();
+        if let Some(obj) = json.get("spans").and_then(Json::as_object) {
+            for (name, v) in obj {
+                spans.push((
+                    name.clone(),
+                    v.as_f64().ok_or_else(|| format!("span `{name}` not a number"))?,
+                ));
+            }
+        }
+        Ok(RunStatus {
+            spec: str_of("spec")?,
+            phase: str_of("phase")?,
+            states: u64_of("states")?,
+            transitions: u64_of("transitions")?,
+            frontier: u64_of("frontier")?,
+            depth: json.get("depth").and_then(Json::as_u64),
+            states_per_sec: json
+                .get("states_per_sec")
+                .and_then(Json::as_f64)
+                .ok_or("status missing `states_per_sec`")?,
+            store_bytes: u64_of("store_bytes")?,
+            elapsed_ms: u64_of("elapsed_ms")?,
+            eta_ms: json.get("eta_ms").and_then(Json::as_u64),
+            spans,
+            finished: json
+                .get("finished")
+                .and_then(Json::as_bool)
+                .ok_or("status missing `finished`")?,
+            outcome: json.get("outcome").and_then(Json::as_str).map(str::to_string),
+            seq: u64_of("seq")?,
+        })
+    }
+
+    /// Reads and parses a status file.
+    pub fn read(path: &Path) -> Result<RunStatus, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        RunStatus::parse(&text)
+    }
+}
+
+/// Writes [`RunStatus`] snapshots to a file via atomic rename. Cloning
+/// shares the sequence counter, so several phases of one run can write
+/// to the same file without reusing sequence numbers.
+#[derive(Clone)]
+pub struct StatusWriter {
+    path: PathBuf,
+    tmp: PathBuf,
+    seq: Arc<AtomicU64>,
+}
+
+impl StatusWriter {
+    /// A writer targeting `path`. The temp file is a hidden sibling
+    /// (`.{name}.tmp`) so the rename stays on one filesystem.
+    pub fn create(path: impl Into<PathBuf>) -> StatusWriter {
+        let path = path.into();
+        let name = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+        let tmp = path.with_file_name(format!(".{name}.tmp"));
+        StatusWriter { path, tmp, seq: Arc::new(AtomicU64::new(0)) }
+    }
+
+    /// The target path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Stamps `status.seq` with the next sequence number and replaces
+    /// the status file atomically.
+    pub fn write(&self, status: &mut RunStatus) -> io::Result<()> {
+        status.seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut doc = status.to_json();
+        doc.push('\n');
+        std::fs::write(&self.tmp, doc)?;
+        std::fs::rename(&self.tmp, &self.path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{Profiler, SpanKind};
+
+    fn sample() -> RunStatus {
+        RunStatus {
+            spec: "specs/migratory.ccp".into(),
+            phase: "explore".into(),
+            states: 52728,
+            transitions: 138312,
+            frontier: 991,
+            depth: Some(17),
+            states_per_sec: 325409.5,
+            store_bytes: 1 << 20,
+            elapsed_ms: 162,
+            eta_ms: Some(40),
+            spans: vec![("compute".into(), 0.05), ("barrier_wait".into(), 0.01)],
+            finished: false,
+            outcome: None,
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn status_round_trips_through_json() {
+        let status = sample();
+        let parsed = RunStatus::parse(&status.to_json()).unwrap();
+        assert_eq!(parsed, status);
+
+        let mut done = sample();
+        done.depth = None;
+        done.eta_ms = None;
+        done.finished = true;
+        done.outcome = Some("ok".into());
+        let parsed = RunStatus::parse(&done.to_json()).unwrap();
+        assert_eq!(parsed, done);
+    }
+
+    #[test]
+    fn writer_bumps_seq_and_replaces_file() {
+        let dir = std::env::temp_dir().join(format!("ccr-status-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let writer = StatusWriter::create(dir.join("status.json"));
+        let mut status = sample();
+        writer.write(&mut status).unwrap();
+        assert_eq!(status.seq, 1);
+        status.states += 1;
+        writer.write(&mut status).unwrap();
+        assert_eq!(status.seq, 2);
+        let read = RunStatus::read(writer.path()).unwrap();
+        assert_eq!(read.seq, 2);
+        assert_eq!(read.states, sample().states + 1);
+        assert!(!writer.tmp.exists(), "temp file renamed away");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn set_spans_takes_nonzero_kinds_in_order() {
+        let prof = Profiler::new();
+        let mut t = prof.worker(0);
+        t.lap(SpanKind::Encode, 1);
+        t.lap(SpanKind::Compute, 1);
+        drop(t);
+        let mut status = RunStatus::default();
+        status.set_spans(&prof.aggregate());
+        let names: Vec<&str> = status.spans.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["compute", "encode"]);
+        assert!(status.spans.iter().all(|(_, s)| *s > 0.0));
+    }
+}

@@ -15,6 +15,11 @@
 //! ccr table   <spec.ccp> [-n N..] [--threads T] [--symmetry on|off|auto]
 //!             [--trace FILE] [--progress] [--json]
 //!                                         per-N reachability comparison
+//! ccr watch   <status-file> [--once] [--interval SECS]
+//!                                         tail a live run's status file
+//! ccr report  <run-dir> [--json]          merge a run's trace, metrics,
+//!                                         profile and status into one
+//!                                         Markdown (or JSON) report
 //! ccr bench diff <old.json> <new.json> [--tolerance T]
 //!             [--bytes-tolerance B]       perf-regression gate over
 //!                                         BENCH_*.json reports or
@@ -59,6 +64,23 @@
 //!   nothing.
 //! * `--metrics-format json|prometheus` — snapshot encoding (default
 //!   `json`; `prometheus` writes text exposition format 0.0.4).
+//! * `--profile PATH|-` — record per-worker, per-level span timelines
+//!   (compute/encode/ship/drain/barrier-wait/progress) and write them as
+//!   folded stacks to PATH (`-` = stdout), plus an attribution summary
+//!   (human output and the `profile` key of the JSON report). See
+//!   docs/observability.md, "Profiling and live runs".
+//! * `--progress-interval SECS` — wall-clock heartbeat/status interval
+//!   (fractional seconds, default 1.0).
+//! * `--status PATH` — maintain a live status file (atomic-rename JSON)
+//!   that `ccr watch PATH` can follow from another process.
+//! * `--run-dir DIR` — shorthand: write trace.jsonl, metrics.json,
+//!   profile.folded, status.json and verify.json under DIR (creating
+//!   it), ready for `ccr report DIR`. Explicit flags win over the
+//!   shorthand paths.
+//! * `--async` (verify) — async-level-only mode: skip the rendezvous
+//!   level, Equation 1, progress and fault phases; explore only the
+//!   refined asynchronous level. This is the engine-profiling loop:
+//!   one phase, one state space.
 //!
 //! Fault-injection flags (verify only, see `docs/fault_injection.md`):
 //!
@@ -82,10 +104,15 @@ use ccr_mc::faultmode::{check_fault_closure_observed, check_fault_closure_parall
 use ccr_mc::parallel::{explore_parallel_traced_observed, ParallelConfig};
 use ccr_mc::progress::{check_progress_observed, check_progress_parallel_observed};
 use ccr_mc::report::ExploreReport;
-use ccr_mc::search::{explore_observed, Budget, SearchObserver};
+use ccr_mc::search::{
+    explore_observed, Budget, SearchObserver, StatusReporter, DEFAULT_HEARTBEAT_INTERVAL,
+};
 use ccr_mc::simrel::check_simulation;
 use ccr_mc::trace::{explore_traced_observed, TracedReport};
 use ccr_mc::{Reduced, Symmetric};
+use ccr_metrics::jsonval::Json;
+use ccr_metrics::profile::{parse_folded, ProfileAgg, Profiler, SpanKind};
+use ccr_metrics::status::{RunStatus, StatusWriter};
 use ccr_metrics::Registry;
 use ccr_runtime::asynch::{AsyncConfig, AsyncSystem};
 use ccr_runtime::rendezvous::RendezvousSystem;
@@ -93,11 +120,10 @@ use ccr_runtime::sched::RandomSched;
 use ccr_runtime::sim::Simulator;
 use ccr_runtime::{FaultHarness, TransitionSystem};
 use ccr_trace::{JsonlSink, NullSink, TeeSink, TraceEvent, TraceSink};
-use serde::{Serialize, Serializer};
+use serde::{MapSer, Serialize, Serializer};
+use std::path::Path;
 use std::process::ExitCode;
-
-/// Heartbeat interval for `--progress`/`--trace`, in newly stored states.
-const HEARTBEAT_EVERY: usize = 25_000;
+use std::time::{Duration, Instant};
 
 /// Number of seeded random walks run by `verify --faults`.
 const FAULT_WALKS: u32 = 3;
@@ -111,7 +137,11 @@ fn usage() -> ExitCode {
          [-n N] [--budget STATES] [--no-opt] [--refined] [--threads T] \
          [--symmetry on|off|auto] [--trace FILE] [--progress] [--json] \
          [--metrics PATH|-] [--metrics-format json|prometheus] \
+         [--profile PATH|-] [--progress-interval SECS] [--status PATH] \
+         [--run-dir DIR] [--async] \
          [--faults SPEC] [--seed N] [--fault-budget F]\n\
+         \x20      ccr watch <status-file> [--once] [--interval SECS]\n\
+         \x20      ccr report <run-dir> [--json]\n\
          \x20      ccr bench diff <old.json> <new.json> \
          [--tolerance T] [--bytes-tolerance B]"
     );
@@ -132,9 +162,30 @@ struct Args {
     seed: u64,
     fault_budget: Option<u32>,
     threads: usize,
+    threads_explicit: bool,
     symmetry: Symmetry,
     metrics: Option<String>,
     metrics_format: MetricsFormat,
+    profile: Option<String>,
+    progress_interval: Duration,
+    status: Option<String>,
+    run_dir: Option<String>,
+    async_only: bool,
+}
+
+impl Args {
+    /// Worker count handed to the search helpers: 0 selects the serial
+    /// engine; any explicit `--threads T` — including `T = 1` — selects
+    /// the sharded parallel engine. A 1-worker parallel run is how the
+    /// engine's coordination overhead (ship/drain/barrier-wait spans) is
+    /// measured against the serial baseline.
+    fn engine_threads(&self) -> usize {
+        if self.threads_explicit {
+            self.threads
+        } else {
+            0
+        }
+    }
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -170,9 +221,15 @@ fn parse_args() -> Option<Args> {
         seed: 0,
         fault_budget: None,
         threads: 1,
+        threads_explicit: false,
         symmetry: Symmetry::Auto,
         metrics: None,
         metrics_format: MetricsFormat::Json,
+        profile: None,
+        progress_interval: DEFAULT_HEARTBEAT_INTERVAL,
+        status: None,
+        run_dir: None,
+        async_only: false,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -186,7 +243,10 @@ fn parse_args() -> Option<Args> {
             "--faults" => out.faults = Some(args.next()?),
             "--seed" => out.seed = args.next()?.parse().ok()?,
             "--fault-budget" => out.fault_budget = Some(args.next()?.parse().ok()?),
-            "--threads" => out.threads = args.next()?.parse().ok().filter(|&t| t >= 1)?,
+            "--threads" => {
+                out.threads = args.next()?.parse().ok().filter(|&t| t >= 1)?;
+                out.threads_explicit = true;
+            }
             "--symmetry" => {
                 out.symmetry = match args.next()?.as_str() {
                     "on" => Symmetry::On,
@@ -203,8 +263,25 @@ fn parse_args() -> Option<Args> {
                     _ => return None,
                 }
             }
+            "--profile" => out.profile = Some(args.next()?),
+            "--progress-interval" => {
+                let secs: f64 = args.next()?.parse().ok().filter(|s| *s >= 0.0)?;
+                out.progress_interval = Duration::from_secs_f64(secs);
+            }
+            "--status" => out.status = Some(args.next()?),
+            "--run-dir" => out.run_dir = Some(args.next()?),
+            "--async" => out.async_only = true,
             _ => return None,
         }
+    }
+    // `--run-dir DIR` is shorthand for the per-artifact flags; explicit
+    // flags win.
+    if let Some(dir) = &out.run_dir {
+        let join = |name: &str| format!("{dir}/{name}");
+        out.trace.get_or_insert_with(|| join("trace.jsonl"));
+        out.metrics.get_or_insert_with(|| join("metrics.json"));
+        out.profile.get_or_insert_with(|| join("profile.folded"));
+        out.status.get_or_insert_with(|| join("status.json"));
     }
     Some(out)
 }
@@ -242,7 +319,7 @@ where
     T: TransitionSystem + Sync,
     T::State: Send,
 {
-    if threads > 1 {
+    if threads > 0 {
         let cfg = ParallelConfig::threads(threads).with_trails();
         explore_parallel_traced_observed(sys, budget, |_| None, true, &cfg, obs).traced_report()
     } else {
@@ -261,7 +338,7 @@ where
     T: TransitionSystem + Sync,
     T::State: Send,
 {
-    if threads > 1 {
+    if threads > 0 {
         let cfg = ParallelConfig::threads(threads);
         ccr_mc::parallel::explore_parallel_observed(sys, budget, |_| None, false, &cfg, obs)
             .explore_report()
@@ -346,7 +423,7 @@ where
         S: TransitionSystem + Sync,
         S::State: Send,
     {
-        if threads > 1 {
+        if threads > 0 {
             check_progress_parallel_observed(
                 sys,
                 budget,
@@ -558,6 +635,425 @@ fn write_metrics(args: &Args, registry: &Registry) -> Result<(), ExitCode> {
     })
 }
 
+/// Builds one phase's observer: metrics + heartbeat interval + profiler,
+/// plus a status reporter when `--status` asked for one.
+fn observer<'s>(
+    sink: &'s mut dyn TraceSink,
+    registry: &Registry,
+    profiler: &Profiler,
+    args: &Args,
+    status_writer: &Option<StatusWriter>,
+    phase: &str,
+) -> SearchObserver<'s> {
+    let mut obs = SearchObserver::with_metrics(sink, registry.clone())
+        .with_interval(args.progress_interval)
+        .with_profiler(profiler.clone());
+    if let Some(writer) = status_writer {
+        let mut rep = StatusReporter::new(writer.clone(), &args.file);
+        rep.set_phase(phase);
+        // ETA against the state budget: an upper bound on remaining
+        // work, not a prediction of the reachable-set size.
+        rep.set_target(Some(args.budget as u64));
+        obs = obs.with_status(rep);
+    }
+    obs
+}
+
+fn share(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64
+    }
+}
+
+/// Nanoseconds across the parallel engine's exchange machinery — the
+/// "how much of the run is overhead, not search" bucket the roadmap's
+/// parallel-performance work keys on.
+fn sync_overhead_nanos(agg: &ProfileAgg) -> u64 {
+    [SpanKind::Ship, SpanKind::Drain, SpanKind::BarrierWait]
+        .iter()
+        .map(|k| agg.kind(*k).nanos)
+        .sum()
+}
+
+/// Appends the per-worker attribution breakdown as the `profile` key of
+/// a JSON report map.
+fn profile_entry(m: &mut MapSer<'_>, agg: &ProfileAgg) {
+    let totals = agg.totals();
+    let grand: u64 = totals.iter().map(|t| t.nanos).sum();
+    m.entry_with("profile", |ser| {
+        let mut p = ser.begin_map();
+        p.entry("total_secs", &(grand as f64 / 1e9));
+        p.entry_with("totals", |ser| {
+            let mut t = ser.begin_map();
+            for (k, kind) in SpanKind::ALL.iter().enumerate() {
+                if totals[k].nanos == 0 && totals[k].count == 0 {
+                    continue;
+                }
+                t.entry_with(kind.name(), |ser| {
+                    let mut cell = ser.begin_map();
+                    cell.entry("secs", &totals[k].secs());
+                    cell.entry("count", &totals[k].count);
+                    cell.entry("share", &share(totals[k].nanos, grand));
+                    cell.end();
+                });
+            }
+            t.end();
+        });
+        p.entry_with("workers", |ser| {
+            let mut seq = ser.begin_seq();
+            for w in &agg.workers {
+                seq.elem_with(|ser| {
+                    let mut wm = ser.begin_map();
+                    wm.entry("worker", &w.worker);
+                    wm.entry("secs", &(w.total_nanos() as f64 / 1e9));
+                    wm.entry_with("share", |ser| {
+                        let mut sm = ser.begin_map();
+                        for kind in SpanKind::ALL {
+                            let t = w.kind(kind);
+                            if t.nanos > 0 {
+                                sm.entry(kind.name(), &share(t.nanos, w.total_nanos()));
+                            }
+                        }
+                        sm.end();
+                    });
+                    wm.end();
+                });
+            }
+            seq.end();
+        });
+        p.entry("sync_overhead_share", &share(sync_overhead_nanos(agg), grand));
+        p.end();
+    });
+}
+
+/// Prints the per-worker attribution table (human output).
+fn print_attribution(agg: &ProfileAgg) {
+    if agg.is_empty() {
+        return;
+    }
+    for w in &agg.workers {
+        let total = w.total_nanos().max(1);
+        let cells: Vec<String> = SpanKind::ALL
+            .iter()
+            .filter(|k| w.kind(**k).nanos > 0)
+            .map(|k| format!("{} {:.1}%", k.name(), w.kind(*k).nanos as f64 * 100.0 / total as f64))
+            .collect();
+        println!("profile: worker {} ({:.4}s): {}", w.worker, total as f64 / 1e9, cells.join(", "));
+    }
+    let grand = agg.total_nanos();
+    println!(
+        "profile: ship+drain+barrier_wait share of worker time: {:.1}%",
+        share(sync_overhead_nanos(agg), grand) * 100.0
+    );
+}
+
+/// Writes the folded-stack profile to `--profile` (stdout for `-`).
+fn write_profile(path: &str, profiler: &Profiler) -> Result<(), ExitCode> {
+    let folded = profiler.folded();
+    if path == "-" {
+        print!("{folded}");
+        return Ok(());
+    }
+    std::fs::write(path, folded).map_err(|e| {
+        eprintln!("ccr: cannot write {path}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+/// Renders one status snapshot as a watch line.
+fn render_status(st: &RunStatus) -> String {
+    let eta = match st.eta_ms {
+        Some(ms) => format!("{:.1}s", ms as f64 / 1e3),
+        None => "-".to_string(),
+    };
+    let depth = st.depth.map(|d| d.to_string()).unwrap_or_else(|| "-".to_string());
+    let spans = if st.spans.is_empty() {
+        String::new()
+    } else {
+        let total: f64 = st.spans.iter().map(|(_, s)| s).sum();
+        let cells: Vec<String> = st
+            .spans
+            .iter()
+            .map(|(name, secs)| format!("{name} {:.0}%", secs * 100.0 / total.max(1e-12)))
+            .collect();
+        format!(" | {}", cells.join(" "))
+    };
+    format!(
+        "[{:>7} ms] {} {}: {} states, {} transitions, frontier {}, depth {}, \
+         {:.0} st/s, {} KB, eta {}{}{}",
+        st.elapsed_ms,
+        st.spec,
+        st.phase,
+        st.states,
+        st.transitions,
+        st.frontier,
+        depth,
+        st.states_per_sec,
+        st.store_bytes / 1024,
+        eta,
+        spans,
+        if st.finished {
+            format!(" | finished: {}", st.outcome.as_deref().unwrap_or("?"))
+        } else {
+            String::new()
+        }
+    )
+}
+
+/// `ccr watch <status-file> [--once] [--interval SECS]`: tails a live
+/// status file (atomic-rename JSON written by `--status`/`--run-dir`),
+/// printing a line whenever the snapshot advances, until the run
+/// reports `finished` (or immediately with `--once`).
+fn cmd_watch(argv: &[String]) -> ExitCode {
+    let mut path: Option<&str> = None;
+    let mut once = false;
+    let mut interval = Duration::from_millis(500);
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--once" => once = true,
+            "--interval" => {
+                let Some(secs) = it.next().and_then(|s| s.parse::<f64>().ok()) else {
+                    return usage();
+                };
+                interval = Duration::from_secs_f64(secs.max(0.01));
+            }
+            _ if path.is_none() && !a.starts_with("--") => path = Some(a),
+            _ => return usage(),
+        }
+    }
+    let Some(path) = path else {
+        return usage();
+    };
+    // Grace window: the watched run may not have written its first
+    // snapshot yet.
+    let started = Instant::now();
+    let grace = Duration::from_secs(5);
+    let mut last_seq = 0u64;
+    loop {
+        match RunStatus::read(Path::new(path)) {
+            Ok(st) => {
+                if st.seq != last_seq {
+                    println!("{}", render_status(&st));
+                    last_seq = st.seq;
+                }
+                if once || st.finished {
+                    return ExitCode::SUCCESS;
+                }
+            }
+            Err(e) => {
+                if started.elapsed() > grace {
+                    eprintln!("ccr: watch {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// Reads and jsonval-validates one run-dir JSON artifact; `None` when
+/// the file is absent, an error string when present but invalid.
+fn read_artifact(dir: &str, name: &str) -> Result<Option<(String, Json)>, String> {
+    let path = format!("{dir}/{name}");
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(_) => return Ok(None),
+    };
+    let json = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    Ok(Some((text.trim_end().to_string(), json)))
+}
+
+/// `ccr report <run-dir> [--json]`: merges a run's artifacts
+/// (verify.json, metrics.json, profile.folded, status.json,
+/// trace.jsonl — whichever exist) into one self-contained report.
+/// Every JSON artifact is validated with the shipped `jsonval` parser,
+/// as is the emitted JSON document itself.
+fn cmd_report(argv: &[String]) -> ExitCode {
+    let mut dir: Option<&str> = None;
+    let mut json_out = false;
+    for a in argv {
+        match a.as_str() {
+            "--json" => json_out = true,
+            _ if dir.is_none() && !a.starts_with("--") => dir = Some(a),
+            _ => return usage(),
+        }
+    }
+    let Some(dir) = dir else {
+        return usage();
+    };
+
+    let verify = read_artifact(dir, "verify.json");
+    let metrics = read_artifact(dir, "metrics.json");
+    let status = read_artifact(dir, "status.json");
+    let (verify, metrics, status) = match (verify, metrics, status) {
+        (Ok(v), Ok(m), Ok(s)) => (v, m, s),
+        (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => {
+            eprintln!("ccr: report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let profile = match std::fs::read_to_string(format!("{dir}/profile.folded")) {
+        Ok(text) => match parse_folded(&text).and_then(|e| ProfileAgg::from_folded(&e)) {
+            Ok(agg) => Some(agg),
+            Err(e) => {
+                eprintln!("ccr: report: profile.folded: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(_) => None,
+    };
+    // Trace summary: events per variant (externally tagged JSONL).
+    let mut trace_counts: Vec<(String, u64)> = Vec::new();
+    if let Ok(text) = std::fs::read_to_string(format!("{dir}/trace.jsonl")) {
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let ev = match Json::parse(line) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("ccr: report: trace.jsonl line {}: {e}", i + 1);
+                    return ExitCode::FAILURE;
+                }
+            };
+            let variant = ev
+                .as_object()
+                .and_then(|o| o.first())
+                .map(|(k, _)| k.clone())
+                .unwrap_or_else(|| "?".to_string());
+            match trace_counts.iter_mut().find(|(k, _)| *k == variant) {
+                Some((_, n)) => *n += 1,
+                None => trace_counts.push((variant, 1)),
+            }
+        }
+    }
+    if verify.is_none() && metrics.is_none() && status.is_none() && profile.is_none() {
+        eprintln!("ccr: report: no run artifacts found under {dir}");
+        return ExitCode::FAILURE;
+    }
+
+    if json_out {
+        let mut s = Serializer::new();
+        {
+            let mut m = s.begin_map();
+            m.entry("run_dir", dir);
+            for (key, artifact) in [("verify", &verify), ("metrics", &metrics), ("status", &status)]
+            {
+                match artifact {
+                    Some((raw, _)) => m.entry_with(key, |ser| ser.serialize_raw(raw)),
+                    None => m.entry(key, &None::<u32>),
+                }
+            }
+            match &profile {
+                Some(agg) => profile_entry(&mut m, agg),
+                None => m.entry("profile", &None::<u32>),
+            }
+            m.entry_with("trace_events", |ser| {
+                let mut t = ser.begin_map();
+                for (k, n) in &trace_counts {
+                    t.entry(k, n);
+                }
+                t.end();
+            });
+            m.end();
+        }
+        let doc = s.into_string();
+        if let Err(e) = Json::parse(&doc) {
+            eprintln!("ccr: report: emitted JSON failed validation: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("{doc}");
+        return ExitCode::SUCCESS;
+    }
+
+    // Markdown rendering.
+    let spec = status
+        .as_ref()
+        .map(|(_, j)| j.get("spec").and_then(Json::as_str).unwrap_or("?").to_string())
+        .or_else(|| {
+            verify
+                .as_ref()
+                .map(|(_, j)| j.get("spec").and_then(Json::as_str).unwrap_or("?").to_string())
+        })
+        .unwrap_or_else(|| "?".to_string());
+    println!("# Run report: {spec}");
+    println!("\nArtifacts: `{dir}`");
+    if let Some((_, v)) = &verify {
+        println!("\n## Verification\n");
+        let b = |k: &str| v.get(k).and_then(Json::as_bool);
+        if let Some(holds) = b("holds") {
+            println!("- holds: **{holds}**");
+        }
+        for key in ["rendezvous", "asynchronous"] {
+            if let Some(r) = v.get(key).filter(|r| !matches!(r, Json::Null)) {
+                let states = r.get("states").and_then(Json::as_u64).unwrap_or(0);
+                let outcome = r
+                    .path("outcome.outcome")
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .or_else(|| r.get("outcome").and_then(Json::as_str).map(str::to_string))
+                    .unwrap_or_else(|| "?".to_string());
+                println!("- {key}: {states} states, {outcome}");
+            }
+        }
+    }
+    if let Some((raw, _)) = &status {
+        println!("\n## Final status\n");
+        match RunStatus::parse(raw) {
+            Ok(st) => println!("```\n{}\n```", render_status(&st)),
+            Err(e) => {
+                eprintln!("ccr: report: status.json: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some((_, mjson)) = &metrics {
+        if let Some(phases) = mjson.get("phases").and_then(Json::as_object) {
+            println!("\n## Phases\n");
+            println!("| phase | calls | seconds |");
+            println!("|---|---|---|");
+            for (name, v) in phases {
+                let calls = v.get("calls").and_then(Json::as_u64).unwrap_or(0);
+                if let Some(nanos) = v.get("nanos").and_then(Json::as_u64) {
+                    println!("| {name} | {calls} | {:.4} |", nanos as f64 / 1e9);
+                }
+            }
+        }
+    }
+    if let Some(agg) = &profile {
+        println!("\n## Profile\n");
+        let grand = agg.total_nanos();
+        println!("| worker | secs | breakdown |");
+        println!("|---|---|---|");
+        for w in &agg.workers {
+            let total = w.total_nanos().max(1);
+            let cells: Vec<String> = SpanKind::ALL
+                .iter()
+                .filter(|k| w.kind(**k).nanos > 0)
+                .map(|k| {
+                    format!("{} {:.1}%", k.name(), w.kind(*k).nanos as f64 * 100.0 / total as f64)
+                })
+                .collect();
+            println!("| {} | {:.4} | {} |", w.worker, total as f64 / 1e9, cells.join(", "));
+        }
+        println!(
+            "\nShip + drain + barrier-wait share of worker time: \
+             **{:.1}%**",
+            share(sync_overhead_nanos(agg), grand) * 100.0
+        );
+    }
+    if !trace_counts.is_empty() {
+        println!("\n## Trace\n");
+        for (k, n) in &trace_counts {
+            println!("- {k}: {n}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     // `ccr bench diff` takes no spec file and none of the pipeline
     // flags; dispatch before the regular argument parse.
@@ -565,9 +1061,23 @@ fn main() -> ExitCode {
     if argv.first().map(String::as_str) == Some("bench") {
         return ccr_bench::diff::cli(&argv[1..]);
     }
+    // Same for `watch` and `report`: they operate on run artifacts, not
+    // on a spec file.
+    if argv.first().map(String::as_str) == Some("watch") {
+        return cmd_watch(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("report") {
+        return cmd_report(&argv[1..]);
+    }
     let Some(args) = parse_args() else {
         return usage();
     };
+    if let Some(dir) = &args.run_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("ccr: cannot create {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     // One registry for the whole invocation: real when `--metrics` asked
     // for a snapshot, null (every record a no-op) otherwise.
     let registry = if args.metrics.is_some() { Registry::new() } else { Registry::disabled() };
@@ -700,8 +1210,13 @@ fn main() -> ExitCode {
             let mut beats: Box<dyn TraceSink> =
                 if args.progress { Box::new(ProgressSink) } else { Box::new(NullSink) };
             let mut tee = TeeSink(&mut *file, &mut *beats);
+            let run_started = Instant::now();
+            let profiler =
+                if args.profile.is_some() { Profiler::new() } else { Profiler::disabled() };
+            let status_writer: Option<StatusWriter> =
+                args.status.as_ref().map(|p| StatusWriter::create(p.as_str()));
 
-            let threads = args.threads;
+            let threads = args.engine_threads();
             // `auto` reduces unless a fault flag is present: the fault
             // phases explore per-link fault ledgers that break remote
             // interchangeability (docs/symmetry.md), and mixing reduced
@@ -740,19 +1255,33 @@ fn main() -> ExitCode {
                 }
             }
             let rv = RendezvousSystem::new(&spec, n);
-            let r = {
-                let _p = registry.phase("explore/rendezvous");
-                let mut obs =
-                    SearchObserver::with_metrics(&mut tee, HEARTBEAT_EVERY, registry.clone());
-                explore_cli_sym(&rv, reduce, &budget, threads, &mut obs, &registry)
-            };
-            if human {
-                println!("rendezvous level  (n={n}): {} states, {:?}", r.states, r.outcome);
-                if r.trail.is_some() {
-                    println!("{}", r.trail_text());
+            // `--async` skips the rendezvous level (and the checks that
+            // need it): the async exploration alone, for profiling and
+            // benchmarking the parallel engine.
+            let r: Option<TracedReport> = if args.async_only {
+                None
+            } else {
+                let rr = {
+                    let _p = registry.phase("explore/rendezvous");
+                    let mut obs = observer(
+                        &mut tee,
+                        &registry,
+                        &profiler,
+                        &args,
+                        &status_writer,
+                        "explore/rendezvous",
+                    );
+                    explore_cli_sym(&rv, reduce, &budget, threads, &mut obs, &registry)
+                };
+                if human {
+                    println!("rendezvous level  (n={n}): {} states, {:?}", rr.states, rr.outcome);
+                    if rr.trail.is_some() {
+                        println!("{}", rr.trail_text());
+                    }
                 }
-            }
-            let r_ok = r.outcome.is_complete();
+                Some(rr)
+            };
+            let r_ok = r.as_ref().map(|x| x.outcome.is_complete()).unwrap_or(true);
 
             let asys = AsyncSystem::new(&refined, n, AsyncConfig::default());
             let mut a = None;
@@ -761,8 +1290,14 @@ fn main() -> ExitCode {
             if r_ok {
                 let ar = {
                     let _p = registry.phase("explore/async");
-                    let mut obs =
-                        SearchObserver::with_metrics(&mut tee, HEARTBEAT_EVERY, registry.clone());
+                    let mut obs = observer(
+                        &mut tee,
+                        &registry,
+                        &profiler,
+                        &args,
+                        &status_writer,
+                        "explore/async",
+                    );
                     explore_cli_sym(&asys, reduce, &budget, threads, &mut obs, &registry)
                 };
                 if human {
@@ -773,7 +1308,7 @@ fn main() -> ExitCode {
                 }
                 let a_ok = ar.outcome.is_complete();
                 a = Some(ar);
-                if a_ok {
+                if a_ok && !args.async_only {
                     let s = {
                         let _p = registry.phase("check/equation1");
                         check_simulation(&asys, &rv, &budget)
@@ -795,10 +1330,13 @@ fn main() -> ExitCode {
                     if s_ok {
                         let p = {
                             let _p = registry.phase("check/progress");
-                            let mut obs = SearchObserver::with_metrics(
+                            let mut obs = observer(
                                 &mut tee,
-                                HEARTBEAT_EVERY,
-                                registry.clone(),
+                                &registry,
+                                &profiler,
+                                &args,
+                                &status_writer,
+                                "check/progress",
                             );
                             progress_cli_sym(&asys, reduce, &budget, threads, &mut obs, &registry)
                         };
@@ -815,25 +1353,32 @@ fn main() -> ExitCode {
                     }
                 }
             }
-            let clean_ok = r_ok
-                && a.as_ref().map(|x| x.outcome.is_complete()).unwrap_or(false)
-                && sim.as_ref().map(|x| x.holds()).unwrap_or(false)
-                && prog.as_ref().map(|x| x.holds()).unwrap_or(false);
+            let clean_ok = if args.async_only {
+                r_ok && a.as_ref().map(|x| x.outcome.is_complete()).unwrap_or(false)
+            } else {
+                r_ok && a.as_ref().map(|x| x.outcome.is_complete()).unwrap_or(false)
+                    && sim.as_ref().map(|x| x.holds()).unwrap_or(false)
+                    && prog.as_ref().map(|x| x.holds()).unwrap_or(false)
+            };
 
             // Fault phases run only once the clean pipeline has passed:
             // fault tolerance of a protocol that is already broken is
             // meaningless and would only bury the primary counterexample.
+            // `--async` skips them with the rest of the checks.
             let mut fclosure = None;
-            if clean_ok {
+            if clean_ok && !args.async_only {
                 if let Some(f) = args.fault_budget {
                     let fc = {
                         let _p = registry.phase("check/fault-closure");
-                        let mut obs = SearchObserver::with_metrics(
+                        let mut obs = observer(
                             &mut tee,
-                            HEARTBEAT_EVERY,
-                            registry.clone(),
+                            &registry,
+                            &profiler,
+                            &args,
+                            &status_writer,
+                            "check/fault-closure",
                         );
-                        if threads > 1 {
+                        if threads > 0 {
                             check_fault_closure_parallel_observed(
                                 &asys,
                                 f,
@@ -863,7 +1408,7 @@ fn main() -> ExitCode {
             }
             let fclosure_ok = fclosure.as_ref().map(|x| x.holds()).unwrap_or(clean_ok);
             let mut fwalk = None;
-            if clean_ok && fclosure_ok {
+            if clean_ok && fclosure_ok && !args.async_only {
                 if let (Some(rates), Some(spec_text)) = (fault_rates, &args.faults) {
                     let w = {
                         let _p = registry.phase("check/fault-walks");
@@ -910,7 +1455,22 @@ fn main() -> ExitCode {
             let ok = clean_ok
                 && fclosure.as_ref().map(|x| x.holds()).unwrap_or(true)
                 && fwalk.as_ref().map(|x| x.holds()).unwrap_or(true);
-            if args.json {
+
+            // Profiling artifacts: nondet-tagged registry counters (so the
+            // deterministic metrics snapshot is unaffected), the folded-
+            // stack file, and a human attribution table.
+            profiler.publish(&registry);
+            let agg = profiler.aggregate();
+            if human {
+                print_attribution(&agg);
+            }
+            if let Some(path) = &args.profile {
+                if let Err(code) = write_profile(path, &profiler) {
+                    return code;
+                }
+            }
+
+            let json_doc = if args.json || args.run_dir.is_some() {
                 let _p = registry.phase("report");
                 let mut s = Serializer::new();
                 {
@@ -920,22 +1480,54 @@ fn main() -> ExitCode {
                     m.entry("n", &n);
                     m.entry("budget_states", &args.budget);
                     m.entry("optimized", &!args.no_opt);
-                    m.entry("threads", &threads);
+                    m.entry("threads", &args.threads);
                     m.entry("symmetry", if reduce { "on" } else { "off" });
                     m.entry("seed", &args.seed);
+                    m.entry("async_only", &args.async_only);
                     m.entry("rendezvous", &r);
                     m.entry("asynchronous", &a);
                     m.entry("equation1", &sim);
                     m.entry("progress", &prog);
                     m.entry("fault_closure", &fclosure);
                     m.entry("fault_walk", &fwalk);
+                    if !agg.is_empty() {
+                        profile_entry(&mut m, &agg);
+                    }
                     m.entry("holds", &ok);
                     m.end();
                 }
-                println!("{}", s.into_string());
+                Some(s.into_string())
+            } else {
+                None
+            };
+            if args.json {
+                println!("{}", json_doc.as_deref().unwrap());
+            }
+            if let Some(dir) = &args.run_dir {
+                let path = format!("{dir}/verify.json");
+                if let Err(e) = std::fs::write(&path, format!("{}\n", json_doc.as_deref().unwrap()))
+                {
+                    eprintln!("ccr: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
             if let Err(code) = write_metrics(&args, &registry) {
                 return code;
+            }
+
+            // One terminal snapshot for the whole invocation: the exact
+            // async-level state count (the number the verify JSON
+            // reports) with the last live transition count, marked
+            // `finished` so `ccr watch` exits.
+            if let Some(writer) = &status_writer {
+                let (states, transitions, outcome) = match (&a, &r) {
+                    (Some(x), _) => (x.states as u64, x.transitions as u64, x.outcome.clone()),
+                    (None, Some(x)) => (x.states as u64, x.transitions as u64, x.outcome.clone()),
+                    (None, None) => (0, 0, ccr_mc::Outcome::Unfinished),
+                };
+                let mut rep = StatusReporter::new(writer.clone(), &args.file);
+                rep.set_phase("done");
+                rep.finalize(&outcome, states, transitions, run_started.elapsed(), &profiler);
             }
             if ok {
                 ExitCode::SUCCESS
@@ -962,6 +1554,11 @@ fn main() -> ExitCode {
             let mut beats: Box<dyn TraceSink> =
                 if args.progress { Box::new(ProgressSink) } else { Box::new(NullSink) };
             let mut tee = TeeSink(&mut *file, &mut *beats);
+            let run_started = Instant::now();
+            let profiler =
+                if args.profile.is_some() { Profiler::new() } else { Profiler::disabled() };
+            let status_writer: Option<StatusWriter> =
+                args.status.as_ref().map(|p| StatusWriter::create(p.as_str()));
             // `table` reproduces the paper's Table 3, so `auto` keeps the
             // concrete (unreduced) counts; only an explicit `--symmetry
             // on` switches the cells to orbit counts (and only when the
@@ -983,26 +1580,38 @@ fn main() -> ExitCode {
             for n in 1..=args.n {
                 let rv = {
                     let _p = registry.phase("explore/rendezvous");
-                    let mut obs =
-                        SearchObserver::with_metrics(&mut tee, HEARTBEAT_EVERY, registry.clone());
+                    let mut obs = observer(
+                        &mut tee,
+                        &registry,
+                        &profiler,
+                        &args,
+                        &status_writer,
+                        "explore/rendezvous",
+                    );
                     explore_plain_cli_sym(
                         &RendezvousSystem::new(&spec, n),
                         reduce,
                         &budget,
-                        args.threads,
+                        args.engine_threads(),
                         &mut obs,
                         &registry,
                     )
                 };
                 let asy = {
                     let _p = registry.phase("explore/async");
-                    let mut obs =
-                        SearchObserver::with_metrics(&mut tee, HEARTBEAT_EVERY, registry.clone());
+                    let mut obs = observer(
+                        &mut tee,
+                        &registry,
+                        &profiler,
+                        &args,
+                        &status_writer,
+                        "explore/async",
+                    );
                     explore_plain_cli_sym(
                         &AsyncSystem::new(&refined, n, AsyncConfig::default()),
                         reduce,
                         &budget,
-                        args.threads,
+                        args.engine_threads(),
                         &mut obs,
                         &registry,
                     )
@@ -1038,8 +1647,28 @@ fn main() -> ExitCode {
                 }
                 println!("{}", s.into_string());
             }
+            profiler.publish(&registry);
+            if !args.json {
+                print_attribution(&profiler.aggregate());
+            }
+            if let Some(path) = &args.profile {
+                if let Err(code) = write_profile(path, &profiler) {
+                    return code;
+                }
+            }
             if let Err(code) = write_metrics(&args, &registry) {
                 return code;
+            }
+            if let Some(writer) = &status_writer {
+                let (states, transitions, outcome) = rows
+                    .last()
+                    .map(|(_, asy, _)| {
+                        (asy.states as u64, asy.transitions as u64, asy.outcome.clone())
+                    })
+                    .unwrap_or((0, 0, ccr_mc::Outcome::Unfinished));
+                let mut rep = StatusReporter::new(writer.clone(), &args.file);
+                rep.set_phase("done");
+                rep.finalize(&outcome, states, transitions, run_started.elapsed(), &profiler);
             }
             ExitCode::SUCCESS
         }

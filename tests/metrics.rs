@@ -20,7 +20,7 @@ fn serial_snapshot(n: u32) -> ccr_metrics::Snapshot {
     let sys = AsyncSystem::new(&refined, n, AsyncConfig::default());
     let reg = Registry::new();
     let mut null = NullSink;
-    let mut obs = SearchObserver::with_metrics(&mut null, 0, reg.clone());
+    let mut obs = SearchObserver::with_metrics(&mut null, reg.clone());
     let r = explore_observed(&sys, &Budget::default(), |_| None, false, &mut obs);
     assert!(r.outcome.is_complete());
     reg.snapshot()
@@ -31,7 +31,7 @@ fn parallel_snapshot(n: u32, threads: usize) -> ccr_metrics::Snapshot {
     let sys = AsyncSystem::new(&refined, n, AsyncConfig::default());
     let reg = Registry::new();
     let mut null = NullSink;
-    let mut obs = SearchObserver::with_metrics(&mut null, 0, reg.clone());
+    let mut obs = SearchObserver::with_metrics(&mut null, reg.clone());
     let r = explore_parallel_observed(
         &sys,
         &Budget::default(),

@@ -83,7 +83,7 @@ fn broken_spec_same_classification_and_replayable_trail_at_every_thread_count() 
     let mut counts = Vec::new();
     for threads in THREADS {
         let mut null = ccr_trace::NullSink;
-        let mut obs = SearchObserver::new(&mut null, 0);
+        let mut obs = SearchObserver::new(&mut null);
         let par = explore_parallel_traced_observed(
             &sys,
             &budget,

@@ -1,0 +1,149 @@
+//! Profiler guarantees (see docs/observability.md, "Profiling and live
+//! runs"):
+//!
+//! * profiling off is free *and invisible*: byte-identical traces and
+//!   identical deterministic metrics snapshots either way;
+//! * span *counts* are deterministic: compute counts states and encode
+//!   counts transitions, so they match the serial engine at every
+//!   thread count on every shipped spec (timings are wall-clock and
+//!   schedule-dependent — only the counts are pinned);
+//! * the folded-stack encoding round-trips.
+
+use ccr_bench::diff::{diff_strs, DiffOptions};
+use ccr_core::text::parse_validated;
+use ccr_mc::parallel::explore_parallel_observed;
+use ccr_mc::search::{explore_observed, Budget, SearchObserver};
+use ccr_mc::ParallelConfig;
+use ccr_metrics::profile::{parse_folded, ProfileAgg, Profiler, SpanKind};
+use ccr_metrics::Registry;
+use ccr_runtime::rendezvous::RendezvousSystem;
+use ccr_trace::JsonlSink;
+use std::path::Path;
+
+/// Every spec shipped under `specs/`. All of them — including the
+/// deliberately broken one — explore their full reachable set when no
+/// invariant or deadlock check is armed, so the deterministic span
+/// counts are comparable across engines on each.
+const SHIPPED_SPECS: [&str; 6] = [
+    "invalidate.ccp",
+    "migratory.ccp",
+    "migratory_broken.ccp",
+    "migratory_gated.ccp",
+    "token.ccp",
+    "update.ccp",
+];
+
+fn spec_text(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("specs").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// One traced, metered exploration of the migratory rendezvous space,
+/// with or without a live profiler. Returns (trace bytes, snapshot
+/// JSON).
+fn traced_metered_run(profile: bool) -> (Vec<u8>, String) {
+    let spec = parse_validated(&spec_text("migratory.ccp")).expect("parse");
+    let sys = RendezvousSystem::new(&spec, 3);
+    let registry = Registry::new();
+    let profiler = if profile { Profiler::new() } else { Profiler::disabled() };
+    let mut sink = JsonlSink::new(Vec::new());
+    {
+        let mut obs = SearchObserver::with_metrics(&mut sink, registry.clone())
+            .with_profiler(profiler.clone());
+        explore_observed(&sys, &Budget::default(), |_| None, false, &mut obs);
+    }
+    profiler.publish(&registry);
+    (sink.into_inner().expect("vec sink"), registry.snapshot().to_json())
+}
+
+#[test]
+fn profiling_off_is_invisible_in_traces_and_deterministic_snapshots() {
+    let (trace_off, snap_off) = traced_metered_run(false);
+    let (trace_on, snap_on) = traced_metered_run(true);
+    assert!(!trace_off.is_empty());
+    assert_eq!(trace_off, trace_on, "profiling must not perturb the trace stream byte for byte");
+    // The profiler publishes only nondeterministic-tagged counters, so
+    // the deterministic view of the two snapshots must be identical
+    // (`ccr bench diff` skips nondet-tagged metrics).
+    let rep = diff_strs(&snap_off, &snap_on, &DiffOptions::default()).expect("comparable");
+    assert!(rep.ok(), "deterministic snapshot drifted with profiling on: {:?}", rep.regressions);
+    let rep = diff_strs(&snap_on, &snap_off, &DiffOptions::default()).expect("comparable");
+    assert!(rep.ok(), "deterministic snapshot drifted with profiling off: {:?}", rep.regressions);
+}
+
+/// Deterministic span counts of one profiled run: (compute, encode).
+fn span_counts(sys: &RendezvousSystem<'_>, threads: usize) -> (u64, u64) {
+    let profiler = Profiler::new();
+    let mut null = ccr_trace::NullSink;
+    {
+        let mut obs = SearchObserver::new(&mut null).with_profiler(profiler.clone());
+        if threads == 0 {
+            explore_observed(sys, &Budget::default(), |_| None, false, &mut obs);
+        } else {
+            explore_parallel_observed(
+                sys,
+                &Budget::default(),
+                |_| None,
+                false,
+                &ParallelConfig::threads(threads),
+                &mut obs,
+            );
+        }
+    }
+    let agg = profiler.aggregate();
+    (agg.kind(SpanKind::Compute).count, agg.kind(SpanKind::Encode).count)
+}
+
+#[test]
+fn deterministic_span_counts_match_serial_at_every_thread_count() {
+    for name in SHIPPED_SPECS {
+        let spec = parse_validated(&spec_text(name)).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let sys = RendezvousSystem::new(&spec, 2);
+        let serial = span_counts(&sys, 0);
+        assert!(serial.0 > 0, "{name}: empty exploration");
+        for threads in [1, 2, 4] {
+            let parallel = span_counts(&sys, threads);
+            assert_eq!(
+                serial, parallel,
+                "{name}: (compute, encode) span counts diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn folded_stacks_round_trip_through_the_parser() {
+    let spec = parse_validated(&spec_text("migratory.ccp")).expect("parse");
+    let sys = RendezvousSystem::new(&spec, 2);
+    let profiler = Profiler::new();
+    let mut null = ccr_trace::NullSink;
+    {
+        let mut obs = SearchObserver::new(&mut null).with_profiler(profiler.clone());
+        explore_parallel_observed(
+            &sys,
+            &Budget::default(),
+            |_| None,
+            false,
+            &ParallelConfig::threads(2),
+            &mut obs,
+        );
+    }
+    let agg = profiler.aggregate();
+    let folded = profiler.folded();
+    assert!(!folded.is_empty());
+    let reparsed =
+        ProfileAgg::from_folded(&parse_folded(&folded).expect("parse")).expect("aggregate");
+    assert_eq!(agg.workers.len(), reparsed.workers.len());
+    for (a, b) in agg.workers.iter().zip(&reparsed.workers) {
+        assert_eq!(a.worker, b.worker);
+        for kind in SpanKind::ALL {
+            assert_eq!(
+                a.kind(kind).nanos,
+                b.kind(kind).nanos,
+                "worker {} {} nanos drifted through the folded encoding",
+                a.worker,
+                kind.name()
+            );
+        }
+    }
+}

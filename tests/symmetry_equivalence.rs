@@ -156,7 +156,7 @@ fn broken_spec_reduced_search_finds_replayable_concrete_deadlock() {
         assert_eq!(serial.outcome, full.outcome, "n={n}: reduced violation kind");
 
         let mut null = ccr_trace::NullSink;
-        let mut obs = SearchObserver::new(&mut null, 0);
+        let mut obs = SearchObserver::new(&mut null);
         let par = explore_parallel_traced_observed(
             &red,
             &budget,
