@@ -38,12 +38,19 @@
 //! `migratory_async_n3_sym` re-runs the headline space under the
 //! symmetry reduction (`ccr_mc::Reduced`): its `states` value is the
 //! orbit count, so the gate also pins the reduction factor.
+//! `migratory_async_n3_spill` re-runs it through the persistence layer
+//! with a deliberately tiny in-memory budget (`docs/persistence.md`):
+//! the gated counts pin "spilling does not change the answer", and its
+//! `spill` submap records the (ungated) spill/recovery overhead.
 
 use ccr_bench::configs;
 use ccr_mc::parallel::explore_parallel_observed;
 use ccr_mc::progress::check_progress_default;
-use ccr_mc::search::{explore_observed, explore_plain, Budget, SearchObserver};
-use ccr_mc::{explore_parallel, ExploreReport, ParallelConfig, Reduced};
+use ccr_mc::search::{
+    explore_observed, explore_observed_persist, explore_plain, report_from_manifest, Budget,
+    PersistOpts, SearchObserver, SerialPersist, SerialPersistOpen,
+};
+use ccr_mc::{explore_parallel, CrashSwitch, ExploreReport, ParallelConfig, Reduced};
 use ccr_metrics::profile::{ProfileAgg, Profiler, SpanKind};
 use ccr_protocols::invalidate::{invalidate_refined, InvalidateOptions};
 use ccr_protocols::migratory::{migratory_refined, MigratoryOptions};
@@ -52,7 +59,8 @@ use ccr_runtime::TransitionSystem;
 use ccr_trace::NullSink;
 use serde::{MapSer, Serializer};
 use std::collections::{HashSet, VecDeque};
-use std::time::Instant;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 /// Fastest-of-N repetitions, to strip scheduler noise from the ratios.
 const REPEATS: usize = 3;
@@ -344,6 +352,120 @@ where
     Workload { name, description, serial, parallel, encoded_len: enc.len(), phases, attribution }
 }
 
+/// In-memory byte budget of the spill workload: far below the headline
+/// space's ~2 MB of encoded states, so the arena evicts almost every
+/// payload to the on-disk log and interior dedup re-reads hit disk.
+const SPILL_EVICT_BYTES: usize = 64 * 1024;
+/// Checkpoint cadence of the spill workload. Frequent enough that a
+/// sub-second run commits several manifests, without syncing per
+/// expansion.
+const SPILL_CHECKPOINT_MS: u64 = 10;
+
+/// The headline space explored through the persistence layer
+/// (`docs/persistence.md`) under [`SPILL_EVICT_BYTES`]. The
+/// `states`/`transitions` counts are gated exactly by `ccr bench diff`
+/// — spilling must not change the answer — while the `spill` submap
+/// records the overhead axes (wall-time ratio against the in-memory
+/// serial engine, committed log bytes, finished-checkpoint restore
+/// time), which are timing-based and not gated.
+struct SpillWorkload {
+    name: &'static str,
+    description: &'static str,
+    report: ExploreReport,
+    encoded_len: usize,
+    in_memory_secs: f64,
+    spill_secs: f64,
+    log_bytes: u64,
+    restore_secs: f64,
+}
+
+fn run_spill_workload<T>(name: &'static str, description: &'static str, sys: &T) -> SpillWorkload
+where
+    T: TransitionSystem + Sync,
+    T::State: Send,
+{
+    let budget = Budget::states(3_000_000);
+    let in_memory = measure_serial(sys, &budget);
+    let dir = std::env::temp_dir().join(format!("ccr-mc-perf-spill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = |resume: bool| PersistOpts {
+        interval: Duration::from_millis(SPILL_CHECKPOINT_MS),
+        evict_at: SPILL_EVICT_BYTES,
+        resume,
+        crash: CrashSwitch::after(None),
+    };
+    // Best-of-[`REPEATS`] persisted runs, each into a fresh directory
+    // (reusing one would turn later repetitions into resumes).
+    let mut best: Option<(f64, PathBuf, ExploreReport)> = None;
+    for rep in 0..REPEATS {
+        let root = dir.join(format!("rep{rep}"));
+        std::fs::create_dir_all(&root).expect("create spill dir");
+        let t = Instant::now();
+        let report = {
+            let SerialPersistOpen::Run(mut p) =
+                SerialPersist::open(&root, &opts(false)).expect("open spill store")
+            else {
+                panic!("{name}: a fresh spill dir cannot hold a finished run");
+            };
+            let mut null = NullSink;
+            let mut obs = SearchObserver::new(&mut null);
+            explore_observed_persist(sys, &budget, |_| None, false, &mut obs, &mut p)
+        };
+        let secs = t.elapsed().as_secs_f64();
+        assert!(
+            report.outcome.is_complete(),
+            "{name}: spill run must finish, got {:?}",
+            report.outcome
+        );
+        assert_eq!(report.states, in_memory.report.states, "{name}: spill states diverged");
+        assert_eq!(
+            report.transitions, in_memory.report.transitions,
+            "{name}: spill transitions diverged"
+        );
+        if best.as_ref().is_none_or(|(b, _, _)| secs < *b) {
+            best = Some((secs, root, report));
+        }
+    }
+    let (spill_secs, best_root, report) = best.expect("at least one repeat");
+    let log_bytes = std::fs::metadata(best_root.join("log")).expect("spill log exists").len();
+    // Restoring the finished checkpoint replays no search: it reads the
+    // terminal manifest back into a report.
+    let t = Instant::now();
+    let SerialPersistOpen::Finished(manifest) =
+        SerialPersist::open(&best_root, &opts(true)).expect("reopen finished spill store")
+    else {
+        panic!("{name}: a finished run must restore from its manifest");
+    };
+    let restore_secs = t.elapsed().as_secs_f64();
+    let restored = report_from_manifest(&manifest);
+    assert_eq!(restored.states, report.states, "{name}: restored states diverged");
+    assert_eq!(restored.transitions, report.transitions, "{name}: restored transitions diverged");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut enc = Vec::new();
+    sys.encode(&sys.initial(), &mut enc);
+    let in_memory_secs = in_memory.report.elapsed.as_secs_f64();
+    eprintln!(
+        "{name}: {} states; in-memory {:.3}s, spilled {:.3}s ({:.2}x), \
+         log {} KiB, restore {:.4}s",
+        report.states,
+        in_memory_secs,
+        spill_secs,
+        spill_secs / in_memory_secs.max(1e-9),
+        log_bytes / 1024,
+        restore_secs,
+    );
+    SpillWorkload {
+        name,
+        description,
+        report,
+        encoded_len: enc.len(),
+        in_memory_secs,
+        spill_secs,
+        log_bytes,
+        restore_secs,
+    }
+}
+
 fn out_path() -> String {
     let args: Vec<String> = std::env::args().collect();
     match args.iter().position(|a| a == "--out") {
@@ -418,9 +540,21 @@ fn main() {
             &red_n3,
         ));
     }
-    if workloads.is_empty() {
+    // The headline space once more, through the persistence layer with
+    // a deliberately tiny in-memory budget: the counts pin "spilling
+    // does not change the answer", the `spill` submap records the
+    // overhead.
+    let spill_name = "migratory_async_n3_spill";
+    let spill = filter.as_deref().is_none_or(|f| f == spill_name).then(|| {
+        run_spill_workload(
+            spill_name,
+            "headline space through the persistence layer, 64 KiB in-memory budget",
+            &mig_n3,
+        )
+    });
+    if workloads.is_empty() && spill.is_none() {
         eprintln!(
-            "no workload named {:?}; known: {}, {sym_name}",
+            "no workload named {:?}; known: {}, {sym_name}, {spill_name}",
             filter.unwrap_or_default(),
             defs.map(|(n, _, _)| n).join(", ")
         );
@@ -537,6 +671,30 @@ fn main() {
                         // Share of the gap in engine-coordination spans
                         // alone (ship + drain + barrier-wait).
                         e.entry("overhead_explained", &if gap > 0.0 { sync / gap } else { 0.0 });
+                        e.end();
+                    });
+                    row.end();
+                });
+            }
+            if let Some(sw) = &spill {
+                seq.elem_with(|ser| {
+                    let mut row = ser.begin_map();
+                    row.entry("name", sw.name);
+                    row.entry("description", sw.description);
+                    row.entry("states", &sw.report.states);
+                    row.entry("transitions", &sw.report.transitions);
+                    row.entry("encoded_len_bytes", &sw.encoded_len);
+                    // Spill/recovery overhead: wall-clock timings, not
+                    // gated by `ccr bench diff` (the counts above are).
+                    row.entry_with("spill", |ser| {
+                        let mut e = ser.begin_map();
+                        e.entry("evict_bytes", &SPILL_EVICT_BYTES);
+                        e.entry("checkpoint_interval_ms", &SPILL_CHECKPOINT_MS);
+                        e.entry("in_memory_secs", &sw.in_memory_secs);
+                        e.entry("spill_secs", &sw.spill_secs);
+                        e.entry("overhead_ratio", &(sw.spill_secs / sw.in_memory_secs.max(1e-9)));
+                        e.entry("log_bytes", &sw.log_bytes);
+                        e.entry("restore_secs", &sw.restore_secs);
                         e.end();
                     });
                     row.end();

@@ -168,6 +168,23 @@ impl Env {
             v.encode(out);
         }
     }
+
+    /// Inverse of [`Env::encode`] for an environment of exactly `n`
+    /// variables: reads `n` values from the front of `bytes`, returning
+    /// the environment and the number of bytes consumed, or `None` when
+    /// the input is truncated or corrupt. The slot count is not part of
+    /// the encoding — it comes from the process declaration, which the
+    /// caller holds.
+    pub fn decode(bytes: &[u8], n: usize) -> Option<(Env, usize)> {
+        let mut slots = Vec::with_capacity(n);
+        let mut off = 0;
+        for _ in 0..n {
+            let (v, used) = Value::decode(bytes.get(off..)?)?;
+            slots.push(v);
+            off += used;
+        }
+        Some((Env { slots }, off))
+    }
 }
 
 #[cfg(test)]

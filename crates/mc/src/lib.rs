@@ -27,6 +27,7 @@
 
 pub mod faultmode;
 pub mod parallel;
+pub mod persist;
 pub mod progress;
 pub mod props;
 pub mod report;
@@ -41,8 +42,12 @@ pub use faultmode::{
     FaultClosureReport,
 };
 pub use parallel::{
-    explore_parallel, explore_parallel_observed, explore_parallel_traced_observed, ParallelConfig,
-    ParallelReport,
+    explore_parallel, explore_parallel_observed, explore_parallel_observed_persist,
+    explore_parallel_traced_observed, explore_parallel_traced_observed_persist, ParallelConfig,
+    ParallelPersist, ParallelPersistOpen, ParallelReport,
+};
+pub use persist::{
+    CrashSwitch, LockGuard, LogTier, Manifest, ManifestWriter, PersistError, PersistStats, PhaseDir,
 };
 pub use progress::{
     check_progress, check_progress_default, check_progress_observed, check_progress_parallel,
@@ -50,12 +55,14 @@ pub use progress::{
 };
 pub use report::{ExploreReport, Outcome, ProgressReport, SimRelReport};
 pub use search::{
-    explore, explore_dfs, explore_observed, Budget, SearchObserver, StatusReporter,
+    explore, explore_dfs, explore_observed, explore_observed_persist, report_from_manifest, Budget,
+    PersistOpts, SearchObserver, SerialPersist, SerialPersistOpen, StatusReporter,
     DEFAULT_HEARTBEAT_INTERVAL,
 };
 pub use symmetry::{
     apply_perm, canonical_encode, canonicalize, spec_permutable, OrbitSample, Reduced, Symmetric,
 };
 pub use trace::{
-    explore_traced, explore_traced_observed, export_trail, replay_trail, TracedReport,
+    explore_traced, explore_traced_observed, explore_traced_observed_persist, export_trail,
+    replay_trail, TracedReport,
 };

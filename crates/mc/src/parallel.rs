@@ -48,8 +48,11 @@
 //! exchange for a much smaller visited set — the escape hatch for spaces
 //! that exceed the byte budget. See `docs/parallel_checking.md`.
 
+use crate::persist::{
+    CrashSwitch, LockGuard, LogTier, Manifest, ManifestWriter, PResult, PersistError, PhaseDir,
+};
 use crate::report::{ExploreReport, Outcome};
-use crate::search::{Budget, SearchObserver};
+use crate::search::{Budget, PersistOpts, SearchObserver};
 use crate::store::{hash_encoded, StateStore};
 use ccr_core::ids::ProcessId;
 use ccr_metrics::profile::{Profiler, SpanKind};
@@ -58,7 +61,10 @@ use ccr_runtime::{Label, LabelKind, TransitionSystem};
 use ccr_trace::NullSink;
 use crossbeam::queue::SegQueue;
 use serde::Serialize;
-use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering::Relaxed, Ordering::SeqCst};
+use std::path::Path;
+use std::sync::atomic::{
+    AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering::Relaxed, Ordering::SeqCst,
+};
 use std::sync::{Barrier, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -292,7 +298,12 @@ struct LocalCounts {
     next: usize,
     frontier_in: usize,
     frontier_out: usize,
-    bytes: usize,
+    /// Signed: a spilling store shrinks when its arena evicts, so the
+    /// per-insert delta can be negative. Flushed into the shared
+    /// `AtomicUsize` by two's-complement wrap, which sums correctly as
+    /// long as the true total stays non-negative (it does: it is a sum
+    /// of store sizes).
+    bytes: isize,
 }
 
 /// A violation observed during the sweep; the engine finishes the level,
@@ -373,6 +384,14 @@ pub(crate) struct Engine<'e, T: TransitionSystem, F, G> {
     pub(crate) budget_hit: AtomicBool,
     metrics: EngineMetrics,
     profiler: Profiler,
+    /// Checkpointing state shared by the workers; `None` runs the engine
+    /// purely in memory.
+    persist: Option<&'e EnginePersist>,
+    /// Whether the frontier and counters were restored from a manifest
+    /// (set by [`Engine::attach_persist`]); a resumed run skips seeding
+    /// and never tracks trails — the recovered states carry no parent
+    /// pointers.
+    resumed: bool,
 }
 
 impl<'e, T, F, G> Engine<'e, T, F, G>
@@ -421,6 +440,8 @@ where
             budget_hit: AtomicBool::new(false),
             metrics: EngineMetrics::new(reg),
             profiler: prof.clone(),
+            persist: None,
+            resumed: false,
         }
     }
 
@@ -433,7 +454,7 @@ where
     }
 
     fn track_trails(&self) -> bool {
-        self.cfg.track_trails || self.is_progress.is_some()
+        (self.cfg.track_trails && !self.resumed) || self.is_progress.is_some()
     }
 
     pub(crate) fn states_total(&self) -> usize {
@@ -476,9 +497,12 @@ where
         local: &mut LocalCounts,
     ) {
         let before = sh.store.approx_bytes();
-        let (idx, is_new) = sh.store.insert_hashed(hash, enc);
+        let (idx, is_new) = sh.store.insert_hashed_depth(hash, enc, depth);
         let dst_ref = pack(shard, idx);
         if is_new {
+            if let Some(p) = self.persist {
+                p.crash.tick();
+            }
             sh.depth.push(depth);
             if self.track_trails() {
                 sh.parents.push(src);
@@ -489,7 +513,7 @@ where
             if self.is_progress.is_some() {
                 sh.flags.push(0);
             }
-            local.bytes += sh.store.approx_bytes() - before;
+            local.bytes += sh.store.approx_bytes() as isize - before as isize;
             local.states += 1;
             local.next += 1;
             local.frontier_in += 1;
@@ -555,7 +579,7 @@ where
         c.next.fetch_add(local.next, Relaxed);
         c.frontier_in.fetch_add(local.frontier_in, Relaxed);
         c.frontier_out.fetch_add(local.frontier_out, Relaxed);
-        c.bytes.fetch_add(local.bytes, Relaxed);
+        c.bytes.fetch_add(local.bytes as usize, Relaxed);
         *local = LocalCounts::default();
     }
 
@@ -774,6 +798,18 @@ where
             // Publish before the barrier: the leader's decision (and any
             // reader after the barrier) then sees exact totals.
             self.flush_counts(w, &mut local);
+            // Export sticky tier I/O errors before the decision barrier —
+            // the leader cannot read our stripes, so the shared error
+            // slot is how a failed writer stops the run.
+            if let Some(p) = self.persist {
+                for g in guards.iter_mut() {
+                    if let Some(tier) = g.store.tier_mut() {
+                        if let Some(e) = tier.take_err() {
+                            p.set_error(e);
+                        }
+                    }
+                }
+            }
             // Level boundary: one leader takes the global decision.
             if self.barrier.wait().is_leader() {
                 self.decide();
@@ -787,6 +823,40 @@ where
                 let sh = &mut **g;
                 debug_assert!(sh.cur.is_empty());
                 std::mem::swap(&mut sh.cur, &mut sh.next);
+            }
+            if let Some(p) = self.persist {
+                if p.ckpt_flag.load(SeqCst) {
+                    // Each worker commits its own shards: sync the log,
+                    // rewrite the index, publish the committed cursor.
+                    for (li, &s) in owned.iter().enumerate() {
+                        if let Some(tier) = guards[li].store.tier_mut() {
+                            let (bytes, records) = tier.sync();
+                            tier.write_idx(&p.dir.idx(s));
+                            if let Some(e) = tier.take_err() {
+                                // Keep the previous committed cursor: the
+                                // old prefix is still valid, the run stops
+                                // at the next decision.
+                                p.set_error(e);
+                            } else {
+                                p.committed[s].0.store(bytes, SeqCst);
+                                p.committed[s].1.store(records, SeqCst);
+                            }
+                        }
+                    }
+                    timer.lap(SpanKind::Checkpoint, 1);
+                    // Third barrier: every shard's cursor is published
+                    // before the manifest that references them is written.
+                    if self.barrier.wait().is_leader() {
+                        if let Err(e) = p.write_manifest(self.started, false, None) {
+                            p.set_error(e);
+                        }
+                        p.ckpt_flag.store(false, SeqCst);
+                    }
+                    // Fourth barrier: nobody appends past the synced
+                    // cursors (or re-reads the flag) until the manifest
+                    // hit disk.
+                    self.barrier.wait();
+                }
             }
             timer.lap(SpanKind::BarrierWait, 1);
         }
@@ -804,9 +874,11 @@ where
         let states = self.states_total();
         let bytes = self.bytes_total();
         let has_violation = !self.violations.lock().expect("violations").is_empty();
+        let persist_err =
+            self.persist.is_some_and(|p| p.error.lock().expect("persist error").is_some());
         let timed_out = self.budget.max_time.map(|t| self.started.elapsed() >= t).unwrap_or(false);
         let over_budget = states >= self.budget.max_states || bytes >= self.budget.max_bytes;
-        let stop = if has_violation {
+        let stop = if persist_err || has_violation {
             true
         } else if over_budget || timed_out || self.stop_mid_level.load(SeqCst) {
             self.budget_hit.store(true, SeqCst);
@@ -814,7 +886,22 @@ where
         } else if next == 0 {
             true
         } else {
-            self.level.fetch_add(1, SeqCst);
+            let new_level = self.level.fetch_add(1, SeqCst) + 1;
+            // Arm a checkpoint while every other worker is parked: the
+            // counters are exact for the level boundary, and the frontier
+            // the manifest will describe is exactly the states at
+            // `new_level` — all inserted, none expanded.
+            if let Some(p) = self.persist {
+                if p.ckpt_due() {
+                    *p.snapshot.lock().expect("ckpt snapshot") = CkptCounts {
+                        states: states as u64,
+                        transitions: self.transitions_total() as u64,
+                        peak: self.peak_frontier.load(SeqCst).max(1) as u64,
+                        level: new_level as u64,
+                    };
+                    p.ckpt_flag.store(true, SeqCst);
+                }
+            }
             false
         };
         self.decision.store(if stop { DECIDE_STOP } else { DECIDE_CONTINUE }, SeqCst);
@@ -896,6 +983,337 @@ where
     pub(crate) fn store_bytes(&self) -> usize {
         self.stripes.iter().map(|s| s.lock().expect("stripe").store.approx_bytes()).sum()
     }
+
+    /// Wires a persistence context into the engine before any worker
+    /// spawns: every shard store gets its disk tier (fresh, or recovered
+    /// from the committed log prefix), and on resume the frontier —
+    /// every recovered state at the manifest's level — and the counters
+    /// are restored so the run continues exactly where the checkpoint
+    /// cut it.
+    pub(crate) fn attach_persist(&mut self, p: &'e ParallelPersist) -> PResult<()> {
+        let keep = p.eng.evict_per_shard == 0;
+        match &p.resume {
+            Some(rs) => {
+                let mut frontier_total = 0usize;
+                let mut bytes_total = 0usize;
+                for s in 0..self.n_shards {
+                    let mut guard = self.stripes[s].lock().expect("stripe");
+                    let sh = &mut *guard;
+                    let (bytes, records) = rs.committed[s];
+                    let tier = LogTier::recover(
+                        p.eng.dir.log(s),
+                        &p.eng.dir.idx(s),
+                        Some(bytes),
+                        p.eng.evict_per_shard,
+                        !keep,
+                        |rec, payload| {
+                            sh.store.rebuild_insert(rec.hash, payload.filter(|_| keep), rec.len);
+                            sh.depth.push(rec.depth);
+                        },
+                    )?;
+                    if tier.records() as u64 != records {
+                        return Err(PersistError::new(
+                            p.eng.dir.log(s),
+                            format!(
+                                "log holds {} committed records, manifest says {records}",
+                                tier.records()
+                            ),
+                        ));
+                    }
+                    sh.store.attach_tier(Box::new(tier));
+                    for i in 0..sh.store.len() as u32 {
+                        if u64::from(sh.depth[i as usize]) != rs.level {
+                            continue;
+                        }
+                        let enc = sh.store.read_entry(i).ok_or_else(|| {
+                            PersistError::new(
+                                p.eng.dir.log(s),
+                                format!("cannot read recovered state {i} back"),
+                            )
+                        })?;
+                        let state = self.sys.decode(&enc).ok_or_else(|| {
+                            PersistError::new(
+                                p.eng.dir.log(s),
+                                format!("recovered state {i} does not decode for this system"),
+                            )
+                        })?;
+                        sh.cur.push((state, i));
+                        frontier_total += 1;
+                    }
+                    bytes_total += sh.store.approx_bytes();
+                    p.eng.committed[s].0.store(bytes, SeqCst);
+                    p.eng.committed[s].1.store(records, SeqCst);
+                }
+                self.counters[0].states.store(rs.states as usize, Relaxed);
+                self.counters[0].transitions.store(rs.transitions as usize, Relaxed);
+                self.counters[0].frontier_in.store(frontier_total, Relaxed);
+                self.counters[0].bytes.store(bytes_total, Relaxed);
+                self.peak_frontier.store(rs.peak as usize, SeqCst);
+                self.level.store(rs.level as usize, SeqCst);
+                self.resumed = true;
+            }
+            None => {
+                for s in 0..self.n_shards {
+                    let mut sh = self.stripes[s].lock().expect("stripe");
+                    let tier = LogTier::create(p.eng.dir.log(s), p.eng.evict_per_shard)?;
+                    sh.store.attach_tier(Box::new(tier));
+                }
+            }
+        }
+        self.persist = Some(&p.eng);
+        Ok(())
+    }
+}
+
+/// Counters frozen at the level boundary a checkpoint describes; the
+/// manifest writer must not re-read the live counters, which other
+/// workers may already be advancing.
+#[derive(Debug, Clone, Copy, Default)]
+struct CkptCounts {
+    states: u64,
+    transitions: u64,
+    peak: u64,
+    level: u64,
+}
+
+/// The persistence state the workers coordinate through: checkpoint
+/// arming, per-shard committed cursors, the frozen counter snapshot,
+/// and the first I/O error (which stops the run at the next level
+/// decision).
+pub(crate) struct EnginePersist {
+    dir: PhaseDir,
+    writer: ManifestWriter,
+    interval: Duration,
+    crash: CrashSwitch,
+    elapsed_base: Duration,
+    evict_per_shard: usize,
+    threads: usize,
+    ckpt_flag: AtomicBool,
+    last_ckpt: Mutex<Instant>,
+    /// Per shard: `(bytes, records)` of the last synced log prefix.
+    committed: Vec<(AtomicU64, AtomicU64)>,
+    snapshot: Mutex<CkptCounts>,
+    error: Mutex<Option<PersistError>>,
+    /// Manifests written (mid-run and terminal), for the stats report.
+    ckpts: AtomicU64,
+}
+
+impl EnginePersist {
+    /// Records the first persistence error; later ones are dropped (they
+    /// are almost always consequences of the first).
+    fn set_error(&self, e: PersistError) {
+        self.error.lock().expect("persist error").get_or_insert(e);
+    }
+
+    /// Whether the wall-clock cadence calls for a checkpoint (leader
+    /// only, between the decision barriers).
+    fn ckpt_due(&self) -> bool {
+        if self.interval.is_zero() {
+            return true;
+        }
+        let mut last = self.last_ckpt.lock().expect("last ckpt");
+        if last.elapsed() >= self.interval {
+            *last = Instant::now();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Atomically replaces the manifest from the frozen snapshot and the
+    /// published per-shard cursors.
+    fn write_manifest(
+        &self,
+        started: Instant,
+        finished: bool,
+        outcome: Option<&Outcome>,
+    ) -> PResult<()> {
+        let snap = *self.snapshot.lock().expect("ckpt snapshot");
+        let committed: Vec<(u64, u64)> =
+            self.committed.iter().map(|(b, r)| (b.load(SeqCst), r.load(SeqCst))).collect();
+        let mut m = Manifest {
+            kind: "parallel".to_string(),
+            finished,
+            outcome_name: outcome.map(|o| o.name().to_string()),
+            outcome_detail: outcome.and_then(Outcome::detail),
+            states: snap.states,
+            transitions: snap.transitions,
+            peak_frontier: snap.peak,
+            elapsed_ms: (self.elapsed_base + started.elapsed()).as_millis() as u64,
+            head: 0,
+            level: snap.level,
+            threads: self.threads as u64,
+            shards: committed.len() as u64,
+            committed,
+            evict: self.evict_per_shard > 0,
+            ..Manifest::default()
+        };
+        self.writer.write(&mut m)?;
+        self.ckpts.fetch_add(1, SeqCst);
+        Ok(())
+    }
+}
+
+/// Frontier and counters of the manifest a resumed run continues from.
+struct ResumeData {
+    level: u64,
+    states: u64,
+    transitions: u64,
+    peak: u64,
+    committed: Vec<(u64, u64)>,
+}
+
+/// Result of opening a parallel persistence directory: either a context
+/// to run with, or the terminal manifest of a phase that already
+/// finished.
+pub enum ParallelPersistOpen {
+    /// Run (fresh or resumed) with this context.
+    Run(Box<ParallelPersist>),
+    /// A prior run already finished with this manifest.
+    Finished(Manifest),
+}
+
+/// Parallel-engine persistence: the phase directory (one log + index
+/// per shard), its writer lock, and the shared worker-coordination
+/// state. Checkpoints land at level boundaries — the natural
+/// determinism cut of a level-synchronized search — so a resumed run
+/// reproduces the uninterrupted run's counts and outcome exactly, at
+/// any thread count (the shard count must match; it fixes the
+/// state-to-log mapping).
+pub struct ParallelPersist {
+    eng: EnginePersist,
+    _lock: LockGuard,
+    resume: Option<ResumeData>,
+}
+
+impl ParallelPersist {
+    /// Opens (or creates) the phase directory at `root`, acquiring the
+    /// writer lock. With [`PersistOpts::resume`] and an existing
+    /// manifest every shard log is recovered to its committed prefix; a
+    /// finished manifest returns [`ParallelPersistOpen::Finished`]
+    /// instead. Without `resume` any stale files are wiped. The byte
+    /// budget `opts.evict_at` is split evenly across the shards.
+    pub fn open(
+        root: &Path,
+        opts: &PersistOpts,
+        cfg: &ParallelConfig,
+    ) -> PResult<ParallelPersistOpen> {
+        let shards = cfg.shard_count();
+        let dir = PhaseDir::create(root, shards)?;
+        let lock = LockGuard::acquire(dir.lock())?;
+        let prior = if opts.resume { Manifest::read(&dir.manifest())? } else { None };
+        let (resume, elapsed_base, seq0) = match prior {
+            Some(m) if m.finished => return Ok(ParallelPersistOpen::Finished(m)),
+            Some(m) => {
+                if m.kind != "parallel" {
+                    return Err(PersistError::new(
+                        dir.manifest(),
+                        format!("manifest kind `{}`, expected `parallel`", m.kind),
+                    ));
+                }
+                if m.shards as usize != shards || m.committed.len() != shards {
+                    return Err(PersistError::new(
+                        dir.manifest(),
+                        format!(
+                            "checkpoint used {} shards, this run {shards}: the shard count \
+                             fixes the state-to-log mapping and cannot change across a resume",
+                            m.shards
+                        ),
+                    ));
+                }
+                (
+                    Some(ResumeData {
+                        level: m.level,
+                        states: m.states,
+                        transitions: m.transitions,
+                        peak: m.peak_frontier,
+                        committed: m.committed.clone(),
+                    }),
+                    Duration::from_millis(m.elapsed_ms),
+                    m.seq,
+                )
+            }
+            None => {
+                dir.wipe()?;
+                (None, Duration::ZERO, 0)
+            }
+        };
+        let evict_per_shard = if opts.evict_at == 0 { 0 } else { (opts.evict_at / shards).max(1) };
+        let writer = ManifestWriter::create(dir.manifest(), seq0);
+        Ok(ParallelPersistOpen::Run(Box::new(ParallelPersist {
+            eng: EnginePersist {
+                dir,
+                writer,
+                interval: opts.interval,
+                crash: opts.crash.clone(),
+                elapsed_base,
+                evict_per_shard,
+                threads: cfg.threads.max(1),
+                ckpt_flag: AtomicBool::new(false),
+                last_ckpt: Mutex::new(Instant::now()),
+                committed: (0..shards).map(|_| (AtomicU64::new(0), AtomicU64::new(0))).collect(),
+                snapshot: Mutex::new(CkptCounts::default()),
+                error: Mutex::new(None),
+                ckpts: AtomicU64::new(0),
+            },
+            _lock: lock,
+            resume,
+        })))
+    }
+
+    /// Search time accumulated by prior runs of this phase.
+    pub fn elapsed_base(&self) -> Duration {
+        self.eng.elapsed_base
+    }
+
+    /// Concludes a finished run (workers have exited, stripes are free):
+    /// syncs every shard tier, writes the terminal manifest and folds
+    /// the tier counters into `reg`. Any persistence error — sticky from
+    /// the run or fresh from this final sync — replaces the outcome with
+    /// [`Outcome::PersistFailure`] and leaves the last mid-run manifest
+    /// in place, so the phase stays resumable.
+    fn conclude<T, F, G>(&self, engine: &Engine<'_, T, F, G>, outcome: &mut Outcome, reg: &Registry)
+    where
+        T: TransitionSystem + Sync,
+        T::State: Send,
+        F: Fn(&T::State) -> Option<String> + Sync,
+        G: Fn(&Label) -> bool + Sync,
+    {
+        let mut stats = crate::persist::PersistStats::default();
+        let mut err: Option<PersistError> = self.eng.error.lock().expect("persist error").take();
+        for s in 0..self.eng.committed.len() {
+            let mut sh = engine.stripes[s].lock().expect("stripe");
+            if let Some(tier) = sh.store.tier_mut() {
+                let (bytes, records) = tier.sync();
+                tier.write_idx(&self.eng.dir.idx(s));
+                if let Some(e) = tier.take_err() {
+                    err.get_or_insert(e);
+                } else {
+                    self.eng.committed[s].0.store(bytes, SeqCst);
+                    self.eng.committed[s].1.store(records, SeqCst);
+                }
+                stats.merge(&tier.stats());
+            }
+        }
+        *self.eng.snapshot.lock().expect("ckpt snapshot") = CkptCounts {
+            states: engine.states_total() as u64,
+            transitions: engine.transitions_total() as u64,
+            peak: engine.peak_frontier.load(SeqCst).max(1) as u64,
+            level: engine.level.load(SeqCst) as u64,
+        };
+        if err.is_none() {
+            if let Err(e) = self.eng.write_manifest(engine.started, true, Some(outcome)) {
+                err = Some(e);
+            }
+        }
+        if let Some(e) = err {
+            if !matches!(outcome, Outcome::PersistFailure(_)) {
+                *outcome = Outcome::PersistFailure(e.to_string());
+            }
+        }
+        stats.checkpoints += self.eng.ckpts.load(SeqCst);
+        stats.publish(reg);
+    }
 }
 
 /// Runs the engine to completion: seeds, spawns the scoped workers,
@@ -914,7 +1332,10 @@ where
     G: Fn(&Label) -> bool + Sync,
 {
     let reg = obs.metrics().clone();
-    if let Some(v) = engine.seed() {
+    if engine.resumed {
+        // The frontier and counters were restored from the manifest by
+        // `attach_persist`; re-seeding would double-count the root.
+    } else if let Some(v) = engine.seed() {
         record_parallel_run(engine, &reg);
         return (v, engine.track_trails().then(Vec::new), Vec::new());
     }
@@ -1087,6 +1508,103 @@ where
 {
     let cfg = cfg.clone().with_trails();
     let report = run_assembled(sys, budget, &invariant, check_deadlock, &cfg, obs);
+    crate::trace::conclude_with_trail(sys, &report.outcome, report.trail.as_deref(), obs);
+    report
+}
+
+/// The persist analog of [`run_assembled`]: attach the tiers (recovering
+/// on resume), run, write the terminal manifest.
+fn run_assembled_persist<T, F>(
+    sys: &T,
+    budget: &Budget,
+    invariant: &F,
+    check_deadlock: bool,
+    cfg: &ParallelConfig,
+    obs: &mut SearchObserver<'_>,
+    persist: &ParallelPersist,
+) -> ParallelReport
+where
+    T: TransitionSystem + Sync,
+    T::State: Send,
+    F: Fn(&T::State) -> Option<String> + Sync,
+{
+    let mut engine: Engine<'_, T, F, fn(&Label) -> bool> = Engine::new(
+        sys,
+        budget,
+        invariant,
+        None,
+        check_deadlock,
+        cfg,
+        obs.metrics(),
+        obs.profiler(),
+    );
+    if let Err(e) = engine.attach_persist(persist) {
+        return ParallelReport {
+            states: 0,
+            transitions: 0,
+            elapsed: Duration::ZERO,
+            store_bytes: 0,
+            peak_frontier: 0,
+            outcome: Outcome::PersistFailure(e.to_string()),
+            depth: 0,
+            threads: cfg.threads.max(1),
+            shards: cfg.shard_count(),
+            probabilistic: cfg.compact_hash,
+            trail: None,
+        };
+    }
+    let (mut outcome, trail, _) = run(&engine, obs);
+    persist.conclude(&engine, &mut outcome, obs.metrics());
+    let mut report = assemble(&engine, cfg, outcome, trail);
+    report.elapsed += persist.elapsed_base();
+    report
+}
+
+/// [`explore_parallel_observed`] with persistence: every shard's visited
+/// set is backed by an on-disk log (optionally spilling state bytes once
+/// the RAM budget is crossed), the search checkpoints at level
+/// boundaries, and with [`PersistOpts::resume`] a killed run continues
+/// from its last manifest — reproducing the uninterrupted run's counts
+/// and outcome exactly.
+pub fn explore_parallel_observed_persist<T, F>(
+    sys: &T,
+    budget: &Budget,
+    invariant: F,
+    check_deadlock: bool,
+    cfg: &ParallelConfig,
+    obs: &mut SearchObserver<'_>,
+    persist: &ParallelPersist,
+) -> ParallelReport
+where
+    T: TransitionSystem + Sync,
+    T::State: Send,
+    F: Fn(&T::State) -> Option<String> + Sync,
+{
+    let report = run_assembled_persist(sys, budget, &invariant, check_deadlock, cfg, obs, persist);
+    obs.finish(&report.outcome, None);
+    report
+}
+
+/// [`explore_parallel_traced_observed`] with persistence. Resumed runs
+/// report `trail: None`: the recovered states carry no parent pointers,
+/// so a counterexample cannot be reconstructed across the crash (the
+/// violation itself is still found and reported deterministically).
+pub fn explore_parallel_traced_observed_persist<T, F>(
+    sys: &T,
+    budget: &Budget,
+    invariant: F,
+    check_deadlock: bool,
+    cfg: &ParallelConfig,
+    obs: &mut SearchObserver<'_>,
+    persist: &ParallelPersist,
+) -> ParallelReport
+where
+    T: TransitionSystem + Sync,
+    T::State: Send,
+    F: Fn(&T::State) -> Option<String> + Sync,
+{
+    let cfg = cfg.clone().with_trails();
+    let report = run_assembled_persist(sys, budget, &invariant, check_deadlock, &cfg, obs, persist);
     crate::trace::conclude_with_trail(sys, &report.outcome, report.trail.as_deref(), obs);
     report
 }
@@ -1339,6 +1857,181 @@ mod tests {
         let views: Vec<String> = par.iter().map(|p| p.deterministic().to_json()).collect();
         assert_eq!(views[0], views[1]);
         assert_eq!(views[1], views[2]);
+    }
+
+    fn persist_dir(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ccr-par-persist-{tag}-{}", std::process::id()))
+    }
+
+    fn open_par(
+        root: &Path,
+        opts: &crate::search::PersistOpts,
+        cfg: &ParallelConfig,
+    ) -> ParallelPersist {
+        match ParallelPersist::open(root, opts, cfg).expect("open") {
+            ParallelPersistOpen::Run(p) => *p,
+            ParallelPersistOpen::Finished(_) => panic!("unexpected finished manifest"),
+        }
+    }
+
+    #[test]
+    fn parallel_persisted_run_matches_plain() {
+        let spec = token_spec();
+        let sys = RendezvousSystem::new(&spec, 4);
+        let plain = explore_plain(&sys, &Budget::default());
+        let root = persist_dir("match");
+        for threads in [1usize, 4] {
+            for evict in [0usize, 2048] {
+                let cfg = ParallelConfig::threads(threads);
+                let opts = crate::search::PersistOpts {
+                    interval: Duration::ZERO,
+                    evict_at: evict,
+                    ..Default::default()
+                };
+                let persist = open_par(&root, &opts, &cfg);
+                let mut null = NullSink;
+                let mut obs = SearchObserver::new(&mut null);
+                let par = explore_parallel_observed_persist(
+                    &sys,
+                    &Budget::default(),
+                    |_| None,
+                    false,
+                    &cfg,
+                    &mut obs,
+                    &persist,
+                );
+                assert_eq!(par.outcome, Outcome::Complete, "t={threads} evict={evict}");
+                assert_eq!(par.states, plain.states, "t={threads} evict={evict}");
+                assert_eq!(par.transitions, plain.transitions, "t={threads} evict={evict}");
+                drop(persist);
+                std::fs::remove_dir_all(&root).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_finished_manifest_restores_counts() {
+        let spec = token_spec();
+        let sys = RendezvousSystem::new(&spec, 3);
+        let plain = explore_plain(&sys, &Budget::default());
+        let root = persist_dir("finished");
+        let cfg = ParallelConfig::threads(2);
+        let opts = crate::search::PersistOpts { interval: Duration::ZERO, ..Default::default() };
+        let persist = open_par(&root, &opts, &cfg);
+        let mut null = NullSink;
+        let mut obs = SearchObserver::new(&mut null);
+        explore_parallel_observed_persist(
+            &sys,
+            &Budget::default(),
+            |_| None,
+            false,
+            &cfg,
+            &mut obs,
+            &persist,
+        );
+        drop(persist);
+        let reopen = crate::search::PersistOpts { resume: true, ..opts };
+        match ParallelPersist::open(&root, &reopen, &cfg).expect("reopen") {
+            ParallelPersistOpen::Finished(m) => {
+                assert!(m.finished);
+                assert_eq!(m.states as usize, plain.states);
+                assert_eq!(m.transitions as usize, plain.transitions);
+                let report = crate::search::report_from_manifest(&m);
+                assert_eq!(report.outcome, Outcome::Complete);
+            }
+            ParallelPersistOpen::Run(_) => panic!("expected a finished manifest"),
+        }
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn parallel_resume_from_mid_run_checkpoint_reproduces_counts() {
+        let spec = token_spec();
+        let sys = RendezvousSystem::new(&spec, 4);
+        let plain = explore_plain(&sys, &Budget::default());
+        for (crash_threads, resume_threads, evict) in
+            [(1usize, 4usize, 0usize), (4, 4, 0), (4, 1, 2048)]
+        {
+            let root = persist_dir(&format!("resume-{crash_threads}-{resume_threads}-{evict}"));
+            let opts = crate::search::PersistOpts {
+                interval: Duration::ZERO,
+                evict_at: evict,
+                ..Default::default()
+            };
+            // First leg: run under a state budget that stops mid-space,
+            // then drop WITHOUT a terminal manifest — simulating a kill
+            // after the last level-boundary checkpoint.
+            {
+                let cfg = ParallelConfig::threads(crash_threads);
+                let persist = open_par(&root, &opts, &cfg);
+                let mut null = NullSink;
+                let mut obs = SearchObserver::new(&mut null);
+                let inv = |_: &ccr_runtime::rendezvous::RvState| None;
+                let budget = Budget::states(plain.states / 2);
+                let mut engine: Engine<'_, _, _, fn(&Label) -> bool> = Engine::new(
+                    &sys,
+                    &budget,
+                    &inv,
+                    None,
+                    false,
+                    &cfg,
+                    obs.metrics(),
+                    obs.profiler(),
+                );
+                engine.attach_persist(&persist).expect("attach");
+                let (outcome, _, _) = run(&engine, &mut obs);
+                assert_eq!(outcome, Outcome::Unfinished);
+            }
+            // Second leg: resume with a full budget finishes the space
+            // with exactly the uninterrupted counts.
+            let cfg = ParallelConfig::threads(resume_threads);
+            let reopen = crate::search::PersistOpts { resume: true, ..opts };
+            let persist = open_par(&root, &reopen, &cfg);
+            let mut null = NullSink;
+            let mut obs = SearchObserver::new(&mut null);
+            let par = explore_parallel_observed_persist(
+                &sys,
+                &Budget::default(),
+                |_| None,
+                false,
+                &cfg,
+                &mut obs,
+                &persist,
+            );
+            assert_eq!(par.outcome, Outcome::Complete, "evict={evict}");
+            assert_eq!(par.states, plain.states, "evict={evict}");
+            assert_eq!(par.transitions, plain.transitions, "evict={evict}");
+            drop(persist);
+            std::fs::remove_dir_all(&root).unwrap();
+        }
+    }
+
+    #[test]
+    fn parallel_resume_refuses_a_changed_shard_count() {
+        let spec = token_spec();
+        let sys = RendezvousSystem::new(&spec, 2);
+        let root = persist_dir("shards");
+        let cfg = ParallelConfig { threads: 2, shards: 8, ..ParallelConfig::default() };
+        let opts = crate::search::PersistOpts { interval: Duration::ZERO, ..Default::default() };
+        let persist = open_par(&root, &opts, &cfg);
+        let mut null = NullSink;
+        let mut obs = SearchObserver::new(&mut null);
+        let inv = |_: &ccr_runtime::rendezvous::RvState| None;
+        let budget = Budget::states(4);
+        let mut engine: Engine<'_, _, _, fn(&Label) -> bool> =
+            Engine::new(&sys, &budget, &inv, None, false, &cfg, obs.metrics(), obs.profiler());
+        engine.attach_persist(&persist).expect("attach");
+        let _ = run(&engine, &mut obs);
+        drop(engine);
+        drop(persist);
+        let other = ParallelConfig { threads: 2, shards: 16, ..ParallelConfig::default() };
+        let reopen = crate::search::PersistOpts { resume: true, ..opts };
+        let err = match ParallelPersist::open(&root, &reopen, &other) {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("shard-count change must be refused"),
+        };
+        assert!(err.contains("shard count"), "{err}");
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]

@@ -21,6 +21,11 @@ pub enum Outcome {
     Livelock,
     /// The executor reported an error (a refinement-assumption violation).
     RuntimeFailure(RuntimeError),
+    /// The persistence layer failed (I/O error, corrupt log or manifest);
+    /// carries the diagnostic with the offending path. Counts computed
+    /// before the failure are not trustworthy, so the search aborts with
+    /// this instead of reporting them.
+    PersistFailure(String),
 }
 
 impl Outcome {
@@ -38,6 +43,7 @@ impl Outcome {
             Outcome::Deadlock => "Deadlock",
             Outcome::Livelock => "Livelock",
             Outcome::RuntimeFailure(_) => "RuntimeFailure",
+            Outcome::PersistFailure(_) => "PersistFailure",
         }
     }
 
@@ -46,6 +52,7 @@ impl Outcome {
         match self {
             Outcome::InvariantViolated(d) => Some(d.clone()),
             Outcome::RuntimeFailure(e) => Some(e.to_string()),
+            Outcome::PersistFailure(d) => Some(d.clone()),
             _ => None,
         }
     }
@@ -85,6 +92,7 @@ impl ExploreReport {
             Outcome::Deadlock => "Deadlock".to_string(),
             Outcome::Livelock => "Livelock".to_string(),
             Outcome::RuntimeFailure(e) => format!("Error({e})"),
+            Outcome::PersistFailure(d) => format!("PersistFailure({d})"),
         }
     }
 }

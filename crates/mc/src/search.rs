@@ -5,6 +5,9 @@
 //! memory limit — exceeding it yields [`Outcome::Unfinished`], matching the
 //! paper's "Unfinished" table entries.
 
+use crate::persist::{
+    CrashSwitch, LockGuard, LogTier, Manifest, ManifestWriter, PResult, PersistError, PhaseDir,
+};
 use crate::report::{ExploreReport, Outcome};
 use crate::store::StateStore;
 use ccr_metrics::profile::{Profiler, SpanKind};
@@ -13,6 +16,7 @@ use ccr_metrics::Registry;
 use ccr_runtime::{Label, TransitionSystem};
 use ccr_trace::{NullSink, TraceEvent, TraceSink};
 use std::collections::VecDeque;
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// Inclusive `le` bounds for the store probe-displacement histogram.
@@ -408,6 +412,260 @@ impl<'s> SearchObserver<'s> {
     }
 }
 
+/// Persistence configuration for a search phase, built by the CLI.
+#[derive(Debug, Clone)]
+pub struct PersistOpts {
+    /// Wall-clock checkpoint cadence; `Duration::ZERO` checkpoints at
+    /// every opportunity (every expansion serially, every level in the
+    /// parallel engine).
+    pub interval: Duration,
+    /// Store-byte threshold that evicts the arena to disk; 0 keeps all
+    /// state bytes in RAM (log-only mode: crash-safe, not RAM-capped).
+    pub evict_at: usize,
+    /// Attempt to resume from an existing manifest instead of starting
+    /// fresh.
+    pub resume: bool,
+    /// Simulated kill -9 hook for the crash-recovery harness.
+    pub crash: CrashSwitch,
+}
+
+impl Default for PersistOpts {
+    fn default() -> Self {
+        PersistOpts {
+            interval: Duration::from_secs(1),
+            evict_at: 0,
+            resume: false,
+            crash: CrashSwitch::default(),
+        }
+    }
+}
+
+/// Result of opening a serial persistence directory: either a context
+/// to run with, or the terminal manifest of a phase that already
+/// finished (nothing to re-run — synthesize the report).
+pub enum SerialPersistOpen {
+    /// Run (fresh or resumed) with this context.
+    Run(Box<SerialPersist>),
+    /// A prior run already finished with this manifest.
+    Finished(Manifest),
+}
+
+/// Serial-engine persistence: the phase directory, its writer lock, the
+/// recovered (or fresh) store, and the checkpoint cadence. Threaded
+/// through [`drive`] by the `*_persist` wrappers.
+pub struct SerialPersist {
+    dir: PhaseDir,
+    _lock: LockGuard,
+    writer: ManifestWriter,
+    interval: Duration,
+    crash: CrashSwitch,
+    elapsed_base: Duration,
+    resumed: bool,
+    head0: u32,
+    transitions0: u64,
+    peak0: u64,
+    store: Option<StateStore>,
+    last_ckpt: Instant,
+    countdown: u32,
+}
+
+impl SerialPersist {
+    /// Opens (or creates) the phase directory at `root`, acquiring the
+    /// writer lock. With `opts.resume` and an existing manifest the log
+    /// is recovered and the store rebuilt; a finished manifest returns
+    /// [`SerialPersistOpen::Finished`] instead. Without `opts.resume`
+    /// any stale files are wiped and a fresh log is created.
+    pub fn open(root: &Path, opts: &PersistOpts) -> PResult<SerialPersistOpen> {
+        let dir = PhaseDir::create(root, 1)?;
+        let lock = LockGuard::acquire(dir.lock())?;
+        let prior = if opts.resume { Manifest::read(&dir.manifest())? } else { None };
+        let (store, resumed, head0, transitions0, peak0, elapsed_base, seq0) = match prior {
+            Some(m) if m.finished => return Ok(SerialPersistOpen::Finished(m)),
+            Some(m) => {
+                if m.kind != "serial" {
+                    return Err(PersistError::new(
+                        dir.manifest(),
+                        format!("manifest kind `{}`, expected `serial`", m.kind),
+                    ));
+                }
+                let &(bytes, records) = m.committed.first().ok_or_else(|| {
+                    PersistError::new(dir.manifest(), "manifest has no committed entry")
+                })?;
+                let mut store = StateStore::new();
+                let keep_payloads = opts.evict_at == 0;
+                let tier = LogTier::recover(
+                    dir.log(0),
+                    &dir.idx(0),
+                    Some(bytes),
+                    opts.evict_at,
+                    !keep_payloads,
+                    |rec, payload| {
+                        store.rebuild_insert(rec.hash, payload.filter(|_| keep_payloads), rec.len);
+                    },
+                )?;
+                if tier.records() as u64 != records {
+                    return Err(PersistError::new(
+                        dir.log(0),
+                        format!(
+                            "log holds {} committed records, manifest says {records}",
+                            tier.records()
+                        ),
+                    ));
+                }
+                store.attach_tier(Box::new(tier));
+                (
+                    store,
+                    true,
+                    m.head as u32,
+                    m.transitions,
+                    m.peak_frontier,
+                    Duration::from_millis(m.elapsed_ms),
+                    m.seq,
+                )
+            }
+            None => {
+                dir.wipe()?;
+                let mut store = StateStore::new();
+                store.attach_tier(Box::new(LogTier::create(dir.log(0), opts.evict_at)?));
+                (store, false, 0, 0, 0, Duration::ZERO, 0)
+            }
+        };
+        let writer = ManifestWriter::create(dir.manifest(), seq0);
+        Ok(SerialPersistOpen::Run(Box::new(SerialPersist {
+            dir,
+            _lock: lock,
+            writer,
+            interval: opts.interval,
+            crash: opts.crash.clone(),
+            elapsed_base,
+            resumed,
+            head0,
+            transitions0,
+            peak0,
+            store: Some(store),
+            last_ckpt: Instant::now(),
+            countdown: 1,
+        })))
+    }
+
+    /// Whether a checkpoint is due (wall-clock cadence, probed every few
+    /// expansions like the observer's heartbeat).
+    fn due(&mut self) -> bool {
+        if self.interval.is_zero() {
+            return true;
+        }
+        self.countdown -= 1;
+        if self.countdown != 0 {
+            return false;
+        }
+        self.countdown = PROBE_EVERY;
+        self.last_ckpt.elapsed() >= self.interval
+    }
+
+    /// Syncs the log, rewrites the index and atomically replaces the
+    /// manifest with frontier cursor `head` and the counters so far.
+    fn checkpoint(
+        &mut self,
+        store: &mut StateStore,
+        head: u32,
+        transitions: u64,
+        peak_frontier: u64,
+        elapsed: Duration,
+        finished: Option<&Outcome>,
+    ) -> PResult<()> {
+        let idx_path = self.dir.idx(0);
+        let states = store.len() as u64;
+        let tier = store.tier_mut().expect("persist run without a tier");
+        let (bytes, records) = tier.sync();
+        tier.write_idx(&idx_path);
+        if let Some(e) = tier.take_err() {
+            return Err(e);
+        }
+        tier.stats_mut().checkpoints += 1;
+        let evict = tier.evict_at > 0;
+        let mut m = Manifest {
+            kind: "serial".to_string(),
+            finished: finished.is_some(),
+            outcome_name: finished.map(|o| o.name().to_string()),
+            outcome_detail: finished.and_then(Outcome::detail),
+            states,
+            transitions,
+            peak_frontier,
+            elapsed_ms: (self.elapsed_base + elapsed).as_millis() as u64,
+            head: head as u64,
+            level: 0,
+            threads: 1,
+            shards: 1,
+            committed: vec![(bytes, records)],
+            evict,
+            ..Manifest::default()
+        };
+        self.writer.write(&mut m)?;
+        self.last_ckpt = Instant::now();
+        Ok(())
+    }
+
+    /// Concludes a finished run: writes the terminal manifest and folds
+    /// the tier counters into `reg`. Write errors here are dropped when
+    /// the run already failed with a persistence outcome (the diagnostic
+    /// the user needs is in the outcome).
+    pub(crate) fn conclude(&mut self, run: &mut DriveRun, reg: &Registry) {
+        let head = run.store.len() as u32;
+        let outcome = run.outcome.clone();
+        let res = self.checkpoint(
+            &mut run.store,
+            head,
+            run.transitions as u64,
+            run.peak_frontier as u64,
+            run.elapsed,
+            Some(&outcome),
+        );
+        if let Err(e) = res {
+            if !matches!(run.outcome, Outcome::PersistFailure(_)) {
+                run.outcome = Outcome::PersistFailure(e.to_string());
+            }
+        }
+        if let Some(tier) = run.store.tier() {
+            tier.stats().publish(reg);
+        }
+    }
+
+    /// Search time accumulated by prior runs of this phase.
+    pub fn elapsed_base(&self) -> Duration {
+        self.elapsed_base
+    }
+}
+
+/// Reconstructs an [`ExploreReport`] from the terminal manifest of an
+/// already-finished persisted phase, so `--resume` of a completed run
+/// reports the identical counts without re-searching. A restored
+/// `RuntimeFailure` cannot rebuild its structured error and surfaces as
+/// [`Outcome::PersistFailure`] describing the restoration.
+pub fn report_from_manifest(m: &Manifest) -> ExploreReport {
+    let detail = m.outcome_detail.clone().unwrap_or_default();
+    let outcome = match m.outcome_name.as_deref() {
+        Some("Complete") => Outcome::Complete,
+        Some("Unfinished") => Outcome::Unfinished,
+        Some("Deadlock") => Outcome::Deadlock,
+        Some("Livelock") => Outcome::Livelock,
+        Some("InvariantViolated") => Outcome::InvariantViolated(detail),
+        Some("PersistFailure") => Outcome::PersistFailure(detail),
+        Some(other) => {
+            Outcome::PersistFailure(format!("restored terminal outcome {other}: {detail}"))
+        }
+        None => Outcome::PersistFailure("finished manifest without an outcome".to_string()),
+    };
+    ExploreReport {
+        states: m.states as usize,
+        transitions: m.transitions as usize,
+        elapsed: Duration::from_millis(m.elapsed_ms),
+        store_bytes: 0,
+        peak_frontier: m.peak_frontier as usize,
+        outcome,
+        probabilistic: false,
+    }
+}
+
 /// The raw result of one [`drive`] run: everything the public wrappers
 /// need to shape an [`ExploreReport`] or a
 /// [`crate::trace::TracedReport`], including the final store (for the
@@ -453,6 +711,7 @@ impl DriveRun {
 /// keeping the expansion loop in one place is what lets a state-space
 /// reduction (e.g. [`crate::symmetry`]) slot in under every serial entry
 /// point at once via [`ccr_runtime::TransitionSystem::encode`].
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn drive<T: TransitionSystem>(
     sys: &T,
     budget: &Budget,
@@ -461,9 +720,10 @@ pub(crate) fn drive<T: TransitionSystem>(
     depth_first: bool,
     track_trails: bool,
     obs: &mut SearchObserver<'_>,
+    mut persist: Option<&mut SerialPersist>,
 ) -> DriveRun {
     let started = Instant::now();
-    let mut store = StateStore::new();
+    let mut store = persist.as_deref_mut().and_then(|p| p.store.take()).unwrap_or_default();
     let mut parents: Vec<Option<(u32, Label)>> = Vec::new();
     let mut frontier: VecDeque<(T::State, u32)> = VecDeque::new();
     let mut succs: Vec<(Label, T::State)> = Vec::new();
@@ -471,6 +731,12 @@ pub(crate) fn drive<T: TransitionSystem>(
     let mut transitions = 0usize;
     let mut peak_frontier = 0usize;
     let mut timer = obs.profiler().worker(0);
+    let resumed = persist.as_deref().is_some_and(|p| p.resumed);
+    // A resumed run has no parent pointers for recovered states, so
+    // trail reconstruction is disabled: the counts and outcome are
+    // byte-identical, the counterexample path is only available from an
+    // uninterrupted (or fresh) run.
+    let track_trails = track_trails && !resumed;
 
     macro_rules! done {
         ($outcome:expr, $trail:expr) => {
@@ -485,21 +751,74 @@ pub(crate) fn drive<T: TransitionSystem>(
         };
     }
 
-    let init = sys.initial();
-    sys.encode(&init, &mut enc);
-    store.insert(&enc);
-    if track_trails {
-        parents.push(None);
+    if persist.is_some() && depth_first {
+        done!(
+            Outcome::PersistFailure("depth-first search does not support persistence".into()),
+            None
+        );
     }
-    if let Some(d) = invariant(&init) {
-        done!(Outcome::InvariantViolated(d), track_trails.then(Vec::new));
+
+    if resumed {
+        let p = persist.as_deref().expect("resumed without persist");
+        transitions = p.transitions0 as usize;
+        peak_frontier = p.peak0 as usize;
+        for i in p.head0..store.len() as u32 {
+            let Some(bytes) = store.read_entry(i) else {
+                done!(
+                    Outcome::PersistFailure(format!("cannot read recovered state {i} back")),
+                    None
+                );
+            };
+            let Some(state) = sys.decode(&bytes) else {
+                done!(
+                    Outcome::PersistFailure(format!(
+                        "recovered state {i} does not decode (system without decode support?)"
+                    )),
+                    None
+                );
+            };
+            frontier.push_back((state, i));
+        }
+    } else {
+        let init = sys.initial();
+        sys.encode(&init, &mut enc);
+        store.insert(&enc);
+        if track_trails {
+            parents.push(None);
+        }
+        if let Some(d) = invariant(&init) {
+            done!(Outcome::InvariantViolated(d), track_trails.then(Vec::new));
+        }
+        frontier.push_back((init, 0));
     }
-    frontier.push_back((init, 0));
 
     while let Some((state, idx)) =
         if depth_first { frontier.pop_back() } else { frontier.pop_front() }
     {
         peak_frontier = peak_frontier.max(frontier.len() + 1);
+        if let Some(p) = persist.as_deref_mut() {
+            if store.tier().is_some_and(LogTier::has_err) {
+                let e = store.tier_mut().and_then(LogTier::take_err).expect("sticky error");
+                done!(Outcome::PersistFailure(e.to_string()), None);
+            }
+            // Committing `head = idx` *before* expanding puts the cut
+            // between expansions: a resume re-expands this state against
+            // the already-recovered visited set, reproducing the exact
+            // counters an uninterrupted run reports.
+            if p.due() {
+                if let Err(e) = p.checkpoint(
+                    &mut store,
+                    idx,
+                    transitions as u64,
+                    peak_frontier as u64,
+                    started.elapsed(),
+                    None,
+                ) {
+                    done!(Outcome::PersistFailure(e.to_string()), None);
+                }
+                timer.lap(SpanKind::Checkpoint, 1);
+            }
+        }
         obs.tick_full(
             store.len(),
             frontier.len() + 1,
@@ -523,6 +842,9 @@ pub(crate) fn drive<T: TransitionSystem>(
             let (nidx, is_new) = store.insert(&enc);
             if !is_new {
                 continue;
+            }
+            if let Some(p) = persist.as_deref() {
+                p.crash.tick();
             }
             if track_trails {
                 parents.push(Some((idx, label)));
@@ -574,7 +896,7 @@ pub fn explore_observed<T: TransitionSystem>(
     check_deadlock: bool,
     obs: &mut SearchObserver<'_>,
 ) -> ExploreReport {
-    let run = drive(sys, budget, invariant, check_deadlock, false, false, obs);
+    let run = drive(sys, budget, invariant, check_deadlock, false, false, obs, None);
     obs.finish(&run.outcome, None);
     record_search_run(
         obs.metrics(),
@@ -584,6 +906,34 @@ pub fn explore_observed<T: TransitionSystem>(
         &run.store,
     );
     run.explore_report()
+}
+
+/// [`explore_observed`] running against a persistence context: new
+/// states are logged (and spilled past the eviction threshold), the
+/// frontier is checkpointed on the context's cadence, and a resumed
+/// context continues from its last checkpoint — finishing with the same
+/// states/transitions/outcome as an uninterrupted run.
+pub fn explore_observed_persist<T: TransitionSystem>(
+    sys: &T,
+    budget: &Budget,
+    invariant: impl FnMut(&T::State) -> Option<String>,
+    check_deadlock: bool,
+    obs: &mut SearchObserver<'_>,
+    persist: &mut SerialPersist,
+) -> ExploreReport {
+    let mut run = drive(sys, budget, invariant, check_deadlock, false, false, obs, Some(persist));
+    persist.conclude(&mut run, obs.metrics());
+    obs.finish(&run.outcome, None);
+    record_search_run(
+        obs.metrics(),
+        run.store.len(),
+        run.transitions,
+        run.peak_frontier,
+        &run.store,
+    );
+    let mut report = run.explore_report();
+    report.elapsed += persist.elapsed_base();
+    report
 }
 
 /// Convenience: explore with no invariant and no deadlock check.
@@ -604,7 +954,7 @@ pub fn explore_dfs<T: TransitionSystem>(
 ) -> ExploreReport {
     let mut null = NullSink;
     let mut obs = SearchObserver::new(&mut null);
-    drive(sys, budget, invariant, check_deadlock, true, false, &mut obs).explore_report()
+    drive(sys, budget, invariant, check_deadlock, true, false, &mut obs, None).explore_report()
 }
 
 #[cfg(test)]
@@ -765,6 +1115,135 @@ mod tests {
         let mut obs = SearchObserver::new(&mut null);
         let r = explore_observed(&sys, &Budget::default(), |_| None, false, &mut obs);
         assert!(r.outcome.is_complete());
+    }
+
+    fn persist_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ccr-persist-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn open_run(root: &Path, opts: &PersistOpts) -> SerialPersist {
+        match SerialPersist::open(root, opts).expect("open") {
+            SerialPersistOpen::Run(p) => *p,
+            SerialPersistOpen::Finished(_) => panic!("unexpected finished manifest"),
+        }
+    }
+
+    #[test]
+    fn persisted_run_matches_in_memory_run() {
+        let spec = token_spec();
+        let sys = RendezvousSystem::new(&spec, 4);
+        let plain = explore_plain(&sys, &Budget::default());
+        let dir = persist_dir("serial-basic");
+
+        // Log-only (no eviction), checkpoint every expansion.
+        let opts = PersistOpts { interval: Duration::ZERO, ..PersistOpts::default() };
+        let mut null = NullSink;
+        let mut obs = SearchObserver::new(&mut null);
+        let mut p = open_run(&dir, &opts);
+        let r =
+            explore_observed_persist(&sys, &Budget::default(), |_| None, false, &mut obs, &mut p);
+        assert_eq!(
+            (r.states, r.transitions, &r.outcome),
+            (plain.states, plain.transitions, &plain.outcome)
+        );
+        drop(p);
+
+        // A spilling run (tiny eviction threshold) explores identically.
+        let dir2 = persist_dir("serial-spill");
+        let opts =
+            PersistOpts { interval: Duration::ZERO, evict_at: 1024, ..PersistOpts::default() };
+        let mut obs = SearchObserver::new(&mut null);
+        let mut p = open_run(&dir2, &opts);
+        let r =
+            explore_observed_persist(&sys, &Budget::default(), |_| None, false, &mut obs, &mut p);
+        assert_eq!(
+            (r.states, r.transitions, &r.outcome),
+            (plain.states, plain.transitions, &plain.outcome)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&dir2);
+    }
+
+    #[test]
+    fn finished_manifest_restores_the_report() {
+        let spec = token_spec();
+        let sys = RendezvousSystem::new(&spec, 3);
+        let plain = explore_plain(&sys, &Budget::default());
+        let dir = persist_dir("serial-finished");
+        let opts = PersistOpts { interval: Duration::ZERO, ..PersistOpts::default() };
+        let mut null = NullSink;
+        let mut obs = SearchObserver::new(&mut null);
+        let mut p = open_run(&dir, &opts);
+        let r =
+            explore_observed_persist(&sys, &Budget::default(), |_| None, false, &mut obs, &mut p);
+        assert!(r.outcome.is_complete());
+        drop(p);
+        // Reopening with resume returns the terminal manifest, and the
+        // synthesized report carries the identical counts.
+        let opts = PersistOpts { resume: true, ..opts };
+        match SerialPersist::open(&dir, &opts).expect("reopen") {
+            SerialPersistOpen::Finished(m) => {
+                let restored = report_from_manifest(&m);
+                assert_eq!(restored.states, plain.states);
+                assert_eq!(restored.transitions, plain.transitions);
+                assert!(restored.outcome.is_complete());
+            }
+            SerialPersistOpen::Run(_) => panic!("expected a finished manifest"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_from_mid_run_checkpoint_reproduces_counts() {
+        let spec = token_spec();
+        let sys = RendezvousSystem::new(&spec, 4);
+        let plain = explore_plain(&sys, &Budget::default());
+        for evict_at in [0usize, 512] {
+            let dir = persist_dir(&format!("serial-resume-{evict_at}"));
+            // First leg: checkpoint every expansion, abandon mid-run via a
+            // state budget (the checkpoint written before the budget hit
+            // plays the role of the last pre-crash checkpoint).
+            let opts = PersistOpts { interval: Duration::ZERO, evict_at, ..PersistOpts::default() };
+            let mut null = NullSink;
+            let mut obs = SearchObserver::new(&mut null);
+            let mut p = open_run(&dir, &opts);
+            let truncated = crate::search::drive(
+                &sys,
+                &Budget::states(plain.states / 2),
+                |_| None,
+                false,
+                false,
+                false,
+                &mut obs,
+                Some(&mut p),
+            );
+            assert_eq!(truncated.outcome, Outcome::Unfinished);
+            // Simulate the crash: drop without concluding (the terminal
+            // manifest is never written; the log keeps an unflushed tail).
+            drop(p);
+            drop(truncated);
+
+            // Second leg: resume and finish.
+            let opts = PersistOpts { resume: true, ..opts };
+            let mut obs = SearchObserver::new(&mut null);
+            let mut p = open_run(&dir, &opts);
+            let r = explore_observed_persist(
+                &sys,
+                &Budget::default(),
+                |_| None,
+                false,
+                &mut obs,
+                &mut p,
+            );
+            assert_eq!(
+                (r.states, r.transitions, &r.outcome),
+                (plain.states, plain.transitions, &plain.outcome),
+                "evict_at={evict_at}"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! buffers so searches can enforce a byte budget the way the paper's SPIN
 //! runs enforced 64 MB.
 
+use crate::persist::LogTier;
 use std::hash::Hasher;
 
 /// FxHash-style 64-bit hasher: multiply-rotate over 8-byte words.
@@ -73,7 +74,7 @@ pub type FxBuild = std::hash::BuildHasherDefault<FxHasher>;
 /// Splitmix64 finalizer: spreads FxHash entropy into the low bits used for
 /// slot probing and the high bits used for shard routing.
 #[inline]
-fn mix(mut h: u64) -> u64 {
+pub(crate) fn mix(mut h: u64) -> u64 {
     h ^= h >> 30;
     h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
     h ^= h >> 27;
@@ -92,6 +93,11 @@ pub fn hash_encoded(enc: &[u8]) -> u64 {
 }
 
 const EMPTY: u32 = u32::MAX;
+/// Arena-offset sentinel marking an entry whose key bytes were evicted
+/// to the log tier. A legitimate offset of `u32::MAX` cannot occur:
+/// eviction thresholds sit far below a 4 GB arena, and the store
+/// debug-asserts against arena overflow long before that.
+const EVICTED: u32 = u32::MAX;
 /// Initial slot-table capacity (power of two).
 const MIN_CAP: usize = 16;
 
@@ -110,6 +116,11 @@ pub struct StateStore {
     len: u32,
     /// Hash-compaction: drop the key bytes, keep only the 64-bit hash.
     compact: bool,
+    /// Optional disk tier: every new state is appended to its log, and
+    /// when the tier's eviction threshold is crossed the arena is
+    /// released wholesale — evicted entries keep their dense index and
+    /// are compared against the log on a probe hit.
+    tier: Option<Box<LogTier>>,
 }
 
 impl StateStore {
@@ -130,6 +141,27 @@ impl StateStore {
         self.compact
     }
 
+    /// Attaches a disk tier. Callers attach either to an empty store
+    /// (fresh run) or right after replaying that tier's log through
+    /// [`StateStore::rebuild_insert`] (recovery — entry `i` must be
+    /// record `i`). Incompatible with hash-compaction mode, which keeps
+    /// no key bytes to spill.
+    pub fn attach_tier(&mut self, tier: Box<LogTier>) {
+        assert!(!self.compact, "hash-compaction and a disk tier are mutually exclusive");
+        debug_assert_eq!(tier.records(), self.len());
+        self.tier = Some(tier);
+    }
+
+    /// The attached disk tier, if any.
+    pub fn tier(&self) -> Option<&LogTier> {
+        self.tier.as_deref()
+    }
+
+    /// Mutable access to the attached disk tier, if any.
+    pub fn tier_mut(&mut self) -> Option<&mut LogTier> {
+        self.tier.as_deref_mut()
+    }
+
     /// Inserts an encoded state. Returns `(index, true)` if newly inserted
     /// or `(existing index, false)` if already present.
     pub fn insert(&mut self, enc: &[u8]) -> (u32, bool) {
@@ -140,6 +172,15 @@ impl StateStore {
     /// [`hash_encoded`] — the parallel engine hashes once on the sending
     /// side for shard routing and reuses the value here.
     pub fn insert_hashed(&mut self, hash: u64, enc: &[u8]) -> (u32, bool) {
+        self.insert_hashed_depth(hash, enc, 0)
+    }
+
+    /// [`StateStore::insert_hashed`] recording a BFS depth with the
+    /// state when a disk tier is attached (the depth identifies which
+    /// frontier a recovered state belongs to; tierless stores ignore
+    /// it). New states are appended to the tier's log, and crossing the
+    /// tier's eviction threshold releases the arena wholesale.
+    pub fn insert_hashed_depth(&mut self, hash: u64, enc: &[u8], depth: u32) -> (u32, bool) {
         if self.slots.is_empty() || (self.len as usize + 1) * 8 > self.slots.len() * 7 {
             self.grow();
         }
@@ -158,13 +199,78 @@ impl StateStore {
                     self.entries.push((off as u32, enc.len() as u32));
                 }
                 self.len += 1;
+                if let Some(tier) = self.tier.as_deref_mut() {
+                    tier.append(depth, enc);
+                    let evict_at = tier.evict_at;
+                    if evict_at > 0 && !self.arena.is_empty() && self.approx_bytes() > evict_at {
+                        self.evict_arena();
+                    }
+                }
                 return (new_idx, true);
             }
-            if self.hashes[i] == hash && (self.compact || self.entry_bytes(idx) == enc) {
+            if self.hashes[i] == hash && (self.compact || self.stored_eq(idx, enc)) {
                 return (idx, false);
             }
             i = (i + 1) & mask;
         }
+    }
+
+    /// Whether stored entry `idx` equals `enc`, consulting the disk
+    /// tier for evicted entries.
+    fn stored_eq(&self, idx: u32, enc: &[u8]) -> bool {
+        let (off, len) = self.entries[idx as usize];
+        if len as usize != enc.len() {
+            return false;
+        }
+        if off != EVICTED {
+            return &self.arena[off as usize..off as usize + len as usize] == enc;
+        }
+        self.tier.as_deref().expect("evicted entry without a tier").payload_eq(idx, enc)
+    }
+
+    /// Releases the whole arena to the disk tier: every entry keeps its
+    /// dense index and length but its offset becomes [`EVICTED`], so
+    /// later probe hits compare against the log instead.
+    fn evict_arena(&mut self) {
+        let released = self.arena.len() as u64;
+        for e in &mut self.entries {
+            e.0 = EVICTED;
+        }
+        self.arena = Vec::new();
+        if let Some(tier) = self.tier.as_deref_mut() {
+            let stats = tier.stats_mut();
+            stats.evictions += 1;
+            stats.evicted_bytes += released;
+        }
+    }
+
+    /// Re-inserts one recovered record during log replay: claims the
+    /// first empty slot on `hash`'s probe path with *no* duplicate
+    /// check (log records are distinct by construction — each was a new
+    /// insert when appended). `payload == None` rebuilds an
+    /// already-evicted entry from the index alone.
+    pub fn rebuild_insert(&mut self, hash: u64, payload: Option<&[u8]>, len: u32) {
+        debug_assert!(!self.compact, "rebuild into a compact store");
+        if self.slots.is_empty() || (self.len as usize + 1) * 8 > self.slots.len() * 7 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (hash as usize) & mask;
+        while self.slots[i] != EMPTY {
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = self.len;
+        self.hashes[i] = hash;
+        match payload {
+            Some(p) => {
+                debug_assert_eq!(p.len(), len as usize);
+                let off = self.arena.len();
+                self.arena.extend_from_slice(p);
+                self.entries.push((off as u32, len));
+            }
+            None => self.entries.push((EVICTED, len)),
+        }
+        self.len += 1;
     }
 
     /// Looks up an encoded state.
@@ -180,27 +286,41 @@ impl StateStore {
             if idx == EMPTY {
                 return None;
             }
-            if self.hashes[i] == hash && (self.compact || self.entry_bytes(idx) == enc) {
+            if self.hashes[i] == hash && (self.compact || self.stored_eq(idx, enc)) {
                 return Some(idx);
             }
             i = (i + 1) & mask;
         }
     }
 
-    /// The stored key bytes of entry `idx` (not available in compact mode).
-    fn entry_bytes(&self, idx: u32) -> &[u8] {
-        let (off, len) = self.entries[idx as usize];
-        &self.arena[off as usize..off as usize + len as usize]
-    }
-
-    /// The encoded bytes of state `idx`, or `None` in compact mode (where
-    /// only hashes are retained). Used by the parallel engine to order
-    /// witnesses deterministically.
+    /// The encoded bytes of state `idx`, or `None` in compact mode
+    /// (where only hashes are retained) or when the entry was evicted
+    /// to the disk tier. Used by the parallel engine to order witnesses
+    /// deterministically; evicted callers use [`StateStore::read_entry`].
     pub fn key_bytes(&self, idx: u32) -> Option<&[u8]> {
         if self.compact || idx >= self.len {
             return None;
         }
-        Some(self.entry_bytes(idx))
+        let (off, len) = self.entries[idx as usize];
+        if off == EVICTED {
+            return None;
+        }
+        Some(&self.arena[off as usize..off as usize + len as usize])
+    }
+
+    /// The encoded bytes of state `idx` as an owned copy, read back from
+    /// the disk tier when the entry was evicted. `None` in compact mode,
+    /// out of range, or on a tier read error (which also sets the tier's
+    /// sticky error).
+    pub fn read_entry(&self, idx: u32) -> Option<Vec<u8>> {
+        if self.compact || idx >= self.len {
+            return None;
+        }
+        let (off, len) = self.entries[idx as usize];
+        if off != EVICTED {
+            return Some(self.arena[off as usize..off as usize + len as usize].to_vec());
+        }
+        self.tier.as_deref()?.read_payload(idx)
     }
 
     fn grow(&mut self) {
@@ -239,6 +359,7 @@ impl StateStore {
             + self.slots.len() * (std::mem::size_of::<u32>() + std::mem::size_of::<u64>())
             + self.entries.len() * std::mem::size_of::<(u32, u32)>()
             + std::mem::size_of::<Self>()
+            + self.tier.as_deref().map_or(0, LogTier::mem_bytes)
     }
 
     /// Probe displacement (distance from the hash's home slot, in slots)

@@ -633,6 +633,14 @@ impl<T: Symmetric> TransitionSystem for Reduced<'_, T> {
         }
     }
 
+    fn decode(&self, bytes: &[u8]) -> Option<T::State> {
+        // Canonical bytes are the verbatim encoding of the orbit
+        // representative, which is itself a real state — the inner
+        // decoder reconstructs it, and re-encoding canonicalizes to the
+        // same bytes (canonicalization is idempotent).
+        self.inner.decode(bytes)
+    }
+
     fn link_occupancy(&self, s: &T::State, from: ProcessId, to: ProcessId) -> Option<u32> {
         self.inner.link_occupancy(s, from, to)
     }

@@ -158,7 +158,48 @@ pub fn explore_traced_observed<T: TransitionSystem>(
     check_deadlock: bool,
     obs: &mut SearchObserver<'_>,
 ) -> TracedReport {
-    let run = crate::search::drive(sys, budget, invariant, check_deadlock, false, true, obs);
+    let run = crate::search::drive(sys, budget, invariant, check_deadlock, false, true, obs, None);
+    let report = TracedReport {
+        states: run.store.len(),
+        transitions: run.transitions,
+        outcome: run.outcome,
+        trail: run.trail,
+    };
+    conclude_with_trail(sys, &report.outcome, report.trail.as_deref(), obs);
+    crate::search::record_search_run(
+        obs.metrics(),
+        report.states,
+        run.transitions,
+        run.peak_frontier,
+        &run.store,
+    );
+    report
+}
+
+/// [`explore_traced_observed`] against a persistence context (see
+/// [`crate::search::explore_observed_persist`]). On a *resumed* run the
+/// recovered states carry no parent pointers, so a violating outcome
+/// reports `trail: None` — counts and outcome are still byte-identical
+/// to an uninterrupted run.
+pub fn explore_traced_observed_persist<T: TransitionSystem>(
+    sys: &T,
+    budget: &Budget,
+    invariant: impl FnMut(&T::State) -> Option<String>,
+    check_deadlock: bool,
+    obs: &mut SearchObserver<'_>,
+    persist: &mut crate::search::SerialPersist,
+) -> TracedReport {
+    let mut run = crate::search::drive(
+        sys,
+        budget,
+        invariant,
+        check_deadlock,
+        false,
+        true,
+        obs,
+        Some(persist),
+    );
+    persist.conclude(&mut run, obs.metrics());
     let report = TracedReport {
         states: run.store.len(),
         transitions: run.transitions,

@@ -66,10 +66,12 @@ pub enum SpanKind {
     BarrierWait,
     /// Livelock-check graph work (CSR build + backward propagation).
     Progress,
+    /// Persistence: log sync, index rewrite and manifest checkpointing.
+    Checkpoint,
 }
 
 /// Number of span kinds (the fixed width of every per-level row).
-pub const N_SPAN_KINDS: usize = 6;
+pub const N_SPAN_KINDS: usize = 7;
 
 impl SpanKind {
     /// Every kind, in canonical (output) order.
@@ -80,6 +82,7 @@ impl SpanKind {
         SpanKind::Drain,
         SpanKind::BarrierWait,
         SpanKind::Progress,
+        SpanKind::Checkpoint,
     ];
 
     fn idx(self) -> usize {
@@ -90,6 +93,7 @@ impl SpanKind {
             SpanKind::Drain => 3,
             SpanKind::BarrierWait => 4,
             SpanKind::Progress => 5,
+            SpanKind::Checkpoint => 6,
         }
     }
 
@@ -102,6 +106,7 @@ impl SpanKind {
             SpanKind::Drain => "drain",
             SpanKind::BarrierWait => "barrier_wait",
             SpanKind::Progress => "progress",
+            SpanKind::Checkpoint => "checkpoint",
         }
     }
 

@@ -1003,4 +1003,95 @@ impl<'a> TransitionSystem for AsyncSystem<'a> {
             s.to_remote[i].encode(out);
         }
     }
+
+    fn decode(&self, bytes: &[u8]) -> Option<AsyncState> {
+        let home_vars = self.spec().home.initial_env().len();
+        let remote_vars = self.spec().remote.initial_env().len();
+        let mut off = 0usize;
+        let take_u8 = |off: &mut usize| -> Option<u8> {
+            let b = *bytes.get(*off)?;
+            *off += 1;
+            Some(b)
+        };
+        let take_u16 = |off: &mut usize| -> Option<u16> {
+            let b: [u8; 2] = bytes.get(*off..*off + 2)?.try_into().ok()?;
+            *off += 2;
+            Some(u16::from_le_bytes(b))
+        };
+        let take_env = |off: &mut usize, n: usize| -> Option<Env> {
+            let (env, used) = Env::decode(bytes.get(*off..)?, n)?;
+            *off += used;
+            Some(env)
+        };
+        let take_val = |off: &mut usize| -> Option<Option<Value>> {
+            match take_u8(off)? {
+                0 => Some(None),
+                1 => {
+                    let (v, used) = Value::decode(bytes.get(*off..)?)?;
+                    *off += used;
+                    Some(Some(v))
+                }
+                _ => None,
+            }
+        };
+        let take_link = |off: &mut usize| -> Option<Link> {
+            let (link, used) = Link::decode(bytes.get(*off..)?).ok()?;
+            *off += used;
+            Some(link)
+        };
+
+        let phase = match take_u8(&mut off)? {
+            0 => HomePhase::At(StateId(take_u16(&mut off)? as u32)),
+            1 => {
+                let state = StateId(take_u16(&mut off)? as u32);
+                let branch = take_u8(&mut off)? as u32;
+                let target = RemoteId(take_u16(&mut off)? as u32);
+                HomePhase::Awaiting { state, branch, target }
+            }
+            _ => return None,
+        };
+        let env = take_env(&mut off, home_vars)?;
+        let cursor = take_u8(&mut off)? as u32;
+        let buf_len = take_u8(&mut off)? as usize;
+        let mut buf = Vec::with_capacity(buf_len);
+        for _ in 0..buf_len {
+            let from = RemoteId(take_u16(&mut off)? as u32);
+            let msg = MsgType(take_u8(&mut off)? as u32);
+            let val = take_val(&mut off)?;
+            buf.push(BufEntry { from, msg, val });
+        }
+        let home = HomeState { phase, env, buf, cursor };
+
+        let n = self.n as usize;
+        let mut remotes = Vec::with_capacity(n);
+        let mut to_home = Vec::with_capacity(n);
+        let mut to_remote = Vec::with_capacity(n);
+        for _ in 0..n {
+            let phase = match take_u8(&mut off)? {
+                0 => RemotePhase::At(StateId(take_u16(&mut off)? as u32)),
+                1 => {
+                    let state = StateId(take_u16(&mut off)? as u32);
+                    let branch = take_u8(&mut off)? as u32;
+                    RemotePhase::Awaiting { state, branch }
+                }
+                _ => return None,
+            };
+            let env = take_env(&mut off, remote_vars)?;
+            let buf = match take_u8(&mut off)? {
+                0 => None,
+                1 => {
+                    let msg = MsgType(take_u8(&mut off)? as u32);
+                    Some((msg, take_val(&mut off)?))
+                }
+                _ => return None,
+            };
+            remotes.push(RemoteState { phase, env, buf });
+            to_home.push(take_link(&mut off)?);
+            to_remote.push(take_link(&mut off)?);
+        }
+        if off != bytes.len() {
+            return None; // trailing garbage: not a canonical encoding
+        }
+        Some(AsyncState { home, remotes, to_home, to_remote })
+    }
 }

@@ -335,6 +335,34 @@ impl<'a> TransitionSystem for RendezvousSystem<'a> {
             r.env.encode(out);
         }
     }
+
+    fn decode(&self, bytes: &[u8]) -> Option<RvState> {
+        let home_vars = self.spec.home.initial_env().len();
+        let remote_vars = self.spec.remote.initial_env().len();
+        let mut off = 0;
+        let take_state = |off: &mut usize| -> Option<StateId> {
+            let b: [u8; 2] = bytes.get(*off..*off + 2)?.try_into().ok()?;
+            *off += 2;
+            Some(StateId(u16::from_le_bytes(b) as u32))
+        };
+        let take_env = |off: &mut usize, n: usize| -> Option<Env> {
+            let (env, used) = Env::decode(bytes.get(*off..)?, n)?;
+            *off += used;
+            Some(env)
+        };
+        let home = Local { state: take_state(&mut off)?, env: take_env(&mut off, home_vars)? };
+        let mut remotes = Vec::with_capacity(self.n as usize);
+        for _ in 0..self.n {
+            remotes.push(Local {
+                state: take_state(&mut off)?,
+                env: take_env(&mut off, remote_vars)?,
+            });
+        }
+        if off != bytes.len() {
+            return None; // trailing garbage: not a canonical encoding
+        }
+        Some(RvState { home, remotes })
+    }
 }
 
 #[cfg(test)]

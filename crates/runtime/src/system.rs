@@ -164,6 +164,19 @@ pub trait TransitionSystem {
         v
     }
 
+    /// Inverse of [`TransitionSystem::encode`], when the system supports
+    /// it: reconstructs the state whose canonical encoding is exactly
+    /// `bytes`. Returns `None` on systems without a decoder, and on
+    /// truncated, corrupt or trailing-garbage input — persistence uses
+    /// this to rebuild checkpointed frontiers, so bad bytes must surface
+    /// as a recovery failure, never a panic or a wrong state.
+    ///
+    /// Contract for implementations: for every reachable state `s`,
+    /// `decode(encoded(s))` succeeds and re-encodes to the same bytes.
+    fn decode(&self, _bytes: &[u8]) -> Option<Self::State> {
+        None
+    }
+
     /// Observability hook: the number of messages in flight on the directed
     /// link `from → to` in configuration `s`, when the semantics models
     /// links (`None` otherwise — the rendezvous level has no wires).

@@ -183,6 +183,23 @@ impl Link {
             w.encode(out);
         }
     }
+
+    /// Inverse of [`Link::encode`]: reads one link from the front of
+    /// `bytes`, returning it and the number of bytes consumed. Truncated
+    /// or corrupt input is a structured error, never a panic.
+    pub fn decode(bytes: &[u8]) -> crate::Result<(Link, usize)> {
+        use crate::RuntimeError::Decode;
+        let len = *bytes.first().ok_or(Decode { detail: "missing link length", offset: 0 })?;
+        let mut queue = VecDeque::with_capacity(len as usize);
+        let mut off = 1;
+        for _ in 0..len {
+            let rest = bytes.get(off..).ok_or(Decode { detail: "truncated link", offset: off })?;
+            let (w, used) = Wire::decode(rest)?;
+            queue.push_back(w);
+            off += used;
+        }
+        Ok((Link { queue }, off))
+    }
 }
 
 impl Default for Link {

@@ -8,10 +8,16 @@
 //! ccr verify  <spec.ccp> [-n N] [--budget S] [--no-opt] [--threads T]
 //!             [--symmetry on|off|auto] [--trace FILE] [--progress]
 //!             [--json] [--faults SPEC] [--seed N] [--fault-budget F]
+//!             [--spill-dir DIR] [--spill-bytes B]
+//!             [--checkpoint-interval SECS]
 //!                                         full pipeline: reachability both
 //!                                         levels, safety (deadlock),
 //!                                         Equation 1, forward progress,
 //!                                         and (opt-in) fault tolerance
+//! ccr verify  --resume DIR [flags]        restart a `--spill-dir DIR` run
+//!                                         from its last checkpoint; the
+//!                                         spec and engine shape replay
+//!                                         from DIR/meta.json
 //! ccr table   <spec.ccp> [-n N..] [--threads T] [--symmetry on|off|auto]
 //!             [--trace FILE] [--progress] [--json]
 //!                                         per-N reachability comparison
@@ -82,6 +88,29 @@
 //!   refined asynchronous level. This is the engine-profiling loop:
 //!   one phase, one state space.
 //!
+//! Persistence flags (verify only, see `docs/persistence.md`):
+//!
+//! * `--spill-dir DIR` — checkpoint the two reachability sweeps into
+//!   per-phase subdirectories of DIR (`rendezvous/`, `async/`): an
+//!   append-only state log with a hash index, a writer lock, and an
+//!   atomically renamed manifest, plus a `meta.json` recording the
+//!   engine shape for `--resume`. A killed run restarts from its last
+//!   checkpoint and finishes with byte-identical counts.
+//! * `--spill-bytes B` — in-memory byte budget for each sweep's visited
+//!   set; past it, state payloads are evicted to the log and re-read on
+//!   demand (0, the default, keeps everything in RAM: crash-safe but
+//!   not RAM-capped).
+//! * `--checkpoint-interval SECS` — wall-clock checkpoint cadence
+//!   (default 1.0; 0 checkpoints at every opportunity).
+//! * `--resume DIR` — resume a `--spill-dir DIR` run. Takes the place
+//!   of the spec positional: the spec path and engine shape come from
+//!   `DIR/meta.json` (flags after `--resume` still override). Phases
+//!   whose manifest is terminal are restored without re-searching;
+//!   corrupt or truncated-below-manifest logs fail with a diagnostic.
+//! * `--crash-after-states N` — test hook for the crash-recovery
+//!   harness: abort the process (as kill -9) after N newly inserted
+//!   states.
+//!
 //! Fault-injection flags (verify only, see `docs/fault_injection.md`):
 //!
 //! * `--faults SPEC` — after the clean pipeline passes, run seeded random
@@ -101,15 +130,19 @@ use ccr_core::refine::{refine, RefineOptions, ReqRepMode};
 use ccr_core::text::{parse_validated, to_text};
 use ccr_faults::{parse_fault_spec, FaultPlan, FaultRates, FaultSpec, FaultStats};
 use ccr_mc::faultmode::{check_fault_closure_observed, check_fault_closure_parallel_observed};
-use ccr_mc::parallel::{explore_parallel_traced_observed, ParallelConfig};
+use ccr_mc::parallel::{
+    explore_parallel_traced_observed, explore_parallel_traced_observed_persist, ParallelConfig,
+    ParallelPersist, ParallelPersistOpen,
+};
 use ccr_mc::progress::{check_progress_observed, check_progress_parallel_observed};
 use ccr_mc::report::ExploreReport;
 use ccr_mc::search::{
-    explore_observed, Budget, SearchObserver, StatusReporter, DEFAULT_HEARTBEAT_INTERVAL,
+    explore_observed, report_from_manifest, Budget, PersistOpts, SearchObserver, SerialPersist,
+    SerialPersistOpen, StatusReporter, DEFAULT_HEARTBEAT_INTERVAL,
 };
 use ccr_mc::simrel::check_simulation;
-use ccr_mc::trace::{explore_traced_observed, TracedReport};
-use ccr_mc::{Reduced, Symmetric};
+use ccr_mc::trace::{explore_traced_observed, explore_traced_observed_persist, TracedReport};
+use ccr_mc::{CrashSwitch, Manifest, Reduced, Symmetric};
 use ccr_metrics::jsonval::Json;
 use ccr_metrics::profile::{parse_folded, ProfileAgg, Profiler, SpanKind};
 use ccr_metrics::status::{RunStatus, StatusWriter};
@@ -121,7 +154,7 @@ use ccr_runtime::sim::Simulator;
 use ccr_runtime::{FaultHarness, TransitionSystem};
 use ccr_trace::{JsonlSink, NullSink, TeeSink, TraceEvent, TraceSink};
 use serde::{MapSer, Serialize, Serializer};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
@@ -139,8 +172,12 @@ fn usage() -> ExitCode {
          [--metrics PATH|-] [--metrics-format json|prometheus] \
          [--profile PATH|-] [--progress-interval SECS] [--status PATH] \
          [--run-dir DIR] [--async] \
+         [--spill-dir DIR] [--spill-bytes B] [--checkpoint-interval SECS] \
+         [--crash-after-states N] \
          [--faults SPEC] [--seed N] [--fault-budget F]\n\
-         \x20      ccr watch <status-file> [--once] [--interval SECS]\n\
+         \x20      ccr verify --resume <spill-dir> [flags]\n\
+         \x20      ccr watch <status-file> [--once] [--interval SECS] \
+         [--timeout SECS]\n\
          \x20      ccr report <run-dir> [--json]\n\
          \x20      ccr bench diff <old.json> <new.json> \
          [--tolerance T] [--bytes-tolerance B]"
@@ -171,6 +208,11 @@ struct Args {
     status: Option<String>,
     run_dir: Option<String>,
     async_only: bool,
+    spill_dir: Option<String>,
+    spill_bytes: usize,
+    checkpoint_interval: Duration,
+    resume: bool,
+    crash_after: Option<u64>,
 }
 
 impl Args {
@@ -203,13 +245,75 @@ enum Symmetry {
     Auto,
 }
 
-fn parse_args() -> Option<Args> {
-    let mut args = std::env::args().skip(1);
-    let cmd = args.next()?;
-    let file = args.next()?;
+/// Pulls the value of a flag that takes one, usage error otherwise.
+fn req(it: &mut std::vec::IntoIter<String>) -> Result<String, ExitCode> {
+    it.next().ok_or_else(usage)
+}
+
+/// Parses a flag value, usage error on malformed input.
+fn num<T: std::str::FromStr>(s: String) -> Result<T, ExitCode> {
+    s.parse().map_err(|_| usage())
+}
+
+/// Replays the engine-shaping arguments recorded in `<dir>/meta.json`
+/// by the run being resumed, so the resumed search rebuilds the state
+/// space the checkpoint belongs to. Flags given alongside `--resume`
+/// still override — `--threads` is safe (checkpoints are thread-count
+/// agnostic), though serial and parallel checkpoints don't mix and a
+/// parallel manifest pins its shard count.
+fn apply_resume_meta(out: &mut Args, dir: &str) -> Result<(), ExitCode> {
+    let path = format!("{dir}/meta.json");
+    let fail = |msg: String| {
+        eprintln!("ccr: cannot resume {dir}: {msg}");
+        ExitCode::FAILURE
+    };
+    let text = std::fs::read_to_string(&path).map_err(|e| fail(format!("{path}: {e}")))?;
+    let j = Json::parse(&text).map_err(|e| fail(format!("{path}: {e}")))?;
+    out.file = j
+        .get("spec")
+        .and_then(Json::as_str)
+        .ok_or_else(|| fail(format!("{path}: no \"spec\" entry")))?
+        .to_string();
+    if let Some(v) = j.get("n").and_then(Json::as_u64) {
+        out.n = v as u32;
+    }
+    if let Some(v) = j.get("budget_states").and_then(Json::as_u64) {
+        out.budget = v as usize;
+    }
+    if let Some(v) = j.get("no_opt").and_then(Json::as_bool) {
+        out.no_opt = v;
+    }
+    if let Some(v) = j.get("engine_threads").and_then(Json::as_u64) {
+        out.threads_explicit = v > 0;
+        out.threads = (v as usize).max(1);
+    }
+    if let Some(v) = j.get("symmetry").and_then(Json::as_str) {
+        out.symmetry = if v == "on" { Symmetry::On } else { Symmetry::Off };
+    }
+    if let Some(v) = j.get("async_only").and_then(Json::as_bool) {
+        out.async_only = v;
+    }
+    if let Some(v) = j.get("spill_bytes").and_then(Json::as_u64) {
+        out.spill_bytes = v as usize;
+    }
+    if let Some(v) = j.get("checkpoint_interval_ms").and_then(Json::as_u64) {
+        out.checkpoint_interval = Duration::from_millis(v);
+    }
+    Ok(())
+}
+
+/// Argument parser. A parse failure carries the exit code to return:
+/// `usage()`'s code 2 for syntax errors, `FAILURE` after a printed
+/// diagnostic (e.g. an unreadable `--resume` meta file).
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        return Err(usage());
+    }
+    let cmd = argv.remove(0);
     let mut out = Args {
         cmd,
-        file,
+        file: String::new(),
         n: 2,
         budget: 2_000_000,
         no_opt: false,
@@ -230,49 +334,108 @@ fn parse_args() -> Option<Args> {
         status: None,
         run_dir: None,
         async_only: false,
+        spill_dir: None,
+        spill_bytes: 0,
+        checkpoint_interval: Duration::from_secs(1),
+        resume: false,
+        crash_after: None,
     };
-    while let Some(a) = args.next() {
+    // `--resume DIR` stands in for the spec positional: the spec path
+    // and engine shape are replayed from DIR/meta.json.
+    if let Some(pos) = argv.iter().position(|a| a == "--resume") {
+        if pos + 1 >= argv.len() {
+            return Err(usage());
+        }
+        let dir = argv.remove(pos + 1);
+        argv.remove(pos);
+        apply_resume_meta(&mut out, &dir)?;
+        out.spill_dir = Some(dir);
+        out.resume = true;
+    } else {
+        if argv.is_empty() || argv[0].starts_with('-') {
+            return Err(usage());
+        }
+        out.file = argv.remove(0);
+    }
+    let mut it = argv.into_iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
-            "-n" => out.n = args.next()?.parse().ok()?,
-            "--budget" => out.budget = args.next()?.parse().ok()?,
+            "-n" => out.n = num(req(&mut it)?)?,
+            "--budget" => out.budget = num(req(&mut it)?)?,
             "--no-opt" => out.no_opt = true,
             "--refined" => out.refined = true,
-            "--trace" => out.trace = Some(args.next()?),
+            "--trace" => out.trace = Some(req(&mut it)?),
             "--progress" => out.progress = true,
             "--json" => out.json = true,
-            "--faults" => out.faults = Some(args.next()?),
-            "--seed" => out.seed = args.next()?.parse().ok()?,
-            "--fault-budget" => out.fault_budget = Some(args.next()?.parse().ok()?),
+            "--faults" => out.faults = Some(req(&mut it)?),
+            "--seed" => out.seed = num(req(&mut it)?)?,
+            "--fault-budget" => out.fault_budget = Some(num(req(&mut it)?)?),
             "--threads" => {
-                out.threads = args.next()?.parse().ok().filter(|&t| t >= 1)?;
+                out.threads = num(req(&mut it)?)?;
+                if out.threads < 1 {
+                    return Err(usage());
+                }
                 out.threads_explicit = true;
             }
             "--symmetry" => {
-                out.symmetry = match args.next()?.as_str() {
+                out.symmetry = match req(&mut it)?.as_str() {
                     "on" => Symmetry::On,
                     "off" => Symmetry::Off,
                     "auto" => Symmetry::Auto,
-                    _ => return None,
+                    _ => return Err(usage()),
                 }
             }
-            "--metrics" => out.metrics = Some(args.next()?),
+            "--metrics" => out.metrics = Some(req(&mut it)?),
             "--metrics-format" => {
-                out.metrics_format = match args.next()?.as_str() {
+                out.metrics_format = match req(&mut it)?.as_str() {
                     "json" => MetricsFormat::Json,
                     "prometheus" => MetricsFormat::Prometheus,
-                    _ => return None,
+                    _ => return Err(usage()),
                 }
             }
-            "--profile" => out.profile = Some(args.next()?),
+            "--profile" => out.profile = Some(req(&mut it)?),
             "--progress-interval" => {
-                let secs: f64 = args.next()?.parse().ok().filter(|s| *s >= 0.0)?;
+                let secs: f64 = num(req(&mut it)?)?;
+                if secs < 0.0 {
+                    return Err(usage());
+                }
                 out.progress_interval = Duration::from_secs_f64(secs);
             }
-            "--status" => out.status = Some(args.next()?),
-            "--run-dir" => out.run_dir = Some(args.next()?),
+            "--status" => out.status = Some(req(&mut it)?),
+            "--run-dir" => out.run_dir = Some(req(&mut it)?),
             "--async" => out.async_only = true,
-            _ => return None,
+            "--spill-dir" => {
+                if out.resume {
+                    eprintln!(
+                        "ccr: --spill-dir conflicts with --resume (the resume \
+                         directory is the spill directory)"
+                    );
+                    return Err(ExitCode::from(2));
+                }
+                out.spill_dir = Some(req(&mut it)?);
+            }
+            "--spill-bytes" => out.spill_bytes = num(req(&mut it)?)?,
+            "--checkpoint-interval" => {
+                let secs: f64 = num(req(&mut it)?)?;
+                if secs < 0.0 {
+                    return Err(usage());
+                }
+                out.checkpoint_interval = Duration::from_secs_f64(secs);
+            }
+            "--crash-after-states" => out.crash_after = Some(num(req(&mut it)?)?),
+            _ => return Err(usage()),
         }
+    }
+    if out.cmd != "verify" && (out.spill_dir.is_some() || out.crash_after.is_some()) {
+        eprintln!("ccr: --spill-dir/--resume/--crash-after-states apply to `verify` only");
+        return Err(ExitCode::from(2));
+    }
+    if out.crash_after.is_some() && out.spill_dir.is_none() {
+        eprintln!(
+            "ccr: --crash-after-states needs --spill-dir (it exercises the \
+             crash-recovery harness)"
+        );
+        return Err(ExitCode::from(2));
     }
     // `--run-dir DIR` is shorthand for the per-artifact flags; explicit
     // flags win.
@@ -283,7 +446,34 @@ fn parse_args() -> Option<Args> {
         out.profile.get_or_insert_with(|| join("profile.folded"));
         out.status.get_or_insert_with(|| join("status.json"));
     }
-    Some(out)
+    Ok(out)
+}
+
+/// Records the engine-shaping arguments of a spill run in
+/// `<root>/meta.json`, so `--resume <root>` can replay them without the
+/// spec positional. `symmetry` is stored resolved (`on`/`off`), never
+/// as the `auto` request: the reduction decides which state space the
+/// logs encode, and a resume must rebuild the same one.
+fn write_meta(root: &Path, args: &Args, reduce: bool) -> Result<(), ExitCode> {
+    let mut s = Serializer::new();
+    {
+        let mut m = s.begin_map();
+        m.entry("spec", args.file.as_str());
+        m.entry("n", &args.n);
+        m.entry("budget_states", &args.budget);
+        m.entry("no_opt", &args.no_opt);
+        m.entry("engine_threads", &args.engine_threads());
+        m.entry("symmetry", if reduce { "on" } else { "off" });
+        m.entry("async_only", &args.async_only);
+        m.entry("spill_bytes", &args.spill_bytes);
+        m.entry("checkpoint_interval_ms", &(args.checkpoint_interval.as_millis() as u64));
+        m.end();
+    }
+    let path = root.join("meta.json");
+    std::fs::write(&path, format!("{}\n", s.into_string())).map_err(|e| {
+        eprintln!("ccr: cannot write {}: {e}", path.display());
+        ExitCode::FAILURE
+    })
 }
 
 /// Prints `Heartbeat` events to stderr as live progress lines; every
@@ -373,6 +563,91 @@ where
     }
 }
 
+/// Persisted variant of [`explore_cli`]: the sweep checkpoints into the
+/// phase directory `root` (layout in `docs/persistence.md`), and a
+/// phase whose manifest is already terminal short-circuits to the
+/// restored report — the `bool` in the result. Open failures (foreign
+/// lock, corrupt manifest, log truncated below its committed prefix,
+/// unwritable directory) surface as `Err` carrying the offending path.
+fn explore_cli_persist<T>(
+    sys: &T,
+    budget: &Budget,
+    threads: usize,
+    obs: &mut SearchObserver<'_>,
+    root: &Path,
+    popts: &PersistOpts,
+) -> Result<(TracedReport, bool), String>
+where
+    T: TransitionSystem + Sync,
+    T::State: Send,
+{
+    let restored = |m: &Manifest| {
+        let r = report_from_manifest(m);
+        TracedReport {
+            states: r.states,
+            transitions: r.transitions,
+            outcome: r.outcome,
+            trail: None,
+        }
+    };
+    if threads > 0 {
+        let cfg = ParallelConfig::threads(threads).with_trails();
+        match ParallelPersist::open(root, popts, &cfg).map_err(|e| e.to_string())? {
+            ParallelPersistOpen::Finished(m) => Ok((restored(&m), true)),
+            ParallelPersistOpen::Run(p) => Ok((
+                explore_parallel_traced_observed_persist(
+                    sys,
+                    budget,
+                    |_| None,
+                    true,
+                    &cfg,
+                    obs,
+                    &p,
+                )
+                .traced_report(),
+                false,
+            )),
+        }
+    } else {
+        match SerialPersist::open(root, popts).map_err(|e| e.to_string())? {
+            SerialPersistOpen::Finished(m) => Ok((restored(&m), true)),
+            SerialPersistOpen::Run(mut p) => Ok((
+                explore_traced_observed_persist(sys, budget, |_| None, true, obs, &mut p),
+                false,
+            )),
+        }
+    }
+}
+
+/// [`explore_cli_persist`] over the symmetry-reduced quotient when
+/// `reduce` is set, as in [`explore_cli_sym`]. The logs then hold
+/// canonical orbit representatives — which is why `meta.json` records
+/// the resolved reduction choice for `--resume` to replay.
+#[allow(clippy::too_many_arguments)]
+fn explore_cli_sym_persist<T>(
+    sys: &T,
+    reduce: bool,
+    budget: &Budget,
+    threads: usize,
+    obs: &mut SearchObserver<'_>,
+    registry: &Registry,
+    root: &Path,
+    popts: &PersistOpts,
+) -> Result<(TracedReport, bool), String>
+where
+    T: Symmetric + Sync,
+    T::State: Send,
+{
+    if reduce {
+        let red = Reduced::new(sys);
+        let report = explore_cli_persist(&red, budget, threads, obs, root, popts)?;
+        red.record_metrics(registry);
+        Ok(report)
+    } else {
+        explore_cli_persist(sys, budget, threads, obs, root, popts)
+    }
+}
+
 /// [`explore_plain_cli`] with optional symmetry reduction, as in
 /// [`explore_cli_sym`].
 fn explore_plain_cli_sym<T>(
@@ -443,6 +718,24 @@ where
     } else {
         run(sys, budget, threads, obs)
     }
+}
+
+/// Builds the `--status` writer, creating missing parent directories up
+/// front so an unwritable location is a clean error with the offending
+/// path instead of silently dropped heartbeats.
+fn status_writer_for(args: &Args) -> Result<Option<StatusWriter>, ExitCode> {
+    let Some(path) = &args.status else {
+        return Ok(None);
+    };
+    if let Some(parent) = Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("ccr: cannot create {}: {e}", parent.display());
+                return Err(ExitCode::FAILURE);
+            }
+        }
+    }
+    Ok(Some(StatusWriter::create(path.as_str())))
 }
 
 /// The `--trace` file sink (or a null sink when the flag is absent).
@@ -802,14 +1095,19 @@ fn render_status(st: &RunStatus) -> String {
     )
 }
 
-/// `ccr watch <status-file> [--once] [--interval SECS]`: tails a live
-/// status file (atomic-rename JSON written by `--status`/`--run-dir`),
-/// printing a line whenever the snapshot advances, until the run
-/// reports `finished` (or immediately with `--once`).
+/// `ccr watch <status-file> [--once] [--interval SECS] [--timeout SECS]`:
+/// tails a live status file (atomic-rename JSON written by
+/// `--status`/`--run-dir`), printing a line whenever the snapshot
+/// advances, until the run reports `finished` (or immediately with
+/// `--once`). A watcher started before the run is a normal race, not an
+/// error: the file is polled until the first snapshot appears, and only
+/// a `--timeout` (default 30 s) with no snapshot at all fails the
+/// command.
 fn cmd_watch(argv: &[String]) -> ExitCode {
     let mut path: Option<&str> = None;
     let mut once = false;
     let mut interval = Duration::from_millis(500);
+    let mut timeout = Duration::from_secs(30);
     let mut it = argv.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -820,6 +1118,12 @@ fn cmd_watch(argv: &[String]) -> ExitCode {
                 };
                 interval = Duration::from_secs_f64(secs.max(0.01));
             }
+            "--timeout" => {
+                let Some(secs) = it.next().and_then(|s| s.parse::<f64>().ok()) else {
+                    return usage();
+                };
+                timeout = Duration::from_secs_f64(secs.max(0.0));
+            }
             _ if path.is_none() && !a.starts_with("--") => path = Some(a),
             _ => return usage(),
         }
@@ -827,14 +1131,13 @@ fn cmd_watch(argv: &[String]) -> ExitCode {
     let Some(path) = path else {
         return usage();
     };
-    // Grace window: the watched run may not have written its first
-    // snapshot yet.
     let started = Instant::now();
-    let grace = Duration::from_secs(5);
+    let mut seen_any = false;
     let mut last_seq = 0u64;
     loop {
         match RunStatus::read(Path::new(path)) {
             Ok(st) => {
+                seen_any = true;
                 if st.seq != last_seq {
                     println!("{}", render_status(&st));
                     last_seq = st.seq;
@@ -843,9 +1146,15 @@ fn cmd_watch(argv: &[String]) -> ExitCode {
                     return ExitCode::SUCCESS;
                 }
             }
+            // Absent, mid-rename, or mid-write snapshots are all normal
+            // while the watched run is alive; the timeout only gates the
+            // wait for the *first* snapshot.
             Err(e) => {
-                if started.elapsed() > grace {
-                    eprintln!("ccr: watch {path}: {e}");
+                if !seen_any && started.elapsed() > timeout {
+                    eprintln!(
+                        "ccr: watch {path}: no status snapshot after {:.0}s: {e}",
+                        timeout.as_secs_f64()
+                    );
                     return ExitCode::FAILURE;
                 }
             }
@@ -1069,8 +1378,9 @@ fn main() -> ExitCode {
     if argv.first().map(String::as_str) == Some("report") {
         return cmd_report(&argv[1..]);
     }
-    let Some(args) = parse_args() else {
-        return usage();
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return code,
     };
     if let Some(dir) = &args.run_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
@@ -1213,8 +1523,10 @@ fn main() -> ExitCode {
             let run_started = Instant::now();
             let profiler =
                 if args.profile.is_some() { Profiler::new() } else { Profiler::disabled() };
-            let status_writer: Option<StatusWriter> =
-                args.status.as_ref().map(|p| StatusWriter::create(p.as_str()));
+            let status_writer: Option<StatusWriter> = match status_writer_for(&args) {
+                Ok(w) => w,
+                Err(code) => return code,
+            };
 
             let threads = args.engine_threads();
             // `auto` reduces unless a fault flag is present: the fault
@@ -1254,6 +1566,26 @@ fn main() -> ExitCode {
                     println!("symmetry: {}", if reduce { "on" } else { "off" });
                 }
             }
+            // Persistence (tentpole): with `--spill-dir`/`--resume` the
+            // two reachability sweeps checkpoint into per-phase
+            // subdirectories; `meta.json` records the engine shape for
+            // `--resume` to replay (see docs/persistence.md).
+            let popts = PersistOpts {
+                interval: args.checkpoint_interval,
+                evict_at: args.spill_bytes,
+                resume: args.resume,
+                crash: CrashSwitch::after(args.crash_after),
+            };
+            let spill_root: Option<PathBuf> = args.spill_dir.as_ref().map(PathBuf::from);
+            if let Some(root) = &spill_root {
+                if let Err(e) = std::fs::create_dir_all(root) {
+                    eprintln!("ccr: cannot create {}: {e}", root.display());
+                    return ExitCode::FAILURE;
+                }
+                if let Err(code) = write_meta(root, &args, reduce) {
+                    return code;
+                }
+            }
             let rv = RendezvousSystem::new(&spec, n);
             // `--async` skips the rendezvous level (and the checks that
             // need it): the async exploration alone, for profiling and
@@ -1271,8 +1603,34 @@ fn main() -> ExitCode {
                         &status_writer,
                         "explore/rendezvous",
                     );
-                    explore_cli_sym(&rv, reduce, &budget, threads, &mut obs, &registry)
+                    match &spill_root {
+                        Some(root) => match explore_cli_sym_persist(
+                            &rv,
+                            reduce,
+                            &budget,
+                            threads,
+                            &mut obs,
+                            &registry,
+                            &root.join("rendezvous"),
+                            &popts,
+                        ) {
+                            Ok((rep, restored)) => {
+                                if restored && human {
+                                    println!("rendezvous level: restored from finished checkpoint");
+                                }
+                                rep
+                            }
+                            Err(e) => {
+                                eprintln!("ccr: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        },
+                        None => explore_cli_sym(&rv, reduce, &budget, threads, &mut obs, &registry),
+                    }
                 };
+                if let ccr_mc::Outcome::PersistFailure(msg) = &rr.outcome {
+                    eprintln!("ccr: persistence failure: {msg}");
+                }
                 if human {
                     println!("rendezvous level  (n={n}): {} states, {:?}", rr.states, rr.outcome);
                     if rr.trail.is_some() {
@@ -1298,8 +1656,38 @@ fn main() -> ExitCode {
                         &status_writer,
                         "explore/async",
                     );
-                    explore_cli_sym(&asys, reduce, &budget, threads, &mut obs, &registry)
+                    match &spill_root {
+                        Some(root) => match explore_cli_sym_persist(
+                            &asys,
+                            reduce,
+                            &budget,
+                            threads,
+                            &mut obs,
+                            &registry,
+                            &root.join("async"),
+                            &popts,
+                        ) {
+                            Ok((rep, restored)) => {
+                                if restored && human {
+                                    println!(
+                                        "asynchronous level: restored from finished checkpoint"
+                                    );
+                                }
+                                rep
+                            }
+                            Err(e) => {
+                                eprintln!("ccr: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        },
+                        None => {
+                            explore_cli_sym(&asys, reduce, &budget, threads, &mut obs, &registry)
+                        }
+                    }
                 };
+                if let ccr_mc::Outcome::PersistFailure(msg) = &ar.outcome {
+                    eprintln!("ccr: persistence failure: {msg}");
+                }
                 if human {
                     println!("asynchronous level (n={n}): {} states, {:?}", ar.states, ar.outcome);
                     if ar.trail.is_some() {
@@ -1484,6 +1872,11 @@ fn main() -> ExitCode {
                     m.entry("symmetry", if reduce { "on" } else { "off" });
                     m.entry("seed", &args.seed);
                     m.entry("async_only", &args.async_only);
+                    if let Some(dir) = &args.spill_dir {
+                        m.entry("spill_dir", dir.as_str());
+                        m.entry("spill_bytes", &args.spill_bytes);
+                        m.entry("resumed", &args.resume);
+                    }
                     m.entry("rendezvous", &r);
                     m.entry("asynchronous", &a);
                     m.entry("equation1", &sim);
@@ -1557,8 +1950,10 @@ fn main() -> ExitCode {
             let run_started = Instant::now();
             let profiler =
                 if args.profile.is_some() { Profiler::new() } else { Profiler::disabled() };
-            let status_writer: Option<StatusWriter> =
-                args.status.as_ref().map(|p| StatusWriter::create(p.as_str()));
+            let status_writer: Option<StatusWriter> = match status_writer_for(&args) {
+                Ok(w) => w,
+                Err(code) => return code,
+            };
             // `table` reproduces the paper's Table 3, so `auto` keeps the
             // concrete (unreduced) counts; only an explicit `--symmetry
             // on` switches the cells to orbit counts (and only when the

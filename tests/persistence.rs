@@ -1,0 +1,306 @@
+//! Differential crash-recovery harness for the persistence layer
+//! (`docs/persistence.md`), driving the real `ccr` binary:
+//!
+//! * a RAM-capped **spill** run (`--spill-dir` + tiny `--spill-bytes`)
+//!   and a **kill -9 → `--resume`** run (`--crash-after-states`, which
+//!   aborts the process without destructors or flushes) both finish
+//!   with byte-identical states/transitions/outcome versus an
+//!   uninterrupted in-memory run — on every shipped spec, serial and at
+//!   4 threads;
+//! * corruption inside the committed region (bit rot, truncation below
+//!   the manifest, a garbled manifest) fails safe with a diagnostic and
+//!   a nonzero exit instead of wrong answers.
+
+use ccr_metrics::jsonval::Json;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// Every spec shipped under `specs/` — including the deliberately
+/// broken one, so violating outcomes survive a crash/resume too.
+const SPECS: [&str; 6] = [
+    "invalidate.ccp",
+    "migratory.ccp",
+    "migratory_broken.ccp",
+    "migratory_gated.ccp",
+    "token.ccp",
+    "update.ccp",
+];
+
+fn root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ccr-persistence-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn ccr(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ccr"))
+        .args(args)
+        .current_dir(root())
+        .output()
+        .expect("spawn ccr")
+}
+
+/// The determinism contract's pinned bytes: `(states, transitions,
+/// outcome)` of each reachability sweep in a `verify --json` document.
+/// The outcome is compared as its serialized JSON — byte identity, not
+/// just variant identity.
+fn sweep_counts(stdout: &[u8]) -> Vec<(String, u64, u64, String)> {
+    let doc = Json::parse(std::str::from_utf8(stdout).unwrap()).expect("verify JSON");
+    let mut out = Vec::new();
+    for key in ["rendezvous", "asynchronous"] {
+        let Some(sweep) = doc.get(key).filter(|s| !matches!(s, Json::Null)) else {
+            out.push((key.to_string(), 0, 0, "absent".to_string()));
+            continue;
+        };
+        out.push((
+            key.to_string(),
+            sweep.get("states").and_then(Json::as_u64).unwrap(),
+            sweep.get("transitions").and_then(Json::as_u64).unwrap(),
+            format!("{:?}", sweep.get("outcome").unwrap()),
+        ));
+    }
+    out
+}
+
+/// One spec × one engine: uninterrupted vs spill vs crash+resume.
+fn check_spec(spec: &str, threads: Option<&str>, dir: &Path) {
+    let spec_path = format!("specs/{spec}");
+    let tag = threads.map(|t| format!("{t}t")).unwrap_or_else(|| "serial".into());
+    let run = |extra: Vec<String>| -> Output {
+        let mut args: Vec<String> =
+            ["verify", &spec_path, "-n", "2", "--json"].map(String::from).to_vec();
+        if let Some(t) = threads {
+            args.push("--threads".into());
+            args.push(t.into());
+        }
+        args.extend(extra);
+        ccr(&args.iter().map(String::as_str).collect::<Vec<_>>())
+    };
+
+    // The reference: one uninterrupted, in-memory run. Broken specs exit
+    // nonzero by design — the counts are still the contract.
+    let base = sweep_counts(&run(vec![]).stdout);
+
+    // RAM-capped spill run: a byte budget far below the visited set, so
+    // the store actually evicts and re-reads payloads from the log. The
+    // 50 ms cadence keeps checkpoints frequent without syncing on every
+    // expansion (interval 0 turns the big sweeps quadratic in file I/O).
+    let spill_dir = dir.join(format!("{spec}-{tag}-spill"));
+    let spill = run(vec![
+        "--spill-dir".into(),
+        spill_dir.display().to_string(),
+        "--spill-bytes".into(),
+        "4096".into(),
+        "--checkpoint-interval".into(),
+        "0.05".into(),
+    ]);
+    assert_eq!(
+        sweep_counts(&spill.stdout),
+        base,
+        "{spec} ({tag}): spill run diverged\nstderr: {}",
+        String::from_utf8_lossy(&spill.stderr)
+    );
+
+    // Kill -9 mid-run (the crash switch aborts the process), then
+    // resume from the last checkpoint.
+    let crash_dir = dir.join(format!("{spec}-{tag}-crash"));
+    let crash = run(vec![
+        "--spill-dir".into(),
+        crash_dir.display().to_string(),
+        "--checkpoint-interval".into(),
+        "0.05".into(),
+        "--crash-after-states".into(),
+        "40".into(),
+    ]);
+    assert!(
+        !crash.status.success(),
+        "{spec} ({tag}): crash run must die, stdout: {}",
+        String::from_utf8_lossy(&crash.stdout)
+    );
+    let resumed = ccr(&["verify", "--resume", &crash_dir.display().to_string(), "--json"]);
+    assert_eq!(
+        sweep_counts(&resumed.stdout),
+        base,
+        "{spec} ({tag}): resumed run diverged\nstderr: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+}
+
+#[test]
+fn spill_and_crash_resume_match_uninterrupted_serial() {
+    let dir = tmp("serial");
+    for spec in SPECS {
+        check_spec(spec, None, &dir);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn spill_and_crash_resume_match_uninterrupted_parallel() {
+    let dir = tmp("parallel");
+    for spec in SPECS {
+        check_spec(spec, Some("4"), &dir);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A crashed run can also be resumed on a different thread count: the
+/// checkpoint fixes the shard count, not the worker count.
+#[test]
+fn resume_across_thread_counts() {
+    let dir = tmp("threads");
+    let d = dir.join("crash");
+    let base = sweep_counts(
+        &ccr(&["verify", "specs/token.ccp", "-n", "3", "--threads", "4", "--json"]).stdout,
+    );
+    let crash = ccr(&[
+        "verify",
+        "specs/token.ccp",
+        "-n",
+        "3",
+        "--threads",
+        "4",
+        "--json",
+        "--spill-dir",
+        &d.display().to_string(),
+        "--checkpoint-interval",
+        "0",
+        "--crash-after-states",
+        "60",
+    ]);
+    assert!(!crash.status.success());
+    let resumed =
+        ccr(&["verify", "--resume", &d.display().to_string(), "--threads", "1", "--json"]);
+    assert_eq!(
+        sweep_counts(&resumed.stdout),
+        base,
+        "stderr: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Resuming a run whose phases already finished restores the reports
+/// from the terminal manifests without re-searching.
+#[test]
+fn resume_of_a_finished_run_restores_reports() {
+    let dir = tmp("finished");
+    let d = dir.join("spill");
+    let done = ccr(&[
+        "verify",
+        "specs/token.ccp",
+        "-n",
+        "2",
+        "--json",
+        "--spill-dir",
+        &d.display().to_string(),
+    ]);
+    let base = sweep_counts(&done.stdout);
+    let resumed = ccr(&["verify", "--resume", &d.display().to_string()]);
+    assert!(resumed.status.success(), "{}", String::from_utf8_lossy(&resumed.stderr));
+    let stdout = String::from_utf8_lossy(&resumed.stdout);
+    assert!(stdout.contains("restored from finished checkpoint"), "{stdout}");
+    let rejson = ccr(&["verify", "--resume", &d.display().to_string(), "--json"]);
+    assert_eq!(sweep_counts(&rejson.stdout), base);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Corruption fails safe: a garbled manifest, bit rot inside the
+/// committed log region, and a log truncated below its manifest each
+/// exit nonzero with a diagnostic naming the damage.
+#[test]
+fn corruption_fails_safe_with_a_diagnostic() {
+    use std::io::{Read, Seek, SeekFrom, Write};
+    let dir = tmp("corrupt");
+
+    // A finished run with a garbled manifest.
+    let d1 = dir.join("manifest");
+    ccr(&["verify", "specs/token.ccp", "-n", "2", "--spill-dir", &d1.display().to_string()]);
+    std::fs::write(d1.join("async/manifest.json"), "{broken").unwrap();
+    let out = ccr(&["verify", "--resume", &d1.display().to_string()]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("corrupt manifest"), "{err}");
+
+    // A crashed run (mid-async checkpoint) with one byte of the
+    // committed log region flipped.
+    let d2 = dir.join("rot");
+    let crash = ccr(&[
+        "verify",
+        "specs/token.ccp",
+        "-n",
+        "2",
+        "--spill-dir",
+        &d2.display().to_string(),
+        "--checkpoint-interval",
+        "0",
+        "--crash-after-states",
+        "40",
+    ]);
+    assert!(!crash.status.success());
+    let log = d2.join("async/log");
+    let committed = std::fs::metadata(&log).unwrap().len();
+    assert!(committed > 20, "crash run must have committed log bytes");
+    let mut f = std::fs::OpenOptions::new().read(true).write(true).open(&log).unwrap();
+    f.seek(SeekFrom::Start(committed - 3)).unwrap();
+    let mut b = [0u8; 1];
+    f.read_exact(&mut b).unwrap();
+    f.seek(SeekFrom::Start(committed - 3)).unwrap();
+    f.write_all(&[b[0] ^ 0xFF]).unwrap();
+    drop(f);
+    let out = ccr(&["verify", "--resume", &d2.display().to_string()]);
+    assert!(!out.status.success(), "bit rot must fail the resume");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("checksum mismatch"), "{err}");
+
+    // The same crashed layout with the log truncated below the bytes
+    // its manifest vouches for.
+    let d3 = dir.join("short");
+    let crash = ccr(&[
+        "verify",
+        "specs/token.ccp",
+        "-n",
+        "2",
+        "--spill-dir",
+        &d3.display().to_string(),
+        "--checkpoint-interval",
+        "0",
+        "--crash-after-states",
+        "40",
+    ]);
+    assert!(!crash.status.success());
+    let log = d3.join("async/log");
+    let committed = std::fs::metadata(&log).unwrap().len();
+    std::fs::OpenOptions::new().write(true).open(&log).unwrap().set_len(committed - 5).unwrap();
+    let out = ccr(&["verify", "--resume", &d3.display().to_string()]);
+    assert!(!out.status.success(), "a log truncated below its manifest must fail the resume");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("truncated below"), "{err}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// `--resume` of a directory without a run is a clean error, and spill
+/// flags outside `verify` are rejected.
+#[test]
+fn resume_and_flag_misuse_are_clean_errors() {
+    let out = ccr(&["verify", "--resume", "/nonexistent/run-dir"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot resume"), "{err}");
+
+    let out = ccr(&["table", "specs/token.ccp", "--spill-dir", "/tmp/x"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("apply to `verify` only"), "{err}");
+
+    let out = ccr(&["verify", "specs/token.ccp", "--crash-after-states", "10"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("needs --spill-dir"), "{err}");
+}
