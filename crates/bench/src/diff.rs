@@ -13,7 +13,10 @@
 //!   microsecond phases don't flap). `--counts-only` drops every
 //!   timing- and memory-based threshold and gates the exact counts
 //!   alone — for workloads too short to time reliably, such as the
-//!   symmetry-reduced orbit spaces.
+//!   symmetry-reduced orbit spaces. `--min-engine-overhead R` asserts
+//!   the new report's 1-thread `engine_overhead` ratio stays at or
+//!   above `R` — a same-host ratio, so it holds up even under
+//!   `--counts-only` on hosts too noisy for absolute-rate gates.
 //! * **Metrics snapshots** (`ccr --metrics` output, anything with a
 //!   top-level `"counters"` key): every metric *not* tagged in either
 //!   file's `nondeterministic` list must match exactly — counters,
@@ -40,11 +43,19 @@ pub struct DiffOptions {
     /// measure reliably — e.g. the symmetry-reduced orbit spaces, where
     /// the counts *are* the result being pinned.
     pub counts_only: bool,
+    /// Absolute floor on the **new** report's 1-thread `engine_overhead`
+    /// ratio (parallel-at-1-thread throughput over serial throughput).
+    /// Unlike the relative thresholds this does not compare against the
+    /// old report — it asserts the overhead gap itself never regresses
+    /// past a fixed line, and it applies even under `counts_only`
+    /// (a ratio of two same-host runs is far more stable than either
+    /// absolute rate, so it survives hosts too noisy for `tolerance`).
+    pub min_engine_overhead: Option<f64>,
 }
 
 impl Default for DiffOptions {
     fn default() -> Self {
-        Self { tolerance: 0.1, bytes_tolerance: 0.1, counts_only: false }
+        Self { tolerance: 0.1, bytes_tolerance: 0.1, counts_only: false, min_engine_overhead: None }
     }
 }
 
@@ -142,6 +153,23 @@ fn diff_workload(name: &str, old: &Json, new: &Json, opts: &DiffOptions, rep: &m
             }
             (Some(_), Some(_)) => {}
             _ => rep.notes.push(format!("{name}: {key} missing on one side")),
+        }
+    }
+    // Engine overhead: an absolute floor on the new report's 1-thread
+    // ratio, asserted regardless of `counts_only` (see `DiffOptions`).
+    if let Some(floor) = opts.min_engine_overhead {
+        let one_t = new
+            .get("parallel")
+            .and_then(Json::as_array)
+            .and_then(|par| par.iter().find(|e| e.get("threads").and_then(Json::as_u64) == Some(1)))
+            .and_then(|e| e.get("engine_overhead"))
+            .and_then(Json::as_f64);
+        match one_t {
+            Some(ratio) if ratio < floor => rep.regressions.push(format!(
+                "{name}: 1-thread engine_overhead {ratio:.2} below the {floor:.2} floor"
+            )),
+            Some(_) => {}
+            None => rep.notes.push(format!("{name}: no 1-thread engine_overhead sample")),
         }
     }
     if opts.counts_only {
@@ -316,7 +344,8 @@ pub fn cli(args: &[String]) -> std::process::ExitCode {
     let usage = || {
         eprintln!(
             "usage: ccr bench diff <old.json> <new.json> \
-             [--tolerance T] [--bytes-tolerance B] [--counts-only]"
+             [--tolerance T] [--bytes-tolerance B] [--counts-only] \
+             [--min-engine-overhead R]"
         );
         ExitCode::from(2)
     };
@@ -337,6 +366,10 @@ pub fn cli(args: &[String]) -> std::process::ExitCode {
                 _ => return usage(),
             },
             "--counts-only" => opts.counts_only = true,
+            "--min-engine-overhead" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(r) if (0.0..=1.0).contains(&r) => opts.min_engine_overhead = Some(r),
+                _ => return usage(),
+            },
             _ if a.starts_with('-') => return usage(),
             _ => files.push(a.clone()),
         }
@@ -435,6 +468,47 @@ mod tests {
         let drifted = bench_doc(99, 5000.0, 20.0, 1.0);
         let rep = diff_strs(&old, &drifted, &opts).unwrap();
         assert!(rep.regressions.iter().any(|r| r.contains("states changed")), "{rep:?}");
+    }
+
+    fn bench_doc_with_overhead(overhead: f64) -> String {
+        format!(
+            r#"{{"bench":"mc_perf","workloads":[{{"name":"w1","states":100,
+              "transitions":10,"encoded_len_bytes":16,
+              "serial":{{"secs":1.0,"states_per_sec":5000.0}},
+              "parallel":[
+                {{"threads":1,"secs":1.0,"states_per_sec":{},"engine_overhead":{overhead}}},
+                {{"threads":4,"secs":1.0,"states_per_sec":5000.0,"speedup":1.0}}],
+              "store":{{"arena_bytes_per_state":20.0}},
+              "phases":{{"explore_secs":1.0}}}}]}}"#,
+            5000.0 * overhead
+        )
+    }
+
+    #[test]
+    fn engine_overhead_floor_gates_the_one_thread_ratio() {
+        let old = bench_doc_with_overhead(0.60);
+        let opts = DiffOptions {
+            counts_only: true,
+            min_engine_overhead: Some(0.50),
+            ..DiffOptions::default()
+        };
+        // At or above the floor: clean, even though counts_only skips
+        // every other timing gate.
+        let good = bench_doc_with_overhead(0.55);
+        assert!(diff_strs(&old, &good, &opts).unwrap().ok());
+        // Below the floor: regression, despite counts_only.
+        let bad = bench_doc_with_overhead(0.45);
+        let rep = diff_strs(&old, &bad, &opts).unwrap();
+        assert!(rep.regressions.iter().any(|r| r.contains("engine_overhead")), "{rep:?}");
+        // A report without a 1-thread sample notes the absence instead
+        // of failing (old reports predate the field).
+        let legacy = bench_doc(100, 5000.0, 20.0, 1.0);
+        let rep = diff_strs(&old, &legacy, &opts).unwrap();
+        assert!(rep.ok(), "{:?}", rep.regressions);
+        assert!(rep.notes.iter().any(|n| n.contains("engine_overhead")), "{rep:?}");
+        // Without the flag the ratio is not gated at all.
+        let lax = DiffOptions { counts_only: true, ..DiffOptions::default() };
+        assert!(diff_strs(&old, &bad, &lax).unwrap().ok());
     }
 
     #[test]

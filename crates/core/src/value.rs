@@ -85,6 +85,52 @@ impl Value {
         }
     }
 
+    /// Upper bound on the encoded size of any value: the widest forms
+    /// (`Int` outside `i8`, `Mask`) take a tag byte plus 8 payload bytes.
+    pub const MAX_ENCODED_LEN: usize = 9;
+
+    /// Fast-path encoding into a preallocated slot: writes the same bytes
+    /// as [`Value::encode`] at `buf[pos..]` and returns the new cursor.
+    /// The caller guarantees `buf.len() - pos >= MAX_ENCODED_LEN`.
+    #[inline]
+    pub fn encode_into(self, buf: &mut [u8], pos: usize) -> usize {
+        match self {
+            Value::Unit => {
+                buf[pos] = 0;
+                pos + 1
+            }
+            Value::Bool(false) => {
+                buf[pos] = 1;
+                pos + 1
+            }
+            Value::Bool(true) => {
+                buf[pos] = 2;
+                pos + 1
+            }
+            Value::Int(i) => {
+                if let Ok(b) = i8::try_from(i) {
+                    buf[pos] = 6;
+                    buf[pos + 1] = b as u8;
+                    pos + 2
+                } else {
+                    buf[pos] = 3;
+                    buf[pos + 1..pos + 9].copy_from_slice(&i.to_le_bytes());
+                    pos + 9
+                }
+            }
+            Value::Node(n) => {
+                buf[pos] = 4;
+                buf[pos + 1..pos + 3].copy_from_slice(&(n.0 as u16).to_le_bytes());
+                pos + 3
+            }
+            Value::Mask(m) => {
+                buf[pos] = 5;
+                buf[pos + 1..pos + 9].copy_from_slice(&m.to_le_bytes());
+                pos + 9
+            }
+        }
+    }
+
     /// Inverse of [`Value::encode`]: reads one value from the front of
     /// `bytes`, returning it and the number of bytes consumed, or `None`
     /// when the input is truncated or carries an unknown tag.
@@ -169,6 +215,23 @@ impl Env {
         }
     }
 
+    /// Upper bound on the encoded size of this environment.
+    #[inline]
+    pub fn max_encoded_len(&self) -> usize {
+        self.slots.len() * Value::MAX_ENCODED_LEN
+    }
+
+    /// Fast-path encoding into a preallocated slot: same bytes as
+    /// [`Env::encode`] at `buf[pos..]`, returning the new cursor. The
+    /// caller guarantees `buf.len() - pos >= self.max_encoded_len()`.
+    #[inline]
+    pub fn encode_into(&self, buf: &mut [u8], mut pos: usize) -> usize {
+        for v in &self.slots {
+            pos = v.encode_into(buf, pos);
+        }
+        pos
+    }
+
     /// Inverse of [`Env::encode`] for an environment of exactly `n`
     /// variables: reads `n` values from the front of `bytes`, returning
     /// the environment and the number of bytes consumed, or `None` when
@@ -236,6 +299,39 @@ mod tests {
         Value::Int(1).encode(&mut a);
         Value::Node(RemoteId(1)).encode(&mut b);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn encode_into_matches_encode_for_every_variant() {
+        let values = [
+            Value::Unit,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Int(0),
+            Value::Int(-128),
+            Value::Int(127),
+            Value::Int(1 << 40),
+            Value::Int(i64::MIN),
+            Value::Node(RemoteId(0)),
+            Value::Node(RemoteId(65535)),
+            Value::Mask(0),
+            Value::Mask(u64::MAX),
+        ];
+        for v in values {
+            let mut reference = Vec::new();
+            v.encode(&mut reference);
+            assert!(reference.len() <= Value::MAX_ENCODED_LEN);
+            let mut buf = [0xAAu8; 2 * Value::MAX_ENCODED_LEN];
+            let end = v.encode_into(&mut buf, 3);
+            assert_eq!(&buf[3..end], &reference[..], "{v:?}");
+        }
+        let env = Env::new(values.to_vec());
+        let mut reference = Vec::new();
+        env.encode(&mut reference);
+        assert!(reference.len() <= env.max_encoded_len());
+        let mut buf = vec![0u8; env.max_encoded_len()];
+        let end = env.encode_into(&mut buf, 0);
+        assert_eq!(&buf[..end], &reference[..]);
     }
 
     #[test]

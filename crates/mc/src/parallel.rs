@@ -14,8 +14,12 @@
 //! # Determinism
 //!
 //! The search is **level-synchronized**: all states at BFS depth `d` are
-//! expanded before any state at depth `d + 1`, with a barrier (and a
-//! drain of every in-flight batch) between levels. Because a complete
+//! expanded before any state at depth `d + 1`. Level boundaries are
+//! detected *asynchronously* — the last worker to finish a level waits
+//! for message quiescence (per-worker sent/received batch counters) and
+//! publishes the global decision through an epoch counter, while every
+//! other worker keeps draining its inbox instead of parking at a
+//! barrier. Because a complete
 //! exploration visits the same reachable set in any order, `states`,
 //! `transitions` and the outcome are *byte-identical across thread
 //! counts*:
@@ -63,9 +67,10 @@ use crossbeam::queue::SegQueue;
 use serde::Serialize;
 use std::path::Path;
 use std::sync::atomic::{
-    AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering::Relaxed, Ordering::SeqCst,
+    AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering::AcqRel, Ordering::Acquire,
+    Ordering::Relaxed, Ordering::Release, Ordering::SeqCst,
 };
-use std::sync::{Barrier, Condvar, Mutex, MutexGuard};
+use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`explore_parallel`] and the parallel progress check.
@@ -225,6 +230,14 @@ pub(crate) struct ShardData<St> {
     cur: Vec<(St, u32)>,
     /// Frontier: states discovered for the next level.
     next: Vec<(St, u32)>,
+    /// Frontier: states discovered *two* levels out. With asynchronous
+    /// termination detection a fast worker can already be expanding
+    /// level `d + 1` (shipping `d + 2` successors) while this shard's
+    /// owner is still draining its level-`d` wind-down; routing those
+    /// early arrivals by depth keeps the level discipline exact. Senders
+    /// can never run more than one level ahead (the next decision waits
+    /// for this worker's arrival), so two out-queues suffice.
+    nextnext: Vec<(St, u32)>,
 }
 
 impl<St> ShardData<St> {
@@ -237,6 +250,7 @@ impl<St> ShardData<St> {
             flags: Vec::new(),
             cur: Vec::new(),
             next: Vec::new(),
+            nextnext: Vec::new(),
         }
     }
 }
@@ -283,14 +297,26 @@ struct Counters {
     frontier_in: AtomicUsize,
     /// Monotone: frontier states expanded.
     frontier_out: AtomicUsize,
+    /// Absolute byte footprint of this worker's shard stores, published
+    /// once per level boundary (not a per-insert delta — keeping the
+    /// running tally off the per-successor path).
     bytes: AtomicUsize,
+    /// Monotone: cross-worker batches this worker has shipped. Final by
+    /// the time the worker arrives at the level boundary — termination
+    /// detection sums these once per level.
+    sent: AtomicU64,
+    /// Monotone: cross-worker batches this worker has fully consumed
+    /// (items inserted *and* local tallies flushed before the bump, so a
+    /// quiescent `recv == sent` proves the decider sees exact totals).
+    recv: AtomicU64,
 }
 
 /// Worker-private tallies, flushed into the shared [`Counters`] cell at
 /// batch granularity (every drained batch, every 1024 expansions, and at
 /// each level boundary) so the per-item hot path touches no shared
-/// memory at all. The level decision runs after a barrier, which orders
-/// every flush before every read.
+/// memory at all. The level decision runs only after every worker has
+/// arrived and every batch has been consumed — the arrival and `recv`
+/// bumps order every flush before every read.
 #[derive(Default)]
 struct LocalCounts {
     states: usize,
@@ -298,12 +324,6 @@ struct LocalCounts {
     next: usize,
     frontier_in: usize,
     frontier_out: usize,
-    /// Signed: a spilling store shrinks when its arena evicts, so the
-    /// per-insert delta can be negative. Flushed into the shared
-    /// `AtomicUsize` by two's-complement wrap, which sums correctly as
-    /// long as the true total stays non-negative (it does: it is a sum
-    /// of store sizes).
-    bytes: isize,
 }
 
 /// A violation observed during the sweep; the engine finishes the level,
@@ -319,6 +339,19 @@ struct Violation {
 
 const DECIDE_CONTINUE: u8 = 0;
 const DECIDE_STOP: u8 = 1;
+
+/// The spin → yield → sleep wait ladder shared by every engine wait
+/// loop: stragglers get the core on oversubscribed hosts instead of
+/// fighting our spin.
+fn backoff(idle: u32) {
+    if idle < 16 {
+        std::hint::spin_loop();
+    } else if idle < 64 {
+        std::thread::yield_now();
+    } else {
+        std::thread::sleep(Duration::from_micros(50));
+    }
+}
 
 /// Pre-created metric handles so the worker paths that record (batch
 /// flush/drain, the per-level decision) touch only the atomic cells —
@@ -364,10 +397,22 @@ pub(crate) struct Engine<'e, T: TransitionSystem, F, G> {
     pub(crate) stripes: Vec<Mutex<ShardData<T::State>>>,
     inboxes: Vec<SegQueue<Batch<T::State>>>,
     pub(crate) started: Instant,
-    // Level-synchronization state.
-    barrier: Barrier,
-    done_expanding: AtomicUsize,
-    in_flight: AtomicUsize,
+    // Asynchronous termination detection (no barriers): workers arriving
+    // at a level boundary bump `arrivals`; the last one becomes the
+    // level's *decider*, waits for message quiescence (every shipped
+    // batch consumed, per the `Counters::sent`/`recv` sums), takes the
+    // global decision and publishes it by bumping `epoch`. Everyone else
+    // keeps draining their inbox until they observe the bump.
+    arrivals: AtomicUsize,
+    epoch: AtomicUsize,
+    /// Per-shard `(owner, local stripe index)` routing table. One L1-hot
+    /// load on the per-successor path instead of two integer divisions
+    /// (`shard % threads`, `shard / threads`).
+    route: Vec<(u32, u32)>,
+    /// Checkpoint rendezvous: workers that have synced their shards and
+    /// published cursors count themselves in; the decider writes the
+    /// manifest once all have, then bumps `epoch` a second time.
+    ckpt_done: AtomicUsize,
     counters: Vec<Counters>,
     pub(crate) peak_frontier: AtomicUsize,
     pub(crate) level: AtomicUsize,
@@ -425,9 +470,10 @@ where
             stripes: (0..n_shards).map(|_| Mutex::new(ShardData::new(cfg.compact_hash))).collect(),
             inboxes: (0..threads).map(|_| SegQueue::new()).collect(),
             started: Instant::now(),
-            barrier: Barrier::new(threads),
-            done_expanding: AtomicUsize::new(0),
-            in_flight: AtomicUsize::new(0),
+            arrivals: AtomicUsize::new(0),
+            epoch: AtomicUsize::new(0),
+            route: (0..n_shards).map(|s| ((s % threads) as u32, (s / threads) as u32)).collect(),
+            ckpt_done: AtomicUsize::new(0),
             counters: (0..threads).map(|_| Counters::default()).collect(),
             peak_frontier: AtomicUsize::new(0),
             level: AtomicUsize::new(0),
@@ -482,7 +528,11 @@ where
     /// Inserts a candidate into `sh`, its (already locked) shard stripe.
     /// The invariant runs on newly inserted states; violations are
     /// recorded and the level is finished, never expanded past.
+    /// `expected` is the owner's next-level depth: candidates one level
+    /// beyond it (early arrivals from a worker already expanding the
+    /// next level) are queued in `nextnext` instead of `next`.
     #[allow(clippy::too_many_arguments)]
+    #[inline]
     fn insert(
         &self,
         sh: &mut ShardData<T::State>,
@@ -491,45 +541,69 @@ where
         enc: &[u8],
         state: T::State,
         depth: u32,
+        expected: u32,
         src: u64,
         label: Option<Label>,
         edges: &mut Vec<(u64, u64)>,
         local: &mut LocalCounts,
     ) {
-        let before = sh.store.approx_bytes();
         let (idx, is_new) = sh.store.insert_hashed_depth(hash, enc, depth);
-        let dst_ref = pack(shard, idx);
         if is_new {
-            if let Some(p) = self.persist {
-                p.crash.tick();
-            }
-            sh.depth.push(depth);
-            if self.track_trails() {
-                sh.parents.push(src);
-                sh.labels.push(
-                    label.unwrap_or_else(|| Label::new(ProcessId::Home, LabelKind::Tau, "?")),
-                );
-            }
-            if self.is_progress.is_some() {
-                sh.flags.push(0);
-            }
-            local.bytes += sh.store.approx_bytes() as isize - before as isize;
-            local.states += 1;
-            local.next += 1;
-            local.frontier_in += 1;
-            if let Some(desc) = (self.invariant)(&state) {
-                self.record_violation(Violation {
-                    depth,
-                    enc: enc.to_vec(),
-                    rank: 0,
-                    outcome: Outcome::InvariantViolated(desc),
-                    state_ref: dst_ref,
-                });
-            }
-            sh.next.push((state, idx));
+            self.record_new(sh, shard, idx, enc, state, depth, expected, src, label, local);
         }
         if self.is_progress.is_some() {
-            edges.push((dst_ref, src));
+            edges.push((pack(shard, idx), src));
+        }
+    }
+
+    /// Bookkeeping for a *newly inserted* state: depth/trail/flag rows,
+    /// counters, invariant, and frontier routing. Split from the
+    /// duplicate probe so the hot path moves `state` across a call
+    /// boundary only for the minority of candidates that are actually
+    /// new.
+    #[allow(clippy::too_many_arguments)]
+    fn record_new(
+        &self,
+        sh: &mut ShardData<T::State>,
+        shard: usize,
+        idx: u32,
+        enc: &[u8],
+        state: T::State,
+        depth: u32,
+        expected: u32,
+        src: u64,
+        label: Option<Label>,
+        local: &mut LocalCounts,
+    ) {
+        if let Some(p) = self.persist {
+            p.crash.tick();
+        }
+        sh.depth.push(depth);
+        if self.track_trails() {
+            sh.parents.push(src);
+            sh.labels
+                .push(label.unwrap_or_else(|| Label::new(ProcessId::Home, LabelKind::Tau, "?")));
+        }
+        if self.is_progress.is_some() {
+            sh.flags.push(0);
+        }
+        local.states += 1;
+        local.next += 1;
+        local.frontier_in += 1;
+        if let Some(desc) = (self.invariant)(&state) {
+            self.record_violation(Violation {
+                depth,
+                enc: enc.to_vec(),
+                rank: 0,
+                outcome: Outcome::InvariantViolated(desc),
+                state_ref: pack(shard, idx),
+            });
+        }
+        debug_assert!(depth == expected || depth == expected + 1);
+        if depth > expected {
+            sh.nextnext.push((state, idx));
+        } else {
+            sh.next.push((state, idx));
         }
     }
 
@@ -537,36 +611,47 @@ where
     /// worker's held stripes (position `s / threads` for shard `s`).
     /// Returns the number of items processed (0: no batch was pending;
     /// flushed batches are never empty).
+    ///
+    /// Fully consuming a batch — inserts done, local tallies flushed —
+    /// is published by a `Release` bump of the worker's `recv` counter,
+    /// so a decider that observes `recv == sent` (`Acquire`) sees every
+    /// insertion and every count the batch produced.
     fn drain_one(
         &self,
         w: usize,
+        expected: u32,
         guards: &mut [MutexGuard<'_, ShardData<T::State>>],
         edges: &mut Vec<(u64, u64)>,
         local: &mut LocalCounts,
+        timer: &mut ccr_metrics::profile::SpanTimer,
     ) -> usize {
         let Some(batch) = self.inboxes[w].pop() else {
             return 0;
         };
-        let threads = self.cfg.threads.max(1);
+        timer.lap(SpanKind::Drain, 1);
         let n_items = batch.items.len();
         for item in batch.items {
             let shard = self.shard_of(item.hash);
-            debug_assert_eq!(self.owner_of(shard), w);
+            let (owner, li) = self.route[shard];
+            debug_assert_eq!(owner as usize, w);
             let enc = &batch.bytes[item.enc_start as usize..item.enc_end as usize];
             self.insert(
-                &mut guards[shard / threads],
+                &mut guards[li as usize],
                 shard,
                 item.hash,
                 enc,
                 item.state,
                 item.depth,
+                expected,
                 item.src,
                 item.label,
                 edges,
                 local,
             );
         }
-        self.in_flight.fetch_sub(1, SeqCst);
+        timer.lap(SpanKind::Insert, n_items as u64);
+        self.flush_counts(w, local);
+        self.counters[w].recv.fetch_add(1, Release);
         self.metrics.batches_drained.inc();
         n_items
     }
@@ -579,17 +664,19 @@ where
         c.next.fetch_add(local.next, Relaxed);
         c.frontier_in.fetch_add(local.frontier_in, Relaxed);
         c.frontier_out.fetch_add(local.frontier_out, Relaxed);
-        c.bytes.fetch_add(local.bytes as usize, Relaxed);
         *local = LocalCounts::default();
     }
 
-    /// Ships a non-empty outbox to `dest`'s inbox. Returns whether a
-    /// batch was actually sent.
-    fn flush(&self, dest: usize, outbox: &mut Batch<T::State>) -> bool {
+    /// Ships worker `w`'s non-empty outbox to `dest`'s inbox. Returns
+    /// whether a batch was actually sent.
+    fn flush(&self, w: usize, dest: usize, outbox: &mut Batch<T::State>) -> bool {
         if outbox.items.is_empty() {
             return false;
         }
-        self.in_flight.fetch_add(1, SeqCst);
+        // Relaxed suffices: the decider only reads `sent` totals after
+        // every worker's level arrival, whose `AcqRel` bump of
+        // `arrivals` orders all earlier sends before the read.
+        self.counters[w].sent.fetch_add(1, Relaxed);
         self.metrics.batches_flushed.inc();
         self.inboxes[dest].push(Batch {
             items: std::mem::take(&mut outbox.items),
@@ -634,6 +721,16 @@ where
             (0..threads).map(|_| Batch::with_capacity(self.cfg.batch)).collect();
         let mut taken: Vec<(T::State, u32)> = Vec::new();
         let mut timer = self.profiler.worker(w);
+        // Zero-copy successor path: systems with an encoding bound are
+        // encoded exactly once into this fixed scratch slot — hashed and
+        // (for local inserts) committed straight from it, copied only
+        // into the outbox when the successor belongs to another worker.
+        let fast_cap = self.sys.max_encoded_len();
+        let mut scratch: Vec<u8> = vec![0; fast_cap.unwrap_or(0)];
+        // The worker's view of the level epoch; the decider's bump past
+        // this value publishes the level decision (and, on checkpoint
+        // levels, the manifest commit).
+        let mut seen_epoch = 0usize;
 
         loop {
             let depth = self.level.load(SeqCst) as u32;
@@ -648,10 +745,14 @@ where
                         // Periodic duties off the per-item path: keep the
                         // inbox short while other workers expand, check
                         // the wall clock, publish counters.
-                        let drained = self.drain_one(w, &mut guards, &mut edges, &mut local);
-                        if drained > 0 {
-                            timer.lap(SpanKind::Drain, drained as u64);
-                        }
+                        self.drain_one(
+                            w,
+                            depth + 1,
+                            &mut guards,
+                            &mut edges,
+                            &mut local,
+                            &mut timer,
+                        );
                         if i & 0x3ff == 0x3ff {
                             self.flush_counts(w, &mut local);
                             self.check_mid_level_abort();
@@ -711,30 +812,52 @@ where
                         i += 1;
                         continue;
                     }
-                    let n_succs = succs.len() as u64;
+                    let mut n_remote = 0u64;
                     for (label, next) in succs.drain(..) {
-                        self.sys.encode(&next, &mut enc);
-                        let hash = hash_encoded(&enc);
+                        // Encode once: into the fixed scratch slot on the
+                        // fast path, into the growable Vec otherwise.
+                        let bytes: &[u8] = if fast_cap.is_some() {
+                            let n = self.sys.encode_into(&next, &mut scratch);
+                            &scratch[..n]
+                        } else {
+                            self.sys.encode(&next, &mut enc);
+                            &enc
+                        };
+                        let hash = hash_encoded(bytes);
                         let shard = self.shard_of(hash);
-                        let dest = self.owner_of(shard);
+                        let (dest, li) = self.route[shard];
+                        let dest = dest as usize;
                         let label = trails.then_some(label);
                         if dest == w {
-                            self.insert(
-                                &mut guards[shard / threads],
-                                shard,
-                                hash,
-                                &enc,
-                                next,
-                                depth + 1,
-                                src,
-                                label,
-                                &mut edges,
-                                &mut local,
-                            );
+                            timer.lap(SpanKind::Encode, 1);
+                            // Probe first: only genuinely new states pay
+                            // the bookkeeping call (and the state move).
+                            let sh = &mut guards[li as usize];
+                            let (idx, is_new) =
+                                sh.store.insert_hashed_depth(hash, bytes, depth + 1);
+                            if is_new {
+                                self.record_new(
+                                    sh,
+                                    shard,
+                                    idx,
+                                    bytes,
+                                    next,
+                                    depth + 1,
+                                    depth + 1,
+                                    src,
+                                    label,
+                                    &mut local,
+                                );
+                            }
+                            if self.is_progress.is_some() {
+                                edges.push((pack(shard, idx), src));
+                            }
+                            timer.lap(SpanKind::Insert, 1);
                         } else {
+                            n_remote += 1;
                             let out = &mut outboxes[dest];
                             let enc_start = out.bytes.len() as u32;
-                            out.bytes.extend_from_slice(&enc);
+                            out.bytes.extend_from_slice(bytes);
                             let enc_end = out.bytes.len() as u32;
                             out.items.push(Item {
                                 hash,
@@ -748,59 +871,42 @@ where
                             if out.items.len() >= self.cfg.batch {
                                 // Close the encode interval first so the
                                 // handoff alone is charged to `ship`.
-                                timer.lap(SpanKind::Encode, 0);
-                                self.flush(dest, &mut outboxes[dest]);
+                                timer.lap(SpanKind::Encode, n_remote);
+                                n_remote = 0;
+                                self.flush(w, dest, &mut outboxes[dest]);
                                 timer.lap(SpanKind::Ship, 1);
                             }
                         }
                     }
-                    timer.lap(SpanKind::Encode, n_succs);
+                    if n_remote > 0 {
+                        timer.lap(SpanKind::Encode, n_remote);
+                    }
                     i += 1;
                 }
                 taken.clear();
             }
             let mut shipped = 0u64;
             for (dest, out) in outboxes.iter_mut().enumerate() {
-                if dest != w && self.flush(dest, out) {
+                if dest != w && self.flush(w, dest, out) {
                     shipped += 1;
                 }
             }
             if shipped > 0 {
                 timer.lap(SpanKind::Ship, shipped);
             }
-            self.done_expanding.fetch_add(1, SeqCst);
-            // Drain phase: insertions for the next level keep arriving
-            // until every worker has finished expanding and every batch
-            // sent this level has been consumed. (No batch is sent during
-            // draining, so the condition is stable once true.) Back off
-            // from yielding to sleeping so stragglers get the core on
-            // oversubscribed hosts instead of fighting our spin.
-            let mut idle = 0u32;
-            loop {
-                let drained = self.drain_one(w, &mut guards, &mut edges, &mut local);
-                if drained > 0 {
-                    timer.lap(SpanKind::Drain, drained as u64);
-                    idle = 0;
-                    continue;
-                }
-                if self.done_expanding.load(SeqCst) == threads && self.in_flight.load(SeqCst) == 0 {
-                    break;
-                }
-                idle += 1;
-                if idle < 16 {
-                    std::hint::spin_loop();
-                } else if idle < 64 {
-                    std::thread::yield_now();
-                } else {
-                    std::thread::sleep(Duration::from_micros(50));
-                }
-            }
-            // Publish before the barrier: the leader's decision (and any
-            // reader after the barrier) then sees exact totals.
+            // Publish before arriving: the decider reads totals only
+            // after every worker has arrived and every batch has been
+            // consumed, so it sees exact per-level counts.
             self.flush_counts(w, &mut local);
-            // Export sticky tier I/O errors before the decision barrier —
-            // the leader cannot read our stripes, so the shared error
-            // slot is how a failed writer stops the run.
+            // Byte footprint is published as an absolute once per level
+            // (64 store sums, not one `approx_bytes` call per insert).
+            // Late inserts drained below only grow it, so the budget
+            // check reads an under- by at most one level's worth.
+            let bytes: usize = guards.iter().map(|g| g.store.approx_bytes()).sum();
+            self.counters[w].bytes.store(bytes, Relaxed);
+            // Export sticky tier I/O errors before the decision — the
+            // decider cannot read our stripes, so the shared error slot
+            // is how a failed writer stops the run.
             if let Some(p) = self.persist {
                 for g in guards.iter_mut() {
                     if let Some(tier) = g.store.tier_mut() {
@@ -810,11 +916,52 @@ where
                     }
                 }
             }
-            // Level boundary: one leader takes the global decision.
-            if self.barrier.wait().is_leader() {
+            // Level boundary, asynchronously: the last worker to arrive
+            // is the decider. All sends are final here (flushed above,
+            // before the `AcqRel` arrival bump), so the level is over
+            // exactly when every shipped batch has been consumed —
+            // which the non-deciders keep working towards by draining
+            // their inboxes while they wait for the epoch to move. Back
+            // off from yielding to sleeping so stragglers get the core
+            // on oversubscribed hosts instead of fighting our spin.
+            let am_decider = self.arrivals.fetch_add(1, AcqRel) + 1 == threads;
+            if am_decider {
+                let sent: u64 = self.counters.iter().map(|c| c.sent.load(Relaxed)).sum();
+                let mut idle = 0u32;
+                loop {
+                    if self.drain_one(w, depth + 1, &mut guards, &mut edges, &mut local, &mut timer)
+                        > 0
+                    {
+                        idle = 0;
+                        continue;
+                    }
+                    let recv: u64 = self.counters.iter().map(|c| c.recv.load(Acquire)).sum();
+                    if recv == sent {
+                        break;
+                    }
+                    idle += 1;
+                    backoff(idle);
+                }
                 self.decide();
+                // Reset the arrival count *before* releasing the epoch:
+                // no worker starts the next level (and so can re-arrive)
+                // until it observes the bump.
+                self.arrivals.store(0, Relaxed);
+                self.epoch.fetch_add(1, Release);
+            } else {
+                let mut idle = 0u32;
+                while self.epoch.load(Acquire) == seen_epoch {
+                    if self.drain_one(w, depth + 1, &mut guards, &mut edges, &mut local, &mut timer)
+                        > 0
+                    {
+                        idle = 0;
+                        continue;
+                    }
+                    idle += 1;
+                    backoff(idle);
+                }
             }
-            self.barrier.wait();
+            seen_epoch += 1;
             if self.decision.load(SeqCst) == DECIDE_STOP {
                 timer.lap(SpanKind::BarrierWait, 1);
                 return edges;
@@ -823,9 +970,15 @@ where
                 let sh = &mut **g;
                 debug_assert!(sh.cur.is_empty());
                 std::mem::swap(&mut sh.cur, &mut sh.next);
+                std::mem::swap(&mut sh.next, &mut sh.nextnext);
             }
             if let Some(p) = self.persist {
+                // The flag is set by the decider before the epoch bump
+                // and cleared only after every worker has counted itself
+                // into `ckpt_done`, so all workers agree on whether this
+                // level checkpoints (and on the extra epoch bump).
                 if p.ckpt_flag.load(SeqCst) {
+                    timer.lap(SpanKind::BarrierWait, 0);
                     // Each worker commits its own shards: sync the log,
                     // rewrite the index, publish the committed cursor.
                     for (li, &s) in owned.iter().enumerate() {
@@ -844,33 +997,47 @@ where
                         }
                     }
                     timer.lap(SpanKind::Checkpoint, 1);
-                    // Third barrier: every shard's cursor is published
-                    // before the manifest that references them is written.
-                    if self.barrier.wait().is_leader() {
+                    self.ckpt_done.fetch_add(1, Release);
+                    if am_decider {
+                        // Every shard's cursor must be published before
+                        // the manifest that references them is written;
+                        // nobody appends past the synced cursors until
+                        // the second bump says the manifest hit disk.
+                        let mut idle = 0u32;
+                        while self.ckpt_done.load(Acquire) != threads {
+                            idle += 1;
+                            backoff(idle);
+                        }
                         if let Err(e) = p.write_manifest(self.started, false, None) {
                             p.set_error(e);
                         }
                         p.ckpt_flag.store(false, SeqCst);
+                        self.ckpt_done.store(0, Relaxed);
+                        self.epoch.fetch_add(1, Release);
+                    } else {
+                        let mut idle = 0u32;
+                        while self.epoch.load(Acquire) == seen_epoch {
+                            idle += 1;
+                            backoff(idle);
+                        }
                     }
-                    // Fourth barrier: nobody appends past the synced
-                    // cursors (or re-reads the flag) until the manifest
-                    // hit disk.
-                    self.barrier.wait();
+                    seen_epoch += 1;
                 }
             }
             timer.lap(SpanKind::BarrierWait, 1);
         }
     }
 
-    /// The per-level global decision, taken by the barrier leader while
-    /// every other worker is parked at the second barrier.
+    /// The per-level global decision, taken by the level's decider (the
+    /// last worker to arrive) once the level is message-quiescent: every
+    /// shipped batch consumed and every worker's tallies flushed, so the
+    /// sums below are exact.
     fn decide(&self) {
         let next: usize = self.counters.iter().map(|c| c.next.swap(0, Relaxed)).sum();
         self.peak_frontier.fetch_max(next, SeqCst);
         if next > 0 {
             self.metrics.level_frontier.observe(next as u64);
         }
-        self.done_expanding.store(0, SeqCst);
         let states = self.states_total();
         let bytes = self.bytes_total();
         let has_violation = !self.violations.lock().expect("violations").is_empty();

@@ -26,22 +26,31 @@
 //!   (`head` for the serial engine, `level` for the parallel one).
 //!   Written atomically (write-temp-then-rename, the `status.rs`
 //!   discipline) with a monotonic `seq`. Everything in the log *beyond*
-//!   the committed byte count is an uncommitted tail and is truncated
-//!   on recovery.
+//!   the committed byte count is an uncommitted (dead) tail: recovery
+//!   ignores it, appends overwrite it, and the next checkpoint's
+//!   [`LogTier::sync`] compacts whatever is left of it away
+//!   (`mc_persist_compacted_bytes_total`).
 //! * **`lock`** — a pid lock file refusing concurrent writers; stale
 //!   locks (dead pid) are broken automatically.
 //!
 //! # Recovery rules
 //!
-//! On open with a manifest: each log is truncated to its committed byte
-//! count (discarding the torn tail a kill -9 leaves behind), then every
-//! committed record's checksum is verified — a mismatch *inside* the
+//! Recovery is **read-only**: it never mutates the log, so a resume
+//! killed before its first checkpoint leaves the directory exactly as
+//! it found it and re-recovery is idempotent. On open with a manifest:
+//! the committed prefix is the live log — anything beyond it is the
+//! torn tail a kill -9 leaves behind and is treated as dead — and every
+//! committed record's checksum is verified: a mismatch *inside* the
 //! committed region is real corruption and fails the open with a
 //! diagnostic, never a wrong answer. On open without a manifest (or
 //! with `committed = None`): the scan keeps the longest valid record
-//! prefix and truncates at the first bad checksum, so a torn tail
-//! recovers to a clean prefix. A fresh index matching the manifest lets
-//! eviction-mode opens skip payload reads entirely.
+//! prefix and treats everything from the first bad checksum on as dead.
+//! Dead bytes are reclaimed by **log compaction** at the next
+//! checkpoint boundary: the live records are always a contiguous
+//! prefix, so the rewrite-live-prefix step degenerates to a truncate at
+//! the live boundary inside [`LogTier::sync`], followed by the atomic
+//! manifest swap that commits the new geometry. A fresh index matching
+//! the manifest lets eviction-mode opens skip payload reads entirely.
 //!
 //! # Determinism contract
 //!
@@ -127,10 +136,12 @@ pub struct PersistStats {
     pub checkpoints: u64,
     /// Records recovered from the log on open.
     pub recovered_records: u64,
-    /// Uncommitted tail bytes truncated on open.
+    /// Uncommitted tail bytes found beyond the recovered prefix on open.
     pub torn_bytes: u64,
     /// Index files rebuilt from the log (missing or stale idx).
     pub idx_rebuilds: u64,
+    /// Dead log bytes reclaimed by checkpoint-boundary compaction.
+    pub compacted_bytes: u64,
 }
 
 impl PersistStats {
@@ -145,6 +156,7 @@ impl PersistStats {
         self.recovered_records += o.recovered_records;
         self.torn_bytes += o.torn_bytes;
         self.idx_rebuilds += o.idx_rebuilds;
+        self.compacted_bytes += o.compacted_bytes;
     }
 
     /// Folds the counters into `reg` as `mc_persist_*` totals.
@@ -169,10 +181,15 @@ impl PersistStats {
             .add(self.checkpoints);
         reg.counter("mc_persist_recovered_records_total", "Records recovered from the log on open")
             .add(self.recovered_records);
-        reg.counter("mc_persist_torn_bytes_total", "Uncommitted tail bytes truncated on open")
+        reg.counter("mc_persist_torn_bytes_total", "Uncommitted tail bytes found on open")
             .add(self.torn_bytes);
         reg.counter("mc_persist_idx_rebuilds_total", "Index files rebuilt by a full log scan")
             .add(self.idx_rebuilds);
+        reg.counter_nondet(
+            "mc_persist_compacted_bytes_total",
+            "Dead log bytes reclaimed by checkpoint-boundary compaction",
+        )
+        .add(self.compacted_bytes);
     }
 }
 
@@ -219,6 +236,12 @@ pub struct LogTier {
     path: PathBuf,
     /// Bytes durably in the file (tail excluded).
     flushed: u64,
+    /// Actual file length on disk. Exceeds `flushed` only after a
+    /// recovery that found a torn/uncommitted tail: the open is
+    /// read-only, so the dead region survives until the next checkpoint
+    /// [`LogTier::sync`] compacts it away (new appends overwrite it in
+    /// the meantime).
+    file_len: u64,
     /// Appended records not yet written to the file. Always drained
     /// wholesale, so a record is never split across the boundary.
     tail: Vec<u8>,
@@ -263,6 +286,7 @@ impl LogTier {
             file: RefCell::new(file),
             path,
             flushed: FILE_HEADER,
+            file_len: FILE_HEADER,
             tail: Vec::new(),
             offsets: Vec::new(),
             lens: Vec::new(),
@@ -336,6 +360,7 @@ impl LogTier {
             file: RefCell::new(file),
             path: path.clone(),
             flushed: scan_end,
+            file_len,
             tail: Vec::new(),
             offsets: Vec::new(),
             lens: Vec::new(),
@@ -409,10 +434,14 @@ impl LogTier {
                 stats.recovered_records = tier.offsets.len() as u64;
             }
         }
+        // The dead tail is *not* truncated here: recovery is read-only,
+        // so a resume killed before its first checkpoint leaves the log
+        // exactly as it found it (re-recovery is idempotent). The dead
+        // region is overwritten by new appends and reclaimed — with the
+        // manifest swapped atomically right after — by the next
+        // checkpoint's [`LogTier::sync`].
         if file_len > tier.flushed {
             stats.torn_bytes = file_len - tier.flushed;
-            let f = tier.file.borrow_mut();
-            f.set_len(tier.flushed).map_err(|e| PersistError::io(&path, e))?;
         }
         tier.stats = stats;
         Ok(tier)
@@ -506,16 +535,42 @@ impl LogTier {
         match res {
             Ok(()) => {
                 self.flushed += self.tail.len() as u64;
+                self.file_len = self.file_len.max(self.flushed);
                 self.tail.clear();
             }
             Err(e) => self.set_err(PersistError::io(&self.path, e)),
         }
     }
 
-    /// Drains the tail and makes everything durable. Returns the
-    /// committed `(bytes, records)` pair that goes into the manifest.
+    /// Dead bytes on disk beyond the live record prefix (a torn tail
+    /// carried over from recovery that appends have not yet overwritten).
+    pub fn dead_bytes(&self) -> u64 {
+        self.file_len.saturating_sub(self.flushed)
+    }
+
+    /// Drains the tail and makes everything durable, compacting away any
+    /// dead region beyond the live prefix. Returns the committed
+    /// `(bytes, records)` pair that goes into the manifest.
+    ///
+    /// Compaction is safe exactly here — at a checkpoint boundary: the
+    /// live records are always a contiguous prefix, so rewriting the
+    /// live prefix degenerates to truncating at `flushed`, and the
+    /// manifest that commits the new geometry is swapped in atomically
+    /// right after. A crash in between leaves a shorter-but-valid log
+    /// whose committed prefix (per the *old* manifest) is intact.
     pub fn sync(&mut self) -> (u64, u64) {
         self.write_tail();
+        if !self.has_err() && self.file_len > self.flushed {
+            let dead = self.file_len - self.flushed;
+            let res = self.file.borrow_mut().set_len(self.flushed);
+            match res {
+                Ok(()) => {
+                    self.file_len = self.flushed;
+                    self.stats.compacted_bytes += dead;
+                }
+                Err(e) => self.set_err(PersistError::io(&self.path, e)),
+            }
+        }
         if !self.has_err() {
             let res = self.file.borrow_mut().sync_data();
             if let Err(e) = res {
@@ -1017,7 +1072,7 @@ mod tests {
     }
 
     #[test]
-    fn torn_tail_is_truncated_to_the_valid_prefix() {
+    fn torn_tail_recovers_readonly_and_compacts_at_the_next_checkpoint() {
         use std::io::Write;
         let dir = tmp("torn");
         let (log, idx, bytes, records) = filled_log(&dir);
@@ -1026,10 +1081,49 @@ mod tests {
         f.write_all(&[0xAB; 29]).unwrap();
         drop(f);
         let mut n = 0;
-        let tier = LogTier::recover(&log, &idx, None, 0, false, |_, _| n += 1).unwrap();
+        let mut tier = LogTier::recover(&log, &idx, None, 0, false, |_, _| n += 1).unwrap();
         assert_eq!(n as u64, records);
         assert_eq!(tier.stats().torn_bytes, 29);
+        // Recovery is read-only: the dead tail survives the open…
+        assert_eq!(std::fs::metadata(&log).unwrap().len(), bytes + 29);
+        assert_eq!(tier.dead_bytes(), 29);
+        // …and the next checkpoint's sync compacts it away.
+        let (committed, _) = tier.sync();
+        assert_eq!(committed, bytes);
         assert_eq!(std::fs::metadata(&log).unwrap().len(), bytes);
+        assert_eq!(tier.dead_bytes(), 0);
+        assert_eq!(tier.stats().compacted_bytes, 29);
+        assert!(tier.take_err().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn appends_overwrite_the_dead_region_before_compaction() {
+        use std::io::Write;
+        let dir = tmp("overwrite");
+        let (log, idx, bytes, records) = filled_log(&dir);
+        // A long torn tail (larger than the records appended below).
+        let mut f = OpenOptions::new().append(true).open(&log).unwrap();
+        f.write_all(&[0xCD; 200]).unwrap();
+        drop(f);
+        let mut tier = LogTier::recover(&log, &idx, Some(bytes), 0, false, |_, _| {}).unwrap();
+        assert_eq!(tier.stats().torn_bytes, 200);
+        // New appends land at the live boundary, overwriting dead bytes.
+        tier.append(9, b"fresh-payload");
+        let (committed, recs) = tier.sync();
+        assert_eq!(recs, records + 1);
+        // Compaction trimmed the file to exactly the new live prefix.
+        assert_eq!(std::fs::metadata(&log).unwrap().len(), committed);
+        let reclaimed = tier.stats().compacted_bytes;
+        assert_eq!(reclaimed, 200 - (RECORD_HEADER as u64 + 13));
+        // The compacted log recovers cleanly, torn tail gone.
+        let mut seen = Vec::new();
+        let back = LogTier::recover(&log, &idx, Some(committed), 0, false, |rec, p| {
+            seen.push((rec.depth, p.unwrap().to_vec()));
+        })
+        .unwrap();
+        assert_eq!(seen.last(), Some(&(9u32, b"fresh-payload".to_vec())));
+        assert_eq!(back.stats().torn_bytes, 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

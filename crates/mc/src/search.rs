@@ -731,6 +731,7 @@ pub(crate) fn drive<T: TransitionSystem>(
     let mut transitions = 0usize;
     let mut peak_frontier = 0usize;
     let mut timer = obs.profiler().worker(0);
+    let fast_cap = sys.max_encoded_len();
     let resumed = persist.as_deref().is_some_and(|p| p.resumed);
     // A resumed run has no parent pointers for recovered states, so
     // trail reconstruction is disabled: the counts and outcome are
@@ -781,8 +782,14 @@ pub(crate) fn drive<T: TransitionSystem>(
         }
     } else {
         let init = sys.initial();
-        sys.encode(&init, &mut enc);
-        store.insert(&enc);
+        if let Some(cap) = sys.max_encoded_len() {
+            let slot = store.begin_insert(cap);
+            let written = sys.encode_into(&init, store.slot_buf(&slot));
+            store.commit_insert(slot, written);
+        } else {
+            sys.encode(&init, &mut enc);
+            store.insert(&enc);
+        }
         if track_trails {
             parents.push(None);
         }
@@ -835,11 +842,26 @@ pub(crate) fn drive<T: TransitionSystem>(
             let trail = track_trails.then(|| crate::trace::trail_to(&parents, idx));
             done!(Outcome::Deadlock, trail);
         }
-        let n_succs = succs.len() as u64;
         for (label, next) in succs.drain(..) {
             transitions += 1;
-            sys.encode(&next, &mut enc);
-            let (nidx, is_new) = store.insert(&enc);
+            // Zero-copy fast path: encode the successor exactly once,
+            // directly into the store's bump arena; a duplicate rolls the
+            // bump pointer back. Systems without a size bound keep the
+            // reference encode-to-Vec path.
+            let (nidx, is_new) = if let Some(cap) = fast_cap {
+                let slot = store.begin_insert(cap);
+                let written = sys.encode_into(&next, store.slot_buf(&slot));
+                timer.lap(SpanKind::Encode, 1);
+                let r = store.commit_insert(slot, written);
+                timer.lap(SpanKind::Insert, 1);
+                r
+            } else {
+                sys.encode(&next, &mut enc);
+                timer.lap(SpanKind::Encode, 1);
+                let r = store.insert(&enc);
+                timer.lap(SpanKind::Insert, 1);
+                r
+            };
             if !is_new {
                 continue;
             }
@@ -858,7 +880,6 @@ pub(crate) fn drive<T: TransitionSystem>(
             }
             frontier.push_back((next, nidx));
         }
-        timer.lap(SpanKind::Encode, n_succs);
     }
     DriveRun {
         transitions,

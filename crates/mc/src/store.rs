@@ -101,6 +101,18 @@ const EVICTED: u32 = u32::MAX;
 /// Initial slot-table capacity (power of two).
 const MIN_CAP: usize = 16;
 
+/// A reserved byte region at the arena tail, opened by
+/// [`StateStore::begin_insert`] and resolved by
+/// [`StateStore::commit_insert`]: the engines encode a successor directly
+/// into the slot, so a new state is written exactly once (commit keeps
+/// the bytes in place) and a duplicate costs no copy at all (commit
+/// rewinds the bump pointer).
+#[derive(Debug)]
+#[must_use = "an open slot must be resolved with commit_insert"]
+pub struct ArenaSlot {
+    start: usize,
+}
+
 /// A visited set mapping encoded states to dense indices (the index order
 /// is discovery order, used by the progress checker to address states).
 #[derive(Debug, Default)]
@@ -111,8 +123,14 @@ pub struct StateStore {
     slots: Vec<u32>,
     /// Dense index → `(arena offset, length)`. Unused in compact mode.
     entries: Vec<(u32, u32)>,
-    /// Bump arena holding every key's bytes back to back.
+    /// Bump arena holding every key's bytes back to back. Committed data
+    /// occupies `arena[..data]`; the vector's length is a high-water mark
+    /// that [`StateStore::begin_insert`] reservations reuse, so slot bytes
+    /// are zero-initialized once per high-water byte, not once per
+    /// reservation.
     arena: Vec<u8>,
+    /// Logical length of committed arena data (the bump pointer).
+    data: usize,
     len: u32,
     /// Hash-compaction: drop the key bytes, keep only the 64-bit hash.
     compact: bool,
@@ -193,16 +211,16 @@ impl StateStore {
                 self.slots[i] = new_idx;
                 self.hashes[i] = hash;
                 if !self.compact {
-                    let off = self.arena.len();
+                    let off = self.data;
                     debug_assert!(off + enc.len() <= u32::MAX as usize, "arena overflow");
-                    self.arena.extend_from_slice(enc);
+                    self.push_bytes(enc);
                     self.entries.push((off as u32, enc.len() as u32));
                 }
                 self.len += 1;
                 if let Some(tier) = self.tier.as_deref_mut() {
                     tier.append(depth, enc);
                     let evict_at = tier.evict_at;
-                    if evict_at > 0 && !self.arena.is_empty() && self.approx_bytes() > evict_at {
+                    if evict_at > 0 && self.data > 0 && self.approx_bytes() > evict_at {
                         self.evict_arena();
                     }
                 }
@@ -213,6 +231,120 @@ impl StateStore {
             }
             i = (i + 1) & mask;
         }
+    }
+
+    /// Begins a zero-copy insert: reserves `max_len` writable bytes at
+    /// the arena tail and returns the slot handle. The caller encodes the
+    /// candidate state directly into [`StateStore::slot_buf`] and then
+    /// resolves the slot with [`StateStore::commit_insert`] (or the
+    /// depth-tagged variant) — exactly one `begin_insert` may be
+    /// outstanding at a time, and no other store method may run in
+    /// between.
+    pub fn begin_insert(&mut self, max_len: usize) -> ArenaSlot {
+        let start = self.data;
+        if self.arena.len() < start + max_len {
+            // Raise the high-water mark; bytes zeroed here are reused by
+            // every later reservation, so the cost amortizes away.
+            self.arena.resize(start + max_len, 0);
+        }
+        ArenaSlot { start }
+    }
+
+    /// The writable byte region of an open slot.
+    #[inline]
+    pub fn slot_buf(&mut self, slot: &ArenaSlot) -> &mut [u8] {
+        &mut self.arena[slot.start..]
+    }
+
+    /// Appends `bytes` at the bump pointer, reusing high-water capacity.
+    fn push_bytes(&mut self, bytes: &[u8]) {
+        let end = self.data + bytes.len();
+        if self.arena.len() < end {
+            self.arena.resize(end, 0);
+        }
+        self.arena[self.data..end].copy_from_slice(bytes);
+        self.data = end;
+    }
+
+    /// Resolves an open slot whose first `written` bytes now hold the
+    /// candidate's canonical encoding: hashes the in-arena bytes, probes,
+    /// and either commits the slot as a new entry (no copy — the encode
+    /// *was* the arena write) or rolls the bump pointer back to where
+    /// [`StateStore::begin_insert`] found it, leaving the arena
+    /// byte-identical. Returns `(index, is_new)` like
+    /// [`StateStore::insert`].
+    pub fn commit_insert(&mut self, slot: ArenaSlot, written: usize) -> (u32, bool) {
+        self.commit_insert_depth(slot, written, 0)
+    }
+
+    /// [`StateStore::commit_insert`] recording a BFS depth with the state
+    /// when a disk tier is attached (see
+    /// [`StateStore::insert_hashed_depth`]).
+    pub fn commit_insert_depth(
+        &mut self,
+        slot: ArenaSlot,
+        written: usize,
+        depth: u32,
+    ) -> (u32, bool) {
+        let start = slot.start;
+        debug_assert_eq!(start, self.data, "slots must be resolved in open order");
+        let hash = hash_encoded(&self.arena[start..start + written]);
+        if self.slots.is_empty() || (self.len as usize + 1) * 8 > self.slots.len() * 7 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (hash as usize) & mask;
+        loop {
+            let idx = self.slots[i];
+            if idx == EMPTY {
+                let new_idx = self.len;
+                self.slots[i] = new_idx;
+                self.hashes[i] = hash;
+                debug_assert!(start + written <= u32::MAX as usize, "arena overflow");
+                self.len += 1;
+                if let Some(tier) = self.tier.as_deref_mut() {
+                    tier.append(depth, &self.arena[start..start + written]);
+                }
+                if !self.compact {
+                    // Commit: advance the bump pointer past the slot —
+                    // the encode was the arena write.
+                    self.data = start + written;
+                    self.entries.push((start as u32, written as u32));
+                    if let Some(tier) = self.tier.as_deref() {
+                        let evict_at = tier.evict_at;
+                        if evict_at > 0 && self.data > 0 && self.approx_bytes() > evict_at {
+                            self.evict_arena();
+                        }
+                    }
+                }
+                return (new_idx, true);
+            }
+            if self.hashes[i] == hash && (self.compact || self.slot_eq(idx, start, written)) {
+                // Rollback: the bump pointer never moved, so the
+                // committed arena is byte-identical to the moment the
+                // slot was opened.
+                return (idx, false);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Whether stored entry `idx` equals the open slot's bytes at
+    /// `[start, start + written)`. Committed entries always live strictly
+    /// before `start`, so the comparison splits the arena.
+    fn slot_eq(&self, idx: u32, start: usize, written: usize) -> bool {
+        let (off, len) = self.entries[idx as usize];
+        if len as usize != written {
+            return false;
+        }
+        if off != EVICTED {
+            let (head, tail) = self.arena.split_at(start);
+            return head[off as usize..off as usize + len as usize] == tail[..written];
+        }
+        self.tier
+            .as_deref()
+            .expect("evicted entry without a tier")
+            .payload_eq(idx, &self.arena[start..start + written])
     }
 
     /// Whether stored entry `idx` equals `enc`, consulting the disk
@@ -232,11 +364,12 @@ impl StateStore {
     /// dense index and length but its offset becomes [`EVICTED`], so
     /// later probe hits compare against the log instead.
     fn evict_arena(&mut self) {
-        let released = self.arena.len() as u64;
+        let released = self.data as u64;
         for e in &mut self.entries {
             e.0 = EVICTED;
         }
         self.arena = Vec::new();
+        self.data = 0;
         if let Some(tier) = self.tier.as_deref_mut() {
             let stats = tier.stats_mut();
             stats.evictions += 1;
@@ -264,8 +397,8 @@ impl StateStore {
         match payload {
             Some(p) => {
                 debug_assert_eq!(p.len(), len as usize);
-                let off = self.arena.len();
-                self.arena.extend_from_slice(p);
+                let off = self.data;
+                self.push_bytes(p);
                 self.entries.push((off as u32, len));
             }
             None => self.entries.push((EVICTED, len)),
@@ -355,7 +488,7 @@ impl StateStore {
     /// allocated (arena + slot table + entry table); tracks the real
     /// allocation within 2× (asserted by a unit test).
     pub fn approx_bytes(&self) -> usize {
-        self.arena.len()
+        self.data
             + self.slots.len() * (std::mem::size_of::<u32>() + std::mem::size_of::<u64>())
             + self.entries.len() * std::mem::size_of::<(u32, u32)>()
             + std::mem::size_of::<Self>()
@@ -517,6 +650,60 @@ mod tests {
             let rb = b.insert_hashed(hash_encoded(&k), &k);
             assert_eq!(ra, rb);
         }
+    }
+
+    #[test]
+    fn slot_inserts_agree_with_plain_inserts() {
+        let mut plain = StateStore::new();
+        let mut slotted = StateStore::new();
+        for i in 0u32..5000 {
+            let k = (i % 700).to_le_bytes();
+            let expected = plain.insert(&k);
+            let slot = slotted.begin_insert(16);
+            slotted.slot_buf(&slot)[..4].copy_from_slice(&k);
+            let got = slotted.commit_insert(slot, 4);
+            assert_eq!(expected, got, "key {i}");
+        }
+        assert_eq!(plain.len(), slotted.len());
+        assert_eq!(plain.approx_bytes(), slotted.approx_bytes());
+        for i in 0..700u32 {
+            assert_eq!(plain.key_bytes(i), slotted.key_bytes(i));
+        }
+    }
+
+    #[test]
+    fn slot_rollback_leaves_arena_byte_identical() {
+        let mut st = StateStore::new();
+        st.insert(b"alpha");
+        st.insert(b"beta");
+        let data_before = st.arena[..st.data].to_vec();
+        let bytes_before = st.approx_bytes();
+        // Duplicate probe: the slot is rolled back exactly — the
+        // committed arena region is byte-identical.
+        let slot = st.begin_insert(32);
+        st.slot_buf(&slot)[..5].copy_from_slice(b"alpha");
+        let (idx, is_new) = st.commit_insert(slot, 5);
+        assert_eq!((idx, is_new), (0, false));
+        assert_eq!(st.arena[..st.data], data_before);
+        assert_eq!(st.approx_bytes(), bytes_before);
+        // New state: only the written prefix of the reservation commits.
+        let slot = st.begin_insert(32);
+        st.slot_buf(&slot)[..5].copy_from_slice(b"gamma");
+        let (idx, is_new) = st.commit_insert(slot, 5);
+        assert_eq!((idx, is_new), (2, true));
+        assert_eq!(&st.arena[data_before.len()..st.data], b"gamma");
+    }
+
+    #[test]
+    fn compact_mode_slot_inserts_keep_no_bytes() {
+        let mut st = StateStore::compact();
+        for i in 0u32..100 {
+            let slot = st.begin_insert(8);
+            st.slot_buf(&slot)[..4].copy_from_slice(&(i % 40).to_le_bytes());
+            st.commit_insert(slot, 4);
+        }
+        assert_eq!(st.len(), 40);
+        assert_eq!(st.data, 0);
     }
 
     #[test]

@@ -85,15 +85,26 @@ fn check_cut(
     if t < header {
         assert!(recovered.is_err(), "a cut inside the header ({t} bytes) must fail the open");
     } else {
-        let tier = recovered.unwrap_or_else(|e| panic!("cut at {t} must recover a prefix: {e}"));
+        let mut tier =
+            recovered.unwrap_or_else(|e| panic!("cut at {t} must recover a prefix: {e}"));
         let want = survivors(recs, full, t);
         assert_eq!(tier.records(), want, "cut at {t}: wrong record count");
         assert_eq!(seen, want);
+        // Recovery is read-only: the file still holds all `t` bytes and
+        // the slice past the live prefix is reported as dead…
+        let live_end = recs.get(want).map(|r| r.offset).unwrap_or(full);
+        assert_eq!(std::fs::metadata(scratch).unwrap().len(), t, "cut at {t}: open must not write");
+        assert_eq!(tier.dead_bytes(), t - live_end, "cut at {t}: wrong dead-byte count");
+        // …until the next checkpoint's sync compacts it away.
+        let (committed, _) = tier.sync();
+        assert_eq!(committed, live_end);
         assert_eq!(
             std::fs::metadata(scratch).unwrap().len(),
-            recs.get(want).map(|r| r.offset).unwrap_or(full),
-            "cut at {t}: torn bytes must be truncated away"
+            live_end,
+            "cut at {t}: dead bytes must be compacted at the checkpoint"
         );
+        assert_eq!(tier.stats().compacted_bytes, t - live_end, "cut at {t}: metric disagrees");
+        assert!(tier.take_err().is_none());
     }
 
     // Recovery against a manifest committing the full log: any cut

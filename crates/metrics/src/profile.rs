@@ -18,7 +18,8 @@
 //! | kind           | parallel engine                            | serial engines      |
 //! |----------------|--------------------------------------------|---------------------|
 //! | `compute`      | `successors()` per expanded state          | same                |
-//! | `encode`       | successor encode + hash + routing + local insert (incl. outbox append) | successor encode + insert |
+//! | `encode`       | successor encode + hash + routing (incl. outbox append) | successor encode into the arena slot |
+//! | `insert`       | local-shard duplicate probe + hashed commit | in-arena duplicate probe + slot commit |
 //! | `ship`         | cross-worker batch handoff (`flush`)       | —                   |
 //! | `drain`        | consuming inbound batches (incl. waiting for them mid-drain) | — |
 //! | `barrier_wait` | level wind-down: straggler wait, both barriers, the leader's decision, frontier swap | — |
@@ -35,9 +36,10 @@
 //! [`Profiler::publish`] registers every `profile_*` metric through the
 //! `_nondet` constructors, so [`crate::Snapshot::deterministic`] views
 //! are identical whether profiling ran or not. Span *counts* for
-//! `compute` (states expanded) and `encode` (successors processed) are
-//! properties of the state space: on a complete run they are equal for
-//! the serial engine and the parallel engine at any thread count (see
+//! `compute` (states expanded), `encode` (successors processed) and
+//! `insert` (store insertions attempted) are properties of the state
+//! space: on a complete run they are equal for the serial engine and
+//! the parallel engine at any thread count (see
 //! [`SpanKind::deterministic_count`]).
 
 use crate::Registry;
@@ -56,8 +58,11 @@ pub const FLUSH_LAPS: u32 = 4096;
 pub enum SpanKind {
     /// Successor generation (`successors()`).
     Compute,
-    /// Successor encoding, hashing, routing and local insertion.
+    /// Successor encoding, hashing and routing.
     Encode,
+    /// State-store insertion: duplicate probe plus arena commit (serial:
+    /// in-place slot commit; parallel: local-shard hashed insert).
+    Insert,
     /// Cross-worker batch handoff.
     Ship,
     /// Inbound batch consumption.
@@ -71,13 +76,14 @@ pub enum SpanKind {
 }
 
 /// Number of span kinds (the fixed width of every per-level row).
-pub const N_SPAN_KINDS: usize = 7;
+pub const N_SPAN_KINDS: usize = 8;
 
 impl SpanKind {
     /// Every kind, in canonical (output) order.
     pub const ALL: [SpanKind; N_SPAN_KINDS] = [
         SpanKind::Compute,
         SpanKind::Encode,
+        SpanKind::Insert,
         SpanKind::Ship,
         SpanKind::Drain,
         SpanKind::BarrierWait,
@@ -89,11 +95,12 @@ impl SpanKind {
         match self {
             SpanKind::Compute => 0,
             SpanKind::Encode => 1,
-            SpanKind::Ship => 2,
-            SpanKind::Drain => 3,
-            SpanKind::BarrierWait => 4,
-            SpanKind::Progress => 5,
-            SpanKind::Checkpoint => 6,
+            SpanKind::Insert => 2,
+            SpanKind::Ship => 3,
+            SpanKind::Drain => 4,
+            SpanKind::BarrierWait => 5,
+            SpanKind::Progress => 6,
+            SpanKind::Checkpoint => 7,
         }
     }
 
@@ -102,6 +109,7 @@ impl SpanKind {
         match self {
             SpanKind::Compute => "compute",
             SpanKind::Encode => "encode",
+            SpanKind::Insert => "insert",
             SpanKind::Ship => "ship",
             SpanKind::Drain => "drain",
             SpanKind::BarrierWait => "barrier_wait",
@@ -119,7 +127,7 @@ impl SpanKind {
     /// space (identical for serial and parallel engines at any thread
     /// count on a complete run) rather than of the schedule.
     pub fn deterministic_count(self) -> bool {
-        matches!(self, SpanKind::Compute | SpanKind::Encode)
+        matches!(self, SpanKind::Compute | SpanKind::Encode | SpanKind::Insert)
     }
 }
 

@@ -1004,6 +1004,99 @@ impl<'a> TransitionSystem for AsyncSystem<'a> {
         }
     }
 
+    fn max_encoded_len(&self) -> Option<usize> {
+        let home_vars = self.spec().home.initial_env().len();
+        let remote_vars = self.spec().remote.initial_env().len();
+        let buf_cap = self.config.home_buffer + self.config.unacked_allowance;
+        let link = Link::max_encoded_len(self.config.link_capacity);
+        // Home: phase (≤ 6) + env + cursor + buffer length + entries,
+        // each `from` u16 + msg + payload flag + payload value.
+        let home =
+            6 + home_vars * Value::MAX_ENCODED_LEN + 2 + buf_cap * (4 + Value::MAX_ENCODED_LEN);
+        // Remote: phase (≤ 4) + env + parked message (≤ 3 + value) + the
+        // two directed links.
+        let remote =
+            4 + remote_vars * Value::MAX_ENCODED_LEN + 3 + Value::MAX_ENCODED_LEN + 2 * link;
+        Some(home + self.n as usize * remote)
+    }
+
+    fn encode_into(&self, s: &AsyncState, buf: &mut [u8]) -> usize {
+        let mut pos = 0usize;
+        match s.home.phase {
+            HomePhase::At(st) => {
+                buf[pos] = 0;
+                buf[pos + 1..pos + 3].copy_from_slice(&(st.0 as u16).to_le_bytes());
+                pos += 3;
+            }
+            HomePhase::Awaiting { state, branch, target } => {
+                buf[pos] = 1;
+                buf[pos + 1..pos + 3].copy_from_slice(&(state.0 as u16).to_le_bytes());
+                buf[pos + 3] = branch as u8;
+                buf[pos + 4..pos + 6].copy_from_slice(&(target.0 as u16).to_le_bytes());
+                pos += 6;
+            }
+        }
+        pos = s.home.env.encode_into(buf, pos);
+        buf[pos] = s.home.cursor as u8;
+        buf[pos + 1] = s.home.buf.len() as u8;
+        pos += 2;
+        for e in &s.home.buf {
+            buf[pos..pos + 2].copy_from_slice(&(e.from.0 as u16).to_le_bytes());
+            buf[pos + 2] = e.msg.0 as u8;
+            pos += 3;
+            match e.val {
+                Some(v) => {
+                    buf[pos] = 1;
+                    pos = v.encode_into(buf, pos + 1);
+                }
+                None => {
+                    buf[pos] = 0;
+                    pos += 1;
+                }
+            }
+        }
+        for (i, r) in s.remotes.iter().enumerate() {
+            match r.phase {
+                RemotePhase::At(st) => {
+                    buf[pos] = 0;
+                    buf[pos + 1..pos + 3].copy_from_slice(&(st.0 as u16).to_le_bytes());
+                    pos += 3;
+                }
+                RemotePhase::Awaiting { state, branch } => {
+                    buf[pos] = 1;
+                    buf[pos + 1..pos + 3].copy_from_slice(&(state.0 as u16).to_le_bytes());
+                    buf[pos + 3] = branch as u8;
+                    pos += 4;
+                }
+            }
+            pos = r.env.encode_into(buf, pos);
+            match &r.buf {
+                Some((m, v)) => {
+                    buf[pos] = 1;
+                    buf[pos + 1] = m.0 as u8;
+                    pos += 2;
+                    match v {
+                        Some(v) => {
+                            buf[pos] = 1;
+                            pos = v.encode_into(buf, pos + 1);
+                        }
+                        None => {
+                            buf[pos] = 0;
+                            pos += 1;
+                        }
+                    }
+                }
+                None => {
+                    buf[pos] = 0;
+                    pos += 1;
+                }
+            }
+            pos = s.to_home[i].encode_into(buf, pos);
+            pos = s.to_remote[i].encode_into(buf, pos);
+        }
+        pos
+    }
+
     fn decode(&self, bytes: &[u8]) -> Option<AsyncState> {
         let home_vars = self.spec().home.initial_env().len();
         let remote_vars = self.spec().remote.initial_env().len();

@@ -336,6 +336,25 @@ impl<'a> TransitionSystem for RendezvousSystem<'a> {
         }
     }
 
+    fn max_encoded_len(&self) -> Option<usize> {
+        let home_vars = self.spec.home.initial_env().len();
+        let remote_vars = self.spec.remote.initial_env().len();
+        Some(
+            2 + home_vars * Value::MAX_ENCODED_LEN
+                + self.n as usize * (2 + remote_vars * Value::MAX_ENCODED_LEN),
+        )
+    }
+
+    fn encode_into(&self, s: &RvState, buf: &mut [u8]) -> usize {
+        buf[0..2].copy_from_slice(&(s.home.state.0 as u16).to_le_bytes());
+        let mut pos = s.home.env.encode_into(buf, 2);
+        for r in &s.remotes {
+            buf[pos..pos + 2].copy_from_slice(&(r.state.0 as u16).to_le_bytes());
+            pos = r.env.encode_into(buf, pos + 2);
+        }
+        pos
+    }
+
     fn decode(&self, bytes: &[u8]) -> Option<RvState> {
         let home_vars = self.spec.home.initial_env().len();
         let remote_vars = self.spec.remote.initial_env().len();

@@ -164,6 +164,32 @@ pub trait TransitionSystem {
         v
     }
 
+    /// Upper bound (in bytes) on [`TransitionSystem::encode`] output for
+    /// any reachable state, when the system can compute one from its
+    /// configuration. A `Some` bound unlocks the engines' zero-copy
+    /// insert path: successors are encoded once, directly into the state
+    /// store's bump arena, through [`TransitionSystem::encode_into`].
+    /// `None` (the default) keeps the reference `Vec` path.
+    fn max_encoded_len(&self) -> Option<usize> {
+        None
+    }
+
+    /// Fast-path encoding: writes the canonical encoding of `s` into the
+    /// front of `buf` and returns the number of bytes written. Must be
+    /// byte-identical to [`TransitionSystem::encode`]; callers guarantee
+    /// `buf.len() >= max_encoded_len()` (the engines only take this path
+    /// when [`TransitionSystem::max_encoded_len`] returns a bound).
+    ///
+    /// The default is a reference fallback through a scratch `Vec` —
+    /// correct for any system, but allocating; systems that report a
+    /// bound should override it with a real slot writer.
+    fn encode_into(&self, s: &Self::State, buf: &mut [u8]) -> usize {
+        let mut v = Vec::new();
+        self.encode(s, &mut v);
+        buf[..v.len()].copy_from_slice(&v);
+        v.len()
+    }
+
     /// Inverse of [`TransitionSystem::encode`], when the system supports
     /// it: reconstructs the state whose canonical encoding is exactly
     /// `bytes`. Returns `None` on systems without a decoder, and on

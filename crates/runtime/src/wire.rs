@@ -63,6 +63,41 @@ impl Wire {
         }
     }
 
+    /// Upper bound on the encoded size of any wire message: a `Req` with
+    /// a payload takes tag + msg + flag + one value.
+    pub const MAX_ENCODED_LEN: usize = 3 + Value::MAX_ENCODED_LEN;
+
+    /// Fast-path encoding into a preallocated slot: same bytes as
+    /// [`Wire::encode`] at `buf[pos..]`, returning the new cursor. The
+    /// caller guarantees `buf.len() - pos >= MAX_ENCODED_LEN`.
+    #[inline]
+    pub fn encode_into(&self, buf: &mut [u8], pos: usize) -> usize {
+        match self {
+            Wire::Req { msg, val } => {
+                buf[pos] = 1;
+                buf[pos + 1] = msg.0 as u8;
+                match val {
+                    Some(v) => {
+                        buf[pos + 2] = 1;
+                        v.encode_into(buf, pos + 3)
+                    }
+                    None => {
+                        buf[pos + 2] = 0;
+                        pos + 3
+                    }
+                }
+            }
+            Wire::Ack => {
+                buf[pos] = 2;
+                pos + 1
+            }
+            Wire::Nack => {
+                buf[pos] = 3;
+                pos + 1
+            }
+        }
+    }
+
     /// Inverse of [`Wire::encode`]: reads one message from the front of
     /// `bytes`, returning it and the number of bytes consumed.
     ///
@@ -182,6 +217,28 @@ impl Link {
         for w in &self.queue {
             w.encode(out);
         }
+    }
+
+    /// Upper bound on the encoded size of a link that never exceeds
+    /// `capacity` in-flight messages (the checker errors with
+    /// [`crate::RuntimeError::LinkOverflow`] before a fuller link is
+    /// ever encoded).
+    pub const fn max_encoded_len(capacity: usize) -> usize {
+        1 + capacity * Wire::MAX_ENCODED_LEN
+    }
+
+    /// Fast-path encoding into a preallocated slot: same bytes as
+    /// [`Link::encode`] at `buf[pos..]`, returning the new cursor. The
+    /// caller guarantees room for [`Link::max_encoded_len`] of the
+    /// link's capacity bound.
+    #[inline]
+    pub fn encode_into(&self, buf: &mut [u8], pos: usize) -> usize {
+        buf[pos] = self.queue.len() as u8;
+        let mut pos = pos + 1;
+        for w in &self.queue {
+            pos = w.encode_into(buf, pos);
+        }
+        pos
     }
 
     /// Inverse of [`Link::encode`]: reads one link from the front of

@@ -9,7 +9,7 @@
 use ccr_core::refine::{refine, RefineOptions};
 use ccr_core::text::parse_validated;
 use ccr_mc::search::{explore, Budget, SearchObserver};
-use ccr_mc::{explore_parallel, explore_parallel_traced_observed, ParallelConfig};
+use ccr_mc::{explore_parallel, explore_parallel_traced_observed, ParallelConfig, Reduced};
 use ccr_runtime::asynch::{AsyncConfig, AsyncSystem};
 use ccr_runtime::rendezvous::RendezvousSystem;
 use ccr_runtime::TransitionSystem;
@@ -110,4 +110,87 @@ fn broken_spec_same_classification_and_replayable_trail_at_every_thread_count() 
     for w in counts.windows(2) {
         assert_eq!(w[0], w[1], "violating-run reports must not depend on the thread count");
     }
+}
+
+/// Torture case for the asynchronous termination detection: the broken
+/// spec aborts mid-level when the deadlock is found, which is exactly
+/// when the decider/epoch protocol is easiest to race — workers may be
+/// shipping cross-shard batches, draining late arrivals, or parked in a
+/// detection round when the stop lands. Every combination of thread
+/// count (1/2/4/8 — including oversubscription past the shard-stripe
+/// width) and symmetry mode (full space vs. quotient), repeated to give
+/// interleavings a chance to differ, must agree byte for byte with every
+/// other parallel run of the same space — same states, same transitions,
+/// same winning trail — carry the serial outcome, and produce a
+/// counterexample that replays step for step on the *unreduced* system
+/// into a genuinely stuck state. (The counts legitimately exceed the
+/// serial ones: a violating parallel run finishes its level to stay
+/// deterministic, the serial engine stops at the first hit.)
+#[test]
+fn termination_detection_torture_on_the_broken_spec() {
+    const TORTURE_THREADS: [usize; 4] = [1, 2, 4, 8];
+    const REPEATS: usize = 3;
+    let spec = load(BROKEN);
+    let budget = Budget::states(500_000);
+    for n in [2u32, 3] {
+        let sys = RendezvousSystem::new(&spec, n);
+        for symmetry in [false, true] {
+            // The serial run of the same (reduced or full) space is the
+            // byte-exact baseline.
+            let (serial, context) = if symmetry {
+                (explore(&Reduced::new(&sys), &budget, |_| None, true), format!("n={n} sym"))
+            } else {
+                (explore(&sys, &budget, |_| None, true), format!("n={n} full"))
+            };
+            assert_eq!(serial.outcome, ccr_mc::Outcome::Deadlock, "{context}: baseline");
+            let mut first: Option<(usize, usize, Option<Vec<ccr_runtime::Label>>)> = None;
+            for threads in TORTURE_THREADS {
+                for rep in 0..REPEATS {
+                    let ctx = format!("{context} t={threads} rep={rep}");
+                    let mut null = ccr_trace::NullSink;
+                    let mut obs = SearchObserver::new(&mut null);
+                    let cfg = ParallelConfig::threads(threads);
+                    let par = if symmetry {
+                        explore_parallel_traced_observed(
+                            &Reduced::new(&sys),
+                            &budget,
+                            |_| None,
+                            true,
+                            &cfg,
+                            &mut obs,
+                        )
+                    } else {
+                        explore_parallel_traced_observed(
+                            &sys,
+                            &budget,
+                            |_| None,
+                            true,
+                            &cfg,
+                            &mut obs,
+                        )
+                    };
+                    assert_eq!(par.outcome, serial.outcome, "{ctx}: outcome");
+                    let row = (par.states, par.transitions, par.trail.clone());
+                    match &first {
+                        None => first = Some(row),
+                        Some(f) => assert_eq!(
+                            f, &row,
+                            "{ctx}: parallel violating runs must be byte-identical"
+                        ),
+                    }
+                    // Quotient trails hold concrete representatives, so
+                    // both modes replay on the unreduced system.
+                    let trail = par.trail.as_ref().expect("deadlock must carry a trail");
+                    let end = replay_on(&sys, trail, &ctx);
+                    let mut succs = Vec::new();
+                    sys.successors(&end, &mut succs).expect("replayed state must execute");
+                    assert!(succs.is_empty(), "{ctx}: trail must end in a deadlock");
+                }
+            }
+        }
+    }
+}
+
+fn replay_on<T: TransitionSystem>(sys: &T, trail: &[ccr_runtime::Label], ctx: &str) -> T::State {
+    ccr_mc::replay_trail(sys, trail).unwrap_or_else(|e| panic!("{ctx}: trail replay: {e}"))
 }

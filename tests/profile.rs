@@ -3,8 +3,8 @@
 //!
 //! * profiling off is free *and invisible*: byte-identical traces and
 //!   identical deterministic metrics snapshots either way;
-//! * span *counts* are deterministic: compute counts states and encode
-//!   counts transitions, so they match the serial engine at every
+//! * span *counts* are deterministic: compute counts states, encode and
+//!   insert count transitions, so they match the serial engine at every
 //!   thread count on every shipped spec (timings are wall-clock and
 //!   schedule-dependent — only the counts are pinned);
 //! * the folded-stack encoding round-trips.
@@ -71,8 +71,9 @@ fn profiling_off_is_invisible_in_traces_and_deterministic_snapshots() {
     assert!(rep.ok(), "deterministic snapshot drifted with profiling off: {:?}", rep.regressions);
 }
 
-/// Deterministic span counts of one profiled run: (compute, encode).
-fn span_counts(sys: &RendezvousSystem<'_>, threads: usize) -> (u64, u64) {
+/// Deterministic span counts of one profiled run:
+/// (compute, encode, insert).
+fn span_counts(sys: &RendezvousSystem<'_>, threads: usize) -> (u64, u64, u64) {
     let profiler = Profiler::new();
     let mut null = ccr_trace::NullSink;
     {
@@ -91,7 +92,11 @@ fn span_counts(sys: &RendezvousSystem<'_>, threads: usize) -> (u64, u64) {
         }
     }
     let agg = profiler.aggregate();
-    (agg.kind(SpanKind::Compute).count, agg.kind(SpanKind::Encode).count)
+    (
+        agg.kind(SpanKind::Compute).count,
+        agg.kind(SpanKind::Encode).count,
+        agg.kind(SpanKind::Insert).count,
+    )
 }
 
 #[test]
@@ -105,7 +110,7 @@ fn deterministic_span_counts_match_serial_at_every_thread_count() {
             let parallel = span_counts(&sys, threads);
             assert_eq!(
                 serial, parallel,
-                "{name}: (compute, encode) span counts diverged at {threads} threads"
+                "{name}: (compute, encode, insert) span counts diverged at {threads} threads"
             );
         }
     }
