@@ -21,6 +21,12 @@
 //! <name>` restricts the run to a single workload (the CI perf gate uses
 //! the headline space only).
 //!
+//! Each workload further records the flight-recorder cost (`sampler`):
+//! a serial exploration with the `--timeline` sampler attached at 50 ms
+//! against an identically observed run with the recorder disabled. The
+//! `overhead_share` pins the "<2% sampling overhead" claim and is gated
+//! absolutely by `ccr bench diff` (skipped under `--counts-only`).
+//!
 //! Each workload additionally runs one *profiled* serial and one
 //! profiled 1-thread parallel repetition (the timed best-of samples stay
 //! unprofiled) and records the span `attribution`: how much of the
@@ -52,6 +58,7 @@ use ccr_mc::search::{
 };
 use ccr_mc::{explore_parallel, CrashSwitch, ExploreReport, ParallelConfig, Reduced};
 use ccr_metrics::profile::{ProfileAgg, Profiler, SpanKind};
+use ccr_metrics::timeseries::{Recorder, Timeline};
 use ccr_protocols::invalidate::{invalidate_refined, InvalidateOptions};
 use ccr_protocols::migratory::{migratory_refined, MigratoryOptions};
 use ccr_runtime::asynch::{AsyncConfig, AsyncSystem};
@@ -206,6 +213,74 @@ fn spans_entry(m: &mut MapSer<'_>, key: &str, agg: &ProfileAgg) {
     });
 }
 
+/// Sampling interval of the sampler-overhead measurement: aggressive
+/// enough (20 Hz) that a sub-second workload still takes several
+/// samples, so the measured share bounds any realistic cadence from
+/// above.
+const SAMPLER_INTERVAL_MS: u64 = 50;
+
+/// Flight-recorder cost: a serial exploration with the timeline sampler
+/// attached, against an identically observed run with the recorder
+/// disabled. Both sides best-of-[`REPEATS`], so the share compares two
+/// fastest runs of the same code path and isolates the sampler itself.
+struct SamplerCost {
+    off_secs: f64,
+    on_secs: f64,
+    samples: u64,
+}
+
+impl SamplerCost {
+    /// Fraction of wall time the sampler adds (clamped at zero: on a
+    /// quiet host the sampled best-of can win the coin flip).
+    fn overhead_share(&self) -> f64 {
+        (self.on_secs - self.off_secs).max(0.0) / self.off_secs.max(1e-9)
+    }
+}
+
+fn measure_sampler<T>(name: &str, sys: &T, budget: &Budget) -> SamplerCost
+where
+    T: TransitionSystem + Sync,
+    T::State: Send,
+{
+    let dir = std::env::temp_dir().join(format!("ccr-mc-perf-sampler-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create sampler dir");
+    let timed_run = |recorder: Recorder| -> (f64, ExploreReport) {
+        let mut null = NullSink;
+        let t = Instant::now();
+        let report = {
+            let mut obs = SearchObserver::new(&mut null)
+                .with_interval(Duration::from_millis(SAMPLER_INTERVAL_MS))
+                .with_timeline(recorder);
+            explore_observed(sys, budget, |_| None, false, &mut obs)
+        };
+        (t.elapsed().as_secs_f64(), report)
+    };
+    let off_secs = (0..REPEATS)
+        .map(|_| timed_run(Recorder::disabled()).0)
+        .min_by(f64::total_cmp)
+        .expect("at least one repeat");
+    let mut best: Option<(f64, PathBuf)> = None;
+    for rep in 0..REPEATS {
+        let path = dir.join(format!("{name}-rep{rep}.jsonl"));
+        let recorder =
+            Recorder::create(&path, name, SAMPLER_INTERVAL_MS, 5).expect("create sampler timeline");
+        let (secs, report) = timed_run(recorder.clone());
+        recorder.finish(report.outcome.name(), report.states as u64, report.transitions as u64);
+        assert!(recorder.take_error().is_none(), "{name}: sampler write failed");
+        if best.as_ref().is_none_or(|(b, _)| secs < *b) {
+            best = Some((secs, path));
+        }
+    }
+    let (on_secs, best_path) = best.expect("at least one repeat");
+    // Dogfood the parser: the sample count comes from reading the best
+    // repetition's timeline back, not from a side channel.
+    let timeline = Timeline::read(&best_path).expect("read sampler timeline");
+    timeline.validate().expect("sampler timeline validates");
+    let samples = timeline.points.len() as u64;
+    let _ = std::fs::remove_dir_all(&dir);
+    SamplerCost { off_secs, on_secs, samples }
+}
+
 /// Bytes per state of the retired `HashMap<Vec<u8>, u32>` visited set,
 /// from its layout: the encoded key on its own heap allocation, a
 /// 24-byte `Vec` header plus the 4-byte index (padded to 32 bytes per
@@ -295,6 +370,7 @@ struct Workload {
     encoded_len: usize,
     phases: Phases,
     attribution: Attribution,
+    sampler: SamplerCost,
 }
 
 fn run_workload<T>(name: &'static str, description: &'static str, sys: &T) -> Workload
@@ -320,6 +396,14 @@ where
     }
     let phases = measure_phases(sys, &serial, &budget);
     let attribution = measure_attribution(sys, &budget);
+    let sampler = measure_sampler(name, sys, &budget);
+    eprintln!(
+        "{name}: sampler off {:.3}s, on {:.3}s ({:+.2}%, {} samples)",
+        sampler.off_secs,
+        sampler.on_secs,
+        sampler.overhead_share() * 100.0,
+        sampler.samples,
+    );
     let mut enc = Vec::new();
     sys.encode(&sys.initial(), &mut enc);
     let gap = attribution.par1_profiled_secs - attribution.serial_profiled_secs;
@@ -350,7 +434,16 @@ where
             .collect::<Vec<_>>()
             .join("; ")
     );
-    Workload { name, description, serial, parallel, encoded_len: enc.len(), phases, attribution }
+    Workload {
+        name,
+        description,
+        serial,
+        parallel,
+        encoded_len: enc.len(),
+        phases,
+        attribution,
+        sampler,
+    }
 }
 
 /// In-memory byte budget of the spill workload: far below the headline
@@ -634,6 +727,18 @@ fn main() {
                         e.entry("encode_secs", &w.phases.encode_secs);
                         e.entry("explore_secs", &w.phases.explore_secs);
                         e.entry("progress_secs", &w.phases.progress_secs);
+                        e.end();
+                    });
+                    // Flight-recorder cost: `ccr bench diff` gates
+                    // `overhead_share` (the <2% claim) unless running
+                    // `--counts-only`.
+                    row.entry_with("sampler", |ser| {
+                        let mut e = ser.begin_map();
+                        e.entry("interval_ms", &SAMPLER_INTERVAL_MS);
+                        e.entry("off_secs", &w.sampler.off_secs);
+                        e.entry("on_secs", &w.sampler.on_secs);
+                        e.entry("overhead_share", &w.sampler.overhead_share());
+                        e.entry("samples", &w.sampler.samples);
                         e.end();
                     });
                     // Span attribution: where the sharded engine's

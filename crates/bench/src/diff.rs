@@ -8,11 +8,13 @@
 //!   space is deterministic — any drift is a correctness bug, not
 //!   noise), throughput (`states_per_sec`, serial and per thread count)
 //!   may drop by at most `tolerance`, `store.arena_bytes_per_state` may
-//!   grow by at most `bytes_tolerance`, and per-phase wall times may
+//!   grow by at most `bytes_tolerance`, per-phase wall times may
 //!   grow by at most `tolerance` (with a small absolute floor so
-//!   microsecond phases don't flap). `--counts-only` drops every
-//!   timing- and memory-based threshold and gates the exact counts
-//!   alone — for workloads too short to time reliably, such as the
+//!   microsecond phases don't flap), and the flight-recorder
+//!   `sampler.overhead_share` may grow by at most 2 percentage points
+//!   over the baseline (the "<2% sampling overhead" claim).
+//!   `--counts-only` drops every timing- and memory-based threshold and
+//!   gates the exact counts alone — for workloads too short to time reliably, such as the
 //!   symmetry-reduced orbit spaces. `--min-engine-overhead R` asserts
 //!   the new report's 1-thread `engine_overhead` ratio stays at or
 //!   above `R` — a same-host ratio, so it holds up even under
@@ -227,6 +229,21 @@ fn diff_workload(name: &str, old: &Json, new: &Json, opts: &DiffOptions, rep: &m
                 opts.tolerance * 100.0
             ));
         }
+    }
+    // Flight-recorder cost: the new `sampler.overhead_share` may exceed
+    // the old one by at most 2 percentage points — an absolute band, not
+    // a ratio, because the share itself hovers near zero and a ratio
+    // would flap on noise. This is the "<2% sampling overhead" claim:
+    // a baseline share of ~0 caps the new share at ~0.02.
+    match (rate(old, "sampler.overhead_share"), rate(new, "sampler.overhead_share")) {
+        (Some(o), Some(n)) if n > o.max(0.0) + 0.02 => {
+            rep.regressions.push(format!(
+                "{name}: sampler overhead_share grew {o:.4} -> {n:.4} \
+                 (+{:.1} points > 2.0-point band)",
+                (n - o.max(0.0)) * 100.0
+            ));
+        }
+        _ => {}
     }
 }
 
@@ -468,6 +485,39 @@ mod tests {
         let drifted = bench_doc(99, 5000.0, 20.0, 1.0);
         let rep = diff_strs(&old, &drifted, &opts).unwrap();
         assert!(rep.regressions.iter().any(|r| r.contains("states changed")), "{rep:?}");
+    }
+
+    fn bench_doc_with_sampler(share: f64) -> String {
+        format!(
+            r#"{{"bench":"mc_perf","workloads":[{{"name":"w1","states":100,
+              "transitions":10,"encoded_len_bytes":16,
+              "serial":{{"secs":1.0,"states_per_sec":5000.0}},
+              "parallel":[{{"threads":4,"secs":1.0,"states_per_sec":5000.0,"speedup":1.0}}],
+              "store":{{"arena_bytes_per_state":20.0}},
+              "phases":{{"explore_secs":1.0}},
+              "sampler":{{"interval_ms":50,"off_secs":1.0,"on_secs":{},
+                "overhead_share":{share},"samples":20}}}}]}}"#,
+            1.0 + share
+        )
+    }
+
+    #[test]
+    fn sampler_overhead_gated_within_two_points() {
+        let old = bench_doc_with_sampler(0.005);
+        // Inside the 2-point band: clean.
+        let near = bench_doc_with_sampler(0.024);
+        assert!(diff_strs(&old, &near, &DiffOptions::default()).unwrap().ok());
+        // Past it: regression.
+        let heavy = bench_doc_with_sampler(0.03);
+        let rep = diff_strs(&old, &heavy, &DiffOptions::default()).unwrap();
+        assert!(rep.regressions.iter().any(|r| r.contains("overhead_share")), "{rep:?}");
+        // counts_only skips the sampler gate like every timing gate.
+        let lax = DiffOptions { counts_only: true, ..DiffOptions::default() };
+        assert!(diff_strs(&old, &heavy, &lax).unwrap().ok());
+        // A report without a sampler entry (pre-recorder baseline) is
+        // not a regression.
+        let legacy = bench_doc(100, 5000.0, 20.0, 1.0);
+        assert!(diff_strs(&legacy, &heavy, &DiffOptions::default()).unwrap().ok());
     }
 
     fn bench_doc_with_overhead(overhead: f64) -> String {

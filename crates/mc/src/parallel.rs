@@ -91,11 +91,22 @@ pub struct ParallelConfig {
     pub track_trails: bool,
     /// Cross-worker successor batch size.
     pub batch: usize,
+    /// Fault-injection hook: each worker sleeps this many milliseconds
+    /// once before its first expansion. 0 (the default) is a no-op; CI
+    /// uses it to provoke the stall watchdog on purpose.
+    pub stall_ms: u64,
 }
 
 impl Default for ParallelConfig {
     fn default() -> Self {
-        Self { threads: 1, shards: 64, compact_hash: false, track_trails: false, batch: 256 }
+        Self {
+            threads: 1,
+            shards: 64,
+            compact_hash: false,
+            track_trails: false,
+            batch: 256,
+            stall_ms: 0,
+        }
     }
 }
 
@@ -732,6 +743,13 @@ where
         // levels, the manifest commit).
         let mut seen_epoch = 0usize;
 
+        // Injected stall (CI watchdog exercise): park before the first
+        // expansion so the pump thread sees no forward progress while
+        // the run is demonstrably alive.
+        if self.cfg.stall_ms > 0 {
+            std::thread::sleep(Duration::from_millis(self.cfg.stall_ms));
+        }
+
         loop {
             let depth = self.level.load(SeqCst) as u32;
             timer.set_level(depth);
@@ -1319,6 +1337,16 @@ impl EnginePersist {
         self.ckpts.fetch_add(1, SeqCst);
         Ok(())
     }
+
+    /// Committed (synced) log bytes summed over shards, for telemetry.
+    fn committed_bytes(&self) -> u64 {
+        self.committed.iter().map(|(b, _)| b.load(SeqCst)).sum()
+    }
+
+    /// Manifests written so far, for telemetry.
+    fn checkpoints(&self) -> u64 {
+        self.ckpts.load(SeqCst)
+    }
 }
 
 /// Frontier and counters of the manifest a resumed run continues from.
@@ -1527,7 +1555,18 @@ where
             if finished {
                 break;
             }
-            obs.tick_full(
+            // Refresh the diagnostics the flight recorder snapshots on
+            // this tick: termination epoch, inbox depths, and (when the
+            // run persists) the committed spill volume. Cheap atomic
+            // reads, and only taken when something will consume them.
+            if obs.timeline().enabled() {
+                let queues: Vec<u64> = engine.inboxes.iter().map(|q| q.len() as u64).collect();
+                obs.set_engine_diag(Some(engine.epoch.load(Acquire) as u64), &queues);
+                if let Some(p) = engine.persist {
+                    obs.set_persist_gauges(p.committed_bytes(), 0, p.checkpoints());
+                }
+            }
+            obs.tick_paced(
                 engine.states_total(),
                 engine.frontier_len(),
                 engine.bytes_total(),

@@ -12,6 +12,7 @@ use crate::report::{ExploreReport, Outcome};
 use crate::store::StateStore;
 use ccr_metrics::profile::{Profiler, SpanKind};
 use ccr_metrics::status::{RunStatus, StatusWriter};
+use ccr_metrics::timeseries::{Recorder, SampleInput};
 use ccr_metrics::Registry;
 use ccr_runtime::{Label, TransitionSystem};
 use ccr_trace::{NullSink, TraceEvent, TraceSink};
@@ -158,6 +159,7 @@ impl StatusReporter {
             status: RunStatus {
                 spec: spec.to_string(),
                 phase: "start".to_string(),
+                pid: Some(std::process::id() as u64),
                 ..RunStatus::default()
             },
             target_states: None,
@@ -254,6 +256,16 @@ pub struct SearchObserver<'s> {
     metrics: Registry,
     profiler: Profiler,
     status: Option<StatusReporter>,
+    timeline: Recorder,
+    /// Latest persist-path cumulatives, pushed by whichever engine owns
+    /// the spill log so timeline samples can carry them.
+    spill_bytes: u64,
+    compacted_bytes: u64,
+    checkpoint_seq: u64,
+    /// Latest parallel-engine diagnostics (termination epoch, inbox
+    /// depths), pushed by the pump loop before each tick.
+    engine_epoch: Option<u64>,
+    engine_queues: Vec<u64>,
 }
 
 impl<'s> SearchObserver<'s> {
@@ -280,6 +292,12 @@ impl<'s> SearchObserver<'s> {
             metrics,
             profiler: Profiler::disabled(),
             status: None,
+            timeline: Recorder::disabled(),
+            spill_bytes: 0,
+            compacted_bytes: 0,
+            checkpoint_seq: 0,
+            engine_epoch: None,
+            engine_queues: Vec::new(),
         }
     }
 
@@ -322,6 +340,38 @@ impl<'s> SearchObserver<'s> {
         &self.profiler
     }
 
+    /// Attaches a flight recorder: one delta-encoded telemetry sample is
+    /// appended per heartbeat interval. A disabled recorder (the
+    /// default) adds one branch to the early-out check and nothing else.
+    pub fn with_timeline(mut self, timeline: Recorder) -> Self {
+        self.timeline = timeline;
+        self
+    }
+
+    /// The attached flight recorder (disabled unless set with
+    /// [`SearchObserver::with_timeline`]).
+    pub fn timeline(&self) -> &Recorder {
+        &self.timeline
+    }
+
+    /// Updates the persist-path cumulatives carried on timeline samples.
+    /// Engines with a spill log call this when the numbers move
+    /// (checkpoints, evictions, compactions).
+    pub fn set_persist_gauges(&mut self, spill_bytes: u64, compacted_bytes: u64, checkpoints: u64) {
+        self.spill_bytes = spill_bytes;
+        self.compacted_bytes = compacted_bytes;
+        self.checkpoint_seq = checkpoints;
+    }
+
+    /// Updates the parallel-engine diagnostics (termination-detection
+    /// epoch, per-worker inbox depths) carried on timeline samples and
+    /// stall records. The pump loop calls this before each tick.
+    pub fn set_engine_diag(&mut self, epoch: Option<u64>, queues: &[u64]) {
+        self.engine_epoch = epoch;
+        self.engine_queues.clear();
+        self.engine_queues.extend_from_slice(queues);
+    }
+
     /// The attached status reporter, if any.
     pub fn status_mut(&mut self) -> Option<&mut StatusReporter> {
         self.status.as_mut()
@@ -343,7 +393,7 @@ impl<'s> SearchObserver<'s> {
         transitions: Option<u64>,
         depth: Option<u64>,
     ) {
-        if !self.beats && self.status.is_none() {
+        if !self.beats && self.status.is_none() && !self.timeline.enabled() {
             return;
         }
         self.probe_countdown -= 1;
@@ -381,8 +431,45 @@ impl<'s> SearchObserver<'s> {
                 &self.profiler,
             );
         }
+        if self.timeline.enabled() {
+            self.timeline.sample(
+                &SampleInput {
+                    states: states as u64,
+                    transitions: transitions.unwrap_or(0),
+                    frontier: frontier as u64,
+                    store_bytes: store_bytes as u64,
+                    depth,
+                    spill_bytes: self.spill_bytes,
+                    compacted_bytes: self.compacted_bytes,
+                    checkpoint_seq: self.checkpoint_seq,
+                    epoch: self.engine_epoch,
+                    queues: &self.engine_queues,
+                },
+                &self.profiler,
+            );
+        }
         self.last_states = states;
         self.last_time = now;
+    }
+
+    /// Like [`SearchObserver::tick_full`], but for callers that are
+    /// already wall-clock paced (the parallel pump loop, which sleeps a
+    /// quantum between calls): skips the call-count probe that amortizes
+    /// `Instant::now()` across hot per-expansion call sites and goes
+    /// straight to the interval check. Without this, a pump loop pacing
+    /// at the sampling interval would only observe every
+    /// `PROBE_EVERY`-th tick and the recorder would sample at 16× the
+    /// requested interval.
+    pub fn tick_paced(
+        &mut self,
+        states: usize,
+        frontier: usize,
+        store_bytes: usize,
+        transitions: Option<u64>,
+        depth: Option<u64>,
+    ) {
+        self.probe_countdown = 1;
+        self.tick_full(states, frontier, store_bytes, transitions, depth);
     }
 
     /// Emits the terminal [`TraceEvent::Outcome`] and flushes the sink.
@@ -824,6 +911,14 @@ pub(crate) fn drive<T: TransitionSystem>(
                     done!(Outcome::PersistFailure(e.to_string()), None);
                 }
                 timer.lap(SpanKind::Checkpoint, 1);
+                if let Some(tier) = store.tier() {
+                    let stats = tier.stats();
+                    obs.set_persist_gauges(
+                        stats.bytes_appended,
+                        stats.compacted_bytes,
+                        stats.checkpoints,
+                    );
+                }
             }
         }
         obs.tick_full(

@@ -34,6 +34,7 @@ pub mod jsonval;
 pub mod profile;
 pub mod promcheck;
 pub mod status;
+pub mod timeseries;
 
 use serde::Serialize;
 use std::collections::BTreeMap;

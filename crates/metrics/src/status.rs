@@ -47,6 +47,9 @@ pub struct RunStatus {
     pub outcome: Option<String>,
     /// Monotonically increasing write sequence number.
     pub seq: u64,
+    /// PID of the writing process, so a watcher can tell a stalled run
+    /// from a dead one (`/proc/<pid>` gone ⇒ the run died).
+    pub pid: Option<u64>,
 }
 
 impl RunStatus {
@@ -87,6 +90,7 @@ impl RunStatus {
             map.entry("finished", &self.finished);
             map.entry("outcome", &self.outcome);
             map.entry("seq", &self.seq);
+            map.entry("pid", &self.pid);
             map.end();
         }
         ser.into_string()
@@ -134,6 +138,7 @@ impl RunStatus {
                 .ok_or("status missing `finished`")?,
             outcome: json.get("outcome").and_then(Json::as_str).map(str::to_string),
             seq: u64_of("seq")?,
+            pid: json.get("pid").and_then(Json::as_u64),
         })
     }
 
@@ -202,6 +207,7 @@ mod tests {
             finished: false,
             outcome: None,
             seq: 0,
+            pid: Some(4242),
         }
     }
 

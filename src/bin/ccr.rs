@@ -22,10 +22,16 @@
 //!             [--trace FILE] [--progress] [--json]
 //!                                         per-N reachability comparison
 //! ccr watch   <status-file> [--once] [--interval SECS]
-//!                                         tail a live run's status file
+//!             [--stale-timeout SECS]      tail a live run's status file
+//!                                         (fails if the run died)
 //! ccr report  <run-dir> [--json]          merge a run's trace, metrics,
-//!                                         profile and status into one
-//!                                         Markdown (or JSON) report
+//!                                         profile, status and timeline
+//!                                         into one Markdown (or JSON)
+//!                                         report
+//! ccr timeline <run-dir|timeline.jsonl> [--json]
+//!                                         analyze a flight-recorder
+//!                                         timeline: phase rates, rate
+//!                                         shifts, stalls, sparklines
 //! ccr bench diff <old.json> <new.json> [--tolerance T]
 //!             [--bytes-tolerance B]       perf-regression gate over
 //!                                         BENCH_*.json reports or
@@ -79,10 +85,22 @@
 //!   (fractional seconds, default 1.0).
 //! * `--status PATH` — maintain a live status file (atomic-rename JSON)
 //!   that `ccr watch PATH` can follow from another process.
+//! * `--timeline PATH` — flight recorder: append one delta-encoded
+//!   JSONL sample per heartbeat interval (rates, frontier, store and
+//!   spill bytes, per-worker span shares, checkpoint seq, process RSS)
+//!   to PATH, for `ccr timeline` analysis. Off by default; when off the
+//!   run is byte-identical to one without the flag.
+//! * `--stall-after K` — stall watchdog threshold: with `--timeline`,
+//!   emit a stall diagnostic record (per-worker span states, queue and
+//!   frontier depths, epoch counters) after K sampling intervals with
+//!   no forward progress (default 5).
+//! * `--inject-stall-ms MS` — fault-injection test hook: each parallel
+//!   worker sleeps MS milliseconds once before its first expansion, so
+//!   CI can provoke the stall watchdog deterministically.
 //! * `--run-dir DIR` — shorthand: write trace.jsonl, metrics.json,
-//!   profile.folded, status.json and verify.json under DIR (creating
-//!   it), ready for `ccr report DIR`. Explicit flags win over the
-//!   shorthand paths.
+//!   profile.folded, status.json, timeline.jsonl and verify.json under
+//!   DIR (creating it), ready for `ccr report DIR`. Explicit flags win
+//!   over the shorthand paths.
 //! * `--async` (verify) — async-level-only mode: skip the rendezvous
 //!   level, Equation 1, progress and fault phases; explore only the
 //!   refined asynchronous level. This is the engine-profiling loop:
@@ -146,6 +164,9 @@ use ccr_mc::{CrashSwitch, Manifest, Reduced, Symmetric};
 use ccr_metrics::jsonval::Json;
 use ccr_metrics::profile::{parse_folded, ProfileAgg, Profiler, SpanKind};
 use ccr_metrics::status::{RunStatus, StatusWriter};
+use ccr_metrics::timeseries::{
+    process_rss_bytes, sparkline, Recorder, Timeline, DEFAULT_STALL_AFTER,
+};
 use ccr_metrics::Registry;
 use ccr_runtime::asynch::{AsyncConfig, AsyncSystem};
 use ccr_runtime::rendezvous::RendezvousSystem;
@@ -172,13 +193,15 @@ fn usage() -> ExitCode {
          [--metrics PATH|-] [--metrics-format json|prometheus] \
          [--profile PATH|-] [--progress-interval SECS] [--status PATH] \
          [--run-dir DIR] [--async] \
+         [--timeline PATH] [--stall-after K] [--inject-stall-ms MS] \
          [--spill-dir DIR] [--spill-bytes B] [--checkpoint-interval SECS] \
          [--crash-after-states N] \
          [--faults SPEC] [--seed N] [--fault-budget F]\n\
          \x20      ccr verify --resume <spill-dir> [flags]\n\
          \x20      ccr watch <status-file> [--once] [--interval SECS] \
-         [--timeout SECS]\n\
+         [--timeout SECS] [--stale-timeout SECS]\n\
          \x20      ccr report <run-dir> [--json]\n\
+         \x20      ccr timeline <run-dir|timeline.jsonl> [--json]\n\
          \x20      ccr bench diff <old.json> <new.json> \
          [--tolerance T] [--bytes-tolerance B]"
     );
@@ -207,6 +230,9 @@ struct Args {
     progress_interval: Duration,
     status: Option<String>,
     run_dir: Option<String>,
+    timeline: Option<String>,
+    stall_after: u32,
+    inject_stall_ms: u64,
     async_only: bool,
     spill_dir: Option<String>,
     spill_bytes: usize,
@@ -333,6 +359,9 @@ fn parse_args() -> Result<Args, ExitCode> {
         progress_interval: DEFAULT_HEARTBEAT_INTERVAL,
         status: None,
         run_dir: None,
+        timeline: None,
+        stall_after: DEFAULT_STALL_AFTER,
+        inject_stall_ms: 0,
         async_only: false,
         spill_dir: None,
         spill_bytes: 0,
@@ -403,6 +432,14 @@ fn parse_args() -> Result<Args, ExitCode> {
             }
             "--status" => out.status = Some(req(&mut it)?),
             "--run-dir" => out.run_dir = Some(req(&mut it)?),
+            "--timeline" => out.timeline = Some(req(&mut it)?),
+            "--stall-after" => {
+                out.stall_after = num(req(&mut it)?)?;
+                if out.stall_after < 1 {
+                    return Err(usage());
+                }
+            }
+            "--inject-stall-ms" => out.inject_stall_ms = num(req(&mut it)?)?,
             "--async" => out.async_only = true,
             "--spill-dir" => {
                 if out.resume {
@@ -445,6 +482,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         out.metrics.get_or_insert_with(|| join("metrics.json"));
         out.profile.get_or_insert_with(|| join("profile.folded"));
         out.status.get_or_insert_with(|| join("status.json"));
+        out.timeline.get_or_insert_with(|| join("timeline.jsonl"));
     }
     Ok(out)
 }
@@ -503,6 +541,7 @@ fn explore_cli<T>(
     sys: &T,
     budget: &Budget,
     threads: usize,
+    stall_ms: u64,
     obs: &mut SearchObserver<'_>,
 ) -> TracedReport
 where
@@ -510,7 +549,8 @@ where
     T::State: Send,
 {
     if threads > 0 {
-        let cfg = ParallelConfig::threads(threads).with_trails();
+        let mut cfg = ParallelConfig::threads(threads).with_trails();
+        cfg.stall_ms = stall_ms;
         explore_parallel_traced_observed(sys, budget, |_| None, true, &cfg, obs).traced_report()
     } else {
         explore_traced_observed(sys, budget, |_| None, true, obs)
@@ -546,6 +586,7 @@ fn explore_cli_sym<T>(
     reduce: bool,
     budget: &Budget,
     threads: usize,
+    stall_ms: u64,
     obs: &mut SearchObserver<'_>,
     registry: &Registry,
 ) -> TracedReport
@@ -555,11 +596,11 @@ where
 {
     if reduce {
         let red = Reduced::new(sys);
-        let report = explore_cli(&red, budget, threads, obs);
+        let report = explore_cli(&red, budget, threads, stall_ms, obs);
         red.record_metrics(registry);
         report
     } else {
-        explore_cli(sys, budget, threads, obs)
+        explore_cli(sys, budget, threads, stall_ms, obs)
     }
 }
 
@@ -738,6 +779,33 @@ fn status_writer_for(args: &Args) -> Result<Option<StatusWriter>, ExitCode> {
     Ok(Some(StatusWriter::create(path.as_str())))
 }
 
+/// Builds the `--timeline` flight recorder, creating missing parent
+/// directories up front as for `--status`. Disabled (a one-branch null
+/// object) when the flag is absent.
+fn recorder_for(args: &Args) -> Result<Recorder, ExitCode> {
+    let Some(path) = &args.timeline else {
+        return Ok(Recorder::disabled());
+    };
+    if let Some(parent) = Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("ccr: cannot create {}: {e}", parent.display());
+                return Err(ExitCode::FAILURE);
+            }
+        }
+    }
+    Recorder::create(
+        Path::new(path),
+        &args.file,
+        args.progress_interval.as_millis() as u64,
+        args.stall_after,
+    )
+    .map_err(|e| {
+        eprintln!("ccr: cannot create {path}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
 /// The `--trace` file sink (or a null sink when the flag is absent).
 fn file_sink(trace: &Option<String>) -> Result<Box<dyn TraceSink>, ExitCode> {
     match trace {
@@ -913,6 +981,13 @@ fn write_metrics(args: &Args, registry: &Registry) -> Result<(), ExitCode> {
     let Some(path) = &args.metrics else {
         return Ok(());
     };
+    // Memory pressure at snapshot time. Nondet-tagged: RSS depends on
+    // allocator behavior and the host, never on the state space.
+    if let Some(rss) = process_rss_bytes() {
+        registry
+            .gauge_nondet("mc_rss_bytes", "Resident set size of the process at snapshot time")
+            .record_max(rss);
+    }
     let snap = registry.snapshot();
     let text = match args.metrics_format {
         MetricsFormat::Json => snap.to_json(),
@@ -936,6 +1011,7 @@ fn observer<'s>(
     profiler: &Profiler,
     args: &Args,
     status_writer: &Option<StatusWriter>,
+    timeline: &Recorder,
     phase: &str,
 ) -> SearchObserver<'s> {
     let mut obs = SearchObserver::with_metrics(sink, registry.clone())
@@ -948,6 +1024,10 @@ fn observer<'s>(
         // work, not a prediction of the reachable-set size.
         rep.set_target(Some(args.budget as u64));
         obs = obs.with_status(rep);
+    }
+    if timeline.enabled() {
+        timeline.set_phase(phase);
+        obs = obs.with_timeline(timeline.clone());
     }
     obs
 }
@@ -1095,19 +1175,40 @@ fn render_status(st: &RunStatus) -> String {
     )
 }
 
-/// `ccr watch <status-file> [--once] [--interval SECS] [--timeout SECS]`:
-/// tails a live status file (atomic-rename JSON written by
-/// `--status`/`--run-dir`), printing a line whenever the snapshot
-/// advances, until the run reports `finished` (or immediately with
-/// `--once`). A watcher started before the run is a normal race, not an
-/// error: the file is polled until the first snapshot appears, and only
-/// a `--timeout` (default 30 s) with no snapshot at all fails the
-/// command.
+/// Age of a file's last modification, when the filesystem can tell.
+fn mtime_age(path: &str) -> Option<Duration> {
+    std::fs::metadata(path).ok()?.modified().ok()?.elapsed().ok()
+}
+
+/// Whether the process that wrote a status snapshot is still alive
+/// (`/proc/<pid>` present). `None` when the snapshot carries no pid or
+/// procfs is unavailable — the caller falls back to mtime staleness.
+fn writer_alive(st: &RunStatus) -> Option<bool> {
+    let pid = st.pid?;
+    let proc_dir = format!("/proc/{pid}");
+    Path::new(&proc_dir).exists().then_some(true).or(Some(false))
+}
+
+/// `ccr watch <status-file> [--once] [--interval SECS] [--timeout SECS]
+/// [--stale-timeout SECS]`: tails a live status file (atomic-rename
+/// JSON written by `--status`/`--run-dir`), printing a line — with a
+/// sparkline of the recent exploration-rate history — whenever the
+/// snapshot advances, until the run reports `finished` (or immediately
+/// with `--once`). A watcher started before the run is a normal race,
+/// not an error: the file is polled until the first snapshot appears,
+/// and only a `--timeout` (default 30 s) with no snapshot at all fails
+/// the command.
+///
+/// A run that *died* — snapshot not `finished`, `seq` frozen, and the
+/// writing pid gone (or, lacking a pid, the file mtime stale) beyond
+/// `--stale-timeout` (default 30 s) — fails the watch with a diagnostic
+/// instead of polling forever.
 fn cmd_watch(argv: &[String]) -> ExitCode {
     let mut path: Option<&str> = None;
     let mut once = false;
     let mut interval = Duration::from_millis(500);
     let mut timeout = Duration::from_secs(30);
+    let mut stale_timeout = Duration::from_secs(30);
     let mut it = argv.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -1124,6 +1225,12 @@ fn cmd_watch(argv: &[String]) -> ExitCode {
                 };
                 timeout = Duration::from_secs_f64(secs.max(0.0));
             }
+            "--stale-timeout" => {
+                let Some(secs) = it.next().and_then(|s| s.parse::<f64>().ok()) else {
+                    return usage();
+                };
+                stale_timeout = Duration::from_secs_f64(secs.max(0.0));
+            }
             _ if path.is_none() && !a.starts_with("--") => path = Some(a),
             _ => return usage(),
         }
@@ -1134,16 +1241,50 @@ fn cmd_watch(argv: &[String]) -> ExitCode {
     let started = Instant::now();
     let mut seen_any = false;
     let mut last_seq = 0u64;
+    let mut last_advance = Instant::now();
+    let mut rate_history: Vec<f64> = Vec::new();
     loop {
         match RunStatus::read(Path::new(path)) {
             Ok(st) => {
                 seen_any = true;
                 if st.seq != last_seq {
-                    println!("{}", render_status(&st));
+                    rate_history.push(st.states_per_sec);
+                    let spark = sparkline(&rate_history, 24);
+                    if spark.chars().count() > 1 {
+                        println!("{}  {spark}", render_status(&st));
+                    } else {
+                        println!("{}", render_status(&st));
+                    }
                     last_seq = st.seq;
+                    last_advance = Instant::now();
                 }
                 if once || st.finished {
                     return ExitCode::SUCCESS;
+                }
+                // Dead-run detection: the snapshot stopped advancing and
+                // the writer is provably gone (pid vanished) or silent
+                // past the staleness threshold. A *stalled but alive*
+                // run keeps bumping `seq` (status writes ride the
+                // heartbeat, not forward progress), so this fires only
+                // when the process truly died between snapshots.
+                if last_advance.elapsed() > stale_timeout {
+                    let dead = match writer_alive(&st) {
+                        Some(alive) => !alive,
+                        None => mtime_age(path).is_some_and(|age| age > stale_timeout),
+                    };
+                    if dead {
+                        eprintln!(
+                            "ccr: watch {path}: run died without finished snapshot \
+                             (seq {} frozen for {:.0}s{})",
+                            st.seq,
+                            last_advance.elapsed().as_secs_f64(),
+                            match st.pid {
+                                Some(pid) => format!(", pid {pid} gone"),
+                                None => ", file stale".to_string(),
+                            }
+                        );
+                        return ExitCode::FAILURE;
+                    }
                 }
             }
             // Absent, mid-rename, or mid-write snapshots are all normal
@@ -1177,9 +1318,9 @@ fn read_artifact(dir: &str, name: &str) -> Result<Option<(String, Json)>, String
 
 /// `ccr report <run-dir> [--json]`: merges a run's artifacts
 /// (verify.json, metrics.json, profile.folded, status.json,
-/// trace.jsonl — whichever exist) into one self-contained report.
-/// Every JSON artifact is validated with the shipped `jsonval` parser,
-/// as is the emitted JSON document itself.
+/// trace.jsonl, timeline.jsonl — whichever exist) into one
+/// self-contained report. Every JSON artifact is validated with the
+/// shipped `jsonval` parser, as is the emitted JSON document itself.
 fn cmd_report(argv: &[String]) -> ExitCode {
     let mut dir: Option<&str> = None;
     let mut json_out = false;
@@ -1239,6 +1380,20 @@ fn cmd_report(argv: &[String]) -> ExitCode {
             }
         }
     }
+    // Flight-recorder timeline, when the run wrote one.
+    let timeline = match std::fs::read_to_string(format!("{dir}/timeline.jsonl")) {
+        Ok(text) => match Timeline::parse(&text).and_then(|t| {
+            t.validate()?;
+            Ok(t)
+        }) {
+            Ok(t) => Some(t.analyze()),
+            Err(e) => {
+                eprintln!("ccr: report: timeline.jsonl: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(_) => None,
+    };
     if verify.is_none() && metrics.is_none() && status.is_none() && profile.is_none() {
         eprintln!("ccr: report: no run artifacts found under {dir}");
         return ExitCode::FAILURE;
@@ -1267,6 +1422,10 @@ fn cmd_report(argv: &[String]) -> ExitCode {
                 }
                 t.end();
             });
+            match &timeline {
+                Some(an) => m.entry_with("timeline", |ser| an.serialize_into(ser)),
+                None => m.entry("timeline", &None::<u32>),
+            }
             m.end();
         }
         let doc = s.into_string();
@@ -1354,12 +1513,124 @@ fn cmd_report(argv: &[String]) -> ExitCode {
             share(sync_overhead_nanos(agg), grand) * 100.0
         );
     }
+    if let Some(an) = &timeline {
+        println!("\n## Timeline\n");
+        render_analysis(an);
+    }
     if !trace_counts.is_empty() {
         println!("\n## Trace\n");
         for (k, n) in &trace_counts {
             println!("- {k}: {n}");
         }
     }
+    ExitCode::SUCCESS
+}
+
+/// Human rendering of a timeline analysis: per-phase rate statistics
+/// with sparklines, detected rate shifts, and stall diagnostics.
+/// Shared by `ccr timeline` and the `## Timeline` report section.
+fn render_analysis(an: &ccr_metrics::timeseries::Analysis) {
+    println!(
+        "{} samples over {:.1}s at {}ms interval ({})",
+        an.samples,
+        an.duration_ms as f64 / 1e3,
+        an.interval_ms,
+        an.outcome.as_deref().unwrap_or("no end record")
+    );
+    for p in &an.phases {
+        let spark = sparkline(&p.rates, 32);
+        println!(
+            "- {}: {} samples, {} states; {:.0}/s mean, {:.0}/s peak  {}",
+            p.name, p.samples, p.states, p.mean_states_per_sec, p.peak_states_per_sec, spark
+        );
+        for sh in &p.shifts {
+            println!(
+                "  - rate shift at {:.1}s: {:.0}/s -> {:.0}/s",
+                sh.t_ms as f64 / 1e3,
+                sh.before,
+                sh.after
+            );
+        }
+    }
+    for st in &an.stalls {
+        println!(
+            "- stall at {:.1}s: no progress for {} intervals at {} states \
+             (frontier {}, queues {:?})",
+            st.t_ms as f64 / 1e3,
+            st.intervals,
+            st.states,
+            st.frontier,
+            st.queues
+        );
+        for (w, span, s) in &st.workers {
+            println!("  - worker {w}: {span} {:.0}%", s * 100.0);
+        }
+    }
+    if let Some(rss) = an.peak_rss_bytes {
+        println!("- peak rss: {:.1} MiB", rss as f64 / (1024.0 * 1024.0));
+    }
+    if an.spill_bytes > 0 {
+        println!(
+            "- spill: {:.1} MiB appended, {:.1} MiB compacted",
+            an.spill_bytes as f64 / (1024.0 * 1024.0),
+            an.compacted_bytes as f64 / (1024.0 * 1024.0)
+        );
+    }
+}
+
+/// `ccr timeline <run-dir|timeline.jsonl> [--json]`: parses and
+/// validates a flight-recorder timeline, runs phase/rate analysis,
+/// writes the machine summary next to the source as `timeline.json`
+/// (self-validated with the shipped `jsonval` parser), and prints the
+/// human summary (or the JSON document with `--json`).
+fn cmd_timeline(argv: &[String]) -> ExitCode {
+    let mut target: Option<&str> = None;
+    let mut json_out = false;
+    for a in argv {
+        match a.as_str() {
+            "--json" => json_out = true,
+            _ if target.is_none() && !a.starts_with("--") => target = Some(a),
+            _ => return usage(),
+        }
+    }
+    let Some(target) = target else {
+        return usage();
+    };
+    let path = if Path::new(target).is_dir() {
+        PathBuf::from(target).join("timeline.jsonl")
+    } else {
+        PathBuf::from(target)
+    };
+    let timeline = match Timeline::read(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("ccr: timeline: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = timeline.validate() {
+        eprintln!("ccr: timeline: {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    let analysis = timeline.analyze();
+    let doc = analysis.to_json();
+    if let Err(e) = Json::parse(&doc) {
+        eprintln!("ccr: timeline: emitted JSON failed validation: {e}");
+        return ExitCode::FAILURE;
+    }
+    let out = path.with_file_name("timeline.json");
+    if let Err(e) = std::fs::write(&out, format!("{doc}\n")) {
+        eprintln!("ccr: timeline: write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    if json_out {
+        println!("{doc}");
+        return ExitCode::SUCCESS;
+    }
+    println!("# Timeline: {}", analysis.spec);
+    println!();
+    render_analysis(&analysis);
+    println!("\nSummary written to {}", out.display());
     ExitCode::SUCCESS
 }
 
@@ -1377,6 +1648,9 @@ fn main() -> ExitCode {
     }
     if argv.first().map(String::as_str) == Some("report") {
         return cmd_report(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("timeline") {
+        return cmd_timeline(&argv[1..]);
     }
     let args = match parse_args() {
         Ok(a) => a,
@@ -1527,6 +1801,10 @@ fn main() -> ExitCode {
                 Ok(w) => w,
                 Err(code) => return code,
             };
+            let timeline = match recorder_for(&args) {
+                Ok(r) => r,
+                Err(code) => return code,
+            };
 
             let threads = args.engine_threads();
             // `auto` reduces unless a fault flag is present: the fault
@@ -1601,6 +1879,7 @@ fn main() -> ExitCode {
                         &profiler,
                         &args,
                         &status_writer,
+                        &timeline,
                         "explore/rendezvous",
                     );
                     match &spill_root {
@@ -1625,7 +1904,15 @@ fn main() -> ExitCode {
                                 return ExitCode::FAILURE;
                             }
                         },
-                        None => explore_cli_sym(&rv, reduce, &budget, threads, &mut obs, &registry),
+                        None => explore_cli_sym(
+                            &rv,
+                            reduce,
+                            &budget,
+                            threads,
+                            args.inject_stall_ms,
+                            &mut obs,
+                            &registry,
+                        ),
                     }
                 };
                 if let ccr_mc::Outcome::PersistFailure(msg) = &rr.outcome {
@@ -1654,6 +1941,7 @@ fn main() -> ExitCode {
                         &profiler,
                         &args,
                         &status_writer,
+                        &timeline,
                         "explore/async",
                     );
                     match &spill_root {
@@ -1680,9 +1968,15 @@ fn main() -> ExitCode {
                                 return ExitCode::FAILURE;
                             }
                         },
-                        None => {
-                            explore_cli_sym(&asys, reduce, &budget, threads, &mut obs, &registry)
-                        }
+                        None => explore_cli_sym(
+                            &asys,
+                            reduce,
+                            &budget,
+                            threads,
+                            args.inject_stall_ms,
+                            &mut obs,
+                            &registry,
+                        ),
                     }
                 };
                 if let ccr_mc::Outcome::PersistFailure(msg) = &ar.outcome {
@@ -1724,6 +2018,7 @@ fn main() -> ExitCode {
                                 &profiler,
                                 &args,
                                 &status_writer,
+                                &timeline,
                                 "check/progress",
                             );
                             progress_cli_sym(&asys, reduce, &budget, threads, &mut obs, &registry)
@@ -1764,6 +2059,7 @@ fn main() -> ExitCode {
                             &profiler,
                             &args,
                             &status_writer,
+                            &timeline,
                             "check/fault-closure",
                         );
                         if threads > 0 {
@@ -1904,23 +2200,38 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+            // Terminal counts for the status snapshot and the flight
+            // record: the exact async-level numbers (what the verify
+            // JSON reports), falling back to the rendezvous level.
+            let (fin_states, fin_transitions, fin_outcome) = match (&a, &r) {
+                (Some(x), _) => (x.states as u64, x.transitions as u64, x.outcome.clone()),
+                (None, Some(x)) => (x.states as u64, x.transitions as u64, x.outcome.clone()),
+                (None, None) => (0, 0, ccr_mc::Outcome::Unfinished),
+            };
+            // Close the flight record and fold its (nondet) counters in
+            // before the metrics snapshot is written.
+            timeline.finish(fin_outcome.name(), fin_states, fin_transitions);
+            timeline.publish(&registry);
+            if let Some(e) = timeline.take_error() {
+                eprintln!("ccr: timeline: {e}");
+                return ExitCode::FAILURE;
+            }
             if let Err(code) = write_metrics(&args, &registry) {
                 return code;
             }
 
-            // One terminal snapshot for the whole invocation: the exact
-            // async-level state count (the number the verify JSON
-            // reports) with the last live transition count, marked
+            // One terminal snapshot for the whole invocation, marked
             // `finished` so `ccr watch` exits.
             if let Some(writer) = &status_writer {
-                let (states, transitions, outcome) = match (&a, &r) {
-                    (Some(x), _) => (x.states as u64, x.transitions as u64, x.outcome.clone()),
-                    (None, Some(x)) => (x.states as u64, x.transitions as u64, x.outcome.clone()),
-                    (None, None) => (0, 0, ccr_mc::Outcome::Unfinished),
-                };
                 let mut rep = StatusReporter::new(writer.clone(), &args.file);
                 rep.set_phase("done");
-                rep.finalize(&outcome, states, transitions, run_started.elapsed(), &profiler);
+                rep.finalize(
+                    &fin_outcome,
+                    fin_states,
+                    fin_transitions,
+                    run_started.elapsed(),
+                    &profiler,
+                );
             }
             if ok {
                 ExitCode::SUCCESS
@@ -1954,6 +2265,10 @@ fn main() -> ExitCode {
                 Ok(w) => w,
                 Err(code) => return code,
             };
+            let timeline = match recorder_for(&args) {
+                Ok(r) => r,
+                Err(code) => return code,
+            };
             // `table` reproduces the paper's Table 3, so `auto` keeps the
             // concrete (unreduced) counts; only an explicit `--symmetry
             // on` switches the cells to orbit counts (and only when the
@@ -1981,6 +2296,7 @@ fn main() -> ExitCode {
                         &profiler,
                         &args,
                         &status_writer,
+                        &timeline,
                         "explore/rendezvous",
                     );
                     explore_plain_cli_sym(
@@ -2000,6 +2316,7 @@ fn main() -> ExitCode {
                         &profiler,
                         &args,
                         &status_writer,
+                        &timeline,
                         "explore/async",
                     );
                     explore_plain_cli_sym(
@@ -2051,16 +2368,20 @@ fn main() -> ExitCode {
                     return code;
                 }
             }
+            let (states, transitions, outcome) = rows
+                .last()
+                .map(|(_, asy, _)| (asy.states as u64, asy.transitions as u64, asy.outcome.clone()))
+                .unwrap_or((0, 0, ccr_mc::Outcome::Unfinished));
+            timeline.finish(outcome.name(), states, transitions);
+            timeline.publish(&registry);
+            if let Some(e) = timeline.take_error() {
+                eprintln!("ccr: timeline: {e}");
+                return ExitCode::FAILURE;
+            }
             if let Err(code) = write_metrics(&args, &registry) {
                 return code;
             }
             if let Some(writer) = &status_writer {
-                let (states, transitions, outcome) = rows
-                    .last()
-                    .map(|(_, asy, _)| {
-                        (asy.states as u64, asy.transitions as u64, asy.outcome.clone())
-                    })
-                    .unwrap_or((0, 0, ccr_mc::Outcome::Unfinished));
                 let mut rep = StatusReporter::new(writer.clone(), &args.file);
                 rep.set_phase("done");
                 rep.finalize(&outcome, states, transitions, run_started.elapsed(), &profiler);

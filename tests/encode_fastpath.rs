@@ -107,7 +107,7 @@ fn walk_and_check<T: TransitionSystem>(sys: &T, steps: &[usize], context: &str) 
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
     fn fastpath_encode_matches_reference_on_random_walks(

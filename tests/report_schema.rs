@@ -1,0 +1,136 @@
+//! `ccr report --json` schema stability: the merged document's
+//! top-level shape and the field names downstream tooling keys on are
+//! pinned here, so a refactor that renames or drops a key fails a test
+//! instead of silently breaking dashboards.
+
+use ccr_metrics::jsonval::Json;
+use std::path::{Path, PathBuf};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ccr-report-schema-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir
+}
+
+/// Runs a real verify into a run dir and returns the parsed
+/// `ccr report --json` document.
+fn report_doc(dir: &Path) -> Json {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_ccr"))
+        .args(["verify", "specs/migratory.ccp", "-n", "2", "--run-dir"])
+        .arg(dir)
+        .current_dir(root)
+        .output()
+        .expect("run ccr");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let report = std::process::Command::new(env!("CARGO_BIN_EXE_ccr"))
+        .arg("report")
+        .arg(dir)
+        .arg("--json")
+        .output()
+        .expect("run report");
+    assert!(report.status.success(), "{}", String::from_utf8_lossy(&report.stderr));
+    Json::parse(std::str::from_utf8(&report.stdout).unwrap().trim())
+        .expect("report --json emits valid JSON")
+}
+
+#[test]
+fn report_json_top_level_shape_is_stable() {
+    let dir = tmp_dir("shape");
+    let doc = report_doc(&dir);
+    let keys: Vec<&str> =
+        doc.as_object().expect("top-level object").iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(
+        keys,
+        ["run_dir", "verify", "metrics", "status", "profile", "trace_events", "timeline"],
+        "top-level key set and order are the report's public schema"
+    );
+}
+
+#[test]
+fn report_json_nested_fields_downstream_tooling_keys_on() {
+    let dir = tmp_dir("fields");
+    let doc = report_doc(&dir);
+
+    // Verification block: the holds verdict plus both levels' counts.
+    assert_eq!(doc.path("verify.holds").and_then(Json::as_bool), Some(true));
+    for level in ["rendezvous", "asynchronous"] {
+        for field in ["states", "transitions"] {
+            assert!(
+                doc.path(&format!("verify.{level}.{field}")).and_then(Json::as_u64).is_some(),
+                "verify.{level}.{field} missing"
+            );
+        }
+    }
+
+    // Status block: terminal snapshot with exact counts, monotone seq,
+    // and the writer pid (`ccr watch` dead-run detection keys on it).
+    assert_eq!(doc.path("status.finished").and_then(Json::as_bool), Some(true));
+    assert_eq!(doc.path("status.outcome").and_then(Json::as_str), Some("Complete"));
+    for field in ["states", "transitions", "seq", "pid", "elapsed_ms"] {
+        assert!(
+            doc.path(&format!("status.{field}")).and_then(Json::as_u64).is_some(),
+            "status.{field} missing"
+        );
+    }
+
+    // Metrics block: deterministic counters plus the nondeterministic
+    // tag list (the diff gate reads both).
+    assert!(doc.path("metrics.counters.mc_states_total").and_then(Json::as_u64).is_some());
+    assert!(doc.path("metrics.nondeterministic").and_then(Json::as_array).is_some());
+
+    // Profile block: per-worker span attribution.
+    assert!(doc.path("profile.workers").and_then(Json::as_array).is_some());
+
+    // Trace block: per-variant event counts (every bundle ends with an
+    // Outcome event).
+    assert!(doc.path("trace_events.Outcome").and_then(Json::as_u64).is_some());
+
+    // Timeline block: the flight-recorder analysis schema.
+    for field in ["spec", "interval_ms", "duration_ms", "samples"] {
+        assert!(doc.path(&format!("timeline.{field}")).is_some(), "timeline.{field} missing");
+    }
+    let phases = doc.path("timeline.phases").and_then(Json::as_array).expect("timeline.phases");
+    assert!(!phases.is_empty(), "verify records its phases");
+    for field in
+        ["name", "start_ms", "end_ms", "samples", "mean_states_per_sec", "peak_states_per_sec"]
+    {
+        assert!(phases[0].get(field).is_some(), "timeline.phases[].{field} missing");
+    }
+    assert!(doc.path("timeline.stalls").and_then(Json::as_array).is_some());
+}
+
+#[test]
+fn report_json_marks_absent_artifacts_null_instead_of_dropping_keys() {
+    // A run dir holding only a status file still reports the full key
+    // set, with nulls for the missing artifacts — consumers can rely on
+    // key presence without existence checks.
+    let dir = tmp_dir("sparse");
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_ccr"))
+        .args(["verify", "specs/migratory.ccp", "-n", "2", "--status"])
+        .arg(dir.join("status.json"))
+        .current_dir(root)
+        .output()
+        .expect("run ccr");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let report = std::process::Command::new(env!("CARGO_BIN_EXE_ccr"))
+        .arg("report")
+        .arg(&dir)
+        .arg("--json")
+        .output()
+        .expect("run report");
+    assert!(report.status.success(), "{}", String::from_utf8_lossy(&report.stderr));
+    let doc = Json::parse(std::str::from_utf8(&report.stdout).unwrap().trim())
+        .expect("report --json emits valid JSON");
+    let keys: Vec<&str> =
+        doc.as_object().expect("top-level object").iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(
+        keys,
+        ["run_dir", "verify", "metrics", "status", "profile", "trace_events", "timeline"]
+    );
+    for absent in ["verify", "metrics", "profile", "timeline"] {
+        assert!(matches!(doc.get(absent), Some(Json::Null)), "{absent} must be null, not dropped");
+    }
+    assert!(doc.path("status.seq").and_then(Json::as_u64).is_some());
+}

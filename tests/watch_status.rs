@@ -128,3 +128,45 @@ fn final_status_agrees_with_the_verify_report_counts() {
     );
     assert_eq!(merged.path("status.states").and_then(Json::as_u64), Some(status.states));
 }
+
+#[test]
+fn watch_fails_on_a_dead_run_but_tolerates_a_live_writer() {
+    let dir = tmp_dir("dead");
+    let path = dir.join("status.json");
+    // An unfinished snapshot whose writing pid no longer exists: the
+    // run died between heartbeats. The watcher must detect it via the
+    // recorded pid and exit nonzero instead of polling forever.
+    let writer = StatusWriter::create(&path);
+    let mut status = RunStatus {
+        spec: "specs/migratory.ccp".into(),
+        phase: "explore/async".into(),
+        states: 1234,
+        pid: Some(4_000_000_000), // beyond any real pid space
+        ..RunStatus::default()
+    };
+    writer.write(&mut status).expect("status write");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_ccr"))
+        .arg("watch")
+        .arg(&path)
+        .args(["--interval", "0.05", "--stale-timeout", "0.2"])
+        .output()
+        .expect("run watch");
+    assert!(!out.status.success(), "watch must fail on a dead run");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("run died without finished snapshot"), "{err}");
+
+    // The same snapshot written by a live process (this test) passes
+    // the liveness probe; `--once` returns before any staleness check
+    // could matter, and a finished snapshot always succeeds.
+    status.pid = Some(std::process::id() as u64);
+    status.finished = true;
+    status.outcome = Some("Complete".into());
+    writer.write(&mut status).expect("status write");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_ccr"))
+        .arg("watch")
+        .arg(&path)
+        .args(["--interval", "0.05", "--stale-timeout", "0.2"])
+        .output()
+        .expect("run watch");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
