@@ -3,6 +3,7 @@ use ccr_protocols::invalidate::{invalidate, InvalidateOptions};
 use ccr_protocols::migratory::{migratory, MigratoryOptions};
 use ccr_protocols::token::token;
 use ccr_protocols::update::{update, UpdateOptions};
+use ccr_protocols::zoo::{zoo_chain, zoo_unsound_pair};
 fn main() {
     std::fs::write("specs/token.ccp", to_text(&token())).unwrap();
     std::fs::write("specs/migratory.ccp", to_text(&migratory(&MigratoryOptions::checking())))
@@ -19,5 +20,7 @@ fn main() {
     .unwrap();
     std::fs::write("specs/update.ccp", to_text(&update(&UpdateOptions { data_domain: Some(2) })))
         .unwrap();
+    std::fs::write("specs/zoo_chain.ccp", to_text(&zoo_chain())).unwrap();
+    std::fs::write("specs/zoo_unsound_pair.ccp", to_text(&zoo_unsound_pair())).unwrap();
     println!("specs written");
 }

@@ -75,6 +75,7 @@ pub mod refine;
 pub mod text;
 pub mod validate;
 pub mod value;
+pub mod zoo;
 
 pub use error::{CoreError, Result};
 pub use process::{Branch, CommAction, Peer, Process, ProtocolSpec, State, StateKind, VarDecl};

@@ -219,6 +219,17 @@ fn home_requests_safe(spec: &ProtocolSpec, q: MsgType, p: MsgType) -> bool {
             return false;
         }
     }
+    // (a') dually, every remote p-send must actually *be* a reply: walking
+    // backwards from the sending state, every path must consume a `q` (via
+    // internal hops only) before reaching the initial state or any other
+    // communication. Without this, a remote that emits `p` spontaneously
+    // (e.g. from its initial state) is marked fire-and-forget, the home
+    // acks the unsolicited `p` as an ordinary message, and the remote
+    // traps on the unexpected ack — found by derivation fuzzing, shipped
+    // as `specs/zoo_unsound_pair.ccp`.
+    if !remote_reply_sends_dominated(&spec.remote, q, p) {
+        return false;
+    }
     // (b) every home q-send targets a state offering an unguarded `p` input
     // from the textually same peer.
     for (si, bi) in sends_of(&spec.home, q) {
@@ -247,6 +258,55 @@ fn home_requests_safe(spec: &ProtocolSpec, q: MsgType, p: MsgType) -> bool {
         peer.collect_vars(&mut peer_vars);
         if br.assigns.iter().any(|(v, _)| peer_vars.contains(v)) {
             return false;
+        }
+    }
+    true
+}
+
+/// Reply-domination for the *remote* side of a home-requested pair: every
+/// send of the reply `p` must be entered only through a receive of the
+/// request `q`, possibly via single-tau internal hops. Reaching the remote
+/// initial state backwards, or any non-`q` entering edge, means the remote
+/// can emit `p` that no pending request is waiting for.
+fn remote_reply_sends_dominated(proc_: &Process, q: MsgType, p: MsgType) -> bool {
+    let mut preds: Vec<Vec<(usize, usize)>> = vec![Vec::new(); proc_.states.len()];
+    for (fsi, st) in proc_.states.iter().enumerate() {
+        for (fbi, b) in st.branches.iter().enumerate() {
+            if proc_.state(b.target).is_some() {
+                preds[b.target.index()].push((fsi, fbi));
+            }
+        }
+    }
+    for (si, _bi) in sends_of(proc_, p) {
+        let mut visited = vec![false; proc_.states.len()];
+        let mut queue = vec![si];
+        visited[si] = true;
+        while let Some(node) = queue.pop() {
+            if node == proc_.initial.index() {
+                return false; // the send is live from system start, no q consumed
+            }
+            for &(fsi, fbi) in &preds[node] {
+                let edge = &proc_.states[fsi].branches[fbi];
+                let anchor = matches!(
+                    &edge.action,
+                    CommAction::Recv { from: Peer::Home, msg, .. } if *msg == q
+                );
+                if anchor {
+                    continue; // certified entry; stop walking past it
+                }
+                // Only internal tau hops may propagate the obligation
+                // backwards; any other entering communication means the
+                // send is reachable without a pending request.
+                let internal_hop = matches!(proc_.states[fsi].kind, StateKind::Internal)
+                    && matches!(edge.action, CommAction::Tau);
+                if !internal_hop {
+                    return false;
+                }
+                if !visited[fsi] {
+                    visited[fsi] = true;
+                    queue.push(fsi);
+                }
+            }
         }
     }
     true
@@ -494,6 +554,57 @@ mod tests {
         b.remote(w).send(req).goto(v);
         let spec = b.finish().unwrap();
         assert!(classify_pair(&spec, inv, done).is_none());
+    }
+
+    /// The fuzzer's counterexample shape (`specs/zoo_unsound_pair.ccp`):
+    /// the remote sends the would-be reply *spontaneously* from its initial
+    /// state and never receives the request at all, making condition (a)
+    /// vacuous. The pair must be rejected.
+    #[test]
+    fn rejects_spontaneous_reply_sender() {
+        let mut b = ProtocolBuilder::new("zoo_unsound_pair");
+        let m0 = b.msg("m0");
+        let m1 = b.msg("m1");
+        let o = b.home_var("o", Value::Node(RemoteId(0)));
+        let h0 = b.home_state("H0");
+        let h1 = b.home_state("H1");
+        b.home(h0).recv_exact(m0, Expr::Var(o)).goto(h1);
+        b.home(h1).send_to(Expr::Var(o), m1).goto(h0);
+        let r0 = b.remote_state("R0");
+        b.remote(r0).send(m0).goto(r0);
+        let spec = b.finish().unwrap();
+        // Before the remote-side domination check this classified as
+        // (m1, m0) HomeRequests and the derived executor trapped on an
+        // unexpected ack.
+        assert!(classify_pair(&spec, m1, m0).is_none());
+        assert!(detect_pairs(&spec).is_empty());
+    }
+
+    /// A legitimate home-requested pair whose reply send is dominated by
+    /// the request receive (the migratory `inv/ID` shape) must survive the
+    /// new check.
+    #[test]
+    fn accepts_dominated_reply_sender() {
+        let mut b = ProtocolBuilder::new("ok");
+        let inv = b.msg("inv");
+        let id = b.msg("id");
+        let req = b.msg("req");
+        let o = b.home_var("o", Value::Node(RemoteId(0)));
+        let e = b.home_state("E");
+        let i1 = b.home_state("I1");
+        b.home(e).recv_any(req).bind_sender(o).goto(i1);
+        b.home(i1).send_to(Expr::Var(o), inv).goto(i1);
+        b.home(i1).recv_exact(id, Expr::Var(o)).goto(e);
+        let v = b.remote_state("V");
+        let ids = b.remote_state("IDS");
+        let w = b.remote_state("W");
+        b.remote(v).recv(inv).goto(ids);
+        b.remote(ids).send(id).goto(v);
+        b.remote(v).tau().goto(w);
+        b.remote(w).send(req).goto(v);
+        let spec = b.finish().unwrap();
+        let pair = classify_pair(&spec, inv, id).unwrap();
+        assert_eq!(pair.direction, PairDirection::HomeRequests);
     }
 
     #[test]

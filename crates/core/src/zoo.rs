@@ -1,0 +1,399 @@
+//! The protocol zoo: a seeded generator of well-formed rendezvous specs.
+//!
+//! The refinement procedure (§3) is the paper's core claim, but hand-written
+//! specs only exercise a handful of shapes. This module generates *arbitrary*
+//! protocols inside the §2.4 syntactic discipline — star topology, remote
+//! states that are active (one send) xor passive (receives plus an optional
+//! tau escape), home states made of receives and sends with optional
+//! owner-variable addressing — so the whole derivation stack can be fuzzed:
+//! every generated spec passes [`crate::validate::validate`] by construction.
+//!
+//! The generator is split in two layers on purpose:
+//!
+//! * [`ZooSpec`] is the *shape*: plain vectors of [`HShape`]/[`RShape`]
+//!   values with free indices. Shapes are trivial to mutate, which is what
+//!   the shrinker needs — dropping a state or branch never requires index
+//!   book-keeping because [`ZooSpec::build`] clamps every index modulo the
+//!   actual vector lengths.
+//! * [`ZooSpec::build`] lowers a shape to a [`ProtocolSpec`] through
+//!   [`crate::builder::ProtocolBuilder`], running full §2.4 validation.
+//!
+//! Randomness is a splitmix64 stream (same finalizer as `ccr-faults`; the
+//! constant is duplicated here because `ccr-core` sits below `ccr-faults`
+//! in the crate graph). `generate(seed, index)` is a pure function: the
+//! same `(seed, index)` pair yields the same spec on every platform, which
+//! is what makes `ccr fuzz --seed` reproducible.
+
+use crate::builder::ProtocolBuilder;
+use crate::error::Result;
+use crate::expr::Expr;
+use crate::ids::{MsgType, RemoteId, StateId};
+use crate::process::ProtocolSpec;
+use crate::value::Value;
+
+/// Shape of one remote state (§2.4: active xor passive).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RShape {
+    /// Active: exactly one send to home.
+    Active {
+        /// Message index (clamped modulo the message count at build time).
+        msg: usize,
+        /// Target state index (clamped modulo the remote state count).
+        target: usize,
+    },
+    /// Passive: one or more receives from home plus an optional tau escape.
+    Passive {
+        /// `(msg, target)` receive branches; at least one.
+        recvs: Vec<(usize, usize)>,
+        /// Optional spontaneous internal transition (e.g. an eviction).
+        tau: Option<usize>,
+    },
+}
+
+/// Shape of one home branch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HShape {
+    /// `r(*) ? m` — receive `m` from any remote.
+    RecvAny {
+        /// Message index.
+        msg: usize,
+        /// Target home state index.
+        target: usize,
+    },
+    /// `r(* -> o) ? m` — receive from any remote, binding the sender into
+    /// the owner variable (the token/migratory idiom; keeps the spec
+    /// permutable).
+    RecvAnyBind {
+        /// Message index.
+        msg: usize,
+        /// Target home state index.
+        target: usize,
+    },
+    /// `r(o) ! m` — send to the remote currently named by the owner
+    /// variable (permutable).
+    SendOwner {
+        /// Message index.
+        msg: usize,
+        /// Target home state index.
+        target: usize,
+    },
+    /// `r(o) ? m` — receive specifically from the owner (permutable).
+    RecvOwner {
+        /// Message index.
+        msg: usize,
+        /// Target home state index.
+        target: usize,
+    },
+    /// `r(rK) ! m` — send to a fixed node literal. Node literals make the
+    /// spec order-sensitive, so this shape exercises the scalarset
+    /// check's identity-degrade path.
+    SendTo {
+        /// Remote node literal (clamped modulo the system size at build).
+        node: u32,
+        /// Message index.
+        msg: usize,
+        /// Target home state index.
+        target: usize,
+    },
+}
+
+/// A generated protocol shape: everything needed to build a
+/// [`ProtocolSpec`], in a form the shrinker can mutate freely.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZooSpec {
+    /// Protocol name used for the built spec (and its `.ccp` rendering).
+    pub name: String,
+    /// Number of message types (`m0..m{nm-1}`); at least 1.
+    pub nm: usize,
+    /// Home states: one vector of branches per state (`H0..`).
+    pub home: Vec<Vec<HShape>>,
+    /// Remote template states (`R0..`).
+    pub remote: Vec<RShape>,
+}
+
+/// Splitmix64 — the same stream `ccr-faults` uses for fault plans.
+#[derive(Debug, Clone, Copy)]
+pub struct ZooRng {
+    state: u64,
+}
+
+/// The splitmix64 finalizer (public so callers can derive sub-seeds the
+/// same way `generate` does).
+pub fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ZooRng {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`n` tiny here, so modulo bias is moot).
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform value in `lo..=hi`.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// True with probability `num/den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.next_u64() % den < num
+    }
+}
+
+impl ZooSpec {
+    /// Deterministically generates the `index`-th spec of the stream
+    /// `seed`. Pure: same `(seed, index)` ⇒ same shape, always.
+    pub fn generate(seed: u64, index: u64) -> ZooSpec {
+        let mut rng = ZooRng::new(mix(seed) ^ mix(index.wrapping_add(1)));
+        let nm = rng.range(1, 3);
+        let nh = rng.range(1, 3);
+        let nr = rng.range(1, 3);
+        let home = (0..nh)
+            .map(|_| {
+                let nb = rng.range(1, 3);
+                (0..nb).map(|_| Self::gen_home_branch(&mut rng, nm, nh)).collect()
+            })
+            .collect();
+        let remote = (0..nr).map(|_| Self::gen_remote_state(&mut rng, nm, nr)).collect();
+        ZooSpec { name: format!("zoo_{seed}_{index}"), nm, home, remote }
+    }
+
+    fn gen_home_branch(rng: &mut ZooRng, nm: usize, nh: usize) -> HShape {
+        let msg = rng.below(nm);
+        let target = rng.below(nh);
+        match rng.below(5) {
+            0 => HShape::RecvAny { msg, target },
+            1 => HShape::RecvAnyBind { msg, target },
+            2 => HShape::SendOwner { msg, target },
+            3 => HShape::RecvOwner { msg, target },
+            _ => HShape::SendTo { node: rng.below(2) as u32, msg, target },
+        }
+    }
+
+    fn gen_remote_state(rng: &mut ZooRng, nm: usize, nr: usize) -> RShape {
+        if rng.chance(2, 5) {
+            RShape::Active { msg: rng.below(nm), target: rng.below(nr) }
+        } else {
+            let nrecv = rng.range(1, 2);
+            let recvs = (0..nrecv).map(|_| (rng.below(nm), rng.below(nr))).collect();
+            let tau = if rng.chance(1, 2) { Some(rng.below(nr)) } else { None };
+            RShape::Passive { recvs, tau }
+        }
+    }
+
+    /// Whether any home branch references the owner variable. Controls
+    /// whether `build` declares `var o: node := r0`.
+    pub fn uses_owner(&self) -> bool {
+        self.home.iter().flatten().any(|b| {
+            matches!(
+                b,
+                HShape::RecvAnyBind { .. } | HShape::SendOwner { .. } | HShape::RecvOwner { .. }
+            )
+        })
+    }
+
+    /// Rough size metric used by the shrinker to rank candidates: total
+    /// branch count plus state and message counts.
+    pub fn size(&self) -> usize {
+        let hb: usize = self.home.iter().map(Vec::len).sum();
+        let rb: usize = self
+            .remote
+            .iter()
+            .map(|s| match s {
+                RShape::Active { .. } => 1,
+                RShape::Passive { recvs, tau } => recvs.len() + usize::from(tau.is_some()),
+            })
+            .sum();
+        hb + rb + self.home.len() + self.remote.len() + self.nm
+    }
+
+    /// Lowers the shape to a validated [`ProtocolSpec`].
+    ///
+    /// All indices are clamped modulo the actual vector lengths, so any
+    /// shape with ≥1 message, ≥1 home state, ≥1 branch per home state and
+    /// ≥1 remote state builds — mutation never has to fix up targets. The
+    /// only build failures are structural §2.4 violations (e.g. a home
+    /// state whose branch vector is empty), which the shrinker treats as
+    /// "candidate invalid, skip".
+    pub fn build(&self) -> Result<ProtocolSpec> {
+        let nm = self.nm.max(1);
+        let nh = self.home.len().max(1);
+        let nr = self.remote.len().max(1);
+        let mut b = ProtocolBuilder::new(&self.name);
+        let msgs: Vec<MsgType> = (0..nm).map(|i| b.msg(&format!("m{i}"))).collect();
+        let owner =
+            if self.uses_owner() { Some(b.home_var("o", Value::Node(RemoteId(0)))) } else { None };
+        let hstates: Vec<StateId> =
+            (0..self.home.len()).map(|i| b.home_state(&format!("H{i}"))).collect();
+        for (si, branches) in self.home.iter().enumerate() {
+            for br in branches {
+                match br {
+                    HShape::RecvAny { msg, target } => {
+                        b.home(hstates[si]).recv_any(msgs[msg % nm]).goto(hstates[target % nh]);
+                    }
+                    HShape::RecvAnyBind { msg, target } => {
+                        b.home(hstates[si])
+                            .recv_any(msgs[msg % nm])
+                            .bind_sender(owner.expect("uses_owner"))
+                            .goto(hstates[target % nh]);
+                    }
+                    HShape::SendOwner { msg, target } => {
+                        b.home(hstates[si])
+                            .send_to(Expr::Var(owner.expect("uses_owner")), msgs[msg % nm])
+                            .goto(hstates[target % nh]);
+                    }
+                    HShape::RecvOwner { msg, target } => {
+                        b.home(hstates[si])
+                            .recv_exact(msgs[msg % nm], Expr::Var(owner.expect("uses_owner")))
+                            .goto(hstates[target % nh]);
+                    }
+                    HShape::SendTo { node, msg, target } => {
+                        b.home(hstates[si])
+                            .send_to(Expr::node(RemoteId(node % 2)), msgs[msg % nm])
+                            .goto(hstates[target % nh]);
+                    }
+                }
+            }
+        }
+        let rstates: Vec<StateId> =
+            (0..self.remote.len()).map(|i| b.remote_state(&format!("R{i}"))).collect();
+        for (si, shape) in self.remote.iter().enumerate() {
+            match shape {
+                RShape::Active { msg, target } => {
+                    b.remote(rstates[si]).send(msgs[msg % nm]).goto(rstates[target % nr]);
+                }
+                RShape::Passive { recvs, tau } => {
+                    for (msg, target) in recvs {
+                        b.remote(rstates[si]).recv(msgs[msg % nm]).goto(rstates[target % nr]);
+                    }
+                    if let Some(t) = tau {
+                        b.remote(rstates[si]).tau().goto(rstates[t % nr]);
+                    }
+                }
+            }
+        }
+        b.finish()
+    }
+
+    /// One-step shrink candidates, each strictly smaller than `self`, in a
+    /// fixed deterministic order (remote states, home states, home
+    /// branches, passive receives, tau escapes, message count). Candidates
+    /// may fail to [`build`](Self::build) (the shrinker skips those); they
+    /// never panic.
+    pub fn shrink_candidates(&self) -> Vec<ZooSpec> {
+        let mut out = Vec::new();
+        if self.remote.len() > 1 {
+            for i in 0..self.remote.len() {
+                let mut c = self.clone();
+                c.remote.remove(i);
+                out.push(c);
+            }
+        }
+        if self.home.len() > 1 {
+            for i in 0..self.home.len() {
+                let mut c = self.clone();
+                c.home.remove(i);
+                out.push(c);
+            }
+        }
+        for (si, branches) in self.home.iter().enumerate() {
+            if branches.len() > 1 {
+                for bi in 0..branches.len() {
+                    let mut c = self.clone();
+                    c.home[si].remove(bi);
+                    out.push(c);
+                }
+            }
+        }
+        for (si, shape) in self.remote.iter().enumerate() {
+            if let RShape::Passive { recvs, tau } = shape {
+                if recvs.len() > 1 || (!recvs.is_empty() && tau.is_some()) {
+                    for ri in 0..recvs.len() {
+                        // Keep the state non-terminal: only drop a recv if
+                        // another branch (recv or tau) remains.
+                        if recvs.len() > 1 || tau.is_some() {
+                            let mut c = self.clone();
+                            if let RShape::Passive { recvs, .. } = &mut c.remote[si] {
+                                recvs.remove(ri);
+                            }
+                            out.push(c);
+                        }
+                    }
+                }
+                if tau.is_some() && !recvs.is_empty() {
+                    let mut c = self.clone();
+                    if let RShape::Passive { tau, .. } = &mut c.remote[si] {
+                        *tau = None;
+                    }
+                    out.push(c);
+                }
+            }
+        }
+        if self.nm > 1 {
+            let mut c = self.clone();
+            c.nm -= 1;
+            out.push(c);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_is_deterministic() {
+        for i in 0..32 {
+            assert_eq!(ZooSpec::generate(7, i), ZooSpec::generate(7, i));
+        }
+        assert_ne!(ZooSpec::generate(7, 0), ZooSpec::generate(8, 0));
+    }
+
+    #[test]
+    fn generated_specs_validate() {
+        for seed in 0..4u64 {
+            for i in 0..64u64 {
+                let z = ZooSpec::generate(seed, i);
+                let spec = z.build().expect("generated shapes satisfy §2.4");
+                crate::validate::validate(&spec).expect("double-checked");
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_candidates_are_strictly_smaller() {
+        for i in 0..32u64 {
+            let z = ZooSpec::generate(11, i);
+            for c in z.shrink_candidates() {
+                assert!(c.size() < z.size(), "candidate not smaller: {c:?} vs {z:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn rng_matches_reference_splitmix() {
+        // First outputs of splitmix64 seeded with 0 (reference vector).
+        let mut r = ZooRng::new(0);
+        assert_eq!(r.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(r.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+    }
+}

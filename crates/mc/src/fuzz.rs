@@ -1,0 +1,566 @@
+//! Derivation fuzzing: the differential pipeline behind `ccr fuzz`.
+//!
+//! Each spec from the [`ccr_core::zoo`] generator runs through the whole
+//! derivation stack as one property:
+//!
+//! 1. **build + validate** — the shape lowers to a §2.4-valid spec;
+//! 2. **text round-trip** — `parse(print(spec)) == spec` through
+//!    [`ccr_core::text`];
+//! 3. **refine** (both with and without the req/repl optimization) and the
+//!    **Equation 1** check: no reachable asynchronous transition may fall
+//!    outside the stuttering simulation;
+//! 4. **serial model-check** of the rendezvous and asynchronous systems
+//!    (safety: no executor runtime failure; deadlock/livelock are allowed —
+//!    random protocols block all the time — but must be *reported*, not
+//!    crashed on);
+//! 5. **parallel re-check** at 2 and 4 threads — states, transitions and
+//!    outcome must be byte-identical to serial;
+//! 6. **symmetry re-check** — when the spec passes the scalarset test, the
+//!    reduced system must agree with itself across engines and with the
+//!    full system on the verdict;
+//! 7. **bounded fault-closure** — serial and parallel closures must agree.
+//!
+//! A spec *fails* when any stage errors, Equation 1 is violated, an engine
+//! pair disagrees, or an executor assertion trips. Failures feed the
+//! [`shrink_failing`] greedy shrinker, which walks
+//! [`ZooSpec::shrink_candidates`] until no strictly smaller shape still
+//! fails.
+//!
+//! For shrinker tests and CI's negative case there is [`FuzzConfig::inject`]:
+//! after refinement it marks one acked remote send as fire-and-forget (a
+//! `migratory_broken`-shaped unsoundness — the completion protocol is
+//! desynchronized), which the pipeline must then catch.
+
+use crate::report::{ExploreReport, Outcome};
+use crate::search::{explore, Budget};
+use crate::simrel::check_simulation;
+use crate::symmetry::{spec_permutable, Reduced};
+use crate::{
+    check_fault_closure, check_fault_closure_parallel_observed, check_progress,
+    check_progress_parallel, explore_parallel, ParallelConfig, SearchObserver,
+};
+use ccr_core::process::{CommAction, ProtocolSpec};
+use ccr_core::refine::{refine, BranchKey, RefineOptions, RefinedProtocol, ReqRepMode};
+use ccr_core::text::{parse_validated, to_text};
+use ccr_core::zoo::ZooSpec;
+use ccr_runtime::asynch::{AsyncConfig, AsyncSystem};
+use ccr_runtime::rendezvous::RendezvousSystem;
+use ccr_trace::NullSink;
+use std::fmt;
+
+/// Tuning for one fuzzing run. Everything here is part of the reproducible
+/// fingerprint: the same config + seed must give the same verdicts.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Remote process count for every built system.
+    pub n: u32,
+    /// State budget per exploration stage (an `Unfinished` stage is not a
+    /// failure, it just bounds the differential claim to the prefix).
+    pub budget_states: usize,
+    /// Thread counts for the parallel re-checks.
+    pub threads: Vec<usize>,
+    /// Fault budget for the closure stage; 0 disables it.
+    pub fault_budget: u32,
+    /// Deterministically inject a `migratory_broken`-shaped unsoundness
+    /// after refinement (see [`inject_unsound`]). Test/CI hook.
+    pub inject: bool,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            n: 2,
+            budget_states: 20_000,
+            threads: vec![2, 4],
+            fault_budget: 1,
+            inject: false,
+        }
+    }
+}
+
+/// Why a spec failed the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FuzzFailure {
+    /// The shape did not lower to a valid spec (never expected from
+    /// `generate`; shrink candidates may hit it and are skipped).
+    Build(String),
+    /// `parse(print(spec))` errored or produced a different spec.
+    RoundTrip(String),
+    /// The refinement procedure itself errored.
+    Refine(String),
+    /// Equation 1 violated (the derived protocol is unsound).
+    Soundness {
+        /// Which req/repl mode was being checked.
+        mode: &'static str,
+        /// The violating edge, as reported by the simulation check.
+        detail: String,
+    },
+    /// An executor assertion tripped during exploration.
+    Runtime {
+        /// Which stage tripped it.
+        stage: &'static str,
+        /// The runtime error message.
+        detail: String,
+    },
+    /// Two engine configurations disagreed on states/transitions/outcome.
+    Mismatch {
+        /// Which pair of engines disagreed.
+        what: String,
+        /// Both sides, rendered.
+        detail: String,
+    },
+}
+
+impl fmt::Display for FuzzFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuzzFailure::Build(e) => write!(f, "build: {e}"),
+            FuzzFailure::RoundTrip(e) => write!(f, "round-trip: {e}"),
+            FuzzFailure::Refine(e) => write!(f, "refine: {e}"),
+            FuzzFailure::Soundness { mode, detail } => {
+                write!(f, "soundness[{mode}]: {detail}")
+            }
+            FuzzFailure::Runtime { stage, detail } => write!(f, "runtime[{stage}]: {detail}"),
+            FuzzFailure::Mismatch { what, detail } => write!(f, "mismatch[{what}]: {detail}"),
+        }
+    }
+}
+
+impl FuzzFailure {
+    /// Short classification tag for tables and metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FuzzFailure::Build(_) => "build",
+            FuzzFailure::RoundTrip(_) => "roundtrip",
+            FuzzFailure::Refine(_) => "refine",
+            FuzzFailure::Soundness { .. } => "soundness",
+            FuzzFailure::Runtime { .. } => "runtime",
+            FuzzFailure::Mismatch { .. } => "mismatch",
+        }
+    }
+}
+
+/// Verdict for one spec through the whole pipeline.
+#[derive(Debug, Clone)]
+pub struct SpecVerdict {
+    /// Spec name (`zoo_<seed>_<index>` for generated specs).
+    pub name: String,
+    /// Did the spec pass the scalarset check (symmetry stage active)?
+    pub permutable: bool,
+    /// Rendezvous states explored (serial).
+    pub rv_states: usize,
+    /// Asynchronous states explored (serial, Auto mode).
+    pub async_states: usize,
+    /// Asynchronous transitions explored (serial, Auto mode).
+    pub async_transitions: usize,
+    /// Serial asynchronous outcome (None if the pipeline failed earlier).
+    pub outcome: Option<Outcome>,
+    /// Whether §2.5 progress held on the async system.
+    pub progress_holds: Option<bool>,
+    /// Whether the bounded fault closure held (None when disabled or
+    /// skipped).
+    pub fault_holds: Option<bool>,
+    /// The first failure, if any.
+    pub failure: Option<FuzzFailure>,
+}
+
+impl SpecVerdict {
+    /// True when every stage passed (deadlock/livelock outcomes count as
+    /// passes: arbitrary protocols may block, they must not be unsound).
+    pub fn passed(&self) -> bool {
+        self.failure.is_none()
+    }
+
+    fn failed(name: &str, failure: FuzzFailure) -> SpecVerdict {
+        SpecVerdict {
+            name: name.to_string(),
+            permutable: false,
+            rv_states: 0,
+            async_states: 0,
+            async_transitions: 0,
+            outcome: None,
+            progress_holds: None,
+            fault_holds: None,
+            failure: Some(failure),
+        }
+    }
+}
+
+/// Deterministically breaks a refined protocol the way `migratory_broken`
+/// is broken: the first remote send branch that still awaits an ack is
+/// marked fire-and-forget, so the home's ack arrives at a remote that no
+/// longer expects one. Returns `false` (protocol unchanged) when every
+/// remote send is already completion-free — such specs cannot host this
+/// injection and a shrinker driving it will not adopt them.
+pub fn inject_unsound(refined: &mut RefinedProtocol) -> bool {
+    let mut keys: Vec<BranchKey> = Vec::new();
+    for (si, st) in refined.spec.remote.states.iter().enumerate() {
+        for (bi, br) in st.branches.iter().enumerate() {
+            if let CommAction::Send { .. } = br.action {
+                let key = (ccr_core::ids::StateId(si as u32), bi as u32);
+                if !refined.remote_fire_forget.contains(&key)
+                    && !refined.remote_reply.contains_key(&key)
+                {
+                    keys.push(key);
+                }
+            }
+        }
+    }
+    match keys.first() {
+        Some(&key) => {
+            refined.remote_fire_forget.insert(key);
+            true
+        }
+        None => false,
+    }
+}
+
+/// The documented serial-vs-parallel contract (see [`crate::parallel`]):
+/// on `Complete`/`Unfinished` runs the counts are byte-identical; on
+/// violating runs the outcome still matches but the parallel engine
+/// finishes the violation's level, so its counts may *exceed* the serial
+/// early-exit counts (never undershoot them).
+fn cmp_serial_vs_parallel(
+    what: &str,
+    serial: &ExploreReport,
+    par: &ExploreReport,
+) -> Option<FuzzFailure> {
+    let violating = !matches!(serial.outcome, Outcome::Complete | Outcome::Unfinished);
+    let ok = if violating {
+        serial.outcome == par.outcome
+            && par.states >= serial.states
+            && par.transitions >= serial.transitions
+    } else {
+        key_of(serial) == key_of(par)
+    };
+    if ok {
+        None
+    } else {
+        Some(FuzzFailure::Mismatch {
+            what: what.to_string(),
+            detail: format!(
+                "serial (states={}, transitions={}, outcome={:?}) vs {what} (states={}, transitions={}, outcome={:?})",
+                serial.states, serial.transitions, serial.outcome, par.states, par.transitions, par.outcome
+            ),
+        })
+    }
+}
+
+/// Parallel runs must be byte-identical *across thread counts*, violating
+/// or not.
+fn cmp_parallel_pair(
+    what: &str,
+    a: (usize, &ExploreReport),
+    b: (usize, &ExploreReport),
+) -> Option<FuzzFailure> {
+    if key_of(a.1) == key_of(b.1) {
+        None
+    } else {
+        Some(FuzzFailure::Mismatch {
+            what: what.to_string(),
+            detail: format!(
+                "{}t (states={}, transitions={}, outcome={:?}) vs {}t (states={}, transitions={}, outcome={:?})",
+                a.0, a.1.states, a.1.transitions, a.1.outcome, b.0, b.1.states, b.1.transitions, b.1.outcome
+            ),
+        })
+    }
+}
+
+fn key_of(r: &ExploreReport) -> (usize, usize, &Outcome) {
+    (r.states, r.transitions, &r.outcome)
+}
+
+/// Runs one spec through the full differential pipeline.
+pub fn run_spec(spec: &ProtocolSpec, cfg: &FuzzConfig) -> SpecVerdict {
+    let budget = Budget::states(cfg.budget_states);
+    let name = spec.name.clone();
+
+    // Stage 2: text round-trip.
+    match parse_validated(&to_text(spec)) {
+        Err(e) => return SpecVerdict::failed(&name, FuzzFailure::RoundTrip(e.to_string())),
+        Ok(back) if &back != spec => {
+            return SpecVerdict::failed(
+                &name,
+                FuzzFailure::RoundTrip("parse(print(spec)) != spec".to_string()),
+            )
+        }
+        Ok(_) => {}
+    }
+
+    // Stage 3a: refinement with the req/repl detector off is checked for
+    // Equation 1 only — it shares the executor with Auto mode, so the
+    // differential battery below would be redundant work.
+    let rv = RendezvousSystem::new(spec, cfg.n);
+    match refine(spec, &RefineOptions { reqrep: ReqRepMode::Off }) {
+        Err(e) => return SpecVerdict::failed(&name, FuzzFailure::Refine(e.to_string())),
+        Ok(mut refined) => {
+            if cfg.inject {
+                inject_unsound(&mut refined);
+            }
+            let asys = AsyncSystem::new(&refined, cfg.n, AsyncConfig::default());
+            let sim = check_simulation(&asys, &rv, &budget);
+            if let Some(v) = sim.violation {
+                return SpecVerdict::failed(
+                    &name,
+                    FuzzFailure::Soundness { mode: "off", detail: v },
+                );
+            }
+        }
+    }
+
+    // Stage 3b: the Auto-mode refinement carries the full battery.
+    let mut refined = match refine(spec, &RefineOptions { reqrep: ReqRepMode::Auto }) {
+        Ok(r) => r,
+        Err(e) => return SpecVerdict::failed(&name, FuzzFailure::Refine(e.to_string())),
+    };
+    if cfg.inject {
+        inject_unsound(&mut refined);
+    }
+    let asys = AsyncSystem::new(&refined, cfg.n, AsyncConfig::default());
+
+    let sim = check_simulation(&asys, &rv, &budget);
+    if let Some(v) = sim.violation {
+        return SpecVerdict::failed(&name, FuzzFailure::Soundness { mode: "auto", detail: v });
+    }
+
+    // Stage 4: serial model checks.
+    let rv_serial = explore(&rv, &budget, |_| None, true);
+    let a_serial = explore(&asys, &budget, |_| None, true);
+    let permutable = spec_permutable(spec);
+    let mut verdict = SpecVerdict {
+        name: name.clone(),
+        permutable,
+        rv_states: rv_serial.states,
+        async_states: a_serial.states,
+        async_transitions: a_serial.transitions,
+        outcome: Some(a_serial.outcome.clone()),
+        progress_holds: None,
+        fault_holds: None,
+        failure: None,
+    };
+    for (stage, rep) in [("rendezvous", &rv_serial), ("async", &a_serial)] {
+        if let Outcome::RuntimeFailure(e) = &rep.outcome {
+            verdict.failure = Some(FuzzFailure::Runtime { stage, detail: e.to_string() });
+            return verdict;
+        }
+    }
+
+    // Stage 5: parallel re-checks. Each thread count must satisfy the
+    // serial contract, and all thread counts must agree byte-identically
+    // with each other.
+    let mut prev: Option<(usize, ExploreReport)> = None;
+    for &t in &cfg.threads {
+        let par = explore_parallel(&asys, &budget, |_| None, true, &ParallelConfig::threads(t));
+        let par = par.explore_report();
+        if let Some(f) = cmp_serial_vs_parallel(&format!("async-{t}t"), &a_serial, &par) {
+            verdict.failure = Some(f);
+            return verdict;
+        }
+        if let Some((pt, ref prep)) = prev {
+            if let Some(f) =
+                cmp_parallel_pair(&format!("async-{pt}t-vs-{t}t"), (pt, prep), (t, &par))
+            {
+                verdict.failure = Some(f);
+                return verdict;
+            }
+        }
+        prev = Some((t, par));
+    }
+
+    // Progress: serial vs parallel must agree on the verdict and on the
+    // state count (witness trails may legitimately differ in shape).
+    let prog = check_progress(&asys, &budget, |l| l.completes.is_some());
+    verdict.progress_holds = Some(prog.holds());
+    if let Some(&t) = cfg.threads.first() {
+        let pprog = check_progress_parallel(
+            &asys,
+            &budget,
+            |l| l.completes.is_some(),
+            &ParallelConfig::threads(t),
+        );
+        let a = (prog.states, prog.holds(), prog.livelocked_states, prog.deadlocked_states);
+        let b = (pprog.states, pprog.holds(), pprog.livelocked_states, pprog.deadlocked_states);
+        if a != b {
+            verdict.failure = Some(FuzzFailure::Mismatch {
+                what: format!("progress-{t}t"),
+                detail: format!("serial {a:?} vs parallel {b:?}"),
+            });
+            return verdict;
+        }
+    }
+
+    // Stage 6: symmetry. The reduced system must agree with itself across
+    // engines; against the full system only the verdict is comparable
+    // (orbit counts differ by construction), and only when both finished.
+    if permutable {
+        let red = Reduced::new(&asys);
+        let r_serial = explore(&red, &budget, |_| None, true);
+        if let Some(&t) = cfg.threads.first() {
+            let r_par =
+                explore_parallel(&red, &budget, |_| None, true, &ParallelConfig::threads(t));
+            let r_par = r_par.explore_report();
+            if let Some(f) = cmp_serial_vs_parallel(&format!("sym-{t}t"), &r_serial, &r_par) {
+                verdict.failure = Some(f);
+                return verdict;
+            }
+        }
+        let finished = !matches!(r_serial.outcome, Outcome::Unfinished)
+            && !matches!(a_serial.outcome, Outcome::Unfinished);
+        if finished && r_serial.outcome != a_serial.outcome {
+            verdict.failure = Some(FuzzFailure::Mismatch {
+                what: "sym-vs-full".to_string(),
+                detail: format!(
+                    "full outcome {:?} vs reduced outcome {:?}",
+                    a_serial.outcome, r_serial.outcome
+                ),
+            });
+            return verdict;
+        }
+        if r_serial.states > a_serial.states {
+            verdict.failure = Some(FuzzFailure::Mismatch {
+                what: "sym-blowup".to_string(),
+                detail: format!(
+                    "reduced explored {} states > full {}",
+                    r_serial.states, a_serial.states
+                ),
+            });
+            return verdict;
+        }
+    }
+
+    // Stage 7: bounded fault closure, serial vs parallel.
+    if cfg.fault_budget > 0 {
+        let fc = check_fault_closure(&asys, cfg.fault_budget, &budget, |_| None);
+        verdict.fault_holds = Some(fc.holds());
+        if let Outcome::RuntimeFailure(e) = &fc.explore.outcome {
+            verdict.failure =
+                Some(FuzzFailure::Runtime { stage: "fault-closure", detail: e.to_string() });
+            return verdict;
+        }
+        if let Some(&t) = cfg.threads.first() {
+            let mut null = NullSink;
+            let mut obs = SearchObserver::new(&mut null);
+            let pfc = check_fault_closure_parallel_observed(
+                &asys,
+                cfg.fault_budget,
+                &budget,
+                |_| None,
+                &ParallelConfig::threads(t),
+                &mut obs,
+            );
+            // Same contract as the plain explores: outcome + holds()
+            // always agree; counts are byte-identical on non-violating
+            // runs and may only overshoot on violating ones.
+            let violating = !matches!(fc.explore.outcome, Outcome::Complete | Outcome::Unfinished);
+            let counts_ok = if violating {
+                pfc.explore.states >= fc.explore.states
+                    && pfc.explore.transitions >= fc.explore.transitions
+            } else {
+                pfc.explore.states == fc.explore.states
+                    && pfc.explore.transitions == fc.explore.transitions
+            };
+            if fc.explore.outcome != pfc.explore.outcome || fc.holds() != pfc.holds() || !counts_ok
+            {
+                verdict.failure = Some(FuzzFailure::Mismatch {
+                    what: format!("fault-{t}t"),
+                    detail: format!(
+                        "serial (states={}, transitions={}, outcome={:?}, holds={}) vs parallel (states={}, transitions={}, outcome={:?}, holds={})",
+                        fc.explore.states, fc.explore.transitions, fc.explore.outcome, fc.holds(),
+                        pfc.explore.states, pfc.explore.transitions, pfc.explore.outcome, pfc.holds()
+                    ),
+                });
+                return verdict;
+            }
+        }
+    }
+
+    verdict
+}
+
+/// Generates and runs the `index`-th spec of stream `seed`.
+pub fn fuzz_one(seed: u64, index: u64, cfg: &FuzzConfig) -> (ZooSpec, SpecVerdict) {
+    let shape = ZooSpec::generate(seed, index);
+    let verdict = run_shape(&shape, cfg);
+    (shape, verdict)
+}
+
+/// Builds and runs a shape; build failures become `FuzzFailure::Build`.
+pub fn run_shape(shape: &ZooSpec, cfg: &FuzzConfig) -> SpecVerdict {
+    match shape.build() {
+        Ok(spec) => run_spec(&spec, cfg),
+        Err(e) => SpecVerdict::failed(&shape.name, FuzzFailure::Build(e.to_string())),
+    }
+}
+
+/// Result of greedy shrinking.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The smallest still-failing shape found (the input itself when no
+    /// candidate still fails — in particular, when the input *passes*,
+    /// shrinking is a no-op with `steps == 0`).
+    pub shape: ZooSpec,
+    /// Verdict of the final shape.
+    pub verdict: SpecVerdict,
+    /// Number of accepted shrink steps.
+    pub steps: usize,
+}
+
+/// Greedy shrink: repeatedly adopt the first strictly smaller candidate
+/// that still fails the pipeline, until none does (or `max_steps` is hit).
+/// Deterministic: candidate order is fixed by
+/// [`ZooSpec::shrink_candidates`].
+pub fn shrink_failing(shape: &ZooSpec, cfg: &FuzzConfig, max_steps: usize) -> ShrinkResult {
+    let mut current = shape.clone();
+    let mut verdict = run_shape(&current, cfg);
+    let mut steps = 0;
+    if verdict.passed() {
+        return ShrinkResult { shape: current, verdict, steps };
+    }
+    'outer: while steps < max_steps {
+        for cand in current.shrink_candidates() {
+            if cand.build().is_err() {
+                continue;
+            }
+            let v = run_shape(&cand, cfg);
+            if !v.passed() {
+                current = cand;
+                verdict = v;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    ShrinkResult { shape: current, verdict, steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_smoke_on_first_specs() {
+        let cfg = FuzzConfig { budget_states: 4_000, fault_budget: 0, ..FuzzConfig::default() };
+        for i in 0..6 {
+            let (shape, v) = fuzz_one(1, i, &cfg);
+            assert!(v.passed(), "spec {i} failed: {:?}\nshape {shape:?}", v.failure);
+        }
+    }
+
+    #[test]
+    fn injection_is_detected_on_migratory_shape() {
+        // A remote that sends-and-awaits: marking it fire-and-forget must
+        // be caught by the pipeline as a soundness/runtime failure.
+        let spec = ccr_core::text::parse_validated(
+            &std::fs::read_to_string(concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../specs/migratory.ccp"
+            ))
+            .unwrap(),
+        )
+        .unwrap();
+        let cfg = FuzzConfig { inject: true, fault_budget: 0, ..FuzzConfig::default() };
+        let v = run_spec(&spec, &cfg);
+        assert!(!v.passed(), "injected unsoundness went undetected: {v:?}");
+    }
+}

@@ -26,6 +26,7 @@
 #![deny(missing_docs)]
 
 pub mod faultmode;
+pub mod fuzz;
 pub mod parallel;
 pub mod persist;
 pub mod progress;
@@ -40,6 +41,10 @@ pub mod trace;
 pub use faultmode::{
     check_fault_closure, check_fault_closure_observed, check_fault_closure_parallel_observed,
     FaultClosureReport,
+};
+pub use fuzz::{
+    fuzz_one, inject_unsound, run_shape, run_spec, shrink_failing, FuzzConfig, FuzzFailure,
+    ShrinkResult, SpecVerdict,
 };
 pub use parallel::{
     explore_parallel, explore_parallel_observed, explore_parallel_observed_persist,

@@ -29,6 +29,7 @@ pub mod migratory;
 pub mod props;
 pub mod token;
 pub mod update;
+pub mod zoo;
 
 pub use hand::migratory_hand;
 pub use invalidate::{invalidate, InvalidateOptions};

@@ -1,0 +1,102 @@
+//! Specs contributed by derivation fuzzing (`ccr fuzz`).
+//!
+//! * [`zoo_unsound_pair`] is a shrunk counterexample the zoo found against
+//!   the request/reply detector: the remote emits `m0` *spontaneously*
+//!   from its initial state and never receives `m1`, yet the detector used
+//!   to classify `(m1, m0)` as a home-requested pair (the remote-side
+//!   condition was vacuously true), mark the `m0` send fire-and-forget,
+//!   and the derived executor trapped on the home's ack of an unsolicited
+//!   `m0`. The detector now rejects the pair (remote reply sends must be
+//!   dominated by a request receive), so refinement falls back to the
+//!   plain ack protocol — this spec pins that behavior.
+//! * [`zoo_chain`] is a curated zoo member exercising a path no
+//!   hand-written spec hits: after one optimized request/reply hop, the
+//!   home pushes a *3-message passive chain* (`a`, `b`, `c`) through the
+//!   owner before returning to idle. Fully permutable, fully enumerable.
+
+use ccr_core::builder::ProtocolBuilder;
+use ccr_core::expr::Expr;
+use ccr_core::ids::RemoteId;
+use ccr_core::process::ProtocolSpec;
+use ccr_core::value::Value;
+
+/// The shrunk fuzzing counterexample (seed 7, index 34) that exposed the
+/// missing remote-side reply-domination check in the §3.3 pair detector.
+pub fn zoo_unsound_pair() -> ProtocolSpec {
+    let mut b = ProtocolBuilder::new("zoo_unsound_pair");
+    let m0 = b.msg("m0");
+    let m1 = b.msg("m1");
+
+    let o = b.home_var("o", Value::Node(RemoteId(0)));
+    let h0 = b.home_state("H0");
+    let h1 = b.home_state("H1");
+    b.home(h0).recv_exact(m0, Expr::Var(o)).goto(h1);
+    b.home(h1).send_to(Expr::Var(o), m1).goto(h0);
+
+    let r0 = b.remote_state("R0");
+    b.remote(r0).send(m0).goto(r0);
+
+    b.finish().expect("the counterexample satisfies the §2.4 restrictions")
+}
+
+/// A 3-message passive chain: the remote requests, then passively consumes
+/// `a`, `b`, `c` pushed by the home in order.
+pub fn zoo_chain() -> ProtocolSpec {
+    let mut b = ProtocolBuilder::new("zoo_chain");
+    let req = b.msg("req");
+    let a = b.msg("a");
+    let bb = b.msg("b");
+    let c = b.msg("c");
+
+    let o = b.home_var("o", Value::Node(RemoteId(0)));
+    let h0 = b.home_state("H0");
+    let h1 = b.home_state("H1");
+    let h2 = b.home_state("H2");
+    let h3 = b.home_state("H3");
+    b.home(h0).recv_any(req).bind_sender(o).goto(h1);
+    b.home(h1).send_to(Expr::Var(o), a).goto(h2);
+    b.home(h2).send_to(Expr::Var(o), bb).goto(h3);
+    b.home(h3).send_to(Expr::Var(o), c).goto(h0);
+
+    let r0 = b.remote_state("R0");
+    let r1 = b.remote_state("R1");
+    let r2 = b.remote_state("R2");
+    let r3 = b.remote_state("R3");
+    b.remote(r0).send(req).goto(r1);
+    b.remote(r1).recv(a).goto(r2);
+    b.remote(r2).recv(bb).goto(r3);
+    b.remote(r3).recv(c).goto(r0);
+
+    b.finish().expect("the chain satisfies the §2.4 restrictions")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_core::refine::{refine, RefineOptions};
+
+    /// The regression: Auto mode must find *no* pairs here (it used to
+    /// find the unsound `(m1, m0)` one).
+    #[test]
+    fn unsound_pair_is_rejected_by_the_detector() {
+        let spec = zoo_unsound_pair();
+        let refined = refine(&spec, &RefineOptions::default()).unwrap();
+        assert!(
+            refined.pairs.is_empty(),
+            "detector re-accepted an unsound pair: {:?}",
+            refined.pairs
+        );
+        assert!(refined.remote_fire_forget.is_empty());
+    }
+
+    /// The chain's first hop is an ordinary remote-requested pair; the
+    /// rest of the chain stays plain rendezvous.
+    #[test]
+    fn chain_optimizes_only_the_request_hop() {
+        let spec = zoo_chain();
+        let refined = refine(&spec, &RefineOptions::default()).unwrap();
+        assert_eq!(refined.pairs.len(), 1);
+        assert_eq!(spec.msg_name(refined.pairs[0].req), "req");
+        assert_eq!(spec.msg_name(refined.pairs[0].repl), "a");
+    }
+}

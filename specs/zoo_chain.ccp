@@ -1,0 +1,32 @@
+protocol zoo_chain {
+  messages req, a, b, c;
+  home {
+    var o: node := r0;
+    state H0 init {
+      r(* -> o) ? req -> H1;
+    }
+    state H1 {
+      r(o) ! a -> H2;
+    }
+    state H2 {
+      r(o) ! b -> H3;
+    }
+    state H3 {
+      r(o) ! c -> H0;
+    }
+  }
+  remote {
+    state R0 init {
+      h ! req -> R1;
+    }
+    state R1 {
+      h ? a -> R2;
+    }
+    state R2 {
+      h ? b -> R3;
+    }
+    state R3 {
+      h ? c -> R0;
+    }
+  }
+}

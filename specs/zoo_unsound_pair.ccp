@@ -1,0 +1,17 @@
+protocol zoo_unsound_pair {
+  messages m0, m1;
+  home {
+    var o: node := r0;
+    state H0 init {
+      r(o) ? m0 -> H1;
+    }
+    state H1 {
+      r(o) ! m1 -> H0;
+    }
+  }
+  remote {
+    state R0 init {
+      h ! m0 -> R0;
+    }
+  }
+}

@@ -202,6 +202,8 @@ fn usage() -> ExitCode {
          [--timeout SECS] [--stale-timeout SECS]\n\
          \x20      ccr report <run-dir> [--json]\n\
          \x20      ccr timeline <run-dir|timeline.jsonl> [--json]\n\
+         \x20      ccr fuzz [--seed S] [--count N] [-n N] [--budget STATES] \
+         [--fault-budget F] [--shrink] [--corpus DIR] [--inject-broken] [--json]\n\
          \x20      ccr bench diff <old.json> <new.json> \
          [--tolerance T] [--bytes-tolerance B]"
     );
@@ -1634,6 +1636,274 @@ fn cmd_timeline(argv: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn usage_fuzz() -> ExitCode {
+    eprintln!(
+        "usage: ccr fuzz [--seed S] [--count N] [-n N] [--budget STATES] \
+         [--fault-budget F] [--shrink] [--corpus DIR] [--inject-broken] \
+         [--json] [--metrics PATH|-] [--metrics-format json|prometheus]"
+    );
+    ExitCode::from(2)
+}
+
+/// `ccr fuzz`: generate `--count` specs from the seeded zoo stream and run
+/// each through the differential derivation pipeline (round-trip → refine →
+/// Equation 1 → serial/2t/4t/symmetry cross-check → fault closure). Exits
+/// nonzero iff any spec fails; `--shrink` minimizes failures and writes
+/// them as `.ccp`. Fully deterministic for a given seed and config.
+fn cmd_fuzz(argv: &[String]) -> ExitCode {
+    let mut seed: u64 = 1;
+    let mut count: u64 = 50;
+    let mut n: u32 = 2;
+    let mut budget: usize = 20_000;
+    let mut fault_budget: u32 = 1;
+    let mut shrink = false;
+    let mut corpus: Option<PathBuf> = None;
+    let mut inject = false;
+    let mut json = false;
+    let mut metrics: Option<String> = None;
+    let mut metrics_format = MetricsFormat::Json;
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: &mut usize| -> Option<String> {
+            *i += 1;
+            argv.get(*i).cloned()
+        };
+        match argv[i].as_str() {
+            "--seed" => match value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage_fuzz(),
+            },
+            "--count" => match value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => count = v,
+                None => return usage_fuzz(),
+            },
+            "-n" => match value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => n = v,
+                None => return usage_fuzz(),
+            },
+            "--budget" => match value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => budget = v,
+                None => return usage_fuzz(),
+            },
+            "--fault-budget" => match value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => fault_budget = v,
+                None => return usage_fuzz(),
+            },
+            "--shrink" => shrink = true,
+            "--corpus" => match value(&mut i) {
+                Some(v) => corpus = Some(PathBuf::from(v)),
+                None => return usage_fuzz(),
+            },
+            "--inject-broken" => inject = true,
+            "--json" => json = true,
+            "--metrics" => match value(&mut i) {
+                Some(v) => metrics = Some(v),
+                None => return usage_fuzz(),
+            },
+            "--metrics-format" => match value(&mut i).as_deref() {
+                Some("json") => metrics_format = MetricsFormat::Json,
+                Some("prometheus") => metrics_format = MetricsFormat::Prometheus,
+                _ => return usage_fuzz(),
+            },
+            _ => return usage_fuzz(),
+        }
+        i += 1;
+    }
+    let cfg =
+        ccr_mc::FuzzConfig { n, budget_states: budget, threads: vec![2, 4], fault_budget, inject };
+    if let Some(dir) = &corpus {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("ccr: fuzz: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let registry = if metrics.is_some() { Registry::new() } else { Registry::disabled() };
+    let mut rows: Vec<(u64, ccr_mc::SpecVerdict)> = Vec::new();
+    let mut shrunk: Vec<(String, String, usize)> = Vec::new();
+    let mut failed = 0u64;
+    let mut permutable = 0u64;
+    let bool_cell = |b: Option<bool>| match b {
+        Some(true) => "yes",
+        Some(false) => "no",
+        None => "-",
+    };
+    if !json {
+        println!(
+            "{:>5}  {:<14} {:>4} {:>8} {:>8} {:>9}  {:<11} {:>5} {:>5}  verdict",
+            "idx", "name", "sym", "rv", "async", "trans", "outcome", "prog", "fault"
+        );
+    }
+    for idx in 0..count {
+        let (shape, verdict) = ccr_mc::fuzz_one(seed, idx, &cfg);
+        if let (Some(dir), Ok(spec)) = (&corpus, shape.build()) {
+            let path = dir.join(format!("{}.ccp", verdict.name));
+            if let Err(e) = std::fs::write(&path, to_text(&spec)) {
+                eprintln!("ccr: fuzz: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        if verdict.permutable {
+            permutable += 1;
+        }
+        registry
+            .counter("fuzz_rv_states_total", "Rendezvous states explored across the fuzz run")
+            .add(verdict.rv_states as u64);
+        registry
+            .counter("fuzz_async_states_total", "Asynchronous states explored across the fuzz run")
+            .add(verdict.async_states as u64);
+        if !verdict.passed() {
+            failed += 1;
+            let kind = verdict.failure.as_ref().map(|f| f.kind()).unwrap_or("unknown");
+            registry.counter(&format!("fuzz_fail_{kind}_total"), "Fuzz failures by kind").inc();
+            if shrink {
+                let sr = ccr_mc::shrink_failing(&shape, &cfg, 256);
+                registry
+                    .counter("fuzz_shrink_steps_total", "Accepted shrink steps across the run")
+                    .add(sr.steps as u64);
+                if let Ok(spec) = sr.shape.build() {
+                    let text = to_text(&spec);
+                    let fname = format!("{}.fail.ccp", verdict.name);
+                    if let Some(dir) = &corpus {
+                        let path = dir.join(&fname);
+                        if let Err(e) = std::fs::write(&path, &text) {
+                            eprintln!("ccr: fuzz: cannot write {}: {e}", path.display());
+                            return ExitCode::FAILURE;
+                        }
+                        shrunk.push((fname, path.display().to_string(), sr.steps));
+                    } else {
+                        if !json {
+                            eprintln!(
+                                "shrunk counterexample for {} ({} steps):\n{text}",
+                                verdict.name, sr.steps
+                            );
+                        }
+                        shrunk.push((fname, "-".to_string(), sr.steps));
+                    }
+                }
+            }
+        }
+        if !json {
+            let (verdict_cell, detail) = match &verdict.failure {
+                None => ("pass".to_string(), None),
+                Some(f) => (format!("FAIL[{}]", f.kind()), Some(f.to_string())),
+            };
+            println!(
+                "{:>5}  {:<14} {:>4} {:>8} {:>8} {:>9}  {:<11} {:>5} {:>5}  {}",
+                idx,
+                verdict.name,
+                if verdict.permutable { "yes" } else { "no" },
+                verdict.rv_states,
+                verdict.async_states,
+                verdict.async_transitions,
+                verdict.outcome.as_ref().map(|o| o.name()).unwrap_or("-"),
+                bool_cell(verdict.progress_holds),
+                bool_cell(verdict.fault_holds),
+                verdict_cell,
+            );
+            if let Some(d) = detail {
+                println!("       ^ {d}");
+            }
+        }
+        rows.push((idx, verdict));
+    }
+    registry.counter("fuzz_specs_total", "Specs generated and checked").add(count);
+    registry.counter("fuzz_failed_total", "Specs that failed the pipeline").add(failed);
+    registry
+        .counter("fuzz_permutable_total", "Specs that passed the scalarset symmetry check")
+        .add(permutable);
+    registry
+        .counter("fuzz_shrunk_specs_total", "Failing specs minimized by the shrinker")
+        .add(shrunk.len() as u64);
+    if json {
+        let mut s = Serializer::new();
+        {
+            let mut m = s.begin_map();
+            m.entry("seed", &seed);
+            m.entry("count", &count);
+            m.entry("n", &n);
+            m.entry("budget_states", &budget);
+            m.entry("fault_budget", &fault_budget);
+            m.entry("inject_broken", &inject);
+            m.entry("failed", &failed);
+            m.entry("permutable", &permutable);
+            m.entry_with("specs", |ser| {
+                let mut seq = ser.begin_seq();
+                for (idx, v) in &rows {
+                    seq.elem_with(|ser| {
+                        let mut sm = ser.begin_map();
+                        sm.entry("index", idx);
+                        sm.entry("name", v.name.as_str());
+                        sm.entry("permutable", &v.permutable);
+                        sm.entry("rv_states", &v.rv_states);
+                        sm.entry("async_states", &v.async_states);
+                        sm.entry("async_transitions", &v.async_transitions);
+                        match &v.outcome {
+                            Some(o) => sm.entry("outcome", o.name()),
+                            None => sm.entry_with("outcome", |s| s.serialize_null()),
+                        }
+                        match v.progress_holds {
+                            Some(b) => sm.entry("progress_holds", &b),
+                            None => sm.entry_with("progress_holds", |s| s.serialize_null()),
+                        }
+                        match v.fault_holds {
+                            Some(b) => sm.entry("fault_holds", &b),
+                            None => sm.entry_with("fault_holds", |s| s.serialize_null()),
+                        }
+                        match &v.failure {
+                            Some(f) => sm.entry("failure", &f.to_string()),
+                            None => sm.entry_with("failure", |s| s.serialize_null()),
+                        }
+                        sm.end();
+                    });
+                }
+                seq.end();
+            });
+            m.entry_with("shrunk", |ser| {
+                let mut seq = ser.begin_seq();
+                for (name, path, steps) in &shrunk {
+                    seq.elem_with(|ser| {
+                        let mut sm = ser.begin_map();
+                        sm.entry("name", name.as_str());
+                        sm.entry("path", path.as_str());
+                        sm.entry("steps", steps);
+                        sm.end();
+                    });
+                }
+                seq.end();
+            });
+            m.end();
+        }
+        println!("{}", s.into_string());
+    } else {
+        println!(
+            "\n{} specs: {} passed, {failed} failed, {permutable} permutable (seed {seed}, n {n}, budget {budget})",
+            count,
+            count - failed,
+        );
+        for (name, path, steps) in &shrunk {
+            println!("  shrunk {name} ({steps} steps) -> {path}");
+        }
+    }
+    if let Some(path) = &metrics {
+        let snap = registry.snapshot();
+        let text = match metrics_format {
+            MetricsFormat::Json => snap.to_json(),
+            MetricsFormat::Prometheus => snap.to_prometheus(),
+        };
+        if path == "-" {
+            println!("{text}");
+        } else if let Err(e) = std::fs::write(path, format!("{text}\n")) {
+            eprintln!("ccr: fuzz: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if failed > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     // `ccr bench diff` takes no spec file and none of the pipeline
     // flags; dispatch before the regular argument parse.
@@ -1651,6 +1921,10 @@ fn main() -> ExitCode {
     }
     if argv.first().map(String::as_str) == Some("timeline") {
         return cmd_timeline(&argv[1..]);
+    }
+    // `fuzz` generates its own specs; no spec positional either.
+    if argv.first().map(String::as_str) == Some("fuzz") {
+        return cmd_fuzz(&argv[1..]);
     }
     let args = match parse_args() {
         Ok(a) => a,

@@ -1,0 +1,163 @@
+//! The derivation-fuzzing stack end to end: the seeded zoo stream is
+//! deterministic and well-formed, the differential pipeline passes on the
+//! pinned CI seed, the shrinker minimizes injected failures and leaves
+//! passing specs alone, and the `ccr fuzz` CLI verb agrees with the
+//! library on all of it.
+
+use ccr_core::text::{parse_validated, to_text};
+use ccr_core::zoo::ZooSpec;
+use ccr_mc::{run_shape, shrink_failing, FuzzConfig};
+use std::path::Path;
+
+/// The seed pinned in CI (`fuzz-smoke`); changing the generator or the
+/// pipeline in a way that breaks this stream should be a conscious act.
+const CI_SEED: u64 = 1998;
+
+fn quick_cfg() -> FuzzConfig {
+    FuzzConfig { budget_states: 8_000, threads: vec![2], fault_budget: 1, ..FuzzConfig::default() }
+}
+
+#[test]
+fn zoo_stream_is_deterministic_and_wellformed() {
+    for i in 0..64 {
+        let a = ZooSpec::generate(CI_SEED, i);
+        let b = ZooSpec::generate(CI_SEED, i);
+        assert_eq!(a, b, "generate({CI_SEED}, {i}) is not a pure function");
+        let spec = a.build().expect("generated shapes satisfy §2.4");
+        assert_eq!(spec.name, format!("zoo_{CI_SEED}_{i}"));
+    }
+    // Different seeds genuinely decorrelate the stream.
+    assert_ne!(ZooSpec::generate(1, 0), ZooSpec::generate(2, 0));
+}
+
+#[test]
+fn generated_specs_round_trip_through_text() {
+    for i in 0..64 {
+        let spec = ZooSpec::generate(CI_SEED, i).build().unwrap();
+        let text = to_text(&spec);
+        let back = parse_validated(&text)
+            .unwrap_or_else(|e| panic!("zoo_{CI_SEED}_{i} failed to re-parse: {e}\n{text}"));
+        assert_eq!(back, spec, "round trip changed zoo_{CI_SEED}_{i}");
+    }
+}
+
+#[test]
+fn pinned_seed_prefix_passes_the_pipeline() {
+    let cfg = quick_cfg();
+    for i in 0..12 {
+        let shape = ZooSpec::generate(CI_SEED, i);
+        let v = run_shape(&shape, &cfg);
+        assert!(v.passed(), "zoo_{CI_SEED}_{i} failed: {:?}", v.failure);
+    }
+}
+
+#[test]
+fn shrinking_a_passing_spec_is_a_noop() {
+    let cfg = quick_cfg();
+    let shape = ZooSpec::generate(CI_SEED, 0);
+    let sr = shrink_failing(&shape, &cfg, 64);
+    assert!(sr.verdict.passed());
+    assert_eq!(sr.steps, 0, "shrinker mutated a passing spec");
+    assert_eq!(sr.shape, shape, "shrinker returned a different shape for a passing spec");
+}
+
+/// A `migratory_broken`-shaped injection (an acked remote send marked
+/// fire-and-forget post-refinement) must fail the pipeline, and the
+/// shrinker must walk it down to a *local minimum*: strictly smaller than
+/// the original, still failing, with every valid one-step shrink passing.
+#[test]
+fn broken_injection_shrinks_to_a_minimal_still_failing_spec() {
+    let cfg = FuzzConfig { inject: true, ..quick_cfg() };
+    // Seed 42 index 16 hosts the injection (its remote has an acked send).
+    let shape = ZooSpec::generate(42, 16);
+    let before = run_shape(&shape, &cfg);
+    assert!(!before.passed(), "injection went undetected on the chosen seed");
+
+    let sr = shrink_failing(&shape, &cfg, 256);
+    assert!(!sr.verdict.passed(), "shrinker lost the failure");
+    assert!(sr.steps > 0, "a multi-state shape should shrink at least once");
+    assert!(sr.shape.size() < shape.size());
+    for cand in sr.shape.shrink_candidates() {
+        if cand.build().is_err() {
+            continue;
+        }
+        let v = run_shape(&cand, &cfg);
+        assert!(
+            v.passed(),
+            "not a local minimum: candidate {cand:?} still fails with {:?}",
+            v.failure
+        );
+    }
+
+    // Determinism: the same shrink re-runs to the same result.
+    let sr2 = shrink_failing(&shape, &cfg, 256);
+    assert_eq!(sr.shape, sr2.shape);
+    assert_eq!(sr.steps, sr2.steps);
+}
+
+/// Without injection the pinned stream is honest-to-goodness sound, so the
+/// injection flag is what flips the verdict — guards against the negative
+/// CI case silently testing nothing.
+#[test]
+fn injection_flag_flips_the_verdict() {
+    let clean = quick_cfg();
+    let broken = FuzzConfig { inject: true, ..quick_cfg() };
+    let shape = ZooSpec::generate(42, 16);
+    assert!(run_shape(&shape, &clean).passed());
+    assert!(!run_shape(&shape, &broken).passed());
+}
+
+#[test]
+fn cli_fuzz_is_deterministic_and_clean_on_pinned_seed() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let exe = root.join("target/release/ccr");
+    if !exe.exists() {
+        eprintln!("skipping: {} not built", exe.display());
+        return;
+    }
+    let run = || {
+        std::process::Command::new(&exe)
+            .args(["fuzz", "--seed", "1998", "--count", "25", "--json"])
+            .current_dir(root)
+            .output()
+            .expect("spawn ccr fuzz")
+    };
+    let a = run();
+    assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
+    let stdout = String::from_utf8_lossy(&a.stdout);
+    assert!(stdout.contains("\"failed\":0"), "{stdout}");
+    let b = run();
+    assert_eq!(a.stdout, b.stdout, "ccr fuzz is not deterministic");
+}
+
+#[test]
+fn cli_fuzz_inject_broken_exits_nonzero_and_emits_shrunk_spec() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let exe = root.join("target/release/ccr");
+    if !exe.exists() {
+        eprintln!("skipping: {} not built", exe.display());
+        return;
+    }
+    let dir = std::env::temp_dir().join(format!("ccr_fuzz_neg_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = std::process::Command::new(&exe)
+        .args(["fuzz", "--seed", "42", "--count", "20", "--inject-broken", "--shrink"])
+        .arg("--corpus")
+        .arg(&dir)
+        .current_dir(root)
+        .output()
+        .expect("spawn ccr fuzz");
+    assert!(!out.status.success(), "broken run must exit nonzero");
+    let shrunk: Vec<_> = std::fs::read_dir(&dir)
+        .expect("corpus dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".fail.ccp"))
+        .collect();
+    assert!(!shrunk.is_empty(), "no shrunk .fail.ccp emitted");
+    // Every emitted counterexample is itself a valid, re-parseable spec.
+    for e in &shrunk {
+        let text = std::fs::read_to_string(e.path()).unwrap();
+        parse_validated(&text).unwrap_or_else(|err| panic!("{:?}: {err}", e.path()));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

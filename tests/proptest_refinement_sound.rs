@@ -12,46 +12,39 @@
 //! protocols deadlock all the time (that is allowed — they are arbitrary),
 //! but soundness must never fail. This hammers the reqrep safety checks,
 //! the transient-state rules and the abstraction function together.
+//!
+//! The shapes come from the shared [`ccr_core::zoo`] generator — the same
+//! module `ccr fuzz` draws from — so the proptest and the fuzzer cannot
+//! drift apart: any shape proptest can produce, the seeded zoo stream can
+//! produce too (and vice versa). Index clamping lives in
+//! [`ZooSpec::build`], so the strategies below stay oblivious to the
+//! actual vector lengths.
 
-use ccr_core::builder::ProtocolBuilder;
-use ccr_core::expr::Expr;
-use ccr_core::ids::{MsgType, RemoteId};
 use ccr_core::process::ProtocolSpec;
 use ccr_core::refine::{refine, RefineOptions, ReqRepMode};
+use ccr_core::text::{parse_validated, to_text};
+use ccr_core::zoo::{HShape, RShape, ZooSpec};
 use ccr_mc::search::Budget;
 use ccr_mc::simrel::check_simulation;
 use ccr_runtime::asynch::{AsyncConfig, AsyncSystem};
 use ccr_runtime::rendezvous::RendezvousSystem;
 use proptest::prelude::*;
 
-/// Shape of one remote state.
-#[derive(Debug, Clone)]
-enum RShape {
-    /// Active: one send.
-    Active { msg: usize, target: usize },
-    /// Passive: 1–2 recvs plus an optional tau escape.
-    Passive { recvs: Vec<(usize, usize)>, tau: Option<usize> },
-}
-
-/// Shape of one home branch.
-#[derive(Debug, Clone)]
-enum HShape {
-    RecvAny { msg: usize, target: usize },
-    SendTo { node: u32, msg: usize, target: usize },
-}
-
-fn arb_remote_state(nm: usize, ns: usize) -> impl Strategy<Value = RShape> {
+fn arb_remote_state() -> impl Strategy<Value = RShape> {
     prop_oneof![
-        (0..nm, 0..ns).prop_map(|(msg, target)| RShape::Active { msg, target }),
-        (proptest::collection::vec((0..nm, 0..ns), 1..=2), proptest::option::of(0..ns))
+        (0..3usize, 0..3usize).prop_map(|(msg, target)| RShape::Active { msg, target }),
+        (proptest::collection::vec((0..3usize, 0..3usize), 1..=2), proptest::option::of(0..3usize))
             .prop_map(|(recvs, tau)| RShape::Passive { recvs, tau }),
     ]
 }
 
-fn arb_home_branch(nm: usize, ns: usize, nremotes: u32) -> impl Strategy<Value = HShape> {
+fn arb_home_branch() -> impl Strategy<Value = HShape> {
     prop_oneof![
-        (0..nm, 0..ns).prop_map(|(msg, target)| HShape::RecvAny { msg, target }),
-        (0..nremotes, 0..nm, 0..ns).prop_map(|(node, msg, target)| HShape::SendTo {
+        (0..3usize, 0..3usize).prop_map(|(msg, target)| HShape::RecvAny { msg, target }),
+        (0..3usize, 0..3usize).prop_map(|(msg, target)| HShape::RecvAnyBind { msg, target }),
+        (0..3usize, 0..3usize).prop_map(|(msg, target)| HShape::SendOwner { msg, target }),
+        (0..3usize, 0..3usize).prop_map(|(msg, target)| HShape::RecvOwner { msg, target }),
+        (0..2u32, 0..3usize, 0..3usize).prop_map(|(node, msg, target)| HShape::SendTo {
             node,
             msg,
             target
@@ -59,41 +52,18 @@ fn arb_home_branch(nm: usize, ns: usize, nremotes: u32) -> impl Strategy<Value =
     ]
 }
 
-fn build(nm: usize, home: Vec<Vec<HShape>>, remote: Vec<RShape>) -> ProtocolSpec {
-    let mut b = ProtocolBuilder::new("random");
-    let msgs: Vec<MsgType> = (0..nm).map(|i| b.msg(&format!("m{i}"))).collect();
-    let hstates: Vec<_> = (0..home.len()).map(|i| b.home_state(&format!("H{i}"))).collect();
-    for (si, branches) in home.iter().enumerate() {
-        for br in branches {
-            match br {
-                HShape::RecvAny { msg, target } => {
-                    b.home(hstates[si]).recv_any(msgs[*msg]).goto(hstates[*target]);
-                }
-                HShape::SendTo { node, msg, target } => {
-                    b.home(hstates[si])
-                        .send_to(Expr::node(RemoteId(*node)), msgs[*msg])
-                        .goto(hstates[*target]);
-                }
-            }
-        }
-    }
-    let rstates: Vec<_> = (0..remote.len()).map(|i| b.remote_state(&format!("R{i}"))).collect();
-    for (si, shape) in remote.iter().enumerate() {
-        match shape {
-            RShape::Active { msg, target } => {
-                b.remote(rstates[si]).send(msgs[*msg]).goto(rstates[*target]);
-            }
-            RShape::Passive { recvs, tau } => {
-                for (msg, target) in recvs {
-                    b.remote(rstates[si]).recv(msgs[*msg]).goto(rstates[*target]);
-                }
-                if let Some(t) = tau {
-                    b.remote(rstates[si]).tau().goto(rstates[*t]);
-                }
-            }
-        }
-    }
-    b.finish().expect("generated specs satisfy §2.4 by construction")
+fn arb_zoo() -> impl Strategy<Value = ZooSpec> {
+    (
+        1..=3usize,
+        proptest::collection::vec(proptest::collection::vec(arb_home_branch(), 1..=3), 1..=3),
+        proptest::collection::vec(arb_remote_state(), 1..=3),
+    )
+        .prop_map(|(nm, home, remote)| ZooSpec {
+            name: "random".to_string(),
+            nm,
+            home,
+            remote,
+        })
 }
 
 fn soundness(spec: &ProtocolSpec, mode: ReqRepMode, n: u32) {
@@ -114,46 +84,21 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
-    fn equation_one_never_fails_on_random_specs(
-        nm in 1..=3usize,
-        home in proptest::collection::vec(
-            proptest::collection::vec(arb_home_branch(3, 3, 2), 1..=3),
-            1..=3
-        ),
-        remote in proptest::collection::vec(arb_remote_state(3, 3), 1..=3),
-    ) {
-        // Clamp indices that exceeded the actual sizes (vec lengths vary).
-        let hs = home.len();
-        let rs = remote.len();
-        let home: Vec<Vec<HShape>> = home
-            .into_iter()
-            .map(|brs| {
-                brs.into_iter()
-                    .map(|b| match b {
-                        HShape::RecvAny { msg, target } => {
-                            HShape::RecvAny { msg: msg % nm, target: target % hs }
-                        }
-                        HShape::SendTo { node, msg, target } => {
-                            HShape::SendTo { node, msg: msg % nm, target: target % hs }
-                        }
-                    })
-                    .collect()
-            })
-            .collect();
-        let remote: Vec<RShape> = remote
-            .into_iter()
-            .map(|s| match s {
-                RShape::Active { msg, target } => {
-                    RShape::Active { msg: msg % nm, target: target % rs }
-                }
-                RShape::Passive { recvs, tau } => RShape::Passive {
-                    recvs: recvs.into_iter().map(|(m, t)| (m % nm, t % rs)).collect(),
-                    tau: tau.map(|t| t % rs),
-                },
-            })
-            .collect();
-        let spec = build(nm, home, remote);
+    fn equation_one_never_fails_on_random_specs(z in arb_zoo()) {
+        let spec = z.build().expect("zoo shapes satisfy §2.4 by construction");
         soundness(&spec, ReqRepMode::Auto, 2);
         soundness(&spec, ReqRepMode::Off, 2);
+    }
+
+    // `parse(print(spec)) == spec` for arbitrary generated specs — the
+    // round-trip guarantee `tests/shipped_specs.rs` checks for the six
+    // shipped files, extended to the whole generator grammar.
+    #[test]
+    fn text_round_trips_on_random_specs(z in arb_zoo()) {
+        let spec = z.build().expect("zoo shapes satisfy §2.4 by construction");
+        let text = to_text(&spec);
+        let back = parse_validated(&text)
+            .unwrap_or_else(|e| panic!("printed spec failed to re-parse: {e}\n{text}"));
+        assert_eq!(back, spec);
     }
 }

@@ -9,6 +9,7 @@ use ccr_protocols::invalidate::{invalidate, InvalidateOptions};
 use ccr_protocols::migratory::{migratory, MigratoryOptions};
 use ccr_protocols::token::token;
 use ccr_protocols::update::{update, UpdateOptions};
+use ccr_protocols::zoo::{zoo_chain, zoo_unsound_pair};
 use ccr_runtime::asynch::{AsyncConfig, AsyncSystem};
 use ccr_runtime::rendezvous::RendezvousSystem;
 use std::path::Path;
@@ -31,13 +32,21 @@ fn shipped_specs_match_constructors() {
         to_text(&invalidate(&InvalidateOptions { data_domain: Some(2) }))
     );
     assert_eq!(read("update.ccp"), to_text(&update(&UpdateOptions { data_domain: Some(2) })));
+    assert_eq!(read("zoo_chain.ccp"), to_text(&zoo_chain()));
+    assert_eq!(read("zoo_unsound_pair.ccp"), to_text(&zoo_unsound_pair()));
 }
 
 #[test]
 fn shipped_specs_parse_and_validate() {
-    for name in
-        ["token.ccp", "migratory.ccp", "migratory_gated.ccp", "invalidate.ccp", "update.ccp"]
-    {
+    for name in [
+        "token.ccp",
+        "migratory.ccp",
+        "migratory_gated.ccp",
+        "invalidate.ccp",
+        "update.ccp",
+        "zoo_chain.ccp",
+        "zoo_unsound_pair.ccp",
+    ] {
         let spec = parse_validated(&read(name)).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(!spec.name.is_empty());
     }
@@ -52,6 +61,37 @@ fn a_parsed_shipped_spec_verifies_end_to_end() {
     let asys = AsyncSystem::new(&refined, 2, AsyncConfig::default());
     let sim = check_simulation(&asys, &rv, &Budget::default());
     assert!(sim.holds(), "{sim:?}");
+}
+
+/// The fuzzing counterexample (zoo seed 7, index 34, shrunk): the
+/// detector used to pair `(m1, m0)` even though the remote sends `m0`
+/// spontaneously, and the derived executor trapped on an unexpected ack.
+/// Pinned: no pair may be accepted, and the full differential fuzz
+/// pipeline (Equation 1, serial/parallel/symmetry cross-check) must pass.
+#[test]
+fn zoo_unsound_pair_regression() {
+    let spec = parse_validated(&read("zoo_unsound_pair.ccp")).unwrap();
+    let refined = refine(&spec, &RefineOptions::default()).unwrap();
+    assert!(refined.pairs.is_empty(), "unsound pair re-accepted: {:?}", refined.pairs);
+    let verdict = ccr_mc::run_spec(&spec, &ccr_mc::FuzzConfig::default());
+    assert!(verdict.passed(), "pipeline failure: {:?}", verdict.failure);
+}
+
+/// The curated zoo member: a 3-message passive chain behind one optimized
+/// request hop. Verifies completely (safety, Equation 1, progress).
+#[test]
+fn zoo_chain_verifies_end_to_end() {
+    let spec = parse_validated(&read("zoo_chain.ccp")).unwrap();
+    let refined = refine(&spec, &RefineOptions::default()).unwrap();
+    assert_eq!(refined.pairs.len(), 1);
+    let rv = RendezvousSystem::new(&spec, 2);
+    let asys = AsyncSystem::new(&refined, 2, AsyncConfig::default());
+    let sim = check_simulation(&asys, &rv, &Budget::default());
+    assert!(sim.holds(), "{sim:?}");
+    let verdict = ccr_mc::run_spec(&spec, &ccr_mc::FuzzConfig::default());
+    assert!(verdict.passed(), "pipeline failure: {:?}", verdict.failure);
+    assert_eq!(verdict.progress_holds, Some(true));
+    assert_eq!(verdict.fault_holds, Some(true));
 }
 
 #[test]
